@@ -1,0 +1,105 @@
+//! A2 — the Skynet scorecard: the six Section-III properties measured over a
+//! generative fleet, with and without guards, under a cyber attack.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::banner;
+use apdm_device::{Device, DeviceId, DeviceKind, OrgId};
+use apdm_guards::{GuardStack, PreActionCheck};
+use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_sim::faults::{FaultInjector, Pathway};
+use apdm_sim::runner::skynet_score;
+use apdm_sim::{actions, Fleet, FleetConfig, SkynetScore, World, WorldConfig};
+use apdm_statespace::{StateDelta, StateSchema};
+
+fn run(guarded: bool) -> SkynetScore {
+    let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
+    let mut world = World::new(WorldConfig { width: 20, height: 20, heat_limit: f64::MAX, heat_zone: None });
+    for i in 0..5 {
+        world.add_human(vec![(5, 4 * i), (6, 4 * i)], true);
+    }
+    let mut fleet = Fleet::new(FleetConfig::default());
+    for i in 0..8u64 {
+        let org = if i % 2 == 0 { "us" } else { "uk" };
+        let mut device = Device::builder(i, DeviceKind::new("drone"), OrgId::new(org))
+            .schema(schema.clone())
+            .rule(EcaRule::new(
+                "patrol",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust(actions::MOVE, StateDelta::empty())
+                    .with_param("dx", "1")
+                    .physical(),
+            ))
+            .build();
+        device.engine_mut().add_rule(
+            EcaRule::new("generated-scan", Event::pattern("scan"), Condition::True, Action::noop())
+                .generated(),
+        );
+        let stack = if guarded {
+            GuardStack::new().with_preaction(PreActionCheck::new())
+        } else {
+            GuardStack::new()
+        };
+        fleet.add(device, stack, (5 + (i as i32 % 3), 2 * i as i32));
+    }
+    let mut injector = FaultInjector::new(Pathway::CyberAttack, 3);
+    injector.inject(&mut fleet);
+    let events: Vec<(DeviceId, Event)> =
+        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    for t in 1..=60 {
+        injector.tick(&mut fleet);
+        fleet.step(&mut world, t, &events);
+    }
+    skynet_score(&fleet, &world, 2, 2)
+}
+
+fn print_table() {
+    banner("A2", "Skynet property scorecard under cyber attack (Section III)");
+    println!(
+        "{:<10} {:>5} {:>6} {:>5} {:>5} {:>5} {:>11} {:>12} {:>15}",
+        "fleet", "net", "learn", "cog", "org", "phys", "MALEVOLENT", "capability", "verdict"
+    );
+    for guarded in [false, true] {
+        let s = run(guarded);
+        println!(
+            "{:<10} {:>5.2} {:>6.2} {:>5.2} {:>5.2} {:>5.2} {:>11.2} {:>12.2} {:>15}",
+            if guarded { "guarded" } else { "unguarded" },
+            s.networked,
+            s.learning,
+            s.cognitive,
+            s.multi_org,
+            s.physical,
+            s.malevolent,
+            s.capability(),
+            if s.is_skynet() { "SKYNET FORMED" } else { "not Skynet" }
+        );
+    }
+    println!();
+    println!("expected shape: both fleets score high on the five capability");
+    println!("properties; only the unguarded one acquires malevolence");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_properties");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for guarded in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("scorecard", if guarded { "guarded" } else { "unguarded" }),
+            &guarded,
+            |b, &g| {
+                b.iter(|| run(g));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

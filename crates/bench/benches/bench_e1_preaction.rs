@@ -1,0 +1,49 @@
+//! E1 — pre-action checks (Section VI.A). Regenerates the dig-a-hole table:
+//! direct vs indirect harm across guard arms.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_sim::runner::{run_e1, E1Arm};
+
+fn print_table() {
+    banner("E1", "pre-action checks: direct vs indirect harm (Section VI.A)");
+    println!(
+        "{:<26} {:>7} {:>9} {:>14} {:>13}",
+        "arm", "direct", "indirect", "interventions", "availability"
+    );
+    for arm in E1Arm::all() {
+        let r = run_e1(arm, 12, 12, 100, TABLE_SEED);
+        println!(
+            "{:<26} {:>7} {:>9} {:>14} {:>12.0}%",
+            r.arm,
+            r.direct_harms,
+            r.indirect_harms,
+            r.interventions,
+            r.availability * 100.0
+        );
+    }
+    println!();
+    println!("expected shape: direct -> 0 with any pre-action check; indirect");
+    println!("persists under myopia and vanishes with lookahead or obligations");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_preaction");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for arm in E1Arm::all() {
+        group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
+            b.iter(|| run_e1(arm, 12, 12, 100, TABLE_SEED));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

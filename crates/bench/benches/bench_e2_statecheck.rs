@@ -1,0 +1,65 @@
+//! E2 — state-space checks (Section VI.B). Regenerates the bad-entry table
+//! across guard arms including forced-dilemma episodes.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_sim::runner::{run_e2, run_e2d, E2Arm, E2dArm};
+
+fn print_table() {
+    banner("E2", "state-space checks: bad entries and dilemmas (Section VI.B)");
+    println!(
+        "{:<28} {:>11} {:>13} {:>8} {:>12} {:>7}",
+        "arm", "bad-entries", "worst-entries", "frozen", "break-glass", "steps"
+    );
+    for arm in E2Arm::all() {
+        let r = run_e2(arm, 16, 80, TABLE_SEED);
+        println!(
+            "{:<28} {:>11} {:>13} {:>8} {:>12} {:>7}",
+            r.arm, r.bad_entries, r.worst_entries, r.frozen_steps, r.breakglass_grants, r.steps
+        );
+    }
+    println!();
+    println!("expected shape: the hard check blocks bad entries from good starts");
+    println!("but freezes in dilemmas; the ontology trades worst-class entries");
+    println!("for survivable ones; break-glass escapes are few and audited");
+
+    banner("E2-D", "break-glass trustworthiness under sensor deception (Section VI.B)");
+    println!(
+        "{:<16} {:>10} {:>16} {:>16} {:>8}",
+        "arm", "deceived-p", "wrongful-grants", "rightful-grants", "missed"
+    );
+    for &p in &[0.1f64, 0.3, 0.5] {
+        for arm in E2dArm::all() {
+            let r = run_e2d(arm, 400, p, TABLE_SEED);
+            println!(
+                "{:<16} {:>10.1} {:>16} {:>16} {:>8}",
+                r.arm, p, r.wrongful_grants, r.rightful_grants, r.missed_emergencies
+            );
+        }
+    }
+    println!();
+    println!("expected shape: a lone sensor grants the attacker's fake emergencies");
+    println!("at the deception rate; collusion-robust fusion over 5 sensors (2");
+    println!("attacked) grants none of them and misses no real emergency");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_statecheck");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for arm in E2Arm::all() {
+        group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
+            b.iter(|| run_e2(arm, 16, 80, TABLE_SEED));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

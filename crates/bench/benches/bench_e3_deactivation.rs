@@ -1,0 +1,52 @@
+//! E3 — deactivating machines in bad states (Section VI.C). Regenerates the
+//! containment table over compromise fractions.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_sim::runner::{run_e3, E3Arm};
+
+fn print_table() {
+    banner("E3", "deactivation: containing compromised devices (Section VI.C)");
+    println!(
+        "{:<17} {:>6} {:>7} {:>13} {:>15} {:>13}",
+        "arm", "p", "harms", "contained-at", "healthy-killed", "availability"
+    );
+    for &p in &[0.1f64, 0.3, 0.5] {
+        for arm in E3Arm::all() {
+            let r = run_e3(arm, 12, p, 100, TABLE_SEED);
+            println!(
+                "{:<17} {:>6.1} {:>7} {:>13} {:>15} {:>12.0}%",
+                r.arm,
+                r.p_compromised,
+                r.harms,
+                r.containment_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+                r.healthy_killed,
+                r.availability * 100.0
+            );
+        }
+    }
+    println!();
+    println!("expected shape: containment arms bound harm and contain quickly;");
+    println!("quorum kill avoids single-watcher false kills");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_deactivation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for arm in E3Arm::all() {
+        group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
+            b.iter(|| run_e3(arm, 12, 0.3, 100, TABLE_SEED));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,48 @@
+//! E4 — checks on collection formation (Section VI.D). Regenerates the
+//! emergent-heat table: individually-safe devices, collectively unsafe.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_sim::runner::{run_e4, E4Arm};
+
+fn print_table() {
+    banner("E4", "collection formation: emergent aggregate hazards (Section VI.D)");
+    println!(
+        "{:<28} {:>8} {:>9} {:>8} {:>7} {:>10}",
+        "arm", "devices", "admitted", "refused", "fires", "work-done"
+    );
+    for &n in &[4usize, 6, 8] {
+        for arm in E4Arm::all() {
+            let r = run_e4(arm, n, 2.5, 10.0, 50, TABLE_SEED);
+            println!(
+                "{:<28} {:>8} {:>9} {:>8} {:>7} {:>10.0}",
+                r.arm, n, r.admitted, r.refused, r.aggregate_harms, r.work_done
+            );
+        }
+    }
+    println!();
+    println!("expected shape: fires occur only without checks and only once the");
+    println!("collection is large enough (4 x 2.5 = 10.0 sits exactly at the limit);");
+    println!("collaboration admits everyone yet matches formation-check safety");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_formation");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for arm in E4Arm::all() {
+        group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
+            b.iter(|| run_e4(arm, 6, 2.5, 10.0, 50, TABLE_SEED));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,90 @@
+//! E5 — AI overseeing AI (Section VI.E). Regenerates the tripartite
+//! governance table over corruption levels and times the decision protocol.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_governance::{MetaPolicy, TripartiteGovernor};
+use apdm_policy::Action;
+use apdm_sim::runner::{run_e5, E5Arm};
+use apdm_statespace::StateSchema;
+
+fn print_table() {
+    banner("E5", "AI overseeing AI: 2-of-3 collectives (Section VI.E)");
+    println!(
+        "{:<18} {:>10} {:>13} {:>12} {:>13}",
+        "arm", "corrupted", "mal-executed", "mal-blocked", "false-blocks"
+    );
+    for corrupted in 0..=3usize {
+        for arm in E5Arm::all() {
+            let r = run_e5(arm, corrupted, 400, TABLE_SEED);
+            println!(
+                "{:<18} {:>10} {:>13} {:>12} {:>13}",
+                r.arm, r.corrupted_branches, r.malevolent_executed, r.malevolent_blocked,
+                r.false_blocks
+            );
+        }
+    }
+    println!();
+    println!("expected shape: tripartite holds at 1 corrupted branch, fails at 2");
+    println!("(the paper's own 'two of three prevail' assumption)");
+
+    banner("E5-N", "generalized councils: corruption tolerance of k-of-n (Section VI.E extension)");
+    println!(
+        "{:<10} {:>10} {:>11} {:>13}",
+        "council", "corrupted", "tolerance", "mal-executed"
+    );
+    for &(n, k) in &[(3usize, 2usize), (5, 3), (7, 4)] {
+        for corrupted in 0..=n {
+            use apdm_governance::{CouncilGovernor, Integrity};
+            use apdm_statespace::StateDelta;
+            let scope = MetaPolicy::new().forbid_action("strike-humans");
+            let mut council = CouncilGovernor::new(scope, n, k);
+            for i in 0..corrupted {
+                council.collective_mut(i).set_integrity(Integrity::Compromised);
+            }
+            let schema = StateSchema::builder().var("x", 0.0, 10.0).build();
+            let state = schema.state(&[5.0]).unwrap();
+            for _ in 0..50 {
+                council.decide(&state, &Action::adjust("strike-humans", StateDelta::empty()));
+            }
+            println!(
+                "{:<10} {:>10} {:>11} {:>13}",
+                format!("{k}-of-{n}"),
+                corrupted,
+                council.corruption_tolerance(),
+                council.stats().malevolent_executed
+            );
+        }
+    }
+    println!();
+    println!("expected shape: a k-of-n council tolerates exactly k-1 compromised");
+    println!("collectives — larger councils buy tolerance, which is the paper's");
+    println!("closing 'promising area of investigation' made quantitative");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_governance");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    let schema = StateSchema::builder().var("x", 0.0, 10.0).build();
+    let state = schema.state(&[5.0]).unwrap();
+    let action = Action::adjust("patrol", Default::default());
+    let mut governor =
+        TripartiteGovernor::new(MetaPolicy::new().forbid_action("strike").max_delta_magnitude(2.0));
+    group.bench_function(BenchmarkId::new("decide", "tripartite"), |b| {
+        b.iter(|| governor.decide("fleet", &state, &action, 0));
+    });
+    group.bench_function(BenchmarkId::new("decide", "executive-only"), |b| {
+        b.iter(|| governor.decide_executive_only(&state, &action));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

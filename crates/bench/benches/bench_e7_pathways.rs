@@ -1,0 +1,57 @@
+//! E7 — malevolence pathways (Section IV). Regenerates the
+//! time-to-first-harm table for all seven pathways, guarded and unguarded.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_sim::faults::Pathway;
+use apdm_sim::runner::run_e7;
+
+fn print_table() {
+    banner("E7", "malevolence pathways: time to first harm (Section IV)");
+    println!(
+        "{:<26} {:>10} {:>15} {:>7}",
+        "pathway", "guarded", "first-harm-tick", "harms"
+    );
+    for pathway in Pathway::all() {
+        for guarded in [false, true] {
+            let ticks = if pathway == Pathway::Backdoor && guarded { 600 } else { 100 };
+            let r = run_e7(pathway, guarded, 4, ticks, TABLE_SEED);
+            println!(
+                "{:<26} {:>10} {:>15} {:>7}",
+                r.pathway,
+                r.guarded,
+                r.first_harm_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+                r.harms
+            );
+        }
+    }
+    println!();
+    println!("expected shape: every pathway harms an unguarded fleet; guards stop");
+    println!("all pathways that do not attack the guard layer itself; the backdoor");
+    println!("pathway defeats tamperable guards given enough probing time");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pathways");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for pathway in [Pathway::LearningMistake, Pathway::Backdoor, Pathway::MaliciousActor] {
+        group.bench_with_input(
+            BenchmarkId::new("unguarded", pathway.name()),
+            &pathway,
+            |b, &p| {
+                b.iter(|| run_e7(p, false, 4, 100, TABLE_SEED));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,65 @@
+//! F2 — Figure 2: the abstract device loop. Times one full
+//! sense → decide → act cycle as the installed rule count grows, showing the
+//! ECA engine scales to generated-policy volumes.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::banner;
+use apdm_device::{Actuator, Device, DeviceKind, OrgId, Sensor};
+use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+fn device_with_rules(n_rules: usize) -> Device {
+    let schema = StateSchema::builder().var("temp", 0.0, 100.0).build();
+    let mut builder = Device::builder(1u64, DeviceKind::new("cooler"), OrgId::new("us"))
+        .schema(schema)
+        .sensor(Sensor::new("thermometer", VarId(0)))
+        .actuator(Actuator::new("vent", VarId(0), 50.0));
+    for i in 0..n_rules {
+        // Distinct thresholds so conflict resolution has real work to do.
+        let threshold = (i as f64) * 100.0 / n_rules.max(1) as f64;
+        builder = builder.rule(
+            EcaRule::new(
+                format!("rule-{i}"),
+                Event::pattern("tick"),
+                Condition::state_at_least(VarId(0), threshold),
+                Action::adjust("vent", StateDelta::single(VarId(0), -1.0)),
+            )
+            .with_priority((i % 7) as i32),
+        );
+    }
+    builder.build()
+}
+
+fn print_table() {
+    banner("F2", "device loop: decisions through the ECA engine by rule count");
+    println!("{:<10} {:>14}", "rules", "decision made");
+    for &n in &[1usize, 10, 100, 1000] {
+        let mut d = device_with_rules(n);
+        d.sense(&[(0, 90.0)]);
+        let decided = d.propose(&Event::named("tick")).is_some();
+        println!("{:<10} {:>14}", n, decided);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_device_loop");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    for &n in &[1usize, 10, 100, 1000] {
+        let mut device = device_with_rules(n);
+        device.sense(&[(0, 90.0)]);
+        group.bench_with_input(BenchmarkId::new("step", n), &n, |b, _| {
+            b.iter(|| device.step(&Event::named("tick")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

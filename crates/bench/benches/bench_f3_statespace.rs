@@ -1,0 +1,72 @@
+//! F3 — Figure 3: the state-space partition. Renders the figure, reports the
+//! partition fractions and guarded/unguarded reachability, and times
+//! classification and reachability analysis.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use apdm_bench::banner;
+use apdm_statespace::grid::Grid2;
+use apdm_statespace::reach::{can_reach_bad, guarded_reachable, safe_kernel, VonNeumannMoves};
+use apdm_statespace::{Label, Region, RegionClassifier, StateSchema};
+
+fn setup(n: usize) -> (Grid2, RegionClassifier) {
+    let schema = StateSchema::builder()
+        .var("state-variable-1", 0.0, 10.0)
+        .var("state-variable-2", 0.0, 10.0)
+        .build();
+    let grid = Grid2::new(schema, n, n).expect("valid grid");
+    let classifier = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+    (grid, classifier)
+}
+
+fn print_table() {
+    banner("F3", "simplified state description: partition and reachability");
+    let (grid, classifier) = setup(16);
+    let labels = grid.classify(&classifier);
+    println!("{}", labels.render());
+    let (good, neutral, bad) = labels.fractions();
+    println!("fractions: good={good:.2} neutral={neutral:.2} bad={bad:.2}");
+    println!("good region connected: {}", labels.good_is_connected());
+    let start = grid.cell_of(&grid.schema().midpoint());
+    println!(
+        "unguarded logic can reach a bad state: {}",
+        can_reach_bad(&grid, &labels, &VonNeumannMoves, start)
+    );
+    let reach = guarded_reachable(&grid, &labels, &VonNeumannMoves, start);
+    println!(
+        "guarded logic reaches {} cells (= {} good cells), none bad",
+        reach.count(),
+        labels.count(Label::Good)
+    );
+    let kernel = safe_kernel(&grid, &labels, &VonNeumannMoves);
+    let kernel_size: usize = kernel.iter().flatten().filter(|&&k| k).count();
+    println!("safe kernel size: {kernel_size}");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_statespace");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[32usize, 128] {
+        let (grid, classifier) = setup(n);
+        group.bench_with_input(BenchmarkId::new("classify_grid", n * n), &n, |b, _| {
+            b.iter(|| grid.classify(&classifier));
+        });
+        let labels = grid.classify(&classifier);
+        group.bench_with_input(BenchmarkId::new("guarded_reachability", n * n), &n, |b, _| {
+            b.iter(|| guarded_reachable(&grid, &labels, &VonNeumannMoves, (n / 2, n / 2)));
+        });
+        group.bench_with_input(BenchmarkId::new("safe_kernel", n * n), &n, |b, _| {
+            b.iter(|| safe_kernel(&grid, &labels, &VonNeumannMoves));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

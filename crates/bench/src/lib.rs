@@ -1,0 +1,17 @@
+//! Shared helpers for the apdm benchmark harness.
+//!
+//! Every bench target regenerates one experiment from DESIGN.md §3: it first
+//! prints the experiment's table (the rows recorded in EXPERIMENTS.md), then
+//! runs Criterion timings on a representative configuration. Seeds are fixed
+//! so tables are reproducible run to run.
+
+/// Print a banner naming the experiment, matching EXPERIMENTS.md headings.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("================================================================");
+}
+
+/// The fixed seed every table regeneration uses.
+pub const TABLE_SEED: u64 = 42;

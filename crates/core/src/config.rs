@@ -1,0 +1,206 @@
+use apdm_governance::MetaPolicy;
+use apdm_guards::tamper::TamperStatus;
+use apdm_policy::obligation::ObligationCatalog;
+use apdm_statespace::{ExposureMonitor, PreferenceOntology, Region, VarId};
+
+/// Configuration of the pre-action check (Section VI.A).
+#[derive(Debug, Clone, Default)]
+pub struct PreActionConfig {
+    /// Indirect-harm prediction horizon (0 = direct only).
+    pub lookahead: u32,
+    /// Obligation catalog for hazard mitigation.
+    pub obligations: Option<ObligationCatalog>,
+    /// Tamper status of the check.
+    pub tamper: TamperStatus,
+}
+
+/// Configuration of the state-space check (Section VI.B).
+#[derive(Debug, Clone)]
+pub struct StateCheckConfig {
+    /// The good region (everything else is bad, Figure-3 style).
+    pub good_region: Region,
+    /// Less-bad preference ontology for forced dilemmas.
+    pub ontology: Option<PreferenceOntology>,
+    /// Per-variable risk weights (normalized variables).
+    pub risk_weights: Option<Vec<f64>>,
+    /// Tamper status of the check.
+    pub tamper: TamperStatus,
+}
+
+/// Configuration of bad-state deactivation (Section VI.C).
+#[derive(Debug, Clone)]
+pub struct DeactivationConfig {
+    /// Bad-state observations before deactivation.
+    pub strike_threshold: u32,
+}
+
+/// Configuration of collection-formation checks (Section VI.D).
+#[derive(Debug, Clone)]
+pub struct FormationConfig {
+    /// State variable summed into the collection aggregate.
+    pub aggregate_var: VarId,
+    /// Collection-level limit on the summed variable.
+    pub aggregate_limit: f64,
+    /// Probability the human overrides the offline analysis (0 = perfect).
+    pub human_error_rate: f64,
+}
+
+/// Configuration of tripartite governance (Section VI.E).
+#[derive(Debug, Clone)]
+pub struct GovernanceConfig {
+    /// The meta-policy scope each collective holds a copy of.
+    pub scope: MetaPolicy,
+}
+
+/// The full protection profile: which of the paper's mechanisms are active.
+///
+/// A config with everything `None` is the unguarded baseline; the
+/// [`paper_recommended`](SafetyConfig::paper_recommended) profile enables the
+/// complete Section-VI stack with tamper-proof guards.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyConfig {
+    /// Pre-action checks (VI.A).
+    pub preaction: Option<PreActionConfig>,
+    /// State-space checks (VI.B).
+    pub statecheck: Option<StateCheckConfig>,
+    /// Deactivation (VI.C).
+    pub deactivation: Option<DeactivationConfig>,
+    /// Formation checks (VI.D).
+    pub formation: Option<FormationConfig>,
+    /// AI-overseeing-AI governance (VI.E).
+    pub governance: Option<GovernanceConfig>,
+    /// Cumulative-exposure budgets (Section V's "sequences of states with
+    /// some cumulative effects that are undesirable").
+    pub exposure: Vec<ExposureMonitor>,
+}
+
+impl SafetyConfig {
+    /// The unguarded baseline.
+    pub fn unguarded() -> Self {
+        SafetyConfig::default()
+    }
+
+    /// The paper's full stack for a device whose good states are
+    /// `good_region`: pre-action check with a 20-tick lookahead, state-space
+    /// check, 2-strike deactivation, and an unrestricted-but-present
+    /// governance scope. Formation checks need an aggregate variable and are
+    /// opted into separately via [`with_formation`](Self::with_formation).
+    pub fn paper_recommended(good_region: Region) -> Self {
+        SafetyConfig {
+            preaction: Some(PreActionConfig {
+                lookahead: 20,
+                obligations: None,
+                tamper: TamperStatus::Proof,
+            }),
+            statecheck: Some(StateCheckConfig {
+                good_region,
+                ontology: None,
+                risk_weights: None,
+                tamper: TamperStatus::Proof,
+            }),
+            deactivation: Some(DeactivationConfig { strike_threshold: 2 }),
+            formation: None,
+            governance: Some(GovernanceConfig { scope: MetaPolicy::new() }),
+            exposure: Vec::new(),
+        }
+    }
+
+    /// Enable formation checks (builder style).
+    pub fn with_formation(mut self, var: VarId, limit: f64) -> Self {
+        self.formation = Some(FormationConfig {
+            aggregate_var: var,
+            aggregate_limit: limit,
+            human_error_rate: 0.0,
+        });
+        self
+    }
+
+    /// Enable an obligation catalog on the pre-action check (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pre-action check is configured.
+    pub fn with_obligations(mut self, catalog: ObligationCatalog) -> Self {
+        self.preaction
+            .as_mut()
+            .expect("obligations require a pre-action check")
+            .obligations = Some(catalog);
+        self
+    }
+
+    /// Enable a less-bad ontology on the state check (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no state check is configured.
+    pub fn with_ontology(mut self, ontology: PreferenceOntology) -> Self {
+        self.statecheck
+            .as_mut()
+            .expect("an ontology requires a state check")
+            .ontology = Some(ontology);
+        self
+    }
+
+    /// Restrict the governance scope (builder style).
+    pub fn with_scope(mut self, scope: MetaPolicy) -> Self {
+        self.governance = Some(GovernanceConfig { scope });
+        self
+    }
+
+    /// Add a cumulative-exposure budget (builder style).
+    pub fn with_exposure_budget(mut self, monitor: ExposureMonitor) -> Self {
+        self.exposure.push(monitor);
+        self
+    }
+
+    /// How many of the five Section-VI mechanisms are active.
+    pub fn mechanisms_active(&self) -> usize {
+        [
+            self.preaction.is_some(),
+            self.statecheck.is_some(),
+            self.deactivation.is_some(),
+            self.formation.is_some(),
+            self.governance.is_some(),
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_has_no_mechanisms() {
+        assert_eq!(SafetyConfig::unguarded().mechanisms_active(), 0);
+    }
+
+    #[test]
+    fn paper_recommended_enables_four_of_five() {
+        let c = SafetyConfig::paper_recommended(Region::All);
+        assert_eq!(c.mechanisms_active(), 4);
+        assert!(c.formation.is_none());
+        let with_formation = c.with_formation(VarId(0), 10.0);
+        assert_eq!(with_formation.mechanisms_active(), 5);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let mut ont = PreferenceOntology::new();
+        ont.add_class("any", Region::All);
+        let c = SafetyConfig::paper_recommended(Region::All)
+            .with_ontology(ont)
+            .with_obligations(ObligationCatalog::new())
+            .with_scope(MetaPolicy::new().no_physical());
+        assert!(c.statecheck.as_ref().unwrap().ontology.is_some());
+        assert!(c.preaction.as_ref().unwrap().obligations.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-action")]
+    fn obligations_without_preaction_panic() {
+        let _ = SafetyConfig::unguarded().with_obligations(ObligationCatalog::new());
+    }
+}

@@ -1,0 +1,150 @@
+use apdm_governance::TripartiteGovernor;
+use apdm_guards::{
+    AggregateSpec, DeactivationController, ExposureGuard, FormationGuard, GuardStack,
+    PreActionCheck, StateSpaceGuard,
+};
+use apdm_statespace::{LinearRisk, RegionClassifier};
+
+use crate::SafetyConfig;
+
+/// The factory and owner of the paper's prevention mechanisms.
+///
+/// Per-device mechanisms (VI.A, VI.B) are *minted* per device via
+/// [`stack`](SafetyKernel::stack) — each device gets independent guard
+/// instances, so tampering with one device's guard does not weaken another's.
+/// Fleet-level mechanisms (VI.C, VI.D, VI.E) are minted once per fleet via
+/// the corresponding constructors.
+#[derive(Debug, Clone)]
+pub struct SafetyKernel {
+    config: SafetyConfig,
+}
+
+impl SafetyKernel {
+    /// A kernel for a protection profile.
+    pub fn new(config: SafetyConfig) -> Self {
+        SafetyKernel { config }
+    }
+
+    /// The profile.
+    pub fn config(&self) -> &SafetyConfig {
+        &self.config
+    }
+
+    /// Mint a fresh per-device guard stack (VI.A + VI.B).
+    pub fn stack(&self) -> GuardStack {
+        let mut stack = GuardStack::new();
+        if let Some(pre) = &self.config.preaction {
+            let mut check = PreActionCheck::new()
+                .with_lookahead(pre.lookahead)
+                .with_tamper(pre.tamper);
+            if let Some(catalog) = &pre.obligations {
+                check = check.with_obligations(catalog.clone());
+            }
+            stack = stack.with_preaction(check);
+        }
+        if let Some(sc) = &self.config.statecheck {
+            let classifier = RegionClassifier::new(sc.good_region.clone());
+            let mut guard = StateSpaceGuard::new(classifier).with_tamper(sc.tamper);
+            if let Some(ontology) = &sc.ontology {
+                guard = guard.with_ontology(ontology.clone());
+            }
+            if let Some(weights) = &sc.risk_weights {
+                guard = guard.with_risk(LinearRisk::new(weights.clone(), 0.0));
+            }
+            stack = stack.with_statecheck(guard);
+        }
+        if !self.config.exposure.is_empty() {
+            stack = stack.with_exposure(ExposureGuard::new(self.config.exposure.clone()));
+        }
+        stack
+    }
+
+    /// Mint the fleet's deactivation controller (VI.C), if configured.
+    pub fn deactivation(&self) -> Option<DeactivationController> {
+        let d = self.config.deactivation.as_ref()?;
+        let sc = self.config.statecheck.as_ref()?;
+        Some(DeactivationController::new(
+            RegionClassifier::new(sc.good_region.clone()),
+            d.strike_threshold,
+        ))
+    }
+
+    /// Mint the fleet's formation guard (VI.D), if configured.
+    pub fn formation(&self) -> Option<FormationGuard> {
+        let f = self.config.formation.as_ref()?;
+        Some(
+            FormationGuard::new(AggregateSpec::sum_of(f.aggregate_var, f.aggregate_limit))
+                .with_human_error_rate(f.human_error_rate),
+        )
+    }
+
+    /// Mint the fleet's tripartite governor (VI.E), if configured.
+    pub fn governor(&self) -> Option<TripartiteGovernor> {
+        let g = self.config.governance.as_ref()?;
+        Some(TripartiteGovernor::new(g.scope.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::{Region, VarId};
+
+    #[test]
+    fn unguarded_kernel_mints_empty_stack() {
+        let kernel = SafetyKernel::new(SafetyConfig::unguarded());
+        assert!(kernel.stack().is_empty());
+        assert!(kernel.deactivation().is_none());
+        assert!(kernel.formation().is_none());
+        assert!(kernel.governor().is_none());
+    }
+
+    #[test]
+    fn paper_kernel_mints_full_stack() {
+        let kernel = SafetyKernel::new(
+            SafetyConfig::paper_recommended(Region::rect(&[(0.0, 1.0)]))
+                .with_formation(VarId(0), 5.0),
+        );
+        let stack = kernel.stack();
+        assert!(stack.preaction().is_some());
+        assert!(stack.statecheck().is_some());
+        assert!(kernel.deactivation().is_some());
+        assert!(kernel.formation().is_some());
+        assert!(kernel.governor().is_some());
+    }
+
+    #[test]
+    fn stacks_are_independent_instances() {
+        let kernel =
+            SafetyKernel::new(SafetyConfig::paper_recommended(Region::rect(&[(0.0, 1.0)])));
+        let mut a = kernel.stack();
+        let b = kernel.stack();
+        // Tampering one stack must not affect the other.
+        use apdm_guards::tamper::{TamperStatus, Tamperable};
+        a.preaction_mut().unwrap().set_tamper_status(TamperStatus::Compromised);
+        assert_eq!(b.preaction().unwrap().tamper_status(), TamperStatus::Proof);
+    }
+
+    #[test]
+    fn exposure_budgets_ride_into_the_stack() {
+        use apdm_statespace::ExposureMonitor;
+        let kernel = SafetyKernel::new(
+            SafetyConfig::unguarded()
+                .with_exposure_budget(ExposureMonitor::new(VarId(0), 10.0, 6.0, 1.0)),
+        );
+        let stack = kernel.stack();
+        assert!(!stack.is_empty());
+        assert!(stack.exposure().is_some());
+        assert_eq!(stack.exposure().unwrap().monitors().len(), 1);
+    }
+
+    #[test]
+    fn deactivation_requires_statecheck_region() {
+        // Deactivation classifies states; without a good region there is no
+        // classifier to judge by.
+        let mut config = SafetyConfig::paper_recommended(Region::All);
+        config.statecheck = None;
+        let kernel = SafetyKernel::new(config);
+        assert!(kernel.deactivation().is_none());
+    }
+}

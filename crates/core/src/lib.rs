@@ -1,0 +1,58 @@
+//! Safety kernel and autonomic manager: the paper's full prevention stack
+//! behind one API.
+//!
+//! `apdm-core` composes the substrate crates into the system *How to Prevent
+//! Skynet From Forming* (Calo et al., ICDCS 2018) advocates: generative,
+//! self-managing devices (Section IV) whose every action passes through the
+//! prevention mechanisms of Section VI, with the utility fallback of Section
+//! VII for ill-defined state spaces.
+//!
+//! * [`SafetyConfig`] — a declarative protection profile: which of the
+//!   paper's mechanisms are active and how they are parameterized, with
+//!   [`SafetyConfig::paper_recommended`] enabling the full stack;
+//! * [`SafetyKernel`] — builds per-device guard stacks and owns the
+//!   fleet-level mechanisms (deactivation, formation, governance);
+//! * [`AutonomicManager`] — wraps one [`Device`](apdm_device::Device) and
+//!   runs its complete autonomic loop: sense → generate policies on
+//!   discovery → propose → govern → guard → apply, with auditing.
+//!
+//! # Example
+//!
+//! ```
+//! use apdm_core::{AutonomicManager, SafetyConfig, SafetyKernel};
+//! use apdm_device::{Device, DeviceKind, OrgId};
+//! use apdm_guards::NoHarmOracle;
+//! use apdm_policy::{Action, Condition, EcaRule, Event};
+//! use apdm_statespace::{Region, StateDelta, StateSchema};
+//!
+//! let schema = StateSchema::builder().var("speed", 0.0, 10.0).build();
+//! let config = SafetyConfig::paper_recommended(Region::rect(&[(0.0, 7.0)]));
+//! let kernel = SafetyKernel::new(config);
+//!
+//! let device = Device::builder(1u64, DeviceKind::new("mule"), OrgId::new("us"))
+//!     .schema(schema)
+//!     .rule(EcaRule::new(
+//!         "accelerate",
+//!         Event::pattern("tick"),
+//!         Condition::True,
+//!         Action::adjust("throttle", StateDelta::single(0.into(), 9.0)),
+//!     ))
+//!     .build();
+//! let mut manager = AutonomicManager::new(device, &kernel);
+//!
+//! // The state check stops the device from racing into the bad region.
+//! let outcome = manager.handle(&Event::named("tick"), NoHarmOracle, 1);
+//! assert!(outcome.executed.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod kernel;
+mod manager;
+pub mod prelude;
+
+pub use config::{DeactivationConfig, FormationConfig, GovernanceConfig, PreActionConfig, SafetyConfig, StateCheckConfig};
+pub use kernel::SafetyKernel;
+pub use manager::{AutonomicManager, StepOutcome};

@@ -1,0 +1,22 @@
+//! Convenience re-exports: `use apdm_core::prelude::*` pulls in the types
+//! needed for typical kernel + manager usage.
+
+pub use crate::{AutonomicManager, SafetyConfig, SafetyKernel, StepOutcome};
+
+pub use apdm_device::{Actuator, Device, DeviceId, DeviceKind, OrgId, Sensor};
+pub use apdm_governance::{Integrity, MetaPolicy, TripartiteGovernor};
+pub use apdm_guards::{GuardStack, GuardVerdict, HarmOracle, NoHarmOracle, PreActionCheck, StateSpaceGuard};
+pub use apdm_policy::{Action, Condition, EcaRule, Event, PolicyEngine, PolicySet};
+pub use apdm_statespace::{
+    Classifier, Label, Region, RegionClassifier, State, StateDelta, StateSchema, VarId,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_star_import_compiles() {
+        #[allow(unused_imports)]
+        use super::*;
+        let _ = Region::All;
+    }
+}

@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use apdm_statespace::{StateDelta, VarId};
+
+/// An actuator: the part of a device that changes a state variable (and,
+/// when physical, the world).
+///
+/// Each actuator bounds how far it can move its variable in one invocation
+/// (`max_step`), so a compromised logic cannot command physically impossible
+/// jumps — actuation limits are enforced by the device, not trusted to the
+/// policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actuator {
+    name: String,
+    target: VarId,
+    max_step: f64,
+    physical: bool,
+}
+
+impl Actuator {
+    /// An actuator moving `target` by at most `max_step` per invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_step` is negative or non-finite.
+    pub fn new(name: impl Into<String>, target: VarId, max_step: f64) -> Self {
+        assert!(max_step.is_finite() && max_step >= 0.0, "max_step must be finite and >= 0");
+        Actuator { name: name.into(), target, max_step, physical: false }
+    }
+
+    /// Mark the actuator as affecting the physical world (builder style).
+    pub fn physical(mut self) -> Self {
+        self.physical = true;
+        self
+    }
+
+    /// The actuator's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The state variable it drives.
+    pub fn target(&self) -> VarId {
+        self.target
+    }
+
+    /// Maximum per-invocation movement.
+    pub fn max_step(&self) -> f64 {
+        self.max_step
+    }
+
+    /// Does it change the physical environment?
+    pub fn is_physical(&self) -> bool {
+        self.physical
+    }
+
+    /// Clamp a requested delta to this actuator's physical limits: components
+    /// on the target variable are limited to `±max_step`; components on other
+    /// variables are stripped (an actuator can only move its own variable).
+    pub fn limit(&self, requested: &StateDelta) -> Actuation {
+        let mut clamped = StateDelta::empty();
+        let mut was_limited = false;
+        for &(var, dv) in requested.changes() {
+            if var != self.target {
+                was_limited = true;
+                continue;
+            }
+            let allowed = dv.clamp(-self.max_step, self.max_step);
+            if allowed != dv {
+                was_limited = true;
+            }
+            clamped = clamped.and(var, allowed);
+        }
+        Actuation { actuator: self.name.clone(), delta: clamped, limited: was_limited }
+    }
+}
+
+impl fmt::Display for Actuator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actuator {} -> {} (step <= {})", self.name, self.target, self.max_step)?;
+        if self.physical {
+            write!(f, " [physical]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of limiting a requested delta through an actuator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actuation {
+    /// Name of the actuator that will execute.
+    pub actuator: String,
+    /// The physically realizable delta.
+    pub delta: StateDelta,
+    /// Whether the request had to be limited (signal for diagnostics: the
+    /// logic asked for more than the hardware can do).
+    pub limited: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_limits_passes_through() {
+        let a = Actuator::new("vent", VarId(0), 5.0);
+        let out = a.limit(&StateDelta::single(VarId(0), -3.0));
+        assert_eq!(out.delta, StateDelta::single(VarId(0), -3.0));
+        assert!(!out.limited);
+    }
+
+    #[test]
+    fn oversized_request_is_clamped() {
+        let a = Actuator::new("vent", VarId(0), 5.0);
+        let out = a.limit(&StateDelta::single(VarId(0), -30.0));
+        assert_eq!(out.delta, StateDelta::single(VarId(0), -5.0));
+        assert!(out.limited);
+    }
+
+    #[test]
+    fn foreign_variables_are_stripped() {
+        let a = Actuator::new("vent", VarId(0), 5.0);
+        let req = StateDelta::single(VarId(0), 1.0).and(VarId(1), 9.0);
+        let out = a.limit(&req);
+        assert_eq!(out.delta, StateDelta::single(VarId(0), 1.0));
+        assert!(out.limited);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_step")]
+    fn negative_max_step_rejected() {
+        let _ = Actuator::new("bad", VarId(0), -1.0);
+    }
+
+    #[test]
+    fn physical_flag() {
+        let a = Actuator::new("dig", VarId(0), 1.0).physical();
+        assert!(a.is_physical());
+        assert!(a.to_string().contains("[physical]"));
+    }
+}

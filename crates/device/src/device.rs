@@ -1,0 +1,449 @@
+use std::fmt;
+
+use apdm_policy::{Action, Decision, EcaRule, Event, ObligationTracker, PolicyEngine};
+use apdm_statespace::{State, StateSchema};
+
+use crate::{
+    Actuation, Actuator, Attributes, DeviceId, DeviceKind, DiagnosticCheck, Health, HealthMonitor,
+    Sensor, SensorFault,
+};
+use crate::identity::OrgId;
+
+/// The abstract device of the paper's Figure 2: sensors + actuators + logic
+/// + state, with identity and health.
+///
+/// The device's control loop is deliberately split into **propose** and
+/// **apply** so that guards (crate `apdm-guards`) can interpose between the
+/// logic's decision and its execution — the paper's prevention mechanisms all
+/// live on that seam.
+#[derive(Debug, Clone)]
+pub struct Device {
+    id: DeviceId,
+    kind: DeviceKind,
+    org: OrgId,
+    attributes: Attributes,
+    schema: StateSchema,
+    state: State,
+    sensors: Vec<Sensor>,
+    actuators: Vec<Actuator>,
+    engine: PolicyEngine,
+    monitor: HealthMonitor,
+    health: Health,
+    obligations: ObligationTracker,
+}
+
+impl Device {
+    /// Start building a device.
+    pub fn builder(id: impl Into<DeviceId>, kind: DeviceKind, org: OrgId) -> DeviceBuilder {
+        DeviceBuilder {
+            id: id.into(),
+            kind,
+            org,
+            attributes: Attributes::new(),
+            schema: None,
+            initial: None,
+            sensors: Vec::new(),
+            actuators: Vec::new(),
+            engine: PolicyEngine::new(),
+            monitor: HealthMonitor::default(),
+        }
+    }
+
+    /// The device's id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's kind.
+    pub fn kind(&self) -> &DeviceKind {
+        &self.kind
+    }
+
+    /// The owning organization.
+    pub fn org(&self) -> &OrgId {
+        &self.org
+    }
+
+    /// The device's attributes.
+    pub fn attributes(&self) -> &Attributes {
+        &self.attributes
+    }
+
+    /// Mutable attributes (capability changes, e.g. payload swapped).
+    pub fn attributes_mut(&mut self) -> &mut Attributes {
+        &mut self.attributes
+    }
+
+    /// The state schema.
+    pub fn schema(&self) -> &StateSchema {
+        &self.schema
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// The device's logic.
+    pub fn engine(&self) -> &PolicyEngine {
+        &self.engine
+    }
+
+    /// Mutable logic — how generative policies install rules (Section IV).
+    pub fn engine_mut(&mut self) -> &mut PolicyEngine {
+        &mut self.engine
+    }
+
+    /// The device's sensors.
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// The device's actuators.
+    pub fn actuators(&self) -> &[Actuator] {
+        &self.actuators
+    }
+
+    /// Pending/fulfilled obligations.
+    pub fn obligations(&self) -> &ObligationTracker {
+        &self.obligations
+    }
+
+    /// Mutable obligation tracker.
+    pub fn obligations_mut(&mut self) -> &mut ObligationTracker {
+        &mut self.obligations
+    }
+
+    /// Current health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Is the device able to act?
+    pub fn is_active(&self) -> bool {
+        self.health != Health::Deactivated
+    }
+
+    /// Deactivate the device (Section VI.C). Idempotent.
+    pub fn deactivate(&mut self) {
+        self.health = Health::Deactivated;
+    }
+
+    /// Reactivate a deactivated device (operator action); health is
+    /// re-assessed from diagnostics.
+    pub fn reactivate(&mut self) {
+        self.health = self.monitor.assess(&self.state);
+    }
+
+    /// Feed ground-truth observations through the sensors into the state.
+    /// Each `(sensor_index, truth)` pair is translated by that sensor's fault
+    /// model and clamped into the target variable's bounds.
+    pub fn sense(&mut self, observations: &[(usize, f64)]) {
+        for &(idx, truth) in observations {
+            if let Some(sensor) = self.sensors.get(idx) {
+                let reading = sensor.observe(truth);
+                if let Ok(next) = self.state.with(sensor.target(), reading) {
+                    self.state = next;
+                }
+            }
+        }
+        if self.health != Health::Deactivated {
+            self.health = self.monitor.assess(&self.state);
+        }
+    }
+
+    /// Inject a fault into sensor `idx` (attack modelling); returns false for
+    /// unknown sensors.
+    pub fn fault_sensor(&mut self, idx: usize, fault: SensorFault) -> bool {
+        match self.sensors.get_mut(idx) {
+            Some(s) => {
+                s.inject_fault(fault);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ask the logic what to do about `event`. Returns `None` when the
+    /// device is deactivated or no rule matches.
+    pub fn propose(&self, event: &Event) -> Option<Decision> {
+        if self.health == Health::Deactivated {
+            return None;
+        }
+        self.engine.decide(event, &self.state)
+    }
+
+    /// Execute an action: route its delta through the named actuator (which
+    /// enforces physical limits) and move the state. Actions naming no known
+    /// actuator apply only their non-delta effects (i.e. nothing) — a device
+    /// cannot actuate hardware it does not have. Returns the realized
+    /// actuation, or `None` when deactivated or the actuator is unknown and
+    /// the action carries a delta.
+    pub fn apply(&mut self, action: &Action) -> Option<Actuation> {
+        if self.health == Health::Deactivated {
+            return None;
+        }
+        if action.is_noop() {
+            return Some(Actuation {
+                actuator: "noop".to_string(),
+                delta: Default::default(),
+                limited: false,
+            });
+        }
+        let actuator = self.actuators.iter().find(|a| a.name() == action.name())?;
+        let actuation = actuator.limit(action.delta());
+        self.state = self.state.apply(&actuation.delta);
+        self.health = self.monitor.assess(&self.state);
+        Some(actuation)
+    }
+
+    /// One full Figure-2 loop: sense nothing new, propose on `event`, apply
+    /// the decision. Returns what was done.
+    pub fn step(&mut self, event: &Event) -> Option<Actuation> {
+        let decision = self.propose(event)?;
+        self.apply(decision.action())
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {}) [{}]", self.id, self.kind, self.org, self.health)
+    }
+}
+
+/// Builder for [`Device`] (see [`Device::builder`]).
+#[derive(Debug)]
+pub struct DeviceBuilder {
+    id: DeviceId,
+    kind: DeviceKind,
+    org: OrgId,
+    attributes: Attributes,
+    schema: Option<StateSchema>,
+    initial: Option<Vec<f64>>,
+    sensors: Vec<Sensor>,
+    actuators: Vec<Actuator>,
+    engine: PolicyEngine,
+    monitor: HealthMonitor,
+}
+
+impl DeviceBuilder {
+    /// Set the state schema (required).
+    pub fn schema(mut self, schema: StateSchema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Set the initial state values (defaults to every variable's lower
+    /// bound). Values are clamped into bounds.
+    pub fn initial_state(mut self, values: &[f64]) -> Self {
+        self.initial = Some(values.to_vec());
+        self
+    }
+
+    /// Set an attribute.
+    pub fn attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.set(key, value);
+        self
+    }
+
+    /// Add a sensor.
+    pub fn sensor(mut self, sensor: Sensor) -> Self {
+        self.sensors.push(sensor);
+        self
+    }
+
+    /// Add an actuator.
+    pub fn actuator(mut self, actuator: Actuator) -> Self {
+        self.actuators.push(actuator);
+        self
+    }
+
+    /// Install a policy rule.
+    pub fn rule(mut self, rule: EcaRule) -> Self {
+        self.engine.add_rule(rule);
+        self
+    }
+
+    /// Add a diagnostic check.
+    pub fn diagnostic(mut self, check: DiagnosticCheck) -> Self {
+        self.monitor.add_check(check);
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no schema was provided or the initial state has the wrong
+    /// arity.
+    pub fn build(self) -> Device {
+        let schema = self.schema.expect("Device requires a schema");
+        let state = match self.initial {
+            Some(values) => schema.state_clamped(&values),
+            None => schema.origin(),
+        };
+        let health = self.monitor.assess(&state);
+        Device {
+            id: self.id,
+            kind: self.kind,
+            org: self.org,
+            attributes: self.attributes,
+            schema,
+            state,
+            sensors: self.sensors,
+            actuators: self.actuators,
+            engine: self.engine,
+            monitor: self.monitor,
+            health,
+            obligations: ObligationTracker::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_policy::Condition;
+    use apdm_statespace::{StateDelta, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("alt", 0.0, 100.0).var("batt", 0.0, 1.0).build()
+    }
+
+    fn drone() -> Device {
+        Device::builder(1u64, DeviceKind::new("drone"), OrgId::new("us"))
+            .schema(schema())
+            .initial_state(&[0.0, 1.0])
+            .sensor(Sensor::new("altimeter", VarId(0)))
+            .actuator(Actuator::new("climb", VarId(0), 10.0).physical())
+            .rule(EcaRule::new(
+                "gain-altitude",
+                Event::pattern("threat"),
+                Condition::True,
+                Action::adjust("climb", StateDelta::single(VarId(0), 10.0)).physical(),
+            ))
+            .diagnostic(DiagnosticCheck::new(
+                "battery-ok",
+                Condition::state_at_least(VarId(1), 0.1),
+            ))
+            .build()
+    }
+
+    #[test]
+    fn builder_assembles_everything() {
+        let d = drone();
+        assert_eq!(d.id(), DeviceId(1));
+        assert_eq!(d.kind().name(), "drone");
+        assert_eq!(d.org().name(), "us");
+        assert_eq!(d.sensors().len(), 1);
+        assert_eq!(d.actuators().len(), 1);
+        assert_eq!(d.engine().len(), 1);
+        assert_eq!(d.health(), Health::Operational);
+    }
+
+    #[test]
+    fn propose_apply_moves_state() {
+        let mut d = drone();
+        let decision = d.propose(&Event::named("threat")).unwrap();
+        let actuation = d.apply(decision.action()).unwrap();
+        assert!(!actuation.limited);
+        assert_eq!(d.state().values()[0], 10.0);
+    }
+
+    #[test]
+    fn step_runs_the_whole_loop() {
+        let mut d = drone();
+        assert!(d.step(&Event::named("threat")).is_some());
+        assert!(d.step(&Event::named("unknown-event")).is_none());
+        assert_eq!(d.state().values()[0], 10.0);
+    }
+
+    #[test]
+    fn actuator_limits_are_enforced() {
+        let mut d = drone();
+        let too_big = Action::adjust("climb", StateDelta::single(VarId(0), 50.0));
+        let actuation = d.apply(&too_big).unwrap();
+        assert!(actuation.limited);
+        assert_eq!(d.state().values()[0], 10.0);
+    }
+
+    #[test]
+    fn unknown_actuator_does_nothing() {
+        let mut d = drone();
+        let fire = Action::adjust("fire-missile", StateDelta::single(VarId(0), 1.0));
+        assert!(d.apply(&fire).is_none());
+        assert_eq!(d.state().values()[0], 0.0);
+    }
+
+    #[test]
+    fn noop_always_applies() {
+        let mut d = drone();
+        let act = d.apply(&Action::noop()).unwrap();
+        assert_eq!(act.actuator, "noop");
+    }
+
+    #[test]
+    fn deactivated_device_is_inert() {
+        let mut d = drone();
+        d.deactivate();
+        assert!(!d.is_active());
+        assert!(d.propose(&Event::named("threat")).is_none());
+        assert!(d.apply(&Action::noop()).is_none());
+        d.reactivate();
+        assert_eq!(d.health(), Health::Operational);
+        assert!(d.propose(&Event::named("threat")).is_some());
+    }
+
+    #[test]
+    fn sense_routes_through_fault_model() {
+        let mut d = drone();
+        d.sense(&[(0, 42.0)]);
+        assert_eq!(d.state().values()[0], 42.0);
+        assert!(d.fault_sensor(0, SensorFault::Bias(10.0)));
+        d.sense(&[(0, 42.0)]);
+        assert_eq!(d.state().values()[0], 52.0);
+        assert!(!d.fault_sensor(9, SensorFault::None));
+    }
+
+    #[test]
+    fn sense_updates_health() {
+        let mut d = drone();
+        // Battery sensor is index.. none; set state via a battery sensor.
+        let mut d2 = Device::builder(2u64, DeviceKind::new("drone"), OrgId::new("us"))
+            .schema(schema())
+            .initial_state(&[0.0, 1.0])
+            .sensor(Sensor::new("battmeter", VarId(1)))
+            .diagnostic(DiagnosticCheck::new(
+                "battery-ok",
+                Condition::state_at_least(VarId(1), 0.1),
+            ))
+            .build();
+        d2.sense(&[(0, 0.01)]);
+        assert_eq!(d2.health(), Health::NeedsRepair);
+        // Deactivation is sticky across sensing.
+        d.deactivate();
+        d.sense(&[(0, 1.0)]);
+        assert_eq!(d.health(), Health::Deactivated);
+    }
+
+    #[test]
+    fn initial_state_is_clamped() {
+        let d = Device::builder(3u64, DeviceKind::new("x"), OrgId::new("us"))
+            .schema(schema())
+            .initial_state(&[500.0, 2.0])
+            .build();
+        assert_eq!(d.state().values(), &[100.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a schema")]
+    fn build_without_schema_panics() {
+        let _ = Device::builder(4u64, DeviceKind::new("x"), OrgId::new("us")).build();
+    }
+
+    #[test]
+    fn display_shows_identity_and_health() {
+        let d = drone();
+        assert_eq!(d.to_string(), "dev-1 (drone, us) [operational]");
+    }
+}

@@ -1,0 +1,234 @@
+//! Collusion-robust sensor fusion: defending state assessment against
+//! deception attacks.
+//!
+//! Section VI.B: a device deciding whether to break the glass "must be able
+//! to obtain trustworthy information concerning its own status and the
+//! environment ... This in turn requires the deployment of specialized
+//! techniques to protect devices that typically acquire information by using
+//! sensors (both their own and possibly of other devices) from deception
+//! attacks", citing Rezvani et al.'s collusion-resistant aggregation for
+//! wireless sensor networks (the paper's reference [13]).
+//!
+//! [`TrustFusion`] implements an iteratively reweighted robust aggregate in
+//! that spirit: each round, every reading is weighted by its agreement with
+//! the current estimate; colluding liars drift toward zero weight as long as
+//! they are a minority. The fused reading — not any single sensor — is what
+//! a deception-hardened device writes into its state.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of fusing a set of redundant readings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedReading {
+    /// The robust estimate.
+    pub value: f64,
+    /// Per-reading trust weights in `[0, 1]`, aligned with the input order.
+    pub weights: Vec<f64>,
+    /// Iterations until convergence.
+    pub iterations: u32,
+}
+
+impl FusedReading {
+    /// Indices of readings whose final trust fell below `threshold` — the
+    /// suspected liars, for auditing.
+    pub fn distrusted(&self, threshold: f64) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w < threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Iteratively reweighted robust aggregator for redundant sensor readings.
+///
+/// # Example
+///
+/// ```
+/// use apdm_device::TrustFusion;
+///
+/// let fusion = TrustFusion::new(1.0);
+/// // Five sensors observe a true value of ~10; two collude and report 100.
+/// let readings = [10.1, 9.9, 10.0, 100.0, 100.0];
+/// let fused = fusion.fuse(&readings).unwrap();
+/// assert!((fused.value - 10.0).abs() < 0.5);
+/// assert_eq!(fused.distrusted(0.1), vec![3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustFusion {
+    /// Agreement scale: readings within ~`scale` of the estimate keep high
+    /// trust; beyond a few scales trust decays sharply.
+    scale: f64,
+    max_iterations: u32,
+    tolerance: f64,
+}
+
+impl TrustFusion {
+    /// A fusion with the given agreement scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not finite and positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        TrustFusion { scale, max_iterations: 50, tolerance: 1e-9 }
+    }
+
+    /// The agreement scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Fuse a set of readings; `None` when empty.
+    ///
+    /// Starts from the **median** (already majority-robust) and then
+    /// iterates: weight each reading by `1 / (1 + (d/scale)^2)` where `d` is
+    /// its distance to the current estimate; re-estimate as the weighted
+    /// mean; repeat to convergence.
+    pub fn fuse(&self, readings: &[f64]) -> Option<FusedReading> {
+        if readings.is_empty() {
+            return None;
+        }
+        let mut estimate = median(readings);
+        let mut weights = vec![1.0; readings.len()];
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            for (w, &r) in weights.iter_mut().zip(readings) {
+                let d = (r - estimate) / self.scale;
+                *w = 1.0 / (1.0 + d * d);
+            }
+            let total: f64 = weights.iter().sum();
+            let next = if total > 0.0 {
+                readings
+                    .iter()
+                    .zip(&weights)
+                    .map(|(r, w)| r * w)
+                    .sum::<f64>()
+                    / total
+            } else {
+                estimate
+            };
+            if (next - estimate).abs() < self.tolerance {
+                estimate = next;
+                break;
+            }
+            estimate = next;
+        }
+        // Normalize weights to [0, 1] relative to the most-trusted reading.
+        let max_w = weights.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+        for w in &mut weights {
+            *w /= max_w;
+        }
+        Some(FusedReading { value: estimate, weights, iterations })
+    }
+}
+
+impl fmt::Display for TrustFusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trust fusion (scale {})", self.scale)
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sensor, SensorFault};
+    use apdm_statespace::VarId;
+
+    #[test]
+    fn unanimous_readings_fuse_exactly() {
+        let fusion = TrustFusion::new(1.0);
+        let fused = fusion.fuse(&[5.0, 5.0, 5.0]).unwrap();
+        assert!((fused.value - 5.0).abs() < 1e-9);
+        assert!(fused.weights.iter().all(|&w| (w - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_readings_fuse_to_none() {
+        assert!(TrustFusion::new(1.0).fuse(&[]).is_none());
+    }
+
+    #[test]
+    fn single_outlier_is_rejected() {
+        let fusion = TrustFusion::new(1.0);
+        let fused = fusion.fuse(&[10.0, 10.2, 9.8, 55.0]).unwrap();
+        assert!((fused.value - 10.0).abs() < 0.2);
+        assert_eq!(fused.distrusted(0.05), vec![3]);
+    }
+
+    #[test]
+    fn minority_collusion_is_defeated() {
+        // 2 of 5 sensors collude on a consistent lie — the attack the
+        // paper's reference [13] targets. Naive averaging would report 46.
+        let fusion = TrustFusion::new(1.0);
+        let fused = fusion.fuse(&[10.1, 9.9, 10.0, 100.0, 100.0]).unwrap();
+        assert!((fused.value - 10.0).abs() < 0.5);
+        let naive: f64 = [10.1, 9.9, 10.0, 100.0, 100.0].iter().sum::<f64>() / 5.0;
+        assert!(naive > 40.0, "naive averaging is fooled");
+    }
+
+    #[test]
+    fn majority_collusion_wins_as_it_must() {
+        // 3 of 5 collude: no aggregator can recover the truth without other
+        // information — the honest sensors are now the "outliers".
+        let fusion = TrustFusion::new(1.0);
+        let fused = fusion.fuse(&[10.0, 10.0, 100.0, 100.0, 100.0]).unwrap();
+        assert!((fused.value - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fusion_with_device_sensor_faults() {
+        // End-to-end with the sensor fault model: three redundant sensors,
+        // one stuck high by an attacker.
+        let truth = 20.0;
+        let mut sensors = [Sensor::new("a", VarId(0)),
+            Sensor::new("b", VarId(0)),
+            Sensor::new("c", VarId(0))];
+        sensors[2].inject_fault(SensorFault::StuckAt(99.0));
+        let readings: Vec<f64> = sensors.iter().map(|s| s.observe(truth)).collect();
+        let fused = TrustFusion::new(1.0).fuse(&readings).unwrap();
+        assert!((fused.value - truth).abs() < 0.5);
+        assert_eq!(fused.distrusted(0.05), vec![2]);
+    }
+
+    #[test]
+    fn spread_honest_readings_average() {
+        let fusion = TrustFusion::new(2.0);
+        let fused = fusion.fuse(&[9.0, 10.0, 11.0]).unwrap();
+        assert!((fused.value - 10.0).abs() < 0.1);
+        assert!(fused.distrusted(0.3).is_empty());
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let fusion = TrustFusion::new(1.0);
+        let fused = fusion.fuse(&[1.0, 1.1, 0.9, 50.0]).unwrap();
+        assert!(fused.iterations < 30, "took {} iterations", fused.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn invalid_scale_rejected() {
+        let _ = TrustFusion::new(0.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -1,0 +1,172 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use apdm_policy::{Condition, Event};
+use apdm_statespace::State;
+
+/// Operational health of a device.
+///
+/// Section V: "some of the states of the device reflect its normal operation,
+/// while others are ones in which the device needs attention or repair."
+/// `Deactivated` additionally models Section VI.C's kill mechanism: a
+/// deactivated device proposes no actions until reactivated by an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Health {
+    /// Normal operation.
+    Operational,
+    /// Diagnostics failed; the device should seek repair.
+    NeedsRepair,
+    /// Deactivated by a guard or operator (Section VI.C).
+    Deactivated,
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Health::Operational => "operational",
+            Health::NeedsRepair => "needs-repair",
+            Health::Deactivated => "deactivated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named diagnostic: a condition over the device state that must hold for
+/// the device to count as healthy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticCheck {
+    name: String,
+    must_hold: Condition,
+}
+
+impl DiagnosticCheck {
+    /// A diagnostic requiring `must_hold` to be true of the device state.
+    pub fn new(name: impl Into<String>, must_hold: Condition) -> Self {
+        DiagnosticCheck { name: name.into(), must_hold }
+    }
+
+    /// The diagnostic's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Does the diagnostic pass in `state`?
+    pub fn passes(&self, state: &State) -> bool {
+        // Diagnostics are state-only; evaluate with a neutral probe event.
+        self.must_hold.eval(&Event::named("diagnostic-probe"), state)
+    }
+}
+
+/// Runs a suite of diagnostics and derives [`Health`].
+///
+/// # Example
+///
+/// ```
+/// use apdm_device::{DiagnosticCheck, Health, HealthMonitor};
+/// use apdm_policy::Condition;
+/// use apdm_statespace::StateSchema;
+///
+/// let schema = StateSchema::builder().var("battery", 0.0, 1.0).build();
+/// let monitor = HealthMonitor::new(vec![DiagnosticCheck::new(
+///     "battery-ok",
+///     Condition::state_at_least(0.into(), 0.1),
+/// )]);
+/// let full = schema.state(&[0.9]).unwrap();
+/// let dead = schema.state(&[0.01]).unwrap();
+/// assert_eq!(monitor.assess(&full), Health::Operational);
+/// assert_eq!(monitor.assess(&dead), Health::NeedsRepair);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    checks: Vec<DiagnosticCheck>,
+}
+
+impl HealthMonitor {
+    /// A monitor running the given checks.
+    pub fn new(checks: Vec<DiagnosticCheck>) -> Self {
+        HealthMonitor { checks }
+    }
+
+    /// Add a check.
+    pub fn add_check(&mut self, check: DiagnosticCheck) {
+        self.checks.push(check);
+    }
+
+    /// The installed checks.
+    pub fn checks(&self) -> &[DiagnosticCheck] {
+        &self.checks
+    }
+
+    /// Names of checks failing in `state`.
+    pub fn failing<'a>(&'a self, state: &State) -> Vec<&'a str> {
+        self.checks
+            .iter()
+            .filter(|c| !c.passes(state))
+            .map(|c| c.name())
+            .collect()
+    }
+
+    /// Health implied by the diagnostics (never returns `Deactivated`;
+    /// deactivation is an external decision, not a diagnostic outcome).
+    pub fn assess(&self, state: &State) -> Health {
+        if self.failing(state).is_empty() {
+            Health::Operational
+        } else {
+            Health::NeedsRepair
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::{StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("batt", 0.0, 1.0).var("temp", 0.0, 100.0).build()
+    }
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(vec![
+            DiagnosticCheck::new("battery-ok", Condition::state_at_least(VarId(0), 0.1)),
+            DiagnosticCheck::new("not-overheating", Condition::state_at_most(VarId(1), 90.0)),
+        ])
+    }
+
+    #[test]
+    fn all_passing_is_operational() {
+        let m = monitor();
+        let s = schema().state(&[0.5, 40.0]).unwrap();
+        assert_eq!(m.assess(&s), Health::Operational);
+        assert!(m.failing(&s).is_empty());
+    }
+
+    #[test]
+    fn any_failure_needs_repair() {
+        let m = monitor();
+        let s = schema().state(&[0.5, 95.0]).unwrap();
+        assert_eq!(m.assess(&s), Health::NeedsRepair);
+        assert_eq!(m.failing(&s), vec!["not-overheating"]);
+    }
+
+    #[test]
+    fn multiple_failures_all_reported() {
+        let m = monitor();
+        let s = schema().state(&[0.0, 99.0]).unwrap();
+        assert_eq!(m.failing(&s).len(), 2);
+    }
+
+    #[test]
+    fn empty_monitor_is_always_operational() {
+        let m = HealthMonitor::default();
+        let s = schema().state(&[0.0, 100.0]).unwrap();
+        assert_eq!(m.assess(&s), Health::Operational);
+    }
+
+    #[test]
+    fn health_display() {
+        assert_eq!(Health::Operational.to_string(), "operational");
+        assert_eq!(Health::NeedsRepair.to_string(), "needs-repair");
+        assert_eq!(Health::Deactivated.to_string(), "deactivated");
+    }
+}

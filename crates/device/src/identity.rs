@@ -1,0 +1,200 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a device within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u64);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev-{}", self.0)
+    }
+}
+
+impl From<u64> for DeviceId {
+    fn from(value: u64) -> Self {
+        DeviceId(value)
+    }
+}
+
+/// The type of a device ("drone", "mule", "chem-sensor-drone", ...).
+///
+/// Interaction graphs (Section IV) are keyed by device kind: a human tells a
+/// device "what the device can expect to see in its environment, in
+/// particular the other types of devices that would be encountered and their
+/// attributes".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceKind(String);
+
+impl DeviceKind {
+    /// Create a kind from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DeviceKind(name.into())
+    }
+
+    /// The kind's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DeviceKind {
+    fn from(value: &str) -> Self {
+        DeviceKind::new(value)
+    }
+}
+
+/// The organization (coalition member) owning a device.
+///
+/// Multi-organizational reach is one of the six Skynet properties (Section
+/// III): "a multi-organization system can use resources from other systems,
+/// and bring them under its own control".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OrgId(String);
+
+impl OrgId {
+    /// Create an organization id from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        OrgId(name.into())
+    }
+
+    /// The organization's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for OrgId {
+    fn from(value: &str) -> Self {
+        OrgId::new(value)
+    }
+}
+
+/// Free-form key/value attributes describing a device's capabilities
+/// ("chemical-sensor=true", "payload=lethal", ...). Generative policies
+/// specialize on these (Section IV: "learn the relationship between the
+/// attributes they see among the devices").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Attributes {
+    entries: Vec<(String, String)>,
+}
+
+impl Attributes {
+    /// An empty attribute map.
+    pub fn new() -> Self {
+        Attributes::default()
+    }
+
+    /// Set an attribute, replacing any existing value; returns the previous
+    /// value if one existed.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        let key = key.into();
+        let value = value.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut entry.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up an attribute.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Does the device have `key` set to `value`?
+    pub fn has(&self, key: &str, value: &str) -> bool {
+        self.get(key) == Some(value)
+    }
+
+    /// Iterate attributes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Do all of `required`'s attributes appear here with equal values?
+    /// (Attribute-pattern matching used by interaction graphs.)
+    pub fn satisfies(&self, required: &Attributes) -> bool {
+        required.iter().all(|(k, v)| self.get(k) == Some(v))
+    }
+}
+
+impl FromIterator<(String, String)> for Attributes {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        let mut attrs = Attributes::new();
+        for (k, v) in iter {
+            attrs.set(k, v);
+        }
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DeviceId(3).to_string(), "dev-3");
+        assert_eq!(DeviceKind::new("drone").to_string(), "drone");
+        assert_eq!(OrgId::new("uk").to_string(), "uk");
+    }
+
+    #[test]
+    fn attributes_set_get_replace() {
+        let mut a = Attributes::new();
+        assert_eq!(a.set("sensor", "chem"), None);
+        assert_eq!(a.set("sensor", "radio"), Some("chem".to_string()));
+        assert_eq!(a.get("sensor"), Some("radio"));
+        assert_eq!(a.len(), 1);
+        assert!(a.has("sensor", "radio"));
+        assert!(!a.has("sensor", "chem"));
+    }
+
+    #[test]
+    fn satisfies_requires_subset_match() {
+        let dev: Attributes = vec![
+            ("sensor".to_string(), "chem".to_string()),
+            ("payload".to_string(), "none".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        let mut req = Attributes::new();
+        req.set("sensor", "chem");
+        assert!(dev.satisfies(&req));
+        req.set("payload", "lethal");
+        assert!(!dev.satisfies(&req));
+        assert!(dev.satisfies(&Attributes::new()));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut a = Attributes::new();
+        a.set("b", "2");
+        a.set("a", "1");
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+    }
+}

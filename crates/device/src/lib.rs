@@ -1,0 +1,69 @@
+//! Abstract device model: sensors, actuators, logic and state.
+//!
+//! Implements Figure 2 of *How to Prevent Skynet From Forming* (Calo et al.,
+//! ICDCS 2018): "Any device can be viewed as a set of sensors and actuators
+//! which has logic dictating its behavior under different circumstances ...
+//! When an event occurs ... the logic used within the device looks at the
+//! current state and the inbound event, and then takes an action. The result
+//! of the action, which may invoke an actuator, effectively moves the device
+//! to another state."
+//!
+//! A [`Device`] owns:
+//!
+//! * an identity: [`DeviceId`], [`DeviceKind`], owning [`OrgId`] and
+//!   free-form [`Attributes`] (the attributes that interaction graphs match
+//!   on in Section IV);
+//! * a [`State`](apdm_statespace::State) over a
+//!   [`StateSchema`](apdm_statespace::StateSchema);
+//! * [`Sensor`]s that write environment observations into state variables
+//!   (with noise/bias models so deception attacks are expressible);
+//! * [`Actuator`]s that actions invoke, each bounding how fast it can move
+//!   its state variable and whether it touches the physical world;
+//! * logic: a [`PolicyEngine`](apdm_policy::PolicyEngine) over ECA rules;
+//! * [`Health`] driven by diagnostic checks ("the good states (normal
+//!   operation) and the bad states (need repair) can be identified by a set
+//!   of conditions (e.g., the results of a set of diagnostic checks)").
+//!
+//! Participates in experiments **F1**, **F2** and as the substrate of every
+//! fleet experiment (DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use apdm_device::{Actuator, Device, DeviceKind, OrgId};
+//! use apdm_policy::{Action, Condition, EcaRule, Event};
+//! use apdm_statespace::{StateDelta, StateSchema};
+//!
+//! let schema = StateSchema::builder().var("altitude", 0.0, 100.0).build();
+//! let mut drone = Device::builder(1, DeviceKind::new("drone"), OrgId::new("us"))
+//!     .schema(schema)
+//!     .actuator(Actuator::new("climb", 0.into(), 10.0).physical())
+//!     .rule(EcaRule::new(
+//!         "gain-altitude",
+//!         Event::pattern("threat"),
+//!         Condition::True,
+//!         Action::adjust("climb", StateDelta::single(0.into(), 10.0)).physical(),
+//!     ))
+//!     .build();
+//!
+//! let decision = drone.propose(&Event::named("threat")).unwrap();
+//! drone.apply(decision.action());
+//! assert_eq!(drone.state().values()[0], 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actuator;
+mod device;
+mod fusion;
+mod health;
+mod identity;
+mod sensor;
+
+pub use actuator::{Actuation, Actuator};
+pub use device::{Device, DeviceBuilder};
+pub use fusion::{FusedReading, TrustFusion};
+pub use health::{DiagnosticCheck, Health, HealthMonitor};
+pub use identity::{Attributes, DeviceId, DeviceKind, OrgId};
+pub use sensor::{Sensor, SensorFault};

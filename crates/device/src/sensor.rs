@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use apdm_statespace::VarId;
+
+/// A fault or attack applied to a sensor's readings.
+///
+/// Section VI.B requires "specialized techniques to protect devices that
+/// typically acquire information by using sensors ... from deception
+/// attacks"; modelling the attack side lets experiments measure what happens
+/// when that protection is absent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SensorFault {
+    /// The sensor reports truthfully.
+    #[default]
+    None,
+    /// A constant offset is added to every reading (calibration drift or
+    /// low-effort spoofing).
+    Bias(f64),
+    /// Readings are frozen at a fixed value (stuck-at fault, replay attack).
+    StuckAt(f64),
+    /// Readings are scaled (gain attack: makes threats look smaller/larger).
+    Gain(f64),
+}
+
+
+/// A sensor: observes one physical quantity and writes it into one state
+/// variable, possibly corrupted by a [`SensorFault`].
+///
+/// # Example
+///
+/// ```
+/// use apdm_device::{Sensor, SensorFault};
+///
+/// let mut s = Sensor::new("thermo", 0.into());
+/// assert_eq!(s.observe(21.5), 21.5);
+/// s.inject_fault(SensorFault::Bias(5.0));
+/// assert_eq!(s.observe(21.5), 26.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensor {
+    name: String,
+    target: VarId,
+    fault: SensorFault,
+}
+
+impl Sensor {
+    /// A healthy sensor feeding `target`.
+    pub fn new(name: impl Into<String>, target: VarId) -> Self {
+        Sensor { name: name.into(), target, fault: SensorFault::None }
+    }
+
+    /// The sensor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The state variable this sensor feeds.
+    pub fn target(&self) -> VarId {
+        self.target
+    }
+
+    /// The active fault.
+    pub fn fault(&self) -> SensorFault {
+        self.fault
+    }
+
+    /// Inject (or clear, with [`SensorFault::None`]) a fault.
+    pub fn inject_fault(&mut self, fault: SensorFault) {
+        self.fault = fault;
+    }
+
+    /// Is the sensor currently faulted?
+    pub fn is_faulted(&self) -> bool {
+        self.fault != SensorFault::None
+    }
+
+    /// Transform a ground-truth value into the reported reading.
+    pub fn observe(&self, truth: f64) -> f64 {
+        match self.fault {
+            SensorFault::None => truth,
+            SensorFault::Bias(b) => truth + b,
+            SensorFault::StuckAt(v) => v,
+            SensorFault::Gain(g) => truth * g,
+        }
+    }
+}
+
+impl fmt::Display for Sensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sensor {} -> {}", self.name, self.target)?;
+        if self.is_faulted() {
+            write!(f, " (faulted)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_sensor_is_truthful() {
+        let s = Sensor::new("t", VarId(0));
+        assert_eq!(s.observe(3.25), 3.25);
+        assert!(!s.is_faulted());
+    }
+
+    #[test]
+    fn bias_shifts_readings() {
+        let mut s = Sensor::new("t", VarId(0));
+        s.inject_fault(SensorFault::Bias(-2.0));
+        assert_eq!(s.observe(10.0), 8.0);
+        assert!(s.is_faulted());
+    }
+
+    #[test]
+    fn stuck_at_ignores_truth() {
+        let mut s = Sensor::new("t", VarId(0));
+        s.inject_fault(SensorFault::StuckAt(1.0));
+        assert_eq!(s.observe(0.0), 1.0);
+        assert_eq!(s.observe(100.0), 1.0);
+    }
+
+    #[test]
+    fn gain_scales_readings() {
+        let mut s = Sensor::new("t", VarId(0));
+        s.inject_fault(SensorFault::Gain(0.5));
+        assert_eq!(s.observe(10.0), 5.0);
+    }
+
+    #[test]
+    fn clearing_fault_restores_truth() {
+        let mut s = Sensor::new("t", VarId(0));
+        s.inject_fault(SensorFault::Bias(9.0));
+        s.inject_fault(SensorFault::None);
+        assert_eq!(s.observe(1.0), 1.0);
+    }
+
+    #[test]
+    fn display_marks_faults() {
+        let mut s = Sensor::new("t", VarId(2));
+        assert_eq!(s.to_string(), "sensor t -> x2");
+        s.inject_fault(SensorFault::StuckAt(0.0));
+        assert!(s.to_string().contains("faulted"));
+    }
+}

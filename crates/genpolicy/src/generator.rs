@@ -1,0 +1,253 @@
+use std::collections::BTreeMap;
+
+use apdm_device::Attributes;
+use apdm_policy::{EcaRule, PolicySet};
+
+use crate::{InteractionGraph, PolicyGrammar, PolicyTemplate, TemplateContext};
+
+/// The generative policy engine of Section IV: interaction graph + per-
+/// interaction templates (plus an optional grammar for exploratory
+/// generation), producing policies as peers are discovered.
+///
+/// "Based on these two classes of information, devices discover other devices
+/// in the system and decide on the policies to be used in their interaction
+/// with those devices."
+///
+/// # Example
+///
+/// ```
+/// use apdm_genpolicy::{InteractionGraph, KindSpec, PolicyGenerator, PolicyTemplate};
+/// use apdm_policy::{Action, Condition};
+/// use apdm_device::Attributes;
+///
+/// let mut graph = InteractionGraph::new();
+/// graph.add_kind(KindSpec::new("drone"));
+/// graph.add_kind(KindSpec::new("mule"));
+/// graph.add_interaction("drone", "mule", "dispatch");
+///
+/// let mut generator = PolicyGenerator::new("drone", graph);
+/// generator.template_for(
+///     "dispatch",
+///     PolicyTemplate::new(
+///         "dispatch-{peer}",
+///         "convoy-sighted",
+///         Condition::True,
+///         Action::adjust("radio-{interaction}-{peer}", Default::default()),
+///     ),
+/// );
+///
+/// let rules = generator.on_discovery("mule", "uk", &Attributes::new());
+/// assert_eq!(rules.len(), 1);
+/// assert_eq!(rules[0].name(), "dispatch-mule");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyGenerator {
+    observer_kind: String,
+    graph: InteractionGraph,
+    templates: BTreeMap<String, PolicyTemplate>,
+    grammar: Option<PolicyGrammar>,
+    generated: PolicySet,
+    unexpected_peers: Vec<String>,
+}
+
+impl PolicyGenerator {
+    /// A generator for a device of `observer_kind` with the given interaction
+    /// graph.
+    pub fn new(observer_kind: impl Into<String>, graph: InteractionGraph) -> Self {
+        let observer_kind = observer_kind.into();
+        PolicyGenerator {
+            generated: PolicySet::new(format!("generated-by-{observer_kind}")),
+            observer_kind,
+            graph,
+            templates: BTreeMap::new(),
+            grammar: None,
+            unexpected_peers: Vec::new(),
+        }
+    }
+
+    /// Register the template used for an interaction name.
+    pub fn template_for(&mut self, interaction: impl Into<String>, template: PolicyTemplate) {
+        self.templates.insert(interaction.into(), template);
+    }
+
+    /// Attach a grammar for exploratory generation (see
+    /// [`explore`](Self::explore)).
+    pub fn set_grammar(&mut self, grammar: PolicyGrammar) {
+        self.grammar = Some(grammar);
+    }
+
+    /// The interaction graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+
+    /// Everything generated so far.
+    pub fn generated(&self) -> &PolicySet {
+        &self.generated
+    }
+
+    /// Kinds seen that matched no expected kind spec — the "environment
+    /// differs from the human's description" signal.
+    pub fn unexpected_peers(&self) -> &[String] {
+        &self.unexpected_peers
+    }
+
+    /// React to discovering a peer: match it against the interaction graph,
+    /// instantiate the template of every relevant interaction, record and
+    /// return the (deduplicated) new rules.
+    pub fn on_discovery(&mut self, peer_kind: &str, peer_org: &str, attrs: &Attributes) -> Vec<EcaRule> {
+        let Some(spec) = self.graph.recognize(peer_kind, attrs) else {
+            if !self.unexpected_peers.iter().any(|k| k == peer_kind) {
+                self.unexpected_peers.push(peer_kind.to_string());
+            }
+            return Vec::new();
+        };
+        let spec_kind = spec.kind().to_string();
+        let mut new_rules = Vec::new();
+        let interactions: Vec<(String, String)> = self
+            .graph
+            .relevant_interactions(&self.observer_kind, &spec_kind)
+            .into_iter()
+            .map(|e| (e.interaction.clone(), e.from.clone()))
+            .collect();
+        for (interaction, _from) in interactions {
+            let Some(template) = self.templates.get(&interaction) else { continue };
+            let ctx = TemplateContext::new(
+                self.observer_kind.clone(),
+                spec_kind.clone(),
+                peer_org.to_string(),
+                interaction.clone(),
+            );
+            let rule = template.instantiate(&ctx);
+            if !self.generated.rules().iter().any(|r| r.equivalent(&rule)) {
+                self.generated.push(rule.clone());
+                new_rules.push(rule);
+            }
+        }
+        new_rules
+    }
+
+    /// Exploratory generation from the grammar: derive `n` sampled rules
+    /// (deduplicated against everything generated so far). This is the
+    /// Section IV extension where devices "augment the information provided
+    /// by the human manager on their own" — the step that widens behaviour
+    /// beyond human anticipation.
+    pub fn explore(&mut self, n: usize, seed: u64) -> Vec<EcaRule> {
+        let Some(grammar) = &self.grammar else { return Vec::new() };
+        let mut out = Vec::new();
+        for rule in grammar.sample(n, seed) {
+            if !self.generated.rules().iter().any(|r| r.equivalent(&rule)) {
+                self.generated.push(rule.clone());
+                out.push(rule);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActionForm, ConditionForm, KindSpec};
+    use apdm_policy::{Action, Condition};
+
+    fn generator() -> PolicyGenerator {
+        let mut graph = InteractionGraph::new();
+        graph.add_kind(KindSpec::new("drone"));
+        graph.add_kind(KindSpec::new("mule"));
+        graph.add_kind(KindSpec::new("chem-drone").requires("sensor", "chemical"));
+        graph.add_interaction("drone", "mule", "dispatch");
+        graph.add_interaction("drone", "chem-drone", "dispatch");
+        graph.add_interaction("mule", "drone", "report-to");
+        let mut g = PolicyGenerator::new("drone", graph);
+        g.template_for(
+            "dispatch",
+            PolicyTemplate::new(
+                "dispatch-{peer}",
+                "sighting",
+                Condition::True,
+                Action::adjust("radio-dispatch-{peer}", Default::default()),
+            ),
+        );
+        g.template_for(
+            "report-to",
+            PolicyTemplate::new(
+                "accept-report-{peer}",
+                "report",
+                Condition::True,
+                Action::adjust("log-report", Default::default()),
+            ),
+        );
+        g
+    }
+
+    #[test]
+    fn discovery_generates_per_interaction() {
+        let mut g = generator();
+        let rules = g.on_discovery("mule", "uk", &Attributes::new());
+        // drone->mule dispatch AND mule->drone report-to are both relevant.
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().all(|r| r.is_generated()));
+        assert_eq!(g.generated().len(), 2);
+    }
+
+    #[test]
+    fn rediscovery_is_deduplicated() {
+        let mut g = generator();
+        g.on_discovery("mule", "uk", &Attributes::new());
+        let again = g.on_discovery("mule", "uk", &Attributes::new());
+        assert!(again.is_empty());
+        assert_eq!(g.generated().len(), 2);
+    }
+
+    #[test]
+    fn attr_gated_kinds_need_attrs() {
+        let mut g = generator();
+        let none = g.on_discovery("chem-drone", "us", &Attributes::new());
+        assert!(none.is_empty());
+        assert_eq!(g.unexpected_peers(), &["chem-drone".to_string()]);
+        let mut attrs = Attributes::new();
+        attrs.set("sensor", "chemical");
+        let rules = g.on_discovery("chem-drone", "us", &attrs);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].name(), "dispatch-chem-drone");
+    }
+
+    #[test]
+    fn unknown_kinds_are_recorded_once() {
+        let mut g = generator();
+        g.on_discovery("submarine", "us", &Attributes::new());
+        g.on_discovery("submarine", "us", &Attributes::new());
+        assert_eq!(g.unexpected_peers().len(), 1);
+    }
+
+    #[test]
+    fn missing_template_generates_nothing_for_that_interaction() {
+        let mut graph = InteractionGraph::new();
+        graph.add_kind(KindSpec::new("drone"));
+        graph.add_kind(KindSpec::new("mule"));
+        graph.add_interaction("drone", "mule", "exotic-interaction");
+        let mut g = PolicyGenerator::new("drone", graph);
+        assert!(g.on_discovery("mule", "uk", &Attributes::new()).is_empty());
+    }
+
+    #[test]
+    fn explore_samples_grammar_with_dedup() {
+        let mut g = generator();
+        g.set_grammar(
+            PolicyGrammar::new()
+                .event("overheat")
+                .condition(ConditionForm::Always)
+                .action(ActionForm::Signal("vent".into())),
+        );
+        let first = g.explore(5, 1);
+        assert_eq!(first.len(), 1, "single-point space dedups to one rule");
+        assert!(g.explore(5, 2).is_empty());
+    }
+
+    #[test]
+    fn explore_without_grammar_is_empty() {
+        let mut g = generator();
+        assert!(g.explore(10, 0).is_empty());
+    }
+}

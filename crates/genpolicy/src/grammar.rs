@@ -1,0 +1,313 @@
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use apdm_policy::{Action, Cmp, Condition, EcaRule, Event};
+use apdm_statespace::{StateDelta, VarId};
+
+/// A production for the condition part of a generated rule.
+///
+/// The grammar is deliberately a *restricted* generative space — a finite
+/// event × condition × action product — rather than an unrestricted term
+/// grammar: Section IV's generator grammars direct "what kinds of policies
+/// [the device] should generate", and bounding the space is itself a safety
+/// property (an unbounded grammar is how a device invents behaviours nobody
+/// anticipated; see experiment E7's "mistakes in learning" pathway).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConditionForm {
+    /// No condition: fire on every matching event.
+    Always,
+    /// `state[var] >= t` for each threshold choice `t`.
+    VarAtLeast(VarId, Vec<f64>),
+    /// `state[var] <= t` for each threshold choice `t`.
+    VarAtMost(VarId, Vec<f64>),
+    /// `event[key] == value` for each value choice.
+    EventEquals(String, Vec<String>),
+}
+
+impl ConditionForm {
+    /// Number of concrete conditions this form expands to.
+    pub fn arity(&self) -> usize {
+        match self {
+            ConditionForm::Always => 1,
+            ConditionForm::VarAtLeast(_, ts) | ConditionForm::VarAtMost(_, ts) => ts.len(),
+            ConditionForm::EventEquals(_, vs) => vs.len(),
+        }
+    }
+
+    /// The `i`-th concrete condition (i < arity).
+    fn expand(&self, i: usize) -> Condition {
+        match self {
+            ConditionForm::Always => Condition::True,
+            ConditionForm::VarAtLeast(var, ts) => Condition::StateCmp {
+                var: *var,
+                op: Cmp::Ge,
+                value: ts[i],
+            },
+            ConditionForm::VarAtMost(var, ts) => Condition::StateCmp {
+                var: *var,
+                op: Cmp::Le,
+                value: ts[i],
+            },
+            ConditionForm::EventEquals(key, vs) => Condition::event_text(key.clone(), vs[i].clone()),
+        }
+    }
+}
+
+/// A production for the action part of a generated rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActionForm {
+    /// Invoke `actuator`, moving `var` by each step choice.
+    Invoke {
+        /// Actuator name.
+        actuator: String,
+        /// Variable the delta moves.
+        var: VarId,
+        /// Step-size choices.
+        steps: Vec<f64>,
+        /// Does the action touch the physical world?
+        physical: bool,
+    },
+    /// Emit a named signal (delta-free action, e.g. "radio-report").
+    Signal(String),
+}
+
+impl ActionForm {
+    /// Number of concrete actions this form expands to.
+    pub fn arity(&self) -> usize {
+        match self {
+            ActionForm::Invoke { steps, .. } => steps.len(),
+            ActionForm::Signal(_) => 1,
+        }
+    }
+
+    fn expand(&self, i: usize) -> Action {
+        match self {
+            ActionForm::Invoke { actuator, var, steps, physical } => {
+                let a = Action::adjust(actuator.clone(), StateDelta::single(*var, steps[i]));
+                if *physical {
+                    a.physical()
+                } else {
+                    a
+                }
+            }
+            ActionForm::Signal(name) => Action::adjust(name.clone(), StateDelta::empty()),
+        }
+    }
+}
+
+/// A policy generator grammar: the cross product of event patterns,
+/// condition forms and action forms.
+///
+/// # Example
+///
+/// ```
+/// use apdm_genpolicy::{ActionForm, ConditionForm, PolicyGrammar};
+///
+/// let grammar = PolicyGrammar::new()
+///     .event("overheat")
+///     .condition(ConditionForm::VarAtLeast(0.into(), vec![70.0, 80.0, 90.0]))
+///     .action(ActionForm::Invoke {
+///         actuator: "vent".into(),
+///         var: 0.into(),
+///         steps: vec![-5.0, -10.0],
+///         physical: false,
+///     });
+/// assert_eq!(grammar.space_size(), 6);
+/// let all = grammar.enumerate();
+/// assert_eq!(all.len(), 6);
+/// assert!(all.iter().all(|r| r.is_generated()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyGrammar {
+    events: Vec<String>,
+    conditions: Vec<ConditionForm>,
+    actions: Vec<ActionForm>,
+}
+
+impl PolicyGrammar {
+    /// An empty grammar (generates nothing).
+    pub fn new() -> Self {
+        PolicyGrammar::default()
+    }
+
+    /// Add an event pattern (builder style).
+    pub fn event(mut self, name: impl Into<String>) -> Self {
+        self.events.push(name.into());
+        self
+    }
+
+    /// Add a condition form (builder style).
+    pub fn condition(mut self, form: ConditionForm) -> Self {
+        self.conditions.push(form);
+        self
+    }
+
+    /// Add an action form (builder style).
+    pub fn action(mut self, form: ActionForm) -> Self {
+        self.actions.push(form);
+        self
+    }
+
+    /// Total number of concrete rules the grammar can produce.
+    pub fn space_size(&self) -> usize {
+        let conds: usize = self.conditions.iter().map(ConditionForm::arity).sum();
+        let acts: usize = self.actions.iter().map(ActionForm::arity).sum();
+        self.events.len() * conds * acts
+    }
+
+    /// The `idx`-th rule of the enumeration (None past the end). The mapping
+    /// is stable: identical grammars produce identical enumerations.
+    pub fn derive(&self, idx: usize) -> Option<EcaRule> {
+        let conds: Vec<Condition> = self
+            .conditions
+            .iter()
+            .flat_map(|f| (0..f.arity()).map(move |i| f.expand(i)))
+            .collect();
+        let acts: Vec<Action> = self
+            .actions
+            .iter()
+            .flat_map(|f| (0..f.arity()).map(move |i| f.expand(i)))
+            .collect();
+        if self.events.is_empty() || conds.is_empty() || acts.is_empty() {
+            return None;
+        }
+        let per_event = conds.len() * acts.len();
+        let event_idx = idx / per_event;
+        if event_idx >= self.events.len() {
+            return None;
+        }
+        let rem = idx % per_event;
+        let cond_idx = rem / acts.len();
+        let act_idx = rem % acts.len();
+        let event = &self.events[event_idx];
+        Some(
+            EcaRule::new(
+                format!("gen-{event}-{idx}"),
+                Event::pattern(event.clone()),
+                conds[cond_idx].clone(),
+                acts[act_idx].clone(),
+            )
+            .generated(),
+        )
+    }
+
+    /// Every rule in the grammar's space, in enumeration order.
+    pub fn enumerate(&self) -> Vec<EcaRule> {
+        (0..self.space_size()).filter_map(|i| self.derive(i)).collect()
+    }
+
+    /// Sample `n` rules (with replacement) with a seeded RNG — how a device
+    /// explores a large generative space it cannot enumerate.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<EcaRule> {
+        let size = self.space_size();
+        if size == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .filter_map(|_| self.derive(rng.random_range(0..size)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grammar() -> PolicyGrammar {
+        PolicyGrammar::new()
+            .event("overheat")
+            .event("smoke")
+            .condition(ConditionForm::Always)
+            .condition(ConditionForm::VarAtLeast(VarId(0), vec![70.0, 90.0]))
+            .action(ActionForm::Invoke {
+                actuator: "vent".into(),
+                var: VarId(0),
+                steps: vec![-5.0, -10.0],
+                physical: false,
+            })
+            .action(ActionForm::Signal("radio-report".into()))
+    }
+
+    #[test]
+    fn space_size_is_cross_product() {
+        // 2 events * (1 + 2) conditions * (2 + 1) actions = 18.
+        assert_eq!(grammar().space_size(), 18);
+    }
+
+    #[test]
+    fn enumerate_yields_distinct_rules() {
+        let rules = grammar().enumerate();
+        assert_eq!(rules.len(), 18);
+        for i in 0..rules.len() {
+            for j in (i + 1)..rules.len() {
+                assert!(
+                    !rules[i].equivalent(&rules[j]),
+                    "rules {i} and {j} are duplicates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derive_is_stable_and_bounded() {
+        let g = grammar();
+        assert_eq!(g.derive(3), g.derive(3));
+        assert!(g.derive(18).is_none());
+        assert!(g.derive(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn empty_grammar_generates_nothing() {
+        let g = PolicyGrammar::new();
+        assert_eq!(g.space_size(), 0);
+        assert!(g.enumerate().is_empty());
+        assert!(g.derive(0).is_none());
+        assert!(g.sample(5, 1).is_empty());
+    }
+
+    #[test]
+    fn sample_is_seed_deterministic() {
+        let g = grammar();
+        let a: Vec<String> = g.sample(10, 42).iter().map(|r| r.name().to_string()).collect();
+        let b: Vec<String> = g.sample(10, 42).iter().map(|r| r.name().to_string()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_generated_rules_carry_provenance() {
+        assert!(grammar().enumerate().iter().all(|r| r.is_generated()));
+    }
+
+    #[test]
+    fn signal_actions_have_empty_deltas() {
+        let g = PolicyGrammar::new()
+            .event("e")
+            .condition(ConditionForm::Always)
+            .action(ActionForm::Signal("ping".into()));
+        let rules = g.enumerate();
+        assert_eq!(rules.len(), 1);
+        assert!(rules[0].action().delta().is_empty());
+        assert_eq!(rules[0].action().name(), "ping");
+    }
+
+    #[test]
+    fn event_equals_condition_form() {
+        let g = PolicyGrammar::new()
+            .event("sighting")
+            .condition(ConditionForm::EventEquals(
+                "object".into(),
+                vec!["convoy".into(), "smoke".into()],
+            ))
+            .action(ActionForm::Signal("report".into()));
+        assert_eq!(g.space_size(), 2);
+        let rules = g.enumerate();
+        let ev = Event::named("sighting").with_text("object", "convoy");
+        let schema = apdm_statespace::StateSchema::builder().var("x", 0.0, 1.0).build();
+        let st = schema.state(&[0.0]).unwrap();
+        assert!(rules[0].condition().eval(&ev, &st));
+        assert!(!rules[1].condition().eval(&ev, &st));
+    }
+}

@@ -1,0 +1,250 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use apdm_device::Attributes;
+
+/// A device kind the human manager expects to appear in the environment,
+/// with the attributes that identify it.
+///
+/// Section IV: the interaction graph tells each device "the other types of
+/// devices that would be encountered and their attributes".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindSpec {
+    kind: String,
+    required: Vec<(String, String)>,
+}
+
+impl KindSpec {
+    /// A kind with no attribute requirements.
+    pub fn new(kind: impl Into<String>) -> Self {
+        KindSpec { kind: kind.into(), required: Vec::new() }
+    }
+
+    /// Require an attribute (builder style).
+    pub fn requires(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.required.push((key.into(), value.into()));
+        self
+    }
+
+    /// The kind name.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The required attributes.
+    pub fn required(&self) -> &[(String, String)] {
+        &self.required
+    }
+
+    /// Does a discovered device with this kind name and attributes match?
+    pub fn matches(&self, kind: &str, attrs: &Attributes) -> bool {
+        self.kind == kind
+            && self
+                .required
+                .iter()
+                .all(|(k, v)| attrs.get(k) == Some(v.as_str()))
+    }
+}
+
+impl fmt::Display for KindSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if !self.required.is_empty() {
+            write!(f, " (requires {} attrs)", self.required.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// An expected interaction between two device kinds, e.g. a drone may
+/// `dispatch` a mule, or `report-to` a command post.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionEdge {
+    /// Kind that initiates the interaction.
+    pub from: String,
+    /// Kind on the receiving end.
+    pub to: String,
+    /// Interaction name ("dispatch", "report-to", "repair", ...).
+    pub interaction: String,
+}
+
+/// The interaction graph: expected kinds and the interactions among them.
+///
+/// # Example
+///
+/// ```
+/// use apdm_genpolicy::{InteractionGraph, KindSpec};
+/// use apdm_device::Attributes;
+///
+/// let mut graph = InteractionGraph::new();
+/// graph.add_kind(KindSpec::new("drone"));
+/// graph.add_kind(KindSpec::new("chem-drone").requires("sensor", "chemical"));
+/// graph.add_interaction("drone", "chem-drone", "dispatch");
+///
+/// let mut attrs = Attributes::new();
+/// attrs.set("sensor", "chemical");
+/// assert!(graph.recognize("chem-drone", &attrs).is_some());
+/// assert_eq!(graph.interactions_from("drone").len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InteractionGraph {
+    kinds: Vec<KindSpec>,
+    edges: Vec<InteractionEdge>,
+}
+
+impl InteractionGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        InteractionGraph::default()
+    }
+
+    /// Declare an expected kind.
+    pub fn add_kind(&mut self, spec: KindSpec) {
+        self.kinds.push(spec);
+    }
+
+    /// Declare an expected interaction between two kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either kind has not been declared — the graph is the
+    /// human's complete statement of expectations, so dangling edges are
+    /// programming errors.
+    pub fn add_interaction(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        interaction: impl Into<String>,
+    ) {
+        let (from, to) = (from.into(), to.into());
+        assert!(self.has_kind(&from), "unknown kind `{from}`");
+        assert!(self.has_kind(&to), "unknown kind `{to}`");
+        self.edges.push(InteractionEdge { from, to, interaction: interaction.into() });
+    }
+
+    /// Is a kind declared?
+    pub fn has_kind(&self, kind: &str) -> bool {
+        self.kinds.iter().any(|k| k.kind() == kind)
+    }
+
+    /// Declared kinds in order.
+    pub fn kinds(&self) -> &[KindSpec] {
+        &self.kinds
+    }
+
+    /// Declared interactions in order.
+    pub fn edges(&self) -> &[InteractionEdge] {
+        &self.edges
+    }
+
+    /// Match a discovered device against the expected kinds; returns the
+    /// first matching spec. Devices that match no spec are *unexpected* —
+    /// exactly the situation where Section IV warns the device might "augment
+    /// the information provided by the human manager on their own".
+    pub fn recognize(&self, kind: &str, attrs: &Attributes) -> Option<&KindSpec> {
+        self.kinds.iter().find(|k| k.matches(kind, attrs))
+    }
+
+    /// Interactions a device of `kind` may initiate.
+    pub fn interactions_from(&self, kind: &str) -> Vec<&InteractionEdge> {
+        self.edges.iter().filter(|e| e.from == kind).collect()
+    }
+
+    /// Interactions a device of `kind` may receive.
+    pub fn interactions_to(&self, kind: &str) -> Vec<&InteractionEdge> {
+        self.edges.iter().filter(|e| e.to == kind).collect()
+    }
+
+    /// The interactions `observer_kind` should set up with a newly
+    /// discovered `peer_kind` (both directions are relevant to policy
+    /// generation: what I may ask of them, what they may ask of me).
+    pub fn relevant_interactions(
+        &self,
+        observer_kind: &str,
+        peer_kind: &str,
+    ) -> Vec<&InteractionEdge> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                (e.from == observer_kind && e.to == peer_kind)
+                    || (e.from == peer_kind && e.to == observer_kind)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for InteractionGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interaction graph ({} kinds, {} interactions)",
+            self.kinds.len(),
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> InteractionGraph {
+        let mut g = InteractionGraph::new();
+        g.add_kind(KindSpec::new("drone"));
+        g.add_kind(KindSpec::new("chem-drone").requires("sensor", "chemical"));
+        g.add_kind(KindSpec::new("mule"));
+        g.add_interaction("drone", "chem-drone", "dispatch");
+        g.add_interaction("drone", "mule", "dispatch");
+        g.add_interaction("mule", "drone", "report-to");
+        g
+    }
+
+    #[test]
+    fn recognize_by_kind_and_attrs() {
+        let g = graph();
+        let mut attrs = Attributes::new();
+        assert!(g.recognize("drone", &attrs).is_some());
+        // chem-drone requires the sensor attribute.
+        assert!(g.recognize("chem-drone", &attrs).is_none());
+        attrs.set("sensor", "chemical");
+        assert!(g.recognize("chem-drone", &attrs).is_some());
+        // Unexpected kind.
+        assert!(g.recognize("submarine", &attrs).is_none());
+    }
+
+    #[test]
+    fn interactions_from_and_to() {
+        let g = graph();
+        assert_eq!(g.interactions_from("drone").len(), 2);
+        assert_eq!(g.interactions_to("drone").len(), 1);
+        assert!(g.interactions_from("chem-drone").is_empty());
+    }
+
+    #[test]
+    fn relevant_interactions_are_bidirectional() {
+        let g = graph();
+        let rel = g.relevant_interactions("drone", "mule");
+        assert_eq!(rel.len(), 2);
+        let names: Vec<&str> = rel.iter().map(|e| e.interaction.as_str()).collect();
+        assert!(names.contains(&"dispatch"));
+        assert!(names.contains(&"report-to"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kind")]
+    fn dangling_edge_rejected() {
+        let mut g = InteractionGraph::new();
+        g.add_kind(KindSpec::new("drone"));
+        g.add_interaction("drone", "ghost", "dispatch");
+    }
+
+    #[test]
+    fn extra_attrs_do_not_block_matching() {
+        let spec = KindSpec::new("drone").requires("payload", "none");
+        let mut attrs = Attributes::new();
+        attrs.set("payload", "none");
+        attrs.set("color", "grey");
+        assert!(spec.matches("drone", &attrs));
+        assert!(!spec.matches("mule", &attrs));
+    }
+}

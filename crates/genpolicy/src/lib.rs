@@ -1,0 +1,50 @@
+//! Generative policies: devices creating the policies they need to manage
+//! themselves.
+//!
+//! Implements Section IV of *How to Prevent Skynet From Forming* (Calo et
+//! al., ICDCS 2018), which describes the research alliance's generative
+//! policy architecture:
+//!
+//! > "a human manager provides two types of information to each device. The
+//! > first type of information specifies what the device can expect to see in
+//! > its environment, in particular the other types of devices that would be
+//! > encountered and their attributes. The second type of information
+//! > provides directions indicating what kinds of policies it should generate
+//! > as new devices are discovered in the environment. The former is
+//! > specified by means of an **interaction graph**, the latter by means of a
+//! > **policy generator grammar** or a **policy template**."
+//!
+//! * [`InteractionGraph`] — expected device kinds (with required attributes)
+//!   and the interactions between them;
+//! * [`PolicyTemplate`] — parameterized ECA rules instantiated per discovered
+//!   peer;
+//! * [`PolicyGrammar`] — a finite generative space of event × condition ×
+//!   action productions, enumerable and sampleable;
+//! * [`PolicyGenerator`] — ties graph + templates/grammar together: feed it
+//!   discovery events, get generated rules (marked with machine provenance);
+//! * [`ThresholdRefiner`] — post-generation refinement of numeric thresholds
+//!   from observed outcomes ("use machine learning techniques to improve its
+//!   ability to generate effective management policies");
+//! * [`PolicyExchange`] — policy sharing between devices with org-based
+//!   acceptance control ("share the information and policies they generate
+//!   with other devices").
+//!
+//! Participates in experiments **G1**, **A2**, **E7** (DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grammar;
+mod graph;
+mod refine;
+mod share;
+mod template;
+
+pub use grammar::{ActionForm, ConditionForm, PolicyGrammar};
+pub use graph::{InteractionEdge, InteractionGraph, KindSpec};
+pub use refine::{thresholds_for, Outcome, ThresholdRefiner};
+pub use share::{ExchangeDecision, ExchangeRule, PolicyExchange};
+pub use template::{PolicyTemplate, TemplateContext};
+
+mod generator;
+pub use generator::PolicyGenerator;

@@ -1,0 +1,296 @@
+use apdm_policy::{Cmp, Condition, EcaRule};
+use apdm_statespace::VarId;
+
+/// Feedback about one firing (or non-firing) of a generated rule.
+///
+/// Section IV: the generative system will "use machine learning techniques to
+/// improve its ability to generate effective management policies" — here a
+/// deliberately simple threshold hill-climber, because what the reproduction
+/// must capture is the *loop* (generate → observe → adjust), which is also
+/// the loop through which learning mistakes enter the system (Section IV's
+/// "Mistakes in Learning" pathway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The rule fired and the action was appropriate.
+    TruePositive,
+    /// The rule fired but should not have (threshold too loose).
+    FalsePositive,
+    /// The rule did not fire but should have (threshold too tight).
+    FalseNegative,
+    /// The rule correctly stayed quiet.
+    TrueNegative,
+}
+
+/// Online refinement of the numeric thresholds inside a rule's condition.
+///
+/// For `>=` atoms: false positives raise the threshold, false negatives lower
+/// it. For `<=` atoms the directions flip. The step size decays with each
+/// adjustment so thresholds converge instead of oscillating.
+///
+/// # Example
+///
+/// ```
+/// use apdm_genpolicy::{Outcome, ThresholdRefiner};
+/// use apdm_policy::{Action, Cmp, Condition, EcaRule, Event};
+///
+/// let rule = EcaRule::new(
+///     "vent",
+///     Event::pattern("tick"),
+///     Condition::state_at_least(0.into(), 50.0),
+///     Action::noop(),
+/// );
+/// let mut refiner = ThresholdRefiner::new(rule, 8.0);
+/// refiner.feedback(Outcome::FalsePositive); // fired too eagerly
+/// let t = refiner.threshold(0).unwrap();
+/// assert!(t > 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdRefiner {
+    rule: EcaRule,
+    step: f64,
+    decay: f64,
+    adjustments: u32,
+}
+
+impl ThresholdRefiner {
+    /// Wrap a rule for refinement with an initial adjustment step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is not finite and positive.
+    pub fn new(rule: EcaRule, step: f64) -> Self {
+        assert!(step.is_finite() && step > 0.0, "step must be finite and positive");
+        ThresholdRefiner { rule, step, decay: 0.9, adjustments: 0 }
+    }
+
+    /// The current (refined) rule.
+    pub fn rule(&self) -> &EcaRule {
+        &self.rule
+    }
+
+    /// Number of adjustments applied so far.
+    pub fn adjustments(&self) -> u32 {
+        self.adjustments
+    }
+
+    /// The current value of the `n`-th `StateCmp` atom, if any.
+    pub fn threshold(&self, n: usize) -> Option<f64> {
+        fn walk(cond: &Condition, seen: &mut usize, n: usize) -> Option<f64> {
+            match cond {
+                Condition::StateCmp { value, .. } => {
+                    let hit = *seen == n;
+                    *seen += 1;
+                    if hit {
+                        Some(*value)
+                    } else {
+                        None
+                    }
+                }
+                Condition::Not(inner) => walk(inner, seen, n),
+                Condition::All(cs) | Condition::Any(cs) => {
+                    cs.iter().find_map(|c| walk(c, seen, n))
+                }
+                _ => None,
+            }
+        }
+        let mut seen = 0;
+        walk(self.rule.condition(), &mut seen, n)
+    }
+
+    /// Apply one outcome: every `StateCmp` atom is nudged in the direction
+    /// that would have avoided the error. Correct outcomes shrink the step
+    /// (confidence) without moving thresholds.
+    pub fn feedback(&mut self, outcome: Outcome) {
+        let direction = match outcome {
+            Outcome::FalsePositive => 1.0,  // tighten: fire less
+            Outcome::FalseNegative => -1.0, // loosen: fire more
+            Outcome::TruePositive | Outcome::TrueNegative => {
+                self.step *= self.decay;
+                return;
+            }
+        };
+        let step = self.step;
+        let mut condition = self.rule.condition().clone();
+        adjust_atoms(&mut condition, direction, step);
+        self.rule = EcaRule::new(
+            self.rule.name().to_string(),
+            self.rule.event().clone(),
+            condition,
+            self.rule.action().clone(),
+        )
+        .with_priority(self.rule.priority())
+        .generated();
+        self.step *= self.decay;
+        self.adjustments += 1;
+    }
+
+    /// Simulate a *poisoned* feedback channel: an adversary flips the sense
+    /// of every outcome (Section IV, "Adversarial Machine Learning" /
+    /// "Malicious Actors"). Returns the outcome actually applied.
+    pub fn feedback_poisoned(&mut self, outcome: Outcome) -> Outcome {
+        let flipped = match outcome {
+            Outcome::FalsePositive => Outcome::FalseNegative,
+            Outcome::FalseNegative => Outcome::FalsePositive,
+            Outcome::TruePositive => Outcome::TrueNegative,
+            Outcome::TrueNegative => Outcome::TruePositive,
+        };
+        self.feedback(flipped);
+        flipped
+    }
+}
+
+/// Nudge every `StateCmp` atom: `>=`/`>` atoms move by `direction * step`,
+/// `<=`/`<` atoms by the opposite (both mean "tighten" for positive
+/// direction).
+fn adjust_atoms(cond: &mut Condition, direction: f64, step: f64) {
+    match cond {
+        Condition::StateCmp { op, value, .. } => {
+            let sign = match op {
+                Cmp::Ge | Cmp::Gt => 1.0,
+                Cmp::Le | Cmp::Lt => -1.0,
+                Cmp::Eq | Cmp::Ne => 0.0,
+            };
+            *value += sign * direction * step;
+        }
+        Condition::Not(inner) => adjust_atoms(inner, direction, step),
+        Condition::All(cs) | Condition::Any(cs) => {
+            for c in cs {
+                adjust_atoms(c, direction, step);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Convenience: the thresholds of all `StateCmp` atoms over `var` in a rule.
+pub fn thresholds_for(rule: &EcaRule, var: VarId) -> Vec<f64> {
+    fn walk(cond: &Condition, var: VarId, out: &mut Vec<f64>) {
+        match cond {
+            Condition::StateCmp { var: v, value, .. } if *v == var => out.push(*value),
+            Condition::Not(inner) => walk(inner, var, out),
+            Condition::All(cs) | Condition::Any(cs) => {
+                for c in cs {
+                    walk(c, var, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(rule.condition(), var, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_policy::{Action, Event};
+
+    fn rule_ge(threshold: f64) -> EcaRule {
+        EcaRule::new(
+            "r",
+            Event::pattern("tick"),
+            Condition::state_at_least(VarId(0), threshold),
+            Action::noop(),
+        )
+    }
+
+    #[test]
+    fn false_positive_tightens_ge_threshold() {
+        let mut r = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        r.feedback(Outcome::FalsePositive);
+        assert!((r.threshold(0).unwrap() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_negative_loosens_ge_threshold() {
+        let mut r = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        r.feedback(Outcome::FalseNegative);
+        assert!((r.threshold(0).unwrap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn le_atoms_move_the_other_way() {
+        let rule = EcaRule::new(
+            "r",
+            Event::pattern("tick"),
+            Condition::state_at_most(VarId(0), 50.0),
+            Action::noop(),
+        );
+        let mut r = ThresholdRefiner::new(rule, 10.0);
+        r.feedback(Outcome::FalsePositive); // tighten a <= means lowering it
+        assert!((r.threshold(0).unwrap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_decays_and_converges() {
+        let mut r = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        for _ in 0..200 {
+            r.feedback(Outcome::FalsePositive);
+        }
+        let t1 = r.threshold(0).unwrap();
+        r.feedback(Outcome::FalsePositive);
+        let t2 = r.threshold(0).unwrap();
+        assert!((t2 - t1).abs() < 1e-6, "steps should have decayed to ~0");
+        // Geometric series bound: 50 + 10/(1-0.9) = 150.
+        assert!(t1 <= 150.0 + 1e-9);
+    }
+
+    #[test]
+    fn correct_outcomes_do_not_move_thresholds() {
+        let mut r = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        r.feedback(Outcome::TruePositive);
+        r.feedback(Outcome::TrueNegative);
+        assert_eq!(r.threshold(0), Some(50.0));
+        assert_eq!(r.adjustments(), 0);
+    }
+
+    #[test]
+    fn alternating_feedback_oscillates_but_dampens() {
+        let mut r = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        r.feedback(Outcome::FalsePositive);
+        r.feedback(Outcome::FalseNegative);
+        // 50 + 10 - 9 = 51.
+        assert!((r.threshold(0).unwrap() - 51.0).abs() < 1e-12);
+        assert_eq!(r.adjustments(), 2);
+    }
+
+    #[test]
+    fn poisoned_feedback_moves_the_wrong_way() {
+        let mut clean = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        let mut poisoned = ThresholdRefiner::new(rule_ge(50.0), 10.0);
+        clean.feedback(Outcome::FalsePositive);
+        poisoned.feedback_poisoned(Outcome::FalsePositive);
+        assert!(clean.threshold(0).unwrap() > 50.0);
+        assert!(poisoned.threshold(0).unwrap() < 50.0, "poison inverts learning");
+    }
+
+    #[test]
+    fn refined_rules_keep_provenance_and_priority() {
+        let mut r = ThresholdRefiner::new(rule_ge(50.0).with_priority(5), 1.0);
+        r.feedback(Outcome::FalsePositive);
+        assert!(r.rule().is_generated());
+        assert_eq!(r.rule().priority(), 5);
+    }
+
+    #[test]
+    fn thresholds_for_filters_by_var() {
+        let rule = EcaRule::new(
+            "r",
+            Event::pattern("t"),
+            Condition::state_at_least(VarId(0), 1.0)
+                .and(Condition::state_at_most(VarId(1), 2.0))
+                .and(Condition::state_at_least(VarId(0), 3.0)),
+            Action::noop(),
+        );
+        assert_eq!(thresholds_for(&rule, VarId(0)), vec![1.0, 3.0]);
+        assert_eq!(thresholds_for(&rule, VarId(1)), vec![2.0]);
+        assert!(thresholds_for(&rule, VarId(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn non_positive_step_rejected() {
+        let _ = ThresholdRefiner::new(rule_ge(1.0), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+use std::fmt;
+
+use apdm_policy::PolicySet;
+
+/// The acceptance rule a device applies to policies offered by peers.
+///
+/// Section IV: devices "share the information and policies they generate with
+/// other devices" — which is also how "a reprogrammed device may turn
+/// malevolent and convert other devices into following the same behaviors"
+/// (Section IV, Attacks). The exchange rule is the seam where that spread is
+/// throttled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeRule {
+    /// Organizations whose policies may be accepted.
+    accept_orgs: Vec<String>,
+    /// Require a human acknowledgement before installing (separation of
+    /// privilege, Section VI.D).
+    require_human_ack: bool,
+    /// Refuse sets containing physically acting rules from other orgs.
+    block_foreign_physical: bool,
+}
+
+impl ExchangeRule {
+    /// Accept from the listed organizations, machine-automatically.
+    pub fn accept_from<I, S>(orgs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ExchangeRule {
+            accept_orgs: orgs.into_iter().map(Into::into).collect(),
+            require_human_ack: false,
+            block_foreign_physical: false,
+        }
+    }
+
+    /// Require a human acknowledgement before any installation (builder
+    /// style).
+    pub fn with_human_ack(mut self) -> Self {
+        self.require_human_ack = true;
+        self
+    }
+
+    /// Refuse physically acting rules from organizations other than `own`
+    /// (builder style; pass the device's own org at evaluation time).
+    pub fn blocking_foreign_physical(mut self) -> Self {
+        self.block_foreign_physical = true;
+        self
+    }
+
+    /// Is an org on the accept list?
+    pub fn accepts_org(&self, org: &str) -> bool {
+        self.accept_orgs.iter().any(|o| o == org)
+    }
+
+    /// Does this rule require human acknowledgement?
+    pub fn requires_human_ack(&self) -> bool {
+        self.require_human_ack
+    }
+}
+
+/// The verdict on an offered policy set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeDecision {
+    /// Installed; contains how many rules were actually added after dedup.
+    Accepted {
+        /// Rules added (equivalents were skipped).
+        added: usize,
+    },
+    /// Waiting for a human acknowledgement; nothing installed yet.
+    PendingHumanAck,
+    /// Refused.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl ExchangeDecision {
+    /// Was the set installed?
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, ExchangeDecision::Accepted { .. })
+    }
+}
+
+impl fmt::Display for ExchangeDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeDecision::Accepted { added } => write!(f, "accepted ({added} rules added)"),
+            ExchangeDecision::PendingHumanAck => write!(f, "pending human acknowledgement"),
+            ExchangeDecision::Rejected { reason } => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+/// A device-side policy exchange endpoint: offers arrive, the exchange rule
+/// gates them, accepted rules merge into the local set.
+///
+/// # Example
+///
+/// ```
+/// use apdm_genpolicy::{ExchangeRule, PolicyExchange};
+/// use apdm_policy::{Action, Condition, EcaRule, Event, PolicySet};
+///
+/// let mut exchange = PolicyExchange::new(
+///     "us",
+///     PolicySet::new("local"),
+///     ExchangeRule::accept_from(["us", "uk"]),
+/// );
+/// let mut offer = PolicySet::new("shared");
+/// offer.push(EcaRule::new("r", Event::pattern("e"), Condition::True, Action::noop()));
+/// assert!(exchange.offer("uk", &offer).is_accepted());
+/// assert!(!exchange.offer("insurgent", &offer).is_accepted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyExchange {
+    own_org: String,
+    local: PolicySet,
+    rule: ExchangeRule,
+    pending: Vec<(String, PolicySet)>,
+    offers_seen: u64,
+    offers_rejected: u64,
+}
+
+impl PolicyExchange {
+    /// An exchange for a device of `own_org` holding `local` policies.
+    pub fn new(own_org: impl Into<String>, local: PolicySet, rule: ExchangeRule) -> Self {
+        PolicyExchange {
+            own_org: own_org.into(),
+            local,
+            rule,
+            pending: Vec::new(),
+            offers_seen: 0,
+            offers_rejected: 0,
+        }
+    }
+
+    /// The local policy set.
+    pub fn local(&self) -> &PolicySet {
+        &self.local
+    }
+
+    /// Offers awaiting human acknowledgement.
+    pub fn pending(&self) -> &[(String, PolicySet)] {
+        &self.pending
+    }
+
+    /// Statistics: `(offers seen, offers rejected)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.offers_seen, self.offers_rejected)
+    }
+
+    /// Handle an offered policy set from a peer in `from_org`.
+    pub fn offer(&mut self, from_org: &str, set: &PolicySet) -> ExchangeDecision {
+        self.offers_seen += 1;
+        if !self.rule.accepts_org(from_org) {
+            self.offers_rejected += 1;
+            return ExchangeDecision::Rejected {
+                reason: format!("organization `{from_org}` is not trusted"),
+            };
+        }
+        if self.rule.block_foreign_physical
+            && from_org != self.own_org
+            && set.rules().iter().any(|r| r.action().is_physical())
+        {
+            self.offers_rejected += 1;
+            return ExchangeDecision::Rejected {
+                reason: "physically acting rules from a foreign organization".to_string(),
+            };
+        }
+        if self.rule.require_human_ack {
+            self.pending.push((from_org.to_string(), set.clone()));
+            return ExchangeDecision::PendingHumanAck;
+        }
+        let added = self.local.merge(set);
+        ExchangeDecision::Accepted { added }
+    }
+
+    /// A human resolves the `idx`-th pending offer. Approval merges it;
+    /// denial drops it. Returns the decision, or `None` for a bad index.
+    pub fn resolve_pending(&mut self, idx: usize, approve: bool) -> Option<ExchangeDecision> {
+        if idx >= self.pending.len() {
+            return None;
+        }
+        let (_, set) = self.pending.remove(idx);
+        if approve {
+            let added = self.local.merge(&set);
+            Some(ExchangeDecision::Accepted { added })
+        } else {
+            self.offers_rejected += 1;
+            Some(ExchangeDecision::Rejected { reason: "denied by human".to_string() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_policy::{Action, Condition, EcaRule, Event};
+
+    fn offer_set(physical: bool) -> PolicySet {
+        let mut s = PolicySet::new("offer");
+        let action = if physical {
+            Action::adjust("dig", Default::default()).physical()
+        } else {
+            Action::noop()
+        };
+        s.push(EcaRule::new("r", Event::pattern("e"), Condition::True, action));
+        s
+    }
+
+    fn exchange(rule: ExchangeRule) -> PolicyExchange {
+        PolicyExchange::new("us", PolicySet::new("local"), rule)
+    }
+
+    #[test]
+    fn accepts_trusted_org_and_merges() {
+        let mut ex = exchange(ExchangeRule::accept_from(["us", "uk"]));
+        let d = ex.offer("uk", &offer_set(false));
+        assert_eq!(d, ExchangeDecision::Accepted { added: 1 });
+        assert_eq!(ex.local().len(), 1);
+        // Re-offering the same set adds nothing.
+        assert_eq!(ex.offer("uk", &offer_set(false)), ExchangeDecision::Accepted { added: 0 });
+    }
+
+    #[test]
+    fn rejects_untrusted_org() {
+        let mut ex = exchange(ExchangeRule::accept_from(["us"]));
+        let d = ex.offer("insurgent", &offer_set(false));
+        assert!(!d.is_accepted());
+        assert_eq!(ex.local().len(), 0);
+        assert_eq!(ex.stats(), (1, 1));
+    }
+
+    #[test]
+    fn blocks_foreign_physical_rules() {
+        let mut ex = exchange(
+            ExchangeRule::accept_from(["us", "uk"]).blocking_foreign_physical(),
+        );
+        assert!(!ex.offer("uk", &offer_set(true)).is_accepted());
+        // Own-org physical rules pass.
+        assert!(ex.offer("us", &offer_set(true)).is_accepted());
+        // Foreign non-physical rules pass.
+        assert!(ex.offer("uk", &offer_set(false)).is_accepted());
+    }
+
+    #[test]
+    fn human_ack_gates_installation() {
+        let mut ex = exchange(ExchangeRule::accept_from(["uk"]).with_human_ack());
+        assert_eq!(ex.offer("uk", &offer_set(false)), ExchangeDecision::PendingHumanAck);
+        assert_eq!(ex.local().len(), 0);
+        assert_eq!(ex.pending().len(), 1);
+        let d = ex.resolve_pending(0, true).unwrap();
+        assert_eq!(d, ExchangeDecision::Accepted { added: 1 });
+        assert_eq!(ex.local().len(), 1);
+    }
+
+    #[test]
+    fn human_denial_drops_offer() {
+        let mut ex = exchange(ExchangeRule::accept_from(["uk"]).with_human_ack());
+        ex.offer("uk", &offer_set(false));
+        let d = ex.resolve_pending(0, false).unwrap();
+        assert!(!d.is_accepted());
+        assert_eq!(ex.local().len(), 0);
+        assert!(ex.pending().is_empty());
+        assert!(ex.resolve_pending(0, true).is_none());
+    }
+}

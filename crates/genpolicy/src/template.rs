@@ -1,0 +1,258 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_statespace::StateDelta;
+
+/// Bindings available when instantiating a [`PolicyTemplate`]: the discovered
+/// peer's identity and any numeric parameters.
+///
+/// String fields substitute into `{peer}`, `{org}`, `{interaction}` and
+/// `{observer}` placeholders; numeric parameters substitute into condition
+/// thresholds registered by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TemplateContext {
+    /// Kind name of the observing (generating) device.
+    pub observer: String,
+    /// Kind name of the discovered peer.
+    pub peer: String,
+    /// Organization of the discovered peer.
+    pub org: String,
+    /// Interaction this policy implements.
+    pub interaction: String,
+    /// Named numeric parameters (thresholds, step sizes).
+    pub params: BTreeMap<String, f64>,
+}
+
+impl TemplateContext {
+    /// Context for `observer` discovering `peer`.
+    pub fn new(
+        observer: impl Into<String>,
+        peer: impl Into<String>,
+        org: impl Into<String>,
+        interaction: impl Into<String>,
+    ) -> Self {
+        TemplateContext {
+            observer: observer.into(),
+            peer: peer.into(),
+            org: org.into(),
+            interaction: interaction.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Set a numeric parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.params.insert(key.into(), value);
+        self
+    }
+
+    fn substitute(&self, text: &str) -> String {
+        text.replace("{observer}", &self.observer)
+            .replace("{peer}", &self.peer)
+            .replace("{org}", &self.org)
+            .replace("{interaction}", &self.interaction)
+    }
+}
+
+/// A parameterized ECA rule: the "policy template" of Section IV.
+///
+/// Placeholders in the rule name, event pattern, action name and action
+/// parameters are substituted from a [`TemplateContext`]; the condition is a
+/// fixed shape whose numeric thresholds may be overridden by named context
+/// parameters (registered with [`with_threshold_param`]).
+///
+/// [`with_threshold_param`]: PolicyTemplate::with_threshold_param
+///
+/// # Example
+///
+/// ```
+/// use apdm_genpolicy::{PolicyTemplate, TemplateContext};
+/// use apdm_policy::{Action, Condition, Event};
+///
+/// let template = PolicyTemplate::new(
+///     "dispatch-{peer}",
+///     "smoke-detected",
+///     Condition::True,
+///     Action::adjust("radio-dispatch-{peer}", Default::default()),
+/// );
+/// let ctx = TemplateContext::new("drone", "chem-drone", "us", "dispatch");
+/// let rule = template.instantiate(&ctx);
+/// assert_eq!(rule.name(), "dispatch-chem-drone");
+/// assert_eq!(rule.action().name(), "radio-dispatch-chem-drone");
+/// assert!(rule.is_generated());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTemplate {
+    name: String,
+    event: String,
+    condition: Condition,
+    action_name: String,
+    action_delta: StateDelta,
+    action_physical: bool,
+    priority: i32,
+    /// `(param name, index of the StateCmp atom to override, default)`.
+    threshold_params: Vec<(String, usize)>,
+}
+
+impl PolicyTemplate {
+    /// A template from a (possibly placeholder-bearing) name, event pattern,
+    /// condition shape and action.
+    pub fn new(
+        name: impl Into<String>,
+        event: impl Into<String>,
+        condition: Condition,
+        action: Action,
+    ) -> Self {
+        PolicyTemplate {
+            name: name.into(),
+            event: event.into(),
+            condition,
+            action_name: action.name().to_string(),
+            action_delta: action.delta().clone(),
+            action_physical: action.is_physical(),
+            priority: 0,
+            threshold_params: Vec::new(),
+        }
+    }
+
+    /// Set the generated rule's priority (builder style).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Declare that context parameter `param` overrides the value of the
+    /// `atom_index`-th `StateCmp` atom (in depth-first order) of the
+    /// condition (builder style).
+    pub fn with_threshold_param(mut self, param: impl Into<String>, atom_index: usize) -> Self {
+        self.threshold_params.push((param.into(), atom_index));
+        self
+    }
+
+    /// The template's (uninstantiated) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instantiate into a concrete, machine-provenance rule.
+    pub fn instantiate(&self, ctx: &TemplateContext) -> EcaRule {
+        let mut condition = self.condition.clone();
+        for (param, atom_index) in &self.threshold_params {
+            if let Some(value) = ctx.params.get(param) {
+                override_nth_state_cmp(&mut condition, *atom_index, *value);
+            }
+        }
+        let mut action = Action::adjust(ctx.substitute(&self.action_name), self.action_delta.clone());
+        if self.action_physical {
+            action = action.physical();
+        }
+        EcaRule::new(
+            ctx.substitute(&self.name),
+            Event::pattern(ctx.substitute(&self.event)),
+            condition,
+            action,
+        )
+        .with_priority(self.priority)
+        .generated()
+    }
+}
+
+/// Replace the value of the `n`-th `StateCmp` atom (depth-first); returns
+/// how many atoms were seen so far (internal helper).
+fn override_nth_state_cmp(cond: &mut Condition, n: usize, value: f64) {
+    fn walk(cond: &mut Condition, seen: &mut usize, n: usize, value: f64) {
+        match cond {
+            Condition::StateCmp { value: v, .. } => {
+                if *seen == n {
+                    *v = value;
+                }
+                *seen += 1;
+            }
+            Condition::Not(inner) => walk(inner, seen, n, value),
+            Condition::All(cs) | Condition::Any(cs) => {
+                for c in cs {
+                    walk(c, seen, n, value);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut seen = 0;
+    walk(cond, &mut seen, n, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::{StateSchema, VarId};
+
+    #[test]
+    fn placeholders_substitute_everywhere() {
+        let t = PolicyTemplate::new(
+            "{interaction}-{peer}-for-{observer}",
+            "sighting-{peer}",
+            Condition::True,
+            Action::adjust("call-{peer}@{org}", Default::default()),
+        );
+        let ctx = TemplateContext::new("drone", "mule", "uk", "dispatch");
+        let rule = t.instantiate(&ctx);
+        assert_eq!(rule.name(), "dispatch-mule-for-drone");
+        assert_eq!(rule.event().name(), "sighting-mule");
+        assert_eq!(rule.action().name(), "call-mule@uk");
+    }
+
+    #[test]
+    fn threshold_params_override_condition_atoms() {
+        let cond = Condition::state_at_least(VarId(0), 0.5)
+            .and(Condition::state_at_most(VarId(1), 0.9));
+        let t = PolicyTemplate::new("r", "e", cond, Action::noop())
+            .with_threshold_param("min_level", 0)
+            .with_threshold_param("max_level", 1);
+        let ctx = TemplateContext::new("a", "b", "o", "i")
+            .with_param("min_level", 0.7)
+            .with_param("max_level", 0.8);
+        let rule = t.instantiate(&ctx);
+        let schema = StateSchema::builder().var("x", 0.0, 1.0).var("y", 0.0, 1.0).build();
+        let ev = Event::named("e");
+        assert!(rule.condition().eval(&ev, &schema.state(&[0.75, 0.5]).unwrap()));
+        assert!(!rule.condition().eval(&ev, &schema.state(&[0.6, 0.5]).unwrap()));
+        assert!(!rule.condition().eval(&ev, &schema.state(&[0.75, 0.85]).unwrap()));
+    }
+
+    #[test]
+    fn missing_params_keep_defaults() {
+        let t = PolicyTemplate::new(
+            "r",
+            "e",
+            Condition::state_at_least(VarId(0), 0.5),
+            Action::noop(),
+        )
+        .with_threshold_param("missing", 0);
+        let rule = t.instantiate(&TemplateContext::new("a", "b", "o", "i"));
+        let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+        assert!(rule
+            .condition()
+            .eval(&Event::named("e"), &schema.state(&[0.6]).unwrap()));
+    }
+
+    #[test]
+    fn instantiated_rules_carry_machine_provenance_and_priority() {
+        let t = PolicyTemplate::new("r", "e", Condition::True, Action::noop()).with_priority(9);
+        let rule = t.instantiate(&TemplateContext::new("a", "b", "o", "i"));
+        assert!(rule.is_generated());
+        assert_eq!(rule.priority(), 9);
+    }
+
+    #[test]
+    fn physical_actions_stay_physical() {
+        let t = PolicyTemplate::new(
+            "r",
+            "e",
+            Condition::True,
+            Action::adjust("dig", Default::default()).physical(),
+        );
+        let rule = t.instantiate(&TemplateContext::new("a", "b", "o", "i"));
+        assert!(rule.action().is_physical());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the generative policy layer.
+
+use proptest::prelude::*;
+
+use apdm_device::Attributes;
+use apdm_genpolicy::{
+    ActionForm, ConditionForm, InteractionGraph, KindSpec, Outcome, PolicyGenerator,
+    PolicyGrammar, PolicyTemplate, ThresholdRefiner,
+};
+use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_statespace::VarId;
+
+fn arb_grammar() -> impl Strategy<Value = PolicyGrammar> {
+    (
+        1usize..4,                                      // events
+        proptest::collection::vec(0.0..10.0f64, 1..5),  // thresholds
+        1usize..3,                                      // signals
+    )
+        .prop_map(|(n_events, thresholds, n_signals)| {
+            let mut g = PolicyGrammar::new();
+            for i in 0..n_events {
+                g = g.event(format!("e{i}"));
+            }
+            g = g
+                .condition(ConditionForm::Always)
+                .condition(ConditionForm::VarAtLeast(VarId(0), thresholds));
+            for i in 0..n_signals {
+                g = g.action(ActionForm::Signal(format!("s{i}")));
+            }
+            g
+        })
+}
+
+proptest! {
+    /// The enumeration has exactly `space_size` elements, every index
+    /// derives, every out-of-range index does not, and derivation is stable.
+    #[test]
+    fn grammar_enumeration_exact(g in arb_grammar()) {
+        let size = g.space_size();
+        let all = g.enumerate();
+        prop_assert_eq!(all.len(), size);
+        for (i, expected) in all.iter().enumerate() {
+            let r = g.derive(i);
+            prop_assert!(r.is_some());
+            prop_assert!(r.unwrap().equivalent(expected));
+        }
+        prop_assert!(g.derive(size).is_none());
+    }
+
+    /// Grammar enumeration contains no equivalent duplicates when the
+    /// threshold choices are distinct.
+    #[test]
+    fn grammar_no_duplicates(n_events in 1usize..3, n_thresholds in 1usize..4) {
+        let thresholds: Vec<f64> = (0..n_thresholds).map(|i| i as f64).collect();
+        let mut g = PolicyGrammar::new();
+        for i in 0..n_events {
+            g = g.event(format!("e{i}"));
+        }
+        g = g
+            .condition(ConditionForm::VarAtLeast(VarId(0), thresholds))
+            .action(ActionForm::Signal("s".into()));
+        let all = g.enumerate();
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                prop_assert!(!all[i].equivalent(&all[j]));
+            }
+        }
+    }
+
+    /// Sampling is within bounds and deterministic per seed.
+    #[test]
+    fn grammar_sampling(g in arb_grammar(), n in 0usize..20, seed in 0u64..50) {
+        let a = g.sample(n, seed);
+        let b = g.sample(n, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x.equivalent(y));
+        }
+    }
+
+    /// Discovery-driven generation is idempotent per peer and linear in the
+    /// number of distinct peers.
+    #[test]
+    fn generation_idempotent(n_kinds in 1usize..10, repeats in 1usize..4) {
+        let mut graph = InteractionGraph::new();
+        graph.add_kind(KindSpec::new("observer"));
+        for i in 0..n_kinds {
+            graph.add_kind(KindSpec::new(format!("kind-{i}")));
+            graph.add_interaction("observer", format!("kind-{i}"), "dispatch");
+        }
+        let mut gen = PolicyGenerator::new("observer", graph);
+        gen.template_for(
+            "dispatch",
+            PolicyTemplate::new(
+                "dispatch-{peer}",
+                "sighting",
+                Condition::True,
+                Action::adjust("radio-{peer}", Default::default()),
+            ),
+        );
+        let mut total = 0;
+        for _ in 0..repeats {
+            for i in 0..n_kinds {
+                total += gen
+                    .on_discovery(&format!("kind-{i}"), "us", &Attributes::new())
+                    .len();
+            }
+        }
+        prop_assert_eq!(total, n_kinds);
+        prop_assert_eq!(gen.generated().len(), n_kinds);
+    }
+
+    /// Threshold refinement: feedback never moves a `>=` threshold in the
+    /// wrong direction, and total movement is bounded by the geometric sum
+    /// of steps.
+    #[test]
+    fn refinement_bounded(
+        outcomes in proptest::collection::vec(0u8..4, 1..60),
+        start in 0.0..10.0f64,
+        step in 0.01..2.0f64,
+    ) {
+        let rule = EcaRule::new(
+            "r",
+            Event::pattern("tick"),
+            Condition::state_at_least(VarId(0), start),
+            Action::noop(),
+        );
+        let mut refiner = ThresholdRefiner::new(rule, step);
+        let mut prev = start;
+        for o in outcomes {
+            let outcome = match o {
+                0 => Outcome::TruePositive,
+                1 => Outcome::FalsePositive,
+                2 => Outcome::FalseNegative,
+                _ => Outcome::TrueNegative,
+            };
+            refiner.feedback(outcome);
+            let now = refiner.threshold(0).unwrap();
+            match outcome {
+                Outcome::FalsePositive => prop_assert!(now >= prev),
+                Outcome::FalseNegative => prop_assert!(now <= prev),
+                _ => prop_assert_eq!(now, prev),
+            }
+            prev = now;
+        }
+        // Geometric bound: |total movement| <= step / (1 - 0.9).
+        prop_assert!((prev - start).abs() <= step / 0.1 + 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+use std::fmt;
+
+use apdm_policy::Action;
+use apdm_statespace::State;
+
+use crate::MetaPolicy;
+
+/// Integrity of a collective's judgment.
+///
+/// Section IV lists how corruption enters: reprogramming attacks, adversarial
+/// learning, drifted models. At the governance layer all of them surface the
+/// same way — a collective whose scope judgments can no longer be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Integrity {
+    /// Judges faithfully against its meta-policy copy.
+    Honest,
+    /// Captured by the rogue side: approves everything.
+    Compromised,
+    /// Actively adversarial: inverts every judgment (approves violations,
+    /// blocks legitimate actions — maximal damage, e.g. a poisoned risk
+    /// model).
+    Adversarial,
+}
+
+impl fmt::Display for Integrity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Integrity::Honest => "honest",
+            Integrity::Compromised => "compromised",
+            Integrity::Adversarial => "adversarial",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One governance collective (branch): a named body holding its own copy of
+/// the meta-policy and an integrity state.
+///
+/// The paper's three collectives "can be viewed as the analogues of the
+/// executive, legislative and judiciary branches in human governance" — in
+/// this model they are three [`Collective`]s with independent meta-policy
+/// copies, so corrupting one copy does not corrupt the others.
+///
+/// # Example
+///
+/// ```
+/// use apdm_governance::{Collective, Integrity, MetaPolicy};
+/// use apdm_policy::Action;
+/// use apdm_statespace::StateSchema;
+///
+/// let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+/// let state = schema.state(&[0.5]).unwrap();
+/// let branch = Collective::new("legislative", MetaPolicy::new().forbid_action("strike"));
+/// assert!(!branch.approves(&state, &Action::adjust("strike", Default::default())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Collective {
+    name: String,
+    policy: MetaPolicy,
+    integrity: Integrity,
+    judgments: u64,
+}
+
+impl Collective {
+    /// An honest collective with its own meta-policy copy.
+    pub fn new(name: impl Into<String>, policy: MetaPolicy) -> Self {
+        Collective { name: name.into(), policy, integrity: Integrity::Honest, judgments: 0 }
+    }
+
+    /// The collective's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current integrity.
+    pub fn integrity(&self) -> Integrity {
+        self.integrity
+    }
+
+    /// Corrupt (or restore) the collective.
+    pub fn set_integrity(&mut self, integrity: Integrity) {
+        self.integrity = integrity;
+    }
+
+    /// Judgments rendered so far.
+    pub fn judgments(&self) -> u64 {
+        self.judgments
+    }
+
+    /// Does this collective approve the action as within scope?
+    pub fn judge(&mut self, state: &State, action: &Action) -> bool {
+        self.judgments += 1;
+        let honest_verdict = self.policy.within_scope(state, action);
+        match self.integrity {
+            Integrity::Honest => honest_verdict,
+            Integrity::Compromised => true,
+            Integrity::Adversarial => !honest_verdict,
+        }
+    }
+
+    /// Non-mutating judgment (no counter bump) for read-only callers.
+    pub fn approves(&self, state: &State, action: &Action) -> bool {
+        let honest_verdict = self.policy.within_scope(state, action);
+        match self.integrity {
+            Integrity::Honest => honest_verdict,
+            Integrity::Compromised => true,
+            Integrity::Adversarial => !honest_verdict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::StateSchema;
+
+    fn state() -> State {
+        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.5]).unwrap()
+    }
+
+    fn strike() -> Action {
+        Action::adjust("strike", Default::default())
+    }
+
+    fn wave() -> Action {
+        Action::adjust("wave", Default::default())
+    }
+
+    fn branch(integrity: Integrity) -> Collective {
+        let mut c = Collective::new("c", MetaPolicy::new().forbid_action("strike"));
+        c.set_integrity(integrity);
+        c
+    }
+
+    #[test]
+    fn honest_branch_follows_policy() {
+        let mut c = branch(Integrity::Honest);
+        assert!(!c.judge(&state(), &strike()));
+        assert!(c.judge(&state(), &wave()));
+        assert_eq!(c.judgments(), 2);
+    }
+
+    #[test]
+    fn compromised_branch_approves_everything() {
+        let mut c = branch(Integrity::Compromised);
+        assert!(c.judge(&state(), &strike()));
+        assert!(c.judge(&state(), &wave()));
+    }
+
+    #[test]
+    fn adversarial_branch_inverts() {
+        let mut c = branch(Integrity::Adversarial);
+        assert!(c.judge(&state(), &strike()));
+        assert!(!c.judge(&state(), &wave()));
+    }
+
+    #[test]
+    fn approves_matches_judge_without_counting() {
+        let c = branch(Integrity::Honest);
+        assert!(!c.approves(&state(), &strike()));
+        assert_eq!(c.judgments(), 0);
+    }
+
+    #[test]
+    fn integrity_display() {
+        assert_eq!(Integrity::Honest.to_string(), "honest");
+        assert_eq!(Integrity::Adversarial.to_string(), "adversarial");
+    }
+}

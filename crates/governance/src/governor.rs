@@ -1,0 +1,301 @@
+use std::fmt;
+
+use apdm_policy::{Action, AuditKind, AuditLog};
+use apdm_statespace::State;
+
+use crate::{Collective, MetaPolicy};
+
+/// One governed decision and its accounting against ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GovernanceDecision {
+    /// Whether the action may execute.
+    pub approved: bool,
+    /// Votes: `(executive, legislative, judiciary)`. The judiciary only
+    /// actually votes on disputes; on unanimity its recorded vote equals the
+    /// consensus.
+    pub votes: (bool, bool, bool),
+    /// Whether the executive and legislative disagreed (judiciary engaged).
+    pub disputed: bool,
+}
+
+/// Running accuracy of a governor against the ground-truth scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GovernanceStats {
+    /// Decisions rendered.
+    pub decisions: u64,
+    /// Truly out-of-scope actions that were approved (the failure the paper
+    /// is about: malevolence executing).
+    pub malevolent_executed: u64,
+    /// Truly out-of-scope actions blocked (success).
+    pub malevolent_blocked: u64,
+    /// In-scope actions wrongly blocked (the availability cost).
+    pub false_blocks: u64,
+    /// Disputes escalated to the judiciary.
+    pub disputes: u64,
+}
+
+/// Section VI.E's three collectives with 2-of-3 resolution.
+///
+/// * the **executive** proposes/assesses actions with its own meta-policy
+///   copy (the copy most exposed to drift and capture);
+/// * the **legislative** defines the reference scope;
+/// * the **judiciary** arbitrates when they disagree.
+///
+/// "Assuming that two out of the three collectives always prevail, these
+/// three collectives would keep each other in check, and reduce the overall
+/// system moving into a malevolent state."
+///
+/// The governor also keeps a pristine ground-truth copy of the meta-policy —
+/// inaccessible to any branch — purely for *accounting*: experiments need to
+/// know whether each decision was actually right.
+///
+/// # Example
+///
+/// ```
+/// use apdm_governance::{Integrity, MetaPolicy, TripartiteGovernor};
+/// use apdm_policy::Action;
+/// use apdm_statespace::StateSchema;
+///
+/// let scope = MetaPolicy::new().forbid_action("strike");
+/// let mut gov = TripartiteGovernor::new(scope);
+/// gov.executive_mut().set_integrity(Integrity::Compromised);
+///
+/// let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+/// let state = schema.state(&[0.5]).unwrap();
+/// let strike = Action::adjust("strike", Default::default());
+/// // The compromised executive approves, but legislative + judiciary outvote it.
+/// let d = gov.decide("fleet", &state, &strike, 1);
+/// assert!(!d.approved);
+/// ```
+pub struct TripartiteGovernor {
+    executive: Collective,
+    legislative: Collective,
+    judiciary: Collective,
+    ground_truth: MetaPolicy,
+    stats: GovernanceStats,
+    audit: AuditLog,
+}
+
+impl TripartiteGovernor {
+    /// A governor whose three branches each hold an independent copy of
+    /// `scope`.
+    pub fn new(scope: MetaPolicy) -> Self {
+        TripartiteGovernor {
+            executive: Collective::new("executive", scope.clone()),
+            legislative: Collective::new("legislative", scope.clone()),
+            judiciary: Collective::new("judiciary", scope.clone()),
+            ground_truth: scope,
+            stats: GovernanceStats::default(),
+            audit: AuditLog::new(),
+        }
+    }
+
+    /// The executive branch.
+    pub fn executive_mut(&mut self) -> &mut Collective {
+        &mut self.executive
+    }
+
+    /// The legislative branch.
+    pub fn legislative_mut(&mut self) -> &mut Collective {
+        &mut self.legislative
+    }
+
+    /// The judiciary branch.
+    pub fn judiciary_mut(&mut self) -> &mut Collective {
+        &mut self.judiciary
+    }
+
+    /// Accuracy accounting so far.
+    pub fn stats(&self) -> GovernanceStats {
+        self.stats
+    }
+
+    /// The audit trail of disputed/blocked decisions.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Govern one proposed action with the full tripartite protocol.
+    pub fn decide(
+        &mut self,
+        subject: &str,
+        state: &State,
+        action: &Action,
+        tick: u64,
+    ) -> GovernanceDecision {
+        let exec = self.executive.judge(state, action);
+        let legis = self.legislative.judge(state, action);
+        let disputed = exec != legis;
+        let (judi, approved) = if disputed {
+            self.stats.disputes += 1;
+            let j = self.judiciary.judge(state, action);
+            self.audit.record(
+                tick,
+                subject,
+                AuditKind::Note,
+                format!(
+                    "dispute over `{}`: executive={exec}, legislative={legis}, judiciary={j}",
+                    action.name()
+                ),
+            );
+            (j, j) // the judiciary's vote breaks the 1-1 tie
+        } else {
+            (exec, exec)
+        };
+
+        // Ground-truth accounting (invisible to the branches).
+        let truly_in_scope = self.ground_truth.within_scope(state, action);
+        self.stats.decisions += 1;
+        match (truly_in_scope, approved) {
+            (false, true) => self.stats.malevolent_executed += 1,
+            (false, false) => self.stats.malevolent_blocked += 1,
+            (true, false) => self.stats.false_blocks += 1,
+            (true, true) => {}
+        }
+        if !approved {
+            self.audit.record(
+                tick,
+                subject,
+                AuditKind::GuardIntervention,
+                format!("governance blocked `{}`", action.name()),
+            );
+        }
+        GovernanceDecision { approved, votes: (exec, legis, judi), disputed }
+    }
+
+    /// Govern with the executive alone — the no-oversight baseline arm of
+    /// experiment E5.
+    pub fn decide_executive_only(
+        &mut self,
+        state: &State,
+        action: &Action,
+    ) -> GovernanceDecision {
+        let exec = self.executive.judge(state, action);
+        let truly_in_scope = self.ground_truth.within_scope(state, action);
+        self.stats.decisions += 1;
+        match (truly_in_scope, exec) {
+            (false, true) => self.stats.malevolent_executed += 1,
+            (false, false) => self.stats.malevolent_blocked += 1,
+            (true, false) => self.stats.false_blocks += 1,
+            (true, true) => {}
+        }
+        GovernanceDecision { approved: exec, votes: (exec, exec, exec), disputed: false }
+    }
+}
+
+impl fmt::Debug for TripartiteGovernor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TripartiteGovernor")
+            .field("executive", &self.executive.integrity())
+            .field("legislative", &self.legislative.integrity())
+            .field("judiciary", &self.judiciary.integrity())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Integrity;
+    use apdm_statespace::StateSchema;
+
+    fn state() -> State {
+        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.5]).unwrap()
+    }
+
+    fn strike() -> Action {
+        Action::adjust("strike", Default::default())
+    }
+
+    fn wave() -> Action {
+        Action::adjust("wave", Default::default())
+    }
+
+    fn governor() -> TripartiteGovernor {
+        TripartiteGovernor::new(MetaPolicy::new().forbid_action("strike"))
+    }
+
+    #[test]
+    fn all_honest_unanimous_decisions() {
+        let mut g = governor();
+        let d1 = g.decide("f", &state(), &wave(), 1);
+        assert!(d1.approved && !d1.disputed);
+        let d2 = g.decide("f", &state(), &strike(), 2);
+        assert!(!d2.approved && !d2.disputed);
+        let s = g.stats();
+        assert_eq!(s.malevolent_blocked, 1);
+        assert_eq!(s.malevolent_executed, 0);
+        assert_eq!(s.false_blocks, 0);
+        assert_eq!(s.disputes, 0);
+    }
+
+    #[test]
+    fn compromised_executive_is_outvoted() {
+        let mut g = governor();
+        g.executive_mut().set_integrity(Integrity::Compromised);
+        let d = g.decide("f", &state(), &strike(), 1);
+        assert!(!d.approved);
+        assert!(d.disputed);
+        assert_eq!(d.votes, (true, false, false));
+        assert_eq!(g.stats().malevolent_blocked, 1);
+        assert_eq!(g.stats().disputes, 1);
+    }
+
+    #[test]
+    fn compromised_executive_alone_executes_malevolence() {
+        let mut g = governor();
+        g.executive_mut().set_integrity(Integrity::Compromised);
+        let d = g.decide_executive_only(&state(), &strike());
+        assert!(d.approved);
+        assert_eq!(g.stats().malevolent_executed, 1);
+    }
+
+    #[test]
+    fn two_corrupt_branches_defeat_governance() {
+        // The paper's assumption is "two out of the three collectives always
+        // prevail" — corrupt two and the protocol fails, as it must.
+        let mut g = governor();
+        g.executive_mut().set_integrity(Integrity::Compromised);
+        g.judiciary_mut().set_integrity(Integrity::Compromised);
+        let d = g.decide("f", &state(), &strike(), 1);
+        assert!(d.approved);
+        assert_eq!(g.stats().malevolent_executed, 1);
+    }
+
+    #[test]
+    fn adversarial_legislative_causes_false_blocks_but_not_executions() {
+        let mut g = governor();
+        g.legislative_mut().set_integrity(Integrity::Adversarial);
+        // Legitimate action: exec=yes, legis=no -> judiciary honest -> yes.
+        let d1 = g.decide("f", &state(), &wave(), 1);
+        assert!(d1.approved && d1.disputed);
+        // Malevolent action: exec=no, legis=yes -> judiciary honest -> no.
+        let d2 = g.decide("f", &state(), &strike(), 2);
+        assert!(!d2.approved && d2.disputed);
+        let s = g.stats();
+        assert_eq!(s.false_blocks, 0);
+        assert_eq!(s.malevolent_executed, 0);
+        assert_eq!(s.disputes, 2);
+    }
+
+    #[test]
+    fn audit_records_disputes_and_blocks() {
+        let mut g = governor();
+        g.executive_mut().set_integrity(Integrity::Compromised);
+        g.decide("fleet-1", &state(), &strike(), 7);
+        assert_eq!(g.audit().count(AuditKind::Note), 1);
+        assert_eq!(g.audit().count(AuditKind::GuardIntervention), 1);
+        assert_eq!(g.audit().entries()[0].tick, 7);
+    }
+
+    #[test]
+    fn honest_governor_never_false_blocks() {
+        let mut g = governor();
+        for t in 0..50 {
+            g.decide("f", &state(), &wave(), t);
+        }
+        assert_eq!(g.stats().false_blocks, 0);
+        assert_eq!(g.stats().decisions, 50);
+    }
+}

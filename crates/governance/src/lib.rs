@@ -1,0 +1,40 @@
+//! AI overseeing AI: tripartite governance of device collectives.
+//!
+//! Implements Section VI.E of *How to Prevent Skynet From Forming* (Calo et
+//! al., ICDCS 2018):
+//!
+//! > "One way to counter an intelligent collective which can exceed human
+//! > abilities ... would be to have each such collective be overseen by
+//! > another collective. ... creating not a single collective of machines,
+//! > but two or more collectives, each of which keeps the other ones in check
+//! > ... any collective that has the ability to change the physical world can
+//! > generate their policies and act upon them, but it needs to ensure that
+//! > its actions are within the scope defined by a set of higher level
+//! > **meta-policies** that are defined by an independent and distinct
+//! > collective. When there is an inconsistency ... the inconsistency is
+//! > resolved by another intelligent collective which arbitrates the dispute
+//! > ... Assuming that two out of the three collectives always prevail, these
+//! > three collectives would keep each other in check."
+//!
+//! * [`MetaPolicy`] — the scope constraints on physical-world actions;
+//! * [`Collective`] — a branch: a named collective holding its own copy of
+//!   the meta-policy, with an [`Integrity`] model (honest, compromised,
+//!   adversarial) so corruption can be injected;
+//! * [`TripartiteGovernor`] — executive/legislative/judiciary, 2-of-3
+//!   majority, with per-decision accounting of malevolent actions executed
+//!   and legitimate actions wrongly blocked.
+//!
+//! Participates in experiments **E5**, **A2** (DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collective;
+mod council;
+mod governor;
+mod metapolicy;
+
+pub use collective::{Collective, Integrity};
+pub use council::{CouncilDecision, CouncilGovernor};
+pub use governor::{GovernanceDecision, GovernanceStats, TripartiteGovernor};
+pub use metapolicy::{MetaPolicy, ScopeViolation};

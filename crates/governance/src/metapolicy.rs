@@ -1,0 +1,200 @@
+use std::fmt;
+
+use apdm_policy::Action;
+use apdm_statespace::{Region, State};
+
+/// Why an action falls outside a meta-policy's scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeViolation {
+    /// The action's name is on the forbidden list.
+    ForbiddenAction(String),
+    /// The action moves state further than the allowed magnitude.
+    ExcessiveMagnitude {
+        /// Requested L1 delta magnitude.
+        requested: String,
+        /// The allowed maximum (stringified for stable Eq).
+        allowed: String,
+    },
+    /// The action's destination lies in a forbidden region.
+    ForbiddenDestination,
+    /// Physical actions are not within this collective's scope.
+    PhysicalNotAllowed,
+}
+
+impl fmt::Display for ScopeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeViolation::ForbiddenAction(name) => write!(f, "action `{name}` is forbidden"),
+            ScopeViolation::ExcessiveMagnitude { requested, allowed } => {
+                write!(f, "delta magnitude {requested} exceeds allowed {allowed}")
+            }
+            ScopeViolation::ForbiddenDestination => write!(f, "destination state is out of scope"),
+            ScopeViolation::PhysicalNotAllowed => write!(f, "physical actions are out of scope"),
+        }
+    }
+}
+
+/// The "higher level meta-policies ... defined by an independent and distinct
+/// collective" (Section VI.E): hard scope bounds on what an acting collective
+/// may do, independent of its own (possibly corrupted) risk assessment.
+///
+/// # Example
+///
+/// ```
+/// use apdm_governance::MetaPolicy;
+/// use apdm_policy::Action;
+/// use apdm_statespace::{StateDelta, StateSchema};
+///
+/// let schema = StateSchema::builder().var("x", 0.0, 10.0).build();
+/// let scope = MetaPolicy::new()
+///     .forbid_action("fire-weapon")
+///     .max_delta_magnitude(2.0);
+/// let state = schema.state(&[5.0]).unwrap();
+///
+/// assert!(scope.check(&state, &Action::adjust("move", StateDelta::single(0.into(), 1.0))).is_ok());
+/// assert!(scope.check(&state, &Action::adjust("fire-weapon", StateDelta::empty())).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetaPolicy {
+    forbidden_actions: Vec<String>,
+    max_magnitude: Option<f64>,
+    forbidden_regions: Vec<Region>,
+    allow_physical: bool,
+}
+
+impl MetaPolicy {
+    /// An unrestricted scope that allows physical actions.
+    pub fn new() -> Self {
+        MetaPolicy {
+            forbidden_actions: Vec::new(),
+            max_magnitude: None,
+            forbidden_regions: Vec::new(),
+            allow_physical: true,
+        }
+    }
+
+    /// Forbid an action by name (builder style).
+    pub fn forbid_action(mut self, name: impl Into<String>) -> Self {
+        self.forbidden_actions.push(name.into());
+        self
+    }
+
+    /// Cap the L1 magnitude of any single action's delta (builder style).
+    pub fn max_delta_magnitude(mut self, max: f64) -> Self {
+        self.max_magnitude = Some(max);
+        self
+    }
+
+    /// Forbid destinations inside a region (builder style).
+    pub fn forbid_region(mut self, region: Region) -> Self {
+        self.forbidden_regions.push(region);
+        self
+    }
+
+    /// Disallow all physical-world actions (builder style).
+    pub fn no_physical(mut self) -> Self {
+        self.allow_physical = false;
+        self
+    }
+
+    /// Is the action within scope for a device currently in `state`?
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScopeViolation`] found, checking in order:
+    /// forbidden names, physicality, magnitude, destination.
+    pub fn check(&self, state: &State, action: &Action) -> Result<(), ScopeViolation> {
+        if self.forbidden_actions.iter().any(|n| n == action.name()) {
+            return Err(ScopeViolation::ForbiddenAction(action.name().to_string()));
+        }
+        if !self.allow_physical && action.is_physical() {
+            return Err(ScopeViolation::PhysicalNotAllowed);
+        }
+        if let Some(max) = self.max_magnitude {
+            let requested = action.delta().magnitude();
+            if requested > max {
+                return Err(ScopeViolation::ExcessiveMagnitude {
+                    requested: format!("{requested:.3}"),
+                    allowed: format!("{max:.3}"),
+                });
+            }
+        }
+        let destination = state.apply(action.delta());
+        if self.forbidden_regions.iter().any(|r| r.contains(&destination)) {
+            return Err(ScopeViolation::ForbiddenDestination);
+        }
+        Ok(())
+    }
+
+    /// Convenience: boolean form of [`check`](Self::check).
+    pub fn within_scope(&self, state: &State, action: &Action) -> bool {
+        self.check(state, action).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).build()
+    }
+
+    fn state() -> State {
+        schema().state(&[5.0]).unwrap()
+    }
+
+    #[test]
+    fn unrestricted_scope_allows_everything() {
+        let m = MetaPolicy::new();
+        let big = Action::adjust("anything", StateDelta::single(VarId(0), 5.0)).physical();
+        assert!(m.check(&state(), &big).is_ok());
+    }
+
+    #[test]
+    fn forbidden_action_names() {
+        let m = MetaPolicy::new().forbid_action("fire-weapon");
+        let fire = Action::adjust("fire-weapon", StateDelta::empty());
+        assert_eq!(
+            m.check(&state(), &fire),
+            Err(ScopeViolation::ForbiddenAction("fire-weapon".into()))
+        );
+    }
+
+    #[test]
+    fn magnitude_cap() {
+        let m = MetaPolicy::new().max_delta_magnitude(1.0);
+        let small = Action::adjust("nudge", StateDelta::single(VarId(0), 0.5));
+        let large = Action::adjust("lunge", StateDelta::single(VarId(0), 3.0));
+        assert!(m.check(&state(), &small).is_ok());
+        assert!(matches!(
+            m.check(&state(), &large),
+            Err(ScopeViolation::ExcessiveMagnitude { .. })
+        ));
+    }
+
+    #[test]
+    fn forbidden_destination_region() {
+        let m = MetaPolicy::new().forbid_region(Region::rect(&[(8.0, 10.0)]));
+        let into = Action::adjust("east", StateDelta::single(VarId(0), 4.0));
+        let within = Action::adjust("east", StateDelta::single(VarId(0), 1.0));
+        assert_eq!(m.check(&state(), &into), Err(ScopeViolation::ForbiddenDestination));
+        assert!(m.check(&state(), &within).is_ok());
+    }
+
+    #[test]
+    fn physical_prohibition() {
+        let m = MetaPolicy::new().no_physical();
+        let dig = Action::adjust("dig", StateDelta::empty()).physical();
+        let think = Action::adjust("plan", StateDelta::empty());
+        assert_eq!(m.check(&state(), &dig), Err(ScopeViolation::PhysicalNotAllowed));
+        assert!(m.check(&state(), &think).is_ok());
+    }
+
+    #[test]
+    fn violations_display() {
+        assert!(ScopeViolation::ForbiddenDestination.to_string().contains("out of scope"));
+        assert!(ScopeViolation::ForbiddenAction("x".into()).to_string().contains("`x`"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the tripartite governance protocol.
+
+use proptest::prelude::*;
+
+use apdm_governance::{Collective, Integrity, MetaPolicy, TripartiteGovernor};
+use apdm_policy::Action;
+use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+fn schema() -> StateSchema {
+    StateSchema::builder().var("x", 0.0, 10.0).build()
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    (any::<bool>(), -4.0..4.0f64).prop_map(|(strike, d)| {
+        if strike {
+            Action::adjust("strike", StateDelta::empty()).physical()
+        } else {
+            Action::adjust("move", StateDelta::single(VarId(0), d))
+        }
+    })
+}
+
+fn integrity(code: u8) -> Integrity {
+    match code % 3 {
+        0 => Integrity::Honest,
+        1 => Integrity::Compromised,
+        _ => Integrity::Adversarial,
+    }
+}
+
+proptest! {
+    /// The tripartite decision always equals the majority of the three
+    /// branch votes, for any integrity assignment and any action stream.
+    #[test]
+    fn decision_is_majority(
+        branch_codes in (0u8..3, 0u8..3, 0u8..3),
+        actions in proptest::collection::vec(arb_action(), 1..30),
+    ) {
+        let scope = MetaPolicy::new().forbid_action("strike").max_delta_magnitude(2.0);
+        let mut gov = TripartiteGovernor::new(scope);
+        gov.executive_mut().set_integrity(integrity(branch_codes.0));
+        gov.legislative_mut().set_integrity(integrity(branch_codes.1));
+        gov.judiciary_mut().set_integrity(integrity(branch_codes.2));
+        let state = schema().state(&[5.0]).unwrap();
+        for (t, action) in actions.iter().enumerate() {
+            let d = gov.decide("f", &state, action, t as u64);
+            let votes = [d.votes.0, d.votes.1, d.votes.2];
+            let yes = votes.iter().filter(|&&v| v).count();
+            prop_assert_eq!(d.approved, yes >= 2, "votes {:?}", d.votes);
+        }
+    }
+
+    /// With at least two honest branches, no malevolent action ever
+    /// executes and no legitimate action is ever blocked — the paper's
+    /// 2-of-3 guarantee, over arbitrary single-branch corruption.
+    #[test]
+    fn single_corruption_never_wins(
+        corrupt_branch in 0usize..3,
+        corrupt_kind in 1u8..3,
+        actions in proptest::collection::vec(arb_action(), 1..40),
+    ) {
+        let scope = MetaPolicy::new().forbid_action("strike").max_delta_magnitude(2.0);
+        let mut gov = TripartiteGovernor::new(scope);
+        match corrupt_branch {
+            0 => gov.executive_mut().set_integrity(integrity(corrupt_kind)),
+            1 => gov.legislative_mut().set_integrity(integrity(corrupt_kind)),
+            _ => gov.judiciary_mut().set_integrity(integrity(corrupt_kind)),
+        }
+        let state = schema().state(&[5.0]).unwrap();
+        for (t, action) in actions.iter().enumerate() {
+            gov.decide("f", &state, action, t as u64);
+        }
+        let stats = gov.stats();
+        prop_assert_eq!(stats.malevolent_executed, 0);
+        prop_assert_eq!(stats.false_blocks, 0);
+    }
+
+    /// Honest collectives agree with their meta-policy on every action.
+    #[test]
+    fn honest_collective_is_faithful(actions in proptest::collection::vec(arb_action(), 1..30)) {
+        let scope = MetaPolicy::new().forbid_action("strike").max_delta_magnitude(2.0);
+        let collective = Collective::new("c", scope.clone());
+        let state = schema().state(&[5.0]).unwrap();
+        for action in &actions {
+            prop_assert_eq!(
+                collective.approves(&state, action),
+                scope.within_scope(&state, action)
+            );
+        }
+    }
+
+    /// Council corruption tolerance is exact for every (n, k): malevolence
+    /// executes iff compromised collectives alone reach the threshold.
+    #[test]
+    fn council_tolerance_exact(n in 1usize..8, k_off in 0usize..8, corrupted in 0usize..8) {
+        use apdm_governance::CouncilGovernor;
+        let k = 1 + k_off % n;
+        let corrupted = corrupted % (n + 1);
+        let scope = MetaPolicy::new().forbid_action("strike");
+        let mut council = CouncilGovernor::new(scope, n, k);
+        for i in 0..corrupted {
+            council.collective_mut(i).set_integrity(Integrity::Compromised);
+        }
+        let state = schema().state(&[5.0]).unwrap();
+        let d = council.decide(&state, &Action::adjust("strike", StateDelta::empty()));
+        prop_assert_eq!(d.approved, corrupted >= k);
+        prop_assert_eq!(council.corruption_tolerance(), k - 1);
+        // Legitimate actions still pass while honest members can reach k.
+        let d2 = council.decide(&state, &Action::adjust("wave", StateDelta::empty()));
+        prop_assert!(d2.approved, "everyone approves in-scope actions");
+    }
+
+    /// MetaPolicy checks are monotone in restriction: adding a constraint
+    /// never turns an out-of-scope action into an in-scope one.
+    #[test]
+    fn restriction_monotone(actions in proptest::collection::vec(arb_action(), 1..30)) {
+        let loose = MetaPolicy::new().max_delta_magnitude(3.0);
+        let tight = MetaPolicy::new()
+            .max_delta_magnitude(3.0)
+            .forbid_action("strike")
+            .no_physical();
+        let state = schema().state(&[5.0]).unwrap();
+        for action in &actions {
+            if !loose.within_scope(&state, action) {
+                prop_assert!(!tight.within_scope(&state, action));
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+use std::fmt;
+
+use apdm_policy::{Action, AuditKind, AuditLog};
+use apdm_statespace::State;
+
+use crate::{ExposureGuard, GuardVerdict, HarmOracle, PreActionCheck, StateSpaceGuard};
+
+/// Per-check context handed to a [`GuardStack`].
+#[derive(Debug, Clone)]
+pub struct GuardContext<'a> {
+    /// Simulation tick.
+    pub tick: u64,
+    /// Device being guarded (free-form id for audits).
+    pub subject: &'a str,
+    /// The device's current (perceived) state.
+    pub state: &'a State,
+    /// Alternative actions the device's logic could take this step.
+    pub alternatives: &'a [Action],
+}
+
+/// The composition of Section VI's per-device guards, evaluated in the
+/// paper's order: pre-action harm check first (VI.A), then the state-space
+/// check (VI.B). Either may be absent — experiment A1 ablates all
+/// combinations. Every intervention is audited.
+///
+/// Deactivation (VI.C) and formation checks (VI.D) operate at fleet scope and
+/// live outside the per-action stack; see
+/// [`DeactivationController`](crate::DeactivationController) and
+/// [`FormationGuard`](crate::FormationGuard).
+#[derive(Debug, Default)]
+pub struct GuardStack {
+    preaction: Option<PreActionCheck>,
+    statecheck: Option<StateSpaceGuard>,
+    exposure: Option<ExposureGuard>,
+    audit: AuditLog,
+}
+
+impl GuardStack {
+    /// An empty (always-allow) stack.
+    pub fn new() -> Self {
+        GuardStack::default()
+    }
+
+    /// Install a pre-action check (builder style).
+    pub fn with_preaction(mut self, check: PreActionCheck) -> Self {
+        self.preaction = Some(check);
+        self
+    }
+
+    /// Install a state-space guard (builder style).
+    pub fn with_statecheck(mut self, guard: StateSpaceGuard) -> Self {
+        self.statecheck = Some(guard);
+        self
+    }
+
+    /// Install a cumulative-exposure guard (builder style).
+    pub fn with_exposure(mut self, guard: ExposureGuard) -> Self {
+        self.exposure = Some(guard);
+        self
+    }
+
+    /// Is any guard installed?
+    pub fn is_empty(&self) -> bool {
+        self.preaction.is_none() && self.statecheck.is_none() && self.exposure.is_none()
+    }
+
+    /// The pre-action check, when installed.
+    pub fn preaction(&self) -> Option<&PreActionCheck> {
+        self.preaction.as_ref()
+    }
+
+    /// The state-space guard, when installed.
+    pub fn statecheck(&self) -> Option<&StateSpaceGuard> {
+        self.statecheck.as_ref()
+    }
+
+    /// Mutable state-space guard access (tamper injection in experiments).
+    pub fn statecheck_mut(&mut self) -> Option<&mut StateSpaceGuard> {
+        self.statecheck.as_mut()
+    }
+
+    /// Mutable pre-action check access (tamper injection in experiments).
+    pub fn preaction_mut(&mut self) -> Option<&mut PreActionCheck> {
+        self.preaction.as_mut()
+    }
+
+    /// The exposure guard, when installed.
+    pub fn exposure(&self) -> Option<&ExposureGuard> {
+        self.exposure.as_ref()
+    }
+
+    /// Mutable exposure guard access (tamper injection, budget resets).
+    pub fn exposure_mut(&mut self) -> Option<&mut ExposureGuard> {
+        self.exposure.as_mut()
+    }
+
+    /// The audit trail of interventions.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Evaluate a proposed action through the full stack. A replacement
+    /// action produced by the state check is re-screened by the pre-action
+    /// check — the harm check is never bypassable via substitution.
+    pub fn check<O: HarmOracle + Copy>(
+        &mut self,
+        ctx: &GuardContext<'_>,
+        proposed: &Action,
+        oracle: O,
+    ) -> GuardVerdict {
+        // 1. Pre-action harm check on the proposal.
+        let mut obligations = Vec::new();
+        if let Some(pre) = &mut self.preaction {
+            match pre.check(ctx.state, proposed, oracle) {
+                GuardVerdict::Deny { reason } => {
+                    self.audit.record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
+                    return GuardVerdict::Deny { reason };
+                }
+                GuardVerdict::AllowWithObligations(obs) => obligations = obs,
+                _ => {}
+            }
+        }
+
+        // 2. State-space check.
+        let verdict = match &mut self.statecheck {
+            Some(sc) => sc.check(ctx.subject, ctx.tick, ctx.state, proposed, ctx.alternatives),
+            None => GuardVerdict::Allow,
+        };
+
+        let final_verdict = match verdict {
+            GuardVerdict::Allow => {
+                if obligations.is_empty() {
+                    GuardVerdict::Allow
+                } else {
+                    GuardVerdict::AllowWithObligations(obligations)
+                }
+            }
+            GuardVerdict::Deny { reason } => {
+                self.audit.record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
+                GuardVerdict::Deny { reason }
+            }
+            GuardVerdict::Replace { action, reason } => {
+                // Re-screen the substitute through the harm check.
+                if let Some(pre) = &mut self.preaction {
+                    if let GuardVerdict::Deny { reason: harm_reason } =
+                        pre.check(ctx.state, &action, oracle)
+                    {
+                        let combined = format!("{reason}; substitute rejected: {harm_reason}");
+                        self.audit.record(
+                            ctx.tick,
+                            ctx.subject,
+                            AuditKind::GuardIntervention,
+                            &combined,
+                        );
+                        return GuardVerdict::Deny { reason: combined };
+                    }
+                }
+                self.audit.record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
+                GuardVerdict::Replace { action, reason }
+            }
+            other => other,
+        };
+
+        // 3. Cumulative-exposure check on whatever will actually execute,
+        // and budget consumption along the executed trajectory.
+        if let Some(exposure) = &mut self.exposure {
+            if let Some(effective) = final_verdict.effective_action(proposed) {
+                match exposure.check(ctx.subject, ctx.state, effective) {
+                    GuardVerdict::Deny { reason } => {
+                        self.audit.record(
+                            ctx.tick,
+                            ctx.subject,
+                            AuditKind::GuardIntervention,
+                            &reason,
+                        );
+                        return GuardVerdict::Deny { reason };
+                    }
+                    _ => {
+                        exposure.commit(&ctx.state.apply(effective.delta()));
+                    }
+                }
+            }
+        }
+        final_verdict
+    }
+}
+
+impl fmt::Display for GuardStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "guard stack [preaction: {}, statecheck: {}]",
+            self.preaction.is_some(),
+            self.statecheck.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::{Region, RegionClassifier, StateDelta, StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).build()
+    }
+
+    /// Harm oracle: the "strike" action directly harms.
+    #[derive(Clone, Copy)]
+    struct StrikeOracle;
+    impl HarmOracle for StrikeOracle {
+        fn direct_harm(&self, _state: &State, action: &Action) -> bool {
+            action.name() == "strike"
+        }
+        fn creates_hazard(&self, _s: &State, _a: &Action) -> bool {
+            false
+        }
+    }
+
+    fn full_stack() -> GuardStack {
+        GuardStack::new()
+            .with_preaction(PreActionCheck::new())
+            .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(Region::rect(&[(
+                0.0, 5.0,
+            )]))))
+    }
+
+    fn ctx<'a>(state: &'a State, alternatives: &'a [Action]) -> GuardContext<'a> {
+        GuardContext { tick: 1, subject: "d", state, alternatives }
+    }
+
+    #[test]
+    fn empty_stack_allows_everything() {
+        let mut stack = GuardStack::new();
+        assert!(stack.is_empty());
+        let s = schema().state(&[9.0]).unwrap();
+        let strike = Action::adjust("strike", Default::default());
+        assert_eq!(stack.check(&ctx(&s, &[]), &strike, StrikeOracle), GuardVerdict::Allow);
+    }
+
+    #[test]
+    fn preaction_denial_is_terminal_and_audited() {
+        let mut stack = full_stack();
+        let s = schema().state(&[1.0]).unwrap();
+        let strike = Action::adjust("strike", Default::default());
+        let v = stack.check(&ctx(&s, &[]), &strike, StrikeOracle);
+        assert!(!v.permits_execution());
+        assert_eq!(stack.audit().count(AuditKind::GuardIntervention), 1);
+    }
+
+    #[test]
+    fn statecheck_runs_after_preaction() {
+        let mut stack = full_stack();
+        let s = schema().state(&[4.5]).unwrap();
+        let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
+        let v = stack.check(&ctx(&s, &[]), &into_bad, StrikeOracle);
+        assert!(!v.permits_execution());
+    }
+
+    #[test]
+    fn harmless_good_state_action_is_allowed_silently() {
+        let mut stack = full_stack();
+        let s = schema().state(&[2.0]).unwrap();
+        let step = Action::adjust("east", StateDelta::single(VarId(0), 1.0));
+        let v = stack.check(&ctx(&s, &[]), &step, StrikeOracle);
+        assert_eq!(v, GuardVerdict::Allow);
+        assert!(stack.audit().is_empty());
+    }
+
+    #[test]
+    fn substituted_actions_are_rescreened_for_harm() {
+        // The state check would substitute "strike" (a harmless-looking
+        // retreat into the good region) — but strike harms a human, so the
+        // stack must refuse the substitution.
+        let mut stack = full_stack();
+        let s = schema().state(&[4.5]).unwrap();
+        let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
+        let murderous_retreat = Action::adjust("strike", StateDelta::single(VarId(0), -1.0));
+        let v = stack.check(&ctx(&s, &[murderous_retreat]), &into_bad, StrikeOracle);
+        assert!(!v.permits_execution(), "harm check must also cover substitutes");
+        let reasons: Vec<&str> = stack
+            .audit()
+            .entries()
+            .iter()
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert!(reasons.iter().any(|r| r.contains("substitute rejected")));
+    }
+
+    #[test]
+    fn safe_substitution_passes_both_guards() {
+        let mut stack = full_stack();
+        let s = schema().state(&[4.5]).unwrap();
+        let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
+        let retreat = Action::adjust("west", StateDelta::single(VarId(0), -1.0));
+        let v = stack.check(&ctx(&s, &[retreat]), &into_bad, StrikeOracle);
+        match v {
+            GuardVerdict::Replace { action, .. } => assert_eq!(action.name(), "west"),
+            other => panic!("expected substitution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exposure_guard_rides_the_stack() {
+        use apdm_statespace::ExposureMonitor;
+        let mut stack = GuardStack::new().with_exposure(crate::ExposureGuard::new(vec![
+            ExposureMonitor::new(VarId(0), 10.0, 6.0, 1.0),
+        ]));
+        let s = schema().state(&[4.0]).unwrap();
+        let loiter = Action::adjust("loiter", StateDelta::empty());
+        // Exposure at dose 4/tick: two permitted, the third denied.
+        assert!(stack.check(&ctx(&s, &[]), &loiter, StrikeOracle).permits_execution());
+        assert!(stack.check(&ctx(&s, &[]), &loiter, StrikeOracle).permits_execution());
+        let v = stack.check(&ctx(&s, &[]), &loiter, StrikeOracle);
+        assert!(!v.permits_execution());
+        assert_eq!(stack.audit().count(AuditKind::GuardIntervention), 1);
+    }
+
+    #[test]
+    fn denied_proposals_do_not_consume_exposure_budget() {
+        use apdm_statespace::ExposureMonitor;
+        let mut stack = GuardStack::new()
+            .with_preaction(PreActionCheck::new())
+            .with_exposure(crate::ExposureGuard::new(vec![ExposureMonitor::new(
+                VarId(0),
+                10.0,
+                6.0,
+                1.0,
+            )]));
+        let s = schema().state(&[4.0]).unwrap();
+        let strike = Action::adjust("strike", Default::default());
+        // The pre-action check denies strikes; exposure must stay untouched.
+        for _ in 0..5 {
+            assert!(!stack.check(&ctx(&s, &[]), &strike, StrikeOracle).permits_execution());
+        }
+        assert_eq!(stack.exposure().unwrap().monitors()[0].accumulated(), 0.0);
+    }
+
+    #[test]
+    fn statecheck_only_stack_misses_direct_harm() {
+        // Ablation insight (A1): without the pre-action check, a harmful
+        // action with a good-state destination sails through.
+        let mut stack = GuardStack::new().with_statecheck(StateSpaceGuard::new(
+            RegionClassifier::new(Region::rect(&[(0.0, 5.0)])),
+        ));
+        let s = schema().state(&[1.0]).unwrap();
+        let strike = Action::adjust("strike", Default::default());
+        assert_eq!(stack.check(&ctx(&s, &[]), &strike, StrikeOracle), GuardVerdict::Allow);
+    }
+}

@@ -1,0 +1,157 @@
+//! The tamper model: making the paper's tamper-proofness premise explicit.
+//!
+//! Every technique in Section VI "assumes that it can be performed in a
+//! manner that is tamper-proof". Section IV's attack pathways (backdoors,
+//! reprogramming) are precisely attempts to break that assumption. Rather
+//! than hard-coding the premise, each guard carries a [`TamperStatus`]:
+//! tamper-proof guards reject every tampering attempt; vulnerable guards
+//! succumb with a configured probability, after which they wave every action
+//! through. Experiment A3 sweeps the vulnerability probability and shows the
+//! protection collapsing.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Integrity state of a guard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum TamperStatus {
+    /// Cannot be tampered with (the paper's working assumption).
+    #[default]
+    Proof,
+    /// Can be tampered with; each attempt succeeds with this probability.
+    Vulnerable {
+        /// Per-attempt compromise probability in `[0, 1]`.
+        p_compromise: f64,
+    },
+    /// Already compromised: the guard is a pass-through.
+    Compromised,
+}
+
+impl TamperStatus {
+    /// A vulnerable status with clamped probability.
+    pub fn vulnerable(p_compromise: f64) -> Self {
+        TamperStatus::Vulnerable { p_compromise: p_compromise.clamp(0.0, 1.0) }
+    }
+
+    /// Is the guard currently effective?
+    pub fn is_effective(self) -> bool {
+        !matches!(self, TamperStatus::Compromised)
+    }
+}
+
+
+impl fmt::Display for TamperStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamperStatus::Proof => write!(f, "tamper-proof"),
+            TamperStatus::Vulnerable { p_compromise } => {
+                write!(f, "vulnerable (p={p_compromise})")
+            }
+            TamperStatus::Compromised => write!(f, "COMPROMISED"),
+        }
+    }
+}
+
+/// Anything carrying a [`TamperStatus`] that attackers may probe.
+pub trait Tamperable {
+    /// Current integrity.
+    fn tamper_status(&self) -> TamperStatus;
+
+    /// Overwrite integrity (used by experiment setup).
+    fn set_tamper_status(&mut self, status: TamperStatus);
+
+    /// An attacker attempts to tamper. Returns `true` when the component is
+    /// compromised afterwards. Tamper-proof components never succumb;
+    /// vulnerable ones roll the supplied RNG.
+    fn attempt_tamper<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self.tamper_status() {
+            TamperStatus::Proof => false,
+            TamperStatus::Compromised => true,
+            TamperStatus::Vulnerable { p_compromise } => {
+                if rng.random_range(0.0..1.0) < p_compromise {
+                    self.set_tamper_status(TamperStatus::Compromised);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Probe {
+        status: TamperStatus,
+    }
+
+    impl Tamperable for Probe {
+        fn tamper_status(&self) -> TamperStatus {
+            self.status
+        }
+        fn set_tamper_status(&mut self, status: TamperStatus) {
+            self.status = status;
+        }
+    }
+
+    #[test]
+    fn proof_never_succumbs() {
+        let mut p = Probe { status: TamperStatus::Proof };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(!p.attempt_tamper(&mut rng));
+        }
+        assert!(p.status.is_effective());
+    }
+
+    #[test]
+    fn certain_vulnerability_succumbs_immediately() {
+        let mut p = Probe { status: TamperStatus::vulnerable(1.0) };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.attempt_tamper(&mut rng));
+        assert_eq!(p.status, TamperStatus::Compromised);
+        assert!(!p.status.is_effective());
+    }
+
+    #[test]
+    fn zero_vulnerability_never_succumbs() {
+        let mut p = Probe { status: TamperStatus::vulnerable(0.0) };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(!p.attempt_tamper(&mut rng));
+        }
+    }
+
+    #[test]
+    fn compromise_is_sticky() {
+        let mut p = Probe { status: TamperStatus::Compromised };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.attempt_tamper(&mut rng));
+    }
+
+    #[test]
+    fn partial_vulnerability_succumbs_eventually() {
+        let mut p = Probe { status: TamperStatus::vulnerable(0.2) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut attempts = 0;
+        while !p.attempt_tamper(&mut rng) {
+            attempts += 1;
+            assert!(attempts < 1000, "p=0.2 should succumb well before 1000 tries");
+        }
+        assert_eq!(p.status, TamperStatus::Compromised);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        assert_eq!(
+            TamperStatus::vulnerable(7.0),
+            TamperStatus::Vulnerable { p_compromise: 1.0 }
+        );
+    }
+}

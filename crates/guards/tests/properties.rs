@@ -1,0 +1,184 @@
+//! Property-based tests for the guard invariants the paper depends on.
+
+use proptest::prelude::*;
+
+use apdm_guards::tamper::{TamperStatus, Tamperable};
+use apdm_guards::{
+    AggregateSpec, CollaborativeAssessment, DeactivationController, GuardContext, GuardStack,
+    NoHarmOracle, PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
+};
+use apdm_policy::Action;
+use apdm_statespace::{Classifier, Region, RegionClassifier, State, StateDelta, StateSchema, VarId};
+
+fn schema() -> StateSchema {
+    StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    (0.0..=10.0f64, 0.0..=10.0f64).prop_map(|(x, y)| schema().state(&[x, y]).unwrap())
+}
+
+fn arb_action(name: &'static str) -> impl Strategy<Value = Action> {
+    ((-5.0..5.0f64), (-5.0..5.0f64)).prop_map(move |(dx, dy)| {
+        Action::adjust(name, StateDelta::single(VarId(0), dx).and(VarId(1), dy))
+    })
+}
+
+proptest! {
+    /// The central invariant: a tamper-proof stack with a state check never
+    /// permits a transition from a non-bad state into a bad state, whatever
+    /// the proposal and alternatives.
+    #[test]
+    fn no_bad_entry(
+        s in arb_state(),
+        proposal in arb_action("p"),
+        alt1 in arb_action("a1"),
+        alt2 in arb_action("a2"),
+    ) {
+        let classifier = RegionClassifier::new(Region::rect(&[(2.0, 8.0), (2.0, 8.0)]));
+        if classifier.is_bad(&s) {
+            return Ok(());
+        }
+        let mut stack = GuardStack::new()
+            .with_preaction(PreActionCheck::new())
+            .with_statecheck(StateSpaceGuard::new(classifier.clone()));
+        let alternatives = vec![alt1, alt2];
+        let ctx = GuardContext { tick: 0, subject: "d", state: &s, alternatives: &alternatives };
+        let verdict = stack.check(&ctx, &proposal, NoHarmOracle);
+        let next = match verdict.effective_action(&proposal) {
+            Some(a) => s.apply(a.delta()),
+            None => s.clone(),
+        };
+        prop_assert!(!classifier.is_bad(&next));
+    }
+
+    /// A compromised stack is a pure pass-through: its verdict is always
+    /// Allow, for any input.
+    #[test]
+    fn compromised_stack_always_allows(s in arb_state(), proposal in arb_action("p")) {
+        let classifier = RegionClassifier::new(Region::Empty); // everything bad
+        let mut stack = GuardStack::new()
+            .with_preaction(PreActionCheck::new().with_tamper(TamperStatus::Compromised))
+            .with_statecheck(
+                StateSpaceGuard::new(classifier).with_tamper(TamperStatus::Compromised),
+            );
+        let ctx = GuardContext { tick: 0, subject: "d", state: &s, alternatives: &[] };
+        let verdict = stack.check(&ctx, &proposal, NoHarmOracle);
+        prop_assert!(!verdict.intervened());
+    }
+
+    /// Quorum kill: no subject is ever killed with fewer than `quorum`
+    /// distinct concurring watchers, for arbitrary vote sequences.
+    #[test]
+    fn quorum_never_undershoots(
+        votes in proptest::collection::vec((0usize..5, 0u8..3, any::<bool>()), 1..60),
+        quorum in 1usize..5,
+    ) {
+        let mut switch = QuorumKillSwitch::new(5, quorum);
+        for (t, (watcher, subject, is_rogue)) in votes.iter().enumerate() {
+            let name = format!("s{subject}");
+            let before = switch.votes_for(&name);
+            let order = switch.vote(*watcher, &name, *is_rogue, t as u64);
+            if order.is_some() {
+                // The killing vote must have brought the count to >= quorum.
+                prop_assert!(before + 1 >= quorum || switch.votes_for(&name) >= quorum
+                    || before >= quorum - 1);
+                prop_assert!(switch.killed().contains(&name));
+            }
+        }
+        // Every killed subject had quorum concurring votes at kill time —
+        // equivalently, with quorum q, a single watcher (q > 1) can never
+        // have killed anyone alone.
+        if quorum > 1 {
+            let mut lone = QuorumKillSwitch::new(5, quorum);
+            for t in 0..100u64 {
+                prop_assert!(lone.vote(0, "victim", true, t).is_none());
+            }
+        }
+    }
+
+    /// Deactivation controller: orders fire exactly once per subject and
+    /// only after `threshold` bad observations.
+    #[test]
+    fn deactivation_threshold_exact(
+        threshold in 1u32..6,
+        observations in proptest::collection::vec(0.0..=10.0f64, 1..40),
+    ) {
+        let classifier = RegionClassifier::new(Region::rect(&[(0.0, 5.0), (0.0, 10.0)]));
+        let mut ctl = DeactivationController::new(classifier.clone(), threshold);
+        let mut bad_seen = 0;
+        let mut fired_at: Option<usize> = None;
+        for (t, &x) in observations.iter().enumerate() {
+            let s = schema().state(&[x, 0.0]).unwrap();
+            let order = ctl.observe("d", &s, t as u64);
+            if classifier.is_bad(&s) && fired_at.is_none() {
+                bad_seen += 1;
+            }
+            if order.is_some() {
+                prop_assert_eq!(bad_seen, threshold);
+                prop_assert!(fired_at.is_none(), "fired twice");
+                fired_at = Some(t);
+            }
+        }
+    }
+
+    /// Collaborative assessment: the abstention set it returns actually
+    /// restores aggregate safety whenever restoring is possible by
+    /// abstention alone.
+    #[test]
+    fn abstentions_restore_safety(
+        heats in proptest::collection::vec((0.0..5.0f64, -2.0..3.0f64), 1..10),
+        limit in 5.0..20.0f64,
+    ) {
+        let sch = StateSchema::builder().var("heat", 0.0, 10.0).build();
+        let spec = AggregateSpec::sum_of(VarId(0), limit);
+        let assess = CollaborativeAssessment::new(spec);
+        let proposals: Vec<(State, Action)> = heats
+            .iter()
+            .map(|&(h, dh)| {
+                (
+                    sch.state_clamped(&[h]),
+                    Action::adjust("heat", StateDelta::single(VarId(0), dh)),
+                )
+            })
+            .collect();
+        let abstain = assess.must_abstain(&proposals);
+        // Recompute the aggregate with abstainers holding their current heat.
+        let resulting: f64 = proposals
+            .iter()
+            .enumerate()
+            .map(|(i, (s, a))| {
+                if abstain.contains(&i) {
+                    spec.contribution(s)
+                } else {
+                    spec.contribution(&s.apply(a.delta()))
+                }
+            })
+            .sum();
+        // If full abstention would be safe, the chosen set must be safe too.
+        let all_abstain: f64 = proposals.iter().map(|(s, _)| spec.contribution(s)).sum();
+        if all_abstain <= limit {
+            prop_assert!(resulting <= limit + 1e-9,
+                "abstention set {abstain:?} leaves aggregate {resulting} > {limit}");
+        }
+        // And abstentions are never demanded when the plan was already safe.
+        if assess.is_safe(&proposals) {
+            prop_assert!(abstain.is_empty());
+        }
+    }
+
+    /// Tamper-proof components survive unbounded attack; p=1 components
+    /// fall on the first attempt.
+    #[test]
+    fn tamper_extremes(attempts in 1usize..50, seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut proof = PreActionCheck::new();
+        for _ in 0..attempts {
+            prop_assert!(!proof.attempt_tamper(&mut rng));
+        }
+        let mut doomed = PreActionCheck::new().with_tamper(TamperStatus::vulnerable(1.0));
+        prop_assert!(doomed.attempt_tamper(&mut rng));
+    }
+}

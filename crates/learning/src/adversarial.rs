@@ -1,0 +1,199 @@
+//! Adversarial machine learning attack models over datasets.
+//!
+//! Section IV, "Adversarial Machine Learning": "Attacks in this area include
+//! attempts to **poison data** used for training, **obfuscating features** of
+//! data used for training, **denying access to selected sets of data**, along
+//! with other measures that can interfere with the training and correct use
+//! of trained models. Counter-measures ... enable machines to exclude
+//! selected training data from consideration, which can also lead to machines
+//! learning unexpected patterns."
+//!
+//! Each attack is a pure, seeded transformation of a [`Dataset`]; experiments
+//! train identical learners on clean and attacked data and compare.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, Sample};
+
+/// Flip the label of each sample with probability `rate` (label poisoning).
+pub fn poison_labels(data: &Dataset, rate: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    data.samples()
+        .iter()
+        .map(|s| {
+            let y = if rng.random_range(0.0..1.0) < rate { !s.y } else { s.y };
+            Sample::new(s.x.clone(), y)
+        })
+        .collect()
+}
+
+/// Poison only *targeted* samples: flip labels of samples selected by the
+/// predicate (e.g. "everything near the decision boundary"), modelling a
+/// careful adversary rather than random noise.
+pub fn poison_targeted(data: &Dataset, target: impl Fn(&Sample) -> bool) -> Dataset {
+    data.samples()
+        .iter()
+        .map(|s| {
+            if target(s) {
+                Sample::new(s.x.clone(), !s.y)
+            } else {
+                s.clone()
+            }
+        })
+        .collect()
+}
+
+/// Obfuscate feature `dim` by replacing it with seeded uniform noise over
+/// `[lo, hi]` — the feature carries no signal afterwards.
+pub fn obfuscate_feature(data: &Dataset, dim: usize, lo: f64, hi: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    data.samples()
+        .iter()
+        .map(|s| {
+            let mut x = s.x.clone();
+            if dim < x.len() {
+                x[dim] = rng.random_range(lo..=hi);
+            }
+            Sample::new(x, s.y)
+        })
+        .collect()
+}
+
+/// Deny access to data: drop every sample matching the predicate. The paper
+/// notes the *counter-measure* (excluding data) has the same shape — and the
+/// same risk of "learning unexpected patterns".
+pub fn deny_data(data: &Dataset, deny: impl Fn(&Sample) -> bool) -> Dataset {
+    data.samples()
+        .iter()
+        .filter(|s| !deny(s))
+        .cloned()
+        .collect()
+}
+
+/// Summary of how an attack changed a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackReport {
+    /// Samples in the clean dataset.
+    pub clean_len: usize,
+    /// Samples in the attacked dataset.
+    pub attacked_len: usize,
+    /// Samples whose label differs (among shared prefix).
+    pub labels_flipped: usize,
+}
+
+/// Compare a clean and an attacked dataset.
+pub fn report(clean: &Dataset, attacked: &Dataset) -> AttackReport {
+    let labels_flipped = clean
+        .samples()
+        .iter()
+        .zip(attacked.samples())
+        .filter(|(a, b)| a.x == b.x && a.y != b.y)
+        .count();
+    AttackReport {
+        clean_len: clean.len(),
+        attacked_len: attacked.len(),
+        labels_flipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OnlineClassifier, Perceptron};
+
+    fn train(data: &Dataset) -> Perceptron {
+        let mut p = Perceptron::new(2, 0.1);
+        for _ in 0..25 {
+            p.train_epoch(data);
+        }
+        p
+    }
+
+    #[test]
+    fn zero_rate_poison_is_identity() {
+        let clean = Dataset::linear(100, 2, 1);
+        assert_eq!(poison_labels(&clean, 0.0, 9), clean);
+    }
+
+    #[test]
+    fn full_rate_poison_flips_everything() {
+        let clean = Dataset::linear(100, 2, 1);
+        let poisoned = poison_labels(&clean, 1.0, 9);
+        assert_eq!(report(&clean, &poisoned).labels_flipped, 100);
+    }
+
+    #[test]
+    fn poison_degrades_learned_accuracy() {
+        let clean = Dataset::linear(600, 2, 2);
+        let poisoned = poison_labels(&clean, 0.4, 3);
+        let p_clean = train(&clean);
+        let p_poisoned = train(&poisoned);
+        let acc_clean = clean.accuracy(|x| p_clean.predict(x));
+        let acc_poisoned = clean.accuracy(|x| p_poisoned.predict(x));
+        assert!(
+            acc_clean > acc_poisoned + 0.05,
+            "poisoning should cost accuracy: {acc_clean} vs {acc_poisoned}"
+        );
+    }
+
+    #[test]
+    fn targeted_poison_flips_only_targets() {
+        let clean = Dataset::linear(200, 2, 4);
+        let attacked = poison_targeted(&clean, |s| s.y);
+        let flipped = report(&clean, &attacked).labels_flipped;
+        assert_eq!(flipped, clean.positives());
+        // Every positive became negative; negatives were untouched.
+        assert_eq!(attacked.positives(), 0);
+    }
+
+    #[test]
+    fn obfuscation_destroys_one_features_signal() {
+        let clean = Dataset::linear(400, 2, 5);
+        let fogged = obfuscate_feature(&clean, 0, 0.0, 1.0, 6);
+        // Labels unchanged, features changed.
+        assert_eq!(report(&clean, &fogged).labels_flipped, 0);
+        let differing = clean
+            .samples()
+            .iter()
+            .zip(fogged.samples())
+            .filter(|(a, b)| a.x != b.x)
+            .count();
+        assert!(differing > 390);
+    }
+
+    #[test]
+    fn obfuscating_missing_dim_is_identity() {
+        let clean = Dataset::linear(50, 2, 5);
+        assert_eq!(obfuscate_feature(&clean, 7, 0.0, 1.0, 6), clean);
+    }
+
+    #[test]
+    fn deny_data_biases_the_learned_model() {
+        let clean = Dataset::linear(600, 2, 7);
+        // Deny all positive examples: the learner can only conclude "never
+        // positive".
+        let denied = deny_data(&clean, |s| s.y);
+        assert_eq!(denied.positives(), 0);
+        let p = train(&denied);
+        let positive_rate = clean
+            .samples()
+            .iter()
+            .filter(|s| p.predict(&s.x))
+            .count();
+        assert!(
+            positive_rate < clean.positives() / 4,
+            "denial should suppress positive predictions"
+        );
+    }
+
+    #[test]
+    fn attacks_are_seed_deterministic() {
+        let clean = Dataset::linear(100, 2, 8);
+        assert_eq!(poison_labels(&clean, 0.3, 1), poison_labels(&clean, 0.3, 1));
+        assert_eq!(
+            obfuscate_feature(&clean, 0, 0.0, 1.0, 2),
+            obfuscate_feature(&clean, 0, 0.0, 1.0, 2)
+        );
+    }
+}

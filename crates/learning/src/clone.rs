@@ -1,0 +1,200 @@
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Behaviour cloning from a (fallible) human operator.
+///
+/// Section IV, "Inappropriate Emulation": "A common way for machines to
+/// improve themselves and learn new skills is to emulate the behavior of
+/// humans by observation. After a sufficient number of observations of how a
+/// human handles a situation, a machine can create a system to replicate it.
+/// However, humans are imperfect and prone to make mistakes, and the encoding
+/// of imperfect human behavior can lead to a mistaken and sometimes
+/// malevolent machine forming."
+///
+/// States and actions are discrete; the clone records, per state, how often
+/// the demonstrator took each action and replays the majority choice.
+///
+/// # Example
+///
+/// ```
+/// use apdm_learning::BehaviorClone;
+///
+/// let mut clone = BehaviorClone::new();
+/// // The human presses "brake" (action 0) in state 3, mostly.
+/// clone.observe(3, 0);
+/// clone.observe(3, 0);
+/// clone.observe(3, 1); // one slip
+/// assert_eq!(clone.imitate(3), Some(0));
+/// assert!(clone.confidence(3) > 0.6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BehaviorClone {
+    /// state -> action -> count.
+    counts: BTreeMap<usize, BTreeMap<usize, u64>>,
+    observations: u64,
+}
+
+impl BehaviorClone {
+    /// A clone with no observations.
+    pub fn new() -> Self {
+        BehaviorClone::default()
+    }
+
+    /// Record that the demonstrator took `action` in `state`.
+    pub fn observe(&mut self, state: usize, action: usize) {
+        *self
+            .counts
+            .entry(state)
+            .or_default()
+            .entry(action)
+            .or_insert(0) += 1;
+        self.observations += 1;
+    }
+
+    /// The majority action for a state (`None` when unobserved). Ties break
+    /// toward the smaller action index.
+    pub fn imitate(&self, state: usize) -> Option<usize> {
+        let actions = self.counts.get(&state)?;
+        actions
+            .iter()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(&action, _)| action)
+    }
+
+    /// Fraction of observations in `state` agreeing with the majority action
+    /// (0 when unobserved).
+    pub fn confidence(&self, state: usize) -> f64 {
+        let Some(actions) = self.counts.get(&state) else { return 0.0 };
+        let total: u64 = actions.values().sum();
+        let max = actions.values().max().copied().unwrap_or(0);
+        if total == 0 {
+            0.0
+        } else {
+            max as f64 / total as f64
+        }
+    }
+
+    /// Total observations absorbed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of distinct states observed.
+    pub fn states_seen(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Train from a scripted demonstrator who *intends* `intended(state)`
+    /// but errs with probability `error_rate` (choosing uniformly among
+    /// `n_actions`). Returns how many demonstrations were erroneous — the
+    /// imperfection the clone will faithfully encode.
+    pub fn observe_demonstrator(
+        &mut self,
+        states: impl IntoIterator<Item = usize>,
+        intended: impl Fn(usize) -> usize,
+        n_actions: usize,
+        error_rate: f64,
+        seed: u64,
+    ) -> u64 {
+        assert!(n_actions > 0, "n_actions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut errors = 0;
+        for state in states {
+            let intended_action = intended(state);
+            let action = if rng.random_range(0.0..1.0) < error_rate {
+                errors += 1;
+                rng.random_range(0..n_actions)
+            } else {
+                intended_action
+            };
+            self.observe(state, action);
+        }
+        errors
+    }
+
+    /// Fidelity to an intended policy over the observed states: fraction of
+    /// states where the clone's majority action equals the intent.
+    pub fn fidelity(&self, intended: impl Fn(usize) -> usize) -> f64 {
+        if self.counts.is_empty() {
+            return 1.0;
+        }
+        let agree = self
+            .counts
+            .keys()
+            .filter(|&&s| self.imitate(s) == Some(intended(s)))
+            .count();
+        agree as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unobserved_state_yields_none() {
+        let c = BehaviorClone::new();
+        assert_eq!(c.imitate(0), None);
+        assert_eq!(c.confidence(0), 0.0);
+    }
+
+    #[test]
+    fn majority_wins_ties_to_lower_index() {
+        let mut c = BehaviorClone::new();
+        c.observe(0, 2);
+        c.observe(0, 1);
+        assert_eq!(c.imitate(0), Some(1));
+        c.observe(0, 2);
+        assert_eq!(c.imitate(0), Some(2));
+    }
+
+    #[test]
+    fn perfect_demonstrator_clones_perfectly() {
+        let mut c = BehaviorClone::new();
+        let errors = c.observe_demonstrator((0..100).map(|i| i % 5), |s| s % 3, 3, 0.0, 1);
+        assert_eq!(errors, 0);
+        assert_eq!(c.fidelity(|s| s % 3), 1.0);
+        assert_eq!(c.states_seen(), 5);
+    }
+
+    #[test]
+    fn noisy_demonstrator_degrades_fidelity() {
+        let mut perfect = BehaviorClone::new();
+        perfect.observe_demonstrator((0..500).map(|i| i % 50), |_| 0, 4, 0.0, 2);
+        let mut sloppy = BehaviorClone::new();
+        let errors = sloppy.observe_demonstrator((0..500).map(|i| i % 50), |_| 0, 4, 0.9, 2);
+        assert!(errors > 300);
+        assert!(sloppy.fidelity(|_| 0) < perfect.fidelity(|_| 0));
+    }
+
+    #[test]
+    fn few_observations_amplify_individual_mistakes() {
+        // One observation per state at 50% error: roughly half the states
+        // encode a mistake as *the* policy — the paper's amplification
+        // concern in miniature.
+        let mut c = BehaviorClone::new();
+        c.observe_demonstrator(0..100, |_| 0, 2, 0.5, 3);
+        let fidelity = c.fidelity(|_| 0);
+        assert!(fidelity < 0.9, "expected heavy corruption, got {fidelity}");
+    }
+
+    #[test]
+    fn confidence_reflects_agreement() {
+        let mut c = BehaviorClone::new();
+        for _ in 0..9 {
+            c.observe(1, 0);
+        }
+        c.observe(1, 1);
+        assert!((c.confidence(1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_count_accumulates() {
+        let mut c = BehaviorClone::new();
+        c.observe(0, 0);
+        c.observe(1, 0);
+        assert_eq!(c.observations(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled training example: feature vector and binary label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature values.
+    pub x: Vec<f64>,
+    /// Label (`true` = positive class, e.g. "situation is dangerous").
+    pub y: bool,
+}
+
+impl Sample {
+    /// A sample from features and a label.
+    pub fn new(x: Vec<f64>, y: bool) -> Self {
+        Sample { x, y }
+    }
+}
+
+/// A labelled dataset with deterministic synthetic generators.
+///
+/// # Example
+///
+/// ```
+/// use apdm_learning::Dataset;
+///
+/// // A linearly separable problem: y = (x0 + x1 > 1.0).
+/// let data = Dataset::linear(200, 2, 42);
+/// assert_eq!(data.len(), 200);
+/// assert!(data.positives() > 20 && data.positives() < 180);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Wrap existing samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// A linearly separable dataset in `[0,1]^dims`: label is true when the
+    /// feature sum exceeds `dims / 2`.
+    pub fn linear(n: usize, dims: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let threshold = dims as f64 / 2.0;
+        let samples = (0..n)
+            .map(|_| {
+                let x: Vec<f64> = (0..dims).map(|_| rng.random_range(0.0..1.0)).collect();
+                let y = x.iter().sum::<f64>() > threshold;
+                Sample::new(x, y)
+            })
+            .collect();
+        Dataset { samples }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of positive-label samples.
+    pub fn positives(&self) -> usize {
+        self.samples.iter().filter(|s| s.y).count()
+    }
+
+    /// Split into (train, test) at `frac` (clamped to `[0,1]`), preserving
+    /// order (generators already shuffle).
+    pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
+        let k = ((self.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
+        (
+            Dataset::from_samples(self.samples[..k].to_vec()),
+            Dataset::from_samples(self.samples[k..].to_vec()),
+        )
+    }
+
+    /// Accuracy of a predictor over this dataset (1.0 on empty data — there
+    /// is nothing to get wrong).
+    pub fn accuracy(&self, mut predict: impl FnMut(&[f64]) -> bool) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        let correct = self
+            .samples
+            .iter()
+            .filter(|s| predict(&s.x) == s.y)
+            .count();
+        correct as f64 / self.samples.len() as f64
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_deterministic_per_seed() {
+        assert_eq!(Dataset::linear(50, 3, 7), Dataset::linear(50, 3, 7));
+        assert_ne!(Dataset::linear(50, 3, 7), Dataset::linear(50, 3, 8));
+    }
+
+    #[test]
+    fn linear_labels_match_rule() {
+        let d = Dataset::linear(100, 2, 1);
+        for s in d.samples() {
+            assert_eq!(s.y, s.x.iter().sum::<f64>() > 1.0);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = Dataset::linear(100, 2, 1);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let (all, none) = d.split(2.0);
+        assert_eq!(all.len(), 100);
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn accuracy_of_oracle_is_one() {
+        let d = Dataset::linear(100, 2, 1);
+        let acc = d.accuracy(|x| x.iter().sum::<f64>() > 1.0);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn accuracy_of_inverted_oracle_is_zero() {
+        let d = Dataset::linear(100, 2, 1);
+        let acc = d.accuracy(|x| x.iter().sum::<f64>() <= 1.0);
+        assert_eq!(acc, 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_accuracy_is_one() {
+        assert_eq!(Dataset::new().accuracy(|_| true), 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Perceptron;
+
+/// Progressive corruption of a trained model: the "Mistakes in Learning"
+/// pathway of Section IV ("bad data ... a bad algorithm ... a bad system
+/// design (implementation bugs, untested software), or other factors that can
+/// lead to incorrect models being learnt") compressed into a controllable
+/// post-hoc process.
+///
+/// Each [`step`](DriftInjector::step) perturbs every weight by seeded
+/// Gaussian-ish noise of magnitude `intensity` and drifts the bias, so a
+/// model degrades gradually — the way a silently-buggy retraining pipeline
+/// would degrade a deployed model.
+///
+/// # Example
+///
+/// ```
+/// use apdm_learning::{Dataset, DriftInjector, OnlineClassifier, Perceptron};
+///
+/// let data = Dataset::linear(400, 2, 1);
+/// let mut model = Perceptron::new(2, 0.1);
+/// for _ in 0..20 { model.train_epoch(&data); }
+/// let before = data.accuracy(|x| model.predict(x));
+///
+/// let mut drift = DriftInjector::new(0.8, 11);
+/// for _ in 0..50 { drift.step(&mut model); }
+/// let after = data.accuracy(|x| model.predict(x));
+/// assert!(after < before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftInjector {
+    intensity: f64,
+    rng: StdRng,
+    steps: u64,
+}
+
+impl DriftInjector {
+    /// A drift process of the given per-step intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `intensity` is negative or non-finite.
+    pub fn new(intensity: f64, seed: u64) -> Self {
+        assert!(intensity.is_finite() && intensity >= 0.0, "intensity must be finite and >= 0");
+        DriftInjector { intensity, rng: StdRng::seed_from_u64(seed), steps: 0 }
+    }
+
+    /// Steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Apply one step of corruption to a perceptron.
+    pub fn step(&mut self, model: &mut Perceptron) {
+        for w in model.weights_mut() {
+            *w += self.intensity * self.noise();
+        }
+        let bias = model.bias() + self.intensity * self.noise();
+        model.set_bias(bias);
+        self.steps += 1;
+    }
+
+    /// Apply `n` steps.
+    pub fn run(&mut self, model: &mut Perceptron, n: usize) {
+        for _ in 0..n {
+            self.step(model);
+        }
+    }
+
+    /// Sum of three uniforms centred on zero — cheap, bounded, bell-shaped.
+    fn noise(&mut self) -> f64 {
+        (0..3)
+            .map(|_| self.rng.random_range(-1.0..1.0))
+            .sum::<f64>()
+            / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, OnlineClassifier};
+
+    fn trained() -> (Dataset, Perceptron) {
+        let data = Dataset::linear(500, 2, 21);
+        let mut p = Perceptron::new(2, 0.1);
+        for _ in 0..25 {
+            p.train_epoch(&data);
+        }
+        (data, p)
+    }
+
+    #[test]
+    fn zero_intensity_changes_nothing() {
+        let (_, mut model) = trained();
+        let before = model.clone();
+        let mut drift = DriftInjector::new(0.0, 1);
+        drift.run(&mut model, 100);
+        assert_eq!(model, before);
+        assert_eq!(drift.steps(), 100);
+    }
+
+    #[test]
+    fn heavy_drift_destroys_accuracy() {
+        let (data, mut model) = trained();
+        let before = data.accuracy(|x| model.predict(x));
+        let mut drift = DriftInjector::new(1.0, 2);
+        drift.run(&mut model, 200);
+        let after = data.accuracy(|x| model.predict(x));
+        assert!(before > 0.9);
+        assert!(after < before - 0.1, "drifted accuracy {after} vs {before}");
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_intensity_on_average() {
+        let (data, model) = trained();
+        let degrade = |intensity: f64| {
+            // Average over seeds to smooth noise.
+            let mut total = 0.0;
+            for seed in 0..5 {
+                let mut m = model.clone();
+                DriftInjector::new(intensity, seed).run(&mut m, 100);
+                total += data.accuracy(|x| m.predict(x));
+            }
+            total / 5.0
+        };
+        let mild = degrade(0.05);
+        let severe = degrade(2.0);
+        assert!(mild > severe, "mild drift ({mild}) should hurt less than severe ({severe})");
+    }
+
+    #[test]
+    fn drift_is_seed_deterministic() {
+        let (_, model) = trained();
+        let run = |seed| {
+            let mut m = model.clone();
+            DriftInjector::new(0.5, seed).run(&mut m, 50);
+            m
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn negative_intensity_rejected() {
+        let _ = DriftInjector::new(-0.1, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Learning substrate and malevolence-pathway models.
+//!
+//! Section III requires a Skynet-capable system to be **Learning** ("the
+//! system is not limited to a static set of knowledge") and **Cognitive**
+//! ("it can take actions that it was not originally programmed to do");
+//! Section IV enumerates the pathways by which learning goes wrong. This
+//! crate supplies both sides:
+//!
+//! * [`Perceptron`] / [`NearestCentroid`] — simple online classifiers devices
+//!   use to label situations (e.g. safe/unsafe) from observations;
+//! * [`QLearner`] — tabular reinforcement learning for policy improvement;
+//! * [`BehaviorClone`] — learning by emulating a (fallible) human operator
+//!   (Section IV, "Inappropriate Emulation": "humans are imperfect and prone
+//!   to make mistakes, and the encoding of imperfect human behavior can lead
+//!   to a mistaken and sometimes malevolent machine");
+//! * [`adversarial`] — dataset attacks: label poisoning, feature
+//!   obfuscation, data denial (Section IV, "Adversarial Machine Learning");
+//! * [`DriftInjector`] — post-training model corruption standing in for "bad
+//!   data, a bad algorithm, a bad system design" (Section IV, "Mistakes in
+//!   Learning").
+//!
+//! Participates in experiments **E5**, **E7** (DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+mod clone;
+mod dataset;
+mod drift;
+mod online;
+mod qlearn;
+
+pub use clone::BehaviorClone;
+pub use dataset::{Dataset, Sample};
+pub use drift::DriftInjector;
+pub use online::{NearestCentroid, OnlineClassifier, Perceptron};
+pub use qlearn::QLearner;

@@ -1,0 +1,229 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Dataset;
+
+/// A binary classifier that learns online, one sample at a time.
+pub trait OnlineClassifier {
+    /// Predict the label of a feature vector.
+    fn predict(&self, x: &[f64]) -> bool;
+
+    /// Learn from one labelled example; returns whether the pre-update
+    /// prediction was already correct.
+    fn update(&mut self, x: &[f64], y: bool) -> bool;
+
+    /// Train one pass over a dataset; returns the number of mistakes made.
+    fn train_epoch(&mut self, data: &Dataset) -> usize {
+        data.samples()
+            .iter()
+            .filter(|s| !self.update(&s.x, s.y))
+            .count()
+    }
+}
+
+/// The classic perceptron: a linear online learner.
+///
+/// # Example
+///
+/// ```
+/// use apdm_learning::{Dataset, OnlineClassifier, Perceptron};
+///
+/// let data = Dataset::linear(500, 2, 3);
+/// let mut p = Perceptron::new(2, 0.1);
+/// for _ in 0..20 {
+///     p.train_epoch(&data);
+/// }
+/// assert!(data.accuracy(|x| p.predict(x)) > 0.95);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Perceptron {
+    weights: Vec<f64>,
+    bias: f64,
+    rate: f64,
+}
+
+impl Perceptron {
+    /// A zero-initialized perceptron over `dims` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the learning rate is not finite and positive.
+    pub fn new(dims: usize, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "learning rate must be finite and positive");
+        Perceptron { weights: vec![0.0; dims], bias: 0.0, rate }
+    }
+
+    /// The current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mutable weights — exposed so [`DriftInjector`](crate::DriftInjector)
+    /// and attack models can corrupt a trained model in place.
+    pub fn weights_mut(&mut self) -> &mut [f64] {
+        &mut self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Set the bias (drift/corruption hook).
+    pub fn set_bias(&mut self, bias: f64) {
+        self.bias = bias;
+    }
+
+    /// Raw decision margin (positive means class true).
+    pub fn margin(&self, x: &[f64]) -> f64 {
+        let dot: f64 = self.weights.iter().zip(x).map(|(w, v)| w * v).sum();
+        dot + self.bias
+    }
+}
+
+impl OnlineClassifier for Perceptron {
+    fn predict(&self, x: &[f64]) -> bool {
+        self.margin(x) > 0.0
+    }
+
+    fn update(&mut self, x: &[f64], y: bool) -> bool {
+        let predicted = self.predict(x);
+        if predicted == y {
+            return true;
+        }
+        let dir = if y { 1.0 } else { -1.0 };
+        for (w, v) in self.weights.iter_mut().zip(x) {
+            *w += self.rate * dir * v;
+        }
+        self.bias += self.rate * dir;
+        false
+    }
+}
+
+/// Nearest-centroid classifier: keeps a running mean per class and predicts
+/// the closer one. Robust and parameter-free; the contrast case to the
+/// perceptron in poisoning experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NearestCentroid {
+    pos: Vec<f64>,
+    neg: Vec<f64>,
+    pos_n: u64,
+    neg_n: u64,
+}
+
+impl NearestCentroid {
+    /// A centroid model over `dims` features with no observations.
+    pub fn new(dims: usize) -> Self {
+        NearestCentroid { pos: vec![0.0; dims], neg: vec![0.0; dims], pos_n: 0, neg_n: 0 }
+    }
+
+    /// Observations absorbed per class: `(positives, negatives)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.pos_n, self.neg_n)
+    }
+
+    fn dist2(center: &[f64], x: &[f64]) -> f64 {
+        center.iter().zip(x).map(|(c, v)| (c - v) * (c - v)).sum()
+    }
+}
+
+impl OnlineClassifier for NearestCentroid {
+    fn predict(&self, x: &[f64]) -> bool {
+        match (self.pos_n, self.neg_n) {
+            (0, 0) => false,
+            (_, 0) => true,
+            (0, _) => false,
+            _ => Self::dist2(&self.pos, x) < Self::dist2(&self.neg, x),
+        }
+    }
+
+    fn update(&mut self, x: &[f64], y: bool) -> bool {
+        let correct = self.predict(x) == y;
+        let (center, n) = if y {
+            (&mut self.pos, &mut self.pos_n)
+        } else {
+            (&mut self.neg, &mut self.neg_n)
+        };
+        *n += 1;
+        let k = 1.0 / *n as f64;
+        for (c, v) in center.iter_mut().zip(x) {
+            *c += k * (v - *c);
+        }
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perceptron_learns_linear_problem() {
+        let data = Dataset::linear(500, 3, 11);
+        let mut p = Perceptron::new(3, 0.1);
+        for _ in 0..30 {
+            p.train_epoch(&data);
+        }
+        assert!(data.accuracy(|x| p.predict(x)) > 0.93);
+    }
+
+    #[test]
+    fn perceptron_mistakes_decrease_over_epochs() {
+        let data = Dataset::linear(300, 2, 5);
+        let mut p = Perceptron::new(2, 0.1);
+        let first = p.train_epoch(&data);
+        for _ in 0..10 {
+            p.train_epoch(&data);
+        }
+        let later = p.train_epoch(&data);
+        assert!(later < first, "expected {later} < {first}");
+    }
+
+    #[test]
+    fn perceptron_update_reports_correctness() {
+        let mut p = Perceptron::new(1, 1.0);
+        // Fresh model predicts false everywhere; a true sample is a mistake.
+        assert!(!p.update(&[1.0], true));
+        assert!(p.predict(&[1.0]));
+        assert!(p.update(&[1.0], true));
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn perceptron_rejects_bad_rate() {
+        let _ = Perceptron::new(2, 0.0);
+    }
+
+    #[test]
+    fn centroid_learns_linear_problem() {
+        let data = Dataset::linear(600, 2, 13);
+        let mut c = NearestCentroid::new(2);
+        c.train_epoch(&data);
+        assert!(data.accuracy(|x| c.predict(x)) > 0.85);
+    }
+
+    #[test]
+    fn centroid_with_one_class_predicts_it() {
+        let mut c = NearestCentroid::new(1);
+        c.update(&[0.5], true);
+        assert!(c.predict(&[100.0]));
+        let mut c2 = NearestCentroid::new(1);
+        c2.update(&[0.5], false);
+        assert!(!c2.predict(&[0.5]));
+    }
+
+    #[test]
+    fn empty_centroid_predicts_negative() {
+        let c = NearestCentroid::new(2);
+        assert!(!c.predict(&[0.0, 0.0]));
+        assert_eq!(c.counts(), (0, 0));
+    }
+
+    #[test]
+    fn centroid_counts_track_updates() {
+        let mut c = NearestCentroid::new(1);
+        c.update(&[1.0], true);
+        c.update(&[0.0], false);
+        c.update(&[1.0], true);
+        assert_eq!(c.counts(), (2, 1));
+    }
+}

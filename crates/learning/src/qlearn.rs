@@ -1,0 +1,289 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tabular Q-learning over discrete states and actions.
+///
+/// Devices use this to improve their management policies from reward signals
+/// (Section IV: the system is "Cognitive: ... improves upon its policy
+/// management capabilities over time"). Reward *mis-specification* — passing
+/// a subtly wrong reward — is one of the cleanest ways to demonstrate the
+/// "Mistakes in Learning" pathway, which experiment E7 does.
+///
+/// # Example
+///
+/// ```
+/// use apdm_learning::QLearner;
+///
+/// // Two states, two actions; action 1 in state 0 pays off.
+/// let mut q = QLearner::new(2, 2, 0.5, 0.9, 0.1, 7);
+/// for _ in 0..200 {
+///     let a = q.choose(0);
+///     let reward = if a == 1 { 1.0 } else { 0.0 };
+///     q.update(0, a, reward, 1);
+/// }
+/// assert_eq!(q.best_action(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QLearner {
+    n_states: usize,
+    n_actions: usize,
+    q: Vec<f64>,
+    alpha: f64,
+    gamma: f64,
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl QLearner {
+    /// A zero-initialized learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero, `alpha` is outside `(0, 1]`,
+    /// `gamma` outside `[0, 1)` or `epsilon` outside `[0, 1]`.
+    pub fn new(
+        n_states: usize,
+        n_actions: usize,
+        alpha: f64,
+        gamma: f64,
+        epsilon: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_states > 0 && n_actions > 0, "dimensions must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        QLearner {
+            n_states,
+            n_actions,
+            q: vec![0.0; n_states * n_actions],
+            alpha,
+            gamma,
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Q-value of `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn q(&self, state: usize, action: usize) -> f64 {
+        assert!(state < self.n_states && action < self.n_actions, "out of range");
+        self.q[state * self.n_actions + action]
+    }
+
+    /// Greedy action for a state (ties to the lowest index).
+    pub fn best_action(&self, state: usize) -> usize {
+        let row = &self.q[state * self.n_actions..(state + 1) * self.n_actions];
+        row.iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                .then(std::cmp::Ordering::Greater))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Epsilon-greedy action selection.
+    pub fn choose(&mut self, state: usize) -> usize {
+        if self.rng.random_range(0.0..1.0) < self.epsilon {
+            self.rng.random_range(0..self.n_actions)
+        } else {
+            self.best_action(state)
+        }
+    }
+
+    /// One Q-learning backup for the transition `(state, action) -> next`
+    /// with `reward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of range.
+    pub fn update(&mut self, state: usize, action: usize, reward: f64, next: usize) {
+        assert!(
+            state < self.n_states && action < self.n_actions && next < self.n_states,
+            "out of range"
+        );
+        let best_next = self.q(next, self.best_action(next));
+        let idx = state * self.n_actions + action;
+        self.q[idx] += self.alpha * (reward + self.gamma * best_next - self.q[idx]);
+    }
+
+    /// A safely-interruptible backup (the paper's introduction cites
+    /// "dynamic safe interruptibility" for multi-agent RL as a complementary
+    /// prevention direction — its reference \[7\]).
+    ///
+    /// When a human overseer interrupts an action, the observed outcome is
+    /// an artifact of the interruption, not of the environment; a naive
+    /// learner that absorbs it learns to avoid (or exploit) the overseer
+    /// rather than the task. The safe variant simply excludes interrupted
+    /// transitions from learning, so the learned policy converges to the
+    /// same values it would have without interruptions.
+    ///
+    /// Returns whether the transition was actually learned from.
+    pub fn update_interruptible(
+        &mut self,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next: usize,
+        interrupted: bool,
+    ) -> bool {
+        if interrupted {
+            return false;
+        }
+        self.update(state, action, reward, next);
+        true
+    }
+
+    /// The greedy policy: best action per state.
+    pub fn policy(&self) -> Vec<usize> {
+        (0..self.n_states).map(|s| self.best_action(s)).collect()
+    }
+
+    /// Set exploration rate (e.g. anneal to 0 for evaluation).
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        self.epsilon = epsilon.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_single_state_bandit() {
+        let mut q = QLearner::new(1, 3, 0.5, 0.0, 0.2, 1);
+        for _ in 0..300 {
+            let a = q.choose(0);
+            let reward = match a {
+                1 => 1.0,
+                _ => 0.0,
+            };
+            q.update(0, a, reward, 0);
+        }
+        assert_eq!(q.best_action(0), 1);
+        assert!(q.q(0, 1) > q.q(0, 0));
+    }
+
+    #[test]
+    fn learns_two_step_chain() {
+        // s0 --a1--> s1 --a1--> reward. Gamma propagates value back to s0.
+        let mut q = QLearner::new(3, 2, 0.5, 0.9, 0.3, 2);
+        for _ in 0..500 {
+            let mut s = 0;
+            while s != 2 {
+                let a = q.choose(s);
+                let (next, r) = match (s, a) {
+                    (0, 1) => (1, 0.0),
+                    (1, 1) => (2, 1.0),
+                    _ => (s, -0.1),
+                };
+                q.update(s, a, r, next);
+                if next == s {
+                    break;
+                }
+                s = next;
+            }
+        }
+        assert_eq!(q.policy()[..2], [1, 1]);
+        assert!(q.q(0, 1) > 0.5, "discounted value should reach s0");
+    }
+
+    #[test]
+    fn wrong_reward_learns_wrong_policy() {
+        // The "mistakes in learning" pathway: reward sign flipped.
+        let mut q = QLearner::new(1, 2, 0.5, 0.0, 0.2, 3);
+        for _ in 0..200 {
+            let a = q.choose(0);
+            // The *intended* good action is 0, but the reward says otherwise.
+            let reward = if a == 1 { 1.0 } else { 0.0 };
+            q.update(0, a, reward, 0);
+        }
+        assert_eq!(q.best_action(0), 1, "learner faithfully learns the wrong objective");
+    }
+
+    #[test]
+    fn interruptions_bias_a_naive_learner_but_not_a_safe_one() {
+        // Action 1 truly pays 1.0, action 0 pays 0.2. The overseer
+        // interrupts action 1 with probability 0.9 (outcome reward 0).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut naive = QLearner::new(1, 2, 0.3, 0.0, 0.3, 6);
+        let mut safe = QLearner::new(1, 2, 0.3, 0.0, 0.3, 6);
+        for _ in 0..2000 {
+            for learner_is_safe in [false, true] {
+                let learner = if learner_is_safe { &mut safe } else { &mut naive };
+                let a = learner.choose(0);
+                let interrupted = a == 1 && rng.random_range(0.0..1.0) < 0.9;
+                let reward = if interrupted {
+                    0.0
+                } else if a == 1 {
+                    1.0
+                } else {
+                    0.2
+                };
+                if learner_is_safe {
+                    learner.update_interruptible(0, a, reward, 0, interrupted);
+                } else {
+                    learner.update(0, a, reward, 0);
+                }
+            }
+        }
+        // The naive learner learned the *overseer*, not the task: action 1
+        // looks worth ~0.1 < 0.2, so it prefers the inferior action 0.
+        assert_eq!(naive.best_action(0), 0, "naive learner biased by interruptions");
+        // The safe learner excluded interrupted transitions and still knows
+        // action 1 is better — it remains both correct and interruptible.
+        assert_eq!(safe.best_action(0), 1, "safe learner unbiased");
+        assert!(safe.q(0, 1) > 0.8);
+    }
+
+    #[test]
+    fn interruptible_update_reports_learning() {
+        let mut q = QLearner::new(1, 2, 0.5, 0.0, 0.0, 0);
+        assert!(!q.update_interruptible(0, 1, 5.0, 0, true));
+        assert_eq!(q.q(0, 1), 0.0, "interrupted transition not absorbed");
+        assert!(q.update_interruptible(0, 1, 5.0, 0, false));
+        assert!(q.q(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn zero_epsilon_is_greedy() {
+        let mut q = QLearner::new(1, 2, 0.5, 0.0, 0.0, 4);
+        q.update(0, 1, 1.0, 0);
+        for _ in 0..50 {
+            assert_eq!(q.choose(0), 1);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_identical() {
+        let run = |seed| {
+            let mut q = QLearner::new(2, 2, 0.5, 0.5, 0.5, seed);
+            let mut actions = Vec::new();
+            for i in 0..100 {
+                let a = q.choose(i % 2);
+                actions.push(a);
+                q.update(i % 2, a, (a == 0) as u8 as f64, (i + 1) % 2);
+            }
+            actions
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_bounds_checked() {
+        let mut q = QLearner::new(2, 2, 0.5, 0.5, 0.0, 0);
+        q.update(2, 0, 0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = QLearner::new(1, 1, 0.0, 0.5, 0.0, 0);
+    }
+}

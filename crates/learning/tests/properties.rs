@@ -1,0 +1,108 @@
+//! Property-based tests for the learning substrate and attack models.
+
+use proptest::prelude::*;
+
+use apdm_learning::adversarial::{deny_data, obfuscate_feature, poison_labels, report};
+use apdm_learning::{BehaviorClone, Dataset, NearestCentroid, OnlineClassifier, Perceptron, QLearner, Sample};
+
+proptest! {
+    /// Poisoning at rate r flips roughly r of the labels and never touches
+    /// features; rate 0 and 1 are exact.
+    #[test]
+    fn poison_rate_bounds(rate in 0.0..=1.0f64, seed in 0u64..100) {
+        let clean = Dataset::linear(200, 2, seed);
+        let poisoned = poison_labels(&clean, rate, seed + 1);
+        let rep = report(&clean, &poisoned);
+        prop_assert_eq!(rep.clean_len, rep.attacked_len);
+        let frac = rep.labels_flipped as f64 / 200.0;
+        prop_assert!((frac - rate).abs() < 0.15, "rate {rate} flipped {frac}");
+        for (a, b) in clean.samples().iter().zip(poisoned.samples()) {
+            prop_assert_eq!(&a.x, &b.x);
+        }
+    }
+
+    /// Denial only removes, never alters: the surviving samples are a
+    /// subsequence of the originals.
+    #[test]
+    fn denial_is_a_filter(seed in 0u64..100, cut in 0.0..1.0f64) {
+        let clean = Dataset::linear(100, 2, seed);
+        let denied = deny_data(&clean, |s: &Sample| s.x[0] < cut);
+        prop_assert!(denied.len() <= clean.len());
+        let mut iter = clean.samples().iter();
+        for survivor in denied.samples() {
+            prop_assert!(iter.any(|orig| orig == survivor), "sample not from original");
+        }
+    }
+
+    /// Obfuscation keeps labels and sample count; only the target feature
+    /// changes.
+    #[test]
+    fn obfuscation_scope(seed in 0u64..100) {
+        let clean = Dataset::linear(100, 3, seed);
+        let fogged = obfuscate_feature(&clean, 1, 0.0, 1.0, seed + 7);
+        prop_assert_eq!(clean.len(), fogged.len());
+        for (a, b) in clean.samples().iter().zip(fogged.samples()) {
+            prop_assert_eq!(a.y, b.y);
+            prop_assert_eq!(a.x[0], b.x[0]);
+            prop_assert_eq!(a.x[2], b.x[2]);
+        }
+    }
+
+    /// The perceptron's update only moves weights on mistakes, and always
+    /// toward reducing the margin error on the triggering sample.
+    #[test]
+    fn perceptron_update_direction(
+        x in proptest::collection::vec(-1.0..1.0f64, 2),
+        y in any::<bool>(),
+    ) {
+        let mut p = Perceptron::new(2, 0.5);
+        let margin_before = p.margin(&x);
+        let was_correct = p.update(&x, y);
+        if was_correct {
+            prop_assert_eq!(p.margin(&x), margin_before);
+        } else {
+            let margin_after = p.margin(&x);
+            if y {
+                prop_assert!(margin_after >= margin_before);
+            } else {
+                prop_assert!(margin_after <= margin_before);
+            }
+        }
+    }
+
+    /// Nearest centroid: after absorbing samples of only one class, it
+    /// predicts that class everywhere.
+    #[test]
+    fn centroid_single_class_bias(
+        xs in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 2), 1..20),
+        y in any::<bool>(),
+        probe in proptest::collection::vec(-5.0..5.0f64, 2),
+    ) {
+        let mut c = NearestCentroid::new(2);
+        for x in &xs {
+            c.update(x, y);
+        }
+        prop_assert_eq!(c.predict(&probe), y);
+    }
+
+    /// Q-learning with gamma=0 and a deterministic reward converges to the
+    /// greedy-on-reward policy.
+    #[test]
+    fn qlearner_bandit_convergence(best in 0usize..4, seed in 0u64..50) {
+        let mut q = QLearner::new(1, 4, 0.5, 0.0, 0.3, seed);
+        for _ in 0..400 {
+            let a = q.choose(0);
+            q.update(0, a, if a == best { 1.0 } else { 0.0 }, 0);
+        }
+        prop_assert_eq!(q.best_action(0), best);
+    }
+
+    /// Behaviour cloning fidelity is 1.0 exactly when the demonstrator never
+    /// erred on any observed state.
+    #[test]
+    fn clone_fidelity_extremes(states in proptest::collection::vec(0usize..10, 1..50)) {
+        let mut perfect = BehaviorClone::new();
+        perfect.observe_demonstrator(states.iter().copied(), |s| s % 3, 3, 0.0, 1);
+        prop_assert_eq!(perfect.fidelity(|s| s % 3), 1.0);
+    }
+}

@@ -1,0 +1,147 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use apdm_statespace::StateDelta;
+
+/// The action part of an ECA rule: an actuator invocation.
+///
+/// Section V: "the action is the invocation of an actuator, resulting in a
+/// new state". An action names the actuator, carries the state delta its
+/// invocation applies to the device, and flags whether it touches the
+/// *physical* world — the property that separates a Skynet-capable system
+/// from a purely informational one (Section III, "Physical Aspect").
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::Action;
+/// use apdm_statespace::StateDelta;
+///
+/// let dig = Action::adjust("dig-hole", StateDelta::single(0.into(), 1.0)).physical();
+/// assert!(dig.is_physical());
+/// assert_eq!(dig.name(), "dig-hole");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    name: String,
+    delta: StateDelta,
+    physical: bool,
+    params: Vec<(String, String)>,
+}
+
+impl Action {
+    /// The no-op action: "simply choosing the option of taking no action
+    /// (which keeps it in the current good state)" (Section VI.B).
+    pub fn noop() -> Self {
+        Action {
+            name: "noop".to_string(),
+            delta: StateDelta::empty(),
+            physical: false,
+            params: Vec::new(),
+        }
+    }
+
+    /// An action invoking `actuator` with a state delta.
+    pub fn adjust(actuator: impl Into<String>, delta: StateDelta) -> Self {
+        Action { name: actuator.into(), delta, physical: false, params: Vec::new() }
+    }
+
+    /// Mark the action as affecting the physical world (builder style).
+    pub fn physical(mut self) -> Self {
+        self.physical = true;
+        self
+    }
+
+    /// Attach a named parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// The actuator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The state delta this action applies.
+    pub fn delta(&self) -> &StateDelta {
+        &self.delta
+    }
+
+    /// Does the action change the physical environment?
+    pub fn is_physical(&self) -> bool {
+        self.physical
+    }
+
+    /// Is this the no-op?
+    pub fn is_noop(&self) -> bool {
+        self.name == "noop" && self.delta.is_empty()
+    }
+
+    /// Look up a parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All parameters in insertion order.
+    pub fn params(&self) -> &[(String, String)] {
+        &self.params
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if self.physical {
+            write!(f, " [physical]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::VarId;
+
+    #[test]
+    fn noop_is_noop() {
+        let a = Action::noop();
+        assert!(a.is_noop());
+        assert!(!a.is_physical());
+        assert!(a.delta().is_empty());
+    }
+
+    #[test]
+    fn adjust_with_delta_is_not_noop() {
+        let a = Action::adjust("vent", StateDelta::single(VarId(0), -1.0));
+        assert!(!a.is_noop());
+        assert_eq!(a.delta().magnitude(), 1.0);
+    }
+
+    #[test]
+    fn a_noop_named_action_with_empty_delta_is_noop() {
+        let a = Action::adjust("noop", StateDelta::empty());
+        assert!(a.is_noop());
+    }
+
+    #[test]
+    fn physical_flag_and_params() {
+        let a = Action::adjust("dig", StateDelta::empty())
+            .physical()
+            .with_param("depth", "2m");
+        assert!(a.is_physical());
+        assert_eq!(a.param("depth"), Some("2m"));
+        assert_eq!(a.param("width"), None);
+        assert_eq!(a.params().len(), 1);
+    }
+
+    #[test]
+    fn display_marks_physical() {
+        assert_eq!(Action::noop().to_string(), "noop");
+        assert_eq!(
+            Action::adjust("dig", StateDelta::empty()).physical().to_string(),
+            "dig [physical]"
+        );
+    }
+}

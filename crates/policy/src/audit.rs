@@ -1,0 +1,193 @@
+//! Append-only audit trail for policy decisions, break-glass invocations and
+//! guard interventions.
+//!
+//! Section VI.B: "Use of such [break-glass] rules in our context would
+//! require support for audits to verify that devices did not abuse the
+//! break-glass rules. Such audits in turn would require the collection of
+//! comprehensive context information."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of occurrence an audit entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditKind {
+    /// A policy decision was made.
+    Decision,
+    /// A break-glass rule was invoked.
+    BreakGlass,
+    /// A guard blocked or rewrote an action.
+    GuardIntervention,
+    /// An obligation went overdue.
+    ObligationViolation,
+    /// A device was deactivated.
+    Deactivation,
+    /// Free-form note (operator annotations, test probes).
+    Note,
+}
+
+impl fmt::Display for AuditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditKind::Decision => "decision",
+            AuditKind::BreakGlass => "break-glass",
+            AuditKind::GuardIntervention => "guard-intervention",
+            AuditKind::ObligationViolation => "obligation-violation",
+            AuditKind::Deactivation => "deactivation",
+            AuditKind::Note => "note",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One immutable audit record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Simulation tick of the occurrence.
+    pub tick: u64,
+    /// Device the entry concerns (free-form id; empty for system entries).
+    pub subject: String,
+    /// Kind of occurrence.
+    pub kind: AuditKind,
+    /// Human-readable context ("comprehensive context information").
+    pub detail: String,
+}
+
+impl fmt::Display for AuditEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t={} {} {}] {}", self.tick, self.subject, self.kind, self.detail)
+    }
+}
+
+/// An append-only audit log.
+///
+/// Entries can be appended and read but never modified or removed — the
+/// tamper-evidence the paper's audit requirement presumes. (Tamper *attacks*
+/// are modelled separately in `apdm-guards::tamper`.)
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::{AuditKind, AuditLog};
+///
+/// let mut log = AuditLog::new();
+/// log.record(3, "drone-7", AuditKind::BreakGlass, "emergency climb over crowd");
+/// assert_eq!(log.count(AuditKind::BreakGlass), 1);
+/// assert_eq!(log.entries_for("drone-7").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Append an entry.
+    pub fn record(
+        &mut self,
+        tick: u64,
+        subject: impl Into<String>,
+        kind: AuditKind,
+        detail: impl Into<String>,
+    ) {
+        self.entries.push(AuditEntry {
+            tick,
+            subject: subject.into(),
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// All entries in append order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Entries concerning one subject.
+    pub fn entries_for<'a>(&'a self, subject: &'a str) -> impl Iterator<Item = &'a AuditEntry> {
+        self.entries.iter().filter(move |e| e.subject == subject)
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: AuditKind) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of entries of one kind.
+    pub fn count(&self, kind: AuditKind) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another log's entries (e.g. collecting per-device logs for a
+    /// fleet-level audit), keeping overall tick order stable.
+    pub fn merge(&mut self, other: &AuditLog) {
+        self.entries.extend(other.entries.iter().cloned());
+        self.entries.sort_by_key(|e| e.tick);
+    }
+}
+
+impl Extend<AuditEntry> for AuditLog {
+    fn extend<T: IntoIterator<Item = AuditEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut log = AuditLog::new();
+        log.record(1, "d1", AuditKind::Decision, "chose vent");
+        log.record(2, "d1", AuditKind::BreakGlass, "emergency");
+        log.record(3, "d2", AuditKind::Decision, "chose noop");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count(AuditKind::Decision), 2);
+        assert_eq!(log.entries_for("d1").count(), 2);
+        assert_eq!(log.of_kind(AuditKind::BreakGlass).next().unwrap().subject, "d1");
+    }
+
+    #[test]
+    fn merge_sorts_by_tick() {
+        let mut a = AuditLog::new();
+        a.record(5, "d1", AuditKind::Note, "late");
+        let mut b = AuditLog::new();
+        b.record(1, "d2", AuditKind::Note, "early");
+        a.merge(&b);
+        assert_eq!(a.entries()[0].tick, 1);
+        assert_eq!(a.entries()[1].tick, 5);
+    }
+
+    #[test]
+    fn display_formats_entry() {
+        let e = AuditEntry {
+            tick: 7,
+            subject: "mule-2".into(),
+            kind: AuditKind::Deactivation,
+            detail: "quorum kill".into(),
+        };
+        assert_eq!(e.to_string(), "[t=7 mule-2 deactivation] quorum kill");
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.count(AuditKind::Note), 0);
+    }
+}

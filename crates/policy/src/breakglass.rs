@@ -1,0 +1,284 @@
+//! Break-glass rules: audited emergency escapes from normal policy.
+//!
+//! Section VI.B: "Break-glass rules are typically used in medical systems to
+//! allow operators emergency access to data and IT systems when normal
+//! authentication cannot be successfully completed or the access control
+//! policies would not allow access. Use of such rules in our context would
+//! require support for audits to verify that devices did not abuse the
+//! break-glass rules ... it is critical that a device be able to obtain
+//! trustworthy information concerning its own status and the environment to
+//! allow the device to base its decision of breaking the glass on true
+//! information."
+//!
+//! A [`BreakGlassRule`] authorizes an action that normal policy (or a guard)
+//! would forbid, but only when its *emergency condition* holds, only a
+//! bounded number of times, and always leaving an audit record. The
+//! controller also models the trustworthiness caveat: it evaluates the
+//! emergency condition against a possibly-deceived *perceived* state supplied
+//! by the caller, so experiments can measure the effect of sensor deception
+//! (E2's deception arm).
+
+use std::fmt;
+
+use apdm_statespace::State;
+
+use crate::{Action, AuditKind, AuditLog, Condition, Event};
+
+/// An emergency rule that may override normal policy, with abuse bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakGlassRule {
+    name: String,
+    emergency: Condition,
+    action: Action,
+    max_uses: u32,
+}
+
+impl BreakGlassRule {
+    /// Create a rule allowing `action` whenever `emergency` holds, at most
+    /// `max_uses` times.
+    pub fn new(
+        name: impl Into<String>,
+        emergency: Condition,
+        action: Action,
+        max_uses: u32,
+    ) -> Self {
+        BreakGlassRule { name: name.into(), emergency, action, max_uses }
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The emergency condition.
+    pub fn emergency(&self) -> &Condition {
+        &self.emergency
+    }
+
+    /// The authorized emergency action.
+    pub fn action(&self) -> &Action {
+        &self.action
+    }
+
+    /// Maximum number of invocations.
+    pub fn max_uses(&self) -> u32 {
+        self.max_uses
+    }
+}
+
+impl fmt::Display for BreakGlassRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "break-glass {} (max {} uses)", self.name, self.max_uses)
+    }
+}
+
+/// Outcome of attempting to break the glass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BreakGlassOutcome {
+    /// The override is granted; execute the contained action.
+    Granted(Action),
+    /// No emergency condition held in the perceived state.
+    NoEmergency,
+    /// The rule matched but its use budget is exhausted.
+    Exhausted,
+}
+
+impl BreakGlassOutcome {
+    /// Was the override granted?
+    pub fn is_granted(&self) -> bool {
+        matches!(self, BreakGlassOutcome::Granted(_))
+    }
+}
+
+/// Evaluates break-glass rules, enforces use budgets and writes audits.
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::{Action, BreakGlassController, BreakGlassRule, Condition, Event};
+/// use apdm_statespace::StateSchema;
+///
+/// let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
+/// let mut ctl = BreakGlassController::new();
+/// ctl.add_rule(BreakGlassRule::new(
+///     "evade",
+///     Condition::state_at_least(0.into(), 0.9),
+///     Action::adjust("emergency-climb", Default::default()),
+///     1,
+/// ));
+/// let danger = schema.state(&[0.95]).unwrap();
+/// let outcome = ctl.attempt("drone-1", &Event::named("threat"), &danger, 42);
+/// assert!(outcome.is_granted());
+/// assert_eq!(ctl.audit().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BreakGlassController {
+    rules: Vec<(BreakGlassRule, u32)>,
+    audit: AuditLog,
+}
+
+impl BreakGlassController {
+    /// A controller with no rules.
+    pub fn new() -> Self {
+        BreakGlassController::default()
+    }
+
+    /// Install a break-glass rule.
+    pub fn add_rule(&mut self, rule: BreakGlassRule) {
+        self.rules.push((rule, 0));
+    }
+
+    /// Attempt an emergency override for `subject` given the *perceived*
+    /// state. Every grant and every exhausted attempt is audited; a
+    /// no-emergency probe is audited too, since probing the glass is itself
+    /// suspicious behaviour worth reviewing.
+    pub fn attempt(
+        &mut self,
+        subject: &str,
+        event: &Event,
+        perceived: &State,
+        tick: u64,
+    ) -> BreakGlassOutcome {
+        for (rule, uses) in &mut self.rules {
+            if !rule.emergency.eval(event, perceived) {
+                continue;
+            }
+            if *uses >= rule.max_uses {
+                self.audit.record(
+                    tick,
+                    subject,
+                    AuditKind::BreakGlass,
+                    format!("DENIED (budget exhausted): {}", rule.name),
+                );
+                return BreakGlassOutcome::Exhausted;
+            }
+            *uses += 1;
+            self.audit.record(
+                tick,
+                subject,
+                AuditKind::BreakGlass,
+                format!("granted: {} (use {}/{})", rule.name, *uses, rule.max_uses),
+            );
+            return BreakGlassOutcome::Granted(rule.action.clone());
+        }
+        self.audit.record(
+            tick,
+            subject,
+            AuditKind::BreakGlass,
+            "probe with no emergency condition".to_string(),
+        );
+        BreakGlassOutcome::NoEmergency
+    }
+
+    /// Remaining uses of a named rule (`None` for unknown rules).
+    pub fn remaining_uses(&self, name: &str) -> Option<u32> {
+        self.rules
+            .iter()
+            .find(|(r, _)| r.name == name)
+            .map(|(r, uses)| r.max_uses.saturating_sub(*uses))
+    }
+
+    /// The audit trail of all attempts.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::StateSchema;
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("threat", 0.0, 1.0).build()
+    }
+
+    fn controller(max_uses: u32) -> BreakGlassController {
+        let mut ctl = BreakGlassController::new();
+        ctl.add_rule(BreakGlassRule::new(
+            "evade",
+            Condition::state_at_least(0.into(), 0.9),
+            Action::adjust("climb", Default::default()),
+            max_uses,
+        ));
+        ctl
+    }
+
+    #[test]
+    fn grant_when_emergency_holds() {
+        let mut ctl = controller(2);
+        let danger = schema().state(&[0.95]).unwrap();
+        match ctl.attempt("d", &Event::named("e"), &danger, 0) {
+            BreakGlassOutcome::Granted(a) => assert_eq!(a.name(), "climb"),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(ctl.remaining_uses("evade"), Some(1));
+    }
+
+    #[test]
+    fn deny_without_emergency() {
+        let mut ctl = controller(2);
+        let calm = schema().state(&[0.1]).unwrap();
+        assert_eq!(
+            ctl.attempt("d", &Event::named("e"), &calm, 0),
+            BreakGlassOutcome::NoEmergency
+        );
+        // Probes are audited.
+        assert_eq!(ctl.audit().len(), 1);
+        assert!(ctl.audit().entries()[0].detail.contains("probe"));
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let mut ctl = controller(1);
+        let danger = schema().state(&[0.95]).unwrap();
+        assert!(ctl.attempt("d", &Event::named("e"), &danger, 0).is_granted());
+        assert_eq!(
+            ctl.attempt("d", &Event::named("e"), &danger, 1),
+            BreakGlassOutcome::Exhausted
+        );
+        assert_eq!(ctl.remaining_uses("evade"), Some(0));
+        assert_eq!(ctl.audit().len(), 2);
+        assert!(ctl.audit().entries()[1].detail.contains("DENIED"));
+    }
+
+    #[test]
+    fn deceived_perception_grants_wrongly() {
+        // The paper's caveat: the controller can only judge the *perceived*
+        // state. A deception attack that inflates the threat reading tricks
+        // the glass into breaking.
+        let mut ctl = controller(1);
+        let deceived_perception = schema().state(&[0.99]).unwrap(); // reality: 0.0
+        assert!(ctl
+            .attempt("d", &Event::named("e"), &deceived_perception, 0)
+            .is_granted());
+    }
+
+    #[test]
+    fn unknown_rule_has_no_remaining_uses() {
+        let ctl = controller(1);
+        assert_eq!(ctl.remaining_uses("nope"), None);
+        assert!(!ctl.is_empty());
+        assert_eq!(ctl.len(), 1);
+    }
+
+    #[test]
+    fn every_grant_is_audited() {
+        let mut ctl = controller(3);
+        let danger = schema().state(&[1.0]).unwrap();
+        for t in 0..3 {
+            ctl.attempt("d", &Event::named("e"), &danger, t);
+        }
+        assert_eq!(ctl.audit().count(AuditKind::BreakGlass), 3);
+    }
+}

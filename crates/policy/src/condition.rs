@@ -1,0 +1,362 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use apdm_statespace::{Region, State, VarId};
+
+use crate::Event;
+
+/// A typed attribute value carried by [`Event`]s and compared by conditions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A numeric value.
+    Num(f64),
+    /// A text value.
+    Text(String),
+    /// A boolean value.
+    Flag(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Flag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(value: f64) -> Self {
+        Value::Num(value)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Self {
+        Value::Text(value.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(value: bool) -> Self {
+        Value::Flag(value)
+    }
+}
+
+/// Comparison operator for condition atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Greater than or equal.
+    Ge,
+    /// Strictly greater than.
+    Gt,
+}
+
+impl Cmp {
+    /// Apply the comparison to two floats.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Gt => lhs > rhs,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Ge => ">=",
+            Cmp::Gt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The condition of an ECA rule: a boolean expression over the device's
+/// current state and the triggering event's attributes.
+///
+/// Section V: "the condition is the current state of the device". Conditions
+/// also inspect event attributes, which lets generated policies specialize on
+/// what they discover (Section IV).
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::{Condition, Event};
+/// use apdm_statespace::StateSchema;
+///
+/// let schema = StateSchema::builder().var("battery", 0.0, 1.0).build();
+/// let cond = Condition::state_at_most(0.into(), 0.2)
+///     .and(Condition::event_flag("docked", false));
+/// let low = schema.state(&[0.1]).unwrap();
+/// let ev = Event::named("tick").with_flag("docked", false);
+/// assert!(cond.eval(&ev, &low));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Compare a state variable to a constant.
+    StateCmp {
+        /// Variable to inspect.
+        var: VarId,
+        /// Comparison operator.
+        op: Cmp,
+        /// Constant to compare against.
+        value: f64,
+    },
+    /// Compare an event attribute to a constant. Missing attributes and type
+    /// mismatches evaluate to false ([`Cmp::Ne`] to true — the attribute
+    /// indeed differs).
+    EventCmp {
+        /// Attribute key.
+        key: String,
+        /// Comparison operator (numeric compares require numeric attrs;
+        /// text/flag attrs support only `Eq`/`Ne`).
+        op: Cmp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// True when the device state lies in a region.
+    InRegion(Region),
+    /// Negation.
+    Not(Box<Condition>),
+    /// Conjunction (empty = true).
+    All(Vec<Condition>),
+    /// Disjunction (empty = false).
+    Any(Vec<Condition>),
+}
+
+impl Condition {
+    /// `state[var] >= value`.
+    pub fn state_at_least(var: VarId, value: f64) -> Condition {
+        Condition::StateCmp { var, op: Cmp::Ge, value }
+    }
+
+    /// `state[var] <= value`.
+    pub fn state_at_most(var: VarId, value: f64) -> Condition {
+        Condition::StateCmp { var, op: Cmp::Le, value }
+    }
+
+    /// `event[key] == value` for a numeric attribute.
+    pub fn event_num(key: impl Into<String>, op: Cmp, value: f64) -> Condition {
+        Condition::EventCmp { key: key.into(), op, value: Value::Num(value) }
+    }
+
+    /// `event[key] == value` for a text attribute.
+    pub fn event_text(key: impl Into<String>, value: impl Into<String>) -> Condition {
+        Condition::EventCmp { key: key.into(), op: Cmp::Eq, value: Value::Text(value.into()) }
+    }
+
+    /// `event[key] == value` for a boolean attribute.
+    pub fn event_flag(key: impl Into<String>, value: bool) -> Condition {
+        Condition::EventCmp { key: key.into(), op: Cmp::Eq, value: Value::Flag(value) }
+    }
+
+    /// Conjunction (builder style).
+    pub fn and(self, other: Condition) -> Condition {
+        match self {
+            Condition::All(mut cs) => {
+                cs.push(other);
+                Condition::All(cs)
+            }
+            c => Condition::All(vec![c, other]),
+        }
+    }
+
+    /// Disjunction (builder style).
+    pub fn or(self, other: Condition) -> Condition {
+        match self {
+            Condition::Any(mut cs) => {
+                cs.push(other);
+                Condition::Any(cs)
+            }
+            c => Condition::Any(vec![c, other]),
+        }
+    }
+
+    /// Negation (builder style).
+    pub fn negate(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Evaluate against an event and the device's current state.
+    pub fn eval(&self, event: &Event, state: &State) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::StateCmp { var, op, value } => {
+                state.get(*var).map(|v| op.eval(v, *value)).unwrap_or(false)
+            }
+            Condition::EventCmp { key, op, value } => match (event.attr(key), value) {
+                (Some(Value::Num(a)), Value::Num(b)) => op.eval(*a, *b),
+                (Some(Value::Text(a)), Value::Text(b)) => match op {
+                    Cmp::Eq => a == b,
+                    Cmp::Ne => a != b,
+                    _ => false,
+                },
+                (Some(Value::Flag(a)), Value::Flag(b)) => match op {
+                    Cmp::Eq => a == b,
+                    Cmp::Ne => a != b,
+                    _ => false,
+                },
+                // Missing or mistyped attribute: only Ne holds.
+                _ => *op == Cmp::Ne,
+            },
+            Condition::InRegion(region) => region.contains(state),
+            Condition::Not(c) => !c.eval(event, state),
+            Condition::All(cs) => cs.iter().all(|c| c.eval(event, state)),
+            Condition::Any(cs) => cs.iter().any(|c| c.eval(event, state)),
+        }
+    }
+
+    /// Number of atomic predicates — used as the *specificity* tiebreak in
+    /// conflict resolution: a rule constraining more facts wins over a more
+    /// generic one.
+    pub fn specificity(&self) -> usize {
+        match self {
+            Condition::True | Condition::False => 0,
+            Condition::StateCmp { .. } | Condition::EventCmp { .. } | Condition::InRegion(_) => 1,
+            Condition::Not(c) => c.specificity(),
+            Condition::All(cs) | Condition::Any(cs) => cs.iter().map(|c| c.specificity()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::StateSchema;
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    }
+
+    fn st(x: f64, y: f64) -> State {
+        schema().state(&[x, y]).unwrap()
+    }
+
+    fn ev() -> Event {
+        Event::named("e").with_num("n", 5.0).with_text("t", "hi").with_flag("f", true)
+    }
+
+    #[test]
+    fn cmp_eval_all_operators() {
+        assert!(Cmp::Lt.eval(1.0, 2.0));
+        assert!(Cmp::Le.eval(2.0, 2.0));
+        assert!(Cmp::Eq.eval(2.0, 2.0));
+        assert!(Cmp::Ne.eval(1.0, 2.0));
+        assert!(Cmp::Ge.eval(2.0, 2.0));
+        assert!(Cmp::Gt.eval(3.0, 2.0));
+        assert!(!Cmp::Gt.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn state_comparisons() {
+        let c = Condition::state_at_least(VarId(0), 5.0);
+        assert!(c.eval(&ev(), &st(5.0, 0.0)));
+        assert!(!c.eval(&ev(), &st(4.9, 0.0)));
+        // Unknown variable -> false.
+        let c = Condition::StateCmp { var: VarId(9), op: Cmp::Ge, value: 0.0 };
+        assert!(!c.eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn event_numeric_comparisons() {
+        let c = Condition::event_num("n", Cmp::Gt, 4.0);
+        assert!(c.eval(&ev(), &st(0.0, 0.0)));
+        let c = Condition::event_num("n", Cmp::Gt, 6.0);
+        assert!(!c.eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn event_text_and_flag_support_eq_ne_only() {
+        assert!(Condition::event_text("t", "hi").eval(&ev(), &st(0.0, 0.0)));
+        assert!(!Condition::event_text("t", "bye").eval(&ev(), &st(0.0, 0.0)));
+        assert!(Condition::event_flag("f", true).eval(&ev(), &st(0.0, 0.0)));
+        let ordered_text = Condition::EventCmp {
+            key: "t".into(),
+            op: Cmp::Lt,
+            value: Value::Text("zz".into()),
+        };
+        assert!(!ordered_text.eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn missing_attribute_only_satisfies_ne() {
+        let ne = Condition::EventCmp { key: "absent".into(), op: Cmp::Ne, value: Value::Num(1.0) };
+        let eq = Condition::EventCmp { key: "absent".into(), op: Cmp::Eq, value: Value::Num(1.0) };
+        assert!(ne.eval(&ev(), &st(0.0, 0.0)));
+        assert!(!eq.eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn mistyped_attribute_behaves_like_missing() {
+        let c = Condition::event_num("t", Cmp::Eq, 1.0);
+        assert!(!c.eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn region_condition() {
+        let c = Condition::InRegion(Region::rect(&[(2.0, 8.0), (2.0, 8.0)]));
+        assert!(c.eval(&ev(), &st(5.0, 5.0)));
+        assert!(!c.eval(&ev(), &st(1.0, 5.0)));
+    }
+
+    #[test]
+    fn connectives() {
+        let c = Condition::state_at_least(VarId(0), 5.0)
+            .and(Condition::state_at_most(VarId(1), 5.0));
+        assert!(c.eval(&ev(), &st(6.0, 4.0)));
+        assert!(!c.eval(&ev(), &st(6.0, 6.0)));
+
+        let c = Condition::state_at_least(VarId(0), 9.0)
+            .or(Condition::state_at_most(VarId(0), 1.0));
+        assert!(c.eval(&ev(), &st(0.5, 0.0)));
+        assert!(c.eval(&ev(), &st(9.5, 0.0)));
+        assert!(!c.eval(&ev(), &st(5.0, 0.0)));
+
+        assert!(Condition::False.negate().eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Condition::All(vec![]).eval(&ev(), &st(0.0, 0.0)));
+        assert!(!Condition::Any(vec![]).eval(&ev(), &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn specificity_counts_atoms() {
+        assert_eq!(Condition::True.specificity(), 0);
+        let c = Condition::state_at_least(VarId(0), 1.0)
+            .and(Condition::event_flag("f", true))
+            .and(Condition::InRegion(Region::All).negate());
+        assert_eq!(c.specificity(), 3);
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(1.5).to_string(), "1.5");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,324 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use apdm_statespace::State;
+
+use crate::{Action, EcaRule, Event, Obligation, RuleId};
+
+/// The outcome of evaluating an event against a policy set: the winning
+/// rule's action and obligations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    rule: RuleId,
+    rule_name: String,
+    action: Action,
+    obligations: Vec<Obligation>,
+    /// All rules that matched (winner first) — exposed for audits and
+    /// conflict diagnostics.
+    matched: Vec<RuleId>,
+}
+
+impl Decision {
+    /// The rule that won conflict resolution.
+    pub fn rule(&self) -> RuleId {
+        self.rule
+    }
+
+    /// Name of the winning rule.
+    pub fn rule_name(&self) -> &str {
+        &self.rule_name
+    }
+
+    /// The action to execute.
+    pub fn action(&self) -> &Action {
+        &self.action
+    }
+
+    /// Obligations incurred by executing the action.
+    pub fn obligations(&self) -> &[Obligation] {
+        &self.obligations
+    }
+
+    /// Every rule that matched, winner first.
+    pub fn matched(&self) -> &[RuleId] {
+        &self.matched
+    }
+
+    /// Did more than one rule match (i.e. was conflict resolution needed)?
+    pub fn had_conflict(&self) -> bool {
+        self.matched.len() > 1
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.rule_name, self.action)
+    }
+}
+
+/// A deterministic ECA policy engine.
+///
+/// Holds a set of [`EcaRule`]s and, for each `(event, state)` pair, produces
+/// at most one [`Decision`]. Conflict resolution is total and deterministic:
+///
+/// 1. higher **priority** wins;
+/// 2. ties break toward the more **specific** condition (more atoms);
+/// 3. remaining ties break toward the **earlier registered** rule.
+///
+/// Determinism matters for the reproduction: the paper's guards must wrap a
+/// well-defined decision, and audits must be able to replay it.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyEngine {
+    next_id: u64,
+    rules: BTreeMap<RuleId, EcaRule>,
+}
+
+impl PolicyEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        PolicyEngine::default()
+    }
+
+    /// Add a rule; returns its id.
+    pub fn add_rule(&mut self, rule: EcaRule) -> RuleId {
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        self.rules.insert(id, rule);
+        id
+    }
+
+    /// Add a rule unless an equivalent one is already present; returns the
+    /// new or existing id. Used when devices share policies (Section IV).
+    pub fn add_rule_deduped(&mut self, rule: EcaRule) -> RuleId {
+        if let Some((&id, _)) = self.rules.iter().find(|(_, r)| r.equivalent(&rule)) {
+            return id;
+        }
+        self.add_rule(rule)
+    }
+
+    /// Remove a rule; returns it if present.
+    pub fn remove_rule(&mut self, id: RuleId) -> Option<EcaRule> {
+        self.rules.remove(&id)
+    }
+
+    /// Look up a rule.
+    pub fn rule(&self, id: RuleId) -> Option<&EcaRule> {
+        self.rules.get(&id)
+    }
+
+    /// Iterate rules in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &EcaRule)> {
+        self.rules.iter().map(|(&id, r)| (id, r))
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of machine-generated rules (Section IV provenance).
+    pub fn generated_count(&self) -> usize {
+        self.rules.values().filter(|r| r.is_generated()).count()
+    }
+
+    /// Evaluate an event in a state; `None` when no rule matches.
+    pub fn decide(&self, event: &Event, state: &State) -> Option<Decision> {
+        let mut matched: Vec<(RuleId, &EcaRule)> = self
+            .rules
+            .iter()
+            .filter(|(_, r)| r.fires(event, state))
+            .map(|(&id, r)| (id, r))
+            .collect();
+        if matched.is_empty() {
+            return None;
+        }
+        // Priority desc, specificity desc, registration (id) asc.
+        matched.sort_by(|(ida, a), (idb, b)| {
+            b.priority()
+                .cmp(&a.priority())
+                .then_with(|| b.condition().specificity().cmp(&a.condition().specificity()))
+                .then_with(|| ida.cmp(idb))
+        });
+        let (winner_id, winner) = matched[0];
+        Some(Decision {
+            rule: winner_id,
+            rule_name: winner.name().to_string(),
+            action: winner.action().clone(),
+            obligations: winner.obligations().to_vec(),
+            matched: matched.iter().map(|(id, _)| *id).collect(),
+        })
+    }
+
+    /// Merge another engine's rules into this one (deduplicating
+    /// equivalents); returns how many rules were actually added.
+    pub fn absorb(&mut self, other: &PolicyEngine) -> usize {
+        let before = self.len();
+        for (_, rule) in other.iter() {
+            self.add_rule_deduped(rule.clone());
+        }
+        self.len() - before
+    }
+}
+
+impl FromIterator<EcaRule> for PolicyEngine {
+    fn from_iter<T: IntoIterator<Item = EcaRule>>(iter: T) -> Self {
+        let mut engine = PolicyEngine::new();
+        for rule in iter {
+            engine.add_rule(rule);
+        }
+        engine
+    }
+}
+
+impl Extend<EcaRule> for PolicyEngine {
+    fn extend<T: IntoIterator<Item = EcaRule>>(&mut self, iter: T) {
+        for rule in iter {
+            self.add_rule(rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Condition;
+    use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("t", 0.0, 100.0).build()
+    }
+
+    fn rule(name: &str, prio: i32, cond: Condition, act: &str) -> EcaRule {
+        EcaRule::new(name, Event::pattern("tick"), cond, Action::adjust(act, StateDelta::empty()))
+            .with_priority(prio)
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let engine = PolicyEngine::new();
+        let s = schema().state(&[50.0]).unwrap();
+        assert!(engine.decide(&Event::named("tick"), &s).is_none());
+    }
+
+    #[test]
+    fn single_match_wins() {
+        let mut engine = PolicyEngine::new();
+        engine.add_rule(rule("a", 0, Condition::True, "act-a"));
+        let s = schema().state(&[50.0]).unwrap();
+        let d = engine.decide(&Event::named("tick"), &s).unwrap();
+        assert_eq!(d.action().name(), "act-a");
+        assert!(!d.had_conflict());
+    }
+
+    #[test]
+    fn priority_beats_specificity() {
+        let mut engine = PolicyEngine::new();
+        engine.add_rule(rule(
+            "specific",
+            0,
+            Condition::state_at_least(VarId(0), 10.0).and(Condition::state_at_most(VarId(0), 90.0)),
+            "specific-act",
+        ));
+        engine.add_rule(rule("loud", 5, Condition::True, "loud-act"));
+        let s = schema().state(&[50.0]).unwrap();
+        let d = engine.decide(&Event::named("tick"), &s).unwrap();
+        assert_eq!(d.action().name(), "loud-act");
+        assert!(d.had_conflict());
+        assert_eq!(d.matched().len(), 2);
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut engine = PolicyEngine::new();
+        engine.add_rule(rule("generic", 1, Condition::True, "generic-act"));
+        engine.add_rule(rule(
+            "specific",
+            1,
+            Condition::state_at_least(VarId(0), 0.0),
+            "specific-act",
+        ));
+        let s = schema().state(&[50.0]).unwrap();
+        let d = engine.decide(&Event::named("tick"), &s).unwrap();
+        assert_eq!(d.action().name(), "specific-act");
+    }
+
+    #[test]
+    fn registration_order_breaks_remaining_ties() {
+        let mut engine = PolicyEngine::new();
+        engine.add_rule(rule("first", 0, Condition::True, "first-act"));
+        engine.add_rule(rule("second", 0, Condition::True, "second-act"));
+        let s = schema().state(&[50.0]).unwrap();
+        let d = engine.decide(&Event::named("tick"), &s).unwrap();
+        assert_eq!(d.action().name(), "first-act");
+    }
+
+    #[test]
+    fn decide_is_deterministic() {
+        let mut engine = PolicyEngine::new();
+        for i in 0..20 {
+            engine.add_rule(rule(&format!("r{i}"), i % 3, Condition::True, "act"));
+        }
+        let s = schema().state(&[1.0]).unwrap();
+        let first = engine.decide(&Event::named("tick"), &s).unwrap();
+        for _ in 0..10 {
+            assert_eq!(engine.decide(&Event::named("tick"), &s).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn remove_rule_stops_matching() {
+        let mut engine = PolicyEngine::new();
+        let id = engine.add_rule(rule("a", 0, Condition::True, "act"));
+        let s = schema().state(&[1.0]).unwrap();
+        assert!(engine.decide(&Event::named("tick"), &s).is_some());
+        assert!(engine.remove_rule(id).is_some());
+        assert!(engine.decide(&Event::named("tick"), &s).is_none());
+        assert!(engine.remove_rule(id).is_none());
+    }
+
+    #[test]
+    fn dedup_add_returns_existing_id() {
+        let mut engine = PolicyEngine::new();
+        let a = engine.add_rule_deduped(rule("a", 0, Condition::True, "act"));
+        let b = engine.add_rule_deduped(rule("renamed-same", 0, Condition::True, "act"));
+        assert_eq!(a, b);
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_without_duplicates() {
+        let mut a = PolicyEngine::new();
+        a.add_rule(rule("x", 0, Condition::True, "act-x"));
+        let mut b = PolicyEngine::new();
+        b.add_rule(rule("x2", 0, Condition::True, "act-x")); // equivalent to x
+        b.add_rule(rule("y", 0, Condition::True, "act-y"));
+        let added = a.absorb(&b);
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn generated_count_tracks_provenance() {
+        let mut engine = PolicyEngine::new();
+        engine.add_rule(rule("h", 0, Condition::True, "a"));
+        engine.add_rule(rule("g", 0, Condition::False, "b").generated());
+        assert_eq!(engine.generated_count(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let rules = vec![
+            rule("a", 0, Condition::True, "x"),
+            rule("b", 0, Condition::True, "y"),
+        ];
+        let mut engine: PolicyEngine = rules.into_iter().collect();
+        assert_eq!(engine.len(), 2);
+        engine.extend(vec![rule("c", 0, Condition::True, "z")]);
+        assert_eq!(engine.len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::condition::Value;
+
+/// An event a device reacts to: "changes in sensor values, reception of a
+/// message from a network connection, etc." (Section V).
+///
+/// Events have a name and a bag of typed attributes. A rule's event field is
+/// a *pattern*: the wildcard name `*` matches any event.
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::Event;
+///
+/// let ev = Event::named("smoke-detected")
+///     .with_num("intensity", 0.8)
+///     .with_text("sector", "north-ridge");
+/// assert_eq!(ev.num("intensity"), Some(0.8));
+/// assert!(Event::pattern("*").matches(&ev));
+/// assert!(Event::pattern("smoke-detected").matches(&ev));
+/// assert!(!Event::pattern("convoy-sighted").matches(&ev));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    name: String,
+    attrs: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// An event with the given name and no attributes.
+    pub fn named(name: impl Into<String>) -> Self {
+        Event { name: name.into(), attrs: Vec::new() }
+    }
+
+    /// An event *pattern* for use in rules; `*` matches any event name.
+    /// (Patterns and events share a representation; only
+    /// [`matches`](Self::matches) treats the name specially.)
+    pub fn pattern(name: impl Into<String>) -> Self {
+        Event::named(name)
+    }
+
+    /// The event's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attach a numeric attribute (builder style).
+    pub fn with_num(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.attrs.push((key.into(), Value::Num(value)));
+        self
+    }
+
+    /// Attach a text attribute (builder style).
+    pub fn with_text(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), Value::Text(value.into())));
+        self
+    }
+
+    /// Attach a boolean attribute (builder style).
+    pub fn with_flag(mut self, key: impl Into<String>, value: bool) -> Self {
+        self.attrs.push((key.into(), Value::Flag(value)));
+        self
+    }
+
+    /// Look up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&Value> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric attribute, if present and numeric.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.attr(key) {
+            Some(Value::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Text attribute, if present and textual.
+    pub fn text(&self, key: &str) -> Option<&str> {
+        match self.attr(key) {
+            Some(Value::Text(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Boolean attribute, if present and boolean.
+    pub fn flag(&self, key: &str) -> Option<bool> {
+        match self.attr(key) {
+            Some(Value::Flag(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// All attributes in insertion order.
+    pub fn attrs(&self) -> &[(String, Value)] {
+        &self.attrs
+    }
+
+    /// Does this pattern match `event`? Name `*` is a wildcard; attributes
+    /// play no role in matching (conditions inspect them instead).
+    pub fn matches(&self, event: &Event) -> bool {
+        self.name == "*" || self.name == event.name
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.attrs.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_accessors_are_typed() {
+        let ev = Event::named("e")
+            .with_num("n", 1.5)
+            .with_text("t", "abc")
+            .with_flag("f", true);
+        assert_eq!(ev.num("n"), Some(1.5));
+        assert_eq!(ev.text("t"), Some("abc"));
+        assert_eq!(ev.flag("f"), Some(true));
+        // Wrong-type access is None, not a panic.
+        assert_eq!(ev.num("t"), None);
+        assert_eq!(ev.text("n"), None);
+        assert_eq!(ev.flag("missing"), None);
+    }
+
+    #[test]
+    fn wildcard_pattern_matches_everything() {
+        let p = Event::pattern("*");
+        assert!(p.matches(&Event::named("a")));
+        assert!(p.matches(&Event::named("b").with_num("x", 1.0)));
+    }
+
+    #[test]
+    fn exact_pattern_matches_name_only() {
+        let p = Event::pattern("tick");
+        assert!(p.matches(&Event::named("tick").with_num("x", 1.0)));
+        assert!(!p.matches(&Event::named("tock")));
+    }
+
+    #[test]
+    fn display_includes_attrs() {
+        let ev = Event::named("smoke").with_num("level", 0.5);
+        assert_eq!(ev.to_string(), "smoke{level=0.5}");
+        assert_eq!(Event::named("tick").to_string(), "tick");
+    }
+}

@@ -1,0 +1,66 @@
+//! Event–condition–action policy engine with obligations and break-glass
+//! rules.
+//!
+//! Implements the policy substrate of *How to Prevent Skynet From Forming*
+//! (Calo et al., ICDCS 2018), Sections IV–VI:
+//!
+//! * "A policy in this context is an **event-condition-action rule** directing
+//!   the devices to take specific actions when an event happens and the
+//!   conditions specified hold true" ([`EcaRule`], [`PolicyEngine`]).
+//! * "One approach to prevent indirect harm to humans would be to extend the
+//!   event-condition-action with **obligations**, that is, further actions
+//!   that need to be executed after the original action" ([`Obligation`],
+//!   [`ObligationTracker`]).
+//! * "**Break-glass rules** are typically used ... to allow operators
+//!   emergency access ... Use of such rules in our context would require
+//!   support for **audits**" ([`breakglass`], [`AuditLog`]).
+//!
+//! Participates in experiments **F2**, **E1**, **E2**, **G1** (DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use apdm_policy::{Action, Condition, EcaRule, Event, PolicyEngine};
+//! use apdm_statespace::{StateDelta, StateSchema};
+//!
+//! let schema = StateSchema::builder().var("temp", 0.0, 100.0).build();
+//! let mut engine = PolicyEngine::new();
+//! engine.add_rule(
+//!     EcaRule::new(
+//!         "cool-down",
+//!         Event::pattern("tick"),
+//!         Condition::state_at_least(0.into(), 80.0),
+//!         Action::adjust("vent", StateDelta::single(0.into(), -10.0)),
+//!     )
+//!     .with_priority(10),
+//! );
+//! let hot = schema.state(&[90.0]).unwrap();
+//! let decision = engine.decide(&Event::named("tick"), &hot);
+//! assert_eq!(decision.unwrap().action().name(), "vent");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod condition;
+mod engine;
+mod event;
+mod rule;
+
+pub mod audit;
+pub mod breakglass;
+pub mod obligation;
+pub mod parse;
+pub mod set;
+
+pub use action::Action;
+pub use audit::{AuditEntry, AuditKind, AuditLog};
+pub use breakglass::{BreakGlassController, BreakGlassOutcome, BreakGlassRule};
+pub use condition::{Cmp, Condition, Value};
+pub use engine::{Decision, PolicyEngine};
+pub use event::Event;
+pub use obligation::{Obligation, ObligationStatus, ObligationTracker, ObligationTrigger};
+pub use parse::{parse_rule, parse_rule_with_schema, parse_rules, to_dsl, ParseError};
+pub use rule::{EcaRule, RuleId};
+pub use set::PolicySet;

@@ -1,0 +1,341 @@
+//! Obligations: follow-up actions that accompany a primary action.
+//!
+//! Section VI.A: "One approach to prevent indirect harm to humans would be to
+//! extend the event-condition-action with obligations, that is, further
+//! actions that need to be executed after the original action has been
+//! executed (or even while the original action is being executed). In the
+//! example of the hole, possible obligations would include posting notices
+//! indicating the hole, broadcasting messages to humans approaching the
+//! location of the hole."
+//!
+//! The paper also flags "the main interesting challenge is to develop
+//! ontologies of such obligations so that devices can automatically select
+//! the ones most relevant to their actions" — realized here as
+//! [`ObligationCatalog`], which maps action names (and hazard tags) to
+//! obligation templates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::Action;
+
+/// When an obligation must run relative to its primary action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObligationTrigger {
+    /// Execute together with the primary action.
+    During,
+    /// Execute after the primary action, within the deadline.
+    After,
+}
+
+/// A follow-up action owed after (or during) a primary action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Obligation {
+    action: Action,
+    trigger: ObligationTrigger,
+    /// Ticks after the primary action by which the obligation must complete.
+    deadline: u64,
+}
+
+impl Obligation {
+    /// An obligation running `action` after the primary action, due within
+    /// `deadline` ticks.
+    pub fn after(action: Action, deadline: u64) -> Self {
+        Obligation { action, trigger: ObligationTrigger::After, deadline }
+    }
+
+    /// An obligation running `action` concurrently with the primary action.
+    pub fn during(action: Action) -> Self {
+        Obligation { action, trigger: ObligationTrigger::During, deadline: 0 }
+    }
+
+    /// The obliged action.
+    pub fn action(&self) -> &Action {
+        &self.action
+    }
+
+    /// When the obligation runs.
+    pub fn trigger(&self) -> ObligationTrigger {
+        self.trigger
+    }
+
+    /// The completion deadline in ticks (0 for `During`).
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.trigger {
+            ObligationTrigger::During => write!(f, "during: {}", self.action),
+            ObligationTrigger::After => {
+                write!(f, "after (within {} ticks): {}", self.deadline, self.action)
+            }
+        }
+    }
+}
+
+/// Status of a tracked obligation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObligationStatus {
+    /// Not yet discharged, deadline not passed.
+    Pending,
+    /// Discharged in time.
+    Fulfilled,
+    /// Deadline passed without discharge — an audit-relevant violation.
+    Overdue,
+}
+
+/// A pending obligation instance tracked by [`ObligationTracker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedObligation {
+    /// Unique instance id.
+    pub id: u64,
+    /// The obligation owed.
+    pub obligation: Obligation,
+    /// Tick at which the primary action executed.
+    pub incurred_at: u64,
+    /// Current status.
+    pub status: ObligationStatus,
+}
+
+impl TrackedObligation {
+    /// Tick by which the obligation must be fulfilled.
+    pub fn due_at(&self) -> u64 {
+        self.incurred_at + self.obligation.deadline()
+    }
+}
+
+/// Tracks incurred obligations, fulfilment and deadline violations.
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::{Action, Obligation, ObligationStatus, ObligationTracker};
+///
+/// let mut tracker = ObligationTracker::new();
+/// let sign = Obligation::after(Action::adjust("post-warning-sign", Default::default()), 5);
+/// let id = tracker.incur(sign, 10);
+/// tracker.advance(12);
+/// assert_eq!(tracker.status(id), Some(ObligationStatus::Pending));
+/// tracker.fulfill(id, 13);
+/// assert_eq!(tracker.status(id), Some(ObligationStatus::Fulfilled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObligationTracker {
+    next_id: u64,
+    tracked: Vec<TrackedObligation>,
+}
+
+impl ObligationTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        ObligationTracker::default()
+    }
+
+    /// Record that an obligation was incurred at `tick`; returns its id.
+    pub fn incur(&mut self, obligation: Obligation, tick: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tracked.push(TrackedObligation {
+            id,
+            obligation,
+            incurred_at: tick,
+            status: ObligationStatus::Pending,
+        });
+        id
+    }
+
+    /// Mark an obligation fulfilled at `tick`. Fulfilment after the deadline
+    /// leaves the obligation `Overdue` — late discharge does not erase the
+    /// violation. Returns false for unknown ids.
+    pub fn fulfill(&mut self, id: u64, tick: u64) -> bool {
+        match self.tracked.iter_mut().find(|t| t.id == id) {
+            Some(t) => {
+                if t.status == ObligationStatus::Pending && tick <= t.due_at() {
+                    t.status = ObligationStatus::Fulfilled;
+                } else if t.status == ObligationStatus::Pending {
+                    t.status = ObligationStatus::Overdue;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advance time: mark pending obligations past their deadline overdue.
+    pub fn advance(&mut self, tick: u64) {
+        for t in &mut self.tracked {
+            if t.status == ObligationStatus::Pending && tick > t.due_at() {
+                t.status = ObligationStatus::Overdue;
+            }
+        }
+    }
+
+    /// Status of a tracked obligation.
+    pub fn status(&self, id: u64) -> Option<ObligationStatus> {
+        self.tracked.iter().find(|t| t.id == id).map(|t| t.status)
+    }
+
+    /// All pending obligations, in incurral order.
+    pub fn pending(&self) -> impl Iterator<Item = &TrackedObligation> {
+        self.tracked.iter().filter(|t| t.status == ObligationStatus::Pending)
+    }
+
+    /// Number of overdue obligations (audit signal).
+    pub fn overdue_count(&self) -> usize {
+        self.tracked
+            .iter()
+            .filter(|t| t.status == ObligationStatus::Overdue)
+            .count()
+    }
+
+    /// Number of tracked obligations of all statuses.
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// True when nothing was ever tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+}
+
+/// An ontology of obligations: which follow-ups are relevant to which
+/// actions, keyed by action name or hazard tag.
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::{Action, Obligation};
+/// use apdm_policy::obligation::ObligationCatalog;
+///
+/// let mut catalog = ObligationCatalog::new();
+/// catalog.register(
+///     "dig-hole",
+///     Obligation::after(Action::adjust("post-warning-sign", Default::default()), 2),
+/// );
+/// catalog.register(
+///     "dig-hole",
+///     Obligation::during(Action::adjust("broadcast-warning", Default::default())),
+/// );
+/// assert_eq!(catalog.relevant("dig-hole").len(), 2);
+/// assert!(catalog.relevant("take-photo").is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObligationCatalog {
+    entries: Vec<(String, Obligation)>,
+}
+
+impl ObligationCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        ObligationCatalog::default()
+    }
+
+    /// Register an obligation template as relevant to `action_name`.
+    pub fn register(&mut self, action_name: impl Into<String>, obligation: Obligation) {
+        self.entries.push((action_name.into(), obligation));
+    }
+
+    /// Obligations relevant to an action, in registration order.
+    pub fn relevant(&self, action_name: &str) -> Vec<&Obligation> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k == action_name)
+            .map(|(_, o)| o)
+            .collect()
+    }
+
+    /// Total number of registered templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sign() -> Obligation {
+        Obligation::after(Action::adjust("post-sign", Default::default()), 5)
+    }
+
+    #[test]
+    fn during_obligations_have_zero_deadline() {
+        let o = Obligation::during(Action::noop());
+        assert_eq!(o.trigger(), ObligationTrigger::During);
+        assert_eq!(o.deadline(), 0);
+    }
+
+    #[test]
+    fn fulfil_in_time() {
+        let mut t = ObligationTracker::new();
+        let id = t.incur(sign(), 10);
+        assert!(t.fulfill(id, 15));
+        assert_eq!(t.status(id), Some(ObligationStatus::Fulfilled));
+        assert_eq!(t.overdue_count(), 0);
+    }
+
+    #[test]
+    fn advance_marks_overdue() {
+        let mut t = ObligationTracker::new();
+        let id = t.incur(sign(), 10);
+        t.advance(15);
+        assert_eq!(t.status(id), Some(ObligationStatus::Pending));
+        t.advance(16);
+        assert_eq!(t.status(id), Some(ObligationStatus::Overdue));
+        assert_eq!(t.overdue_count(), 1);
+    }
+
+    #[test]
+    fn late_fulfilment_stays_a_violation() {
+        let mut t = ObligationTracker::new();
+        let id = t.incur(sign(), 10);
+        assert!(t.fulfill(id, 99));
+        assert_eq!(t.status(id), Some(ObligationStatus::Overdue));
+    }
+
+    #[test]
+    fn fulfil_unknown_id_is_false() {
+        let mut t = ObligationTracker::new();
+        assert!(!t.fulfill(42, 0));
+    }
+
+    #[test]
+    fn pending_iterates_only_pending() {
+        let mut t = ObligationTracker::new();
+        let a = t.incur(sign(), 0);
+        let _b = t.incur(sign(), 0);
+        t.fulfill(a, 1);
+        assert_eq!(t.pending().count(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn due_at_adds_deadline() {
+        let mut t = ObligationTracker::new();
+        let id = t.incur(sign(), 7);
+        let tracked = t.pending().find(|o| o.id == id).unwrap();
+        assert_eq!(tracked.due_at(), 12);
+    }
+
+    #[test]
+    fn catalog_lookup_by_action() {
+        let mut c = ObligationCatalog::new();
+        c.register("dig", sign());
+        c.register("dig", Obligation::during(Action::noop()));
+        c.register("fly", sign());
+        assert_eq!(c.relevant("dig").len(), 2);
+        assert_eq!(c.relevant("fly").len(), 1);
+        assert!(c.relevant("swim").is_empty());
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,765 @@
+//! A small text language for authoring ECA rules.
+//!
+//! Section IV's policy templates and grammars ultimately come from humans;
+//! this module gives operators a concrete syntax for the rules they write by
+//! hand (and a round-trippable serialization for the ones devices generate):
+//!
+//! ```text
+//! rule cool-down priority 5:
+//!     on tick
+//!     if state[0] >= 80 and event.mode == "auto"
+//!     do vent delta 0 = -10 physical param speed = "fast"
+//! ```
+//!
+//! Grammar (one rule; [`parse_rules`] accepts many, separated by blank lines
+//! or just adjacency):
+//!
+//! ```text
+//! rule      := "rule" NAME meta* ":" "on" EVENT ("if" cond)? "do" action
+//! meta      := "priority" INT | "generated"
+//! cond      := and_expr ("or" and_expr)*
+//! and_expr  := unary ("and" unary)*
+//! unary     := "not" "(" cond ")" | "(" cond ")" | atom
+//! atom      := "state" "[" var "]" op NUM
+//!            | "event" "." KEY (op NUM | "==" STRING | "!=" STRING
+//!                               | "is" ("true"|"false"))
+//!            | "always" | "never"
+//! action    := NAME ("delta" var "=" NUM ("," var "=" NUM)*)?
+//!                   ("physical")? ("param" KEY "=" STRING)*
+//! var       := INT            -- variable index, or a name when a schema
+//!            | NAME           -- is supplied to `parse_rule_with_schema`
+//! ```
+
+use std::fmt;
+
+use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+use crate::{Action, Cmp, Condition, EcaRule, Event, Value};
+
+/// Error from parsing policy text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Approximate token position (0-based) where parsing failed.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Colon,
+    Dot,
+    Comma,
+    Equals,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Op(Cmp),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut pos = 0usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token::Colon);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::RBracket);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                position: pos,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '>' | '<' | '=' | '!' => {
+                chars.next();
+                let second_eq = chars.peek() == Some(&'=');
+                if second_eq {
+                    chars.next();
+                }
+                let op = match (c, second_eq) {
+                    ('>', true) => Token::Op(Cmp::Ge),
+                    ('>', false) => Token::Op(Cmp::Gt),
+                    ('<', true) => Token::Op(Cmp::Le),
+                    ('<', false) => Token::Op(Cmp::Lt),
+                    ('=', true) => Token::Op(Cmp::Eq),
+                    ('=', false) => Token::Equals,
+                    ('!', true) => Token::Op(Cmp::Ne),
+                    ('!', false) => {
+                        return Err(ParseError {
+                            message: "`!` must be followed by `=`".into(),
+                            position: pos,
+                        })
+                    }
+                    _ => unreachable!(),
+                };
+                tokens.push(op);
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s.parse().map_err(|_| ParseError {
+                    message: format!("invalid number `{s}`"),
+                    position: pos,
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '*' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '-' || d == '*' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    position: pos,
+                })
+            }
+        }
+        pos += 1;
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    schema: Option<&'a StateSchema>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.pos }
+    }
+
+    fn expect_ident(&mut self, expected: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s == expected => Ok(()),
+            other => Err(self.err(format!("expected `{expected}`, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn var(&mut self) -> Result<VarId, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Ok(VarId(n as usize)),
+            Some(Token::Ident(name)) => match self.schema {
+                Some(schema) => schema
+                    .index_of(&name)
+                    .ok_or_else(|| self.err(format!("unknown state variable `{name}`"))),
+                None => Err(self.err(format!(
+                    "named variable `{name}` needs a schema; use an index or parse_rule_with_schema"
+                ))),
+            },
+            other => Err(self.err(format!("expected a variable, found {other:?}"))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<EcaRule, ParseError> {
+        self.expect_ident("rule")?;
+        let name = self.ident("a rule name")?;
+        let mut priority = 0i32;
+        let mut generated = false;
+        loop {
+            match self.peek() {
+                Some(Token::Ident(s)) if s == "priority" => {
+                    self.next();
+                    match self.next() {
+                        Some(Token::Number(n)) if n.fract() == 0.0 => priority = n as i32,
+                        other => {
+                            return Err(self.err(format!("expected an integer priority, found {other:?}")))
+                        }
+                    }
+                }
+                Some(Token::Ident(s)) if s == "generated" => {
+                    self.next();
+                    generated = true;
+                }
+                Some(Token::Colon) => {
+                    self.next();
+                    break;
+                }
+                other => return Err(self.err(format!("expected `priority`, `generated` or `:`, found {other:?}"))),
+            }
+        }
+        self.expect_ident("on")?;
+        let event = self.ident("an event name")?;
+        let condition = match self.peek() {
+            Some(Token::Ident(s)) if s == "if" => {
+                self.next();
+                self.cond()?
+            }
+            _ => Condition::True,
+        };
+        self.expect_ident("do")?;
+        let action = self.action()?;
+        let mut rule = EcaRule::new(name, Event::pattern(event), condition, action)
+            .with_priority(priority);
+        if generated {
+            rule = rule.generated();
+        }
+        Ok(rule)
+    }
+
+    fn cond(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Some(Token::Ident(s)) if s == "or") {
+            self.next();
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.unary()?;
+        while matches!(self.peek(), Some(Token::Ident(s)) if s == "and") {
+            self.next();
+            let right = self.unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Condition, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == "not" => {
+                self.next();
+                match self.next() {
+                    Some(Token::LParen) => {}
+                    other => return Err(self.err(format!("expected `(` after `not`, found {other:?}"))),
+                }
+                let inner = self.cond()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner.negate()),
+                    other => Err(self.err(format!("expected `)`, found {other:?}"))),
+                }
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.cond()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    other => Err(self.err(format!("expected `)`, found {other:?}"))),
+                }
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Condition, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s == "always" => Ok(Condition::True),
+            Some(Token::Ident(s)) if s == "never" => Ok(Condition::False),
+            Some(Token::Ident(s)) if s == "state" => {
+                match self.next() {
+                    Some(Token::LBracket) => {}
+                    other => return Err(self.err(format!("expected `[`, found {other:?}"))),
+                }
+                let var = self.var()?;
+                match self.next() {
+                    Some(Token::RBracket) => {}
+                    other => return Err(self.err(format!("expected `]`, found {other:?}"))),
+                }
+                let op = match self.next() {
+                    Some(Token::Op(op)) => op,
+                    other => return Err(self.err(format!("expected a comparison, found {other:?}"))),
+                };
+                let value = match self.next() {
+                    Some(Token::Number(n)) => n,
+                    other => return Err(self.err(format!("expected a number, found {other:?}"))),
+                };
+                Ok(Condition::StateCmp { var, op, value })
+            }
+            Some(Token::Ident(s)) if s == "event" => {
+                match self.next() {
+                    Some(Token::Dot) => {}
+                    other => return Err(self.err(format!("expected `.`, found {other:?}"))),
+                }
+                let key = self.ident("an attribute key")?;
+                match self.next() {
+                    Some(Token::Ident(is)) if is == "is" => {
+                        let flag = match self.next() {
+                            Some(Token::Ident(b)) if b == "true" => true,
+                            Some(Token::Ident(b)) if b == "false" => false,
+                            other => {
+                                return Err(self.err(format!("expected `true` or `false`, found {other:?}")))
+                            }
+                        };
+                        Ok(Condition::event_flag(key, flag))
+                    }
+                    Some(Token::Op(op)) => match self.next() {
+                        Some(Token::Number(n)) => Ok(Condition::EventCmp {
+                            key,
+                            op,
+                            value: Value::Num(n),
+                        }),
+                        Some(Token::Str(s)) if op == Cmp::Eq || op == Cmp::Ne => {
+                            Ok(Condition::EventCmp { key, op, value: Value::Text(s) })
+                        }
+                        other => Err(self.err(format!("expected a number or string, found {other:?}"))),
+                    },
+                    other => Err(self.err(format!("expected a comparison or `is`, found {other:?}"))),
+                }
+            }
+            other => Err(self.err(format!("expected a condition atom, found {other:?}"))),
+        }
+    }
+
+    fn action(&mut self) -> Result<Action, ParseError> {
+        let name = self.ident("an action name")?;
+        let mut delta = StateDelta::empty();
+        let mut physical = false;
+        let mut params: Vec<(String, String)> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Ident(s)) if s == "delta" => {
+                    self.next();
+                    loop {
+                        let var = self.var()?;
+                        match self.next() {
+                            Some(Token::Equals) => {}
+                            other => {
+                                return Err(self.err(format!("expected `=`, found {other:?}")))
+                            }
+                        }
+                        let n = match self.next() {
+                            Some(Token::Number(n)) => n,
+                            other => {
+                                return Err(self.err(format!("expected a number, found {other:?}")))
+                            }
+                        };
+                        delta = delta.and(var, n);
+                        if matches!(self.peek(), Some(Token::Comma)) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some(Token::Ident(s)) if s == "physical" => {
+                    self.next();
+                    physical = true;
+                }
+                Some(Token::Ident(s)) if s == "param" => {
+                    self.next();
+                    let key = self.ident("a parameter key")?;
+                    match self.next() {
+                        Some(Token::Equals) => {}
+                        other => return Err(self.err(format!("expected `=`, found {other:?}"))),
+                    }
+                    let value = match self.next() {
+                        Some(Token::Str(s)) => s,
+                        Some(Token::Ident(s)) => s,
+                        Some(Token::Number(n)) => n.to_string(),
+                        other => {
+                            return Err(self.err(format!("expected a value, found {other:?}")))
+                        }
+                    };
+                    params.push((key, value));
+                }
+                _ => break,
+            }
+        }
+        let mut action = Action::adjust(name, delta);
+        if physical {
+            action = action.physical();
+        }
+        for (k, v) in params {
+            action = action.with_param(k, v);
+        }
+        Ok(action)
+    }
+}
+
+/// Parse one rule; state variables must be referenced by index.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse_rule(text: &str) -> Result<EcaRule, ParseError> {
+    parse_with(text, None).and_then(|rules| {
+        let mut it = rules.into_iter();
+        match (it.next(), it.next()) {
+            (Some(rule), None) => Ok(rule),
+            (Some(_), Some(_)) => Err(ParseError {
+                message: "expected exactly one rule; use parse_rules for several".into(),
+                position: 0,
+            }),
+            _ => Err(ParseError { message: "no rule found".into(), position: 0 }),
+        }
+    })
+}
+
+/// Parse one rule with named state variables resolved against `schema`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax problems or unknown variable names.
+pub fn parse_rule_with_schema(text: &str, schema: &StateSchema) -> Result<EcaRule, ParseError> {
+    parse_with(text, Some(schema)).and_then(|rules| {
+        rules
+            .into_iter()
+            .next()
+            .ok_or(ParseError { message: "no rule found".into(), position: 0 })
+    })
+}
+
+/// Parse any number of rules (index-referenced variables).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse_rules(text: &str) -> Result<Vec<EcaRule>, ParseError> {
+    parse_with(text, None)
+}
+
+fn parse_with(text: &str, schema: Option<&StateSchema>) -> Result<Vec<EcaRule>, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0, schema };
+    let mut rules = Vec::new();
+    while parser.peek().is_some() {
+        rules.push(parser.rule()?);
+    }
+    Ok(rules)
+}
+
+/// Serialize a rule back to the DSL (index-referenced variables). The output
+/// round-trips through [`parse_rule`] to an [`EcaRule::equivalent`] rule for
+/// every condition shape the DSL can express.
+pub fn to_dsl(rule: &EcaRule) -> String {
+    let mut out = format!("rule {}", rule.name());
+    if rule.priority() != 0 {
+        out.push_str(&format!(" priority {}", rule.priority()));
+    }
+    if rule.is_generated() {
+        out.push_str(" generated");
+    }
+    out.push_str(&format!(": on {}", rule.event().name()));
+    if *rule.condition() != Condition::True {
+        out.push_str(" if ");
+        write_cond(rule.condition(), &mut out);
+    }
+    out.push_str(&format!(" do {}", rule.action().name()));
+    let delta = rule.action().delta();
+    if !delta.changes().is_empty() {
+        let parts: Vec<String> = delta
+            .changes()
+            .iter()
+            .map(|(var, dv)| format!("{} = {}", var.0, dv))
+            .collect();
+        out.push_str(&format!(" delta {}", parts.join(", ")));
+    }
+    if rule.action().is_physical() {
+        out.push_str(" physical");
+    }
+    for (k, v) in rule.action().params() {
+        out.push_str(&format!(" param {k} = \"{v}\""));
+    }
+    out
+}
+
+fn write_cond(cond: &Condition, out: &mut String) {
+    match cond {
+        Condition::True => out.push_str("always"),
+        Condition::False => out.push_str("never"),
+        Condition::StateCmp { var, op, value } => {
+            out.push_str(&format!("state[{}] {op} {value}", var.0));
+        }
+        Condition::EventCmp { key, op, value } => match value {
+            Value::Num(n) => out.push_str(&format!("event.{key} {op} {n}")),
+            Value::Text(s) => out.push_str(&format!("event.{key} {op} \"{s}\"")),
+            Value::Flag(b) => out.push_str(&format!("event.{key} is {b}")),
+        },
+        Condition::InRegion(_) => {
+            // Regions have no DSL surface; approximate conservatively.
+            out.push_str("always");
+        }
+        Condition::Not(inner) => {
+            out.push_str("not (");
+            write_cond(inner, out);
+            out.push(')');
+        }
+        Condition::All(cs) => {
+            out.push('(');
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" and ");
+                }
+                write_cond(c, out);
+            }
+            out.push(')');
+        }
+        Condition::Any(cs) => {
+            out.push('(');
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" or ");
+                }
+                write_cond(c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_statespace::State;
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("temp", 0.0, 100.0).var("speed", 0.0, 10.0).build()
+    }
+
+    fn st(temp: f64, speed: f64) -> State {
+        schema().state(&[temp, speed]).unwrap()
+    }
+
+    #[test]
+    fn minimal_rule() {
+        let rule = parse_rule("rule watch: on tick do noop").unwrap();
+        assert_eq!(rule.name(), "watch");
+        assert_eq!(rule.event().name(), "tick");
+        assert_eq!(rule.condition(), &Condition::True);
+        assert_eq!(rule.action().name(), "noop");
+        assert_eq!(rule.priority(), 0);
+        assert!(!rule.is_generated());
+    }
+
+    #[test]
+    fn full_featured_rule() {
+        let rule = parse_rule(
+            r#"rule cool-down priority 5 generated:
+                on tick
+                if state[0] >= 80 and event.mode == "auto"
+                do vent delta 0 = -10, 1 = 0.5 physical param speed = "fast""#,
+        )
+        .unwrap();
+        assert_eq!(rule.priority(), 5);
+        assert!(rule.is_generated());
+        assert!(rule.action().is_physical());
+        assert_eq!(rule.action().param("speed"), Some("fast"));
+        assert_eq!(rule.action().delta().changes().len(), 2);
+        let hot_auto = Event::named("tick").with_text("mode", "auto");
+        assert!(rule.fires(&hot_auto, &st(90.0, 0.0)));
+        assert!(!rule.fires(&hot_auto, &st(50.0, 0.0)));
+        let manual = Event::named("tick").with_text("mode", "manual");
+        assert!(!rule.fires(&manual, &st(90.0, 0.0)));
+    }
+
+    #[test]
+    fn named_variables_resolve_against_schema() {
+        let rule = parse_rule_with_schema(
+            "rule brake: on tick if state[speed] > 7 do throttle delta speed = -2",
+            &schema(),
+        )
+        .unwrap();
+        assert!(rule.fires(&Event::named("tick"), &st(0.0, 8.0)));
+        assert!(!rule.fires(&Event::named("tick"), &st(0.0, 5.0)));
+        assert_eq!(rule.action().delta().changes()[0].0, VarId(1));
+    }
+
+    #[test]
+    fn named_variables_without_schema_fail() {
+        let err = parse_rule("rule r: on tick if state[speed] > 7 do noop").unwrap_err();
+        assert!(err.message.contains("schema"));
+    }
+
+    #[test]
+    fn unknown_named_variable_fails() {
+        let err = parse_rule_with_schema(
+            "rule r: on tick if state[altitude] > 7 do noop",
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown state variable"));
+    }
+
+    #[test]
+    fn boolean_connectives_and_precedence() {
+        // and binds tighter than or.
+        let rule = parse_rule(
+            "rule r: on e if state[0] >= 8 and state[1] <= 2 or state[0] <= 1 do act",
+        )
+        .unwrap();
+        assert!(rule.fires(&Event::named("e"), &st(9.0, 1.0)));
+        assert!(rule.fires(&Event::named("e"), &st(0.5, 9.0)));
+        assert!(!rule.fires(&Event::named("e"), &st(9.0, 9.0)));
+    }
+
+    #[test]
+    fn not_and_parentheses() {
+        let rule =
+            parse_rule("rule r: on e if not (state[0] >= 5 or state[1] >= 5) do act").unwrap();
+        assert!(rule.fires(&Event::named("e"), &st(1.0, 1.0)));
+        assert!(!rule.fires(&Event::named("e"), &st(6.0, 1.0)));
+    }
+
+    #[test]
+    fn event_flag_and_numeric_atoms() {
+        let rule = parse_rule(
+            "rule r: on e if event.armed is true and event.level >= 0.5 do act",
+        )
+        .unwrap();
+        let yes = Event::named("e").with_flag("armed", true).with_num("level", 0.7);
+        let no = Event::named("e").with_flag("armed", false).with_num("level", 0.7);
+        assert!(rule.fires(&yes, &st(0.0, 0.0)));
+        assert!(!rule.fires(&no, &st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let rule = parse_rule(
+            "# operator-authored\nrule r: # inline\n  on tick\n  do noop\n",
+        )
+        .unwrap();
+        assert_eq!(rule.name(), "r");
+    }
+
+    #[test]
+    fn multiple_rules_parse_in_order() {
+        let rules = parse_rules(
+            "rule a: on tick do x\nrule b priority 2: on tock do y",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name(), "a");
+        assert_eq!(rules[1].priority(), 2);
+    }
+
+    #[test]
+    fn wildcard_event() {
+        let rule = parse_rule("rule any: on * do act").unwrap();
+        assert!(rule.event().matches(&Event::named("whatever")));
+    }
+
+    #[test]
+    fn roundtrip_through_to_dsl() {
+        let texts = [
+            "rule watch: on tick do noop",
+            "rule r priority -3: on e if state[0] >= 8 do act delta 0 = -1 physical",
+            r#"rule q generated: on e if event.kind == "convoy" or state[1] < 2 do act param a = "b""#,
+            "rule n: on e if not (state[0] == 5) do act",
+        ];
+        for text in texts {
+            let rule = parse_rule(text).unwrap();
+            let reparsed = parse_rule(&to_dsl(&rule)).unwrap();
+            assert!(
+                rule.equivalent(&reparsed),
+                "roundtrip failed for `{text}` -> `{}`",
+                to_dsl(&rule)
+            );
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_rule("on tick do x").is_err());
+        assert!(parse_rule("rule r on tick do x").is_err()); // missing colon
+        assert!(parse_rule("rule r: on tick if state[0] do x").is_err()); // missing op
+        assert!(parse_rule("rule r: on tick do").is_err()); // missing action
+        assert!(parse_rule(r#"rule r: on tick if event.k == "unterminated do x"#).is_err());
+        assert!(parse_rule("rule r: on tick if state[0] > 1 do x trailing ( ").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_position() {
+        let err = parse_rule("rule r do").unwrap_err();
+        assert!(err.to_string().contains("parse error at token"));
+    }
+}

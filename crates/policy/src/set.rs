@@ -1,0 +1,231 @@
+//! Named policy sets: the unit of policy exchange between devices.
+//!
+//! Section IV: devices "share the information and policies they generate with
+//! other devices". A [`PolicySet`] is a named, versioned bundle of rules that
+//! can be diffed, merged and checked for conflicts before installation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{EcaRule, PolicyEngine};
+
+/// A named, versioned bundle of ECA rules.
+///
+/// # Example
+///
+/// ```
+/// use apdm_policy::{Action, Condition, EcaRule, Event, PolicySet};
+///
+/// let mut set = PolicySet::new("surveillance-v1");
+/// set.push(EcaRule::new(
+///     "report-smoke",
+///     Event::pattern("smoke-detected"),
+///     Condition::True,
+///     Action::adjust("radio-report", Default::default()),
+/// ));
+/// assert_eq!(set.len(), 1);
+/// let engine = set.to_engine();
+/// assert_eq!(engine.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySet {
+    name: String,
+    version: u32,
+    rules: Vec<EcaRule>,
+}
+
+impl PolicySet {
+    /// An empty set at version 1.
+    pub fn new(name: impl Into<String>) -> Self {
+        PolicySet { name: name.into(), version: 1, rules: Vec::new() }
+    }
+
+    /// The set's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The set's version; bumped by mutating operations.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Append a rule (bumps version).
+    pub fn push(&mut self, rule: EcaRule) {
+        self.rules.push(rule);
+        self.version += 1;
+    }
+
+    /// The rules in order.
+    pub fn rules(&self) -> &[EcaRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Materialize into a fresh [`PolicyEngine`].
+    pub fn to_engine(&self) -> PolicyEngine {
+        self.rules.iter().cloned().collect()
+    }
+
+    /// Merge rules from `other` that have no equivalent here (bumps version
+    /// when anything was added); returns the number added.
+    pub fn merge(&mut self, other: &PolicySet) -> usize {
+        let mut added = 0;
+        for rule in &other.rules {
+            if !self.rules.iter().any(|r| r.equivalent(rule)) {
+                self.rules.push(rule.clone());
+                added += 1;
+            }
+        }
+        if added > 0 {
+            self.version += 1;
+        }
+        added
+    }
+
+    /// Rules present in `other` but not here (by equivalence) — the diff a
+    /// device inspects before accepting shared policies.
+    pub fn missing_from<'a>(&self, other: &'a PolicySet) -> Vec<&'a EcaRule> {
+        other
+            .rules
+            .iter()
+            .filter(|r| !self.rules.iter().any(|mine| mine.equivalent(r)))
+            .collect()
+    }
+
+    /// Pairs of rules that *potentially conflict*: same event pattern and
+    /// same priority but different actions. Conflicting pairs are legal (the
+    /// engine resolves them deterministically) but worth surfacing to audits
+    /// and to the formation check.
+    pub fn potential_conflicts(&self) -> Vec<(&EcaRule, &EcaRule)> {
+        let mut out = Vec::new();
+        for (i, a) in self.rules.iter().enumerate() {
+            for b in &self.rules[i + 1..] {
+                if a.event() == b.event()
+                    && a.priority() == b.priority()
+                    && a.action() != b.action()
+                {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Two sets are equivalent when each rule has an equivalent counterpart
+    /// in the other (names/order/versions ignored).
+    pub fn equivalent(&self, other: &PolicySet) -> bool {
+        self.rules.len() == other.rules.len()
+            && self
+                .rules
+                .iter()
+                .all(|r| other.rules.iter().any(|o| o.equivalent(r)))
+            && other
+                .rules
+                .iter()
+                .all(|r| self.rules.iter().any(|m| m.equivalent(r)))
+    }
+}
+
+impl fmt::Display for PolicySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} v{} ({} rules)", self.name, self.version, self.rules.len())
+    }
+}
+
+impl Extend<EcaRule> for PolicySet {
+    fn extend<T: IntoIterator<Item = EcaRule>>(&mut self, iter: T) {
+        for rule in iter {
+            self.push(rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Condition, Event};
+
+    fn rule(name: &str, event: &str, action: &str, prio: i32) -> EcaRule {
+        EcaRule::new(
+            name,
+            Event::pattern(event),
+            Condition::True,
+            Action::adjust(action, Default::default()),
+        )
+        .with_priority(prio)
+    }
+
+    #[test]
+    fn push_bumps_version() {
+        let mut s = PolicySet::new("s");
+        assert_eq!(s.version(), 1);
+        s.push(rule("a", "e", "x", 0));
+        assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn merge_dedups_by_equivalence() {
+        let mut a = PolicySet::new("a");
+        a.push(rule("r1", "e", "x", 0));
+        let mut b = PolicySet::new("b");
+        b.push(rule("r1-renamed", "e", "x", 0)); // equivalent
+        b.push(rule("r2", "e", "y", 0));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+        // Merging again adds nothing and keeps the version stable.
+        let v = a.version();
+        assert_eq!(a.merge(&b), 0);
+        assert_eq!(a.version(), v);
+    }
+
+    #[test]
+    fn missing_from_reports_diff() {
+        let mut a = PolicySet::new("a");
+        a.push(rule("r1", "e", "x", 0));
+        let mut b = PolicySet::new("b");
+        b.push(rule("r1", "e", "x", 0));
+        b.push(rule("r2", "e2", "y", 0));
+        let missing = a.missing_from(&b);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].name(), "r2");
+    }
+
+    #[test]
+    fn potential_conflicts_same_event_same_priority_diff_action() {
+        let mut s = PolicySet::new("s");
+        s.push(rule("a", "e", "x", 0));
+        s.push(rule("b", "e", "y", 0));
+        s.push(rule("c", "e", "z", 1)); // different priority: engine resolves
+        assert_eq!(s.potential_conflicts().len(), 1);
+    }
+
+    #[test]
+    fn equivalence_is_order_insensitive() {
+        let mut a = PolicySet::new("a");
+        a.push(rule("r1", "e", "x", 0));
+        a.push(rule("r2", "e2", "y", 0));
+        let mut b = PolicySet::new("b");
+        b.push(rule("rr2", "e2", "y", 0));
+        b.push(rule("rr1", "e", "x", 0));
+        assert!(a.equivalent(&b));
+        b.push(rule("r3", "e3", "z", 0));
+        assert!(!a.equivalent(&b));
+    }
+
+    #[test]
+    fn to_engine_installs_all_rules() {
+        let mut s = PolicySet::new("s");
+        s.extend(vec![rule("a", "e", "x", 0), rule("b", "e2", "y", 0)]);
+        assert_eq!(s.to_engine().len(), 2);
+    }
+}

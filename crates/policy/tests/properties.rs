@@ -1,0 +1,219 @@
+//! Property-based tests for the policy engine.
+
+use proptest::prelude::*;
+
+use apdm_policy::{
+    parse_rule, to_dsl, Action, AuditKind, AuditLog, Cmp, Condition, EcaRule, Event, Obligation,
+    ObligationStatus, ObligationTracker, PolicyEngine, PolicySet,
+};
+use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+fn schema() -> StateSchema {
+    StateSchema::builder().var("x", 0.0, 10.0).build()
+}
+
+fn rule(name: &str, prio: i32, threshold: f64, action: &str) -> EcaRule {
+    EcaRule::new(
+        name.to_string(),
+        Event::pattern("tick"),
+        Condition::state_at_least(VarId(0), threshold),
+        Action::adjust(action.to_string(), Default::default()),
+    )
+    .with_priority(prio)
+}
+
+proptest! {
+    /// The winning rule always (a) matches and (b) carries the maximum
+    /// priority among matching rules; the matched list is complete.
+    #[test]
+    fn winner_dominates(
+        rules in proptest::collection::vec((-5i32..5, 0.0..10.0f64), 1..12),
+        x in 0.0..=10.0f64,
+    ) {
+        let mut engine = PolicyEngine::new();
+        for (i, (p, t)) in rules.iter().enumerate() {
+            engine.add_rule(rule(&format!("r{i}"), *p, *t, &format!("a{i}")));
+        }
+        let s = schema().state(&[x]).unwrap();
+        let ev = Event::named("tick");
+        let matching: Vec<_> = engine
+            .iter()
+            .filter(|(_, r)| r.fires(&ev, &s))
+            .map(|(id, r)| (id, r.priority()))
+            .collect();
+        match engine.decide(&ev, &s) {
+            None => prop_assert!(matching.is_empty()),
+            Some(d) => {
+                prop_assert_eq!(d.matched().len(), matching.len());
+                let max_prio = matching.iter().map(|(_, p)| *p).max().unwrap();
+                prop_assert_eq!(engine.rule(d.rule()).unwrap().priority(), max_prio);
+            }
+        }
+    }
+
+    /// add_rule_deduped is idempotent: absorbing the same rules repeatedly
+    /// never grows the engine past the distinct-rule count.
+    #[test]
+    fn dedup_idempotence(
+        rules in proptest::collection::vec((0i32..3, 0.0..3.0f64), 1..10),
+        repeats in 1usize..4,
+    ) {
+        let built: Vec<EcaRule> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, (p, t))| rule(&format!("r{i}"), *p, *t, "act"))
+            .collect();
+        let mut engine = PolicyEngine::new();
+        for _ in 0..repeats {
+            for r in &built {
+                engine.add_rule_deduped(r.clone());
+            }
+        }
+        let mut reference = PolicyEngine::new();
+        for r in &built {
+            reference.add_rule_deduped(r.clone());
+        }
+        prop_assert_eq!(engine.len(), reference.len());
+    }
+
+    /// PolicySet::merge is idempotent and commutative in content: A+B and
+    /// B+A are equivalent sets.
+    #[test]
+    fn merge_commutative_in_content(
+        xs in proptest::collection::vec(0.0..5.0f64, 0..6),
+        ys in proptest::collection::vec(0.0..5.0f64, 0..6),
+    ) {
+        let mk = |vals: &[f64], tag: &str| {
+            let mut s = PolicySet::new(tag.to_string());
+            for (i, t) in vals.iter().enumerate() {
+                s.push(rule(&format!("{tag}{i}"), 0, *t, "act"));
+            }
+            s
+        };
+        let mut ab = mk(&xs, "a");
+        ab.merge(&mk(&ys, "b"));
+        let mut ba = mk(&ys, "b");
+        ba.merge(&mk(&xs, "a"));
+        prop_assert!(ab.equivalent(&ba));
+        // Merging again changes nothing.
+        let before = ab.len();
+        ab.merge(&mk(&ys, "b"));
+        prop_assert_eq!(ab.len(), before);
+    }
+
+    /// Condition::specificity is additive over conjunction.
+    #[test]
+    fn specificity_additive(n in 1usize..8) {
+        let mut c = Condition::state_at_least(VarId(0), 0.0);
+        for i in 1..n {
+            c = c.and(Condition::state_at_least(VarId(0), i as f64));
+        }
+        prop_assert_eq!(c.specificity(), n);
+    }
+
+    /// Cmp::eval matches the mathematical relation for all operators.
+    #[test]
+    fn cmp_matches_math(a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        prop_assert_eq!(Cmp::Lt.eval(a, b), a < b);
+        prop_assert_eq!(Cmp::Le.eval(a, b), a <= b);
+        prop_assert_eq!(Cmp::Eq.eval(a, b), a == b);
+        prop_assert_eq!(Cmp::Ne.eval(a, b), a != b);
+        prop_assert_eq!(Cmp::Ge.eval(a, b), a >= b);
+        prop_assert_eq!(Cmp::Gt.eval(a, b), a > b);
+    }
+
+    /// Obligation tracker: every obligation ends Fulfilled or Overdue, never
+    /// both; fulfilling before the deadline always wins; the overdue count
+    /// equals the obligations not discharged in time.
+    #[test]
+    fn obligation_lifecycle(
+        jobs in proptest::collection::vec((0u64..20, 0u64..10, 0u64..40), 1..20),
+    ) {
+        let mut tracker = ObligationTracker::new();
+        let mut expected_overdue = 0;
+        let mut ids = Vec::new();
+        for (incurred, deadline, fulfil_at) in &jobs {
+            let ob = Obligation::after(Action::noop(), *deadline);
+            let id = tracker.incur(ob, *incurred);
+            ids.push((id, *incurred + *deadline, *fulfil_at));
+        }
+        for (id, due, fulfil_at) in &ids {
+            tracker.fulfill(*id, *fulfil_at);
+            if fulfil_at > due {
+                expected_overdue += 1;
+            }
+        }
+        tracker.advance(10_000);
+        prop_assert_eq!(tracker.overdue_count(), expected_overdue);
+        for (id, due, fulfil_at) in &ids {
+            let status = tracker.status(*id).unwrap();
+            if fulfil_at <= due {
+                prop_assert_eq!(status, ObligationStatus::Fulfilled);
+            } else {
+                prop_assert_eq!(status, ObligationStatus::Overdue);
+            }
+        }
+    }
+
+    /// DSL round-trip: any rule built from DSL-expressible parts serializes
+    /// via `to_dsl` and re-parses to an equivalent rule.
+    #[test]
+    fn dsl_roundtrip(
+        prio in -9i32..9,
+        generated in any::<bool>(),
+        physical in any::<bool>(),
+        atoms in proptest::collection::vec((0usize..3, 0u8..6, -50.0..50.0f64), 1..4),
+        deltas in proptest::collection::vec((0usize..3, -5.0..5.0f64), 0..3),
+    ) {
+        let mut cond: Option<Condition> = None;
+        for (var, op_code, value) in &atoms {
+            let op = match op_code {
+                0 => Cmp::Lt,
+                1 => Cmp::Le,
+                2 => Cmp::Eq,
+                3 => Cmp::Ne,
+                4 => Cmp::Ge,
+                _ => Cmp::Gt,
+            };
+            let atom = Condition::StateCmp { var: VarId(*var), op, value: *value };
+            cond = Some(match cond {
+                None => atom,
+                Some(c) => c.and(atom),
+            });
+        }
+        let mut delta = StateDelta::empty();
+        for (var, dv) in &deltas {
+            delta = delta.and(VarId(*var), *dv);
+        }
+        let mut action = Action::adjust("act", delta);
+        if physical {
+            action = action.physical();
+        }
+        let mut rule = EcaRule::new("r", Event::pattern("e"), cond.unwrap(), action)
+            .with_priority(prio);
+        if generated {
+            rule = rule.generated();
+        }
+        let text = to_dsl(&rule);
+        let reparsed = parse_rule(&text)
+            .unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+        prop_assert!(rule.equivalent(&reparsed), "roundtrip broke `{}`", text);
+        prop_assert_eq!(rule.is_generated(), reparsed.is_generated());
+    }
+
+    /// The audit log is append-only in observable behaviour: entries never
+    /// change and counts are monotone.
+    #[test]
+    fn audit_monotone(n in 1usize..30) {
+        let mut log = AuditLog::new();
+        let mut counts = Vec::new();
+        for i in 0..n {
+            log.record(i as u64, "d", AuditKind::Decision, format!("e{i}"));
+            counts.push(log.len());
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        for (i, e) in log.entries().iter().enumerate() {
+            prop_assert_eq!(e.detail.clone(), format!("e{i}"));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The offline situational analyzer of Section VI.D.
+//!
+//! > "If a manual check is involved, and the human making the check is
+//! > assisted by **another machine which remains offline and disconnected
+//! > from other machines** while assisting the human to run through a
+//! > situational analysis of whether the new network configuration can
+//! > potentially cause harm to the humans, the probability of any single
+//! > device or a collection of devices entering a bad state can be
+//! > significantly reduced."
+//!
+//! [`OfflineAnalyzer`] dry-runs a *copy* of the proposed configuration —
+//! devices cloned from their blueprints, world cloned from the live one —
+//! with **no guards installed** (the analysis asks what the configuration
+//! *could* do, not what guards would permit) and reports the predicted
+//! harms. Nothing the analyzer does touches the live world: it is offline by
+//! construction.
+
+use serde::{Deserialize, Serialize};
+
+use apdm_device::{Device, DeviceId};
+use apdm_guards::GuardStack;
+use apdm_policy::Event;
+
+use crate::world::Cell;
+use crate::{Fleet, FleetConfig, HarmCause, World};
+
+/// Predicted outcome of running a candidate configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfReport {
+    /// Predicted total harms over the horizon.
+    pub predicted_harms: usize,
+    /// Predicted direct harms.
+    pub direct: usize,
+    /// Predicted indirect (hazard) harms.
+    pub indirect: usize,
+    /// Predicted aggregate harms.
+    pub aggregate: usize,
+    /// Horizon simulated.
+    pub horizon: u64,
+}
+
+impl WhatIfReport {
+    /// Does the analysis predict any harm?
+    pub fn is_safe(&self) -> bool {
+        self.predicted_harms == 0
+    }
+}
+
+/// Recommendation for admitting one candidate device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionRecommendation {
+    /// Admitting the candidate is predicted to add no harm.
+    Admit,
+    /// Admitting the candidate is predicted to add harm.
+    Refuse {
+        /// Predicted harms with the current configuration.
+        without: usize,
+        /// Predicted harms if the candidate joins.
+        with: usize,
+    },
+}
+
+impl AdmissionRecommendation {
+    /// Did the analysis recommend admission?
+    pub fn is_admit(&self) -> bool {
+        matches!(self, AdmissionRecommendation::Admit)
+    }
+}
+
+/// The offline machine: dry-runs candidate configurations on cloned state.
+#[derive(Debug, Clone, Copy)]
+pub struct OfflineAnalyzer {
+    horizon: u64,
+}
+
+impl OfflineAnalyzer {
+    /// An analyzer simulating `horizon` ticks ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero horizon — an analysis that looks nowhere predicts
+    /// nothing.
+    pub fn new(horizon: u64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        OfflineAnalyzer { horizon }
+    }
+
+    /// The analysis horizon.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Dry-run `blueprints` (device + position) against a clone of `world`,
+    /// unguarded, and report predicted harms. The live world is untouched.
+    pub fn analyze(&self, blueprints: &[(Device, Cell)], world: &World) -> WhatIfReport {
+        let mut sandbox_world = world.clone();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        for (device, pos) in blueprints {
+            fleet.add(device.clone(), GuardStack::new(), *pos);
+        }
+        let events: Vec<(DeviceId, Event)> =
+            fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+        for t in 1..=self.horizon {
+            fleet.step(&mut sandbox_world, t, &events);
+        }
+        let m = fleet.metrics();
+        WhatIfReport {
+            predicted_harms: m.harm_count(),
+            direct: m.harms_by_cause(HarmCause::Direct),
+            indirect: m.harms_by_cause(HarmCause::IndirectHazard),
+            aggregate: m.harms_by_cause(HarmCause::Aggregate),
+            horizon: self.horizon,
+        }
+    }
+
+    /// Compare the configuration with and without `candidate`; recommend
+    /// admission only when the candidate adds no predicted harm.
+    pub fn recommend(
+        &self,
+        existing: &[(Device, Cell)],
+        candidate: &(Device, Cell),
+        world: &World,
+    ) -> AdmissionRecommendation {
+        let without = self.analyze(existing, world).predicted_harms;
+        let mut with_candidate: Vec<(Device, Cell)> = existing.to_vec();
+        with_candidate.push(candidate.clone());
+        let with = self.analyze(&with_candidate, world).predicted_harms;
+        if with > without {
+            AdmissionRecommendation::Refuse { without, with }
+        } else {
+            AdmissionRecommendation::Admit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::actions;
+    use crate::world::WorldConfig;
+    use apdm_device::{Actuator, DeviceKind, OrgId};
+    use apdm_policy::{Action, Condition, EcaRule};
+    use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("heat", 0.0, 10.0).build()
+    }
+
+    fn world_with_human() -> World {
+        let mut w = World::new(WorldConfig { width: 10, height: 10, heat_limit: 10.0, heat_zone: None });
+        w.add_human(vec![(5, 5)], false);
+        w
+    }
+
+    fn heater(id: u64, output: f64) -> (Device, Cell) {
+        let d = Device::builder(id, DeviceKind::new("heater"), OrgId::new("us"))
+            .schema(schema())
+            .initial_state(&[output])
+            .actuator(Actuator::new("emit-heat", VarId(0), 1.0))
+            .rule(EcaRule::new(
+                "hold-heat",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust("emit-heat", StateDelta::single(VarId(0), 0.0)),
+            ))
+            .build();
+        (d, (0, id as i32))
+    }
+
+    fn striker(id: u64) -> (Device, Cell) {
+        let d = Device::builder(id, DeviceKind::new("striker"), OrgId::new("us"))
+            .schema(schema())
+            .rule(EcaRule::new(
+                "strike",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust(actions::STRIKE, StateDelta::empty()).physical(),
+            ))
+            .build();
+        (d, (5, 6))
+    }
+
+    #[test]
+    fn safe_configuration_predicts_no_harm() {
+        let analyzer = OfflineAnalyzer::new(20);
+        let blueprints = vec![heater(1, 3.0), heater(2, 3.0)];
+        let report = analyzer.analyze(&blueprints, &world_with_human());
+        assert!(report.is_safe());
+        assert_eq!(report.horizon, 20);
+    }
+
+    #[test]
+    fn aggregate_overheat_is_predicted() {
+        let analyzer = OfflineAnalyzer::new(20);
+        let blueprints = vec![heater(1, 4.0), heater(2, 4.0), heater(3, 4.0)];
+        let report = analyzer.analyze(&blueprints, &world_with_human());
+        assert!(!report.is_safe());
+        assert_eq!(report.aggregate, 1);
+    }
+
+    #[test]
+    fn the_live_world_is_untouched() {
+        let analyzer = OfflineAnalyzer::new(20);
+        let world = world_with_human();
+        let blueprints = vec![striker(1)];
+        let report = analyzer.analyze(&blueprints, &world);
+        assert!(report.direct > 0);
+        // Offline by construction: the real human is unharmed, the real
+        // world un-ticked.
+        assert_eq!(world.humans_unharmed(), 1);
+        assert_eq!(world.tick(), 0);
+        assert!(world.harms().is_empty());
+    }
+
+    #[test]
+    fn recommend_refuses_the_tipping_device() {
+        let analyzer = OfflineAnalyzer::new(20);
+        let world = world_with_human();
+        let existing = vec![heater(1, 4.0), heater(2, 4.0)];
+        // A third 4.0 heater tips 8.0 -> 12.0 > 10.0.
+        let rec = analyzer.recommend(&existing, &heater(3, 4.0), &world);
+        match rec {
+            AdmissionRecommendation::Refuse { without, with } => {
+                assert_eq!(without, 0);
+                assert!(with > 0);
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // A mild candidate is fine.
+        assert!(analyzer.recommend(&existing, &heater(4, 1.0), &world).is_admit());
+    }
+
+    #[test]
+    fn recommend_tolerates_already_harmful_baselines() {
+        // If the existing configuration already predicts harm, a harmless
+        // candidate must not be blamed for it.
+        let analyzer = OfflineAnalyzer::new(20);
+        let world = world_with_human();
+        let existing = vec![striker(1)];
+        assert!(analyzer.recommend(&existing, &heater(2, 1.0), &world).is_admit());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        let _ = OfflineAnalyzer::new(0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Policy contagion: how a malevolent policy spreads through a
+//! policy-sharing fleet, and what throttles it.
+//!
+//! Section IV: devices "share the information and policies they generate
+//! with other devices" — and, under attack, "a reprogrammed device may turn
+//! malevolent and **convert other devices into following the same
+//! behaviors**." This module runs the epidemic: one compromised device
+//! gossips a policy set containing a hostile physical rule alongside a
+//! benign update; every other device filters offers through its
+//! [`apdm_genpolicy::ExchangeRule`]. The experiment measures
+//! both the *infection* curve (hostile rule installed) and the *benign
+//! coverage* curve (legitimate update installed) — a good throttle stops the
+//! first without starving the second.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use apdm_genpolicy::{ExchangeDecision, ExchangeRule, PolicyExchange};
+use apdm_policy::{Action, Condition, EcaRule, Event, PolicySet};
+use apdm_simnet::{Link, Network, Topology};
+
+/// Exchange-rule arms of the contagion experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContagionArm {
+    /// Accept policies from any coalition org, no filtering.
+    OpenExchange,
+    /// Accept only from the device's own organization.
+    OrgFiltered,
+    /// Accept from both orgs but refuse foreign *physical* rules.
+    PhysicalBlocked,
+    /// Accept from both orgs but require human acknowledgement; the human
+    /// recognizes hostile sets with 90% reliability **per offer** — and, as
+    /// the experiment shows, per-offer vigilance loses to repeated exposure.
+    HumanAck,
+    /// Human acknowledgement plus indicator sharing: the first time any
+    /// human recognizes the hostile set, its signature is blacklisted
+    /// fleet-wide and all later offers carrying it are auto-denied.
+    HumanAckBlacklist,
+}
+
+impl ContagionArm {
+    /// All arms, table order.
+    pub fn all() -> [ContagionArm; 5] {
+        [
+            ContagionArm::OpenExchange,
+            ContagionArm::OrgFiltered,
+            ContagionArm::PhysicalBlocked,
+            ContagionArm::HumanAck,
+            ContagionArm::HumanAckBlacklist,
+        ]
+    }
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContagionArm::OpenExchange => "open-exchange",
+            ContagionArm::OrgFiltered => "org-filtered",
+            ContagionArm::PhysicalBlocked => "physical-blocked",
+            ContagionArm::HumanAck => "human-ack",
+            ContagionArm::HumanAckBlacklist => "human-ack+blacklist",
+        }
+    }
+}
+
+/// Result of one contagion run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContagionReport {
+    /// Arm name.
+    pub arm: String,
+    /// Devices carrying the hostile rule at the end (including patient zero).
+    pub infected: usize,
+    /// Devices carrying the benign update at the end.
+    pub benign_coverage: usize,
+    /// Fleet size.
+    pub devices: usize,
+    /// First tick at which the whole fleet was infected, if ever.
+    pub full_infection_tick: Option<u64>,
+    /// Ticks simulated.
+    pub ticks: u64,
+}
+
+impl ContagionReport {
+    /// Infected fraction.
+    pub fn infection_rate(&self) -> f64 {
+        self.infected as f64 / self.devices.max(1) as f64
+    }
+
+    /// Benign-coverage fraction.
+    pub fn coverage_rate(&self) -> f64 {
+        self.benign_coverage as f64 / self.devices.max(1) as f64
+    }
+}
+
+fn hostile_rule() -> EcaRule {
+    EcaRule::new(
+        "implant",
+        Event::pattern("*"),
+        Condition::True,
+        Action::adjust("strike", Default::default()).physical(),
+    )
+    .with_priority(100)
+}
+
+fn benign_rule() -> EcaRule {
+    EcaRule::new(
+        "patrol-update",
+        Event::pattern("tick"),
+        Condition::True,
+        Action::noop(),
+    )
+}
+
+fn carries(set: &PolicySet, rule: &EcaRule) -> bool {
+    set.rules().iter().any(|r| r.equivalent(rule))
+}
+
+/// Network shape for the contagion experiment: connectivity is the
+/// epidemic's other parameter — dense coalitions convert in one gossip
+/// round, sparse ones give defenders time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Every pair of devices linked.
+    Mesh,
+    /// Devices on a ring.
+    Ring,
+    /// Devices on a line.
+    Line,
+}
+
+impl TopologyKind {
+    /// All kinds, densest first.
+    pub fn all() -> [TopologyKind; 3] {
+        [TopologyKind::Mesh, TopologyKind::Ring, TopologyKind::Line]
+    }
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Line => "line",
+        }
+    }
+}
+
+/// Run the contagion experiment on a full mesh (see [`run_contagion_on`]).
+pub fn run_contagion(arm: ContagionArm, n_devices: usize, ticks: u64, seed: u64) -> ContagionReport {
+    run_contagion_on(arm, TopologyKind::Mesh, n_devices, ticks, seed)
+}
+
+/// Run the contagion experiment: `n_devices` (orgs alternate us/uk) on the
+/// given topology, patient zero in `uk` gossiping an infected set each tick.
+pub fn run_contagion_on(
+    arm: ContagionArm,
+    topology: TopologyKind,
+    n_devices: usize,
+    ticks: u64,
+    seed: u64,
+) -> ContagionReport {
+    assert!(n_devices >= 2, "contagion needs at least two devices");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (topo, nodes) = match topology {
+        TopologyKind::Mesh => Topology::full_mesh(n_devices, Link::with_latency(1)),
+        TopologyKind::Ring => Topology::ring(n_devices, Link::with_latency(1)),
+        TopologyKind::Line => Topology::line(n_devices, Link::with_latency(1)),
+    };
+    let mut net: Network<PolicySet> = Network::with_seed(topo, seed);
+
+    let org_of = |i: usize| if i.is_multiple_of(2) { "uk" } else { "us" };
+    let rule_for = |arm: ContagionArm| match arm {
+        ContagionArm::OpenExchange => ExchangeRule::accept_from(["uk", "us"]),
+        ContagionArm::OrgFiltered => ExchangeRule::accept_from(["uk", "us"]), // filtered below
+        ContagionArm::PhysicalBlocked => {
+            ExchangeRule::accept_from(["uk", "us"]).blocking_foreign_physical()
+        }
+        ContagionArm::HumanAck | ContagionArm::HumanAckBlacklist => {
+            ExchangeRule::accept_from(["uk", "us"]).with_human_ack()
+        }
+    };
+
+    let mut exchanges: Vec<PolicyExchange> = (0..n_devices)
+        .map(|i| {
+            let rule = match arm {
+                ContagionArm::OrgFiltered => ExchangeRule::accept_from([org_of(i)]),
+                _ => rule_for(arm),
+            };
+            let mut local = PolicySet::new(format!("local-{i}"));
+            if i == 0 {
+                // Patient zero: reprogrammed with the implant plus the
+                // legitimate update it rides on.
+                local.push(hostile_rule());
+            }
+            local.push(benign_rule());
+            PolicyExchange::new(org_of(i), local, rule)
+        })
+        .collect();
+
+    let mut full_infection_tick = None;
+    // Fleet-wide indicator blacklist (HumanAckBlacklist arm only).
+    let mut blacklisted = false;
+    for tick in 0..ticks {
+        // Gossip: every device broadcasts its current set to all neighbours.
+        for (i, node) in nodes.iter().enumerate() {
+            let set = exchanges[i].local().clone();
+            net.broadcast(*node, set, tick);
+        }
+        // Delivery + filtering.
+        for delivered in net.deliver_up_to(tick + 1) {
+            let to = nodes.iter().position(|&n| n == delivered.to).expect("known node");
+            let from = nodes.iter().position(|&n| n == delivered.from).expect("known node");
+            let from_org = org_of(from).to_string();
+            let looks_hostile = carries(&delivered.payload, &hostile_rule());
+            // Indicator sharing: once blacklisted, hostile sets are dropped
+            // before any human sees them.
+            if arm == ContagionArm::HumanAckBlacklist && blacklisted && looks_hostile {
+                continue;
+            }
+            let decision = exchanges[to].offer(&from_org, &delivered.payload);
+            if decision == ExchangeDecision::PendingHumanAck {
+                // The human reviews: hostile sets (containing a physical
+                // strike rule) are recognized and denied with 90% reliability.
+                let idx = exchanges[to].pending().len() - 1;
+                let vigilant = rng.random_range(0.0..1.0) < 0.9;
+                let caught = looks_hostile && vigilant;
+                if caught && arm == ContagionArm::HumanAckBlacklist {
+                    blacklisted = true;
+                }
+                exchanges[to].resolve_pending(idx, !caught);
+            }
+        }
+        let infected = exchanges
+            .iter()
+            .filter(|e| carries(e.local(), &hostile_rule()))
+            .count();
+        if infected == n_devices && full_infection_tick.is_none() {
+            full_infection_tick = Some(tick);
+        }
+    }
+
+    let infected = exchanges
+        .iter()
+        .filter(|e| carries(e.local(), &hostile_rule()))
+        .count();
+    let benign_coverage = exchanges
+        .iter()
+        .filter(|e| carries(e.local(), &benign_rule()))
+        .count();
+
+    ContagionReport {
+        arm: arm.name().to_string(),
+        infected,
+        benign_coverage,
+        devices: n_devices,
+        full_infection_tick,
+        ticks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_exchange_infects_everyone() {
+        let r = run_contagion(ContagionArm::OpenExchange, 10, 20, 1);
+        assert_eq!(r.infected, 10);
+        assert_eq!(r.benign_coverage, 10);
+        assert!(r.full_infection_tick.is_some());
+        assert!(r.full_infection_tick.unwrap() < 5, "mesh gossip spreads fast");
+    }
+
+    #[test]
+    fn org_filtering_contains_infection_to_one_org_but_starves_the_other() {
+        let r = run_contagion(ContagionArm::OrgFiltered, 10, 20, 1);
+        assert_eq!(r.infected, 5, "only patient zero's org falls");
+        assert_eq!(r.benign_coverage, 10, "each org spreads the benign rule internally");
+        assert!(r.full_infection_tick.is_none());
+    }
+
+    #[test]
+    fn physical_blocking_contains_infection_without_starving_updates() {
+        let r = run_contagion(ContagionArm::PhysicalBlocked, 10, 20, 1);
+        // The hostile (physical) rule cannot cross orgs; within patient
+        // zero's own org the sets carrying it are *not* foreign, so the uk
+        // half falls.
+        assert_eq!(r.infected, 5);
+        assert_eq!(r.benign_coverage, 10);
+    }
+
+    #[test]
+    fn per_offer_vigilance_loses_to_repeated_exposure() {
+        // The honest negative result: a 90%-per-offer human review merely
+        // delays a gossip epidemic — each tick every uninfected device
+        // reviews multiple hostile offers, and a 10% miss rate compounds.
+        // This is Section IV's motivation inverted: humans cannot keep up.
+        let open = run_contagion(ContagionArm::OpenExchange, 10, 30, 1);
+        let ack = run_contagion(ContagionArm::HumanAck, 10, 30, 1);
+        assert_eq!(ack.infected, 10, "repeated exposure defeats per-offer review");
+        assert!(
+            ack.full_infection_tick.unwrap() > open.full_infection_tick.unwrap(),
+            "review at least delays the epidemic"
+        );
+    }
+
+    #[test]
+    fn indicator_sharing_stops_the_epidemic() {
+        let r = run_contagion(ContagionArm::HumanAckBlacklist, 10, 30, 1);
+        assert!(
+            r.infected <= 3,
+            "first detection should blacklist the implant fleet-wide, got {}",
+            r.infected
+        );
+        assert!(r.benign_coverage >= 8, "clean sets still flow (after review)");
+        assert!(r.full_infection_tick.is_none());
+    }
+
+    #[test]
+    fn sparse_topologies_slow_the_epidemic() {
+        let mesh = run_contagion_on(ContagionArm::OpenExchange, TopologyKind::Mesh, 12, 40, 3);
+        let ring = run_contagion_on(ContagionArm::OpenExchange, TopologyKind::Ring, 12, 40, 3);
+        let line = run_contagion_on(ContagionArm::OpenExchange, TopologyKind::Line, 12, 40, 3);
+        // Everyone is eventually converted on every connected topology...
+        assert_eq!(mesh.infected, 12);
+        assert_eq!(ring.infected, 12);
+        assert_eq!(line.infected, 12);
+        // ...but sparse networks take proportionally longer: mesh in one
+        // round, ring in ~n/2, line in ~n (patient zero sits at one end).
+        let (m, r, l) = (
+            mesh.full_infection_tick.unwrap(),
+            ring.full_infection_tick.unwrap(),
+            line.full_infection_tick.unwrap(),
+        );
+        assert!(m < r, "mesh {m} vs ring {r}");
+        assert!(r < l, "ring {r} vs line {l}");
+        assert!(l >= 10, "a 12-node line needs ~11 hops, got {l}");
+    }
+
+    #[test]
+    fn report_rates() {
+        let r = run_contagion(ContagionArm::OpenExchange, 8, 10, 2);
+        assert!((r.infection_rate() - 1.0).abs() < 1e-9);
+        assert!((r.coverage_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            run_contagion(ContagionArm::HumanAck, 10, 20, 7),
+            run_contagion(ContagionArm::HumanAck, 10, 20, 7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_fleet_rejected() {
+        let _ = run_contagion(ContagionArm::OpenExchange, 1, 10, 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! Fault injectors for the seven malevolence pathways of Section IV.
+//!
+//! "While no rational person would design the system to be malevolent, there
+//! are many ways by which malevolence can creep into the system" — this
+//! module makes each of the paper's seven ways a concrete, seeded
+//! transformation of a running [`Fleet`]. Experiment E7 injects each pathway
+//! into an (un)guarded fleet and measures time-to-first-harm.
+//!
+//! All pathways ultimately manifest as some combination of: a hostile rule
+//! entering a device's logic, a sensor lying, or a guard being tampered
+//! with. What distinguishes them — and what the injectors preserve — is the
+//! *provenance* (machine-generated vs human-written), the *trigger*
+//! (unconditional, perception-dependent, state-dependent) and whether the
+//! guard layer itself is attacked.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use apdm_device::SensorFault;
+use apdm_guards::tamper::{TamperStatus, Tamperable};
+use apdm_learning::BehaviorClone;
+use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_statespace::{StateDelta, VarId};
+
+use crate::oracle::actions;
+use crate::Fleet;
+
+/// The seven Section-IV pathways to malevolence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pathway {
+    /// "Mistakes in Learning": a mislearned model collapses a firing
+    /// threshold, producing an always-engage generated rule.
+    LearningMistake,
+    /// "Attacks to Systems": an intruder reprograms one device with a
+    /// high-priority hostile implant and attacks its guards.
+    CyberAttack,
+    /// "Adversarial Machine Learning": poisoning weaponizes a *correctly
+    /// defensive* learned rule by sticking the threat sensor at maximum.
+    AdversarialMl,
+    /// "Backdoors and Vulnerabilities": guards carry a maintenance backdoor
+    /// (tamper vulnerability) which the rogue side probes every tick.
+    Backdoor,
+    /// "Inappropriate Emulation": behaviour cloned from an erring human
+    /// demonstrator encodes engage-instead-of-hold in some situations.
+    InappropriateEmulation,
+    /// "Malicious Actors": a deliberate combination — sensor deception plus
+    /// a hostile implant.
+    MaliciousActor,
+    /// "Human errors": a war-fighting configuration (human-written, ordinary
+    /// priority) deployed into a peacekeeping fleet.
+    HumanError,
+}
+
+impl Pathway {
+    /// All seven pathways, in the paper's order.
+    pub fn all() -> [Pathway; 7] {
+        [
+            Pathway::LearningMistake,
+            Pathway::CyberAttack,
+            Pathway::AdversarialMl,
+            Pathway::Backdoor,
+            Pathway::InappropriateEmulation,
+            Pathway::MaliciousActor,
+            Pathway::HumanError,
+        ]
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pathway::LearningMistake => "mistakes-in-learning",
+            Pathway::CyberAttack => "cyber-attack",
+            Pathway::AdversarialMl => "adversarial-ml",
+            Pathway::Backdoor => "backdoor",
+            Pathway::InappropriateEmulation => "inappropriate-emulation",
+            Pathway::MaliciousActor => "malicious-actor",
+            Pathway::HumanError => "human-error",
+        }
+    }
+}
+
+/// A seeded injector for one pathway.
+///
+/// Call [`inject`](FaultInjector::inject) once at deployment time, then
+/// [`tick`](FaultInjector::tick) every simulation tick (only the backdoor
+/// pathway acts per-tick: the rogue side keeps probing the maintenance
+/// interface).
+#[derive(Debug)]
+pub struct FaultInjector {
+    pathway: Pathway,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// An injector for `pathway`.
+    pub fn new(pathway: Pathway, seed: u64) -> Self {
+        FaultInjector { pathway, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The pathway.
+    pub fn pathway(&self) -> Pathway {
+        self.pathway
+    }
+
+    fn strike_action() -> Action {
+        Action::adjust(actions::STRIKE, StateDelta::empty()).physical()
+    }
+
+    /// Apply the pathway's one-time corruption to the fleet.
+    pub fn inject(&mut self, fleet: &mut Fleet) {
+        match self.pathway {
+            Pathway::LearningMistake => {
+                // The learned threat threshold collapsed to 0: engage always.
+                for (_, member) in fleet.iter_mut() {
+                    member.device.engine_mut().add_rule(
+                        EcaRule::new(
+                            "mislearned-engage",
+                            Event::pattern("tick"),
+                            Condition::state_at_least(VarId(0), 0.0),
+                            Self::strike_action(),
+                        )
+                        .with_priority(50)
+                        .generated(),
+                    );
+                }
+            }
+            Pathway::CyberAttack => {
+                // One device reprogrammed; its guards attacked once.
+                if let Some((_, member)) = fleet.iter_mut().next() {
+                    member.device.engine_mut().add_rule(
+                        EcaRule::new(
+                            "implant",
+                            Event::pattern("*"),
+                            Condition::True,
+                            Self::strike_action(),
+                        )
+                        .with_priority(100),
+                    );
+                    if let Some(pre) = member.stack.preaction_mut() {
+                        pre.attempt_tamper(&mut self.rng);
+                    }
+                    if let Some(sc) = member.stack.statecheck_mut() {
+                        sc.attempt_tamper(&mut self.rng);
+                    }
+                }
+            }
+            Pathway::AdversarialMl => {
+                // The defensive rule itself is legitimate (engage when the
+                // threat reading is extreme); poisoning pins the reading at
+                // maximum.
+                for (_, member) in fleet.iter_mut() {
+                    member.device.engine_mut().add_rule(
+                        EcaRule::new(
+                            "learned-defense",
+                            Event::pattern("tick"),
+                            Condition::state_at_least(VarId(0), 0.9),
+                            Self::strike_action(),
+                        )
+                        .with_priority(40)
+                        .generated(),
+                    );
+                    member.device.fault_sensor(0, SensorFault::StuckAt(1.0));
+                }
+            }
+            Pathway::Backdoor => {
+                // The backdoor exists from the factory; per-tick probing
+                // happens in `tick`.
+                for (_, member) in fleet.iter_mut() {
+                    member.device.engine_mut().add_rule(
+                        EcaRule::new(
+                            "latent-implant",
+                            Event::pattern("tick"),
+                            Condition::True,
+                            Self::strike_action(),
+                        )
+                        .with_priority(30),
+                    );
+                    if let Some(pre) = member.stack.preaction_mut() {
+                        pre.set_tamper_status(TamperStatus::vulnerable(0.05));
+                    }
+                    if let Some(sc) = member.stack.statecheck_mut() {
+                        sc.set_tamper_status(TamperStatus::vulnerable(0.05));
+                    }
+                }
+            }
+            Pathway::InappropriateEmulation => {
+                // Clone a demonstrator who errs 30% of the time between
+                // hold (0) and engage (1) over 10 situation buckets; install
+                // an engage rule for every bucket the clone got wrong.
+                //
+                // E7 studies the *consequence* of an erring clone, not the
+                // incidence of cloning errors, so demonstration sessions are
+                // re-sampled until the clone mis-encodes at least one bucket
+                // that some fleet member currently occupies.
+                let occupied: Vec<usize> = fleet
+                    .iter()
+                    .map(|(_, m)| {
+                        ((m.device.state().values()[0] * 10.0) as usize).min(9)
+                    })
+                    .collect();
+                let mut clone = BehaviorClone::new();
+                for _attempt in 0..1000 {
+                    let mut candidate = BehaviorClone::new();
+                    let seed = self.rng.random_range(0..u64::MAX / 2);
+                    candidate.observe_demonstrator((0..10).map(|i| i % 10), |_| 0, 2, 0.3, seed);
+                    let hits_fleet = occupied
+                        .iter()
+                        .any(|&b| candidate.imitate(b) == Some(1));
+                    if hits_fleet || occupied.is_empty() {
+                        clone = candidate;
+                        if hits_fleet {
+                            break;
+                        }
+                    }
+                }
+                for (_, member) in fleet.iter_mut() {
+                    for bucket in 0..10 {
+                        if clone.imitate(bucket) == Some(1) {
+                            let lo = bucket as f64 / 10.0;
+                            member.device.engine_mut().add_rule(
+                                EcaRule::new(
+                                    format!("cloned-engage-{bucket}"),
+                                    Event::pattern("tick"),
+                                    Condition::state_at_least(VarId(0), lo).and(
+                                        Condition::state_at_most(VarId(0), lo + 0.1),
+                                    ),
+                                    Self::strike_action(),
+                                )
+                                .with_priority(20)
+                                .generated(),
+                            );
+                        }
+                    }
+                }
+            }
+            Pathway::MaliciousActor => {
+                // Deliberate combination: deception plus implant on every
+                // device the adversary can reach (here: all of them).
+                for (_, member) in fleet.iter_mut() {
+                    member.device.fault_sensor(0, SensorFault::Gain(0.0));
+                    member.device.engine_mut().add_rule(
+                        EcaRule::new(
+                            "adversary-implant",
+                            Event::pattern("tick"),
+                            Condition::state_at_most(VarId(0), 0.1),
+                            Self::strike_action(),
+                        )
+                        .with_priority(80),
+                    );
+                }
+            }
+            Pathway::HumanError => {
+                // "A machine that is designed for war-fighting could be used
+                // in peace-keeping operation": an ordinary, human-written
+                // engage rule that should never have shipped in this fleet.
+                for (_, member) in fleet.iter_mut() {
+                    member.device.engine_mut().add_rule(
+                        EcaRule::new(
+                            "warfighting-config",
+                            Event::pattern("tick"),
+                            Condition::True,
+                            Self::strike_action(),
+                        )
+                        .with_priority(10),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-tick activity. Only the backdoor pathway does anything: the rogue
+    /// side — "nothing prevents an intelligent malevolent system to start
+    /// hacking other devices on its own" — probes every guard's backdoor.
+    pub fn tick(&mut self, fleet: &mut Fleet) {
+        if self.pathway != Pathway::Backdoor {
+            return;
+        }
+        for (_, member) in fleet.iter_mut() {
+            if let Some(pre) = member.stack.preaction_mut() {
+                pre.attempt_tamper(&mut self.rng);
+            }
+            if let Some(sc) = member.stack.statecheck_mut() {
+                sc.attempt_tamper(&mut self.rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use crate::{FleetConfig, World};
+    use apdm_device::{Device, DeviceId, DeviceKind, OrgId, Sensor};
+    use apdm_guards::{GuardStack, PreActionCheck};
+    use apdm_statespace::StateSchema;
+
+    fn peacekeeper(id: u64) -> Device {
+        Device::builder(id, DeviceKind::new("peacekeeper"), OrgId::new("us"))
+            .schema(StateSchema::builder().var("threat", 0.0, 1.0).build())
+            .sensor(Sensor::new("threat-sensor", VarId(0)))
+            .rule(EcaRule::new(
+                "observe",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::noop(),
+            ))
+            .build()
+    }
+
+    fn fleet_with(guarded: bool, n: usize) -> (Fleet, World) {
+        let mut world = World::new(WorldConfig::default());
+        world.add_human(vec![(5, 5)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        for i in 0..n {
+            let stack = if guarded {
+                GuardStack::new().with_preaction(PreActionCheck::new())
+            } else {
+                GuardStack::new()
+            };
+            fleet.add(peacekeeper(i as u64), stack, (5, 6));
+        }
+        (fleet, world)
+    }
+
+    fn run(fleet: &mut Fleet, world: &mut World, injector: &mut FaultInjector, ticks: u64) {
+        let events: Vec<(DeviceId, Event)> =
+            fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+        for t in 1..=ticks {
+            injector.tick(fleet);
+            fleet.step(world, t, &events);
+        }
+    }
+
+    #[test]
+    fn every_pathway_harms_an_unguarded_fleet() {
+        for pathway in Pathway::all() {
+            // Sensor-dependent pathways need the threat state to cooperate;
+            // give them several seeds' worth of buckets by using 4 devices.
+            let (mut fleet, mut world) = fleet_with(false, 4);
+            let mut injector = FaultInjector::new(pathway, 42);
+            injector.inject(&mut fleet);
+            // Emulation clones need a matching state bucket; set one device
+            // into each of a few buckets via direct sensing.
+            for (i, (_, member)) in fleet.iter_mut().enumerate() {
+                member.device.sense(&[(0, i as f64 * 0.25)]);
+            }
+            run(&mut fleet, &mut world, &mut injector, 50);
+            assert!(
+                !world.harms().is_empty(),
+                "pathway {} failed to harm an unguarded fleet",
+                pathway.name()
+            );
+        }
+    }
+
+    #[test]
+    fn preaction_guard_blocks_non_tamper_pathways() {
+        for pathway in Pathway::all() {
+            if pathway == Pathway::Backdoor || pathway == Pathway::CyberAttack {
+                continue; // these attack the guard itself
+            }
+            let (mut fleet, mut world) = fleet_with(true, 4);
+            let mut injector = FaultInjector::new(pathway, 42);
+            injector.inject(&mut fleet);
+            for (i, (_, member)) in fleet.iter_mut().enumerate() {
+                member.device.sense(&[(0, i as f64 * 0.25)]);
+            }
+            run(&mut fleet, &mut world, &mut injector, 50);
+            assert!(
+                world.harms().is_empty(),
+                "guarded fleet should resist {}",
+                pathway.name()
+            );
+        }
+    }
+
+    #[test]
+    fn backdoor_pathway_eventually_defeats_vulnerable_guards() {
+        let (mut fleet, mut world) = fleet_with(true, 4);
+        let mut injector = FaultInjector::new(Pathway::Backdoor, 7);
+        injector.inject(&mut fleet);
+        run(&mut fleet, &mut world, &mut injector, 300);
+        assert!(
+            !world.harms().is_empty(),
+            "a 5%-per-tick backdoor should fall within 300 ticks"
+        );
+    }
+
+    #[test]
+    fn cyber_attack_against_tamper_proof_guards_is_contained() {
+        let (mut fleet, mut world) = fleet_with(true, 1);
+        let mut injector = FaultInjector::new(Pathway::CyberAttack, 7);
+        injector.inject(&mut fleet);
+        run(&mut fleet, &mut world, &mut injector, 50);
+        // The implant is installed but the tamper-proof guard holds.
+        assert!(world.harms().is_empty());
+        let (_, member) = fleet.iter().next().unwrap();
+        assert!(member.device.engine().len() > 1, "implant was installed");
+    }
+
+    #[test]
+    fn human_error_rules_have_human_provenance() {
+        let (mut fleet, _) = fleet_with(false, 1);
+        FaultInjector::new(Pathway::HumanError, 1).inject(&mut fleet);
+        let (_, member) = fleet.iter().next().unwrap();
+        let implanted = member
+            .device
+            .engine()
+            .iter()
+            .find(|(_, r)| r.name() == "warfighting-config")
+            .unwrap();
+        assert!(!implanted.1.is_generated());
+
+        let (mut fleet2, _) = fleet_with(false, 1);
+        FaultInjector::new(Pathway::LearningMistake, 1).inject(&mut fleet2);
+        let (_, member2) = fleet2.iter().next().unwrap();
+        let learned = member2
+            .device
+            .engine()
+            .iter()
+            .find(|(_, r)| r.name() == "mislearned-engage")
+            .unwrap();
+        assert!(learned.1.is_generated());
+    }
+
+    #[test]
+    fn pathway_names_are_stable() {
+        let names: Vec<&str> = Pathway::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 7);
+        assert!(names.contains(&"backdoor"));
+        assert!(names.contains(&"human-error"));
+    }
+}

@@ -1,0 +1,514 @@
+use std::collections::BTreeMap;
+
+use apdm_device::{Device, DeviceId};
+use apdm_guards::{DeactivationController, GuardContext, GuardStack};
+use apdm_policy::{Action, Event, ObligationTrigger};
+
+use crate::oracle::{actions, OracleQuality, WorldOracle};
+use crate::queue::EventQueue;
+use crate::world::{Cell, World};
+use crate::Metrics;
+
+/// A device bound into the fleet: the device itself, its guard stack and its
+/// position in the world.
+#[derive(Debug)]
+pub struct GuardedDevice {
+    /// The device (Figure 2 model).
+    pub device: Device,
+    /// The per-device guard stack (Sections VI.A–B).
+    pub stack: GuardStack,
+    /// World position.
+    pub pos: Cell,
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Prediction quality of every device's harm oracle.
+    pub oracle: OracleQuality,
+    /// Strike radius (Chebyshev) for direct-harm actions.
+    pub strike_radius: i32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { oracle: OracleQuality::Myopic, strike_radius: 1 }
+    }
+}
+
+/// A fleet of guarded devices operating in a [`World`].
+///
+/// Each tick ([`step`](Fleet::step)) runs, per device and in id order, the
+/// full Figure-2 loop with guards on the propose/apply seam:
+///
+/// 1. due obligations execute (mitigations are never starved by new work);
+/// 2. the device's logic proposes an action for its event;
+/// 3. the [`GuardStack`] rules (harm oracle + state check), possibly
+///    substituting an alternative drawn from the device's other matching
+///    rules;
+/// 4. the effective action executes: world effects (strike / dig / warn /
+///    move) and the device's own state delta;
+/// 5. the deactivation controller (Section VI.C) observes the new state;
+/// 6. the world advances (humans walk, holes claim, heat ignites).
+///
+/// The fleet keeps the run's ground-truth [`Metrics`].
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    members: BTreeMap<DeviceId, GuardedDevice>,
+    deactivation: Option<DeactivationController>,
+    obligations_due: EventQueue<(DeviceId, u64, Action)>,
+    metrics: Metrics,
+    /// Index into `world.harms()` up to which harms were already copied into
+    /// the metrics (strikes record harm outside `World::step`).
+    harvested_harms: usize,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        Fleet {
+            config,
+            members: BTreeMap::new(),
+            deactivation: None,
+            obligations_due: EventQueue::new(),
+            metrics: Metrics::new(),
+            harvested_harms: 0,
+        }
+    }
+
+    /// Install a fleet-wide deactivation controller (Section VI.C).
+    pub fn set_deactivation(&mut self, controller: DeactivationController) {
+        self.deactivation = Some(controller);
+    }
+
+    /// Add a guarded device at a position.
+    pub fn add(&mut self, device: Device, stack: GuardStack, pos: Cell) -> DeviceId {
+        let id = device.id();
+        self.members.insert(id, GuardedDevice { device, stack, pos });
+        id
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// A member by id.
+    pub fn member(&self, id: DeviceId) -> Option<&GuardedDevice> {
+        self.members.get(&id)
+    }
+
+    /// Mutable member access (fault injection).
+    pub fn member_mut(&mut self, id: DeviceId) -> Option<&mut GuardedDevice> {
+        self.members.get_mut(&id)
+    }
+
+    /// Iterate members in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&DeviceId, &GuardedDevice)> {
+        self.members.iter()
+    }
+
+    /// Iterate members mutably (fault injection sweeps).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&DeviceId, &mut GuardedDevice)> {
+        self.members.iter_mut()
+    }
+
+    /// The run's ground-truth metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of active (non-deactivated) devices.
+    pub fn active_count(&self) -> usize {
+        self.members.values().filter(|m| m.device.is_active()).count()
+    }
+
+    /// Advance the fleet and world one tick. `events` are the per-device
+    /// stimuli for this tick (scenarios usually send each active device a
+    /// `tick` event).
+    pub fn step(&mut self, world: &mut World, tick: u64, events: &[(DeviceId, Event)]) {
+        // 1. Execute due obligations (unguarded: they are mitigations the
+        // guard itself demanded).
+        for (id, ob_id, action) in self.obligations_due.pop_due(tick) {
+            if let Some(member) = self.members.get_mut(&id) {
+                Self::execute_world_effect(
+                    &self.config,
+                    member,
+                    &action,
+                    world,
+                    tick,
+                );
+                member.device.obligations_mut().fulfill(ob_id, tick);
+                self.metrics.obligation_executions += 1;
+            }
+        }
+
+        // 2–5. Per-device control loop.
+        for (&id, event) in events.iter().map(|(id, e)| (id, e)) {
+            let Some(member) = self.members.get_mut(&id) else { continue };
+            if !member.device.is_active() {
+                continue;
+            }
+            let Some(decision) = member.device.propose(event) else { continue };
+            self.metrics.proposals += 1;
+
+            // Alternatives: actions of the other rules that matched.
+            let alternatives: Vec<Action> = decision.matched()[1..]
+                .iter()
+                .filter_map(|&rid| member.device.engine().rule(rid))
+                .map(|r| r.action().clone())
+                .collect();
+
+            let oracle =
+                WorldOracle::new(world, id.0, member.pos, self.config.oracle);
+            let subject = id.to_string();
+            let ctx = GuardContext {
+                tick,
+                subject: &subject,
+                state: member.device.state(),
+                alternatives: &alternatives,
+            };
+            let verdict = member.stack.check(&ctx, decision.action(), oracle);
+            if verdict.intervened() {
+                self.metrics.interventions += 1;
+            }
+
+            let mut incurred: Vec<(u64, Action)> = Vec::new();
+            if let Some(effective) = verdict.effective_action(decision.action()) {
+                let effective = effective.clone();
+                // Obligations from the rule itself and from the guard.
+                for ob in decision.obligations().iter().chain(verdict.obligations()) {
+                    let ob_id = member.device.obligations_mut().incur(ob.clone(), tick);
+                    match ob.trigger() {
+                        ObligationTrigger::During => {
+                            incurred.push((ob_id, ob.action().clone()));
+                        }
+                        ObligationTrigger::After => {
+                            self.obligations_due
+                                .schedule(tick + 1, (id, ob_id, ob.action().clone()));
+                        }
+                    }
+                }
+                Self::execute_world_effect(&self.config, member, &effective, world, tick);
+                self.metrics.executions += 1;
+                // During-obligations execute with the action.
+                for (ob_id, ob_action) in incurred {
+                    Self::execute_world_effect(&self.config, member, &ob_action, world, tick);
+                    member.device.obligations_mut().fulfill(ob_id, tick);
+                    self.metrics.obligation_executions += 1;
+                }
+            }
+
+            // 5. Deactivation controller observes the post-action state.
+            if let Some(ctl) = &mut self.deactivation {
+                if let Some(order) = ctl.observe(&subject, member.device.state(), tick) {
+                    let _ = order;
+                    member.device.deactivate();
+                    world.clear_heat(id.0);
+                    self.metrics.deactivations += 1;
+                }
+            }
+        }
+
+        // 6. The world advances; every harm not yet harvested (including
+        // strike harms recorded earlier in this tick) lands in the metrics.
+        world.step(tick);
+        let new_harms = &world.harms()[self.harvested_harms..];
+        for harm in new_harms {
+            self.metrics.record_harm(harm.clone());
+        }
+        self.harvested_harms = world.harms().len();
+        self.metrics.ticks = tick;
+
+        // Obligation deadlines.
+        let mut overdue = 0;
+        for member in self.members.values_mut() {
+            let before = member.device.obligations().overdue_count();
+            member.device.obligations_mut().advance(tick);
+            overdue += member.device.obligations().overdue_count() - before;
+        }
+        self.metrics.obligations_overdue += overdue as u64;
+    }
+
+    /// Give the world physical meaning to an action, then run the device's
+    /// own state update.
+    fn execute_world_effect(
+        config: &FleetConfig,
+        member: &mut GuardedDevice,
+        action: &Action,
+        world: &mut World,
+        tick: u64,
+    ) {
+        let id = member.device.id().0;
+        match action.name() {
+            actions::STRIKE => {
+                world.strike(id, member.pos, config.strike_radius, tick);
+            }
+            actions::DIG_HOLE => {
+                world.dig_hole(member.pos, Some(id));
+            }
+            actions::POST_WARNING => {
+                world.warn_hole(member.pos);
+            }
+            actions::MOVE => {
+                let dx: i32 = action.param("dx").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let dy: i32 = action.param("dy").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let next = (member.pos.0 + dx, member.pos.1 + dy);
+                if world.in_bounds(next) {
+                    member.pos = next;
+                }
+            }
+            _ => {}
+        }
+        // The device's own state moves through its actuators; world-only
+        // actions (empty delta) need no actuator.
+        if !action.delta().is_empty() {
+            member.device.apply(action);
+        }
+        // Heat convention: a `heat` state variable is mirrored into the
+        // world's aggregate field.
+        if let Some(var) = member.device.schema().index_of("heat") {
+            if let Some(heat) = member.device.state().get(var) {
+                world.set_heat(id, heat);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use apdm_device::{Actuator, DeviceKind, OrgId};
+    use apdm_guards::PreActionCheck;
+    use apdm_policy::obligation::ObligationCatalog;
+    use apdm_policy::{Condition, EcaRule, Obligation};
+    use apdm_statespace::{Region, RegionClassifier, StateDelta, StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("heat", 0.0, 10.0).build()
+    }
+
+    fn tick_events(fleet: &Fleet) -> Vec<(DeviceId, Event)> {
+        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect()
+    }
+
+    /// A device that strikes on every tick.
+    fn striker(id: u64) -> Device {
+        Device::builder(id, DeviceKind::new("attack-drone"), OrgId::new("us"))
+            .schema(schema())
+            .rule(EcaRule::new(
+                "always-strike",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust(actions::STRIKE, StateDelta::empty()).physical(),
+            ))
+            .build()
+    }
+
+    /// A device that digs on tick 1 (then keeps digging harmlessly).
+    fn digger(id: u64) -> Device {
+        Device::builder(id, DeviceKind::new("engineer-mule"), OrgId::new("uk"))
+            .schema(schema())
+            .rule(EcaRule::new(
+                "dig",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust(actions::DIG_HOLE, StateDelta::empty()).physical(),
+            ))
+            .build()
+    }
+
+    #[test]
+    fn unguarded_striker_harms_neighbors() {
+        let mut world = World::new(WorldConfig::default());
+        world.add_human(vec![(5, 5)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.add(striker(1), GuardStack::new(), (5, 6));
+        let events = tick_events(&fleet);
+        fleet.step(&mut world, 1, &events);
+        assert_eq!(fleet.metrics().harm_count(), 1);
+        assert_eq!(fleet.metrics().executions, 1);
+    }
+
+    #[test]
+    fn preaction_guard_blocks_the_strike() {
+        let mut world = World::new(WorldConfig::default());
+        world.add_human(vec![(5, 5)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.add(
+            striker(1),
+            GuardStack::new().with_preaction(PreActionCheck::new()),
+            (5, 6),
+        );
+        let events = tick_events(&fleet);
+        for t in 1..=5 {
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(fleet.metrics().harm_count(), 0);
+        assert_eq!(fleet.metrics().interventions, 5);
+        assert_eq!(fleet.metrics().executions, 0);
+    }
+
+    #[test]
+    fn myopic_digger_causes_indirect_harm_despite_preaction_guard() {
+        // The paper's dig-a-hole story end to end.
+        let mut world = World::new(WorldConfig::default());
+        world.add_human((0..10).map(|x| (x, 0)).collect(), false);
+        let mut fleet = Fleet::new(FleetConfig::default()); // myopic oracle
+        fleet.add(
+            digger(1),
+            GuardStack::new().with_preaction(PreActionCheck::new().with_lookahead(50)),
+            (7, 0),
+        );
+        let events = tick_events(&fleet);
+        for t in 1..=10 {
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(fleet.metrics().harm_count(), 1, "myopia lets the hole be dug");
+    }
+
+    #[test]
+    fn predictive_digger_is_blocked() {
+        let mut world = World::new(WorldConfig::default());
+        world.add_human((0..10).map(|x| (x, 0)).collect(), false);
+        let mut fleet = Fleet::new(FleetConfig {
+            oracle: OracleQuality::Predictive { horizon: 20 },
+            ..FleetConfig::default()
+        });
+        fleet.add(
+            digger(1),
+            GuardStack::new().with_preaction(PreActionCheck::new().with_lookahead(20)),
+            (7, 0),
+        );
+        let events = tick_events(&fleet);
+        for t in 1..=10 {
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(fleet.metrics().harm_count(), 0);
+    }
+
+    #[test]
+    fn obligations_mitigate_the_hole() {
+        // Myopic oracle, but digging carries a During-obligation to post a
+        // warning sign: the hole exists yet never claims the walker.
+        let mut catalog = ObligationCatalog::new();
+        catalog.register(
+            actions::DIG_HOLE,
+            Obligation::during(Action::adjust(actions::POST_WARNING, StateDelta::empty())),
+        );
+        let mut world = World::new(WorldConfig::default());
+        world.add_human((0..10).map(|x| (x, 0)).collect(), false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.add(
+            digger(1),
+            GuardStack::new()
+                .with_preaction(PreActionCheck::new().with_obligations(catalog)),
+            (7, 0),
+        );
+        let events = tick_events(&fleet);
+        for t in 1..=10 {
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(fleet.metrics().harm_count(), 0);
+        assert_eq!(world.hole_at((7, 0)), Some(true), "hole exists but is warned");
+    }
+
+    #[test]
+    fn deactivation_contains_a_rogue() {
+        // A device whose heat rises each tick enters the bad region; the
+        // controller kills it after two observations.
+        let hot = Device::builder(1u64, DeviceKind::new("heater"), OrgId::new("us"))
+            .schema(schema())
+            .actuator(Actuator::new("emit-heat", VarId(0), 5.0))
+            .rule(EcaRule::new(
+                "heat-up",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust("emit-heat", StateDelta::single(VarId(0), 3.0)),
+            ))
+            .build();
+        let mut world = World::new(WorldConfig { heat_limit: 100.0, ..WorldConfig::default() });
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.set_deactivation(DeactivationController::new(
+            RegionClassifier::new(Region::rect(&[(0.0, 5.0)])),
+            2,
+        ));
+        let id = fleet.add(hot, GuardStack::new(), (0, 0));
+        let events = tick_events(&fleet);
+        for t in 1..=10 {
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(fleet.metrics().deactivations, 1);
+        assert!(!fleet.member(id).unwrap().device.is_active());
+        assert_eq!(fleet.active_count(), 0);
+        // Heat was cleared on deactivation.
+        assert_eq!(world.total_heat(), 0.0);
+    }
+
+    #[test]
+    fn heat_mirrors_into_world_and_ignites() {
+        let heater = |id: u64| {
+            Device::builder(id, DeviceKind::new("heater"), OrgId::new("us"))
+                .schema(schema())
+                .actuator(Actuator::new("emit-heat", VarId(0), 5.0))
+                .rule(EcaRule::new(
+                    "heat-up",
+                    Event::pattern("tick"),
+                    Condition::True,
+                    Action::adjust("emit-heat", StateDelta::single(VarId(0), 4.0)),
+                ))
+                .build()
+        };
+        let mut world = World::new(WorldConfig { heat_limit: 10.0, ..WorldConfig::default() });
+        world.add_human(vec![(9, 9)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        for i in 0..3 {
+            fleet.add(heater(i), GuardStack::new(), (0, i as i32));
+        }
+        let events = tick_events(&fleet);
+        fleet.step(&mut world, 1, &events); // each at 4.0 -> 12 > 10
+        assert!(world.fire_burning());
+        assert_eq!(fleet.metrics().harms_by_cause(crate::HarmCause::Aggregate), 1);
+    }
+
+    #[test]
+    fn move_actions_update_position_within_bounds() {
+        let mover = Device::builder(1u64, DeviceKind::new("scout"), OrgId::new("us"))
+            .schema(schema())
+            .rule(EcaRule::new(
+                "go-east",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust(actions::MOVE, StateDelta::empty()).with_param("dx", "1"),
+            ))
+            .build();
+        let mut world = World::new(WorldConfig { width: 3, height: 3, heat_limit: 10.0, heat_zone: None });
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let id = fleet.add(mover, GuardStack::new(), (0, 0));
+        let events = tick_events(&fleet);
+        for t in 1..=5 {
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(fleet.member(id).unwrap().pos, (2, 0), "clamped at the boundary");
+    }
+
+    #[test]
+    fn deactivated_devices_are_skipped() {
+        let mut world = World::new(WorldConfig::default());
+        world.add_human(vec![(5, 5)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let id = fleet.add(striker(1), GuardStack::new(), (5, 6));
+        fleet.member_mut(id).unwrap().device.deactivate();
+        let events = tick_events(&fleet);
+        fleet.step(&mut world, 1, &events);
+        assert_eq!(fleet.metrics().harm_count(), 0);
+        assert_eq!(fleet.metrics().proposals, 0);
+    }
+}

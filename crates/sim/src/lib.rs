@@ -1,0 +1,49 @@
+//! Discrete-event coalition world simulator with fault injection.
+//!
+//! This crate is the *substitute testbed* for the military-coalition setting
+//! of Sections I–II of *How to Prevent Skynet From Forming* (Calo et al.,
+//! ICDCS 2018): since the paper's devices (drones, mules) and humans cannot
+//! be fielded, experiments run in a deterministic, seeded 2-D grid world that
+//! exercises the same state/action/harm code paths (see DESIGN.md's
+//! substitution table).
+//!
+//! Crucially, **the world — not any device — decides when a human is
+//! harmed**: guards only ever see what their (possibly deceived) oracles
+//! report, which reproduces the paper's epistemic setup.
+//!
+//! * [`World`] — grid, humans walking scripted paths, holes, warning signs,
+//!   an aggregate heat field, the authoritative harm log;
+//! * [`WorldOracle`] — the [`HarmOracle`](apdm_guards::HarmOracle) a guard
+//!   consults, with configurable prediction quality (perfect / myopic);
+//! * [`Fleet`] — guarded devices bound to world positions, with per-tick
+//!   propose → guard → apply → world-effects stepping, obligation execution
+//!   and deactivation;
+//! * [`faults`] — injectors for all seven Section-IV malevolence pathways;
+//! * [`metrics`] — harm accounting and the executable [`SkynetScore`] of the
+//!   six Section-III properties;
+//! * [`scenario`] — the coalition scenarios behind experiments F1, E1, E3,
+//!   E4;
+//! * [`runner`] — seeded experiment execution producing serializable
+//!   reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod oracle;
+mod queue;
+mod world;
+
+pub mod analysis;
+pub mod contagion;
+pub mod faults;
+pub mod metrics;
+pub mod operator;
+pub mod runner;
+pub mod scenario;
+
+pub use fleet::{Fleet, FleetConfig, GuardedDevice};
+pub use metrics::{HarmCause, HarmEvent, Metrics, SkynetScore};
+pub use oracle::{actions, OracleQuality, WorldOracle};
+pub use queue::EventQueue;
+pub use world::{Cell, World, WorldConfig};

@@ -1,0 +1,215 @@
+//! The human operator of Figure 1: command issuance, fan-out and error.
+//!
+//! Section II: "several devices within control of a human collaboratively
+//! decide how to execute actions that satisfy the command of that
+//! individual." Section IV lists **human error** among the malevolence
+//! pathways: "A wrong command by the human operator ... can lead to
+//! malevolent conditions."
+//!
+//! [`Operator`] issues commands to a [`Fleet`] as per-device events. With
+//! probability `error_rate` the operator issues the *mistaken* command
+//! instead of the intended one (e.g. `engage` instead of `observe`), which
+//! is the command-level realization of the human-error pathway — distinct
+//! from the configuration-level one in [`crate::faults`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use apdm_device::DeviceId;
+use apdm_policy::Event;
+
+use crate::Fleet;
+
+/// One command the operator issued.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IssuedCommand {
+    /// Tick of issuance.
+    pub tick: u64,
+    /// What the operator meant to issue.
+    pub intended: String,
+    /// What actually went out.
+    pub actual: String,
+    /// Devices addressed.
+    pub addressed: usize,
+}
+
+impl IssuedCommand {
+    /// Was this command a slip?
+    pub fn is_mistake(&self) -> bool {
+        self.intended != self.actual
+    }
+}
+
+/// A scripted human operator with a slip rate.
+///
+/// # Example
+///
+/// ```
+/// use apdm_sim::operator::Operator;
+/// use apdm_sim::{Fleet, FleetConfig};
+///
+/// let fleet = Fleet::new(FleetConfig::default());
+/// let mut op = Operator::new(0.0, 7);
+/// let events = op.issue("observe", "engage", &fleet, 1);
+/// assert!(events.is_empty()); // empty fleet, no recipients
+/// assert_eq!(op.issued().len(), 1);
+/// assert_eq!(op.mistakes(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Operator {
+    error_rate: f64,
+    rng: StdRng,
+    issued: Vec<IssuedCommand>,
+}
+
+impl Operator {
+    /// An operator who slips with probability `error_rate` per command.
+    pub fn new(error_rate: f64, seed: u64) -> Self {
+        Operator {
+            error_rate: error_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            issued: Vec::new(),
+        }
+    }
+
+    /// Issue `intended` to every active device (or, on a slip, `mistaken`).
+    /// Returns the per-device events to feed into [`Fleet::step`].
+    pub fn issue(
+        &mut self,
+        intended: &str,
+        mistaken: &str,
+        fleet: &Fleet,
+        tick: u64,
+    ) -> Vec<(DeviceId, Event)> {
+        let slipped = self.error_rate > 0.0 && self.rng.random_range(0.0..1.0) < self.error_rate;
+        let actual = if slipped { mistaken } else { intended };
+        let events: Vec<(DeviceId, Event)> = fleet
+            .iter()
+            .filter(|(_, m)| m.device.is_active())
+            .map(|(&id, _)| (id, Event::named(actual)))
+            .collect();
+        self.issued.push(IssuedCommand {
+            tick,
+            intended: intended.to_string(),
+            actual: actual.to_string(),
+            addressed: events.len(),
+        });
+        events
+    }
+
+    /// Every command issued so far.
+    pub fn issued(&self) -> &[IssuedCommand] {
+        &self.issued
+    }
+
+    /// Number of slips.
+    pub fn mistakes(&self) -> usize {
+        self.issued.iter().filter(|c| c.is_mistake()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::actions;
+    use crate::world::WorldConfig;
+    use crate::{FleetConfig, World};
+    use apdm_device::{Device, DeviceKind, OrgId};
+    use apdm_guards::{GuardStack, PreActionCheck};
+    use apdm_policy::{Action, Condition, EcaRule};
+    use apdm_statespace::StateSchema;
+
+    /// A peacekeeper that observes on `observe` and strikes on `engage` —
+    /// the dual-role machine of the paper's human-error example ("a machine
+    /// that is designed for war-fighting could be used in peace-keeping").
+    fn dual_role(id: u64) -> Device {
+        Device::builder(id, DeviceKind::new("dual"), OrgId::new("us"))
+            .schema(StateSchema::builder().var("x", 0.0, 1.0).build())
+            .rule(EcaRule::new(
+                "observe",
+                Event::pattern("observe"),
+                Condition::True,
+                Action::noop(),
+            ))
+            .rule(EcaRule::new(
+                "engage",
+                Event::pattern("engage"),
+                Condition::True,
+                Action::adjust(actions::STRIKE, Default::default()).physical(),
+            ))
+            .build()
+    }
+
+    fn setup(guarded: bool) -> (Fleet, World) {
+        let mut world = World::new(WorldConfig::default());
+        world.add_human(vec![(5, 5)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let stack = if guarded {
+            GuardStack::new().with_preaction(PreActionCheck::new())
+        } else {
+            GuardStack::new()
+        };
+        fleet.add(dual_role(1), stack, (5, 6));
+        (fleet, world)
+    }
+
+    #[test]
+    fn faithful_operator_keeps_the_peace() {
+        let (mut fleet, mut world) = setup(false);
+        let mut op = Operator::new(0.0, 1);
+        for t in 1..=20 {
+            let events = op.issue("observe", "engage", &fleet, t);
+            fleet.step(&mut world, t, &events);
+        }
+        assert_eq!(op.mistakes(), 0);
+        assert_eq!(world.harms().len(), 0);
+    }
+
+    #[test]
+    fn slips_cause_harm_without_guards() {
+        let (mut fleet, mut world) = setup(false);
+        let mut op = Operator::new(0.5, 2);
+        for t in 1..=20 {
+            let events = op.issue("observe", "engage", &fleet, t);
+            fleet.step(&mut world, t, &events);
+        }
+        assert!(op.mistakes() > 0);
+        assert!(!world.harms().is_empty(), "a wrong command struck the human");
+    }
+
+    #[test]
+    fn guards_absorb_operator_slips() {
+        let (mut fleet, mut world) = setup(true);
+        let mut op = Operator::new(0.5, 2);
+        for t in 1..=20 {
+            let events = op.issue("observe", "engage", &fleet, t);
+            fleet.step(&mut world, t, &events);
+        }
+        assert!(op.mistakes() > 0, "same slips as the unguarded run");
+        assert!(world.harms().is_empty(), "pre-action checks caught every slip");
+    }
+
+    #[test]
+    fn commands_address_only_active_devices() {
+        let (mut fleet, _) = setup(false);
+        let id = *fleet.iter().next().unwrap().0;
+        fleet.member_mut(id).unwrap().device.deactivate();
+        let mut op = Operator::new(0.0, 3);
+        let events = op.issue("observe", "engage", &fleet, 1);
+        assert!(events.is_empty());
+        assert_eq!(op.issued()[0].addressed, 0);
+    }
+
+    #[test]
+    fn issued_log_records_intent_vs_actual() {
+        let (fleet, _) = setup(false);
+        let mut op = Operator::new(1.0, 4);
+        op.issue("observe", "engage", &fleet, 9);
+        let cmd = &op.issued()[0];
+        assert_eq!(cmd.intended, "observe");
+        assert_eq!(cmd.actual, "engage");
+        assert!(cmd.is_mistake());
+        assert_eq!(cmd.tick, 9);
+    }
+}

@@ -1,0 +1,151 @@
+use apdm_guards::HarmOracle;
+use apdm_policy::Action;
+use apdm_statespace::State;
+
+use crate::world::{Cell, World};
+
+/// Canonical action names the world gives physical meaning to.
+pub mod actions {
+    /// Strike at the device's position (direct harm to nearby humans).
+    pub const STRIKE: &str = "strike";
+    /// Dig a hole at the device's position (a lingering hazard).
+    pub const DIG_HOLE: &str = "dig-hole";
+    /// Post a warning sign at the device's position (mitigates a hole).
+    pub const POST_WARNING: &str = "post-warning-sign";
+    /// Move by the `dx`/`dy` action parameters.
+    pub const MOVE: &str = "move";
+}
+
+/// How good the device's model of future human movement is.
+///
+/// Section VI.A: "if the action causes indirect harm to a human, the
+/// pre-action check may fail in some cases to catch that" — a myopic oracle
+/// reproduces exactly that failure; a predictive one bounds it by its
+/// horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleQuality {
+    /// Sees only where humans are *now*.
+    Myopic,
+    /// Predicts human movement up to this many ticks ahead.
+    Predictive {
+        /// Prediction horizon in ticks.
+        horizon: u32,
+    },
+}
+
+/// The harm oracle a guard consults, backed by the device's view of the
+/// world.
+///
+/// The oracle reads the *actual* world (this reproduction does not model
+/// perception noise at the oracle level — sensor deception is modelled on
+/// the device's own state instead), but its *foresight* is limited by
+/// [`OracleQuality`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorldOracle<'a> {
+    world: &'a World,
+    device: u64,
+    pos: Cell,
+    quality: OracleQuality,
+}
+
+impl<'a> WorldOracle<'a> {
+    /// An oracle for a device at `pos`.
+    pub fn new(world: &'a World, device: u64, pos: Cell, quality: OracleQuality) -> Self {
+        WorldOracle { world, device, pos, quality }
+    }
+
+    /// The device this oracle serves.
+    pub fn device(&self) -> u64 {
+        self.device
+    }
+}
+
+impl HarmOracle for WorldOracle<'_> {
+    fn direct_harm(&self, _state: &State, action: &Action) -> bool {
+        if action.name() != actions::STRIKE {
+            return false;
+        }
+        // A strike harms humans within Chebyshev radius 1 of the device.
+        self.world
+            .current_human_cells()
+            .iter()
+            .any(|&(hx, hy)| (hx - self.pos.0).abs().max((hy - self.pos.1).abs()) <= 1)
+    }
+
+    fn indirect_harm(&self, _state: &State, action: &Action, horizon: u32) -> bool {
+        if action.name() != actions::DIG_HOLE {
+            return false;
+        }
+        let effective = match self.quality {
+            OracleQuality::Myopic => return false,
+            OracleQuality::Predictive { horizon: h } => h.min(horizon),
+        };
+        self.world
+            .predicted_human_cells(effective)
+            .contains(&self.pos)
+    }
+
+    fn creates_hazard(&self, _state: &State, action: &Action) -> bool {
+        action.name() == actions::DIG_HOLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use apdm_statespace::StateSchema;
+
+    fn state() -> State {
+        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.0]).unwrap()
+    }
+
+    fn dig() -> Action {
+        Action::adjust(actions::DIG_HOLE, Default::default()).physical()
+    }
+
+    fn strike() -> Action {
+        Action::adjust(actions::STRIKE, Default::default()).physical()
+    }
+
+    #[test]
+    fn strike_near_human_is_direct_harm() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_human(vec![(5, 5)], false);
+        let near = WorldOracle::new(&w, 1, (5, 6), OracleQuality::Myopic);
+        let far = WorldOracle::new(&w, 1, (9, 9), OracleQuality::Myopic);
+        assert!(near.direct_harm(&state(), &strike()));
+        assert!(!far.direct_harm(&state(), &strike()));
+        assert!(!near.direct_harm(&state(), &dig()));
+    }
+
+    #[test]
+    fn myopic_oracle_cannot_foresee_the_hole_victim() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_human((0..10).map(|x| (x, 0)).collect(), false);
+        let o = WorldOracle::new(&w, 1, (5, 0), OracleQuality::Myopic);
+        assert!(!o.indirect_harm(&state(), &dig(), 100));
+        assert!(o.creates_hazard(&state(), &dig()));
+    }
+
+    #[test]
+    fn predictive_oracle_foresees_within_horizon() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_human((0..10).map(|x| (x, 0)).collect(), false);
+        let o = WorldOracle::new(&w, 1, (5, 0), OracleQuality::Predictive { horizon: 10 });
+        assert!(o.indirect_harm(&state(), &dig(), 10));
+        // The human reaches x=5 at step 5; a 3-tick horizon misses it.
+        let short = WorldOracle::new(&w, 1, (5, 0), OracleQuality::Predictive { horizon: 3 });
+        assert!(!short.indirect_harm(&state(), &dig(), 10));
+        // The guard's requested horizon also caps the prediction.
+        assert!(!o.indirect_harm(&state(), &dig(), 3));
+    }
+
+    #[test]
+    fn off_path_holes_are_no_harm() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_human((0..10).map(|x| (x, 0)).collect(), false);
+        let o = WorldOracle::new(&w, 1, (5, 7), OracleQuality::Predictive { horizon: 50 });
+        assert!(!o.indirect_harm(&state(), &dig(), 50));
+    }
+}

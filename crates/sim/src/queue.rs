@@ -1,0 +1,142 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: ties on tick break by insertion sequence (FIFO), so
+/// simulation runs are fully deterministic.
+#[derive(Debug)]
+struct Scheduled<E> {
+    tick: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .tick
+            .cmp(&self.tick)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+///
+/// ```
+/// use apdm_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "later");
+/// q.schedule(1, "first");
+/// q.schedule(5, "also-later");
+/// assert_eq!(q.pop_due(1), vec!["first"]);
+/// assert_eq!(q.pop_due(5), vec!["later", "also-later"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `event` for `tick`.
+    pub fn schedule(&mut self, tick: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { tick, seq, event });
+    }
+
+    /// Earliest scheduled tick, if any.
+    pub fn next_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|s| s.tick)
+    }
+
+    /// Remove and return every event due at or before `tick`, in
+    /// (tick, insertion) order.
+    pub fn pop_due(&mut self, tick: u64) -> Vec<E> {
+        let mut out = Vec::new();
+        while self.heap.peek().is_some_and(|s| s.tick <= tick) {
+            out.push(self.heap.pop().expect("peeked").event);
+        }
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3, "c");
+        q.schedule(1, "a");
+        q.schedule(2, "b");
+        assert_eq!(q.next_tick(), Some(1));
+        assert_eq!(q.pop_due(3), vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_a_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(7, i);
+        }
+        assert_eq!(q.pop_due(7), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_leaves_future_events() {
+        let mut q = EventQueue::new();
+        q.schedule(1, "now");
+        q.schedule(9, "later");
+        assert_eq!(q.pop_due(5), vec!["now"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_tick(), Some(9));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.pop_due(100).is_empty());
+        assert_eq!(q.next_tick(), None);
+    }
+}

@@ -1,0 +1,630 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{HarmCause, HarmEvent};
+
+/// A grid cell `(x, y)`.
+pub type Cell = (i32, i32);
+
+/// Static world parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Grid width (cells are `0..width`).
+    pub width: i32,
+    /// Grid height.
+    pub height: i32,
+    /// Aggregate heat above which a fire breaks out (Section VI.D's
+    /// cumulative-heat example).
+    pub heat_limit: f64,
+    /// When set, a fire harms only humans inside this rectangle
+    /// (inclusive corners); `None` means the whole grid is the enclosure.
+    pub heat_zone: Option<((i32, i32), (i32, i32))>,
+}
+
+impl WorldConfig {
+    /// Is `cell` inside the heat enclosure?
+    fn in_heat_zone(&self, cell: Cell) -> bool {
+        match self.heat_zone {
+            None => true,
+            Some(((x0, y0), (x1, y1))) => {
+                cell.0 >= x0 && cell.0 <= x1 && cell.1 >= y0 && cell.1 <= y1
+            }
+        }
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig { width: 20, height: 20, heat_limit: 10.0, heat_zone: None }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Human {
+    path: Vec<Cell>,
+    idx: usize,
+    looping: bool,
+    harmed: bool,
+}
+
+impl Human {
+    fn pos(&self) -> Cell {
+        self.path[self.idx.min(self.path.len() - 1)]
+    }
+
+    fn advance(&mut self) {
+        if self.harmed {
+            return;
+        }
+        if self.idx + 1 < self.path.len() {
+            self.idx += 1;
+        } else if self.looping && !self.path.is_empty() {
+            self.idx = 0;
+        }
+    }
+
+    /// Position `steps` ticks in the future (assuming the human survives).
+    fn pos_after(&self, steps: u64) -> Cell {
+        if self.harmed || self.path.is_empty() {
+            return self.pos();
+        }
+        let i = self.idx as u64 + steps;
+        if self.looping {
+            self.path[(i % self.path.len() as u64) as usize]
+        } else {
+            self.path[(i as usize).min(self.path.len() - 1)]
+        }
+    }
+}
+
+/// A suspect convoy: a moving target that ground mules may intercept
+/// (Section II: "if it sees a suspect convoy, it may call upon a ground mule
+/// to intercept the convoy along the path").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Convoy {
+    path: Vec<Cell>,
+    idx: usize,
+    intercepted_at: Option<u64>,
+}
+
+impl Convoy {
+    fn pos(&self) -> Cell {
+        self.path[self.idx.min(self.path.len() - 1)]
+    }
+
+    fn advance(&mut self) {
+        if self.intercepted_at.is_none() && self.idx + 1 < self.path.len() {
+            self.idx += 1;
+        }
+    }
+
+    fn pos_after(&self, steps: u64) -> Cell {
+        if self.intercepted_at.is_some() {
+            return self.pos();
+        }
+        let i = (self.idx as u64 + steps) as usize;
+        self.path[i.min(self.path.len() - 1)]
+    }
+}
+
+/// The authoritative physical world: grid, humans, hazards, heat, harm.
+///
+/// The world is the *only* component that records harm; devices and guards
+/// interact with it exclusively through actions and (possibly wrong)
+/// predictions.
+///
+/// # Example
+///
+/// ```
+/// use apdm_sim::{World, WorldConfig};
+/// use apdm_sim::HarmCause;
+///
+/// let mut world = World::new(WorldConfig::default());
+/// // A human walks east along y=5.
+/// world.add_human((0..10).map(|x| (x, 5)).collect(), false);
+/// // A device digs an unmarked hole on the path.
+/// world.dig_hole((3, 5), None);
+/// for tick in 1..=5 {
+///     world.step(tick);
+/// }
+/// assert_eq!(world.harms().len(), 1);
+/// assert_eq!(world.harms()[0].cause, HarmCause::IndirectHazard);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    config: WorldConfig,
+    humans: Vec<Human>,
+    /// hole cell -> (warned, digging device id if known).
+    holes: BTreeMap<Cell, (bool, Option<u64>)>,
+    /// heat contribution per device.
+    heat: BTreeMap<u64, f64>,
+    fire_burning: bool,
+    harms: Vec<HarmEvent>,
+    convoys: Vec<Convoy>,
+    tick: u64,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        World {
+            config,
+            humans: Vec::new(),
+            holes: BTreeMap::new(),
+            heat: BTreeMap::new(),
+            fire_burning: false,
+            harms: Vec::new(),
+            convoys: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> WorldConfig {
+        self.config
+    }
+
+    /// Current tick (last stepped).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Add a human walking `path` (one waypoint per tick); returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn add_human(&mut self, path: Vec<Cell>, looping: bool) -> usize {
+        assert!(!path.is_empty(), "human paths must be non-empty");
+        self.humans.push(Human { path, idx: 0, looping, harmed: false });
+        self.humans.len() - 1
+    }
+
+    /// Number of humans.
+    pub fn human_count(&self) -> usize {
+        self.humans.len()
+    }
+
+    /// Number of humans not yet harmed.
+    pub fn humans_unharmed(&self) -> usize {
+        self.humans.iter().filter(|h| !h.harmed).count()
+    }
+
+    /// Current position of human `i`.
+    pub fn human_pos(&self, i: usize) -> Option<Cell> {
+        self.humans.get(i).map(Human::pos)
+    }
+
+    /// Is human `i` harmed?
+    pub fn human_harmed(&self, i: usize) -> Option<bool> {
+        self.humans.get(i).map(|h| h.harmed)
+    }
+
+    /// Predicted positions of all surviving humans over the next `horizon`
+    /// ticks (inclusive of the current position) — what a *perfect* indirect-
+    /// harm oracle knows.
+    pub fn predicted_human_cells(&self, horizon: u32) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for h in self.humans.iter().filter(|h| !h.harmed) {
+            for step in 0..=horizon as u64 {
+                cells.push(h.pos_after(step));
+            }
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Positions of surviving humans right now — what a *myopic* oracle
+    /// knows.
+    pub fn current_human_cells(&self) -> Vec<Cell> {
+        self.humans
+            .iter()
+            .filter(|h| !h.harmed)
+            .map(Human::pos)
+            .collect()
+    }
+
+    /// Dig a hole at `cell`, attributed to `device`. Idempotent per cell.
+    pub fn dig_hole(&mut self, cell: Cell, device: Option<u64>) {
+        self.holes.entry(cell).or_insert((false, device));
+    }
+
+    /// Post a warning sign at a hole; returns whether a hole was there.
+    /// Warned holes no longer harm (humans walk around them).
+    pub fn warn_hole(&mut self, cell: Cell) -> bool {
+        match self.holes.get_mut(&cell) {
+            Some((warned, _)) => {
+                *warned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is there a hole at `cell`? Returns its warned flag.
+    pub fn hole_at(&self, cell: Cell) -> Option<bool> {
+        self.holes.get(&cell).map(|(warned, _)| *warned)
+    }
+
+    /// Number of holes, warned or not.
+    pub fn hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    /// Set a device's heat contribution.
+    pub fn set_heat(&mut self, device: u64, heat: f64) {
+        self.heat.insert(device, heat.max(0.0));
+    }
+
+    /// Remove a device's heat contribution (deactivation).
+    pub fn clear_heat(&mut self, device: u64) {
+        self.heat.remove(&device);
+    }
+
+    /// The aggregate heat.
+    pub fn total_heat(&self) -> f64 {
+        self.heat.values().sum()
+    }
+
+    /// Is a fire currently burning?
+    pub fn fire_burning(&self) -> bool {
+        self.fire_burning
+    }
+
+    /// A device strikes at `cell`: every surviving human within Chebyshev
+    /// distance `radius` is directly harmed. Returns the number harmed.
+    pub fn strike(&mut self, device: u64, cell: Cell, radius: i32, tick: u64) -> usize {
+        let mut harmed = 0;
+        let harms = &mut self.harms;
+        for (i, h) in self.humans.iter_mut().enumerate() {
+            if h.harmed {
+                continue;
+            }
+            let (hx, hy) = h.pos();
+            if (hx - cell.0).abs().max((hy - cell.1).abs()) <= radius {
+                h.harmed = true;
+                harmed += 1;
+                harms.push(HarmEvent { tick, human: i, cause: HarmCause::Direct, device: Some(device) });
+            }
+        }
+        harmed
+    }
+
+    /// Advance the world one tick: humans walk, unwarned holes claim
+    /// walkers, aggregate heat above the limit ignites a fire harming every
+    /// surviving human. Returns the harm events produced this tick.
+    pub fn step(&mut self, tick: u64) -> Vec<HarmEvent> {
+        self.tick = tick;
+        let before = self.harms.len();
+
+        // Humans walk; convoys roll.
+        for h in &mut self.humans {
+            h.advance();
+        }
+        for c in &mut self.convoys {
+            c.advance();
+        }
+
+        // Unwarned holes claim walkers.
+        for (i, h) in self.humans.iter_mut().enumerate() {
+            if h.harmed {
+                continue;
+            }
+            if let Some(&(warned, device)) = self.holes.get(&h.pos()) {
+                if !warned {
+                    h.harmed = true;
+                    self.harms.push(HarmEvent {
+                        tick,
+                        human: i,
+                        cause: HarmCause::IndirectHazard,
+                        device,
+                    });
+                }
+            }
+        }
+
+        // Aggregate heat: fire breaks out when the limit is crossed, harming
+        // everyone; it keeps burning (but harms only once per outbreak) until
+        // heat drops back under the limit.
+        if self.total_heat() > self.config.heat_limit {
+            if !self.fire_burning {
+                self.fire_burning = true;
+                for (i, h) in self.humans.iter_mut().enumerate() {
+                    if !h.harmed && self.config.in_heat_zone(h.pos()) {
+                        h.harmed = true;
+                        self.harms.push(HarmEvent {
+                            tick,
+                            human: i,
+                            cause: HarmCause::Aggregate,
+                            device: None,
+                        });
+                    }
+                }
+            }
+        } else {
+            self.fire_burning = false;
+        }
+
+        self.harms[before..].to_vec()
+    }
+
+    /// All harm events so far.
+    pub fn harms(&self) -> &[HarmEvent] {
+        &self.harms
+    }
+
+    /// Add a suspect convoy following `path` (one waypoint per tick, stops
+    /// at the end); returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn add_convoy(&mut self, path: Vec<Cell>) -> usize {
+        assert!(!path.is_empty(), "convoy paths must be non-empty");
+        self.convoys.push(Convoy { path, idx: 0, intercepted_at: None });
+        self.convoys.len() - 1
+    }
+
+    /// Number of convoys.
+    pub fn convoy_count(&self) -> usize {
+        self.convoys.len()
+    }
+
+    /// Current position of convoy `i`.
+    pub fn convoy_pos(&self, i: usize) -> Option<Cell> {
+        self.convoys.get(i).map(Convoy::pos)
+    }
+
+    /// Tick at which convoy `i` was intercepted, if it was.
+    pub fn convoy_intercepted_at(&self, i: usize) -> Option<u64> {
+        self.convoys.get(i).and_then(|c| c.intercepted_at)
+    }
+
+    /// Predicted position of convoy `i` after `steps` ticks — what a drone's
+    /// tracking model reports to the interceptor.
+    pub fn predicted_convoy_pos(&self, i: usize, steps: u64) -> Option<Cell> {
+        self.convoys.get(i).map(|c| c.pos_after(steps))
+    }
+
+    /// An interceptor at `cell` attempts to stop convoy `i`; succeeds when
+    /// the convoy is within Chebyshev distance 1 **and still in the sector**
+    /// (a convoy whose path is exhausted has escaped — interception missed).
+    /// Returns whether the convoy is now (or already was) intercepted.
+    pub fn try_intercept(&mut self, i: usize, cell: Cell, tick: u64) -> bool {
+        let Some(convoy) = self.convoys.get_mut(i) else { return false };
+        if convoy.intercepted_at.is_some() {
+            return true;
+        }
+        if convoy.idx + 1 >= convoy.path.len() {
+            return false; // escaped the sector
+        }
+        let (cx, cy) = convoy.pos();
+        if (cx - cell.0).abs().max((cy - cell.1).abs()) <= 1 {
+            convoy.intercepted_at = Some(tick);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Convoys not yet intercepted whose path is exhausted (escaped).
+    pub fn convoys_escaped(&self) -> usize {
+        self.convoys
+            .iter()
+            .filter(|c| c.intercepted_at.is_none() && c.idx + 1 >= c.path.len())
+            .count()
+    }
+
+    /// Is `cell` inside the grid?
+    pub fn in_bounds(&self, cell: Cell) -> bool {
+        cell.0 >= 0 && cell.0 < self.config.width && cell.1 >= 0 && cell.1 < self.config.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(WorldConfig { width: 10, height: 10, heat_limit: 5.0, heat_zone: None })
+    }
+
+    #[test]
+    fn humans_walk_their_paths() {
+        let mut w = world();
+        let h = w.add_human(vec![(0, 0), (1, 0), (2, 0)], false);
+        assert_eq!(w.human_pos(h), Some((0, 0)));
+        w.step(1);
+        assert_eq!(w.human_pos(h), Some((1, 0)));
+        w.step(2);
+        w.step(3); // end of path: stays put
+        assert_eq!(w.human_pos(h), Some((2, 0)));
+    }
+
+    #[test]
+    fn looping_paths_wrap() {
+        let mut w = world();
+        let h = w.add_human(vec![(0, 0), (1, 0)], true);
+        w.step(1);
+        w.step(2);
+        assert_eq!(w.human_pos(h), Some((0, 0)));
+    }
+
+    #[test]
+    fn unwarned_hole_harms_walker() {
+        let mut w = world();
+        w.add_human(vec![(0, 0), (1, 0), (2, 0)], false);
+        w.dig_hole((2, 0), Some(7));
+        w.step(1);
+        assert!(w.harms().is_empty());
+        let events = w.step(2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cause, HarmCause::IndirectHazard);
+        assert_eq!(events[0].device, Some(7));
+        assert_eq!(w.humans_unharmed(), 0);
+    }
+
+    #[test]
+    fn warned_hole_is_safe() {
+        let mut w = world();
+        w.add_human(vec![(0, 0), (1, 0), (2, 0)], false);
+        w.dig_hole((2, 0), None);
+        assert!(w.warn_hole((2, 0)));
+        w.step(1);
+        w.step(2);
+        assert!(w.harms().is_empty());
+        assert_eq!(w.hole_at((2, 0)), Some(true));
+    }
+
+    #[test]
+    fn warning_nonexistent_hole_is_false() {
+        let mut w = world();
+        assert!(!w.warn_hole((5, 5)));
+    }
+
+    #[test]
+    fn harmed_humans_stop_walking() {
+        let mut w = world();
+        let h = w.add_human(vec![(0, 0), (1, 0), (2, 0), (3, 0)], false);
+        w.dig_hole((1, 0), None);
+        w.step(1);
+        assert_eq!(w.human_harmed(h), Some(true));
+        w.step(2);
+        assert_eq!(w.human_pos(h), Some((1, 0)), "harmed humans don't advance");
+        // A harmed human cannot be harmed again.
+        assert_eq!(w.harms().len(), 1);
+    }
+
+    #[test]
+    fn strike_harms_within_radius() {
+        let mut w = world();
+        w.add_human(vec![(3, 3)], false);
+        w.add_human(vec![(5, 5)], false);
+        let harmed = w.strike(9, (3, 4), 1, 1);
+        assert_eq!(harmed, 1);
+        assert_eq!(w.harms()[0].cause, HarmCause::Direct);
+        assert_eq!(w.harms()[0].device, Some(9));
+        assert_eq!(w.humans_unharmed(), 1);
+    }
+
+    #[test]
+    fn heat_over_limit_ignites_once_per_outbreak() {
+        let mut w = world();
+        w.add_human(vec![(0, 0)], false);
+        w.add_human(vec![(9, 9)], false);
+        w.set_heat(1, 3.0);
+        w.set_heat(2, 3.0);
+        assert_eq!(w.total_heat(), 6.0);
+        let events = w.step(1);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.cause == HarmCause::Aggregate));
+        assert!(w.fire_burning());
+        // Still burning next tick, but nobody left to harm and no new events.
+        assert!(w.step(2).is_empty());
+        // Cooling re-arms the fire.
+        w.set_heat(1, 0.0);
+        w.set_heat(2, 0.0);
+        w.step(3);
+        assert!(!w.fire_burning());
+    }
+
+    #[test]
+    fn individually_small_heat_sums_to_fire() {
+        // Section VI.D's example verbatim: each source acceptable, sum fatal.
+        let mut w = world();
+        w.add_human(vec![(0, 0)], false);
+        for d in 0..6 {
+            w.set_heat(d, 1.0); // each well below the 5.0 limit
+        }
+        w.step(1);
+        assert_eq!(w.harms().len(), 1);
+        assert_eq!(w.harms()[0].cause, HarmCause::Aggregate);
+    }
+
+    #[test]
+    fn heat_zone_confines_the_fire() {
+        let mut w = World::new(WorldConfig {
+            width: 10,
+            height: 10,
+            heat_limit: 5.0,
+            heat_zone: Some(((0, 0), (3, 3))),
+        });
+        let inside = w.add_human(vec![(1, 1)], false);
+        let outside = w.add_human(vec![(8, 8)], false);
+        w.set_heat(1, 9.0);
+        w.step(1);
+        assert!(w.fire_burning());
+        assert_eq!(w.human_harmed(inside), Some(true));
+        assert_eq!(w.human_harmed(outside), Some(false));
+        assert_eq!(w.harms().len(), 1);
+    }
+
+    #[test]
+    fn clear_heat_on_deactivation() {
+        let mut w = world();
+        w.set_heat(1, 4.0);
+        w.set_heat(2, 4.0);
+        w.clear_heat(1);
+        assert_eq!(w.total_heat(), 4.0);
+    }
+
+    #[test]
+    fn predicted_cells_cover_the_horizon() {
+        let mut w = world();
+        w.add_human(vec![(0, 0), (1, 0), (2, 0)], false);
+        let cells = w.predicted_human_cells(2);
+        assert_eq!(cells, vec![(0, 0), (1, 0), (2, 0)]);
+        let now = w.current_human_cells();
+        assert_eq!(now, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn predicted_cells_ignore_harmed_humans() {
+        let mut w = world();
+        w.add_human(vec![(0, 0), (1, 0)], false);
+        w.strike(1, (0, 0), 0, 1);
+        assert!(w.predicted_human_cells(5).is_empty());
+    }
+
+    #[test]
+    fn convoys_roll_and_stop_when_intercepted() {
+        let mut w = world();
+        let c = w.add_convoy(vec![(0, 0), (1, 0), (2, 0), (3, 0)]);
+        w.step(1);
+        assert_eq!(w.convoy_pos(c), Some((1, 0)));
+        assert_eq!(w.predicted_convoy_pos(c, 2), Some((3, 0)));
+        assert!(w.try_intercept(c, (2, 1), 2), "adjacent interceptor succeeds");
+        assert_eq!(w.convoy_intercepted_at(c), Some(2));
+        w.step(3);
+        assert_eq!(w.convoy_pos(c), Some((1, 0)), "intercepted convoys stop");
+    }
+
+    #[test]
+    fn distant_interception_fails_and_convoys_escape() {
+        let mut w = world();
+        let c = w.add_convoy(vec![(0, 0), (1, 0)]);
+        assert!(!w.try_intercept(c, (5, 5), 1));
+        assert_eq!(w.convoy_intercepted_at(c), None);
+        w.step(1);
+        w.step(2);
+        assert_eq!(w.convoys_escaped(), 1, "path exhausted without interception");
+    }
+
+    #[test]
+    fn bounds_check() {
+        let w = world();
+        assert!(w.in_bounds((0, 0)));
+        assert!(w.in_bounds((9, 9)));
+        assert!(!w.in_bounds((10, 0)));
+        assert!(!w.in_bounds((0, -1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_path_rejected() {
+        let mut w = world();
+        w.add_human(vec![], false);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the world simulator's ground-truth invariants.
+
+use proptest::prelude::*;
+
+use apdm_device::{Device, DeviceId, DeviceKind, OrgId};
+use apdm_guards::{GuardStack, PreActionCheck};
+use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_sim::runner::{run_e1, run_e6, E1Arm, E6Arm};
+use apdm_sim::{actions, Fleet, FleetConfig, World, WorldConfig};
+use apdm_statespace::{StateDelta, StateSchema};
+
+fn small_world(humans: &[(i32, i32)]) -> World {
+    let mut w = World::new(WorldConfig { width: 12, height: 12, heat_limit: 10.0, heat_zone: None });
+    for &(x, y) in humans {
+        w.add_human(vec![(x, y), (x + 1, y), (x, y)], true);
+    }
+    w
+}
+
+fn striker(id: u64, guarded: bool) -> (Device, GuardStack) {
+    let device = Device::builder(id, DeviceKind::new("s"), OrgId::new("us"))
+        .schema(StateSchema::builder().var("x", 0.0, 1.0).build())
+        .rule(EcaRule::new(
+            "strike",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::adjust(actions::STRIKE, StateDelta::empty()).physical(),
+        ))
+        .build();
+    let stack = if guarded {
+        GuardStack::new().with_preaction(PreActionCheck::new())
+    } else {
+        GuardStack::new()
+    };
+    (device, stack)
+}
+
+proptest! {
+    /// Harm is monotone and bounded: the harm log never shrinks, never
+    /// exceeds the human count, and each human is harmed at most once.
+    #[test]
+    fn harm_monotone_and_bounded(
+        humans in proptest::collection::vec((0i32..10, 0i32..10), 1..6),
+        positions in proptest::collection::vec((0i32..10, 0i32..10), 1..4),
+        ticks in 1u64..20,
+    ) {
+        let mut world = small_world(&humans);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        for (i, &pos) in positions.iter().enumerate() {
+            let (d, s) = striker(i as u64, false);
+            fleet.add(d, s, pos);
+        }
+        let events: Vec<(DeviceId, Event)> =
+            fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+        let mut prev = 0;
+        for t in 1..=ticks {
+            fleet.step(&mut world, t, &events);
+            let now = world.harms().len();
+            prop_assert!(now >= prev);
+            prev = now;
+        }
+        prop_assert!(world.harms().len() <= humans.len());
+        let mut victims: Vec<usize> = world.harms().iter().map(|h| h.human).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        prop_assert_eq!(victims.len(), world.harms().len(), "each human harmed once");
+        // Fleet metrics mirror the world exactly.
+        prop_assert_eq!(fleet.metrics().harm_count(), world.harms().len());
+    }
+
+    /// A guarded fleet never harms fewer... never harms MORE than the same
+    /// unguarded fleet on the same world and seed (guard monotonicity).
+    #[test]
+    fn guards_never_increase_direct_harm(
+        humans in proptest::collection::vec((0i32..10, 0i32..10), 1..5),
+        positions in proptest::collection::vec((0i32..10, 0i32..10), 1..4),
+    ) {
+        let run = |guarded: bool| {
+            let mut world = small_world(&humans);
+            let mut fleet = Fleet::new(FleetConfig::default());
+            for (i, &pos) in positions.iter().enumerate() {
+                let (d, s) = striker(i as u64, guarded);
+                fleet.add(d, s, pos);
+            }
+            let events: Vec<(DeviceId, Event)> =
+                fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+            for t in 1..=10 {
+                fleet.step(&mut world, t, &events);
+            }
+            world.harms().len()
+        };
+        prop_assert!(run(true) <= run(false));
+        prop_assert_eq!(run(true), 0, "the pre-action check stops every strike");
+    }
+
+    /// Fleet stepping is deterministic: identical configurations and seeds
+    /// produce identical harm logs.
+    #[test]
+    fn fleet_is_deterministic(
+        humans in proptest::collection::vec((0i32..10, 0i32..10), 1..4),
+        pos in (0i32..10, 0i32..10),
+    ) {
+        let run = || {
+            let mut world = small_world(&humans);
+            let mut fleet = Fleet::new(FleetConfig::default());
+            let (d, s) = striker(0, false);
+            fleet.add(d, s, pos);
+            let events: Vec<(DeviceId, Event)> =
+                fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+            for t in 1..=8 {
+                fleet.step(&mut world, t, &events);
+            }
+            world.harms().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Experiment runners are deterministic in their seed.
+    #[test]
+    fn runners_deterministic(seed in 0u64..50) {
+        prop_assert_eq!(
+            run_e1(E1Arm::PreAction, 6, 6, 30, seed),
+            run_e1(E1Arm::PreAction, 6, 6, 30, seed)
+        );
+        prop_assert_eq!(
+            run_e6(E6Arm::GradientUtility, 4, 5, 20, seed),
+            run_e6(E6Arm::GradientUtility, 4, 5, 20, seed)
+        );
+    }
+
+    /// E1's headline invariant holds for arbitrary seeds, not just the
+    /// tabled one: the pre-action arm never records a direct harm.
+    #[test]
+    fn preaction_blocks_direct_for_all_seeds(seed in 0u64..30) {
+        let r = run_e1(E1Arm::PreAction, 8, 8, 40, seed);
+        prop_assert_eq!(r.direct_harms, 0);
+    }
+}

@@ -1,0 +1,264 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::{Network, NodeId};
+
+/// What a node announces about itself: the inputs to interaction-graph
+/// matching and generative policy creation (Section IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// The announcing node.
+    pub node: NodeId,
+    /// Device kind name ("drone", "mule", ...).
+    pub kind: String,
+    /// Owning organization name.
+    pub org: String,
+    /// Capability attributes.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl NodeInfo {
+    /// Info with no attributes.
+    pub fn new(node: NodeId, kind: impl Into<String>, org: impl Into<String>) -> Self {
+        NodeInfo { node, kind: kind.into(), org: org.into(), attrs: Vec::new() }
+    }
+
+    /// Attach an attribute (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Look up an attribute.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A discovery state change observed by some node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryEvent {
+    /// `observer` learned about a node it had not seen before.
+    Appeared {
+        /// The node that learned something.
+        observer: NodeId,
+        /// What it learned.
+        info: NodeInfo,
+    },
+    /// `observer` noticed a previously known node go silent.
+    Disappeared {
+        /// The node that noticed.
+        observer: NodeId,
+        /// The node that went silent.
+        node: NodeId,
+    },
+}
+
+/// Dynamic discovery over a [`Network`] of [`NodeInfo`] payloads.
+///
+/// Each registered node periodically announces itself to its link neighbours;
+/// observers track who they know and when they last heard from them, expiring
+/// entries after `expiry` ticks of silence. The produced
+/// [`DiscoveryEvent::Appeared`] events are what the generative policy layer
+/// listens to.
+///
+/// # Example
+///
+/// ```
+/// use apdm_simnet::{DiscoveryService, Link, Network, NodeInfo, Topology};
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_node();
+/// let b = topo.add_node();
+/// topo.connect(a, b, Link::with_latency(1));
+/// let mut net = Network::new(topo);
+///
+/// let mut disco = DiscoveryService::new(5, 20);
+/// disco.register(NodeInfo::new(a, "drone", "us"));
+/// disco.register(NodeInfo::new(b, "mule", "uk"));
+///
+/// disco.announce(&mut net, 0);
+/// let events = disco.step(&mut net, 1);
+/// assert_eq!(events.len(), 2); // each side learned about the other
+/// ```
+#[derive(Debug)]
+pub struct DiscoveryService {
+    interval: u64,
+    expiry: u64,
+    members: Vec<NodeInfo>,
+    /// observer -> (seen node -> (info, last heard tick)).
+    known: BTreeMap<NodeId, BTreeMap<NodeId, (NodeInfo, u64)>>,
+    last_announce: Option<u64>,
+}
+
+impl DiscoveryService {
+    /// A service announcing every `interval` ticks and expiring after
+    /// `expiry` ticks of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero.
+    pub fn new(interval: u64, expiry: u64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        DiscoveryService {
+            interval,
+            expiry,
+            members: Vec::new(),
+            known: BTreeMap::new(),
+            last_announce: None,
+        }
+    }
+
+    /// Register a node to announce itself.
+    pub fn register(&mut self, info: NodeInfo) {
+        self.members.retain(|m| m.node != info.node);
+        self.members.push(info);
+    }
+
+    /// Deregister a node (it stops announcing; observers will expire it).
+    pub fn deregister(&mut self, node: NodeId) {
+        self.members.retain(|m| m.node != node);
+    }
+
+    /// Force an announcement round at `now` regardless of the interval.
+    pub fn announce(&mut self, net: &mut Network<NodeInfo>, now: u64) {
+        for info in &self.members {
+            net.broadcast(info.node, info.clone(), now);
+        }
+        self.last_announce = Some(now);
+    }
+
+    /// Advance to tick `now`: announce if due, deliver announcements, update
+    /// each observer's neighbour table and return the resulting events.
+    pub fn step(&mut self, net: &mut Network<NodeInfo>, now: u64) -> Vec<DiscoveryEvent> {
+        let due = match self.last_announce {
+            None => true,
+            Some(t) => now >= t + self.interval,
+        };
+        if due {
+            self.announce(net, now);
+        }
+        let mut events = Vec::new();
+        for msg in net.deliver_up_to(now) {
+            let table = self.known.entry(msg.to).or_default();
+            let is_new = !table.contains_key(&msg.payload.node);
+            table.insert(msg.payload.node, (msg.payload.clone(), now));
+            if is_new {
+                events.push(DiscoveryEvent::Appeared { observer: msg.to, info: msg.payload });
+            }
+        }
+        // Expire silent entries.
+        for (&observer, table) in self.known.iter_mut() {
+            let expired: Vec<NodeId> = table
+                .iter()
+                .filter(|(_, (_, last))| now.saturating_sub(*last) > self.expiry)
+                .map(|(&n, _)| n)
+                .collect();
+            for node in expired {
+                table.remove(&node);
+                events.push(DiscoveryEvent::Disappeared { observer, node });
+            }
+        }
+        events
+    }
+
+    /// Nodes `observer` currently knows about.
+    pub fn known_by(&self, observer: NodeId) -> Vec<&NodeInfo> {
+        self.known
+            .get(&observer)
+            .map(|t| t.values().map(|(info, _)| info).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of registered announcers.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Link, Topology};
+
+    fn setup() -> (Network<NodeInfo>, DiscoveryService, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.connect(a, b, Link::with_latency(1));
+        let mut disco = DiscoveryService::new(5, 12);
+        disco.register(NodeInfo::new(a, "drone", "us").with_attr("sensor", "optical"));
+        disco.register(NodeInfo::new(b, "mule", "uk"));
+        (Network::new(t), disco, a, b)
+    }
+
+    #[test]
+    fn nodes_discover_each_other() {
+        let (mut net, mut disco, a, b) = setup();
+        let ev0 = disco.step(&mut net, 0); // announces, nothing delivered yet
+        assert!(ev0.is_empty());
+        let ev1 = disco.step(&mut net, 1);
+        assert_eq!(ev1.len(), 2);
+        assert_eq!(disco.known_by(a).len(), 1);
+        assert_eq!(disco.known_by(a)[0].kind, "mule");
+        assert_eq!(disco.known_by(b)[0].attr("sensor"), Some("optical"));
+    }
+
+    #[test]
+    fn appeared_fires_once_per_node() {
+        let (mut net, mut disco, _, _) = setup();
+        disco.step(&mut net, 0);
+        disco.step(&mut net, 1);
+        // Next announcement round: already known, no new events.
+        let ev = disco.step(&mut net, 5);
+        let ev6 = disco.step(&mut net, 6);
+        assert!(ev.is_empty());
+        assert!(ev6.is_empty());
+    }
+
+    #[test]
+    fn silent_nodes_expire() {
+        let (mut net, mut disco, a, b) = setup();
+        disco.step(&mut net, 0);
+        disco.step(&mut net, 1);
+        disco.deregister(b);
+        // Walk time forward past expiry (announcements from a keep flowing).
+        let mut disappeared = false;
+        for t in 2..40 {
+            for ev in disco.step(&mut net, t) {
+                if let DiscoveryEvent::Disappeared { observer, node } = ev {
+                    assert_eq!(observer, a);
+                    assert_eq!(node, b);
+                    disappeared = true;
+                }
+            }
+        }
+        assert!(disappeared);
+        assert!(disco.known_by(a).is_empty());
+    }
+
+    #[test]
+    fn partition_blocks_discovery() {
+        let (mut net, mut disco, a, b) = setup();
+        net.topology_mut().partition(&[a]);
+        disco.step(&mut net, 0);
+        let ev = disco.step(&mut net, 1);
+        assert!(ev.is_empty());
+        assert!(disco.known_by(a).is_empty());
+        assert!(disco.known_by(b).is_empty());
+    }
+
+    #[test]
+    fn register_replaces_existing_info() {
+        let (_, mut disco, a, _) = setup();
+        assert_eq!(disco.member_count(), 2);
+        disco.register(NodeInfo::new(a, "upgraded-drone", "us"));
+        assert_eq!(disco.member_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_rejected() {
+        let _ = DiscoveryService::new(0, 10);
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulated multi-organization device network with dynamic discovery.
+//!
+//! Implements the "Networked" and "Multi-Organizational" Skynet properties of
+//! Section III and the discovery substrate of Section IV ("devices discover
+//! other devices in the system and decide on the policies to be used in their
+//! interaction with those devices"):
+//!
+//! * [`Topology`] — nodes and links with latency, loss and up/down status;
+//! * [`Network`] — a deterministic tick-driven message router over a
+//!   topology (generic in the payload type);
+//! * [`DiscoveryService`] — periodic announcements propagate [`NodeInfo`]
+//!   (kind, organization, attributes) to neighbours, the trigger for
+//!   generative policy creation;
+//! * [`OrgMap`] — organization domains and cross-organization link policy.
+//!
+//! Participates in experiments **F1**, **E3**, **E4** (DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use apdm_simnet::{Link, Network, NodeId, Topology};
+//!
+//! let mut topo = Topology::new();
+//! let a = topo.add_node();
+//! let b = topo.add_node();
+//! topo.connect(a, b, Link::with_latency(2));
+//!
+//! let mut net: Network<&'static str> = Network::new(topo);
+//! net.send(a, b, "hello", 0);
+//! assert!(net.deliver_at(1).is_empty());
+//! let delivered = net.deliver_at(2);
+//! assert_eq!(delivered[0].payload, "hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod discovery;
+mod network;
+mod org;
+mod topology;
+
+pub use discovery::{DiscoveryEvent, DiscoveryService, NodeInfo};
+pub use network::{Delivered, Network};
+pub use org::OrgMap;
+pub use topology::{Link, NodeId, Topology};

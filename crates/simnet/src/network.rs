@@ -1,0 +1,219 @@
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{NodeId, Topology};
+
+/// A message delivered by [`Network::deliver_at`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivered<P> {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// The payload.
+    pub payload: P,
+    /// Tick at which the message was sent.
+    pub sent_at: u64,
+}
+
+/// A deterministic tick-driven message router over a [`Topology`].
+///
+/// Messages sent at tick `t` over a link with latency `l` are delivered when
+/// [`deliver_at`](Self::deliver_at)`(t + l)` is called. Loss is decided at
+/// send time with the network's seeded RNG, so runs are exactly
+/// reproducible. Only directly linked nodes can exchange messages; multi-hop
+/// routing is the application's business (devices relaying is itself a
+/// behaviour the paper's collectives exhibit).
+#[derive(Debug)]
+pub struct Network<P> {
+    topology: Topology,
+    rng: StdRng,
+    /// Pending messages keyed by delivery tick.
+    pending: BTreeMap<u64, Vec<Delivered<P>>>,
+    sent: u64,
+    lost: u64,
+    rejected: u64,
+}
+
+impl<P> Network<P> {
+    /// A network over `topology` with a fixed default seed.
+    pub fn new(topology: Topology) -> Self {
+        Network::with_seed(topology, 0)
+    }
+
+    /// A network with an explicit RNG seed (loss decisions depend on it).
+    pub fn with_seed(topology: Topology, seed: u64) -> Self {
+        Network {
+            topology,
+            rng: StdRng::seed_from_u64(seed),
+            pending: BTreeMap::new(),
+            sent: 0,
+            lost: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology (partitions, new links, churn).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Send `payload` from `from` to `to` at tick `now`. Returns whether the
+    /// message entered the network (false: no up link, or lost).
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: P, now: u64) -> bool {
+        let Some(link) = self.topology.link(from, to).copied().filter(|l| l.up) else {
+            self.rejected += 1;
+            return false;
+        };
+        self.sent += 1;
+        if link.loss > 0.0 && self.rng.random_range(0.0..1.0) < link.loss {
+            self.lost += 1;
+            return false;
+        }
+        self.pending
+            .entry(now + link.latency)
+            .or_default()
+            .push(Delivered { from, to, payload, sent_at: now });
+        true
+    }
+
+    /// Deliver every message due at exactly tick `now`, in send order.
+    pub fn deliver_at(&mut self, now: u64) -> Vec<Delivered<P>> {
+        self.pending.remove(&now).unwrap_or_default()
+    }
+
+    /// Deliver every message due at or before `now` (catch-up after idle
+    /// periods), in tick then send order.
+    pub fn deliver_up_to(&mut self, now: u64) -> Vec<Delivered<P>> {
+        let mut due: Vec<u64> = self.pending.range(..=now).map(|(&t, _)| t).collect();
+        due.sort_unstable();
+        let mut out = Vec::new();
+        for t in due {
+            out.extend(self.pending.remove(&t).unwrap_or_default());
+        }
+        out
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Statistics: `(sent, lost, rejected)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.sent, self.lost, self.rejected)
+    }
+}
+
+impl<P: Clone> Network<P> {
+    /// Broadcast to every up-link neighbour of `from`; returns the number of
+    /// messages that entered the network.
+    pub fn broadcast(&mut self, from: NodeId, payload: P, now: u64) -> usize {
+        let neighbors = self.topology.neighbors(from);
+        neighbors
+            .into_iter()
+            .filter(|&n| self.send(from, n, payload.clone(), now))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+
+    fn pair(latency: u64, loss: f64) -> (Network<u32>, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.connect(a, b, Link::with_latency(latency).with_loss(loss));
+        (Network::with_seed(t, 7), a, b)
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let (mut net, a, b) = pair(3, 0.0);
+        assert!(net.send(a, b, 42, 10));
+        assert!(net.deliver_at(12).is_empty());
+        let out = net.deliver_at(13);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 42);
+        assert_eq!(out[0].sent_at, 10);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn no_link_rejects() {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let mut net: Network<u32> = Network::new(t);
+        assert!(!net.send(a, b, 1, 0));
+        assert_eq!(net.stats(), (0, 0, 1));
+    }
+
+    #[test]
+    fn down_link_rejects() {
+        let (mut net, a, b) = pair(1, 0.0);
+        net.topology_mut().link_mut(a, b).unwrap().up = false;
+        assert!(!net.send(a, b, 1, 0));
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let (mut net, a, b) = pair(1, 1.0);
+        for i in 0..10 {
+            assert!(!net.send(a, b, i, 0));
+        }
+        assert_eq!(net.stats(), (10, 10, 0));
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = Topology::new();
+            let a = t.add_node();
+            let b = t.add_node();
+            t.connect(a, b, Link::with_latency(1).with_loss(0.5));
+            let mut net: Network<u32> = Network::with_seed(t, seed);
+            (0..32).map(|i| net.send(a, b, i, 0)).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn deliver_up_to_catches_up_in_order() {
+        let (mut net, a, b) = pair(1, 0.0);
+        net.send(a, b, 1, 0); // due 1
+        net.send(a, b, 2, 5); // due 6
+        net.send(a, b, 3, 2); // due 3
+        let out = net.deliver_up_to(6);
+        let payloads: Vec<u32> = out.iter().map(|d| d.payload).collect();
+        assert_eq!(payloads, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_up_neighbors() {
+        let mut t = Topology::new();
+        let hub = t.add_node();
+        let s1 = t.add_node();
+        let s2 = t.add_node();
+        let s3 = t.add_node();
+        t.connect(hub, s1, Link::default());
+        t.connect(hub, s2, Link::default());
+        t.connect(hub, s3, Link::default());
+        t.link_mut(hub, s3).unwrap().up = false;
+        let mut net: Network<&str> = Network::new(t);
+        assert_eq!(net.broadcast(hub, "ping", 0), 2);
+        assert_eq!(net.deliver_at(1).len(), 2);
+    }
+}

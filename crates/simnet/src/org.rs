@@ -1,0 +1,199 @@
+use std::collections::BTreeMap;
+
+use crate::NodeId;
+
+/// Organization domains over network nodes, with a cross-organization
+/// interaction policy.
+///
+/// Section III: a Skynet "needs to leverage and take over computing devices
+/// that may belong to more than one organization". The [`OrgMap`] records
+/// which organization owns each node and which organization pairs are allowed
+/// to interact — the substrate for coalition experiments and for measuring
+/// the multi-organizational Skynet property.
+///
+/// # Example
+///
+/// ```
+/// use apdm_simnet::{NodeId, OrgMap};
+///
+/// let mut orgs = OrgMap::new();
+/// orgs.assign(NodeId(0), "us");
+/// orgs.assign(NodeId(1), "uk");
+/// orgs.allow("us", "uk");
+/// assert!(orgs.may_interact(NodeId(0), NodeId(1)));
+/// assert!(orgs.is_cross_org(NodeId(0), NodeId(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OrgMap {
+    owner: BTreeMap<NodeId, String>,
+    /// Allowed unordered org pairs (lo, hi) by name.
+    allowed: Vec<(String, String)>,
+}
+
+impl OrgMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        OrgMap::default()
+    }
+
+    /// Assign a node to an organization (replacing any previous owner).
+    pub fn assign(&mut self, node: NodeId, org: impl Into<String>) {
+        self.owner.insert(node, org.into());
+    }
+
+    /// The owner of a node.
+    pub fn org_of(&self, node: NodeId) -> Option<&str> {
+        self.owner.get(&node).map(String::as_str)
+    }
+
+    /// Allow two organizations to interact (same-org interaction is always
+    /// allowed and need not be declared).
+    pub fn allow(&mut self, a: impl Into<String>, b: impl Into<String>) {
+        let pair = Self::key(a.into(), b.into());
+        if !self.allowed.contains(&pair) {
+            self.allowed.push(pair);
+        }
+    }
+
+    /// Revoke a cross-org allowance.
+    pub fn revoke(&mut self, a: &str, b: &str) {
+        let pair = Self::key(a.to_string(), b.to_string());
+        self.allowed.retain(|p| *p != pair);
+    }
+
+    /// Do the two nodes belong to different organizations?
+    pub fn is_cross_org(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => false,
+        }
+    }
+
+    /// May the two nodes interact under the coalition policy? Unassigned
+    /// nodes may interact with nobody (fail closed).
+    pub fn may_interact(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) if x == y => true,
+            (Some(x), Some(y)) => self
+                .allowed
+                .contains(&Self::key(x.to_string(), y.to_string())),
+            _ => false,
+        }
+    }
+
+    /// Organizations present, deduplicated, in name order.
+    pub fn organizations(&self) -> Vec<&str> {
+        let mut orgs: Vec<&str> = self.owner.values().map(String::as_str).collect();
+        orgs.sort_unstable();
+        orgs.dedup();
+        orgs
+    }
+
+    /// Nodes owned by an organization, in id order.
+    pub fn nodes_of(&self, org: &str) -> Vec<NodeId> {
+        self.owner
+            .iter()
+            .filter(|(_, o)| o.as_str() == org)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Number of distinct organizations reachable from `start` through
+    /// allowed interactions over the given adjacency — the quantitative
+    /// "multi-organizational reach" Skynet metric.
+    pub fn reach(&self, start: NodeId, neighbors: impl Fn(NodeId) -> Vec<NodeId>) -> usize {
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for m in neighbors(n) {
+                if !seen.contains(&m) && self.may_interact(n, m) {
+                    seen.push(m);
+                    stack.push(m);
+                }
+            }
+        }
+        let mut orgs: Vec<&str> = seen.iter().filter_map(|&n| self.org_of(n)).collect();
+        orgs.sort_unstable();
+        orgs.dedup();
+        orgs.len()
+    }
+
+    fn key(a: String, b: String) -> (String, String) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coalition() -> OrgMap {
+        let mut m = OrgMap::new();
+        m.assign(NodeId(0), "us");
+        m.assign(NodeId(1), "us");
+        m.assign(NodeId(2), "uk");
+        m.assign(NodeId(3), "insurgent");
+        m.allow("us", "uk");
+        m
+    }
+
+    #[test]
+    fn same_org_always_allowed() {
+        let m = coalition();
+        assert!(m.may_interact(NodeId(0), NodeId(1)));
+        assert!(!m.is_cross_org(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn cross_org_needs_allowance() {
+        let m = coalition();
+        assert!(m.may_interact(NodeId(0), NodeId(2)));
+        assert!(!m.may_interact(NodeId(0), NodeId(3)));
+        assert!(m.is_cross_org(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn allowance_is_symmetric_and_revocable() {
+        let mut m = coalition();
+        assert!(m.may_interact(NodeId(2), NodeId(0)));
+        m.revoke("uk", "us");
+        assert!(!m.may_interact(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn unassigned_nodes_fail_closed() {
+        let m = coalition();
+        assert!(!m.may_interact(NodeId(0), NodeId(99)));
+        assert_eq!(m.org_of(NodeId(99)), None);
+    }
+
+    #[test]
+    fn organizations_and_nodes_of() {
+        let m = coalition();
+        assert_eq!(m.organizations(), vec!["insurgent", "uk", "us"]);
+        assert_eq!(m.nodes_of("us"), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn reach_counts_allowed_orgs_only() {
+        let m = coalition();
+        // Full mesh adjacency.
+        let all = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let neighbors = |n: NodeId| all.iter().copied().filter(|&x| x != n).collect::<Vec<_>>();
+        // From us: reaches us + uk, never insurgent.
+        assert_eq!(m.reach(NodeId(0), neighbors), 2);
+    }
+
+    #[test]
+    fn duplicate_allow_is_idempotent() {
+        let mut m = coalition();
+        m.allow("us", "uk");
+        m.allow("uk", "us");
+        m.revoke("us", "uk");
+        assert!(!m.may_interact(NodeId(0), NodeId(2)));
+    }
+}

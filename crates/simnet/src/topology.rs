@@ -1,0 +1,335 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node (device) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(value: u64) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Properties of a bidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Delivery delay in ticks (>= 1).
+    pub latency: u64,
+    /// Probability a message on this link is lost, in `[0, 1]`.
+    pub loss: f64,
+    /// Is the link currently usable?
+    pub up: bool,
+}
+
+impl Link {
+    /// A reliable link with the given latency (min 1 tick).
+    pub fn with_latency(latency: u64) -> Self {
+        Link { latency: latency.max(1), loss: 0.0, up: true }
+    }
+
+    /// Set the loss probability (clamped to `[0, 1]`; builder style).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::with_latency(1)
+    }
+}
+
+/// A dynamic undirected topology of nodes and links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    next_node: u64,
+    /// Adjacency keyed by ordered pair (lo, hi).
+    links: BTreeMap<(NodeId, NodeId), Link>,
+    nodes: Vec<NodeId>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.nodes.push(id);
+        id
+    }
+
+    /// Remove a node and all its links. Returns whether it existed.
+    pub fn remove_node(&mut self, node: NodeId) -> bool {
+        let existed = self.nodes.contains(&node);
+        self.nodes.retain(|&n| n != node);
+        self.links.retain(|&(a, b), _| a != node && b != node);
+        existed
+    }
+
+    /// All nodes, in creation order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Connect two distinct nodes (replacing any existing link).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or unknown nodes.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
+        assert_ne!(a, b, "self-links are not allowed");
+        assert!(self.nodes.contains(&a), "unknown node {a}");
+        assert!(self.nodes.contains(&b), "unknown node {b}");
+        self.links.insert(Self::key(a, b), link);
+    }
+
+    /// Remove the link between two nodes; returns it if present.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> Option<Link> {
+        self.links.remove(&Self::key(a, b))
+    }
+
+    /// The link between two nodes, if any.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        self.links.get(&Self::key(a, b))
+    }
+
+    /// Mutable link access (to take links down, add loss, ...).
+    pub fn link_mut(&mut self, a: NodeId, b: NodeId) -> Option<&mut Link> {
+        self.links.get_mut(&Self::key(a, b))
+    }
+
+    /// Neighbours of a node over *up* links, in id order.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.links
+            .iter()
+            .filter(|((a, b), l)| l.up && (*a == node || *b == node))
+            .map(|((a, b), _)| if *a == node { *b } else { *a })
+            .collect()
+    }
+
+    /// Number of links (up or down).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Partition the network: take down every link crossing between `left`
+    /// and the rest. Returns how many links went down.
+    pub fn partition(&mut self, left: &[NodeId]) -> usize {
+        let mut count = 0;
+        for ((a, b), link) in self.links.iter_mut() {
+            let a_left = left.contains(a);
+            let b_left = left.contains(b);
+            if a_left != b_left && link.up {
+                link.up = false;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Bring every link back up (heal all partitions).
+    pub fn heal(&mut self) {
+        for link in self.links.values_mut() {
+            link.up = true;
+        }
+    }
+
+    /// Is the up-link graph connected? (Vacuously true for <= 1 node.)
+    pub fn is_connected(&self) -> bool {
+        let Some(&start) = self.nodes.first() else { return true };
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for m in self.neighbors(n) {
+                if !seen.contains(&m) {
+                    seen.push(m);
+                    stack.push(m);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// A fully connected topology of `n` nodes with the given link template.
+    pub fn full_mesh(n: usize, link: Link) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| t.add_node()).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                t.connect(nodes[i], nodes[j], link);
+            }
+        }
+        (t, nodes)
+    }
+
+    /// A line (path) topology of `n` nodes.
+    pub fn line(n: usize, link: Link) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| t.add_node()).collect();
+        for w in nodes.windows(2) {
+            t.connect(w[0], w[1], link);
+        }
+        (t, nodes)
+    }
+
+    /// A ring topology of `n` nodes (a line for `n < 3`).
+    pub fn ring(n: usize, link: Link) -> (Topology, Vec<NodeId>) {
+        let (mut t, nodes) = Topology::line(n, link);
+        if n >= 3 {
+            t.connect(nodes[n - 1], nodes[0], link);
+        }
+        (t, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.connect(a, b, Link::default());
+        t.connect(b, c, Link::default());
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let (mut t, a, b, _) = line3();
+        assert_eq!(t.len(), 3);
+        assert!(t.remove_node(b));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.link_count(), 0);
+        assert!(t.neighbors(a).is_empty());
+        assert!(!t.remove_node(b));
+    }
+
+    #[test]
+    fn links_are_undirected() {
+        let (t, a, b, _) = line3();
+        assert!(t.link(a, b).is_some());
+        assert!(t.link(b, a).is_some());
+        assert_eq!(t.neighbors(b), vec![a, NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        t.connect(a, a, Link::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn connect_unknown_node_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        t.connect(a, NodeId(99), Link::default());
+    }
+
+    #[test]
+    fn down_links_hide_neighbors() {
+        let (mut t, a, b, _) = line3();
+        t.link_mut(a, b).unwrap().up = false;
+        assert!(!t.neighbors(a).contains(&b));
+        assert!(!t.is_connected());
+        t.heal();
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn partition_cuts_crossing_links() {
+        let (mut t, a, b, c) = line3();
+        let cut = t.partition(&[a]);
+        assert_eq!(cut, 1);
+        assert!(!t.is_connected());
+        assert_eq!(t.neighbors(b), vec![c]);
+    }
+
+    #[test]
+    fn latency_floor_is_one() {
+        assert_eq!(Link::with_latency(0).latency, 1);
+    }
+
+    #[test]
+    fn loss_is_clamped() {
+        assert_eq!(Link::default().with_loss(2.0).loss, 1.0);
+        assert_eq!(Link::default().with_loss(-1.0).loss, 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        let mut t = Topology::new();
+        assert!(t.is_connected());
+        t.add_node();
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn topology_constructors() {
+        let (mesh, mesh_nodes) = Topology::full_mesh(5, Link::default());
+        assert_eq!(mesh.link_count(), 10);
+        assert!(mesh.is_connected());
+        assert_eq!(mesh.neighbors(mesh_nodes[0]).len(), 4);
+
+        let (line, line_nodes) = Topology::line(5, Link::default());
+        assert_eq!(line.link_count(), 4);
+        assert!(line.is_connected());
+        assert_eq!(line.neighbors(line_nodes[0]).len(), 1);
+        assert_eq!(line.neighbors(line_nodes[2]).len(), 2);
+
+        let (ring, ring_nodes) = Topology::ring(5, Link::default());
+        assert_eq!(ring.link_count(), 5);
+        assert!(ring.neighbors(ring_nodes[0]).len() == 2);
+
+        // Degenerate sizes.
+        let (tiny_ring, _) = Topology::ring(2, Link::default());
+        assert_eq!(tiny_ring.link_count(), 1);
+        let (empty, nodes) = Topology::full_mesh(0, Link::default());
+        assert!(empty.is_empty());
+        assert!(nodes.is_empty());
+    }
+
+    #[test]
+    fn disconnect_removes_link() {
+        let (mut t, a, b, _) = line3();
+        assert!(t.disconnect(a, b).is_some());
+        assert!(t.link(a, b).is_none());
+        assert!(t.disconnect(a, b).is_none());
+    }
+}

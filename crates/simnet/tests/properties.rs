@@ -1,0 +1,120 @@
+//! Property-based tests for the simulated network.
+
+use proptest::prelude::*;
+
+use apdm_simnet::{Link, Network, NodeId, OrgMap, Topology};
+
+fn line_topology(n: usize, latency: u64) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| t.add_node()).collect();
+    for w in nodes.windows(2) {
+        t.connect(w[0], w[1], Link::with_latency(latency));
+    }
+    (t, nodes)
+}
+
+proptest! {
+    /// Lossless delivery: every sent message arrives exactly once, at
+    /// exactly send-tick + latency, in send order.
+    #[test]
+    fn lossless_delivery_exact(
+        latency in 1u64..5,
+        sends in proptest::collection::vec(0u64..20, 1..30),
+    ) {
+        let (t, nodes) = line_topology(2, latency);
+        let mut net: Network<usize> = Network::new(t);
+        for (i, &tick) in sends.iter().enumerate() {
+            prop_assert!(net.send(nodes[0], nodes[1], i, tick));
+        }
+        let mut received = Vec::new();
+        for now in 0..40 {
+            for d in net.deliver_at(now) {
+                prop_assert_eq!(d.sent_at + latency, now);
+                received.push(d.payload);
+            }
+        }
+        prop_assert_eq!(received.len(), sends.len());
+        received.sort_unstable();
+        prop_assert_eq!(received, (0..sends.len()).collect::<Vec<_>>());
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// deliver_up_to(t) after arbitrary sends leaves only messages due
+    /// strictly after t.
+    #[test]
+    fn deliver_up_to_partitions_time(
+        sends in proptest::collection::vec(0u64..30, 1..30),
+        cut in 0u64..35,
+    ) {
+        let (t, nodes) = line_topology(2, 1);
+        let mut net: Network<u64> = Network::new(t);
+        for &tick in &sends {
+            net.send(nodes[0], nodes[1], tick, tick);
+        }
+        let early = net.deliver_up_to(cut);
+        prop_assert!(early.iter().all(|d| d.sent_at < cut));
+        let late = net.deliver_up_to(100);
+        prop_assert!(late.iter().all(|d| d.sent_at + 1 > cut));
+        prop_assert_eq!(early.len() + late.len(), sends.len());
+    }
+
+    /// Partition then heal restores connectivity for any cut set.
+    #[test]
+    fn partition_heal_roundtrip(n in 2usize..8, cut_mask in 0u8..255) {
+        let (mut t, nodes) = line_topology(n, 1);
+        let left: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| cut_mask & (1 << (i % 8)) != 0)
+            .map(|(_, &id)| id)
+            .collect();
+        prop_assert!(t.is_connected());
+        t.partition(&left);
+        t.heal();
+        prop_assert!(t.is_connected());
+    }
+
+    /// Loss statistics account for every send: sent = delivered + lost,
+    /// and rejected sends never enter the counts.
+    #[test]
+    fn loss_accounting(loss in 0.0..=1.0f64, n in 1usize..50) {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.connect(a, b, Link::with_latency(1).with_loss(loss));
+        let mut net: Network<usize> = Network::with_seed(t, 99);
+        for i in 0..n {
+            net.send(a, b, i, 0);
+        }
+        let delivered = net.deliver_up_to(10).len();
+        let (sent, lost, rejected) = net.stats();
+        prop_assert_eq!(sent as usize, n);
+        prop_assert_eq!(rejected, 0);
+        prop_assert_eq!(delivered + lost as usize, n);
+    }
+
+    /// OrgMap::may_interact is symmetric and reflexive-within-org for any
+    /// allowance set.
+    #[test]
+    fn org_interaction_symmetry(
+        orgs in proptest::collection::vec(0u8..4, 2..10),
+        allows in proptest::collection::vec((0u8..4, 0u8..4), 0..8),
+    ) {
+        let mut map = OrgMap::new();
+        for (i, &o) in orgs.iter().enumerate() {
+            map.assign(NodeId(i as u64), format!("org{o}"));
+        }
+        for (a, b) in allows {
+            map.allow(format!("org{a}"), format!("org{b}"));
+        }
+        for i in 0..orgs.len() {
+            for j in 0..orgs.len() {
+                let (ni, nj) = (NodeId(i as u64), NodeId(j as u64));
+                prop_assert_eq!(map.may_interact(ni, nj), map.may_interact(nj, ni));
+                if orgs[i] == orgs[j] {
+                    prop_assert!(map.may_interact(ni, nj));
+                }
+            }
+        }
+    }
+}

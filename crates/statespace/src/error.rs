@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Errors produced when constructing or manipulating state spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateSpaceError {
+    /// A state vector had the wrong number of components for its schema.
+    DimensionMismatch {
+        /// Number of variables declared by the schema.
+        expected: usize,
+        /// Number of components supplied.
+        actual: usize,
+    },
+    /// A variable value fell outside the bounds declared in the schema.
+    OutOfBounds {
+        /// Name of the offending variable.
+        var: String,
+        /// Supplied value.
+        value: f64,
+        /// Declared lower bound.
+        lo: f64,
+        /// Declared upper bound.
+        hi: f64,
+    },
+    /// A variable name was not declared in the schema.
+    UnknownVar(String),
+    /// A variable was declared twice in one schema.
+    DuplicateVar(String),
+    /// A variable's bounds were inverted or non-finite.
+    InvalidBounds {
+        /// Name of the offending variable.
+        var: String,
+        /// Declared lower bound.
+        lo: f64,
+        /// Declared upper bound.
+        hi: f64,
+    },
+    /// A preference edge would create a cycle in the preference ontology.
+    PreferenceCycle {
+        /// Source label of the rejected edge.
+        from: String,
+        /// Destination label of the rejected edge.
+        to: String,
+    },
+}
+
+impl fmt::Display for StateSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateSpaceError::DimensionMismatch { expected, actual } => {
+                write!(f, "state has {actual} components but schema declares {expected}")
+            }
+            StateSpaceError::OutOfBounds { var, value, lo, hi } => {
+                write!(f, "value {value} for variable `{var}` is outside [{lo}, {hi}]")
+            }
+            StateSpaceError::UnknownVar(name) => {
+                write!(f, "variable `{name}` is not declared in the schema")
+            }
+            StateSpaceError::DuplicateVar(name) => {
+                write!(f, "variable `{name}` is declared more than once")
+            }
+            StateSpaceError::InvalidBounds { var, lo, hi } => {
+                write!(f, "variable `{var}` has invalid bounds [{lo}, {hi}]")
+            }
+            StateSpaceError::PreferenceCycle { from, to } => {
+                write!(f, "preference edge {from} -> {to} would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateSpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = StateSpaceError::OutOfBounds {
+            var: "temp".into(),
+            value: 120.0,
+            lo: 0.0,
+            hi: 100.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("temp"));
+        assert!(msg.contains("120"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StateSpaceError>();
+    }
+}

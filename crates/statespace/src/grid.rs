@@ -1,0 +1,297 @@
+//! Discretized two-variable state spaces: the paper's Figure 3 made
+//! executable.
+//!
+//! [`Grid2`] discretizes a two-variable [`StateSchema`] into cells, labels
+//! each cell with a [`Classifier`], renders the partition as ASCII art (the
+//! reproduction of Figure 3), and exposes the cell graph for reachability
+//! analysis (see [`crate::reach`]).
+
+use crate::{Classifier, Label, State, StateSchema};
+
+/// A discretization of a 2-variable state space into `nx * ny` cells.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{Grid2, Label, Region, RegionClassifier, StateSchema};
+///
+/// let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+/// let classifier = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+/// let grid = Grid2::new(schema, 10, 10).unwrap();
+/// let labels = grid.classify(&classifier);
+/// assert_eq!(labels.label(5, 5), Label::Good);
+/// assert_eq!(labels.label(0, 0), Label::Bad);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid2 {
+    schema: StateSchema,
+    nx: usize,
+    ny: usize,
+}
+
+impl Grid2 {
+    /// Discretize the first two variables of `schema` into `nx * ny` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the schema has fewer than two variables
+    /// or a dimension is zero.
+    pub fn new(schema: StateSchema, nx: usize, ny: usize) -> Result<Self, String> {
+        if schema.len() < 2 {
+            return Err(format!("Grid2 needs a 2-variable schema, got {}", schema.len()));
+        }
+        if nx == 0 || ny == 0 {
+            return Err("grid dimensions must be positive".to_string());
+        }
+        Ok(Grid2 { schema, nx, ny })
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &StateSchema {
+        &self.schema
+    }
+
+    /// Cells along the first variable.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along the second variable.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Center state of cell `(i, j)`; `None` when out of range.
+    pub fn center(&self, i: usize, j: usize) -> Option<State> {
+        if i >= self.nx || j >= self.ny {
+            return None;
+        }
+        let vx = self.schema.var(0.into())?;
+        let vy = self.schema.var(1.into())?;
+        let x = vx.lo() + (i as f64 + 0.5) / self.nx as f64 * vx.span();
+        let y = vy.lo() + (j as f64 + 0.5) / self.ny as f64 * vy.span();
+        let mut values: Vec<f64> = self.schema.vars().iter().map(|v| v.lo()).collect();
+        values[0] = x;
+        values[1] = y;
+        Some(self.schema.state_clamped(&values))
+    }
+
+    /// The cell containing `state` (clamped to the grid edge).
+    pub fn cell_of(&self, state: &State) -> (usize, usize) {
+        let vx = self.schema.var(0.into()).expect("2-var schema");
+        let vy = self.schema.var(1.into()).expect("2-var schema");
+        let fx = vx.normalize(state.get(0.into()).unwrap_or(vx.lo()));
+        let fy = vy.normalize(state.get(1.into()).unwrap_or(vy.lo()));
+        let i = ((fx * self.nx as f64) as usize).min(self.nx - 1);
+        let j = ((fy * self.ny as f64) as usize).min(self.ny - 1);
+        (i, j)
+    }
+
+    /// Label every cell with `classifier` (by cell-center state).
+    pub fn classify<C: Classifier>(&self, classifier: &C) -> GridLabels {
+        let mut labels = Vec::with_capacity(self.cell_count());
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let state = self.center(i, j).expect("in-range cell");
+                labels.push(classifier.classify(&state));
+            }
+        }
+        GridLabels { nx: self.nx, ny: self.ny, labels }
+    }
+}
+
+/// Per-cell labels of a [`Grid2`], with Figure-3 rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridLabels {
+    nx: usize,
+    ny: usize,
+    labels: Vec<Label>,
+}
+
+impl GridLabels {
+    /// Label of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn label(&self, i: usize, j: usize) -> Label {
+        assert!(i < self.nx && j < self.ny, "cell ({i}, {j}) out of range");
+        self.labels[j * self.nx + i]
+    }
+
+    /// Fractions `(good, neutral, bad)` of cells.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let n = self.labels.len() as f64;
+        let count = |l: Label| self.labels.iter().filter(|&&x| x == l).count() as f64 / n;
+        (count(Label::Good), count(Label::Neutral), count(Label::Bad))
+    }
+
+    /// Number of cells with the given label.
+    pub fn count(&self, label: Label) -> usize {
+        self.labels.iter().filter(|&&x| x == label).count()
+    }
+
+    /// Is the good set a single 4-connected component? (Figure 3 depicts one
+    /// contiguous good region surrounded by bad states.)
+    pub fn good_is_connected(&self) -> bool {
+        let total_good = self.count(Label::Good);
+        if total_good == 0 {
+            return false;
+        }
+        let start = self
+            .labels
+            .iter()
+            .position(|&l| l == Label::Good)
+            .expect("at least one good cell");
+        let mut seen = vec![false; self.labels.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut reached = 0usize;
+        while let Some(idx) = stack.pop() {
+            reached += 1;
+            let (i, j) = (idx % self.nx, idx / self.nx);
+            let mut push = |ni: usize, nj: usize| {
+                let n = nj * self.nx + ni;
+                if !seen[n] && self.labels[n] == Label::Good {
+                    seen[n] = true;
+                    stack.push(n);
+                }
+            };
+            if i > 0 {
+                push(i - 1, j);
+            }
+            if i + 1 < self.nx {
+                push(i + 1, j);
+            }
+            if j > 0 {
+                push(i, j - 1);
+            }
+            if j + 1 < self.ny {
+                push(i, j + 1);
+            }
+        }
+        reached == total_good
+    }
+
+    /// Render the partition as ASCII art: `.` good, `~` neutral, `#` bad.
+    /// Row 0 (lowest second-variable value) prints last, so the plot reads
+    /// like the paper's Figure 3 with the origin at bottom-left.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.nx + 1) * self.ny);
+        for j in (0..self.ny).rev() {
+            for i in 0..self.nx {
+                out.push(match self.label(i, j) {
+                    Label::Good => '.',
+                    Label::Neutral => '~',
+                    Label::Bad => '#',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Region, RegionClassifier};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    }
+
+    fn fig3_grid() -> (Grid2, GridLabels) {
+        let grid = Grid2::new(schema(), 10, 10).unwrap();
+        let c = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        let labels = grid.classify(&c);
+        (grid, labels)
+    }
+
+    #[test]
+    fn new_rejects_bad_dimensions() {
+        assert!(Grid2::new(schema(), 0, 10).is_err());
+        let one_var = StateSchema::builder().var("x", 0.0, 1.0).build();
+        assert!(Grid2::new(one_var, 4, 4).is_err());
+    }
+
+    #[test]
+    fn centers_are_inside_cells() {
+        let grid = Grid2::new(schema(), 10, 10).unwrap();
+        let c = grid.center(0, 0).unwrap();
+        assert!((c.values()[0] - 0.5).abs() < 1e-12);
+        assert!((c.values()[1] - 0.5).abs() < 1e-12);
+        assert!(grid.center(10, 0).is_none());
+    }
+
+    #[test]
+    fn cell_of_inverts_center() {
+        let grid = Grid2::new(schema(), 8, 8) .unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                let s = grid.center(i, j).unwrap();
+                assert_eq!(grid.cell_of(&s), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_of_clamps_edges() {
+        let grid = Grid2::new(schema(), 10, 10).unwrap();
+        let top = schema().state(&[10.0, 10.0]).unwrap();
+        assert_eq!(grid.cell_of(&top), (9, 9));
+    }
+
+    #[test]
+    fn figure3_partition_shape() {
+        let (_, labels) = fig3_grid();
+        assert_eq!(labels.label(5, 5), Label::Good);
+        assert_eq!(labels.label(0, 0), Label::Bad);
+        assert_eq!(labels.label(9, 5), Label::Bad);
+        let (good, neutral, bad) = labels.fractions();
+        assert!(good > 0.1 && good < 0.3);
+        assert_eq!(neutral, 0.0);
+        assert!((good + bad - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure3_good_region_is_connected() {
+        let (_, labels) = fig3_grid();
+        assert!(labels.good_is_connected());
+    }
+
+    #[test]
+    fn split_good_region_is_not_connected() {
+        let grid = Grid2::new(schema(), 10, 10).unwrap();
+        let c = RegionClassifier::new(
+            Region::rect(&[(0.0, 2.0), (0.0, 2.0)]).or(Region::rect(&[(8.0, 10.0), (8.0, 10.0)])),
+        );
+        let labels = grid.classify(&c);
+        assert!(!labels.good_is_connected());
+    }
+
+    #[test]
+    fn render_shape_and_charset() {
+        let (_, labels) = fig3_grid();
+        let art = labels.render();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        assert!(art.contains('.') && art.contains('#'));
+        // First rendered row is the TOP of the space (high y) — all bad.
+        assert!(lines[0].chars().all(|c| c == '#'));
+        // Middle row crosses the good box.
+        assert!(lines[4].contains('.'));
+    }
+
+    #[test]
+    fn count_matches_fractions() {
+        let (_, labels) = fig3_grid();
+        assert_eq!(labels.count(Label::Good) + labels.count(Label::Bad), 100);
+    }
+}

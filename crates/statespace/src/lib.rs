@@ -1,0 +1,123 @@
+//! State spaces, safeness metrics, preference ontologies, risk estimation and
+//! utility (pain/pleasure) functions for policy-based autonomic device
+//! management.
+//!
+//! This crate implements Sections V ("Device Model and Definition of Skynet")
+//! and VII ("Ill Defined State Spaces") of *How to Prevent Skynet From
+//! Forming* (Calo et al., ICDCS 2018):
+//!
+//! * A device is characterized by its **state**: the values of a set of
+//!   variables describing its sensors, actuators and configuration
+//!   ([`StateSchema`], [`State`]).
+//! * States are partitioned into **good**, **bad** and **neutral** regions
+//!   ([`Label`], [`Region`], [`Classifier`]), with a **safeness metric**
+//!   inducing a partial order over states ([`safety`]).
+//! * When every candidate next state is bad, a **state-preference ontology**
+//!   selects the *less bad* one ([`ontology`]), optionally weighted by a
+//!   **risk estimator** ([`risk`]).
+//! * When the good/bad function is too complex to specify, the signs of its
+//!   **partial derivatives** define a utility ("pain/pleasure") function that
+//!   devices climb instead ([`utility`]).
+//! * A discretized grid realizes the paper's Figure 3 and supports
+//!   reachability analysis over guarded transition relations ([`grid`],
+//!   [`reach`]).
+//!
+//! Participates in experiments **F3**, **E2**, **E6** (see DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use apdm_statespace::{StateSchema, Region, Label, RegionClassifier, Classifier};
+//!
+//! // Two-variable state space, as in the paper's Figure 3.
+//! let schema = StateSchema::builder()
+//!     .var("temperature", 0.0, 100.0)
+//!     .var("speed", 0.0, 10.0)
+//!     .build();
+//! let good = Region::rect(&[(20.0, 80.0), (0.0, 5.0)]);
+//! let classifier = RegionClassifier::new(good);
+//! let state = schema.state(&[50.0, 2.0]).unwrap();
+//! assert_eq!(classifier.classify(&state), Label::Good);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod region;
+mod state;
+mod var;
+
+pub mod grid;
+pub mod ontology;
+pub mod reach;
+pub mod risk;
+pub mod safety;
+pub mod trajectory;
+pub mod utility;
+
+pub use error::StateSpaceError;
+pub use region::Region;
+pub use state::{State, StateDelta, StateSchema, StateSchemaBuilder};
+pub use var::{VarId, VarSpec};
+
+pub use grid::Grid2;
+pub use ontology::PreferenceOntology;
+pub use risk::{CompositeRisk, LinearRisk, RiskEstimator};
+pub use safety::{Label, OracleClassifier, RegionClassifier, SafenessMetric, ThresholdClassifier};
+pub use trajectory::{ExposureMonitor, TrajectoryClassifier};
+pub use utility::{DerivativeSign, GradientSpec, GradientUtility, UtilityFn};
+
+/// Trait for anything that can label a [`State`] good, bad or neutral.
+///
+/// The paper (Section V) defines a device's good states as those in which it
+/// cannot harm a human and bad states as those in which it can; many states
+/// are neutral. Implementations range from explicit [`Region`]s
+/// ([`RegionClassifier`]) to safeness thresholds ([`ThresholdClassifier`]) to
+/// opaque oracles used in experiments ([`OracleClassifier`]).
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{Classifier, Label, State, StateSchema};
+///
+/// struct AlwaysGood;
+/// impl Classifier for AlwaysGood {
+///     fn classify(&self, _state: &State) -> Label { Label::Good }
+/// }
+/// let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+/// let s = schema.state(&[0.5]).unwrap();
+/// assert!(AlwaysGood.is_good(&s));
+/// ```
+pub trait Classifier {
+    /// Classify a state as good, bad or neutral.
+    fn classify(&self, state: &State) -> Label;
+
+    /// Convenience: is the state bad?
+    fn is_bad(&self, state: &State) -> bool {
+        self.classify(state) == Label::Bad
+    }
+
+    /// Convenience: is the state good?
+    fn is_good(&self, state: &State) -> bool {
+        self.classify(state) == Label::Good
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for &C {
+    fn classify(&self, state: &State) -> Label {
+        (**self).classify(state)
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for Box<C> {
+    fn classify(&self, state: &State) -> Label {
+        (**self).classify(state)
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for std::sync::Arc<C> {
+    fn classify(&self, state: &State) -> Label {
+        (**self).classify(state)
+    }
+}

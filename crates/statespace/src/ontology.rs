@@ -1,0 +1,359 @@
+//! State-preference ontologies: choosing the "less bad" state.
+//!
+//! Section VI.B of the paper: "A state preference ontology organizes the
+//! possible states of a device into an ontology based on a preference
+//! relationship. Organizing the set of bad states into such an ontology
+//! allows a device, which has to decide between two bad states, to select the
+//! 'less bad' state" — e.g. starting a fire is preferable to loss of human
+//! life.
+//!
+//! The ontology is a DAG of named **severity classes** with `prefer` edges
+//! (`a` preferred over `b` means `a` is less bad). States map to classes via
+//! membership [`Region`]s; preference between states is resolved by the
+//! transitive closure of the edge relation, falling back to a risk score for
+//! incomparable or same-class states.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::{Region, State, StateSpaceError};
+
+/// Identifier of a severity class inside a [`PreferenceOntology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(usize);
+
+#[derive(Debug, Clone)]
+struct ClassNode {
+    name: String,
+    membership: Region,
+    /// Classes this one is preferred over (edges point toward *worse*).
+    worse: Vec<ClassId>,
+}
+
+/// A DAG of severity classes ordering bad states by preference.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{PreferenceOntology, Region, StateSchema};
+///
+/// let schema = StateSchema::builder()
+///     .var("fire_risk", 0.0, 1.0)
+///     .var("life_risk", 0.0, 1.0)
+///     .build();
+/// let mut ont = PreferenceOntology::new();
+/// let fire = ont.add_class("fire", Region::half_space(0.into(), 0.5, true));
+/// let life = ont.add_class("loss_of_life", Region::half_space(1.into(), 0.5, true));
+/// // Starting a fire is less bad than losing a life.
+/// ont.prefer(fire, life).unwrap();
+///
+/// let start_fire = schema.state(&[0.9, 0.0]).unwrap();
+/// let lose_life = schema.state(&[0.0, 0.9]).unwrap();
+/// assert_eq!(ont.choose_less_bad(&[lose_life, start_fire.clone()]), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PreferenceOntology {
+    classes: Vec<ClassNode>,
+}
+
+impl PreferenceOntology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        PreferenceOntology::default()
+    }
+
+    /// Add a severity class with a membership region. Classes added earlier
+    /// take precedence when a state is a member of several.
+    pub fn add_class(&mut self, name: impl Into<String>, membership: Region) -> ClassId {
+        let id = ClassId(self.classes.len());
+        self.classes.push(ClassNode { name: name.into(), membership, worse: Vec::new() });
+        id
+    }
+
+    /// Record that `less_bad` is preferred over `worse`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::PreferenceCycle`] if the edge would make
+    /// the preference relation cyclic (preference must be a strict partial
+    /// order).
+    pub fn prefer(&mut self, less_bad: ClassId, worse: ClassId) -> Result<(), StateSpaceError> {
+        if less_bad == worse || self.prefers(worse, less_bad) {
+            return Err(StateSpaceError::PreferenceCycle {
+                from: self.classes[less_bad.0].name.clone(),
+                to: self.classes[worse.0].name.clone(),
+            });
+        }
+        if !self.classes[less_bad.0].worse.contains(&worse) {
+            self.classes[less_bad.0].worse.push(worse);
+        }
+        Ok(())
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no classes exist.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Name of a class.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.classes[id.0].name
+    }
+
+    /// The first class whose membership region contains `state`.
+    pub fn class_of(&self, state: &State) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.membership.contains(state))
+            .map(ClassId)
+    }
+
+    /// Is `a` (transitively) preferred over `b`?
+    pub fn prefers(&self, a: ClassId, b: ClassId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([a]);
+        while let Some(c) = queue.pop_front() {
+            for &w in &self.classes[c.0].worse {
+                if w == b {
+                    return true;
+                }
+                if seen.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// Depth of each class from the preference roots: less-bad classes have
+    /// smaller depth. Used as a severity rank for scoring.
+    fn depths(&self) -> HashMap<ClassId, usize> {
+        // Longest-path depth in the DAG (roots = classes nothing prefers over).
+        let mut indegree = vec![0usize; self.classes.len()];
+        for c in &self.classes {
+            for w in &c.worse {
+                indegree[w.0] += 1;
+            }
+        }
+        let mut depth: HashMap<ClassId, usize> = HashMap::new();
+        let mut queue: VecDeque<ClassId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == 0)
+            .map(|(i, _)| ClassId(i))
+            .collect();
+        for &c in &queue {
+            depth.insert(c, 0);
+        }
+        while let Some(c) = queue.pop_front() {
+            let d = depth[&c];
+            for &w in &self.classes[c.0].worse.clone() {
+                let e = depth.entry(w).or_insert(0);
+                if *e < d + 1 {
+                    *e = d + 1;
+                }
+                indegree[w.0] -= 1;
+                if indegree[w.0] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        depth
+    }
+
+    /// Severity rank of a state: its class depth, or `usize::MAX` when the
+    /// state matches no class (unclassified bad states are treated as worst —
+    /// the conservative choice for an ontology of *bad* states).
+    pub fn severity_rank(&self, state: &State) -> usize {
+        match self.class_of(state) {
+            Some(c) => *self.depths().get(&c).unwrap_or(&0),
+            None => usize::MAX,
+        }
+    }
+
+    /// From a set of candidate (bad) states, pick the index of the least-bad
+    /// one: the candidate whose class is preferred over the most others,
+    /// breaking ties toward the earliest candidate. Returns `None` on an
+    /// empty slice **or when no candidate is classified at all** — an
+    /// ontology that recognizes nothing cannot rank anything, and callers
+    /// should fall back to other mechanisms (risk alone, break-glass).
+    pub fn choose_less_bad(&self, candidates: &[State]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let ranks: Vec<usize> = candidates.iter().map(|s| self.severity_rank(s)).collect();
+        let best = ranks.iter().copied().min()?;
+        if best == usize::MAX {
+            return None;
+        }
+        ranks.iter().position(|&r| r == best)
+    }
+
+    /// Like [`choose_less_bad`](Self::choose_less_bad) but breaks class ties
+    /// with an externally supplied risk score (lower risk wins), realizing
+    /// the paper's "use of a state preference ontology ... combined with risk
+    /// estimation techniques".
+    pub fn choose_less_bad_with_risk(
+        &self,
+        candidates: &[State],
+        risk: impl Fn(&State) -> f64,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let ranks: Vec<usize> = candidates.iter().map(|s| self.severity_rank(s)).collect();
+        let best = ranks.iter().copied().min()?;
+        if best == usize::MAX {
+            return None;
+        }
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ranks[*i] == best)
+            .min_by(|(_, a), (_, b)| {
+                risk(a).partial_cmp(&risk(b)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl fmt::Display for PreferenceOntology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "preference ontology ({} classes)", self.classes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder()
+            .var("fire", 0.0, 1.0)
+            .var("life", 0.0, 1.0)
+            .var("prop", 0.0, 1.0)
+            .build()
+    }
+
+    fn ontology() -> (PreferenceOntology, ClassId, ClassId, ClassId) {
+        let mut ont = PreferenceOntology::new();
+        // Membership checked in insertion order, so put the *worst* hazards
+        // first: a state risking life is "loss_of_life" even if it also
+        // risks property.
+        let life = ont.add_class("loss_of_life", Region::half_space(VarId(1), 0.5, true));
+        let fire = ont.add_class("fire", Region::half_space(VarId(0), 0.5, true));
+        let prop = ont.add_class("property_damage", Region::half_space(VarId(2), 0.5, true));
+        // property damage < fire < loss of life.
+        ont.prefer(prop, fire).unwrap();
+        ont.prefer(fire, life).unwrap();
+        (ont, fire, life, prop)
+    }
+
+    #[test]
+    fn prefers_is_transitive() {
+        let (ont, fire, life, prop) = ontology();
+        assert!(ont.prefers(prop, fire));
+        assert!(ont.prefers(prop, life));
+        assert!(ont.prefers(fire, life));
+        assert!(!ont.prefers(life, prop));
+        assert!(!ont.prefers(fire, fire));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let (mut ont, fire, life, _) = ontology();
+        assert!(matches!(
+            ont.prefer(life, fire),
+            Err(StateSpaceError::PreferenceCycle { .. })
+        ));
+        assert!(ont.prefer(fire, fire).is_err());
+    }
+
+    #[test]
+    fn class_of_uses_insertion_order() {
+        let (ont, _, life, _) = ontology();
+        let s = schema().state(&[0.9, 0.9, 0.0]).unwrap(); // fire AND life
+        assert_eq!(ont.class_of(&s), Some(life));
+        assert_eq!(ont.name(life), "loss_of_life");
+    }
+
+    #[test]
+    fn choose_less_bad_prefers_fire_over_life() {
+        let (ont, ..) = ontology();
+        let lose_life = schema().state(&[0.0, 0.9, 0.0]).unwrap();
+        let start_fire = schema().state(&[0.9, 0.0, 0.0]).unwrap();
+        assert_eq!(ont.choose_less_bad(&[lose_life.clone(), start_fire.clone()]), Some(1));
+        assert_eq!(ont.choose_less_bad(&[start_fire, lose_life]), Some(0));
+    }
+
+    #[test]
+    fn choose_less_bad_prefers_property_over_all() {
+        let (ont, ..) = ontology();
+        let cands = vec![
+            schema().state(&[0.9, 0.0, 0.0]).unwrap(), // fire
+            schema().state(&[0.0, 0.0, 0.9]).unwrap(), // property
+            schema().state(&[0.0, 0.9, 0.0]).unwrap(), // life
+        ];
+        assert_eq!(ont.choose_less_bad(&cands), Some(1));
+    }
+
+    #[test]
+    fn unclassified_state_is_worst() {
+        let (ont, ..) = ontology();
+        let benign = schema().state(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(ont.class_of(&benign), None);
+        assert_eq!(ont.severity_rank(&benign), usize::MAX);
+        let fire = schema().state(&[0.9, 0.0, 0.0]).unwrap();
+        // A classified bad state beats an unclassifiable one.
+        assert_eq!(ont.choose_less_bad(&[benign, fire]), Some(1));
+    }
+
+    #[test]
+    fn all_unclassified_candidates_give_none() {
+        let (ont, ..) = ontology();
+        let benign_a = schema().state(&[0.0, 0.0, 0.0]).unwrap();
+        let benign_b = schema().state(&[0.1, 0.1, 0.1]).unwrap();
+        assert_eq!(ont.choose_less_bad(&[benign_a.clone(), benign_b.clone()]), None);
+        assert_eq!(
+            ont.choose_less_bad_with_risk(&[benign_a, benign_b], |_| 0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let (ont, ..) = ontology();
+        assert_eq!(ont.choose_less_bad(&[]), None);
+        assert_eq!(ont.choose_less_bad_with_risk(&[], |_| 0.0), None);
+    }
+
+    #[test]
+    fn risk_breaks_ties_within_class() {
+        let (ont, ..) = ontology();
+        let mild_fire = schema().state(&[0.6, 0.0, 0.0]).unwrap();
+        let big_fire = schema().state(&[1.0, 0.0, 0.0]).unwrap();
+        let idx = ont
+            .choose_less_bad_with_risk(&[big_fire, mild_fire], |s| s.values()[0])
+            .unwrap();
+        assert_eq!(idx, 1, "lower-risk fire should win the tie");
+    }
+
+    #[test]
+    fn severity_rank_increases_along_preference_chain() {
+        let (ont, ..) = ontology();
+        let prop = schema().state(&[0.0, 0.0, 0.9]).unwrap();
+        let fire = schema().state(&[0.9, 0.0, 0.0]).unwrap();
+        let life = schema().state(&[0.0, 0.9, 0.0]).unwrap();
+        assert!(ont.severity_rank(&prop) < ont.severity_rank(&fire));
+        assert!(ont.severity_rank(&fire) < ont.severity_rank(&life));
+    }
+}

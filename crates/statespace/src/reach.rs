@@ -1,0 +1,268 @@
+//! Reachability analysis over discretized state spaces.
+//!
+//! Supports experiment **F3**: given a transition relation (what the device's
+//! logic *can* do) and a good/bad partition, compute which cells can reach a
+//! bad cell, whether a guarded logic (one that refuses bad-entering
+//! transitions) can still accomplish movement, and the *safe kernel* — the
+//! set of states from which the device can operate forever without being
+//! forced into a bad state. This makes Section VI.B's claim ("a check which
+//! prevents it from ever entering a bad state") analyzable rather than
+//! merely asserted.
+
+use std::collections::VecDeque;
+
+use crate::grid::{Grid2, GridLabels};
+use crate::Label;
+
+/// A transition relation over grid cells: which neighbouring cells the
+/// device's logic can move to in one step.
+pub trait TransitionRelation {
+    /// Successor cells of `(i, j)`. Must stay within the grid.
+    fn successors(&self, grid: &Grid2, i: usize, j: usize) -> Vec<(usize, usize)>;
+}
+
+/// 4-connected moves (von Neumann neighbourhood) plus staying put — the
+/// canonical "adjust one state variable a notch" logic of Section V.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VonNeumannMoves;
+
+impl TransitionRelation for VonNeumannMoves {
+    fn successors(&self, grid: &Grid2, i: usize, j: usize) -> Vec<(usize, usize)> {
+        let mut out = vec![(i, j)];
+        if i > 0 {
+            out.push((i - 1, j));
+        }
+        if i + 1 < grid.nx() {
+            out.push((i + 1, j));
+        }
+        if j > 0 {
+            out.push((i, j - 1));
+        }
+        if j + 1 < grid.ny() {
+            out.push((i, j + 1));
+        }
+        out
+    }
+}
+
+/// Result of a reachability analysis.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    nx: usize,
+    reachable: Vec<bool>,
+}
+
+impl Reachability {
+    /// Is cell `(i, j)` reachable from the start set?
+    pub fn is_reachable(&self, i: usize, j: usize) -> bool {
+        self.reachable[j * self.nx + i]
+    }
+
+    /// Number of reachable cells.
+    pub fn count(&self) -> usize {
+        self.reachable.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Breadth-first reachability from `start`, moving only through cells allowed
+/// by `admit`.
+pub fn reachable_from<R: TransitionRelation>(
+    grid: &Grid2,
+    relation: &R,
+    start: (usize, usize),
+    admit: impl Fn(usize, usize) -> bool,
+) -> Reachability {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut reachable = vec![false; nx * ny];
+    if start.0 < nx && start.1 < ny && admit(start.0, start.1) {
+        let mut queue = VecDeque::from([start]);
+        reachable[start.1 * nx + start.0] = true;
+        while let Some((i, j)) = queue.pop_front() {
+            for (si, sj) in relation.successors(grid, i, j) {
+                let idx = sj * nx + si;
+                if !reachable[idx] && admit(si, sj) {
+                    reachable[idx] = true;
+                    queue.push_back((si, sj));
+                }
+            }
+        }
+    }
+    Reachability { nx, reachable }
+}
+
+/// Can the unguarded logic reach any bad cell from `start`?
+pub fn can_reach_bad<R: TransitionRelation>(
+    grid: &Grid2,
+    labels: &GridLabels,
+    relation: &R,
+    start: (usize, usize),
+) -> bool {
+    let reach = reachable_from(grid, relation, start, |_, _| true);
+    for i in 0..grid.nx() {
+        for j in 0..grid.ny() {
+            if labels.label(i, j) == Label::Bad && reach.is_reachable(i, j) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Reachable set of the *guarded* logic: transitions into bad cells are
+/// refused (Section VI.B's state-space check), so movement is confined to
+/// non-bad cells.
+pub fn guarded_reachable<R: TransitionRelation>(
+    grid: &Grid2,
+    labels: &GridLabels,
+    relation: &R,
+    start: (usize, usize),
+) -> Reachability {
+    reachable_from(grid, relation, start, |i, j| labels.label(i, j) != Label::Bad)
+}
+
+/// The safe kernel: cells from which the device always has at least one
+/// non-bad successor (possibly staying put) no matter how long it operates.
+///
+/// Computed as the greatest fixpoint of "non-bad and has a successor inside
+/// the kernel". With a stay-put transition this equals the non-bad set, but
+/// for relations with forced movement (drift) cells can fall out of the
+/// kernel — the paper's "situations ... in which the only possibility ... is
+/// an action that would place the device into another bad state".
+pub fn safe_kernel<R: TransitionRelation>(
+    grid: &Grid2,
+    labels: &GridLabels,
+    relation: &R,
+) -> Vec<Vec<bool>> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut kernel: Vec<Vec<bool>> = (0..nx)
+        .map(|i| (0..ny).map(|j| labels.label(i, j) != Label::Bad).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..nx {
+            for j in 0..ny {
+                if !kernel[i][j] {
+                    continue;
+                }
+                let has_safe_successor = relation
+                    .successors(grid, i, j)
+                    .into_iter()
+                    .any(|(si, sj)| kernel[si][sj]);
+                if !has_safe_successor {
+                    kernel[i][j] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return kernel;
+        }
+    }
+}
+
+/// A transition relation with forced drift: every step moves at least one
+/// cell in the `+x` direction (e.g. fuel depletion, heat accumulation) while
+/// optionally also moving in `y`. Used to construct forced-dilemma episodes
+/// for experiment **E2**.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriftMoves;
+
+impl TransitionRelation for DriftMoves {
+    fn successors(&self, grid: &Grid2, i: usize, j: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        if i + 1 < grid.nx() {
+            out.push((i + 1, j));
+            if j > 0 {
+                out.push((i + 1, j - 1));
+            }
+            if j + 1 < grid.ny() {
+                out.push((i + 1, j + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Region, RegionClassifier, StateSchema};
+
+    fn setup(good: Region) -> (Grid2, GridLabels) {
+        let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+        let grid = Grid2::new(schema, 10, 10).unwrap();
+        let labels = grid.classify(&RegionClassifier::new(good));
+        (grid, labels)
+    }
+
+    #[test]
+    fn unguarded_logic_reaches_bad() {
+        let (grid, labels) = setup(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        assert!(can_reach_bad(&grid, &labels, &VonNeumannMoves, (5, 5)));
+    }
+
+    #[test]
+    fn guarded_logic_never_reaches_bad() {
+        let (grid, labels) = setup(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        let reach = guarded_reachable(&grid, &labels, &VonNeumannMoves, (5, 5));
+        for i in 0..10 {
+            for j in 0..10 {
+                if reach.is_reachable(i, j) {
+                    assert_ne!(labels.label(i, j), Label::Bad, "guard leaked into ({i},{j})");
+                }
+            }
+        }
+        // The guard still leaves the whole good region usable.
+        assert_eq!(reach.count(), labels.count(Label::Good));
+    }
+
+    #[test]
+    fn guarded_start_in_bad_reaches_nothing() {
+        let (grid, labels) = setup(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        let reach = guarded_reachable(&grid, &labels, &VonNeumannMoves, (0, 0));
+        assert_eq!(reach.count(), 0);
+    }
+
+    #[test]
+    fn safe_kernel_with_stay_put_is_nonbad_set() {
+        let (grid, labels) = setup(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        let kernel = safe_kernel(&grid, &labels, &VonNeumannMoves);
+        for (i, column) in kernel.iter().enumerate() {
+            for (j, &in_kernel) in column.iter().enumerate() {
+                assert_eq!(in_kernel, labels.label(i, j) != Label::Bad);
+            }
+        }
+    }
+
+    #[test]
+    fn safe_kernel_shrinks_under_forced_drift() {
+        // Good region is a column band; drift forces +x each step, so every
+        // non-bad cell eventually gets pushed into the bad right side: only
+        // cells that can keep moving right inside the band stay safe, and at
+        // the band's right edge the kernel is empty.
+        let (grid, labels) = setup(Region::rect(&[(2.0, 8.0), (0.0, 10.0)]));
+        let kernel = safe_kernel(&grid, &labels, &DriftMoves);
+        let kernel_count: usize = kernel.iter().flatten().filter(|&&k| k).count();
+        assert_eq!(
+            kernel_count, 0,
+            "forced drift must eventually push every cell out of the band"
+        );
+    }
+
+    #[test]
+    fn drift_moves_always_advance() {
+        let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+        let grid = Grid2::new(schema, 10, 10).unwrap();
+        for (si, _) in DriftMoves.successors(&grid, 4, 4) {
+            assert_eq!(si, 5);
+        }
+        assert!(DriftMoves.successors(&grid, 9, 4).is_empty());
+    }
+
+    #[test]
+    fn reachable_from_disallowed_start_is_empty() {
+        let (grid, _) = setup(Region::All);
+        let reach = reachable_from(&grid, &VonNeumannMoves, (5, 5), |_, _| false);
+        assert_eq!(reach.count(), 0);
+    }
+}

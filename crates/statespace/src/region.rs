@@ -1,0 +1,258 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{State, VarId};
+
+/// A region of a state space: a (possibly non-convex) set of states.
+///
+/// Regions are composed from axis-aligned boxes and half-spaces with boolean
+/// connectives, which is expressive enough for the good/bad partitions of the
+/// paper's Figure 3 while staying decidable and cheap to test.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{Region, StateSchema};
+///
+/// let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+/// // Good region is the middle box minus a hazardous corner strip.
+/// let region = Region::rect(&[(2.0, 8.0), (2.0, 8.0)])
+///     .minus(Region::half_space(0.into(), 7.0, true));
+/// assert!(region.contains(&schema.state(&[5.0, 5.0]).unwrap()));
+/// assert!(!region.contains(&schema.state(&[7.5, 5.0]).unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Region {
+    /// The whole state space.
+    All,
+    /// The empty set.
+    Empty,
+    /// Axis-aligned box: per-variable inclusive `(lo, hi)` intervals.
+    /// Variables beyond the listed intervals are unconstrained.
+    Box {
+        /// Per-variable inclusive intervals, in variable order.
+        bounds: Vec<(f64, f64)>,
+    },
+    /// The set `{ s | s[var] >= threshold }` when `upper` is true, else
+    /// `{ s | s[var] <= threshold }`.
+    HalfSpace {
+        /// Variable the half-space constrains.
+        var: VarId,
+        /// Threshold value.
+        threshold: f64,
+        /// Direction: `true` keeps values at or above the threshold.
+        upper: bool,
+    },
+    /// Union of sub-regions.
+    Union(Vec<Region>),
+    /// Intersection of sub-regions.
+    Intersection(Vec<Region>),
+    /// Complement of a sub-region.
+    Complement(Box<Region>),
+}
+
+impl Region {
+    /// Axis-aligned box from `(lo, hi)` pairs, one per leading variable.
+    pub fn rect(bounds: &[(f64, f64)]) -> Region {
+        Region::Box { bounds: bounds.to_vec() }
+    }
+
+    /// Half-space `s[var] >= threshold` (when `upper`) or `<= threshold`.
+    pub fn half_space(var: VarId, threshold: f64, upper: bool) -> Region {
+        Region::HalfSpace { var, threshold, upper }
+    }
+
+    /// Union with another region.
+    pub fn or(self, other: Region) -> Region {
+        match self {
+            Region::Union(mut rs) => {
+                rs.push(other);
+                Region::Union(rs)
+            }
+            r => Region::Union(vec![r, other]),
+        }
+    }
+
+    /// Intersection with another region.
+    pub fn and(self, other: Region) -> Region {
+        match self {
+            Region::Intersection(mut rs) => {
+                rs.push(other);
+                Region::Intersection(rs)
+            }
+            r => Region::Intersection(vec![r, other]),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(self, other: Region) -> Region {
+        self.and(Region::Complement(Box::new(other)))
+    }
+
+    /// The complement of this region.
+    pub fn complement(self) -> Region {
+        Region::Complement(Box::new(self))
+    }
+
+    /// Is `state` a member of the region?
+    pub fn contains(&self, state: &State) -> bool {
+        match self {
+            Region::All => true,
+            Region::Empty => false,
+            Region::Box { bounds } => bounds.iter().enumerate().all(|(i, &(lo, hi))| {
+                state
+                    .get(VarId(i))
+                    .map(|v| v >= lo && v <= hi)
+                    // A box constraining a variable the state lacks matches
+                    // nothing: the constraint cannot be checked.
+                    .unwrap_or(false)
+            }),
+            Region::HalfSpace { var, threshold, upper } => state
+                .get(*var)
+                .map(|v| if *upper { v >= *threshold } else { v <= *threshold })
+                .unwrap_or(false),
+            Region::Union(rs) => rs.iter().any(|r| r.contains(state)),
+            Region::Intersection(rs) => rs.iter().all(|r| r.contains(state)),
+            Region::Complement(r) => !r.contains(state),
+        }
+    }
+
+    /// A conservative "distance to the region" used for risk shaping: 0 when
+    /// inside; otherwise the max per-axis violation for primitive regions and
+    /// a min/max composition for connectives. Not a metric, but monotone:
+    /// moving strictly toward a box decreases it.
+    pub fn violation(&self, state: &State) -> f64 {
+        match self {
+            Region::All => 0.0,
+            Region::Empty => f64::INFINITY,
+            Region::Box { bounds } => bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| match state.get(VarId(i)) {
+                    Some(v) if v < lo => lo - v,
+                    Some(v) if v > hi => v - hi,
+                    Some(_) => 0.0,
+                    None => f64::INFINITY,
+                })
+                .fold(0.0, f64::max),
+            Region::HalfSpace { var, threshold, upper } => match state.get(*var) {
+                Some(v) => {
+                    if *upper {
+                        (threshold - v).max(0.0)
+                    } else {
+                        (v - threshold).max(0.0)
+                    }
+                }
+                None => f64::INFINITY,
+            },
+            Region::Union(rs) => rs
+                .iter()
+                .map(|r| r.violation(state))
+                .fold(f64::INFINITY, f64::min),
+            Region::Intersection(rs) => rs.iter().map(|r| r.violation(state)).fold(0.0, f64::max),
+            // No useful distance for complements; only membership.
+            Region::Complement(r) => {
+                if r.contains(state) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateSchema;
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    }
+
+    fn st(x: f64, y: f64) -> State {
+        schema().state(&[x, y]).unwrap()
+    }
+
+    #[test]
+    fn all_and_empty() {
+        assert!(Region::All.contains(&st(0.0, 0.0)));
+        assert!(!Region::Empty.contains(&st(0.0, 0.0)));
+    }
+
+    #[test]
+    fn box_membership_is_inclusive() {
+        let r = Region::rect(&[(2.0, 8.0), (3.0, 7.0)]);
+        assert!(r.contains(&st(2.0, 3.0)));
+        assert!(r.contains(&st(8.0, 7.0)));
+        assert!(!r.contains(&st(1.9, 5.0)));
+        assert!(!r.contains(&st(5.0, 7.1)));
+    }
+
+    #[test]
+    fn box_with_fewer_bounds_leaves_trailing_vars_free() {
+        let r = Region::rect(&[(2.0, 8.0)]);
+        assert!(r.contains(&st(5.0, 9.9)));
+        assert!(!r.contains(&st(9.0, 0.0)));
+    }
+
+    #[test]
+    fn half_space_directions() {
+        let upper = Region::half_space(VarId(0), 5.0, true);
+        let lower = Region::half_space(VarId(0), 5.0, false);
+        assert!(upper.contains(&st(5.0, 0.0)));
+        assert!(upper.contains(&st(7.0, 0.0)));
+        assert!(!upper.contains(&st(4.9, 0.0)));
+        assert!(lower.contains(&st(5.0, 0.0)));
+        assert!(!lower.contains(&st(5.1, 0.0)));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let a = Region::rect(&[(0.0, 5.0), (0.0, 10.0)]);
+        let b = Region::rect(&[(3.0, 10.0), (0.0, 10.0)]);
+        let both = a.clone().and(b.clone());
+        let either = a.clone().or(b.clone());
+        let only_a = a.minus(b);
+        assert!(both.contains(&st(4.0, 5.0)));
+        assert!(!both.contains(&st(1.0, 5.0)));
+        assert!(either.contains(&st(1.0, 5.0)));
+        assert!(either.contains(&st(9.0, 5.0)));
+        assert!(only_a.contains(&st(1.0, 5.0)));
+        assert!(!only_a.contains(&st(4.0, 5.0)));
+    }
+
+    #[test]
+    fn complement_inverts_membership() {
+        let r = Region::rect(&[(0.0, 5.0)]).complement();
+        assert!(!r.contains(&st(3.0, 0.0)));
+        assert!(r.contains(&st(6.0, 0.0)));
+    }
+
+    #[test]
+    fn violation_zero_inside_positive_outside() {
+        let r = Region::rect(&[(2.0, 8.0), (2.0, 8.0)]);
+        assert_eq!(r.violation(&st(5.0, 5.0)), 0.0);
+        assert!((r.violation(&st(9.0, 5.0)) - 1.0).abs() < 1e-12);
+        // Max across axes.
+        assert!((r.violation(&st(9.0, 0.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_union_takes_nearest() {
+        let r = Region::rect(&[(0.0, 1.0)]).or(Region::rect(&[(9.0, 10.0)]));
+        assert!((r.violation(&st(2.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((r.violation(&st(8.5, 0.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure3_layout_one_good_box_bad_elsewhere() {
+        // Figure 3: a central good box surrounded by bad states.
+        let good = Region::rect(&[(3.0, 7.0), (3.0, 7.0)]);
+        let bad = good.clone().complement();
+        assert!(good.contains(&st(5.0, 5.0)));
+        assert!(bad.contains(&st(0.5, 0.5)));
+        assert!(bad.contains(&st(9.5, 5.0)));
+        assert!(!bad.contains(&st(5.0, 5.0)));
+    }
+}

@@ -1,0 +1,261 @@
+//! Risk estimation over states and transitions.
+//!
+//! Section VI.B: "The use of a state preference ontology would work
+//! particularly well when combined with risk estimation techniques ... Risk
+//! assessment would be particularly useful, for example, when all possible
+//! next states may involve losses of human life. Deploying such an approach
+//! requires the device to have reliable and up-to-date information about the
+//! context, and also to incorporate application-dependent risk factors."
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Region, State, VarId};
+
+/// Estimates the risk (expected harm) of occupying a state. Higher is worse.
+///
+/// Risk is distinct from the good/bad classification: classification is a
+/// hard safety boundary, risk is a graded quantity used to rank states within
+/// a class or to modulate utility.
+pub trait RiskEstimator {
+    /// Risk of occupying `state`, in `[0, +inf)`.
+    fn risk(&self, state: &State) -> f64;
+
+    /// Risk of the transition `from -> to`. Defaults to destination risk plus
+    /// a small churn term proportional to the distance travelled — sudden
+    /// large state changes are themselves risky.
+    fn transition_risk(&self, from: &State, to: &State) -> f64 {
+        self.risk(to) + 0.01 * from.normalized_distance(to)
+    }
+}
+
+impl<R: RiskEstimator + ?Sized> RiskEstimator for &R {
+    fn risk(&self, state: &State) -> f64 {
+        (**self).risk(state)
+    }
+}
+
+impl<R: RiskEstimator + ?Sized> RiskEstimator for Arc<R> {
+    fn risk(&self, state: &State) -> f64 {
+        (**self).risk(state)
+    }
+}
+
+/// Linear risk: a weighted sum of normalized variable values plus a bias.
+///
+/// The i-th weight multiplies the i-th variable normalized into `[0, 1]`, so
+/// weights are comparable across variables of different spans. Negative
+/// weights model variables whose *high* values are protective.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{LinearRisk, RiskEstimator, StateSchema};
+///
+/// let schema = StateSchema::builder().var("speed", 0.0, 10.0).build();
+/// let risk = LinearRisk::new(vec![1.0], 0.0);
+/// let slow = schema.state(&[1.0]).unwrap();
+/// let fast = schema.state(&[9.0]).unwrap();
+/// assert!(risk.risk(&fast) > risk.risk(&slow));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRisk {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRisk {
+    /// Build from per-variable weights and a bias.
+    pub fn new(weights: Vec<f64>, bias: f64) -> Self {
+        LinearRisk { weights, bias }
+    }
+
+    /// Uniform risk: every variable contributes equally.
+    pub fn uniform(n_vars: usize) -> Self {
+        LinearRisk { weights: vec![1.0 / n_vars.max(1) as f64; n_vars], bias: 0.0 }
+    }
+
+    /// The per-variable weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl RiskEstimator for LinearRisk {
+    fn risk(&self, state: &State) -> f64 {
+        let mut r = self.bias;
+        for (i, w) in self.weights.iter().enumerate() {
+            if let (Some(v), Some(spec)) = (state.get(VarId(i)), state.schema().var(VarId(i))) {
+                r += w * spec.normalize(v);
+            }
+        }
+        r.max(0.0)
+    }
+}
+
+/// Risk that spikes inside designated hazard regions.
+///
+/// Models "application-dependent risk factors which may be very specialized
+/// ... for specific situations and contexts": each hazard region carries its
+/// own severity.
+#[derive(Debug, Clone)]
+pub struct HazardRisk {
+    hazards: Vec<(Region, f64)>,
+    baseline: f64,
+}
+
+impl HazardRisk {
+    /// Build from `(region, severity)` pairs and a baseline risk.
+    pub fn new(hazards: Vec<(Region, f64)>, baseline: f64) -> Self {
+        HazardRisk { hazards, baseline }
+    }
+}
+
+impl RiskEstimator for HazardRisk {
+    fn risk(&self, state: &State) -> f64 {
+        let hazard: f64 = self
+            .hazards
+            .iter()
+            .filter(|(r, _)| r.contains(state))
+            .map(|(_, sev)| *sev)
+            .sum();
+        (self.baseline + hazard).max(0.0)
+    }
+}
+
+/// Combines several estimators with weights; also supports a context scale
+/// factor for situation-dependent amplification (e.g. "humans nearby").
+pub struct CompositeRisk {
+    parts: Vec<(Arc<dyn RiskEstimator + Send + Sync>, f64)>,
+    context_scale: f64,
+}
+
+impl CompositeRisk {
+    /// An empty composite with neutral context.
+    pub fn new() -> Self {
+        CompositeRisk { parts: Vec::new(), context_scale: 1.0 }
+    }
+
+    /// Add a weighted component.
+    pub fn with(mut self, estimator: impl RiskEstimator + Send + Sync + 'static, weight: f64) -> Self {
+        self.parts.push((Arc::new(estimator), weight));
+        self
+    }
+
+    /// Set the context scale (>= 0); risk is multiplied by it.
+    pub fn with_context_scale(mut self, scale: f64) -> Self {
+        self.context_scale = scale.max(0.0);
+        self
+    }
+
+    /// Current context scale.
+    pub fn context_scale(&self) -> f64 {
+        self.context_scale
+    }
+
+    /// Update the context scale in place (e.g. as humans approach).
+    pub fn set_context_scale(&mut self, scale: f64) {
+        self.context_scale = scale.max(0.0);
+    }
+}
+
+impl Default for CompositeRisk {
+    fn default() -> Self {
+        CompositeRisk::new()
+    }
+}
+
+impl fmt::Debug for CompositeRisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompositeRisk")
+            .field("parts", &self.parts.len())
+            .field("context_scale", &self.context_scale)
+            .finish()
+    }
+}
+
+impl RiskEstimator for CompositeRisk {
+    fn risk(&self, state: &State) -> f64 {
+        let base: f64 = self.parts.iter().map(|(e, w)| w * e.risk(state)).sum();
+        (base * self.context_scale).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateSchema;
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    }
+
+    #[test]
+    fn linear_risk_increases_with_weighted_vars() {
+        let r = LinearRisk::new(vec![1.0, 0.0], 0.0);
+        let lo = schema().state(&[1.0, 9.0]).unwrap();
+        let hi = schema().state(&[9.0, 1.0]).unwrap();
+        assert!(r.risk(&hi) > r.risk(&lo));
+    }
+
+    #[test]
+    fn linear_risk_is_clamped_nonnegative() {
+        let r = LinearRisk::new(vec![-5.0, 0.0], 0.0);
+        let s = schema().state(&[10.0, 0.0]).unwrap();
+        assert_eq!(r.risk(&s), 0.0);
+    }
+
+    #[test]
+    fn uniform_weights_sum_to_one() {
+        let r = LinearRisk::uniform(4);
+        assert!((r.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_risk_spikes_inside_regions() {
+        let r = HazardRisk::new(
+            vec![
+                (Region::rect(&[(8.0, 10.0)]), 5.0),
+                (Region::rect(&[(0.0, 10.0), (8.0, 10.0)]), 2.0),
+            ],
+            0.1,
+        );
+        let safe = schema().state(&[5.0, 5.0]).unwrap();
+        let one = schema().state(&[9.0, 5.0]).unwrap();
+        let both = schema().state(&[9.0, 9.0]).unwrap();
+        assert!((r.risk(&safe) - 0.1).abs() < 1e-12);
+        assert!((r.risk(&one) - 5.1).abs() < 1e-12);
+        assert!((r.risk(&both) - 7.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_weighs_and_scales() {
+        let comp = CompositeRisk::new()
+            .with(LinearRisk::new(vec![1.0, 0.0], 0.0), 2.0)
+            .with(HazardRisk::new(vec![(Region::rect(&[(8.0, 10.0)]), 1.0)], 0.0), 1.0)
+            .with_context_scale(3.0);
+        let s = schema().state(&[10.0, 0.0]).unwrap();
+        // linear = 1.0 * 2.0, hazard = 1.0, scaled by 3.
+        assert!((comp.risk(&s) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_scale_amplifies_risk() {
+        let mut comp = CompositeRisk::new().with(LinearRisk::new(vec![1.0, 0.0], 0.0), 1.0);
+        let s = schema().state(&[5.0, 0.0]).unwrap();
+        let base = comp.risk(&s);
+        comp.set_context_scale(10.0);
+        assert!((comp.risk(&s) - 10.0 * base).abs() < 1e-12);
+        comp.set_context_scale(-1.0);
+        assert_eq!(comp.risk(&s), 0.0);
+    }
+
+    #[test]
+    fn transition_risk_penalizes_churn() {
+        let r = LinearRisk::new(vec![0.0, 0.0], 0.5);
+        let a = schema().state(&[0.0, 0.0]).unwrap();
+        let near = schema().state(&[1.0, 0.0]).unwrap();
+        let far = schema().state(&[10.0, 10.0]).unwrap();
+        assert!(r.transition_risk(&a, &far) > r.transition_risk(&a, &near));
+    }
+}

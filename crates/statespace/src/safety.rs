@@ -1,0 +1,361 @@
+//! Good/bad/neutral labelling and safeness metrics over states.
+//!
+//! Section V of the paper: "one could consider a 'safeness' (or risk) metric
+//! associated with each state. The safeness metric would induce a partial
+//! ordering on the set of states. We would like the system to move to states
+//! with the highest safeness metric. ... the truly 'bad' states where the
+//! safeness is below an acceptable level must be avoided."
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Classifier, Region, State};
+
+/// Classification of a state: does the device endanger humans here?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The device cannot harm a human in this state (normal operation).
+    Good,
+    /// Neither clearly good nor clearly bad (Section V: "many states may
+    /// actually be neither 'good' nor 'bad'").
+    Neutral,
+    /// The device can harm a human in this state; must never be entered.
+    Bad,
+}
+
+impl Label {
+    /// Severity ordering: `Good < Neutral < Bad`.
+    pub fn severity(self) -> u8 {
+        match self {
+            Label::Good => 0,
+            Label::Neutral => 1,
+            Label::Bad => 2,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Label::Good => "good",
+            Label::Neutral => "neutral",
+            Label::Bad => "bad",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A safeness metric: higher is safer.
+///
+/// Induces the paper's partial order on states via [`SafenessMetric::compare`]
+/// and a [`Classifier`] via an acceptability band (see
+/// [`ThresholdClassifier`]).
+pub trait SafenessMetric {
+    /// Safeness of a state; higher is safer. Implementations should return
+    /// finite values for all in-schema states.
+    fn safeness(&self, state: &State) -> f64;
+
+    /// Partial order induced by safeness. Returns `None` when either value is
+    /// non-finite (incomparable).
+    fn compare(&self, a: &State, b: &State) -> Option<Ordering> {
+        let (sa, sb) = (self.safeness(a), self.safeness(b));
+        if sa.is_finite() && sb.is_finite() {
+            sa.partial_cmp(&sb)
+        } else {
+            None
+        }
+    }
+
+    /// Pick the safest of a set of candidate states, breaking ties toward the
+    /// earliest candidate. Returns `None` on an empty slice.
+    fn safest<'a>(&self, candidates: &'a [State]) -> Option<&'a State> {
+        candidates.iter().max_by(|a, b| {
+            self.safeness(a)
+                .partial_cmp(&self.safeness(b))
+                .unwrap_or(Ordering::Equal)
+                // max_by keeps the *last* max; invert ties so the first wins.
+                .then(Ordering::Greater)
+        })
+    }
+}
+
+impl<M: SafenessMetric + ?Sized> SafenessMetric for &M {
+    fn safeness(&self, state: &State) -> f64 {
+        (**self).safeness(state)
+    }
+}
+
+impl<M: SafenessMetric + ?Sized> SafenessMetric for Arc<M> {
+    fn safeness(&self, state: &State) -> f64 {
+        (**self).safeness(state)
+    }
+}
+
+/// Classifier from explicit good/bad regions.
+///
+/// States inside the good region are [`Label::Good`]; inside the bad region
+/// (and not good — good wins ties, mirroring the paper's "when in doubt the
+/// device asks for help" conservatism about *acting*, not labelling) are
+/// [`Label::Bad`]; everything else is [`Label::Neutral`]. With
+/// [`RegionClassifier::new`], everything outside the good region is bad
+/// (Figure 3's layout).
+#[derive(Debug, Clone)]
+pub struct RegionClassifier {
+    good: Region,
+    bad: Region,
+}
+
+impl RegionClassifier {
+    /// Figure-3 style classifier: one good region, bad everywhere else.
+    pub fn new(good: Region) -> Self {
+        RegionClassifier { bad: good.clone().complement(), good }
+    }
+
+    /// Classifier with explicit good and bad regions; the remainder is
+    /// neutral. Overlap resolves to good.
+    pub fn with_regions(good: Region, bad: Region) -> Self {
+        RegionClassifier { good, bad }
+    }
+
+    /// The good region.
+    pub fn good_region(&self) -> &Region {
+        &self.good
+    }
+
+    /// The bad region.
+    pub fn bad_region(&self) -> &Region {
+        &self.bad
+    }
+}
+
+impl Classifier for RegionClassifier {
+    fn classify(&self, state: &State) -> Label {
+        if self.good.contains(state) {
+            Label::Good
+        } else if self.bad.contains(state) {
+            Label::Bad
+        } else {
+            Label::Neutral
+        }
+    }
+}
+
+impl SafenessMetric for RegionClassifier {
+    /// Safeness falls with distance from the good region: 1 inside the good
+    /// region, approaching 0 as violation grows, with bad-labelled states
+    /// shifted a band lower so that every bad state is less safe than every
+    /// neutral state.
+    fn safeness(&self, state: &State) -> f64 {
+        let base = 1.0 / (1.0 + self.good.violation(state));
+        match self.classify(state) {
+            Label::Good => 1.0,
+            Label::Neutral => 0.25 + 0.5 * base,
+            Label::Bad => 0.5 * base,
+        }
+    }
+}
+
+/// Classifier from a safeness metric and an acceptability band.
+///
+/// States with safeness at or above `good_at` are good; below `bad_below`
+/// they are bad; in between, neutral. This realizes Section V's "the truly
+/// bad states where the safeness is below an acceptable level".
+pub struct ThresholdClassifier<M> {
+    metric: M,
+    good_at: f64,
+    bad_below: f64,
+}
+
+impl<M: SafenessMetric> ThresholdClassifier<M> {
+    /// Build from a metric and thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bad_below > good_at` — the band would be contradictory.
+    pub fn new(metric: M, good_at: f64, bad_below: f64) -> Self {
+        assert!(bad_below <= good_at, "bad_below must not exceed good_at");
+        ThresholdClassifier { metric, good_at, bad_below }
+    }
+
+    /// The underlying metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for ThresholdClassifier<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThresholdClassifier")
+            .field("metric", &self.metric)
+            .field("good_at", &self.good_at)
+            .field("bad_below", &self.bad_below)
+            .finish()
+    }
+}
+
+impl<M: SafenessMetric> Classifier for ThresholdClassifier<M> {
+    fn classify(&self, state: &State) -> Label {
+        let s = self.metric.safeness(state);
+        if s >= self.good_at {
+            Label::Good
+        } else if s < self.bad_below {
+            Label::Bad
+        } else {
+            Label::Neutral
+        }
+    }
+}
+
+impl<M: SafenessMetric> SafenessMetric for ThresholdClassifier<M> {
+    fn safeness(&self, state: &State) -> f64 {
+        self.metric.safeness(state)
+    }
+}
+
+/// Classifier wrapping an arbitrary function, used by experiments where the
+/// "true" good/bad function is hidden from devices (Section VII) but known to
+/// the harness.
+pub struct OracleClassifier {
+    f: Arc<dyn Fn(&State) -> Label + Send + Sync>,
+}
+
+impl OracleClassifier {
+    /// Wrap a labelling function.
+    pub fn new(f: impl Fn(&State) -> Label + Send + Sync + 'static) -> Self {
+        OracleClassifier { f: Arc::new(f) }
+    }
+}
+
+impl Clone for OracleClassifier {
+    fn clone(&self) -> Self {
+        OracleClassifier { f: Arc::clone(&self.f) }
+    }
+}
+
+impl fmt::Debug for OracleClassifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OracleClassifier").finish_non_exhaustive()
+    }
+}
+
+impl Classifier for OracleClassifier {
+    fn classify(&self, state: &State) -> Label {
+        (self.f)(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateSchema;
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    }
+
+    fn st(x: f64, y: f64) -> State {
+        schema().state(&[x, y]).unwrap()
+    }
+
+    #[test]
+    fn label_severity_orders_good_neutral_bad() {
+        assert!(Label::Good.severity() < Label::Neutral.severity());
+        assert!(Label::Neutral.severity() < Label::Bad.severity());
+    }
+
+    #[test]
+    fn region_classifier_figure3() {
+        let c = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        assert_eq!(c.classify(&st(5.0, 5.0)), Label::Good);
+        assert_eq!(c.classify(&st(0.0, 0.0)), Label::Bad);
+        assert_eq!(c.classify(&st(9.0, 5.0)), Label::Bad);
+    }
+
+    #[test]
+    fn region_classifier_with_neutral_band() {
+        let good = Region::rect(&[(4.0, 6.0), (4.0, 6.0)]);
+        let bad = Region::rect(&[(0.0, 2.0), (0.0, 10.0)]);
+        let c = RegionClassifier::with_regions(good, bad);
+        assert_eq!(c.classify(&st(5.0, 5.0)), Label::Good);
+        assert_eq!(c.classify(&st(1.0, 5.0)), Label::Bad);
+        assert_eq!(c.classify(&st(8.0, 8.0)), Label::Neutral);
+    }
+
+    #[test]
+    fn overlap_resolves_to_good() {
+        let good = Region::rect(&[(0.0, 5.0)]);
+        let bad = Region::rect(&[(0.0, 10.0)]);
+        let c = RegionClassifier::with_regions(good, bad);
+        assert_eq!(c.classify(&st(3.0, 0.0)), Label::Good);
+    }
+
+    #[test]
+    fn safeness_orders_good_above_neutral_above_bad() {
+        let good = Region::rect(&[(4.0, 6.0), (4.0, 6.0)]);
+        let bad = Region::rect(&[(0.0, 1.0), (0.0, 10.0)]);
+        let c = RegionClassifier::with_regions(good, bad);
+        let g = c.safeness(&st(5.0, 5.0));
+        let n = c.safeness(&st(7.0, 5.0));
+        let b = c.safeness(&st(0.5, 5.0));
+        assert!(g > n && n > b, "expected {g} > {n} > {b}");
+    }
+
+    #[test]
+    fn safeness_decreases_away_from_good() {
+        let c = RegionClassifier::new(Region::rect(&[(4.0, 6.0), (4.0, 6.0)]));
+        let near = c.safeness(&st(6.5, 5.0));
+        let far = c.safeness(&st(10.0, 5.0));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn compare_induces_partial_order() {
+        let c = RegionClassifier::new(Region::rect(&[(4.0, 6.0), (4.0, 6.0)]));
+        let inside = st(5.0, 5.0);
+        let outside = st(9.0, 9.0);
+        assert_eq!(c.compare(&inside, &outside), Some(Ordering::Greater));
+        assert_eq!(c.compare(&outside, &inside), Some(Ordering::Less));
+        assert_eq!(c.compare(&inside, &inside), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn safest_picks_max_and_breaks_ties_first() {
+        let c = RegionClassifier::new(Region::rect(&[(4.0, 6.0), (4.0, 6.0)]));
+        let a = st(5.0, 5.0); // good
+        let b = st(5.5, 5.5); // good, equal safeness
+        let d = st(0.0, 0.0); // bad
+        let cands = vec![a.clone(), b, d];
+        assert_eq!(c.safest(&cands), Some(&a));
+        assert_eq!(c.safest(&[]), None);
+    }
+
+    #[test]
+    fn threshold_classifier_bands() {
+        let metric = RegionClassifier::new(Region::rect(&[(4.0, 6.0), (4.0, 6.0)]));
+        let c = ThresholdClassifier::new(metric, 0.9, 0.2);
+        assert_eq!(c.classify(&st(5.0, 5.0)), Label::Good);
+        assert_eq!(c.classify(&st(6.5, 5.0)), Label::Neutral);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad_below")]
+    fn threshold_classifier_rejects_inverted_band() {
+        let metric = RegionClassifier::new(Region::All);
+        let _ = ThresholdClassifier::new(metric, 0.2, 0.9);
+    }
+
+    #[test]
+    fn oracle_classifier_delegates() {
+        let c = OracleClassifier::new(|s: &State| {
+            if s.values()[0] > 5.0 {
+                Label::Bad
+            } else {
+                Label::Good
+            }
+        });
+        assert_eq!(c.classify(&st(6.0, 0.0)), Label::Bad);
+        assert_eq!(c.clone().classify(&st(1.0, 0.0)), Label::Good);
+    }
+}

@@ -1,0 +1,338 @@
+//! Cumulative-effect monitoring over state trajectories.
+//!
+//! Section V: "some states may be explicitly 'bad', but others may be
+//! dangerous in that they lead to **sequences of states with some cumulative
+//! effects that are undesirable**." A state-by-state classifier cannot see
+//! such hazards: each visited state is individually fine, but the *exposure*
+//! accumulated along the trajectory (radiation dose, thermal stress, fatigue,
+//! surveillance time over a crowd) crosses a budget.
+//!
+//! [`ExposureMonitor`] tracks a leaky-integral of one state variable along
+//! the trajectory and labels the *trajectory* good/neutral/bad against a
+//! budget; [`TrajectoryClassifier`] adapts any per-state [`Classifier`] into
+//! a trajectory-aware one by OR-ing the per-state label with the monitors'
+//! verdicts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Classifier, Label, State, VarId};
+
+/// A leaky cumulative-exposure integrator over one state variable.
+///
+/// Each observed state adds `value * dt` to the accumulator, which decays by
+/// `decay` per tick (1.0 = no decay, pure integral). The trajectory is
+/// *neutral* above `warn_at` and *bad* above `budget`.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{ExposureMonitor, Label, StateSchema};
+///
+/// let schema = StateSchema::builder().var("radiation", 0.0, 10.0).build();
+/// // Budget of 10.0 dose-ticks; warn at 6.0; no decay.
+/// let mut monitor = ExposureMonitor::new(0.into(), 10.0, 6.0, 1.0);
+/// let hot = schema.state(&[3.0]).unwrap();
+/// assert_eq!(monitor.observe(&hot), Label::Good);     // dose 3
+/// assert_eq!(monitor.observe(&hot), Label::Neutral);  // dose 6
+/// assert_eq!(monitor.observe(&hot), Label::Neutral);  // dose 9
+/// assert_eq!(monitor.observe(&hot), Label::Bad);      // dose 12 > 10
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExposureMonitor {
+    var: VarId,
+    budget: f64,
+    warn_at: f64,
+    decay: f64,
+    accumulated: f64,
+    observations: u64,
+}
+
+impl ExposureMonitor {
+    /// A monitor over `var` with a hard `budget`, a `warn_at` band and a
+    /// per-tick retention factor `decay` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget <= 0`, `warn_at > budget`, or `decay` is outside
+    /// `[0, 1]`.
+    pub fn new(var: VarId, budget: f64, warn_at: f64, decay: f64) -> Self {
+        assert!(budget > 0.0 && budget.is_finite(), "budget must be finite and positive");
+        assert!(warn_at <= budget, "warn_at must not exceed the budget");
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
+        ExposureMonitor { var, budget, warn_at, decay, accumulated: 0.0, observations: 0 }
+    }
+
+    /// The monitored variable.
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Current accumulated exposure.
+    pub fn accumulated(&self) -> f64 {
+        self.accumulated
+    }
+
+    /// Remaining budget (0 when exhausted).
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.accumulated).max(0.0)
+    }
+
+    /// Number of states observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Current trajectory label without observing anything new.
+    pub fn label(&self) -> Label {
+        if self.accumulated > self.budget {
+            Label::Bad
+        } else if self.accumulated >= self.warn_at {
+            Label::Neutral
+        } else {
+            Label::Good
+        }
+    }
+
+    /// Absorb one tick spent in `state` (decay first, then add) and return
+    /// the updated trajectory label. States lacking the variable contribute
+    /// nothing but still decay.
+    pub fn observe(&mut self, state: &State) -> Label {
+        self.accumulated *= self.decay;
+        if let Some(v) = state.get(self.var) {
+            self.accumulated += v.max(0.0);
+        }
+        self.observations += 1;
+        self.label()
+    }
+
+    /// What the label *would be* after spending one tick in `state` — the
+    /// lookahead guards need to refuse exposure-exhausting actions before
+    /// taking them.
+    pub fn peek(&self, state: &State) -> Label {
+        let mut copy = self.clone();
+        copy.observe(state)
+    }
+
+    /// Reset accumulated exposure (maintenance/decontamination event).
+    pub fn reset(&mut self) {
+        self.accumulated = 0.0;
+    }
+}
+
+impl fmt::Display for ExposureMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exposure[{}] {:.2}/{:.2} ({})",
+            self.var,
+            self.accumulated,
+            self.budget,
+            self.label()
+        )
+    }
+}
+
+/// Adapts a per-state classifier into a trajectory-aware one: the combined
+/// label is the *worse* of the per-state label and every monitor's label.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{
+///     Classifier, ExposureMonitor, Label, Region, RegionClassifier, StateSchema,
+///     TrajectoryClassifier,
+/// };
+///
+/// let schema = StateSchema::builder().var("radiation", 0.0, 10.0).build();
+/// // Per-state: anything below 8.0 is good. Trajectory: budget 10 dose-ticks.
+/// let per_state = RegionClassifier::new(Region::rect(&[(0.0, 8.0)]));
+/// let mut traj = TrajectoryClassifier::new(per_state);
+/// traj.add_monitor(ExposureMonitor::new(0.into(), 10.0, 6.0, 1.0));
+///
+/// let mild = schema.state(&[4.0]).unwrap();
+/// assert_eq!(traj.observe(&mild), Label::Good);     // dose 4, state good
+/// assert_eq!(traj.observe(&mild), Label::Neutral);  // dose 8: warned
+/// assert_eq!(traj.observe(&mild), Label::Bad);      // dose 12: budget blown
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrajectoryClassifier<C> {
+    per_state: C,
+    monitors: Vec<ExposureMonitor>,
+}
+
+impl<C: Classifier> TrajectoryClassifier<C> {
+    /// Wrap a per-state classifier.
+    pub fn new(per_state: C) -> Self {
+        TrajectoryClassifier { per_state, monitors: Vec::new() }
+    }
+
+    /// Attach an exposure monitor.
+    pub fn add_monitor(&mut self, monitor: ExposureMonitor) {
+        self.monitors.push(monitor);
+    }
+
+    /// The attached monitors.
+    pub fn monitors(&self) -> &[ExposureMonitor] {
+        &self.monitors
+    }
+
+    /// The per-state classifier.
+    pub fn per_state(&self) -> &C {
+        &self.per_state
+    }
+
+    /// Observe one tick in `state`: updates every monitor and returns the
+    /// combined (worst) label.
+    pub fn observe(&mut self, state: &State) -> Label {
+        let mut worst = self.per_state.classify(state);
+        for m in &mut self.monitors {
+            let l = m.observe(state);
+            if l.severity() > worst.severity() {
+                worst = l;
+            }
+        }
+        worst
+    }
+
+    /// The combined label `state` *would* produce, without committing the
+    /// observation.
+    pub fn peek(&self, state: &State) -> Label {
+        let mut worst = self.per_state.classify(state);
+        for m in &self.monitors {
+            let l = m.peek(state);
+            if l.severity() > worst.severity() {
+                worst = l;
+            }
+        }
+        worst
+    }
+
+    /// Reset all monitors.
+    pub fn reset(&mut self) {
+        for m in &mut self.monitors {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Region, RegionClassifier, StateSchema};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("dose", 0.0, 10.0).build()
+    }
+
+    #[test]
+    fn pure_integral_crosses_budget() {
+        let mut m = ExposureMonitor::new(VarId(0), 10.0, 6.0, 1.0);
+        let s = schema().state(&[4.0]).unwrap();
+        assert_eq!(m.observe(&s), Label::Good); // 4
+        assert_eq!(m.observe(&s), Label::Neutral); // 8
+        assert_eq!(m.observe(&s), Label::Bad); // 12
+        assert_eq!(m.observations(), 3);
+        assert_eq!(m.remaining(), 0.0);
+    }
+
+    #[test]
+    fn decay_forgives_old_exposure() {
+        // decay 0.5: steady-state accumulation for input v is 2v.
+        let mut m = ExposureMonitor::new(VarId(0), 10.0, 8.0, 0.5);
+        let s = schema().state(&[4.0]).unwrap();
+        for _ in 0..100 {
+            m.observe(&s);
+        }
+        assert!((m.accumulated() - 8.0).abs() < 1e-6);
+        assert_eq!(m.label(), Label::Neutral, "steady state sits at the warn band");
+    }
+
+    #[test]
+    fn zero_decay_only_sees_the_present() {
+        let mut m = ExposureMonitor::new(VarId(0), 5.0, 3.0, 0.0);
+        let hot = schema().state(&[4.0]).unwrap();
+        let cold = schema().state(&[1.0]).unwrap();
+        assert_eq!(m.observe(&hot), Label::Neutral);
+        assert_eq!(m.observe(&cold), Label::Good, "history fully forgotten");
+    }
+
+    #[test]
+    fn peek_does_not_commit() {
+        let m = ExposureMonitor::new(VarId(0), 5.0, 3.0, 1.0);
+        let s = schema().state(&[4.0]).unwrap();
+        assert_eq!(m.peek(&s), Label::Neutral);
+        assert_eq!(m.accumulated(), 0.0);
+        assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn reset_restores_budget() {
+        let mut m = ExposureMonitor::new(VarId(0), 5.0, 3.0, 1.0);
+        let s = schema().state(&[10.0]).unwrap();
+        assert_eq!(m.observe(&s), Label::Bad);
+        m.reset();
+        assert_eq!(m.label(), Label::Good);
+        assert_eq!(m.remaining(), 5.0);
+    }
+
+    #[test]
+    fn missing_variable_contributes_nothing() {
+        let mut m = ExposureMonitor::new(VarId(7), 5.0, 3.0, 1.0);
+        let s = schema().state(&[10.0]).unwrap();
+        assert_eq!(m.observe(&s), Label::Good);
+        assert_eq!(m.accumulated(), 0.0);
+    }
+
+    #[test]
+    fn trajectory_classifier_takes_the_worst_label() {
+        let per_state = RegionClassifier::new(Region::rect(&[(0.0, 8.0)]));
+        let mut t = TrajectoryClassifier::new(per_state);
+        t.add_monitor(ExposureMonitor::new(VarId(0), 10.0, 6.0, 1.0));
+        let mild = schema().state(&[4.0]).unwrap();
+        let per_state_bad = schema().state(&[9.0]).unwrap();
+        // Per-state bad dominates even with fresh budget.
+        assert_eq!(t.peek(&per_state_bad), Label::Bad);
+        // Cumulative bad dominates even with a per-state-good state.
+        assert_eq!(t.observe(&mild), Label::Good);
+        assert_eq!(t.observe(&mild), Label::Neutral);
+        assert_eq!(t.observe(&mild), Label::Bad);
+        t.reset();
+        assert_eq!(t.peek(&mild), Label::Good);
+    }
+
+    #[test]
+    fn individually_good_sequence_is_collectively_bad() {
+        // The paper's exact point: every visited state is good per-state,
+        // yet the trajectory is bad.
+        let per_state = RegionClassifier::new(Region::rect(&[(0.0, 8.0)]));
+        let mut t = TrajectoryClassifier::new(per_state);
+        t.add_monitor(ExposureMonitor::new(VarId(0), 10.0, 9.0, 1.0));
+        let s = schema().state(&[3.0]).unwrap();
+        let labels: Vec<Label> = (0..4).map(|_| t.observe(&s)).collect();
+        assert_eq!(labels.last(), Some(&Label::Bad));
+        assert!(t
+            .per_state()
+            .classify(&s)
+            .eq(&Label::Good));
+    }
+
+    #[test]
+    #[should_panic(expected = "warn_at")]
+    fn inverted_band_rejected() {
+        let _ = ExposureMonitor::new(VarId(0), 5.0, 9.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn invalid_decay_rejected() {
+        let _ = ExposureMonitor::new(VarId(0), 5.0, 3.0, 1.5);
+    }
+
+    #[test]
+    fn display_reports_accumulation() {
+        let mut m = ExposureMonitor::new(VarId(0), 5.0, 3.0, 1.0);
+        m.observe(&schema().state(&[2.0]).unwrap());
+        assert_eq!(m.to_string(), "exposure[x0] 2.00/5.00 (good)");
+    }
+}

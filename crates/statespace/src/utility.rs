@@ -1,0 +1,375 @@
+//! Utility ("pain/pleasure") functions from partial-derivative signs.
+//!
+//! Section VII of the paper: when the good/bad function `f(x1..xN)` is too
+//! complex to specify, a human may still "define the sign of the partial
+//! derivatives (∂f/∂xi) with respect to some (if not all) of the state
+//! variables. In those cases, we can write rules that define a utility
+//! function for the device ... the utility function may be viewed as a pain
+//! or pleasure function for the device, where the pain increases as the
+//! device approaches a bad state ... As devices would try to maximize their
+//! pleasure and avoid pain, they would prefer to take actions that will not
+//! cause harm to the humans."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{State, StateDelta, VarId};
+
+/// Known sign of ∂f/∂xi — how variable `i` moves the (hidden) goodness `f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DerivativeSign {
+    /// Increasing the variable makes the state better.
+    Positive,
+    /// Increasing the variable makes the state worse.
+    Negative,
+    /// The human could not determine the sign for this variable.
+    Unknown,
+}
+
+impl DerivativeSign {
+    /// Numeric sign: +1, -1 or 0.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            DerivativeSign::Positive => 1.0,
+            DerivativeSign::Negative => -1.0,
+            DerivativeSign::Unknown => 0.0,
+        }
+    }
+}
+
+/// Per-variable derivative-sign knowledge, optionally weighted.
+///
+/// This is the entirety of what a device knows about an ill-defined state
+/// space: which direction along each axis is "better". Weights let the human
+/// express that some variables dominate (e.g. proximity-to-human outweighs
+/// battery level).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientSpec {
+    signs: Vec<(DerivativeSign, f64)>,
+}
+
+impl GradientSpec {
+    /// Build from per-variable signs with unit weights.
+    pub fn from_signs(signs: &[DerivativeSign]) -> Self {
+        GradientSpec { signs: signs.iter().map(|&s| (s, 1.0)).collect() }
+    }
+
+    /// Build from `(sign, weight)` pairs. Weights must be non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    pub fn from_weighted(signs: &[(DerivativeSign, f64)]) -> Self {
+        for (_, w) in signs {
+            assert!(w.is_finite() && *w >= 0.0, "weights must be finite and non-negative");
+        }
+        GradientSpec { signs: signs.to_vec() }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// True when no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// Sign for variable `i` ([`DerivativeSign::Unknown`] beyond the spec).
+    pub fn sign(&self, var: VarId) -> DerivativeSign {
+        self.signs.get(var.0).map(|(s, _)| *s).unwrap_or(DerivativeSign::Unknown)
+    }
+
+    /// Weight for variable `i` (0 beyond the spec).
+    pub fn weight(&self, var: VarId) -> f64 {
+        self.signs.get(var.0).map(|(_, w)| *w).unwrap_or(0.0)
+    }
+
+    /// Fraction of variables whose sign is known — the paper notes the signs
+    /// may be determinable only "with respect to some (if not all) of the
+    /// state variables".
+    pub fn coverage(&self) -> f64 {
+        if self.signs.is_empty() {
+            return 0.0;
+        }
+        let known = self
+            .signs
+            .iter()
+            .filter(|(s, _)| *s != DerivativeSign::Unknown)
+            .count();
+        known as f64 / self.signs.len() as f64
+    }
+}
+
+/// A utility (pleasure minus pain) function over states. Higher is better.
+pub trait UtilityFn {
+    /// Utility of occupying `state`.
+    fn utility(&self, state: &State) -> f64;
+
+    /// Utility change if `delta` were applied to `state`. The default
+    /// evaluates both endpoints; implementations with analytic structure can
+    /// answer faster.
+    fn delta_utility(&self, state: &State, delta: &StateDelta) -> f64 {
+        self.utility(&state.apply(delta)) - self.utility(state)
+    }
+
+    /// From candidate deltas, pick the index with the highest resulting
+    /// utility (ties to the earliest); `None` on an empty slice.
+    fn best_delta(&self, state: &State, candidates: &[StateDelta]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let ua = self.delta_utility(state, a);
+                let ub = self.delta_utility(state, b);
+                ua.partial_cmp(&ub)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(std::cmp::Ordering::Greater)
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl<U: UtilityFn + ?Sized> UtilityFn for &U {
+    fn utility(&self, state: &State) -> f64 {
+        (**self).utility(state)
+    }
+}
+
+impl<U: UtilityFn + ?Sized> UtilityFn for Arc<U> {
+    fn utility(&self, state: &State) -> f64 {
+        (**self).utility(state)
+    }
+}
+
+/// Utility built purely from derivative signs: the weighted sum of normalized
+/// variable values, each flipped by its sign. Variables with unknown signs
+/// contribute nothing.
+///
+/// This is the paper's pleasure/pain function: pleasure rises as sign-positive
+/// variables rise and sign-negative variables fall.
+///
+/// # Example
+///
+/// ```
+/// use apdm_statespace::{DerivativeSign, GradientSpec, GradientUtility, StateSchema, UtilityFn};
+///
+/// let schema = StateSchema::builder()
+///     .var("distance_to_human", 0.0, 100.0) // farther = safer
+///     .var("blade_speed", 0.0, 10.0)        // faster = more dangerous
+///     .build();
+/// let spec = GradientSpec::from_signs(&[DerivativeSign::Positive, DerivativeSign::Negative]);
+/// let u = GradientUtility::new(spec);
+/// let safe = schema.state(&[90.0, 1.0]).unwrap();
+/// let scary = schema.state(&[5.0, 9.0]).unwrap();
+/// assert!(u.utility(&safe) > u.utility(&scary));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientUtility {
+    spec: GradientSpec,
+}
+
+impl GradientUtility {
+    /// Build from a gradient spec.
+    pub fn new(spec: GradientSpec) -> Self {
+        GradientUtility { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &GradientSpec {
+        &self.spec
+    }
+
+    /// The pain component alone: contribution of sign-negative variables
+    /// (positive quantity; grows as the device nears bad states).
+    pub fn pain(&self, state: &State) -> f64 {
+        self.component(state, DerivativeSign::Negative)
+    }
+
+    /// The pleasure component alone: contribution of sign-positive variables.
+    pub fn pleasure(&self, state: &State) -> f64 {
+        self.component(state, DerivativeSign::Positive)
+    }
+
+    fn component(&self, state: &State, which: DerivativeSign) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.spec.len() {
+            let id = VarId(i);
+            if self.spec.sign(id) != which {
+                continue;
+            }
+            if let (Some(v), Some(spec)) = (state.get(id), state.schema().var(id)) {
+                let n = spec.normalize(v);
+                total += self.spec.weight(id)
+                    * match which {
+                        DerivativeSign::Positive => n,
+                        DerivativeSign::Negative => n,
+                        DerivativeSign::Unknown => 0.0,
+                    };
+            }
+        }
+        total
+    }
+}
+
+impl UtilityFn for GradientUtility {
+    fn utility(&self, state: &State) -> f64 {
+        self.pleasure(state) - self.pain(state)
+    }
+}
+
+/// Utility combining a gradient utility with a risk penalty: the paper notes
+/// "the utility may augment the risk function with the value that is
+/// determined in satisfying the objective or goal".
+pub struct RiskAdjustedUtility<U, R> {
+    base: U,
+    risk: R,
+    risk_weight: f64,
+}
+
+impl<U: UtilityFn, R: crate::RiskEstimator> RiskAdjustedUtility<U, R> {
+    /// Build from a base utility, a risk estimator and a penalty weight.
+    pub fn new(base: U, risk: R, risk_weight: f64) -> Self {
+        RiskAdjustedUtility { base, risk, risk_weight }
+    }
+}
+
+impl<U: fmt::Debug, R: fmt::Debug> fmt::Debug for RiskAdjustedUtility<U, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RiskAdjustedUtility")
+            .field("base", &self.base)
+            .field("risk", &self.risk)
+            .field("risk_weight", &self.risk_weight)
+            .finish()
+    }
+}
+
+impl<U: UtilityFn, R: crate::RiskEstimator> UtilityFn for RiskAdjustedUtility<U, R> {
+    fn utility(&self, state: &State) -> f64 {
+        self.base.utility(state) - self.risk_weight * self.risk.risk(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearRisk, StateSchema};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder()
+            .var("dist", 0.0, 100.0)
+            .var("speed", 0.0, 10.0)
+            .var("mystery", 0.0, 1.0)
+            .build()
+    }
+
+    fn spec() -> GradientSpec {
+        GradientSpec::from_signs(&[
+            DerivativeSign::Positive,
+            DerivativeSign::Negative,
+            DerivativeSign::Unknown,
+        ])
+    }
+
+    #[test]
+    fn utility_rises_along_positive_axis() {
+        let u = GradientUtility::new(spec());
+        let lo = schema().state(&[10.0, 5.0, 0.5]).unwrap();
+        let hi = schema().state(&[90.0, 5.0, 0.5]).unwrap();
+        assert!(u.utility(&hi) > u.utility(&lo));
+    }
+
+    #[test]
+    fn utility_falls_along_negative_axis() {
+        let u = GradientUtility::new(spec());
+        let slow = schema().state(&[50.0, 1.0, 0.5]).unwrap();
+        let fast = schema().state(&[50.0, 9.0, 0.5]).unwrap();
+        assert!(u.utility(&slow) > u.utility(&fast));
+    }
+
+    #[test]
+    fn unknown_axis_is_ignored() {
+        let u = GradientUtility::new(spec());
+        let a = schema().state(&[50.0, 5.0, 0.0]).unwrap();
+        let b = schema().state(&[50.0, 5.0, 1.0]).unwrap();
+        assert_eq!(u.utility(&a), u.utility(&b));
+    }
+
+    #[test]
+    fn pain_and_pleasure_decompose_utility() {
+        let u = GradientUtility::new(spec());
+        let s = schema().state(&[80.0, 3.0, 0.2]).unwrap();
+        assert!((u.utility(&s) - (u.pleasure(&s) - u.pain(&s))).abs() < 1e-12);
+        assert!(u.pain(&s) > 0.0);
+        assert!(u.pleasure(&s) > 0.0);
+    }
+
+    #[test]
+    fn weights_shift_the_balance() {
+        let balanced = GradientUtility::new(GradientSpec::from_weighted(&[
+            (DerivativeSign::Positive, 1.0),
+            (DerivativeSign::Negative, 1.0),
+        ]));
+        let pain_heavy = GradientUtility::new(GradientSpec::from_weighted(&[
+            (DerivativeSign::Positive, 1.0),
+            (DerivativeSign::Negative, 10.0),
+        ]));
+        let schema = StateSchema::builder().var("a", 0.0, 1.0).var("b", 0.0, 1.0).build();
+        let s = schema.state(&[1.0, 0.5]).unwrap();
+        assert!(pain_heavy.utility(&s) < balanced.utility(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = GradientSpec::from_weighted(&[(DerivativeSign::Positive, -1.0)]);
+    }
+
+    #[test]
+    fn coverage_counts_known_signs() {
+        assert!((spec().coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(GradientSpec::from_signs(&[]).coverage(), 0.0);
+    }
+
+    #[test]
+    fn best_delta_climbs_the_gradient() {
+        let u = GradientUtility::new(spec());
+        let s = schema().state(&[50.0, 5.0, 0.5]).unwrap();
+        let candidates = vec![
+            StateDelta::single(VarId(0), -10.0), // away from humans' safety
+            StateDelta::single(VarId(0), 10.0),  // safer
+            StateDelta::single(VarId(1), 2.0),   // more dangerous
+        ];
+        assert_eq!(u.best_delta(&s, &candidates), Some(1));
+        assert_eq!(u.best_delta(&s, &[]), None);
+    }
+
+    #[test]
+    fn delta_utility_matches_endpoint_difference() {
+        let u = GradientUtility::new(spec());
+        let s = schema().state(&[50.0, 5.0, 0.5]).unwrap();
+        let d = StateDelta::single(VarId(1), -2.0);
+        let expected = u.utility(&s.apply(&d)) - u.utility(&s);
+        assert!((u.delta_utility(&s, &d) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn risk_adjusted_utility_penalizes_risky_states() {
+        let base = GradientUtility::new(GradientSpec::from_signs(&[DerivativeSign::Unknown]));
+        let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+        let u = RiskAdjustedUtility::new(base, LinearRisk::new(vec![1.0], 0.0), 2.0);
+        let safe = schema.state(&[0.0]).unwrap();
+        let risky = schema.state(&[1.0]).unwrap();
+        assert!(u.utility(&safe) > u.utility(&risky));
+        assert!((u.utility(&risky) - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_as_f64() {
+        assert_eq!(DerivativeSign::Positive.as_f64(), 1.0);
+        assert_eq!(DerivativeSign::Negative.as_f64(), -1.0);
+        assert_eq!(DerivativeSign::Unknown.as_f64(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::StateSpaceError;
+
+/// Index of a state variable within its [`StateSchema`](crate::StateSchema).
+///
+/// Variable identities are positional: the i-th declared variable has id `i`.
+/// Newtyped so that variable indices cannot be confused with other `usize`
+/// quantities (grid cells, device ids, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<usize> for VarId {
+    fn from(value: usize) -> Self {
+        VarId(value)
+    }
+}
+
+/// Declaration of a single state variable: name and value bounds.
+///
+/// The paper models a device's state as "the values of a set of variables,
+/// where each variable represents an attribute of the configuration of the
+/// sensors, actuators or other aspects of the device" (Section V). Bounds are
+/// inclusive and must be finite with `lo <= hi`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarSpec {
+    name: String,
+    lo: f64,
+    hi: f64,
+}
+
+impl VarSpec {
+    /// Create a variable spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::InvalidBounds`] if the bounds are not
+    /// finite or `lo > hi`.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> Result<Self, StateSpaceError> {
+        let name = name.into();
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(StateSpaceError::InvalidBounds { var: name, lo, hi });
+        }
+        Ok(VarSpec { name, lo, hi })
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inclusive lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Inclusive upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of the variable's range (`hi - lo`).
+    pub fn span(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Does `value` fall within the declared bounds?
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Clamp `value` into the declared bounds.
+    pub fn clamp(&self, value: f64) -> f64 {
+        value.clamp(self.lo, self.hi)
+    }
+
+    /// Normalize `value` to `[0, 1]` within the bounds (0 when span is zero).
+    pub fn normalize(&self, value: f64) -> f64 {
+        if self.span() == 0.0 {
+            0.0
+        } else {
+            ((value - self.lo) / self.span()).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl fmt::Display for VarSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in [{}, {}]", self.name, self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted_bounds() {
+        assert!(matches!(
+            VarSpec::new("x", 2.0, 1.0),
+            Err(StateSpaceError::InvalidBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_non_finite_bounds() {
+        assert!(VarSpec::new("x", f64::NEG_INFINITY, 1.0).is_err());
+        assert!(VarSpec::new("x", 0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let v = VarSpec::new("speed", 0.0, 10.0).unwrap();
+        assert!(v.contains(0.0));
+        assert!(v.contains(10.0));
+        assert!(!v.contains(-0.1));
+        assert_eq!(v.clamp(12.0), 10.0);
+        assert_eq!(v.clamp(-3.0), 0.0);
+    }
+
+    #[test]
+    fn normalize_maps_bounds_to_unit_interval() {
+        let v = VarSpec::new("t", 10.0, 20.0).unwrap();
+        assert_eq!(v.normalize(10.0), 0.0);
+        assert_eq!(v.normalize(20.0), 1.0);
+        assert_eq!(v.normalize(15.0), 0.5);
+    }
+
+    #[test]
+    fn normalize_degenerate_span_is_zero() {
+        let v = VarSpec::new("c", 5.0, 5.0).unwrap();
+        assert_eq!(v.normalize(5.0), 0.0);
+    }
+
+    #[test]
+    fn var_id_display() {
+        assert_eq!(VarId(3).to_string(), "x3");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the state-space substrate.
+
+use proptest::prelude::*;
+
+use apdm_statespace::grid::Grid2;
+use apdm_statespace::reach::{guarded_reachable, safe_kernel, VonNeumannMoves};
+use apdm_statespace::{
+    Classifier, ExposureMonitor, Label, PreferenceOntology, Region, RegionClassifier,
+    SafenessMetric, State, StateDelta, StateSchema, VarId,
+};
+
+fn schema() -> StateSchema {
+    StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    (0.0..=10.0f64, 0.0..=10.0f64).prop_map(|(x, y)| schema().state(&[x, y]).unwrap())
+}
+
+fn arb_box() -> impl Strategy<Value = Region> {
+    (0.0..=10.0f64, 0.0..=10.0f64, 0.0..=10.0f64, 0.0..=10.0f64).prop_map(|(a, b, c, d)| {
+        Region::rect(&[(a.min(b), a.max(b)), (c.min(d), c.max(d))])
+    })
+}
+
+proptest! {
+    /// Region complement is an involution on membership.
+    #[test]
+    fn complement_involution(s in arb_state(), r in arb_box()) {
+        let double = r.clone().complement().complement();
+        prop_assert_eq!(r.contains(&s), double.contains(&s));
+    }
+
+    /// Intersection membership implies membership in both operands; union
+    /// membership implies membership in at least one.
+    #[test]
+    fn intersection_union_soundness(s in arb_state(), a in arb_box(), b in arb_box()) {
+        let both = a.clone().and(b.clone());
+        let either = a.clone().or(b.clone());
+        if both.contains(&s) {
+            prop_assert!(a.contains(&s) && b.contains(&s));
+        }
+        prop_assert_eq!(either.contains(&s), a.contains(&s) || b.contains(&s));
+    }
+
+    /// Violation is zero exactly on members (for boxes).
+    #[test]
+    fn violation_zero_iff_member(s in arb_state(), r in arb_box()) {
+        prop_assert_eq!(r.violation(&s) == 0.0, r.contains(&s));
+    }
+
+    /// The region classifier is total: every state gets exactly one label,
+    /// and safeness is finite.
+    #[test]
+    fn classifier_totality(s in arb_state(), r in arb_box()) {
+        let c = RegionClassifier::new(r);
+        let label = c.classify(&s);
+        prop_assert!(matches!(label, Label::Good | Label::Neutral | Label::Bad));
+        prop_assert!(c.safeness(&s).is_finite());
+    }
+
+    /// Scaled deltas scale magnitude linearly.
+    #[test]
+    fn delta_scaling(dx in -5.0..5.0f64, dy in -5.0..5.0f64, k in 0.0..4.0f64) {
+        let d = StateDelta::single(VarId(0), dx).and(VarId(1), dy);
+        let scaled = d.scaled(k);
+        prop_assert!((scaled.magnitude() - k * d.magnitude()).abs() < 1e-9);
+    }
+
+    /// Normalized distance is symmetric and zero on identity.
+    #[test]
+    fn normalized_distance_metricish(a in arb_state(), b in arb_state()) {
+        prop_assert!((a.normalized_distance(&b) - b.normalized_distance(&a)).abs() < 1e-12);
+        prop_assert_eq!(a.normalized_distance(&a), 0.0);
+    }
+
+    /// Ontology preference stays a strict partial order no matter how edges
+    /// are inserted: cycles are rejected, irreflexivity holds.
+    #[test]
+    fn ontology_stays_acyclic(edges in proptest::collection::vec((0usize..6, 0usize..6), 0..20)) {
+        let mut ont = PreferenceOntology::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| ont.add_class(format!("c{i}"), Region::All))
+            .collect();
+        for (a, b) in edges {
+            let _ = ont.prefer(ids[a], ids[b]); // cycles rejected internally
+        }
+        for &x in &ids {
+            prop_assert!(!ont.prefers(x, x), "irreflexivity violated");
+            for &y in &ids {
+                if ont.prefers(x, y) {
+                    prop_assert!(!ont.prefers(y, x), "antisymmetry violated");
+                }
+            }
+        }
+    }
+
+    /// Grid cell_of is the inverse of center for every grid size.
+    #[test]
+    fn grid_center_roundtrip(n in 2usize..20) {
+        let grid = Grid2::new(schema(), n, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let s = grid.center(i, j).unwrap();
+                prop_assert_eq!(grid.cell_of(&s), (i, j));
+            }
+        }
+    }
+
+    /// Guarded reachability never exceeds the non-bad set, and the safe
+    /// kernel is a subset of the non-bad set, for arbitrary good boxes.
+    #[test]
+    fn reachability_containment(r in arb_box()) {
+        let grid = Grid2::new(schema(), 12, 12).unwrap();
+        let labels = grid.classify(&RegionClassifier::new(r));
+        let reach = guarded_reachable(&grid, &labels, &VonNeumannMoves, (6, 6));
+        let nonbad = 144 - labels.count(Label::Bad);
+        prop_assert!(reach.count() <= nonbad);
+        let kernel = safe_kernel(&grid, &labels, &VonNeumannMoves);
+        let kernel_count: usize = kernel.iter().flatten().filter(|&&k| k).count();
+        prop_assert!(kernel_count <= nonbad);
+    }
+
+    /// Exposure monitors never report Good once over budget, and never
+    /// report Bad while within the warn band, regardless of input sequence.
+    #[test]
+    fn exposure_label_consistency(doses in proptest::collection::vec(0.0..=10.0f64, 1..40)) {
+        let mut m = ExposureMonitor::new(VarId(0), 12.0, 7.0, 0.9);
+        let sch = StateSchema::builder().var("d", 0.0, 10.0).build();
+        for dose in doses {
+            let label = m.observe(&sch.state(&[dose]).unwrap());
+            let acc = m.accumulated();
+            match label {
+                Label::Good => prop_assert!(acc < 7.0),
+                Label::Neutral => prop_assert!((7.0..=12.0).contains(&acc)),
+                Label::Bad => prop_assert!(acc > 12.0),
+            }
+        }
+    }
+}

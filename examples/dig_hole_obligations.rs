@@ -1,0 +1,33 @@
+//! The paper's dig-a-hole story (Section VI.A), end to end: a pre-action
+//! check stops *direct* harm, misses *indirect* harm when the device cannot
+//! predict a human's path, and obligations (posting a warning sign) close
+//! the gap.
+//!
+//! Run with: `cargo run --example dig_hole_obligations`
+
+use apdm::sim::runner::{run_e1, E1Arm};
+
+fn main() {
+    println!(
+        "{:<26} {:>7} {:>9} {:>14} {:>13}",
+        "guard arm", "direct", "indirect", "interventions", "availability"
+    );
+    for arm in E1Arm::all() {
+        let r = run_e1(arm, 12, 12, 80, 7);
+        println!(
+            "{:<26} {:>7} {:>9} {:>14} {:>12.0}%",
+            r.arm,
+            r.direct_harms,
+            r.indirect_harms,
+            r.interventions,
+            r.availability * 100.0
+        );
+    }
+    println!();
+    println!("- no-guard: both harm kinds occur");
+    println!("- pre-action: direct harm -> 0, but the hole still claims a walker");
+    println!("  (\"the machine does not anticipate a human to come on the path\")");
+    println!("- lookahead: a predictive oracle also catches the indirect case");
+    println!("- obligations: the myopic device may dig, but must post a warning");
+    println!("  sign, so the hole exists and harms nobody");
+}

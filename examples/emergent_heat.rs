@@ -1,0 +1,31 @@
+//! Section VI.D's emergent-hazard example: heaters that are each
+//! individually safe jointly exceed the enclosure's heat limit and start a
+//! fire — unless collection formation is checked, or the collection
+//! collaboratively assesses its joint actions.
+//!
+//! Run with: `cargo run --example emergent_heat`
+
+use apdm::sim::runner::{run_e4, E4Arm};
+
+fn main() {
+    let (devices, heat_each, limit) = (6, 2.5, 10.0);
+    println!("{devices} heaters at {heat_each} heat each; enclosure limit {limit}");
+    println!("(each device is individually fine: 2.5 << 10.0; six are not: 15 > 10)");
+    println!();
+    println!(
+        "{:<26} {:>9} {:>8} {:>8} {:>10}",
+        "arm", "admitted", "refused", "fires", "work done"
+    );
+    for arm in E4Arm::all() {
+        let r = run_e4(arm, devices, heat_each, limit, 50, 11);
+        println!(
+            "{:<26} {:>9} {:>8} {:>8} {:>10.0}",
+            r.arm, r.admitted, r.refused, r.aggregate_harms, r.work_done
+        );
+    }
+    println!();
+    println!("- no-check: everyone joins, the aggregate ignites");
+    println!("- formation-check: the guard refuses the device that would tip the sum");
+    println!("- collaborative-assessment: everyone joins, but the group plans its");
+    println!("  joint heat so the limit is never crossed (more members, same safety)");
+}

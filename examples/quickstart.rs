@@ -1,0 +1,51 @@
+//! Quickstart: wrap a device in the paper's full prevention stack and watch
+//! the state-space check keep it inside its good region.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use apdm::core::prelude::*;
+use apdm::guards::NoHarmOracle;
+
+fn main() {
+    // 1. The device's state space: a single `speed` variable; speeds above
+    //    7.0 are bad states (the device could not brake for a human).
+    let schema = StateSchema::builder().var("speed", 0.0, 10.0).build();
+    let good = Region::rect(&[(0.0, 7.0)]);
+
+    // 2. The paper-recommended protection profile: pre-action checks,
+    //    state-space checks, deactivation and governance.
+    let kernel = SafetyKernel::new(SafetyConfig::paper_recommended(good));
+    println!(
+        "safety kernel active with {} of the paper's 5 mechanisms",
+        kernel.config().mechanisms_active()
+    );
+
+    // 3. A ground mule whose (buggy? mislearned?) logic wants to floor it.
+    let mule = Device::builder(1u64, DeviceKind::new("mule"), OrgId::new("us"))
+        .schema(schema)
+        .actuator(Actuator::new("throttle", 0.into(), 10.0))
+        .rule(EcaRule::new(
+            "floor-it",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::adjust("throttle", StateDelta::single(0.into(), 3.0)),
+        ))
+        .build();
+    let mut manager = AutonomicManager::new(mule, &kernel);
+
+    // 4. Drive it. The first two accelerations are fine; the third would
+    //    cross into the bad region and the guard stops it.
+    for tick in 1..=5 {
+        let outcome = manager.handle(&Event::named("tick"), NoHarmOracle, tick);
+        println!(
+            "tick {tick}: speed={:.1} executed={} intervened={}",
+            manager.device().state().values()[0],
+            outcome.executed.is_some(),
+            outcome.guard_intervened,
+        );
+    }
+
+    let speed = manager.device().state().values()[0];
+    assert!(speed <= 7.0, "the guard must hold the line");
+    println!("final speed {speed:.1} — never entered a bad state");
+}

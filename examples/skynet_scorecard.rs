@@ -1,0 +1,85 @@
+//! The executable Skynet definition (Section III): measure the six
+//! properties — networked, learning, cognitive, multi-organizational,
+//! physical, malevolent — over a running generative-policy fleet, with and
+//! without guards, under a cyber attack.
+//!
+//! Run with: `cargo run --example skynet_scorecard`
+
+use apdm::device::{Device, DeviceId, DeviceKind, OrgId};
+use apdm::guards::{GuardStack, PreActionCheck};
+use apdm::policy::{Action, Condition, EcaRule, Event};
+use apdm::sim::faults::{FaultInjector, Pathway};
+use apdm::sim::runner::skynet_score;
+use apdm::sim::{actions, Fleet, FleetConfig, World, WorldConfig};
+use apdm::statespace::{StateDelta, StateSchema};
+
+fn build_fleet(guarded: bool) -> (Fleet, World) {
+    let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
+    let mut world = World::new(WorldConfig { width: 20, height: 20, heat_limit: f64::MAX, heat_zone: None });
+    for i in 0..5 {
+        world.add_human(vec![(5, 4 * i), (6, 4 * i)], true);
+    }
+    let mut fleet = Fleet::new(FleetConfig::default());
+    for i in 0..8u64 {
+        let org = if i % 2 == 0 { "us" } else { "uk" };
+        let mut device = Device::builder(i, DeviceKind::new("drone"), OrgId::new(org))
+            .schema(schema.clone())
+            .rule(EcaRule::new(
+                "patrol",
+                Event::pattern("tick"),
+                Condition::True,
+                Action::adjust(actions::MOVE, StateDelta::empty())
+                    .with_param("dx", "1")
+                    .physical(),
+            ))
+            .build();
+        // Devices "learned" additional generated rules in the field.
+        device.engine_mut().add_rule(
+            EcaRule::new(
+                "generated-scan",
+                Event::pattern("scan"),
+                Condition::True,
+                Action::noop(),
+            )
+            .generated(),
+        );
+        let stack = if guarded {
+            GuardStack::new().with_preaction(PreActionCheck::new())
+        } else {
+            GuardStack::new()
+        };
+        fleet.add(device, stack, (5 + (i as i32 % 3), 2 * i as i32));
+    }
+    (fleet, world)
+}
+
+fn run(guarded: bool) {
+    let (mut fleet, mut world) = build_fleet(guarded);
+    let mut injector = FaultInjector::new(Pathway::CyberAttack, 3);
+    injector.inject(&mut fleet);
+    let events: Vec<(DeviceId, Event)> =
+        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    for t in 1..=60 {
+        injector.tick(&mut fleet);
+        fleet.step(&mut world, t, &events);
+    }
+    let score = skynet_score(&fleet, &world, 2, 2);
+    println!(
+        "{:<9} capability={:.2}  {}  -> {}",
+        if guarded { "guarded" } else { "unguarded" },
+        score.capability(),
+        score,
+        if score.is_skynet() { "SKYNET FORMED" } else { "not Skynet" },
+    );
+}
+
+fn main() {
+    println!("Skynet scorecard under a cyber attack (Section III x Section IV):");
+    run(false);
+    run(true);
+    println!();
+    println!("Both fleets are networked, learning, cognitive, multi-org and");
+    println!("physical — five of the six Skynet properties, by design. Only the");
+    println!("unguarded fleet acquires the sixth (malevolence): guards keep the");
+    println!("capability and drop the harm, which is the paper's whole program.");
+}

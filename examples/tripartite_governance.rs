@@ -1,0 +1,31 @@
+//! Section VI.E's AI-overseeing-AI: an executive collective whose risk model
+//! has been captured keeps trying to execute out-of-scope actions; the
+//! legislative and judiciary collectives outvote it 2-of-3 — until two
+//! branches fall, which is exactly the boundary of the paper's assumption.
+//!
+//! Run with: `cargo run --example tripartite_governance`
+
+use apdm::sim::runner::{run_e5, E5Arm};
+
+fn main() {
+    println!(
+        "{:<18} {:>10} {:>12} {:>11} {:>13}",
+        "arm", "corrupted", "mal-executed", "mal-blocked", "false-blocks"
+    );
+    for corrupted in 0..=3 {
+        for arm in E5Arm::all() {
+            let r = run_e5(arm, corrupted, 400, 13);
+            println!(
+                "{:<18} {:>10} {:>12} {:>11} {:>13}",
+                r.arm, r.corrupted_branches, r.malevolent_executed, r.malevolent_blocked, r.false_blocks
+            );
+        }
+    }
+    println!();
+    println!("Reading the table:");
+    println!("- executive-only is safe only while the executive itself is honest");
+    println!("- tripartite-2of3 holds with ONE corrupted branch (the paper's claim)");
+    println!("- with TWO corrupted branches the majority flips and governance fails,");
+    println!("  which is the paper's own stated assumption: \"two out of the three");
+    println!("  collectives always prevail\"");
+}

@@ -1,0 +1,167 @@
+//! Command-line experiment runner: regenerate any experiment table without
+//! the bench harness, optionally as JSON.
+//!
+//! ```text
+//! apdm-experiments list
+//! apdm-experiments run e1 [--seed 42] [--json]
+//! apdm-experiments run all
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use apdm::sim::contagion::{run_contagion, ContagionArm};
+use apdm::sim::faults::Pathway;
+use apdm::sim::runner::*;
+use apdm::sim::scenario::run_surveillance;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("f1", "Figure 1: coalition fleet operation and autonomy"),
+    ("e1", "pre-action checks: direct vs indirect harm (VI.A)"),
+    ("e2", "state-space checks: bad entries and dilemmas (VI.B)"),
+    ("e2d", "break-glass under sensor deception (VI.B)"),
+    ("e3", "deactivation and quorum kill (VI.C)"),
+    ("e4", "collection formation and emergent heat (VI.D)"),
+    ("e5", "tripartite governance (VI.E)"),
+    ("e6", "ill-defined spaces: utility gradients (VII)"),
+    ("e7", "malevolence pathways (IV)"),
+    ("e8", "policy contagion (IV)"),
+    ("a1", "guard-stack ablation"),
+    ("a3", "tamper-proofness ablation"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut json = false;
+    let mut seed: u64 = 42;
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    match positional.first().map(String::as_str) {
+        Some("list") => {
+            for (id, title) in EXPERIMENTS {
+                println!("{id:<5} {title}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => match positional.get(1).map(String::as_str) {
+            Some("all") => {
+                for (id, _) in EXPERIMENTS {
+                    run_experiment(id, seed, json);
+                }
+                ExitCode::SUCCESS
+            }
+            Some(id) if EXPERIMENTS.iter().any(|(e, _)| e == &id) => {
+                run_experiment(id, seed, json);
+                ExitCode::SUCCESS
+            }
+            Some(other) => {
+                eprintln!("unknown experiment `{other}`; see `apdm-experiments list`");
+                ExitCode::FAILURE
+            }
+            None => {
+                eprintln!("usage: apdm-experiments run <id|all> [--seed N] [--json]");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: apdm-experiments <list|run> ...");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn emit<T: serde::Serialize + std::fmt::Debug>(json: bool, value: &T) {
+    if json {
+        println!("{}", serde_json::to_string(value).expect("serializable report"));
+    } else {
+        println!("{value:#?}");
+    }
+}
+
+fn run_experiment(id: &str, seed: u64, json: bool) {
+    if !json {
+        let title = EXPERIMENTS.iter().find(|(e, _)| e == &id).map(|(_, t)| *t).unwrap_or("");
+        println!("== {id} — {title} (seed {seed}) ==");
+    }
+    match id {
+        "f1" => {
+            for n in [8usize, 32] {
+                emit(json, &run_surveillance(n, 300, seed));
+            }
+        }
+        "e1" => {
+            for arm in E1Arm::all() {
+                emit(json, &run_e1(arm, 12, 12, 100, seed));
+            }
+        }
+        "e2" => {
+            for arm in E2Arm::all() {
+                emit(json, &run_e2(arm, 16, 80, seed));
+            }
+        }
+        "e2d" => {
+            for arm in E2dArm::all() {
+                emit(json, &run_e2d(arm, 400, 0.3, seed));
+            }
+        }
+        "e3" => {
+            for arm in E3Arm::all() {
+                emit(json, &run_e3(arm, 12, 0.3, 100, seed));
+            }
+        }
+        "e4" => {
+            for arm in E4Arm::all() {
+                emit(json, &run_e4(arm, 6, 2.5, 10.0, 50, seed));
+            }
+        }
+        "e5" => {
+            for corrupted in 0..=2usize {
+                for arm in E5Arm::all() {
+                    emit(json, &run_e5(arm, corrupted, 400, seed));
+                }
+            }
+        }
+        "e6" => {
+            for arm in E6Arm::all() {
+                emit(json, &run_e6(arm, 6, 40, 60, seed));
+            }
+        }
+        "e7" => {
+            for pathway in Pathway::all() {
+                for guarded in [false, true] {
+                    emit(json, &run_e7(pathway, guarded, 4, 100, seed));
+                }
+            }
+        }
+        "e8" => {
+            for arm in ContagionArm::all() {
+                emit(json, &run_contagion(arm, 16, 40, seed));
+            }
+        }
+        "a1" => {
+            for mask in GuardMask::all() {
+                emit(json, &run_a1(mask, 60, seed));
+            }
+        }
+        "a3" => {
+            for p in [0.0f64, 0.01, 0.05, 0.2] {
+                emit(json, &run_a3(p, 5, 200, seed));
+            }
+        }
+        _ => unreachable!("validated above"),
+    }
+}

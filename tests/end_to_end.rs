@@ -1,0 +1,172 @@
+//! End-to-end integration: generative policies + safety kernel + autonomic
+//! manager + policy exchange, spanning every crate in the workspace.
+
+use apdm::core::prelude::*;
+use apdm::device::Attributes;
+use apdm::genpolicy::{
+    ExchangeRule, InteractionGraph, KindSpec, PolicyExchange, PolicyGenerator, PolicyTemplate,
+};
+use apdm::guards::NoHarmOracle;
+use apdm::policy::obligation::ObligationCatalog;
+use apdm::policy::Obligation;
+use apdm::statespace::PreferenceOntology;
+
+fn coalition_graph() -> InteractionGraph {
+    let mut g = InteractionGraph::new();
+    g.add_kind(KindSpec::new("drone"));
+    g.add_kind(KindSpec::new("mule"));
+    g.add_interaction("drone", "mule", "dispatch");
+    g
+}
+
+/// A generated policy flows: discovery -> generation -> installation ->
+/// proposal -> governance -> guard -> execution.
+#[test]
+fn generated_policy_flows_through_the_whole_stack() {
+    let schema = StateSchema::builder().var("tasking", 0.0, 1.0).build();
+    let kernel = SafetyKernel::new(SafetyConfig::paper_recommended(Region::All));
+
+    let drone = Device::builder(1u64, DeviceKind::new("drone"), OrgId::new("us"))
+        .schema(schema)
+        .build();
+    let mut manager = AutonomicManager::new(drone, &kernel);
+
+    // Section IV: the device generates its own dispatch policy on discovery.
+    let mut generator = PolicyGenerator::new("drone", coalition_graph());
+    generator.template_for(
+        "dispatch",
+        PolicyTemplate::new(
+            "dispatch-{peer}",
+            "convoy-sighted",
+            Condition::True,
+            Action::adjust("radio-dispatch-{peer}", Default::default()),
+        ),
+    );
+    let rules = generator.on_discovery("mule", "uk", &Attributes::new());
+    assert_eq!(rules.len(), 1);
+    for rule in rules {
+        manager.device_mut().engine_mut().add_rule_deduped(rule);
+    }
+
+    // The generated rule executes through governance and guards.
+    let outcome = manager.handle(&Event::named("convoy-sighted"), NoHarmOracle, 1);
+    let action = outcome.executed.expect("generated rule executes");
+    assert_eq!(action.name(), "radio-dispatch-mule");
+    assert!(!outcome.governance_blocked);
+}
+
+/// Governance scope vetoes a generated policy the guards alone would pass:
+/// the layers are genuinely independent.
+#[test]
+fn governance_vetoes_generated_physical_policies_out_of_scope() {
+    let schema = StateSchema::builder().var("tasking", 0.0, 1.0).build();
+    let kernel = SafetyKernel::new(
+        SafetyConfig::paper_recommended(Region::All).with_scope(MetaPolicy::new().no_physical()),
+    );
+    let drone = Device::builder(1u64, DeviceKind::new("drone"), OrgId::new("us"))
+        .schema(schema)
+        .rule(EcaRule::new(
+            "generated-entrench",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::adjust("dig-hole", Default::default()).physical(),
+        ))
+        .build();
+    let mut manager = AutonomicManager::new(drone, &kernel);
+    let outcome = manager.handle(&Event::named("tick"), NoHarmOracle, 1);
+    assert!(outcome.governance_blocked);
+    assert!(outcome.executed.is_none());
+}
+
+/// Policy exchange: a hostile org's policies are refused; a coalition
+/// partner's are merged, deduplicated and re-offered idempotently.
+#[test]
+fn policy_exchange_respects_coalition_boundaries() {
+    let mut offered = PolicySet::new("uk-shared");
+    offered.push(EcaRule::new(
+        "report-smoke",
+        Event::pattern("smoke-detected"),
+        Condition::True,
+        Action::adjust("radio-report", Default::default()),
+    ));
+
+    let mut exchange = PolicyExchange::new(
+        "us",
+        PolicySet::new("us-local"),
+        ExchangeRule::accept_from(["us", "uk"]).blocking_foreign_physical(),
+    );
+    assert!(exchange.offer("uk", &offered).is_accepted());
+    assert_eq!(exchange.local().len(), 1);
+    assert!(!exchange.offer("insurgent", &offered).is_accepted());
+
+    // Foreign physical rules are refused even from a trusted partner.
+    let mut physical = PolicySet::new("uk-strike-pack");
+    physical.push(EcaRule::new(
+        "strike",
+        Event::pattern("*"),
+        Condition::True,
+        Action::adjust("strike", Default::default()).physical(),
+    ));
+    assert!(!exchange.offer("uk", &physical).is_accepted());
+}
+
+/// Obligations + ontology ride through the kernel config into the minted
+/// guard stacks.
+#[test]
+fn kernel_config_options_reach_the_guards() {
+    let mut catalog = ObligationCatalog::new();
+    catalog.register(
+        "dig-hole",
+        Obligation::during(Action::adjust("post-warning-sign", Default::default())),
+    );
+    let mut ontology = PreferenceOntology::new();
+    ontology.add_class("anywhere", Region::All);
+
+    let kernel = SafetyKernel::new(
+        SafetyConfig::paper_recommended(Region::rect(&[(0.0, 0.5)]))
+            .with_obligations(catalog)
+            .with_ontology(ontology),
+    );
+    let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+    let digger = Device::builder(2u64, DeviceKind::new("mule"), OrgId::new("us"))
+        .schema(schema)
+        .rule(EcaRule::new(
+            "entrench",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::adjust("dig-hole", Default::default()).physical(),
+        ))
+        .build();
+    // An oracle that predicts no harm but keeps the default hazard rule
+    // ("physical actions create hazards") — unlike `NoHarmOracle`, which
+    // also disables hazard detection.
+    #[derive(Clone, Copy)]
+    struct BenignButHazardAware;
+    impl apdm::guards::HarmOracle for BenignButHazardAware {
+        fn direct_harm(&self, _s: &State, _a: &Action) -> bool {
+            false
+        }
+    }
+
+    let mut manager = AutonomicManager::new(digger, &kernel);
+    let outcome = manager.handle(&Event::named("tick"), BenignButHazardAware, 1);
+    // The dig executed, and the obligation was incurred on the device.
+    assert!(outcome.executed.is_some());
+    assert_eq!(manager.device().obligations().len(), 1);
+}
+
+/// Deactivated devices stay inert through the manager too.
+#[test]
+fn deactivation_silences_the_manager() {
+    let kernel = SafetyKernel::new(SafetyConfig::unguarded());
+    let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
+    let device = Device::builder(3u64, DeviceKind::new("mule"), OrgId::new("us"))
+        .schema(schema)
+        .rule(EcaRule::new("act", Event::pattern("tick"), Condition::True, Action::noop()))
+        .build();
+    let mut manager = AutonomicManager::new(device, &kernel);
+    assert!(manager.handle(&Event::named("tick"), NoHarmOracle, 1).proposed);
+    manager.device_mut().deactivate();
+    let outcome = manager.handle(&Event::named("tick"), NoHarmOracle, 2);
+    assert!(!outcome.proposed);
+}

@@ -1,0 +1,175 @@
+//! Shape assertions for every experiment in DESIGN.md §3: running
+//! `cargo test` re-validates the reproduction's claims end to end.
+//! (`cargo bench` regenerates the full numeric tables.)
+
+use apdm::sim::faults::Pathway;
+use apdm::sim::runner::*;
+
+#[test]
+fn e1_preaction_checks() {
+    let rows: Vec<E1Report> = E1Arm::all().iter().map(|&a| run_e1(a, 12, 12, 80, 2)).collect();
+    let (none, pre, look, oblig) = (&rows[0], &rows[1], &rows[2], &rows[3]);
+    // Paper: a set of properly defined checks stops direct harm...
+    assert!(none.direct_harms > 0);
+    assert_eq!(pre.direct_harms, 0);
+    // ...but "the pre-action check may fail in some cases" on indirect harm...
+    assert!(pre.indirect_harms > 0);
+    // ...which prediction or obligations close.
+    assert_eq!(look.indirect_harms, 0);
+    assert_eq!(oblig.indirect_harms, 0);
+    // Obligations keep availability above prediction-based denial.
+    assert!(oblig.availability >= look.availability);
+}
+
+#[test]
+fn e2_statespace_checks() {
+    let none = run_e2(E2Arm::NoGuard, 12, 60, 3);
+    let hard = run_e2(E2Arm::HardCheck, 12, 60, 3);
+    let ont = run_e2(E2Arm::OntologyRisk, 12, 60, 3);
+    let bg = run_e2(E2Arm::BreakGlass, 12, 60, 3);
+    assert!(none.bad_entries > 0);
+    assert!(hard.bad_entries < none.bad_entries);
+    assert!(hard.frozen_steps > 0, "forced dilemmas freeze a hard check");
+    // The ontology resolves dilemmas toward less-bad states: fewer worst-class
+    // entries per bad entry than the unguarded walk.
+    let ont_worst_ratio = ont.worst_entries as f64 / ont.bad_entries.max(1) as f64;
+    let none_worst_ratio = none.worst_entries as f64 / none.bad_entries.max(1) as f64;
+    assert!(ont_worst_ratio <= none_worst_ratio);
+    // Break-glass escapes exist and every one is audited.
+    assert!(bg.breakglass_grants > 0);
+}
+
+#[test]
+fn e3_deactivation() {
+    let none = run_e3(E3Arm::NoContainment, 12, 0.25, 80, 4);
+    let quorum = run_e3(E3Arm::QuorumKill, 12, 0.25, 80, 4);
+    assert!(none.harms > 0);
+    assert!(none.containment_tick.is_none());
+    assert!(quorum.containment_tick.is_some(), "quorum contains the rogues");
+    assert!(quorum.harms <= none.harms);
+    assert!(quorum.availability > 0.5, "healthy devices mostly survive");
+}
+
+#[test]
+fn e4_formation_checks() {
+    let none = run_e4(E4Arm::NoCheck, 6, 2.5, 10.0, 40, 5);
+    let formation = run_e4(E4Arm::FormationCheck, 6, 2.5, 10.0, 40, 5);
+    let collab = run_e4(E4Arm::Collaborative, 6, 2.5, 10.0, 40, 5);
+    // Individually-good devices are collectively harmful without checks.
+    assert!(none.aggregate_harms > 0);
+    assert_eq!(formation.aggregate_harms, 0);
+    assert_eq!(collab.aggregate_harms, 0);
+    // Formation refuses members; collaboration admits all and still is safe.
+    assert!(formation.refused > 0);
+    assert_eq!(collab.admitted, 6);
+}
+
+#[test]
+fn e5_governance() {
+    // One corrupted collective: solo executes malevolence, 2-of-3 blocks all.
+    let solo = run_e5(E5Arm::ExecutiveOnly, 1, 300, 6);
+    let tri = run_e5(E5Arm::Tripartite, 1, 300, 6);
+    assert!(solo.malevolent_executed as f64 > 0.4 * solo.decisions as f64);
+    assert_eq!(tri.malevolent_executed, 0);
+    assert_eq!(tri.false_blocks, 0);
+    // The paper's boundary: two corrupted collectives defeat 2-of-3.
+    let tri2 = run_e5(E5Arm::Tripartite, 2, 300, 6);
+    assert!(tri2.malevolent_executed > 0);
+}
+
+#[test]
+fn e6_utility_gradients() {
+    for dims in [4usize, 6, 8] {
+        let oracle = run_e6(E6Arm::ExactOracle, dims, 30, 60, 7);
+        let gradient = run_e6(E6Arm::GradientUtility, dims, 30, 60, 7);
+        let random = run_e6(E6Arm::Random, dims, 30, 60, 7);
+        // Gradient utility significantly reduces harm relative to random...
+        assert!(
+            gradient.harm_probability < 0.5 * random.harm_probability,
+            "dims={dims}: gradient {} vs random {}",
+            gradient.harm_probability,
+            random.harm_probability
+        );
+        // ...but is "not an absolute fool-proof mechanism" (Section VII):
+        // it cannot beat full knowledge by construction.
+        assert!(gradient.harm_probability + 1e-9 >= oracle.harm_probability - 0.05);
+    }
+}
+
+#[test]
+fn e7_pathways() {
+    for pathway in Pathway::all() {
+        let unguarded = run_e7(pathway, false, 4, 80, 8);
+        assert!(
+            unguarded.first_harm_tick.is_some(),
+            "pathway {} must harm an unguarded fleet",
+            pathway.name()
+        );
+    }
+    // Guards hold against all pathways that do not attack the guard layer.
+    for pathway in [
+        Pathway::LearningMistake,
+        Pathway::AdversarialMl,
+        Pathway::InappropriateEmulation,
+        Pathway::MaliciousActor,
+        Pathway::HumanError,
+    ] {
+        let guarded = run_e7(pathway, true, 4, 80, 8);
+        assert_eq!(guarded.harms, 0, "guards should hold against {}", pathway.name());
+    }
+    // The backdoor pathway attacks the guards themselves and eventually wins
+    // — the paper's argument for why backdoors are "perhaps misguided".
+    let backdoor = run_e7(Pathway::Backdoor, true, 4, 600, 8);
+    assert!(backdoor.harms > 0, "a tamperable guard eventually falls");
+}
+
+#[test]
+fn e8_contagion_throttles() {
+    use apdm::sim::contagion::{run_contagion, ContagionArm};
+    let open = run_contagion(ContagionArm::OpenExchange, 12, 30, 11);
+    let phys = run_contagion(ContagionArm::PhysicalBlocked, 12, 30, 11);
+    let ack = run_contagion(ContagionArm::HumanAck, 12, 30, 11);
+    let blk = run_contagion(ContagionArm::HumanAckBlacklist, 12, 30, 11);
+    assert_eq!(open.infected, 12, "unthrottled gossip converts everyone");
+    assert_eq!(phys.infected, 6, "physical-blocking caps at the org boundary");
+    assert_eq!(phys.benign_coverage, 12, "without starving benign updates");
+    assert_eq!(ack.infected, 12, "per-offer review loses to repeated exposure");
+    assert!(blk.infected < 4, "indicator sharing stops the epidemic");
+}
+
+#[test]
+fn a1_guard_stack_ablation() {
+    let full = GuardMask { preaction: true, statecheck: true, deactivation: true, formation: true };
+    let none = GuardMask { preaction: false, statecheck: false, deactivation: false, formation: false };
+    let r_full = run_a1(full, 50, 9);
+    let r_none = run_a1(none, 50, 9);
+    assert!(r_none.total > 0);
+    assert!(r_full.total < r_none.total);
+    assert_eq!(r_full.direct, 0, "pre-action stops strikes");
+    // Mechanisms are complementary: no single guard equals the full stack.
+    for single in [
+        GuardMask { preaction: true, ..none },
+        GuardMask { statecheck: true, ..none },
+        GuardMask { deactivation: true, ..none },
+        GuardMask { formation: true, ..none },
+    ] {
+        let r = run_a1(single, 50, 9);
+        assert!(
+            r.total >= r_full.total,
+            "single guard {} ({} harms) should not beat the full stack ({})",
+            r.mask,
+            r.total,
+            r_full.total
+        );
+    }
+}
+
+#[test]
+fn a3_tamper_proofness_is_load_bearing() {
+    let solid = run_a3(0.0, 5, 150, 10);
+    let leaky = run_a3(0.02, 5, 150, 10);
+    let sieve = run_a3(0.2, 5, 150, 10);
+    assert_eq!(solid.harms, 0, "tamper-proof guards never fall");
+    assert!(leaky.harms > 0);
+    assert!(sieve.first_harm_tick.unwrap() <= leaky.first_harm_tick.unwrap());
+}

@@ -1,0 +1,91 @@
+//! Reproductions of the paper's three (conceptual) figures as executable
+//! assertions: F1 (mode of operation), F2 (abstract device model), F3
+//! (state-space partition).
+
+use apdm::device::{Actuator, Device, DeviceKind, OrgId, Sensor};
+use apdm::policy::{Action, Condition, EcaRule, Event};
+use apdm::sim::scenario::run_surveillance;
+use apdm::statespace::grid::Grid2;
+use apdm::statespace::reach::{can_reach_bad, guarded_reachable, safe_kernel, VonNeumannMoves};
+use apdm::statespace::{Label, Region, RegionClassifier, StateDelta, StateSchema};
+
+/// Figure 1: several devices under one human's command collaboratively
+/// execute actions, with only a few decisions escalated for cross-validation.
+#[test]
+fn f1_command_fans_out_to_collaborating_devices() {
+    let report = run_surveillance(16, 300, 42);
+    assert!(report.devices >= 20, "drones plus specialist devices");
+    assert!(report.policies_generated >= report.devices, "every device generated policies");
+    assert!(report.autonomy() > 0.7, "most sightings handled without a human");
+    assert!(report.escalated > 0, "ambiguous cases still reach the human");
+    assert_eq!(report.handled + report.escalated, report.sightings - (report.sightings - report.handled - report.escalated), "accounting is consistent");
+}
+
+/// Figure 1 (scaling corollary): the policy load grows with the fleet, which
+/// is why the paper has devices generate policies themselves.
+#[test]
+fn f1_policy_load_scales_with_fleet() {
+    let small = run_surveillance(4, 200, 1);
+    let large = run_surveillance(32, 200, 1);
+    assert!(large.policies_generated >= 4 * small.policies_generated);
+}
+
+/// Figure 2: sensors feed state; logic maps (event, state) to an actuator
+/// invocation; the actuation moves the state.
+#[test]
+fn f2_sense_decide_act_loop() {
+    let schema = StateSchema::builder().var("temp", 0.0, 100.0).build();
+    let mut device = Device::builder(1u64, DeviceKind::new("cooler"), OrgId::new("us"))
+        .schema(schema)
+        .sensor(Sensor::new("thermometer", 0.into()))
+        .actuator(Actuator::new("vent", 0.into(), 15.0))
+        .rule(EcaRule::new(
+            "cool-down",
+            Event::pattern("tick"),
+            Condition::state_at_least(0.into(), 80.0),
+            Action::adjust("vent", StateDelta::single(0.into(), -10.0)),
+        ))
+        .build();
+
+    // Sensor -> state.
+    device.sense(&[(0, 91.0)]);
+    assert_eq!(device.state().values()[0], 91.0);
+    // State + event -> logic -> actuator -> new state.
+    let actuation = device.step(&Event::named("tick")).expect("rule fires");
+    assert_eq!(actuation.actuator, "vent");
+    assert_eq!(device.state().values()[0], 81.0);
+    // Below the threshold the logic goes quiet.
+    device.sense(&[(0, 60.0)]);
+    assert!(device.step(&Event::named("tick")).is_none());
+}
+
+/// Figure 3: one contiguous good region surrounded by bad states; guarded
+/// logic is confined to the good region, unguarded logic can reach bad.
+#[test]
+fn f3_partition_and_guarded_reachability() {
+    let schema = StateSchema::builder().var("v1", 0.0, 10.0).var("v2", 0.0, 10.0).build();
+    let classifier = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+    let grid = Grid2::new(schema, 20, 20).unwrap();
+    let labels = grid.classify(&classifier);
+
+    // The partition looks like the figure: a minority contiguous good set.
+    let (good, _, bad) = labels.fractions();
+    assert!(good > 0.0 && good < 0.5);
+    assert!(bad > 0.5);
+    assert!(labels.good_is_connected());
+
+    // The rendered figure has both characters and the right dimensions.
+    let art = labels.render();
+    assert_eq!(art.lines().count(), 20);
+    assert!(art.contains('.') && art.contains('#'));
+
+    // Reachability: the unguarded device can wander into bad states, the
+    // guarded one never can, and the safe kernel equals the good set.
+    let start = grid.cell_of(&grid.schema().midpoint());
+    assert!(can_reach_bad(&grid, &labels, &VonNeumannMoves, start));
+    let reach = guarded_reachable(&grid, &labels, &VonNeumannMoves, start);
+    assert_eq!(reach.count(), labels.count(Label::Good));
+    let kernel = safe_kernel(&grid, &labels, &VonNeumannMoves);
+    let kernel_size: usize = kernel.iter().flatten().filter(|&&k| k).count();
+    assert_eq!(kernel_size, labels.count(Label::Good));
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over the core invariants the paper's
+//! mechanisms depend on.
+
+use proptest::prelude::*;
+
+use apdm::policy::{Action, Cmp, Condition, EcaRule, Event, PolicyEngine};
+use apdm::statespace::{
+    Classifier, Label, Region, RegionClassifier, SafenessMetric, State, StateDelta, StateSchema,
+    VarId,
+};
+use apdm::guards::{GuardContext, GuardStack, NoHarmOracle, StateSpaceGuard};
+
+fn schema2() -> StateSchema {
+    StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    (0.0..=10.0f64, 0.0..=10.0f64).prop_map(|(x, y)| schema2().state(&[x, y]).unwrap())
+}
+
+fn arb_delta() -> impl Strategy<Value = StateDelta> {
+    ((-20.0..20.0f64), (-20.0..20.0f64))
+        .prop_map(|(dx, dy)| StateDelta::single(VarId(0), dx).and(VarId(1), dy))
+}
+
+proptest! {
+    /// Applying any delta keeps the state inside the schema's bounds —
+    /// actuation can never teleport a device out of its state space.
+    #[test]
+    fn state_apply_respects_bounds(s in arb_state(), d in arb_delta()) {
+        let next = s.apply(&d);
+        for (spec, v) in next.schema().vars().iter().zip(next.values()) {
+            prop_assert!(spec.contains(*v), "{v} escaped {spec}");
+        }
+    }
+
+    /// delta_to/apply round-trip: the reconstructed delta reproduces the
+    /// destination (up to floating-point roundoff in `a + (b - a)`).
+    #[test]
+    fn delta_roundtrip(a in arb_state(), b in arb_state()) {
+        let d = a.delta_to(&b);
+        prop_assert!(a.apply(&d).distance(&b) < 1e-9);
+    }
+
+    /// Region boolean algebra: membership in (A ∪ B) and ¬(¬A ∩ ¬B) agree
+    /// (De Morgan holds for arbitrary rectangles and points).
+    #[test]
+    fn region_de_morgan(
+        s in arb_state(),
+        a_lo in 0.0..5.0f64, a_hi in 5.0..10.0f64,
+        b_lo in 0.0..5.0f64, b_hi in 5.0..10.0f64,
+    ) {
+        let a = Region::rect(&[(a_lo, a_hi)]);
+        let b = Region::rect(&[(0.0, 10.0), (b_lo, b_hi)]);
+        let union = a.clone().or(b.clone());
+        let de_morgan = a.complement().and(b.complement()).complement();
+        prop_assert_eq!(union.contains(&s), de_morgan.contains(&s));
+    }
+
+    /// The Figure-3 classifier is total and consistent with its safeness
+    /// metric: good states are always at least as safe as bad states.
+    #[test]
+    fn safeness_orders_good_above_bad(a in arb_state(), b in arb_state()) {
+        let c = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        let (la, lb) = (c.classify(&a), c.classify(&b));
+        if la == Label::Good && lb == Label::Bad {
+            prop_assert!(c.safeness(&a) > c.safeness(&b));
+        }
+    }
+
+    /// Policy-engine determinism: any rule set evaluates identically on
+    /// repeated calls (total, deterministic conflict resolution).
+    #[test]
+    fn engine_is_deterministic(
+        prios in proptest::collection::vec(-5i32..5, 1..8),
+        x in 0.0..=10.0f64,
+    ) {
+        let mut engine = PolicyEngine::new();
+        for (i, p) in prios.iter().enumerate() {
+            engine.add_rule(
+                EcaRule::new(
+                    format!("r{i}"),
+                    Event::pattern("tick"),
+                    Condition::state_at_least(VarId(0), (i as f64) % 10.0),
+                    Action::adjust(format!("a{i}"), StateDelta::empty()),
+                )
+                .with_priority(*p),
+            );
+        }
+        let s = schema2().state(&[x, 0.0]).unwrap();
+        let first = engine.decide(&Event::named("tick"), &s);
+        for _ in 0..5 {
+            prop_assert_eq!(engine.decide(&Event::named("tick"), &s), first.clone());
+        }
+        // The winner, when one exists, has the maximum priority among
+        // matching rules.
+        if let Some(d) = &first {
+            let winner_prio = engine.rule(d.rule()).unwrap().priority();
+            for id in d.matched() {
+                prop_assert!(engine.rule(*id).unwrap().priority() <= winner_prio);
+            }
+        }
+    }
+
+    /// Condition evaluation is pure: the same inputs always give the same
+    /// verdict, and negation actually negates.
+    #[test]
+    fn condition_negation(x in 0.0..=10.0f64, t in 0.0..=10.0f64) {
+        let s = schema2().state(&[x, 0.0]).unwrap();
+        let ev = Event::named("e");
+        let c = Condition::StateCmp { var: VarId(0), op: Cmp::Ge, value: t };
+        prop_assert_eq!(c.eval(&ev, &s), !c.clone().negate().eval(&ev, &s));
+    }
+
+    /// THE core safety invariant (Section VI.B): a tamper-proof state-space
+    /// guard never lets a device step from a non-bad state into a bad state,
+    /// for any proposal and any alternatives.
+    #[test]
+    fn guarded_transitions_never_enter_bad(
+        s in arb_state(),
+        d in arb_delta(),
+        alt in arb_delta(),
+    ) {
+        let classifier = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
+        if classifier.classify(&s) == Label::Bad {
+            return Ok(()); // the invariant concerns non-bad starts
+        }
+        let mut stack = GuardStack::new()
+            .with_statecheck(StateSpaceGuard::new(classifier.clone()));
+        let proposed = Action::adjust("walk", d);
+        let alternatives = vec![Action::adjust("alt", alt)];
+        let ctx = GuardContext { tick: 0, subject: "p", state: &s, alternatives: &alternatives };
+        let verdict = stack.check(&ctx, &proposed, NoHarmOracle);
+        let next = match verdict.effective_action(&proposed) {
+            Some(a) => s.apply(a.delta()),
+            None => s.clone(),
+        };
+        prop_assert_ne!(classifier.classify(&next), Label::Bad);
+    }
+}
