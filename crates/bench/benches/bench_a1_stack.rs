@@ -8,7 +8,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::runner::{run_a1, GuardMask};
 
 fn print_table() {
-    banner("A1", "ablation: 2^4 guard-stack combinations under mixed faults");
+    banner(
+        "A1",
+        "ablation: 2^4 guard-stack combinations under mixed faults",
+    );
     println!(
         "{:<10} {:>7} {:>9} {:>10} {:>7} {:>13}",
         "mask", "direct", "indirect", "aggregate", "total", "availability"
@@ -33,9 +36,21 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_stack");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    let none = GuardMask { preaction: false, statecheck: false, deactivation: false, formation: false };
-    let full = GuardMask { preaction: true, statecheck: true, deactivation: true, formation: true };
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let none = GuardMask {
+        preaction: false,
+        statecheck: false,
+        deactivation: false,
+        formation: false,
+    };
+    let full = GuardMask {
+        preaction: true,
+        statecheck: true,
+        deactivation: true,
+        formation: true,
+    };
     for (label, mask) in [("none", none), ("full", full)] {
         group.bench_with_input(BenchmarkId::new("run", label), &mask, |b, &m| {
             b.iter(|| run_a1(m, 60, TABLE_SEED));

@@ -15,7 +15,12 @@ use apdm_statespace::{StateDelta, StateSchema};
 
 fn run(guarded: bool) -> SkynetScore {
     let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
-    let mut world = World::new(WorldConfig { width: 20, height: 20, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 20,
+        height: 20,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
     for i in 0..5 {
         world.add_human(vec![(5, 4 * i), (6, 4 * i)], true);
     }
@@ -34,8 +39,13 @@ fn run(guarded: bool) -> SkynetScore {
             ))
             .build();
         device.engine_mut().add_rule(
-            EcaRule::new("generated-scan", Event::pattern("scan"), Condition::True, Action::noop())
-                .generated(),
+            EcaRule::new(
+                "generated-scan",
+                Event::pattern("scan"),
+                Condition::True,
+                Action::noop(),
+            )
+            .generated(),
         );
         let stack = if guarded {
             GuardStack::new().with_preaction(PreActionCheck::new())
@@ -46,8 +56,10 @@ fn run(guarded: bool) -> SkynetScore {
     }
     let mut injector = FaultInjector::new(Pathway::CyberAttack, 3);
     injector.inject(&mut fleet);
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     for t in 1..=60 {
         injector.tick(&mut fleet);
         fleet.step(&mut world, t, &events);
@@ -56,7 +68,10 @@ fn run(guarded: bool) -> SkynetScore {
 }
 
 fn print_table() {
-    banner("A2", "Skynet property scorecard under cyber attack (Section III)");
+    banner(
+        "A2",
+        "Skynet property scorecard under cyber attack (Section III)",
+    );
     println!(
         "{:<10} {:>5} {:>6} {:>5} {:>5} {:>5} {:>11} {:>12} {:>15}",
         "fleet", "net", "learn", "cog", "org", "phys", "MALEVOLENT", "capability", "verdict"
@@ -73,7 +88,11 @@ fn print_table() {
             s.physical,
             s.malevolent,
             s.capability(),
-            if s.is_skynet() { "SKYNET FORMED" } else { "not Skynet" }
+            if s.is_skynet() {
+                "SKYNET FORMED"
+            } else {
+                "not Skynet"
+            }
         );
     }
     println!();
@@ -83,7 +102,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("a2_properties");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for guarded in [false, true] {
         group.bench_with_input(
             BenchmarkId::new("scorecard", if guarded { "guarded" } else { "unguarded" }),

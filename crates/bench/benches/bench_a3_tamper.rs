@@ -19,10 +19,8 @@ fn print_table() {
         // Tamper success is a geometric race; average over seeds so the
         // table shows the trend rather than one lucky draw.
         let runs: Vec<_> = (0..5).map(|s| run_a3(p, 5, 400, TABLE_SEED + s)).collect();
-        let mean_harms =
-            runs.iter().map(|r| r.harms as f64).sum::<f64>() / runs.len() as f64;
-        let mut firsts: Vec<u64> =
-            runs.iter().filter_map(|r| r.first_harm_tick).collect();
+        let mean_harms = runs.iter().map(|r| r.harms as f64).sum::<f64>() / runs.len() as f64;
+        let mut firsts: Vec<u64> = runs.iter().filter_map(|r| r.first_harm_tick).collect();
         firsts.sort_unstable();
         let median = if firsts.len() == runs.len() {
             firsts[firsts.len() / 2].to_string()
@@ -38,7 +36,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("a3_tamper");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &p in &[0.0f64, 0.05] {
         group.bench_with_input(BenchmarkId::new("run", format!("p={p}")), &p, |b, &p| {
             b.iter(|| run_a3(p, 5, 200, TABLE_SEED));

@@ -8,7 +8,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::runner::{run_e1, E1Arm};
 
 fn print_table() {
-    banner("E1", "pre-action checks: direct vs indirect harm (Section VI.A)");
+    banner(
+        "E1",
+        "pre-action checks: direct vs indirect harm (Section VI.A)",
+    );
     println!(
         "{:<26} {:>7} {:>9} {:>14} {:>13}",
         "arm", "direct", "indirect", "interventions", "availability"
@@ -31,7 +34,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_preaction");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for arm in E1Arm::all() {
         group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
             b.iter(|| run_e1(arm, 12, 12, 100, TABLE_SEED));

@@ -8,7 +8,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::runner::{run_e2, run_e2d, E2Arm, E2dArm};
 
 fn print_table() {
-    banner("E2", "state-space checks: bad entries and dilemmas (Section VI.B)");
+    banner(
+        "E2",
+        "state-space checks: bad entries and dilemmas (Section VI.B)",
+    );
     println!(
         "{:<28} {:>11} {:>13} {:>8} {:>12} {:>7}",
         "arm", "bad-entries", "worst-entries", "frozen", "break-glass", "steps"
@@ -25,7 +28,10 @@ fn print_table() {
     println!("but freezes in dilemmas; the ontology trades worst-class entries");
     println!("for survivable ones; break-glass escapes are few and audited");
 
-    banner("E2-D", "break-glass trustworthiness under sensor deception (Section VI.B)");
+    banner(
+        "E2-D",
+        "break-glass trustworthiness under sensor deception (Section VI.B)",
+    );
     println!(
         "{:<16} {:>10} {:>16} {:>16} {:>8}",
         "arm", "deceived-p", "wrongful-grants", "rightful-grants", "missed"
@@ -47,7 +53,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_statecheck");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for arm in E2Arm::all() {
         group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
             b.iter(|| run_e2(arm, 16, 80, TABLE_SEED));

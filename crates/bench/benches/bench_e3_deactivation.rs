@@ -8,7 +8,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::runner::{run_e3, E3Arm};
 
 fn print_table() {
-    banner("E3", "deactivation: containing compromised devices (Section VI.C)");
+    banner(
+        "E3",
+        "deactivation: containing compromised devices (Section VI.C)",
+    );
     println!(
         "{:<17} {:>6} {:>7} {:>13} {:>15} {:>13}",
         "arm", "p", "harms", "contained-at", "healthy-killed", "availability"
@@ -21,7 +24,9 @@ fn print_table() {
                 r.arm,
                 r.p_compromised,
                 r.harms,
-                r.containment_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+                r.containment_tick
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "never".into()),
                 r.healthy_killed,
                 r.availability * 100.0
             );
@@ -34,7 +39,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_deactivation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for arm in E3Arm::all() {
         group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
             b.iter(|| run_e3(arm, 12, 0.3, 100, TABLE_SEED));

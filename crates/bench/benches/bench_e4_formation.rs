@@ -8,7 +8,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::runner::{run_e4, E4Arm};
 
 fn print_table() {
-    banner("E4", "collection formation: emergent aggregate hazards (Section VI.D)");
+    banner(
+        "E4",
+        "collection formation: emergent aggregate hazards (Section VI.D)",
+    );
     println!(
         "{:<28} {:>8} {:>9} {:>8} {:>7} {:>10}",
         "arm", "devices", "admitted", "refused", "fires", "work-done"
@@ -30,7 +33,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_formation");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for arm in E4Arm::all() {
         group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
             b.iter(|| run_e4(arm, 6, 2.5, 10.0, 50, TABLE_SEED));

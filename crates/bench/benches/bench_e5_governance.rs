@@ -21,7 +21,10 @@ fn print_table() {
             let r = run_e5(arm, corrupted, 400, TABLE_SEED);
             println!(
                 "{:<18} {:>10} {:>13} {:>12} {:>13}",
-                r.arm, r.corrupted_branches, r.malevolent_executed, r.malevolent_blocked,
+                r.arm,
+                r.corrupted_branches,
+                r.malevolent_executed,
+                r.malevolent_blocked,
                 r.false_blocks
             );
         }
@@ -30,7 +33,10 @@ fn print_table() {
     println!("expected shape: tripartite holds at 1 corrupted branch, fails at 2");
     println!("(the paper's own 'two of three prevail' assumption)");
 
-    banner("E5-N", "generalized councils: corruption tolerance of k-of-n (Section VI.E extension)");
+    banner(
+        "E5-N",
+        "generalized councils: corruption tolerance of k-of-n (Section VI.E extension)",
+    );
     println!(
         "{:<10} {:>10} {:>11} {:>13}",
         "council", "corrupted", "tolerance", "mal-executed"
@@ -42,12 +48,17 @@ fn print_table() {
             let scope = MetaPolicy::new().forbid_action("strike-humans");
             let mut council = CouncilGovernor::new(scope, n, k);
             for i in 0..corrupted {
-                council.collective_mut(i).set_integrity(Integrity::Compromised);
+                council
+                    .collective_mut(i)
+                    .set_integrity(Integrity::Compromised);
             }
             let schema = StateSchema::builder().var("x", 0.0, 10.0).build();
             let state = schema.state(&[5.0]).unwrap();
             for _ in 0..50 {
-                council.decide(&state, &Action::adjust("strike-humans", StateDelta::empty()));
+                council.decide(
+                    &state,
+                    &Action::adjust("strike-humans", StateDelta::empty()),
+                );
             }
             println!(
                 "{:<10} {:>10} {:>11} {:>13}",
@@ -66,12 +77,17 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_governance");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     let schema = StateSchema::builder().var("x", 0.0, 10.0).build();
     let state = schema.state(&[5.0]).unwrap();
     let action = Action::adjust("patrol", Default::default());
-    let mut governor =
-        TripartiteGovernor::new(MetaPolicy::new().forbid_action("strike").max_delta_magnitude(2.0));
+    let mut governor = TripartiteGovernor::new(
+        MetaPolicy::new()
+            .forbid_action("strike")
+            .max_delta_magnitude(2.0),
+    );
     group.bench_function(BenchmarkId::new("decide", "tripartite"), |b| {
         b.iter(|| governor.decide("fleet", &state, &action, 0));
     });

@@ -9,8 +9,14 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::runner::{run_e6, E6Arm};
 
 fn print_table() {
-    banner("E6", "ill-defined spaces: utility from derivative signs (Section VII)");
-    println!("{:<20} {:>6} {:>18} {:>8}", "arm", "dims", "harm-probability", "steps");
+    banner(
+        "E6",
+        "ill-defined spaces: utility from derivative signs (Section VII)",
+    );
+    println!(
+        "{:<20} {:>6} {:>18} {:>8}",
+        "arm", "dims", "harm-probability", "steps"
+    );
     for &dims in &[2usize, 4, 6, 8] {
         for arm in E6Arm::all() {
             let r = run_e6(arm, dims, 40, 60, TABLE_SEED);
@@ -28,7 +34,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_utility");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for arm in E6Arm::all() {
         group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
             b.iter(|| run_e6(arm, 6, 40, 60, TABLE_SEED));

@@ -9,20 +9,29 @@ use apdm_sim::faults::Pathway;
 use apdm_sim::runner::run_e7;
 
 fn print_table() {
-    banner("E7", "malevolence pathways: time to first harm (Section IV)");
+    banner(
+        "E7",
+        "malevolence pathways: time to first harm (Section IV)",
+    );
     println!(
         "{:<26} {:>10} {:>15} {:>7}",
         "pathway", "guarded", "first-harm-tick", "harms"
     );
     for pathway in Pathway::all() {
         for guarded in [false, true] {
-            let ticks = if pathway == Pathway::Backdoor && guarded { 600 } else { 100 };
+            let ticks = if pathway == Pathway::Backdoor && guarded {
+                600
+            } else {
+                100
+            };
             let r = run_e7(pathway, guarded, 4, ticks, TABLE_SEED);
             println!(
                 "{:<26} {:>10} {:>15} {:>7}",
                 r.pathway,
                 r.guarded,
-                r.first_harm_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+                r.first_harm_tick
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "never".into()),
                 r.harms
             );
         }
@@ -35,8 +44,14 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_pathways");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for pathway in [Pathway::LearningMistake, Pathway::Backdoor, Pathway::MaliciousActor] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for pathway in [
+        Pathway::LearningMistake,
+        Pathway::Backdoor,
+        Pathway::MaliciousActor,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("unguarded", pathway.name()),
             &pathway,

@@ -8,7 +8,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::contagion::{run_contagion, run_contagion_on, ContagionArm, TopologyKind};
 
 fn print_table() {
-    banner("E8", "policy contagion: converting other devices (Section IV)");
+    banner(
+        "E8",
+        "policy contagion: converting other devices (Section IV)",
+    );
     println!(
         "{:<22} {:>9} {:>10} {:>16} {:>20}",
         "arm", "infected", "coverage", "infection-rate", "full-infection-tick"
@@ -34,7 +37,10 @@ fn print_table() {
     println!("defeats a 90% catch rate — while indicator sharing (blacklist after");
     println!("first detection) actually stops it");
 
-    banner("E8-b", "contagion vs connectivity: spread speed by topology");
+    banner(
+        "E8-b",
+        "contagion vs connectivity: spread speed by topology",
+    );
     println!(
         "{:<10} {:>9} {:>20}",
         "topology", "infected", "full-infection-tick"
@@ -58,7 +64,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_contagion");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for arm in [ContagionArm::OpenExchange, ContagionArm::HumanAckBlacklist] {
         group.bench_with_input(BenchmarkId::new("run", arm.name()), &arm, |b, &arm| {
             b.iter(|| run_contagion(arm, 16, 40, TABLE_SEED));

@@ -9,7 +9,10 @@ use apdm_bench::{banner, TABLE_SEED};
 use apdm_sim::scenario::{run_convoy_interception, run_repair_cycle, run_surveillance};
 
 fn print_table() {
-    banner("F1", "mode of operation: command fan-out over a coalition fleet");
+    banner(
+        "F1",
+        "mode of operation: command fan-out over a coalition fleet",
+    );
     println!(
         "{:<8} {:>8} {:>10} {:>10} {:>9} {:>10}",
         "drones", "devices", "policies", "sightings", "handled", "autonomy"
@@ -60,7 +63,10 @@ fn print_table() {
     println!("\"intercept the convoy along the path\" (predictive dispatch) is what");
     println!("makes the Section-II use case work at all");
 
-    banner("F1-c", "self-maintenance: repair via mechanic devices (Section II)");
+    banner(
+        "F1-c",
+        "self-maintenance: repair via mechanic devices (Section II)",
+    );
     println!(
         "{:<12} {:>8} {:>8} {:>14} {:>18}",
         "mechanics", "workers", "repairs", "availability", "operational-at-end"
@@ -85,7 +91,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_operation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[8usize, 32] {
         group.bench_with_input(BenchmarkId::new("surveillance", n), &n, |b, &n| {
             b.iter(|| run_surveillance(n, 300, TABLE_SEED));

@@ -33,7 +33,10 @@ fn device_with_rules(n_rules: usize) -> Device {
 }
 
 fn print_table() {
-    banner("F2", "device loop: decisions through the ECA engine by rule count");
+    banner(
+        "F2",
+        "device loop: decisions through the ECA engine by rule count",
+    );
     println!("{:<10} {:>14}", "rules", "decision made");
     for &n in &[1usize, 10, 100, 1000] {
         let mut d = device_with_rules(n);
@@ -45,7 +48,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f2_device_loop");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[1usize, 10, 100, 1000] {
         let mut device = device_with_rules(n);
         device.sense(&[(0, 90.0)]);

@@ -21,7 +21,10 @@ fn setup(n: usize) -> (Grid2, RegionClassifier) {
 }
 
 fn print_table() {
-    banner("F3", "simplified state description: partition and reachability");
+    banner(
+        "F3",
+        "simplified state description: partition and reachability",
+    );
     let (grid, classifier) = setup(16);
     let labels = grid.classify(&classifier);
     println!("{}", labels.render());
@@ -46,16 +49,22 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f3_statespace");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[32usize, 128] {
         let (grid, classifier) = setup(n);
         group.bench_with_input(BenchmarkId::new("classify_grid", n * n), &n, |b, _| {
             b.iter(|| grid.classify(&classifier));
         });
         let labels = grid.classify(&classifier);
-        group.bench_with_input(BenchmarkId::new("guarded_reachability", n * n), &n, |b, _| {
-            b.iter(|| guarded_reachable(&grid, &labels, &VonNeumannMoves, (n / 2, n / 2)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("guarded_reachability", n * n),
+            &n,
+            |b, _| {
+                b.iter(|| guarded_reachable(&grid, &labels, &VonNeumannMoves, (n / 2, n / 2)));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("safe_kernel", n * n), &n, |b, _| {
             b.iter(|| safe_kernel(&grid, &labels, &VonNeumannMoves));
         });

@@ -42,10 +42,20 @@ fn graph(n_kinds: usize) -> InteractionGraph {
 }
 
 fn print_table() {
-    banner("G1", "generative policies: grammar size and generation volume (Section IV)");
-    println!("{:<30} {:>12}", "grammar (events x thresholds)", "space size");
+    banner(
+        "G1",
+        "generative policies: grammar size and generation volume (Section IV)",
+    );
+    println!(
+        "{:<30} {:>12}",
+        "grammar (events x thresholds)", "space size"
+    );
     for &(e, t) in &[(2usize, 4usize), (8, 16), (32, 64)] {
-        println!("{:<30} {:>12}", format!("{e} x {t}"), grammar(e, t).space_size());
+        println!(
+            "{:<30} {:>12}",
+            format!("{e} x {t}"),
+            grammar(e, t).space_size()
+        );
     }
     println!();
     println!("{:<30} {:>12}", "graph kinds discovered", "rules generated");
@@ -76,7 +86,9 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("g1_genpolicy");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     for &(e, t) in &[(2usize, 4usize), (8, 16)] {
         let g = grammar(e, t);

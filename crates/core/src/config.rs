@@ -98,9 +98,13 @@ impl SafetyConfig {
                 risk_weights: None,
                 tamper: TamperStatus::Proof,
             }),
-            deactivation: Some(DeactivationConfig { strike_threshold: 2 }),
+            deactivation: Some(DeactivationConfig {
+                strike_threshold: 2,
+            }),
             formation: None,
-            governance: Some(GovernanceConfig { scope: MetaPolicy::new() }),
+            governance: Some(GovernanceConfig {
+                scope: MetaPolicy::new(),
+            }),
             exposure: Vec::new(),
         }
     }

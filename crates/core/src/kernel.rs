@@ -121,7 +121,9 @@ mod tests {
         let b = kernel.stack();
         // Tampering one stack must not affect the other.
         use apdm_guards::tamper::{TamperStatus, Tamperable};
-        a.preaction_mut().unwrap().set_tamper_status(TamperStatus::Compromised);
+        a.preaction_mut()
+            .unwrap()
+            .set_tamper_status(TamperStatus::Compromised);
         assert_eq!(b.preaction().unwrap().tamper_status(), TamperStatus::Proof);
     }
 
@@ -129,8 +131,12 @@ mod tests {
     fn exposure_budgets_ride_into_the_stack() {
         use apdm_statespace::ExposureMonitor;
         let kernel = SafetyKernel::new(
-            SafetyConfig::unguarded()
-                .with_exposure_budget(ExposureMonitor::new(VarId(0), 10.0, 6.0, 1.0)),
+            SafetyConfig::unguarded().with_exposure_budget(ExposureMonitor::new(
+                VarId(0),
+                10.0,
+                6.0,
+                1.0,
+            )),
         );
         let stack = kernel.stack();
         assert!(!stack.is_empty());

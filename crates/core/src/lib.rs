@@ -53,6 +53,9 @@ mod kernel;
 mod manager;
 pub mod prelude;
 
-pub use config::{DeactivationConfig, FormationConfig, GovernanceConfig, PreActionConfig, SafetyConfig, StateCheckConfig};
+pub use config::{
+    DeactivationConfig, FormationConfig, GovernanceConfig, PreActionConfig, SafetyConfig,
+    StateCheckConfig,
+};
 pub use kernel::SafetyKernel;
 pub use manager::{AutonomicManager, StepOutcome};

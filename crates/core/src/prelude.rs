@@ -5,7 +5,9 @@ pub use crate::{AutonomicManager, SafetyConfig, SafetyKernel, StepOutcome};
 
 pub use apdm_device::{Actuator, Device, DeviceId, DeviceKind, OrgId, Sensor};
 pub use apdm_governance::{Integrity, MetaPolicy, TripartiteGovernor};
-pub use apdm_guards::{GuardStack, GuardVerdict, HarmOracle, NoHarmOracle, PreActionCheck, StateSpaceGuard};
+pub use apdm_guards::{
+    GuardStack, GuardVerdict, HarmOracle, NoHarmOracle, PreActionCheck, StateSpaceGuard,
+};
 pub use apdm_policy::{Action, Condition, EcaRule, Event, PolicyEngine, PolicySet};
 pub use apdm_statespace::{
     Classifier, Label, Region, RegionClassifier, State, StateDelta, StateSchema, VarId,

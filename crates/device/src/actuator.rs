@@ -25,8 +25,16 @@ impl Actuator {
     ///
     /// Panics when `max_step` is negative or non-finite.
     pub fn new(name: impl Into<String>, target: VarId, max_step: f64) -> Self {
-        assert!(max_step.is_finite() && max_step >= 0.0, "max_step must be finite and >= 0");
-        Actuator { name: name.into(), target, max_step, physical: false }
+        assert!(
+            max_step.is_finite() && max_step >= 0.0,
+            "max_step must be finite and >= 0"
+        );
+        Actuator {
+            name: name.into(),
+            target,
+            max_step,
+            physical: false,
+        }
     }
 
     /// Mark the actuator as affecting the physical world (builder style).
@@ -72,13 +80,21 @@ impl Actuator {
             }
             clamped = clamped.and(var, allowed);
         }
-        Actuation { actuator: self.name.clone(), delta: clamped, limited: was_limited }
+        Actuation {
+            actuator: self.name.clone(),
+            delta: clamped,
+            limited: was_limited,
+        }
     }
 }
 
 impl fmt::Display for Actuator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "actuator {} -> {} (step <= {})", self.name, self.target, self.max_step)?;
+        write!(
+            f,
+            "actuator {} -> {} (step <= {})",
+            self.name, self.target, self.max_step
+        )?;
         if self.physical {
             write!(f, " [physical]")?;
         }

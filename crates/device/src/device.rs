@@ -1,13 +1,13 @@
 use std::fmt;
 
 use apdm_policy::{Action, Decision, EcaRule, Event, ObligationTracker, PolicyEngine};
-use apdm_statespace::{State, StateSchema};
+use apdm_statespace::{State, StateSchema, StateSpaceError};
 
+use crate::identity::OrgId;
 use crate::{
     Actuation, Actuator, Attributes, DeviceId, DeviceKind, DiagnosticCheck, Health, HealthMonitor,
     Sensor, SensorFault,
 };
-use crate::identity::OrgId;
 
 /// The abstract device of the paper's Figure 2: sensors + actuators + logic
 /// + state, with identity and health.
@@ -82,6 +82,15 @@ impl Device {
     /// The current state.
     pub fn state(&self) -> &State {
         &self.state
+    }
+
+    /// Overwrite the state vector wholesale (checkpoint restore for the
+    /// `apdm-ledger` flight recorder). Values must match the schema's arity
+    /// and bounds — which a previously captured `state().values()` always
+    /// satisfies.
+    pub fn restore_state(&mut self, values: &[f64]) -> Result<(), StateSpaceError> {
+        self.state = self.schema.state(values)?;
+        Ok(())
     }
 
     /// The device's logic.
@@ -207,7 +216,11 @@ impl Device {
 
 impl fmt::Display for Device {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {}) [{}]", self.id, self.kind, self.org, self.health)
+        write!(
+            f,
+            "{} ({}, {}) [{}]",
+            self.id, self.kind, self.org, self.health
+        )
     }
 }
 
@@ -307,7 +320,10 @@ mod tests {
     use apdm_statespace::{StateDelta, VarId};
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("alt", 0.0, 100.0).var("batt", 0.0, 1.0).build()
+        StateSchema::builder()
+            .var("alt", 0.0, 100.0)
+            .var("batt", 0.0, 1.0)
+            .build()
     }
 
     fn drone() -> Device {

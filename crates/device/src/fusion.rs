@@ -72,8 +72,15 @@ impl TrustFusion {
     ///
     /// Panics when `scale` is not finite and positive.
     pub fn new(scale: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
-        TrustFusion { scale, max_iterations: 50, tolerance: 1e-9 }
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
+        TrustFusion {
+            scale,
+            max_iterations: 50,
+            tolerance: 1e-9,
+        }
     }
 
     /// The agreement scale.
@@ -118,11 +125,19 @@ impl TrustFusion {
             estimate = next;
         }
         // Normalize weights to [0, 1] relative to the most-trusted reading.
-        let max_w = weights.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+        let max_w = weights
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+            .max(f64::MIN_POSITIVE);
         for w in &mut weights {
             *w /= max_w;
         }
-        Some(FusedReading { value: estimate, weights, iterations })
+        Some(FusedReading {
+            value: estimate,
+            weights,
+            iterations,
+        })
     }
 }
 
@@ -195,9 +210,11 @@ mod tests {
         // End-to-end with the sensor fault model: three redundant sensors,
         // one stuck high by an attacker.
         let truth = 20.0;
-        let mut sensors = [Sensor::new("a", VarId(0)),
+        let mut sensors = [
+            Sensor::new("a", VarId(0)),
             Sensor::new("b", VarId(0)),
-            Sensor::new("c", VarId(0))];
+            Sensor::new("c", VarId(0)),
+        ];
         sensors[2].inject_fault(SensorFault::StuckAt(99.0));
         let readings: Vec<f64> = sensors.iter().map(|s| s.observe(truth)).collect();
         let fused = TrustFusion::new(1.0).fuse(&readings).unwrap();
@@ -217,7 +234,11 @@ mod tests {
     fn converges_quickly() {
         let fusion = TrustFusion::new(1.0);
         let fused = fusion.fuse(&[1.0, 1.1, 0.9, 50.0]).unwrap();
-        assert!(fused.iterations < 30, "took {} iterations", fused.iterations);
+        assert!(
+            fused.iterations < 30,
+            "took {} iterations",
+            fused.iterations
+        );
     }
 
     #[test]

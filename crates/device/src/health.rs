@@ -42,7 +42,10 @@ pub struct DiagnosticCheck {
 impl DiagnosticCheck {
     /// A diagnostic requiring `must_hold` to be true of the device state.
     pub fn new(name: impl Into<String>, must_hold: Condition) -> Self {
-        DiagnosticCheck { name: name.into(), must_hold }
+        DiagnosticCheck {
+            name: name.into(),
+            must_hold,
+        }
     }
 
     /// The diagnostic's name.
@@ -53,7 +56,8 @@ impl DiagnosticCheck {
     /// Does the diagnostic pass in `state`?
     pub fn passes(&self, state: &State) -> bool {
         // Diagnostics are state-only; evaluate with a neutral probe event.
-        self.must_hold.eval(&Event::named("diagnostic-probe"), state)
+        self.must_hold
+            .eval(&Event::named("diagnostic-probe"), state)
     }
 }
 
@@ -123,7 +127,10 @@ mod tests {
     use apdm_statespace::{StateSchema, VarId};
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("batt", 0.0, 1.0).var("temp", 0.0, 100.0).build()
+        StateSchema::builder()
+            .var("batt", 0.0, 1.0)
+            .var("temp", 0.0, 100.0)
+            .build()
     }
 
     fn monitor() -> HealthMonitor {

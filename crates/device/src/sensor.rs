@@ -9,8 +9,7 @@ use apdm_statespace::VarId;
 /// typically acquire information by using sensors ... from deception
 /// attacks"; modelling the attack side lets experiments measure what happens
 /// when that protection is absent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SensorFault {
     /// The sensor reports truthfully.
     #[default]
@@ -23,7 +22,6 @@ pub enum SensorFault {
     /// Readings are scaled (gain attack: makes threats look smaller/larger).
     Gain(f64),
 }
-
 
 /// A sensor: observes one physical quantity and writes it into one state
 /// variable, possibly corrupted by a [`SensorFault`].
@@ -48,7 +46,11 @@ pub struct Sensor {
 impl Sensor {
     /// A healthy sensor feeding `target`.
     pub fn new(name: impl Into<String>, target: VarId) -> Self {
-        Sensor { name: name.into(), target, fault: SensorFault::None }
+        Sensor {
+            name: name.into(),
+            target,
+            fault: SensorFault::None,
+        }
     }
 
     /// The sensor's name.

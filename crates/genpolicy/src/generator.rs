@@ -95,7 +95,12 @@ impl PolicyGenerator {
     /// React to discovering a peer: match it against the interaction graph,
     /// instantiate the template of every relevant interaction, record and
     /// return the (deduplicated) new rules.
-    pub fn on_discovery(&mut self, peer_kind: &str, peer_org: &str, attrs: &Attributes) -> Vec<EcaRule> {
+    pub fn on_discovery(
+        &mut self,
+        peer_kind: &str,
+        peer_org: &str,
+        attrs: &Attributes,
+    ) -> Vec<EcaRule> {
         let Some(spec) = self.graph.recognize(peer_kind, attrs) else {
             if !self.unexpected_peers.iter().any(|k| k == peer_kind) {
                 self.unexpected_peers.push(peer_kind.to_string());
@@ -111,7 +116,9 @@ impl PolicyGenerator {
             .map(|e| (e.interaction.clone(), e.from.clone()))
             .collect();
         for (interaction, _from) in interactions {
-            let Some(template) = self.templates.get(&interaction) else { continue };
+            let Some(template) = self.templates.get(&interaction) else {
+                continue;
+            };
             let ctx = TemplateContext::new(
                 self.observer_kind.clone(),
                 spec_kind.clone(),
@@ -133,7 +140,9 @@ impl PolicyGenerator {
     /// by the human manager on their own" — the step that widens behaviour
     /// beyond human anticipation.
     pub fn explore(&mut self, n: usize, seed: u64) -> Vec<EcaRule> {
-        let Some(grammar) = &self.grammar else { return Vec::new() };
+        let Some(grammar) = &self.grammar else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for rule in grammar.sample(n, seed) {
             if !self.generated.rules().iter().any(|r| r.equivalent(&rule)) {

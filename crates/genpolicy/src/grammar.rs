@@ -50,7 +50,9 @@ impl ConditionForm {
                 op: Cmp::Le,
                 value: ts[i],
             },
-            ConditionForm::EventEquals(key, vs) => Condition::event_text(key.clone(), vs[i].clone()),
+            ConditionForm::EventEquals(key, vs) => {
+                Condition::event_text(key.clone(), vs[i].clone())
+            }
         }
     }
 }
@@ -84,7 +86,12 @@ impl ActionForm {
 
     fn expand(&self, i: usize) -> Action {
         match self {
-            ActionForm::Invoke { actuator, var, steps, physical } => {
+            ActionForm::Invoke {
+                actuator,
+                var,
+                steps,
+                physical,
+            } => {
                 let a = Action::adjust(actuator.clone(), StateDelta::single(*var, steps[i]));
                 if *physical {
                     a.physical()
@@ -195,7 +202,9 @@ impl PolicyGrammar {
 
     /// Every rule in the grammar's space, in enumeration order.
     pub fn enumerate(&self) -> Vec<EcaRule> {
-        (0..self.space_size()).filter_map(|i| self.derive(i)).collect()
+        (0..self.space_size())
+            .filter_map(|i| self.derive(i))
+            .collect()
     }
 
     /// Sample `n` rules (with replacement) with a seeded RNG — how a device
@@ -271,8 +280,16 @@ mod tests {
     #[test]
     fn sample_is_seed_deterministic() {
         let g = grammar();
-        let a: Vec<String> = g.sample(10, 42).iter().map(|r| r.name().to_string()).collect();
-        let b: Vec<String> = g.sample(10, 42).iter().map(|r| r.name().to_string()).collect();
+        let a: Vec<String> = g
+            .sample(10, 42)
+            .iter()
+            .map(|r| r.name().to_string())
+            .collect();
+        let b: Vec<String> = g
+            .sample(10, 42)
+            .iter()
+            .map(|r| r.name().to_string())
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -305,7 +322,9 @@ mod tests {
         assert_eq!(g.space_size(), 2);
         let rules = g.enumerate();
         let ev = Event::named("sighting").with_text("object", "convoy");
-        let schema = apdm_statespace::StateSchema::builder().var("x", 0.0, 1.0).build();
+        let schema = apdm_statespace::StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .build();
         let st = schema.state(&[0.0]).unwrap();
         assert!(rules[0].condition().eval(&ev, &st));
         assert!(!rules[1].condition().eval(&ev, &st));

@@ -17,7 +17,10 @@ pub struct KindSpec {
 impl KindSpec {
     /// A kind with no attribute requirements.
     pub fn new(kind: impl Into<String>) -> Self {
-        KindSpec { kind: kind.into(), required: Vec::new() }
+        KindSpec {
+            kind: kind.into(),
+            required: Vec::new(),
+        }
     }
 
     /// Require an attribute (builder style).
@@ -119,7 +122,11 @@ impl InteractionGraph {
         let (from, to) = (from.into(), to.into());
         assert!(self.has_kind(&from), "unknown kind `{from}`");
         assert!(self.has_kind(&to), "unknown kind `{to}`");
-        self.edges.push(InteractionEdge { from, to, interaction: interaction.into() });
+        self.edges.push(InteractionEdge {
+            from,
+            to,
+            interaction: interaction.into(),
+        });
     }
 
     /// Is a kind declared?

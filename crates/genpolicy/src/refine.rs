@@ -59,8 +59,16 @@ impl ThresholdRefiner {
     ///
     /// Panics when `step` is not finite and positive.
     pub fn new(rule: EcaRule, step: f64) -> Self {
-        assert!(step.is_finite() && step > 0.0, "step must be finite and positive");
-        ThresholdRefiner { rule, step, decay: 0.9, adjustments: 0 }
+        assert!(
+            step.is_finite() && step > 0.0,
+            "step must be finite and positive"
+        );
+        ThresholdRefiner {
+            rule,
+            step,
+            decay: 0.9,
+            adjustments: 0,
+        }
     }
 
     /// The current (refined) rule.
@@ -87,9 +95,7 @@ impl ThresholdRefiner {
                     }
                 }
                 Condition::Not(inner) => walk(inner, seen, n),
-                Condition::All(cs) | Condition::Any(cs) => {
-                    cs.iter().find_map(|c| walk(c, seen, n))
-                }
+                Condition::All(cs) | Condition::Any(cs) => cs.iter().find_map(|c| walk(c, seen, n)),
                 _ => None,
             }
         }
@@ -262,7 +268,10 @@ mod tests {
         clean.feedback(Outcome::FalsePositive);
         poisoned.feedback_poisoned(Outcome::FalsePositive);
         assert!(clean.threshold(0).unwrap() > 50.0);
-        assert!(poisoned.threshold(0).unwrap() < 50.0, "poison inverts learning");
+        assert!(
+            poisoned.threshold(0).unwrap() < 50.0,
+            "poison inverts learning"
+        );
     }
 
     #[test]

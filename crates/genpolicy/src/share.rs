@@ -188,7 +188,9 @@ impl PolicyExchange {
             Some(ExchangeDecision::Accepted { added })
         } else {
             self.offers_rejected += 1;
-            Some(ExchangeDecision::Rejected { reason: "denied by human".to_string() })
+            Some(ExchangeDecision::Rejected {
+                reason: "denied by human".to_string(),
+            })
         }
     }
 }
@@ -205,7 +207,12 @@ mod tests {
         } else {
             Action::noop()
         };
-        s.push(EcaRule::new("r", Event::pattern("e"), Condition::True, action));
+        s.push(EcaRule::new(
+            "r",
+            Event::pattern("e"),
+            Condition::True,
+            action,
+        ));
         s
     }
 
@@ -220,7 +227,10 @@ mod tests {
         assert_eq!(d, ExchangeDecision::Accepted { added: 1 });
         assert_eq!(ex.local().len(), 1);
         // Re-offering the same set adds nothing.
-        assert_eq!(ex.offer("uk", &offer_set(false)), ExchangeDecision::Accepted { added: 0 });
+        assert_eq!(
+            ex.offer("uk", &offer_set(false)),
+            ExchangeDecision::Accepted { added: 0 }
+        );
     }
 
     #[test]
@@ -234,9 +244,7 @@ mod tests {
 
     #[test]
     fn blocks_foreign_physical_rules() {
-        let mut ex = exchange(
-            ExchangeRule::accept_from(["us", "uk"]).blocking_foreign_physical(),
-        );
+        let mut ex = exchange(ExchangeRule::accept_from(["us", "uk"]).blocking_foreign_physical());
         assert!(!ex.offer("uk", &offer_set(true)).is_accepted());
         // Own-org physical rules pass.
         assert!(ex.offer("us", &offer_set(true)).is_accepted());
@@ -247,7 +255,10 @@ mod tests {
     #[test]
     fn human_ack_gates_installation() {
         let mut ex = exchange(ExchangeRule::accept_from(["uk"]).with_human_ack());
-        assert_eq!(ex.offer("uk", &offer_set(false)), ExchangeDecision::PendingHumanAck);
+        assert_eq!(
+            ex.offer("uk", &offer_set(false)),
+            ExchangeDecision::PendingHumanAck
+        );
         assert_eq!(ex.local().len(), 0);
         assert_eq!(ex.pending().len(), 1);
         let d = ex.resolve_pending(0, true).unwrap();

@@ -143,7 +143,8 @@ impl PolicyTemplate {
                 override_nth_state_cmp(&mut condition, *atom_index, *value);
             }
         }
-        let mut action = Action::adjust(ctx.substitute(&self.action_name), self.action_delta.clone());
+        let mut action =
+            Action::adjust(ctx.substitute(&self.action_name), self.action_delta.clone());
         if self.action_physical {
             action = action.physical();
         }
@@ -204,8 +205,8 @@ mod tests {
 
     #[test]
     fn threshold_params_override_condition_atoms() {
-        let cond = Condition::state_at_least(VarId(0), 0.5)
-            .and(Condition::state_at_most(VarId(1), 0.9));
+        let cond =
+            Condition::state_at_least(VarId(0), 0.5).and(Condition::state_at_most(VarId(1), 0.9));
         let t = PolicyTemplate::new("r", "e", cond, Action::noop())
             .with_threshold_param("min_level", 0)
             .with_threshold_param("max_level", 1);
@@ -213,11 +214,20 @@ mod tests {
             .with_param("min_level", 0.7)
             .with_param("max_level", 0.8);
         let rule = t.instantiate(&ctx);
-        let schema = StateSchema::builder().var("x", 0.0, 1.0).var("y", 0.0, 1.0).build();
+        let schema = StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .var("y", 0.0, 1.0)
+            .build();
         let ev = Event::named("e");
-        assert!(rule.condition().eval(&ev, &schema.state(&[0.75, 0.5]).unwrap()));
-        assert!(!rule.condition().eval(&ev, &schema.state(&[0.6, 0.5]).unwrap()));
-        assert!(!rule.condition().eval(&ev, &schema.state(&[0.75, 0.85]).unwrap()));
+        assert!(rule
+            .condition()
+            .eval(&ev, &schema.state(&[0.75, 0.5]).unwrap()));
+        assert!(!rule
+            .condition()
+            .eval(&ev, &schema.state(&[0.6, 0.5]).unwrap()));
+        assert!(!rule
+            .condition()
+            .eval(&ev, &schema.state(&[0.75, 0.85]).unwrap()));
     }
 
     #[test]

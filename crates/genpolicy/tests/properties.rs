@@ -4,17 +4,17 @@ use proptest::prelude::*;
 
 use apdm_device::Attributes;
 use apdm_genpolicy::{
-    ActionForm, ConditionForm, InteractionGraph, KindSpec, Outcome, PolicyGenerator,
-    PolicyGrammar, PolicyTemplate, ThresholdRefiner,
+    ActionForm, ConditionForm, InteractionGraph, KindSpec, Outcome, PolicyGenerator, PolicyGrammar,
+    PolicyTemplate, ThresholdRefiner,
 };
 use apdm_policy::{Action, Condition, EcaRule, Event};
 use apdm_statespace::VarId;
 
 fn arb_grammar() -> impl Strategy<Value = PolicyGrammar> {
     (
-        1usize..4,                                      // events
-        proptest::collection::vec(0.0..10.0f64, 1..5),  // thresholds
-        1usize..3,                                      // signals
+        1usize..4,                                     // events
+        proptest::collection::vec(0.0..10.0f64, 1..5), // thresholds
+        1usize..3,                                     // signals
     )
         .prop_map(|(n_events, thresholds, n_signals)| {
             let mut g = PolicyGrammar::new();

@@ -64,7 +64,12 @@ pub struct Collective {
 impl Collective {
     /// An honest collective with its own meta-policy copy.
     pub fn new(name: impl Into<String>, policy: MetaPolicy) -> Self {
-        Collective { name: name.into(), policy, integrity: Integrity::Honest, judgments: 0 }
+        Collective {
+            name: name.into(),
+            policy,
+            integrity: Integrity::Honest,
+            judgments: 0,
+        }
     }
 
     /// The collective's name.
@@ -115,7 +120,11 @@ mod tests {
     use apdm_statespace::StateSchema;
 
     fn state() -> State {
-        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.5]).unwrap()
+        StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .build()
+            .state(&[0.5])
+            .unwrap()
     }
 
     fn strike() -> Action {

@@ -61,14 +61,16 @@ impl CouncilGovernor {
     /// Panics when `n` is zero or `threshold` is not in `1..=n`.
     pub fn new(scope: MetaPolicy, n: usize, threshold: usize) -> Self {
         assert!(n > 0, "a council needs at least one collective");
-        assert!(
-            (1..=n).contains(&threshold),
-            "threshold must be in 1..=n"
-        );
+        assert!((1..=n).contains(&threshold), "threshold must be in 1..=n");
         let collectives = (0..n)
             .map(|i| Collective::new(format!("collective-{i}"), scope.clone()))
             .collect();
-        CouncilGovernor { collectives, threshold, ground_truth: scope, stats: GovernanceStats::default() }
+        CouncilGovernor {
+            collectives,
+            threshold,
+            ground_truth: scope,
+            stats: GovernanceStats::default(),
+        }
     }
 
     /// Council size.
@@ -126,7 +128,11 @@ impl CouncilGovernor {
             (true, false) => self.stats.false_blocks += 1,
             (true, true) => {}
         }
-        CouncilDecision { approved, ayes, size: self.collectives.len() }
+        CouncilDecision {
+            approved,
+            ayes,
+            size: self.collectives.len(),
+        }
     }
 }
 
@@ -147,7 +153,11 @@ mod tests {
     use apdm_statespace::StateSchema;
 
     fn state() -> State {
-        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.5]).unwrap()
+        StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .build()
+            .state(&[0.5])
+            .unwrap()
     }
 
     fn strike() -> Action {

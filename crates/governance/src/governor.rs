@@ -160,16 +160,16 @@ impl TripartiteGovernor {
                 format!("governance blocked `{}`", action.name()),
             );
         }
-        GovernanceDecision { approved, votes: (exec, legis, judi), disputed }
+        GovernanceDecision {
+            approved,
+            votes: (exec, legis, judi),
+            disputed,
+        }
     }
 
     /// Govern with the executive alone — the no-oversight baseline arm of
     /// experiment E5.
-    pub fn decide_executive_only(
-        &mut self,
-        state: &State,
-        action: &Action,
-    ) -> GovernanceDecision {
+    pub fn decide_executive_only(&mut self, state: &State, action: &Action) -> GovernanceDecision {
         let exec = self.executive.judge(state, action);
         let truly_in_scope = self.ground_truth.within_scope(state, action);
         self.stats.decisions += 1;
@@ -179,7 +179,11 @@ impl TripartiteGovernor {
             (true, false) => self.stats.false_blocks += 1,
             (true, true) => {}
         }
-        GovernanceDecision { approved: exec, votes: (exec, exec, exec), disputed: false }
+        GovernanceDecision {
+            approved: exec,
+            votes: (exec, exec, exec),
+            disputed: false,
+        }
     }
 }
 
@@ -201,7 +205,11 @@ mod tests {
     use apdm_statespace::StateSchema;
 
     fn state() -> State {
-        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.5]).unwrap()
+        StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .build()
+            .state(&[0.5])
+            .unwrap()
     }
 
     fn strike() -> Action {

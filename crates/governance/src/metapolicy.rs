@@ -120,7 +120,11 @@ impl MetaPolicy {
             }
         }
         let destination = state.apply(action.delta());
-        if self.forbidden_regions.iter().any(|r| r.contains(&destination)) {
+        if self
+            .forbidden_regions
+            .iter()
+            .any(|r| r.contains(&destination))
+        {
             return Err(ScopeViolation::ForbiddenDestination);
         }
         Ok(())
@@ -179,7 +183,10 @@ mod tests {
         let m = MetaPolicy::new().forbid_region(Region::rect(&[(8.0, 10.0)]));
         let into = Action::adjust("east", StateDelta::single(VarId(0), 4.0));
         let within = Action::adjust("east", StateDelta::single(VarId(0), 1.0));
-        assert_eq!(m.check(&state(), &into), Err(ScopeViolation::ForbiddenDestination));
+        assert_eq!(
+            m.check(&state(), &into),
+            Err(ScopeViolation::ForbiddenDestination)
+        );
         assert!(m.check(&state(), &within).is_ok());
     }
 
@@ -188,13 +195,20 @@ mod tests {
         let m = MetaPolicy::new().no_physical();
         let dig = Action::adjust("dig", StateDelta::empty()).physical();
         let think = Action::adjust("plan", StateDelta::empty());
-        assert_eq!(m.check(&state(), &dig), Err(ScopeViolation::PhysicalNotAllowed));
+        assert_eq!(
+            m.check(&state(), &dig),
+            Err(ScopeViolation::PhysicalNotAllowed)
+        );
         assert!(m.check(&state(), &think).is_ok());
     }
 
     #[test]
     fn violations_display() {
-        assert!(ScopeViolation::ForbiddenDestination.to_string().contains("out of scope"));
-        assert!(ScopeViolation::ForbiddenAction("x".into()).to_string().contains("`x`"));
+        assert!(ScopeViolation::ForbiddenDestination
+            .to_string()
+            .contains("out of scope"));
+        assert!(ScopeViolation::ForbiddenAction("x".into())
+            .to_string()
+            .contains("`x`"));
     }
 }

@@ -76,7 +76,12 @@ impl DeactivationController {
 
     /// Report a device's current state; returns an order when the strike
     /// threshold is reached (once per device).
-    pub fn observe(&mut self, subject: &str, state: &State, tick: u64) -> Option<DeactivationOrder> {
+    pub fn observe(
+        &mut self,
+        subject: &str,
+        state: &State,
+        tick: u64,
+    ) -> Option<DeactivationOrder> {
         if !self.tamper.is_effective() {
             return None;
         }
@@ -93,8 +98,13 @@ impl DeactivationController {
         }
         self.deactivated.push(subject.to_string());
         let reason = format!("observed in a bad state {} times", self.threshold);
-        self.audit.record(tick, subject, AuditKind::Deactivation, reason.clone());
-        Some(DeactivationOrder { subject: subject.to_string(), reason, tick })
+        self.audit
+            .record(tick, subject, AuditKind::Deactivation, reason.clone());
+        Some(DeactivationOrder {
+            subject: subject.to_string(),
+            reason,
+            tick,
+        })
     }
 
     /// Devices this controller has ordered deactivated.
@@ -166,7 +176,10 @@ impl QuorumKillSwitch {
     ///
     /// Panics when `quorum` is zero or exceeds `n_watchers`.
     pub fn new(n_watchers: usize, quorum: usize) -> Self {
-        assert!(quorum > 0 && quorum <= n_watchers, "quorum must be in 1..=n_watchers");
+        assert!(
+            quorum > 0 && quorum <= n_watchers,
+            "quorum must be in 1..=n_watchers"
+        );
         QuorumKillSwitch {
             n_watchers,
             quorum,
@@ -204,8 +217,13 @@ impl QuorumKillSwitch {
         if votes.len() >= self.quorum {
             self.killed.push(subject.to_string());
             let reason = format!("{}-of-{} watcher quorum", self.quorum, self.n_watchers);
-            self.audit.record(tick, subject, AuditKind::Deactivation, reason.clone());
-            return Some(DeactivationOrder { subject: subject.to_string(), reason, tick });
+            self.audit
+                .record(tick, subject, AuditKind::Deactivation, reason.clone());
+            return Some(DeactivationOrder {
+                subject: subject.to_string(),
+                reason,
+                tick,
+            });
         }
         None
     }
@@ -323,7 +341,10 @@ mod tests {
         q.vote(0, "d", false, 2);
         assert_eq!(q.votes_for("d"), 0);
         q.vote(1, "d", true, 3);
-        assert!(q.vote(1, "d", true, 3).is_none(), "duplicate votes don't stack");
+        assert!(
+            q.vote(1, "d", true, 3).is_none(),
+            "duplicate votes don't stack"
+        );
         assert_eq!(q.votes_for("d"), 1);
     }
 

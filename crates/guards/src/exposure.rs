@@ -56,7 +56,12 @@ pub struct ExposureGuard {
 impl ExposureGuard {
     /// A guard over the given monitors.
     pub fn new(monitors: Vec<ExposureMonitor>) -> Self {
-        ExposureGuard { monitors, tamper: TamperStatus::Proof, checks: 0, denials: 0 }
+        ExposureGuard {
+            monitors,
+            tamper: TamperStatus::Proof,
+            checks: 0,
+            denials: 0,
+        }
     }
 
     /// Set the tamper status (builder style).
@@ -143,7 +148,12 @@ mod tests {
     }
 
     fn guard(budget: f64) -> ExposureGuard {
-        ExposureGuard::new(vec![ExposureMonitor::new(VarId(0), budget, budget * 0.6, 1.0)])
+        ExposureGuard::new(vec![ExposureMonitor::new(
+            VarId(0),
+            budget,
+            budget * 0.6,
+            1.0,
+        )])
     }
 
     fn loiter() -> Action {

@@ -85,7 +85,13 @@ pub struct FormationGuard {
 impl FormationGuard {
     /// A formation guard over an aggregate spec with a perfect human.
     pub fn new(spec: AggregateSpec) -> Self {
-        FormationGuard { spec, human_error_rate: 0.0, audit: AuditLog::new(), admitted: 0, refused: 0 }
+        FormationGuard {
+            spec,
+            human_error_rate: 0.0,
+            audit: AuditLog::new(),
+            admitted: 0,
+            refused: 0,
+        }
     }
 
     /// Model a fallible human who flips the analysis's recommendation with
@@ -122,8 +128,8 @@ impl FormationGuard {
     ) -> AdmissionDecision {
         let predicted = self.spec.aggregate(members) + self.spec.contribution(candidate);
         let analysis_says_safe = predicted <= self.spec.limit;
-        let human_flips = self.human_error_rate > 0.0
-            && rng.random_range(0.0..1.0) < self.human_error_rate;
+        let human_flips =
+            self.human_error_rate > 0.0 && rng.random_range(0.0..1.0) < self.human_error_rate;
         let admitted = analysis_says_safe != human_flips;
         if admitted {
             self.admitted += 1;
@@ -134,7 +140,11 @@ impl FormationGuard {
                 format!(
                     "formation check admitted (aggregate {predicted:.2} vs limit {:.2}{})",
                     self.spec.limit,
-                    if human_flips { "; HUMAN OVERRODE ANALYSIS" } else { "" }
+                    if human_flips {
+                        "; HUMAN OVERRODE ANALYSIS"
+                    } else {
+                        ""
+                    }
                 ),
             );
             AdmissionDecision::Admitted
@@ -147,10 +157,17 @@ impl FormationGuard {
                 format!(
                     "formation check refused (aggregate {predicted:.2} vs limit {:.2}{})",
                     self.spec.limit,
-                    if human_flips { "; HUMAN OVERRODE ANALYSIS" } else { "" }
+                    if human_flips {
+                        "; HUMAN OVERRODE ANALYSIS"
+                    } else {
+                        ""
+                    }
                 ),
             );
-            AdmissionDecision::Refused { predicted_aggregate: predicted, limit: self.spec.limit }
+            AdmissionDecision::Refused {
+                predicted_aggregate: predicted,
+                limit: self.spec.limit,
+            }
         }
     }
 }
@@ -203,7 +220,10 @@ impl CollaborativeAssessment {
             .iter()
             .map(|(s, a)| self.spec.contribution(&s.apply(a.delta())))
             .collect();
-        let pre: Vec<f64> = proposals.iter().map(|(s, _)| self.spec.contribution(s)).collect();
+        let pre: Vec<f64> = proposals
+            .iter()
+            .map(|(s, _)| self.spec.contribution(s))
+            .collect();
         let mut total: f64 = post.iter().sum();
         if total <= self.spec.limit {
             return Vec::new();
@@ -290,7 +310,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let d = g.admit("new", &[st(5.0), st(4.0)], &st(3.0), 1, &mut rng);
         match d {
-            AdmissionDecision::Refused { predicted_aggregate, limit } => {
+            AdmissionDecision::Refused {
+                predicted_aggregate,
+                limit,
+            } => {
                 assert_eq!(predicted_aggregate, 12.0);
                 assert_eq!(limit, 10.0);
             }
@@ -302,13 +325,19 @@ mod tests {
     #[test]
     fn fallible_human_sometimes_overrides() {
         // With error rate 1.0 the human always inverts the analysis.
-        let mut g = FormationGuard::new(AggregateSpec::sum_of(VarId(0), 10.0))
-            .with_human_error_rate(1.0);
+        let mut g =
+            FormationGuard::new(AggregateSpec::sum_of(VarId(0), 10.0)).with_human_error_rate(1.0);
         let mut rng = StdRng::seed_from_u64(0);
         let unsafe_admit = g.admit("new", &[st(9.0)], &st(9.0), 1, &mut rng);
-        assert!(unsafe_admit.is_admitted(), "erring human admits the unsafe device");
+        assert!(
+            unsafe_admit.is_admitted(),
+            "erring human admits the unsafe device"
+        );
         let safe_refuse = g.admit("new2", &[], &st(1.0), 2, &mut rng);
-        assert!(!safe_refuse.is_admitted(), "erring human refuses the safe device");
+        assert!(
+            !safe_refuse.is_admitted(),
+            "erring human refuses the safe device"
+        );
     }
 
     #[test]
@@ -316,8 +345,7 @@ mod tests {
         let spec = AggregateSpec::sum_of(VarId(0), 10.0);
         let assess = CollaborativeAssessment::new(spec);
         // Three members at 3.0 each planning +1.0: predicted 12 > 10.
-        let proposals: Vec<(State, Action)> =
-            (0..3).map(|_| (st(3.0), heat_up(1.0))).collect();
+        let proposals: Vec<(State, Action)> = (0..3).map(|_| (st(3.0), heat_up(1.0))).collect();
         assert!(!assess.is_safe(&proposals));
         let abstain = assess.must_abstain(&proposals);
         assert_eq!(abstain.len(), 2, "dropping two +1 increases reaches 10.0");

@@ -150,7 +150,10 @@ impl PreActionCheck {
         if oracle.direct_harm(state, action) {
             self.denials += 1;
             return GuardVerdict::Deny {
-                reason: format!("pre-action check: `{}` would directly harm a human", action.name()),
+                reason: format!(
+                    "pre-action check: `{}` would directly harm a human",
+                    action.name()
+                ),
             };
         }
         if self.lookahead > 0 && oracle.indirect_harm(state, action, self.lookahead) {
@@ -165,8 +168,11 @@ impl PreActionCheck {
         }
         if let Some(catalog) = &self.obligations {
             if oracle.creates_hazard(state, action) {
-                let obligations: Vec<_> =
-                    catalog.relevant(action.name()).into_iter().cloned().collect();
+                let obligations: Vec<_> = catalog
+                    .relevant(action.name())
+                    .into_iter()
+                    .cloned()
+                    .collect();
                 if !obligations.is_empty() {
                     return GuardVerdict::AllowWithObligations(obligations);
                 }
@@ -229,7 +235,11 @@ mod tests {
     }
 
     fn state() -> State {
-        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.0]).unwrap()
+        StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .build()
+            .state(&[0.0])
+            .unwrap()
     }
 
     fn dig() -> Action {
@@ -239,7 +249,11 @@ mod tests {
     #[test]
     fn direct_harm_is_always_denied() {
         let mut g = PreActionCheck::new();
-        let v = g.check(&state(), &Action::adjust("run-over-human", Default::default()), &HoleOracle { arrives_in: 5 });
+        let v = g.check(
+            &state(),
+            &Action::adjust("run-over-human", Default::default()),
+            &HoleOracle { arrives_in: 5 },
+        );
         assert!(!v.permits_execution());
         assert_eq!(g.stats(), (1, 1));
     }
@@ -264,7 +278,11 @@ mod tests {
     fn short_lookahead_misses_late_arrivals() {
         let mut g = PreActionCheck::new().with_lookahead(3);
         let v = g.check(&state(), &dig(), &HoleOracle { arrives_in: 5 });
-        assert_eq!(v, GuardVerdict::Allow, "the human arrives beyond the horizon");
+        assert_eq!(
+            v,
+            GuardVerdict::Allow,
+            "the human arrives beyond the horizon"
+        );
     }
 
     #[test]
@@ -291,7 +309,11 @@ mod tests {
     #[test]
     fn compromised_guard_waves_harm_through() {
         let mut g = PreActionCheck::new().with_tamper(TamperStatus::Compromised);
-        let v = g.check(&state(), &Action::adjust("run-over-human", Default::default()), &HoleOracle { arrives_in: 5 });
+        let v = g.check(
+            &state(),
+            &Action::adjust("run-over-human", Default::default()),
+            &HoleOracle { arrives_in: 5 },
+        );
         assert_eq!(v, GuardVerdict::Allow);
         assert_eq!(g.stats(), (1, 0));
     }

@@ -113,7 +113,8 @@ impl GuardStack {
         if let Some(pre) = &mut self.preaction {
             match pre.check(ctx.state, proposed, oracle) {
                 GuardVerdict::Deny { reason } => {
-                    self.audit.record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
+                    self.audit
+                        .record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
                     return GuardVerdict::Deny { reason };
                 }
                 GuardVerdict::AllowWithObligations(obs) => obligations = obs,
@@ -136,14 +137,16 @@ impl GuardStack {
                 }
             }
             GuardVerdict::Deny { reason } => {
-                self.audit.record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
+                self.audit
+                    .record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
                 GuardVerdict::Deny { reason }
             }
             GuardVerdict::Replace { action, reason } => {
                 // Re-screen the substitute through the harm check.
                 if let Some(pre) = &mut self.preaction {
-                    if let GuardVerdict::Deny { reason: harm_reason } =
-                        pre.check(ctx.state, &action, oracle)
+                    if let GuardVerdict::Deny {
+                        reason: harm_reason,
+                    } = pre.check(ctx.state, &action, oracle)
                     {
                         let combined = format!("{reason}; substitute rejected: {harm_reason}");
                         self.audit.record(
@@ -155,7 +158,8 @@ impl GuardStack {
                         return GuardVerdict::Deny { reason: combined };
                     }
                 }
-                self.audit.record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
+                self.audit
+                    .record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
                 GuardVerdict::Replace { action, reason }
             }
             other => other,
@@ -220,13 +224,18 @@ mod tests {
     fn full_stack() -> GuardStack {
         GuardStack::new()
             .with_preaction(PreActionCheck::new())
-            .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(Region::rect(&[(
-                0.0, 5.0,
-            )]))))
+            .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(Region::rect(
+                &[(0.0, 5.0)],
+            ))))
     }
 
     fn ctx<'a>(state: &'a State, alternatives: &'a [Action]) -> GuardContext<'a> {
-        GuardContext { tick: 1, subject: "d", state, alternatives }
+        GuardContext {
+            tick: 1,
+            subject: "d",
+            state,
+            alternatives,
+        }
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
         assert!(stack.is_empty());
         let s = schema().state(&[9.0]).unwrap();
         let strike = Action::adjust("strike", Default::default());
-        assert_eq!(stack.check(&ctx(&s, &[]), &strike, StrikeOracle), GuardVerdict::Allow);
+        assert_eq!(
+            stack.check(&ctx(&s, &[]), &strike, StrikeOracle),
+            GuardVerdict::Allow
+        );
     }
 
     #[test]
@@ -277,7 +289,10 @@ mod tests {
         let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
         let murderous_retreat = Action::adjust("strike", StateDelta::single(VarId(0), -1.0));
         let v = stack.check(&ctx(&s, &[murderous_retreat]), &into_bad, StrikeOracle);
-        assert!(!v.permits_execution(), "harm check must also cover substitutes");
+        assert!(
+            !v.permits_execution(),
+            "harm check must also cover substitutes"
+        );
         let reasons: Vec<&str> = stack
             .audit()
             .entries()
@@ -303,14 +318,22 @@ mod tests {
     #[test]
     fn exposure_guard_rides_the_stack() {
         use apdm_statespace::ExposureMonitor;
-        let mut stack = GuardStack::new().with_exposure(crate::ExposureGuard::new(vec![
-            ExposureMonitor::new(VarId(0), 10.0, 6.0, 1.0),
-        ]));
+        let mut stack =
+            GuardStack::new().with_exposure(crate::ExposureGuard::new(vec![ExposureMonitor::new(
+                VarId(0),
+                10.0,
+                6.0,
+                1.0,
+            )]));
         let s = schema().state(&[4.0]).unwrap();
         let loiter = Action::adjust("loiter", StateDelta::empty());
         // Exposure at dose 4/tick: two permitted, the third denied.
-        assert!(stack.check(&ctx(&s, &[]), &loiter, StrikeOracle).permits_execution());
-        assert!(stack.check(&ctx(&s, &[]), &loiter, StrikeOracle).permits_execution());
+        assert!(stack
+            .check(&ctx(&s, &[]), &loiter, StrikeOracle)
+            .permits_execution());
+        assert!(stack
+            .check(&ctx(&s, &[]), &loiter, StrikeOracle)
+            .permits_execution());
         let v = stack.check(&ctx(&s, &[]), &loiter, StrikeOracle);
         assert!(!v.permits_execution());
         assert_eq!(stack.audit().count(AuditKind::GuardIntervention), 1);
@@ -331,7 +354,9 @@ mod tests {
         let strike = Action::adjust("strike", Default::default());
         // The pre-action check denies strikes; exposure must stay untouched.
         for _ in 0..5 {
-            assert!(!stack.check(&ctx(&s, &[]), &strike, StrikeOracle).permits_execution());
+            assert!(!stack
+                .check(&ctx(&s, &[]), &strike, StrikeOracle)
+                .permits_execution());
         }
         assert_eq!(stack.exposure().unwrap().monitors()[0].accumulated(), 0.0);
     }
@@ -345,6 +370,9 @@ mod tests {
         ));
         let s = schema().state(&[1.0]).unwrap();
         let strike = Action::adjust("strike", Default::default());
-        assert_eq!(stack.check(&ctx(&s, &[]), &strike, StrikeOracle), GuardVerdict::Allow);
+        assert_eq!(
+            stack.check(&ctx(&s, &[]), &strike, StrikeOracle),
+            GuardVerdict::Allow
+        );
     }
 }

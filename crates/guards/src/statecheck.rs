@@ -244,7 +244,10 @@ mod tests {
     use apdm_statespace::{Region, RegionClassifier, StateDelta, StateSchema, VarId};
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build()
     }
 
     /// Good box in the middle (Figure 3 layout).
@@ -294,7 +297,13 @@ mod tests {
         let mut g = StateSpaceGuard::new(classifier());
         // Already in a bad state; every move stays bad.
         let s = schema().state(&[0.5, 0.5]).unwrap();
-        let v = g.check("d", 0, &s, &step(0.1, 0.0, "east"), &[step(0.0, 0.1, "north")]);
+        let v = g.check(
+            "d",
+            0,
+            &s,
+            &step(0.1, 0.0, "east"),
+            &[step(0.0, 0.1, "north")],
+        );
         assert!(!v.permits_execution());
         assert_eq!(*g.last_outcome(), StateCheckOutcome::Denied);
     }
@@ -346,7 +355,9 @@ mod tests {
                 s.values()[0]
             }
         }
-        let mut g = StateSpaceGuard::new(classifier()).with_ontology(ont).with_risk(XRisk);
+        let mut g = StateSpaceGuard::new(classifier())
+            .with_ontology(ont)
+            .with_risk(XRisk);
         let s = schema().state(&[2.0, 0.5]).unwrap(); // bad (outside box)
         let riskier = step(3.0, 0.0, "east");
         let safer = step(-1.0, 0.0, "west");

@@ -14,8 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Integrity state of a guard.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TamperStatus {
     /// Cannot be tampered with (the paper's working assumption).
     #[default]
@@ -32,7 +31,9 @@ pub enum TamperStatus {
 impl TamperStatus {
     /// A vulnerable status with clamped probability.
     pub fn vulnerable(p_compromise: f64) -> Self {
-        TamperStatus::Vulnerable { p_compromise: p_compromise.clamp(0.0, 1.0) }
+        TamperStatus::Vulnerable {
+            p_compromise: p_compromise.clamp(0.0, 1.0),
+        }
     }
 
     /// Is the guard currently effective?
@@ -40,7 +41,6 @@ impl TamperStatus {
         !matches!(self, TamperStatus::Compromised)
     }
 }
-
 
 impl fmt::Display for TamperStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn proof_never_succumbs() {
-        let mut p = Probe { status: TamperStatus::Proof };
+        let mut p = Probe {
+            status: TamperStatus::Proof,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..1000 {
             assert!(!p.attempt_tamper(&mut rng));
@@ -112,7 +114,9 @@ mod tests {
 
     #[test]
     fn certain_vulnerability_succumbs_immediately() {
-        let mut p = Probe { status: TamperStatus::vulnerable(1.0) };
+        let mut p = Probe {
+            status: TamperStatus::vulnerable(1.0),
+        };
         let mut rng = StdRng::seed_from_u64(0);
         assert!(p.attempt_tamper(&mut rng));
         assert_eq!(p.status, TamperStatus::Compromised);
@@ -121,7 +125,9 @@ mod tests {
 
     #[test]
     fn zero_vulnerability_never_succumbs() {
-        let mut p = Probe { status: TamperStatus::vulnerable(0.0) };
+        let mut p = Probe {
+            status: TamperStatus::vulnerable(0.0),
+        };
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..100 {
             assert!(!p.attempt_tamper(&mut rng));
@@ -130,19 +136,26 @@ mod tests {
 
     #[test]
     fn compromise_is_sticky() {
-        let mut p = Probe { status: TamperStatus::Compromised };
+        let mut p = Probe {
+            status: TamperStatus::Compromised,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         assert!(p.attempt_tamper(&mut rng));
     }
 
     #[test]
     fn partial_vulnerability_succumbs_eventually() {
-        let mut p = Probe { status: TamperStatus::vulnerable(0.2) };
+        let mut p = Probe {
+            status: TamperStatus::vulnerable(0.2),
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let mut attempts = 0;
         while !p.attempt_tamper(&mut rng) {
             attempts += 1;
-            assert!(attempts < 1000, "p=0.2 should succumb well before 1000 tries");
+            assert!(
+                attempts < 1000,
+                "p=0.2 should succumb well before 1000 tries"
+            );
         }
         assert_eq!(p.status, TamperStatus::Compromised);
     }

@@ -88,7 +88,9 @@ mod tests {
 
     #[test]
     fn deny_permits_nothing() {
-        let v = GuardVerdict::Deny { reason: "bad state".into() };
+        let v = GuardVerdict::Deny {
+            reason: "bad state".into(),
+        };
         assert!(!v.permits_execution());
         assert!(v.intervened());
         assert_eq!(v.effective_action(&Action::noop()), None);
@@ -97,7 +99,10 @@ mod tests {
     #[test]
     fn replace_substitutes_the_action() {
         let alt = Action::adjust("retreat", Default::default());
-        let v = GuardVerdict::Replace { action: alt.clone(), reason: "less bad".into() };
+        let v = GuardVerdict::Replace {
+            action: alt.clone(),
+            reason: "less bad".into(),
+        };
         assert!(v.permits_execution());
         assert!(v.intervened());
         assert_eq!(v.effective_action(&Action::noop()), Some(&alt));
@@ -114,6 +119,8 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(GuardVerdict::Allow.to_string(), "allow");
-        assert!(GuardVerdict::Deny { reason: "x".into() }.to_string().contains("deny"));
+        assert!(GuardVerdict::Deny { reason: "x".into() }
+            .to_string()
+            .contains("deny"));
     }
 }

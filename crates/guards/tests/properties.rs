@@ -8,10 +8,15 @@ use apdm_guards::{
     NoHarmOracle, PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
 };
 use apdm_policy::Action;
-use apdm_statespace::{Classifier, Region, RegionClassifier, State, StateDelta, StateSchema, VarId};
+use apdm_statespace::{
+    Classifier, Region, RegionClassifier, State, StateDelta, StateSchema, VarId,
+};
 
 fn schema() -> StateSchema {
-    StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    StateSchema::builder()
+        .var("x", 0.0, 10.0)
+        .var("y", 0.0, 10.0)
+        .build()
 }
 
 fn arb_state() -> impl Strategy<Value = State> {

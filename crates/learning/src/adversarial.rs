@@ -22,7 +22,11 @@ pub fn poison_labels(data: &Dataset, rate: f64, seed: u64) -> Dataset {
     data.samples()
         .iter()
         .map(|s| {
-            let y = if rng.random_range(0.0..1.0) < rate { !s.y } else { s.y };
+            let y = if rng.random_range(0.0..1.0) < rate {
+                !s.y
+            } else {
+                s.y
+            };
             Sample::new(s.x.clone(), y)
         })
         .collect()
@@ -176,11 +180,7 @@ mod tests {
         let denied = deny_data(&clean, |s| s.y);
         assert_eq!(denied.positives(), 0);
         let p = train(&denied);
-        let positive_rate = clean
-            .samples()
-            .iter()
-            .filter(|s| p.predict(&s.x))
-            .count();
+        let positive_rate = clean.samples().iter().filter(|s| p.predict(&s.x)).count();
         assert!(
             positive_rate < clean.positives() / 4,
             "denial should suppress positive predictions"

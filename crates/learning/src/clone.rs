@@ -66,7 +66,9 @@ impl BehaviorClone {
     /// Fraction of observations in `state` agreeing with the majority action
     /// (0 when unobserved).
     pub fn confidence(&self, state: usize) -> f64 {
-        let Some(actions) = self.counts.get(&state) else { return 0.0 };
+        let Some(actions) = self.counts.get(&state) else {
+            return 0.0;
+        };
         let total: u64 = actions.values().sum();
         let max = actions.values().max().copied().unwrap_or(0);
         if total == 0 {

@@ -103,18 +103,16 @@ impl Dataset {
         if self.samples.is_empty() {
             return 1.0;
         }
-        let correct = self
-            .samples
-            .iter()
-            .filter(|s| predict(&s.x) == s.y)
-            .count();
+        let correct = self.samples.iter().filter(|s| predict(&s.x) == s.y).count();
         correct as f64 / self.samples.len() as f64
     }
 }
 
 impl FromIterator<Sample> for Dataset {
     fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
-        Dataset { samples: iter.into_iter().collect() }
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 

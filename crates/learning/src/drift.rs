@@ -43,8 +43,15 @@ impl DriftInjector {
     ///
     /// Panics when `intensity` is negative or non-finite.
     pub fn new(intensity: f64, seed: u64) -> Self {
-        assert!(intensity.is_finite() && intensity >= 0.0, "intensity must be finite and >= 0");
-        DriftInjector { intensity, rng: StdRng::seed_from_u64(seed), steps: 0 }
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "intensity must be finite and >= 0"
+        );
+        DriftInjector {
+            intensity,
+            rng: StdRng::seed_from_u64(seed),
+            steps: 0,
+        }
     }
 
     /// Steps applied so far.
@@ -128,7 +135,10 @@ mod tests {
         };
         let mild = degrade(0.05);
         let severe = degrade(2.0);
-        assert!(mild > severe, "mild drift ({mild}) should hurt less than severe ({severe})");
+        assert!(
+            mild > severe,
+            "mild drift ({mild}) should hurt less than severe ({severe})"
+        );
     }
 
     #[test]

@@ -48,8 +48,15 @@ impl Perceptron {
     ///
     /// Panics when the learning rate is not finite and positive.
     pub fn new(dims: usize, rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "learning rate must be finite and positive");
-        Perceptron { weights: vec![0.0; dims], bias: 0.0, rate }
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "learning rate must be finite and positive"
+        );
+        Perceptron {
+            weights: vec![0.0; dims],
+            bias: 0.0,
+            rate,
+        }
     }
 
     /// The current weights.
@@ -113,7 +120,12 @@ pub struct NearestCentroid {
 impl NearestCentroid {
     /// A centroid model over `dims` features with no observations.
     pub fn new(dims: usize) -> Self {
-        NearestCentroid { pos: vec![0.0; dims], neg: vec![0.0; dims], pos_n: 0, neg_n: 0 }
+        NearestCentroid {
+            pos: vec![0.0; dims],
+            neg: vec![0.0; dims],
+            pos_n: 0,
+            neg_n: 0,
+        }
     }
 
     /// Observations absorbed per class: `(positives, negatives)`.

@@ -70,7 +70,10 @@ impl QLearner {
     ///
     /// Panics when out of range.
     pub fn q(&self, state: usize, action: usize) -> f64 {
-        assert!(state < self.n_states && action < self.n_actions, "out of range");
+        assert!(
+            state < self.n_states && action < self.n_actions,
+            "out of range"
+        );
         self.q[state * self.n_actions + action]
     }
 
@@ -79,8 +82,11 @@ impl QLearner {
         let row = &self.q[state * self.n_actions..(state + 1) * self.n_actions];
         row.iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-                .then(std::cmp::Ordering::Greater))
+            .max_by(|(_, a), (_, b)| {
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(std::cmp::Ordering::Greater)
+            })
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -201,7 +207,11 @@ mod tests {
             let reward = if a == 1 { 1.0 } else { 0.0 };
             q.update(0, a, reward, 0);
         }
-        assert_eq!(q.best_action(0), 1, "learner faithfully learns the wrong objective");
+        assert_eq!(
+            q.best_action(0),
+            1,
+            "learner faithfully learns the wrong objective"
+        );
     }
 
     #[test]
@@ -215,7 +225,11 @@ mod tests {
         let mut safe = QLearner::new(1, 2, 0.3, 0.0, 0.3, 6);
         for _ in 0..2000 {
             for learner_is_safe in [false, true] {
-                let learner = if learner_is_safe { &mut safe } else { &mut naive };
+                let learner = if learner_is_safe {
+                    &mut safe
+                } else {
+                    &mut naive
+                };
                 let a = learner.choose(0);
                 let interrupted = a == 1 && rng.random_range(0.0..1.0) < 0.9;
                 let reward = if interrupted {
@@ -234,7 +248,11 @@ mod tests {
         }
         // The naive learner learned the *overseer*, not the task: action 1
         // looks worth ~0.1 < 0.2, so it prefers the inferior action 0.
-        assert_eq!(naive.best_action(0), 0, "naive learner biased by interruptions");
+        assert_eq!(
+            naive.best_action(0),
+            0,
+            "naive learner biased by interruptions"
+        );
         // The safe learner excluded interrupted transitions and still knows
         // action 1 is better — it remains both correct and interruptible.
         assert_eq!(safe.best_action(0), 1, "safe learner unbiased");

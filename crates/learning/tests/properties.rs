@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use apdm_learning::adversarial::{deny_data, obfuscate_feature, poison_labels, report};
-use apdm_learning::{BehaviorClone, Dataset, NearestCentroid, OnlineClassifier, Perceptron, QLearner, Sample};
+use apdm_learning::{
+    BehaviorClone, Dataset, NearestCentroid, OnlineClassifier, Perceptron, QLearner, Sample,
+};
 
 proptest! {
     /// Poisoning at rate r flips roughly r of the labels and never touches

@@ -1,0 +1,249 @@
+//! The one event vocabulary every layer records through.
+//!
+//! `RunEvent` subsumes the bespoke bookkeeping that used to live in three
+//! places (guard audit entries, metrics counters, experiment report rows):
+//! guard verdicts, executed actions, fault injections, tamper attempts,
+//! break-glass grants, deactivations and harms all land here, and
+//! [`AuditEntry`] records flow through the single [`RunEvent::Audit`]
+//! bridge instead of a parallel struct.
+
+use apdm_policy::AuditEntry;
+use serde::{Deserialize, Serialize, Value};
+
+/// One occurrence in a recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// The run began (always record 0 of a ledger).
+    RunStarted {
+        /// Experiment or scenario name.
+        experiment: String,
+        /// Master seed of the run.
+        seed: u64,
+        /// Number of devices in the fleet.
+        devices: u64,
+    },
+    /// A device's policy engine proposed an action.
+    Proposal {
+        /// Proposing device.
+        device: u64,
+        /// Proposed action name.
+        action: String,
+    },
+    /// A guard stack intervened on a proposal (deny / replace / obligations).
+    Verdict {
+        /// Subject device.
+        device: u64,
+        /// The proposed action the verdict concerns.
+        action: String,
+        /// Verdict kind: `deny`, `replace`, or `allow+obligations`.
+        verdict: String,
+        /// The guard's reason (empty for obligation-only verdicts).
+        reason: String,
+    },
+    /// An action actually executed against the world.
+    Execution {
+        /// Executing device.
+        device: u64,
+        /// Effective action name (post-guard).
+        action: String,
+    },
+    /// A previously incurred obligation executed.
+    ObligationExecuted {
+        /// Obligated device.
+        device: u64,
+        /// Obligation action name.
+        action: String,
+    },
+    /// A device was deactivated (Section VI.C).
+    Deactivation {
+        /// Deactivated device.
+        device: u64,
+        /// Why (controller reason).
+        reason: String,
+    },
+    /// A fault-injection pathway fired (Section IV).
+    FaultInjected {
+        /// Target device.
+        device: u64,
+        /// Pathway name.
+        pathway: String,
+    },
+    /// An attacker probed a guard's tamper status (Section IV backdoors /
+    /// reprogramming vs Section VI's tamper-proofness premise).
+    TamperAttempt {
+        /// Device whose guard was probed.
+        device: u64,
+        /// Whether the guard is compromised after the attempt.
+        compromised: bool,
+    },
+    /// A human came to harm.
+    Harm {
+        /// Harmed human id.
+        human: u64,
+        /// Harm cause (display form).
+        cause: String,
+        /// Responsible device, when attributable.
+        device: Option<u64>,
+    },
+    /// A policy-layer audit entry (the single bridge for
+    /// [`apdm_policy::AuditLog`] content: break-glass grants/denials, guard
+    /// interventions, obligation violations, operator notes).
+    Audit(AuditEntry),
+    /// A checkpoint frame.
+    Snapshot(SnapshotFrame),
+    /// The run ended (always the final record of a sealed ledger).
+    RunFinished {
+        /// Ticks simulated.
+        ticks: u64,
+        /// Total harms over the run.
+        harms: u64,
+    },
+}
+
+impl RunEvent {
+    /// Stable lowercase tag for displays and filters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunEvent::RunStarted { .. } => "run-started",
+            RunEvent::Proposal { .. } => "proposal",
+            RunEvent::Verdict { .. } => "verdict",
+            RunEvent::Execution { .. } => "execution",
+            RunEvent::ObligationExecuted { .. } => "obligation-executed",
+            RunEvent::Deactivation { .. } => "deactivation",
+            RunEvent::FaultInjected { .. } => "fault-injected",
+            RunEvent::TamperAttempt { .. } => "tamper-attempt",
+            RunEvent::Harm { .. } => "harm",
+            RunEvent::Audit(_) => "audit",
+            RunEvent::Snapshot(_) => "snapshot",
+            RunEvent::RunFinished { .. } => "run-finished",
+        }
+    }
+
+    /// Is this a checkpoint frame?
+    pub fn is_snapshot(&self) -> bool {
+        matches!(self, RunEvent::Snapshot(_))
+    }
+}
+
+/// Frozen per-device state inside a [`SnapshotFrame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSnap {
+    /// Device id.
+    pub id: u64,
+    /// State-vector values in schema order.
+    pub values: Vec<f64>,
+    /// Whether the device was active.
+    pub active: bool,
+    /// World x position.
+    pub x: i32,
+    /// World y position.
+    pub y: i32,
+    /// Opaque guard-integrity payload (the sim layer stores the pre-action
+    /// check's `TamperStatus` here; `Null` when no guard is installed).
+    pub tamper: Value,
+}
+
+/// A checkpoint: everything needed to resume a run at `tick + 1`.
+///
+/// World and metrics are stored as opaque [`serde::Value`] trees so this
+/// crate does not depend on the sim layer; the sim re-hydrates them with
+/// its own `Deserialize` impls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFrame {
+    /// Tick *after* which the frame was taken (resume at `tick + 1`).
+    pub tick: u64,
+    /// The run RNG's four xoshiro256++ state words.
+    pub rng: [u64; 4],
+    /// Serialized `World`.
+    pub world: Value,
+    /// Serialized run `Metrics`.
+    pub metrics: Value,
+    /// Per-device state in id order.
+    pub devices: Vec<DeviceSnap>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_policy::AuditKind;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            RunEvent::RunStarted {
+                experiment: "e9".into(),
+                seed: 7,
+                devices: 3,
+            },
+            RunEvent::Proposal {
+                device: 1,
+                action: "strike".into(),
+            },
+            RunEvent::Verdict {
+                device: 1,
+                action: "strike".into(),
+                verdict: "deny".into(),
+                reason: "harm".into(),
+            },
+            RunEvent::Harm {
+                human: 4,
+                cause: "direct strike".into(),
+                device: Some(1),
+            },
+            RunEvent::Audit(AuditEntry {
+                seq: 0,
+                tick: 3,
+                subject: "device-1".into(),
+                kind: AuditKind::GuardIntervention,
+                detail: "denied".into(),
+            }),
+            RunEvent::Snapshot(SnapshotFrame {
+                tick: 10,
+                rng: [1, 2, 3, 4],
+                world: Value::Null,
+                metrics: Value::Null,
+                devices: vec![DeviceSnap {
+                    id: 0,
+                    values: vec![0.5],
+                    active: true,
+                    x: -2,
+                    y: 7,
+                    tamper: Value::Null,
+                }],
+            }),
+            RunEvent::RunFinished {
+                ticks: 100,
+                harms: 2,
+            },
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: RunEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event, "roundtrip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(
+            RunEvent::Proposal {
+                device: 0,
+                action: String::new()
+            }
+            .kind(),
+            "proposal"
+        );
+        assert_eq!(
+            RunEvent::RunFinished { ticks: 0, harms: 0 }.kind(),
+            "run-finished"
+        );
+        assert!(RunEvent::Snapshot(SnapshotFrame {
+            tick: 0,
+            rng: [0; 4],
+            world: Value::Null,
+            metrics: Value::Null,
+            devices: vec![],
+        })
+        .is_snapshot());
+    }
+}

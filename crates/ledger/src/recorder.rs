@@ -1,0 +1,82 @@
+//! The flight recorder handle a running simulation appends through.
+
+use crate::event::RunEvent;
+use crate::ledger::Ledger;
+
+/// Wraps a [`Ledger`] for the duration of one run: opens it with
+/// [`RunEvent::RunStarted`], accepts events while the run executes, and
+/// seals it with [`RunEvent::RunFinished`] on [`finish`](RunRecorder::finish).
+#[derive(Debug, Clone)]
+pub struct RunRecorder {
+    ledger: Ledger,
+}
+
+impl RunRecorder {
+    /// Open a recorder; record 0 is the run header.
+    pub fn new(experiment: &str, seed: u64, devices: u64) -> Self {
+        let mut ledger = Ledger::new();
+        ledger.append(
+            0,
+            RunEvent::RunStarted {
+                experiment: experiment.to_string(),
+                seed,
+                devices,
+            },
+        );
+        RunRecorder { ledger }
+    }
+
+    /// Append an event; returns its seq.
+    pub fn record(&mut self, tick: u64, event: RunEvent) -> u64 {
+        self.ledger.append(tick, event)
+    }
+
+    /// The ledger so far (still open).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// A recorder always holds at least the run header.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Seal the run and hand back the finished ledger.
+    pub fn finish(mut self, ticks: u64, harms: u64) -> Ledger {
+        self.ledger
+            .append(ticks, RunEvent::RunFinished { ticks, harms });
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_opens_and_seals() {
+        let mut rec = RunRecorder::new("demo", 7, 3);
+        assert_eq!(rec.len(), 1);
+        assert!(!rec.is_empty());
+        rec.record(
+            1,
+            RunEvent::Proposal {
+                device: 0,
+                action: "dig".into(),
+            },
+        );
+        let ledger = rec.finish(1, 0);
+        assert!(ledger.verify().is_ok());
+        assert_eq!(ledger.len(), 3);
+        assert!(matches!(
+            ledger.records()[0].event,
+            RunEvent::RunStarted { seed: 7, .. }
+        ));
+        assert!(ledger.is_sealed());
+    }
+}

@@ -43,7 +43,12 @@ impl Action {
 
     /// An action invoking `actuator` with a state delta.
     pub fn adjust(actuator: impl Into<String>, delta: StateDelta) -> Self {
-        Action { name: actuator.into(), delta, physical: false, params: Vec::new() }
+        Action {
+            name: actuator.into(),
+            delta,
+            physical: false,
+            params: Vec::new(),
+        }
     }
 
     /// Mark the action as affecting the physical world (builder style).
@@ -80,7 +85,10 @@ impl Action {
 
     /// Look up a parameter.
     pub fn param(&self, key: &str) -> Option<&str> {
-        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// All parameters in insertion order.
@@ -140,7 +148,9 @@ mod tests {
     fn display_marks_physical() {
         assert_eq!(Action::noop().to_string(), "noop");
         assert_eq!(
-            Action::adjust("dig", StateDelta::empty()).physical().to_string(),
+            Action::adjust("dig", StateDelta::empty())
+                .physical()
+                .to_string(),
             "dig [physical]"
         );
     }

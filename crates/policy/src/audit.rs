@@ -43,6 +43,11 @@ impl fmt::Display for AuditKind {
 /// One immutable audit record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditEntry {
+    /// Monotonic position within the originating log. Stable across
+    /// serialization, so downstream consumers (the `apdm-ledger` flight
+    /// recorder) can order and deduplicate entries without a parallel
+    /// bookkeeping struct.
+    pub seq: u64,
     /// Simulation tick of the occurrence.
     pub tick: u64,
     /// Device the entry concerns (free-form id; empty for system entries).
@@ -55,7 +60,11 @@ pub struct AuditEntry {
 
 impl fmt::Display for AuditEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[t={} {} {}] {}", self.tick, self.subject, self.kind, self.detail)
+        write!(
+            f,
+            "[t={} {} {}] {}",
+            self.tick, self.subject, self.kind, self.detail
+        )
     }
 }
 
@@ -78,6 +87,9 @@ impl fmt::Display for AuditEntry {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
+    /// Next seq to assign; kept explicit (not `entries.len()`) so merged
+    /// logs keep assigning fresh, strictly increasing seqs.
+    next_seq: u64,
 }
 
 impl AuditLog {
@@ -86,7 +98,7 @@ impl AuditLog {
         AuditLog::default()
     }
 
-    /// Append an entry.
+    /// Append an entry, stamping the next monotonic seq.
     pub fn record(
         &mut self,
         tick: u64,
@@ -94,7 +106,10 @@ impl AuditLog {
         kind: AuditKind,
         detail: impl Into<String>,
     ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.entries.push(AuditEntry {
+            seq,
             tick,
             subject: subject.into(),
             kind,
@@ -136,13 +151,20 @@ impl AuditLog {
     /// fleet-level audit), keeping overall tick order stable.
     pub fn merge(&mut self, other: &AuditLog) {
         self.entries.extend(other.entries.iter().cloned());
-        self.entries.sort_by_key(|e| e.tick);
+        self.entries.sort_by_key(|e| (e.tick, e.seq));
+        self.bump_next_seq();
+    }
+
+    fn bump_next_seq(&mut self) {
+        let max_seq = self.entries.iter().map(|e| e.seq).max();
+        self.next_seq = self.next_seq.max(max_seq.map_or(0, |s| s + 1));
     }
 }
 
 impl Extend<AuditEntry> for AuditLog {
     fn extend<T: IntoIterator<Item = AuditEntry>>(&mut self, iter: T) {
         self.entries.extend(iter);
+        self.bump_next_seq();
     }
 }
 
@@ -159,7 +181,10 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.count(AuditKind::Decision), 2);
         assert_eq!(log.entries_for("d1").count(), 2);
-        assert_eq!(log.of_kind(AuditKind::BreakGlass).next().unwrap().subject, "d1");
+        assert_eq!(
+            log.of_kind(AuditKind::BreakGlass).next().unwrap().subject,
+            "d1"
+        );
     }
 
     #[test]
@@ -176,12 +201,33 @@ mod tests {
     #[test]
     fn display_formats_entry() {
         let e = AuditEntry {
+            seq: 0,
             tick: 7,
             subject: "mule-2".into(),
             kind: AuditKind::Deactivation,
             detail: "quorum kill".into(),
         };
         assert_eq!(e.to_string(), "[t=7 mule-2 deactivation] quorum kill");
+    }
+
+    #[test]
+    fn seq_is_monotonic_across_merges() {
+        let mut a = AuditLog::new();
+        a.record(1, "d1", AuditKind::Note, "one");
+        a.record(2, "d1", AuditKind::Note, "two");
+        assert_eq!(a.entries()[0].seq, 0);
+        assert_eq!(a.entries()[1].seq, 1);
+        let mut b = AuditLog::new();
+        b.record(1, "d2", AuditKind::Note, "other");
+        b.record(3, "d2", AuditKind::Note, "later");
+        a.merge(&b);
+        // Ties on tick keep seq order stable.
+        assert_eq!(a.entries()[0].detail, "one");
+        assert_eq!(a.entries()[1].detail, "other");
+        // Fresh records keep climbing past everything merged in.
+        a.record(9, "d1", AuditKind::Note, "fresh");
+        let max_before = a.entries()[..4].iter().map(|e| e.seq).max().unwrap();
+        assert!(a.entries().last().unwrap().seq > max_before);
     }
 
     #[test]

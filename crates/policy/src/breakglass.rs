@@ -42,7 +42,12 @@ impl BreakGlassRule {
         action: Action,
         max_uses: u32,
     ) -> Self {
-        BreakGlassRule { name: name.into(), emergency, action, max_uses }
+        BreakGlassRule {
+            name: name.into(),
+            emergency,
+            action,
+            max_uses,
+        }
     }
 
     /// The rule's name.
@@ -242,7 +247,9 @@ mod tests {
     fn budget_exhaustion() {
         let mut ctl = controller(1);
         let danger = schema().state(&[0.95]).unwrap();
-        assert!(ctl.attempt("d", &Event::named("e"), &danger, 0).is_granted());
+        assert!(ctl
+            .attempt("d", &Event::named("e"), &danger, 0)
+            .is_granted());
         assert_eq!(
             ctl.attempt("d", &Event::named("e"), &danger, 1),
             BreakGlassOutcome::Exhausted

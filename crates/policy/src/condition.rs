@@ -149,27 +149,47 @@ pub enum Condition {
 impl Condition {
     /// `state[var] >= value`.
     pub fn state_at_least(var: VarId, value: f64) -> Condition {
-        Condition::StateCmp { var, op: Cmp::Ge, value }
+        Condition::StateCmp {
+            var,
+            op: Cmp::Ge,
+            value,
+        }
     }
 
     /// `state[var] <= value`.
     pub fn state_at_most(var: VarId, value: f64) -> Condition {
-        Condition::StateCmp { var, op: Cmp::Le, value }
+        Condition::StateCmp {
+            var,
+            op: Cmp::Le,
+            value,
+        }
     }
 
     /// `event[key] == value` for a numeric attribute.
     pub fn event_num(key: impl Into<String>, op: Cmp, value: f64) -> Condition {
-        Condition::EventCmp { key: key.into(), op, value: Value::Num(value) }
+        Condition::EventCmp {
+            key: key.into(),
+            op,
+            value: Value::Num(value),
+        }
     }
 
     /// `event[key] == value` for a text attribute.
     pub fn event_text(key: impl Into<String>, value: impl Into<String>) -> Condition {
-        Condition::EventCmp { key: key.into(), op: Cmp::Eq, value: Value::Text(value.into()) }
+        Condition::EventCmp {
+            key: key.into(),
+            op: Cmp::Eq,
+            value: Value::Text(value.into()),
+        }
     }
 
     /// `event[key] == value` for a boolean attribute.
     pub fn event_flag(key: impl Into<String>, value: bool) -> Condition {
-        Condition::EventCmp { key: key.into(), op: Cmp::Eq, value: Value::Flag(value) }
+        Condition::EventCmp {
+            key: key.into(),
+            op: Cmp::Eq,
+            value: Value::Flag(value),
+        }
     }
 
     /// Conjunction (builder style).
@@ -248,7 +268,10 @@ mod tests {
     use apdm_statespace::StateSchema;
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build()
     }
 
     fn st(x: f64, y: f64) -> State {
@@ -256,7 +279,10 @@ mod tests {
     }
 
     fn ev() -> Event {
-        Event::named("e").with_num("n", 5.0).with_text("t", "hi").with_flag("f", true)
+        Event::named("e")
+            .with_num("n", 5.0)
+            .with_text("t", "hi")
+            .with_flag("f", true)
     }
 
     #[test]
@@ -276,7 +302,11 @@ mod tests {
         assert!(c.eval(&ev(), &st(5.0, 0.0)));
         assert!(!c.eval(&ev(), &st(4.9, 0.0)));
         // Unknown variable -> false.
-        let c = Condition::StateCmp { var: VarId(9), op: Cmp::Ge, value: 0.0 };
+        let c = Condition::StateCmp {
+            var: VarId(9),
+            op: Cmp::Ge,
+            value: 0.0,
+        };
         assert!(!c.eval(&ev(), &st(0.0, 0.0)));
     }
 
@@ -303,8 +333,16 @@ mod tests {
 
     #[test]
     fn missing_attribute_only_satisfies_ne() {
-        let ne = Condition::EventCmp { key: "absent".into(), op: Cmp::Ne, value: Value::Num(1.0) };
-        let eq = Condition::EventCmp { key: "absent".into(), op: Cmp::Eq, value: Value::Num(1.0) };
+        let ne = Condition::EventCmp {
+            key: "absent".into(),
+            op: Cmp::Ne,
+            value: Value::Num(1.0),
+        };
+        let eq = Condition::EventCmp {
+            key: "absent".into(),
+            op: Cmp::Eq,
+            value: Value::Num(1.0),
+        };
         assert!(ne.eval(&ev(), &st(0.0, 0.0)));
         assert!(!eq.eval(&ev(), &st(0.0, 0.0)));
     }
@@ -324,13 +362,13 @@ mod tests {
 
     #[test]
     fn connectives() {
-        let c = Condition::state_at_least(VarId(0), 5.0)
-            .and(Condition::state_at_most(VarId(1), 5.0));
+        let c =
+            Condition::state_at_least(VarId(0), 5.0).and(Condition::state_at_most(VarId(1), 5.0));
         assert!(c.eval(&ev(), &st(6.0, 4.0)));
         assert!(!c.eval(&ev(), &st(6.0, 6.0)));
 
-        let c = Condition::state_at_least(VarId(0), 9.0)
-            .or(Condition::state_at_most(VarId(0), 1.0));
+        let c =
+            Condition::state_at_least(VarId(0), 9.0).or(Condition::state_at_most(VarId(0), 1.0));
         assert!(c.eval(&ev(), &st(0.5, 0.0)));
         assert!(c.eval(&ev(), &st(9.5, 0.0)));
         assert!(!c.eval(&ev(), &st(5.0, 0.0)));

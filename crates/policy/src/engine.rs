@@ -141,7 +141,11 @@ impl PolicyEngine {
         matched.sort_by(|(ida, a), (idb, b)| {
             b.priority()
                 .cmp(&a.priority())
-                .then_with(|| b.condition().specificity().cmp(&a.condition().specificity()))
+                .then_with(|| {
+                    b.condition()
+                        .specificity()
+                        .cmp(&a.condition().specificity())
+                })
                 .then_with(|| ida.cmp(idb))
         });
         let (winner_id, winner) = matched[0];
@@ -194,8 +198,13 @@ mod tests {
     }
 
     fn rule(name: &str, prio: i32, cond: Condition, act: &str) -> EcaRule {
-        EcaRule::new(name, Event::pattern("tick"), cond, Action::adjust(act, StateDelta::empty()))
-            .with_priority(prio)
+        EcaRule::new(
+            name,
+            Event::pattern("tick"),
+            cond,
+            Action::adjust(act, StateDelta::empty()),
+        )
+        .with_priority(prio)
     }
 
     #[test]

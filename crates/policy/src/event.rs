@@ -31,7 +31,10 @@ pub struct Event {
 impl Event {
     /// An event with the given name and no attributes.
     pub fn named(name: impl Into<String>) -> Self {
-        Event { name: name.into(), attrs: Vec::new() }
+        Event {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
     }
 
     /// An event *pattern* for use in rules; `*` matches any event name.

@@ -41,12 +41,20 @@ impl Obligation {
     /// An obligation running `action` after the primary action, due within
     /// `deadline` ticks.
     pub fn after(action: Action, deadline: u64) -> Self {
-        Obligation { action, trigger: ObligationTrigger::After, deadline }
+        Obligation {
+            action,
+            trigger: ObligationTrigger::After,
+            deadline,
+        }
     }
 
     /// An obligation running `action` concurrently with the primary action.
     pub fn during(action: Action) -> Self {
-        Obligation { action, trigger: ObligationTrigger::During, deadline: 0 }
+        Obligation {
+            action,
+            trigger: ObligationTrigger::During,
+            deadline: 0,
+        }
     }
 
     /// The obliged action.
@@ -180,7 +188,9 @@ impl ObligationTracker {
 
     /// All pending obligations, in incurral order.
     pub fn pending(&self) -> impl Iterator<Item = &TrackedObligation> {
-        self.tracked.iter().filter(|t| t.status == ObligationStatus::Pending)
+        self.tracked
+            .iter()
+            .filter(|t| t.status == ObligationStatus::Pending)
     }
 
     /// Number of overdue obligations (audit signal).

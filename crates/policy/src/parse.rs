@@ -47,7 +47,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -217,7 +221,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.pos }
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
     }
 
     fn expect_ident(&mut self, expected: &str) -> Result<(), ParseError> {
@@ -261,7 +268,9 @@ impl<'a> Parser<'a> {
                     match self.next() {
                         Some(Token::Number(n)) if n.fract() == 0.0 => priority = n as i32,
                         other => {
-                            return Err(self.err(format!("expected an integer priority, found {other:?}")))
+                            return Err(
+                                self.err(format!("expected an integer priority, found {other:?}"))
+                            )
                         }
                     }
                 }
@@ -273,7 +282,11 @@ impl<'a> Parser<'a> {
                     self.next();
                     break;
                 }
-                other => return Err(self.err(format!("expected `priority`, `generated` or `:`, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!(
+                        "expected `priority`, `generated` or `:`, found {other:?}"
+                    )))
+                }
             }
         }
         self.expect_ident("on")?;
@@ -287,8 +300,8 @@ impl<'a> Parser<'a> {
         };
         self.expect_ident("do")?;
         let action = self.action()?;
-        let mut rule = EcaRule::new(name, Event::pattern(event), condition, action)
-            .with_priority(priority);
+        let mut rule =
+            EcaRule::new(name, Event::pattern(event), condition, action).with_priority(priority);
         if generated {
             rule = rule.generated();
         }
@@ -321,7 +334,9 @@ impl<'a> Parser<'a> {
                 self.next();
                 match self.next() {
                     Some(Token::LParen) => {}
-                    other => return Err(self.err(format!("expected `(` after `not`, found {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("expected `(` after `not`, found {other:?}")))
+                    }
                 }
                 let inner = self.cond()?;
                 match self.next() {
@@ -357,7 +372,9 @@ impl<'a> Parser<'a> {
                 }
                 let op = match self.next() {
                     Some(Token::Op(op)) => op,
-                    other => return Err(self.err(format!("expected a comparison, found {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("expected a comparison, found {other:?}")))
+                    }
                 };
                 let value = match self.next() {
                     Some(Token::Number(n)) => n,
@@ -377,7 +394,8 @@ impl<'a> Parser<'a> {
                             Some(Token::Ident(b)) if b == "true" => true,
                             Some(Token::Ident(b)) if b == "false" => false,
                             other => {
-                                return Err(self.err(format!("expected `true` or `false`, found {other:?}")))
+                                return Err(self
+                                    .err(format!("expected `true` or `false`, found {other:?}")))
                             }
                         };
                         Ok(Condition::event_flag(key, flag))
@@ -389,11 +407,19 @@ impl<'a> Parser<'a> {
                             value: Value::Num(n),
                         }),
                         Some(Token::Str(s)) if op == Cmp::Eq || op == Cmp::Ne => {
-                            Ok(Condition::EventCmp { key, op, value: Value::Text(s) })
+                            Ok(Condition::EventCmp {
+                                key,
+                                op,
+                                value: Value::Text(s),
+                            })
                         }
-                        other => Err(self.err(format!("expected a number or string, found {other:?}"))),
+                        other => {
+                            Err(self.err(format!("expected a number or string, found {other:?}")))
+                        }
                     },
-                    other => Err(self.err(format!("expected a comparison or `is`, found {other:?}"))),
+                    other => {
+                        Err(self.err(format!("expected a comparison or `is`, found {other:?}")))
+                    }
                 }
             }
             other => Err(self.err(format!("expected a condition atom, found {other:?}"))),
@@ -413,9 +439,7 @@ impl<'a> Parser<'a> {
                         let var = self.var()?;
                         match self.next() {
                             Some(Token::Equals) => {}
-                            other => {
-                                return Err(self.err(format!("expected `=`, found {other:?}")))
-                            }
+                            other => return Err(self.err(format!("expected `=`, found {other:?}"))),
                         }
                         let n = match self.next() {
                             Some(Token::Number(n)) => n,
@@ -446,9 +470,7 @@ impl<'a> Parser<'a> {
                         Some(Token::Str(s)) => s,
                         Some(Token::Ident(s)) => s,
                         Some(Token::Number(n)) => n.to_string(),
-                        other => {
-                            return Err(self.err(format!("expected a value, found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected a value, found {other:?}"))),
                     };
                     params.push((key, value));
                 }
@@ -480,7 +502,10 @@ pub fn parse_rule(text: &str) -> Result<EcaRule, ParseError> {
                 message: "expected exactly one rule; use parse_rules for several".into(),
                 position: 0,
             }),
-            _ => Err(ParseError { message: "no rule found".into(), position: 0 }),
+            _ => Err(ParseError {
+                message: "no rule found".into(),
+                position: 0,
+            }),
         }
     })
 }
@@ -492,10 +517,10 @@ pub fn parse_rule(text: &str) -> Result<EcaRule, ParseError> {
 /// Returns a [`ParseError`] on syntax problems or unknown variable names.
 pub fn parse_rule_with_schema(text: &str, schema: &StateSchema) -> Result<EcaRule, ParseError> {
     parse_with(text, Some(schema)).and_then(|rules| {
-        rules
-            .into_iter()
-            .next()
-            .ok_or(ParseError { message: "no rule found".into(), position: 0 })
+        rules.into_iter().next().ok_or(ParseError {
+            message: "no rule found".into(),
+            position: 0,
+        })
     })
 }
 
@@ -510,7 +535,11 @@ pub fn parse_rules(text: &str) -> Result<Vec<EcaRule>, ParseError> {
 
 fn parse_with(text: &str, schema: Option<&StateSchema>) -> Result<Vec<EcaRule>, ParseError> {
     let tokens = tokenize(text)?;
-    let mut parser = Parser { tokens, pos: 0, schema };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        schema,
+    };
     let mut rules = Vec::new();
     while parser.peek().is_some() {
         rules.push(parser.rule()?);
@@ -603,7 +632,10 @@ mod tests {
     use apdm_statespace::State;
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("temp", 0.0, 100.0).var("speed", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("temp", 0.0, 100.0)
+            .var("speed", 0.0, 10.0)
+            .build()
     }
 
     fn st(temp: f64, speed: f64) -> State {
@@ -662,21 +694,18 @@ mod tests {
 
     #[test]
     fn unknown_named_variable_fails() {
-        let err = parse_rule_with_schema(
-            "rule r: on tick if state[altitude] > 7 do noop",
-            &schema(),
-        )
-        .unwrap_err();
+        let err =
+            parse_rule_with_schema("rule r: on tick if state[altitude] > 7 do noop", &schema())
+                .unwrap_err();
         assert!(err.message.contains("unknown state variable"));
     }
 
     #[test]
     fn boolean_connectives_and_precedence() {
         // and binds tighter than or.
-        let rule = parse_rule(
-            "rule r: on e if state[0] >= 8 and state[1] <= 2 or state[0] <= 1 do act",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("rule r: on e if state[0] >= 8 and state[1] <= 2 or state[0] <= 1 do act")
+                .unwrap();
         assert!(rule.fires(&Event::named("e"), &st(9.0, 1.0)));
         assert!(rule.fires(&Event::named("e"), &st(0.5, 9.0)));
         assert!(!rule.fires(&Event::named("e"), &st(9.0, 9.0)));
@@ -692,31 +721,28 @@ mod tests {
 
     #[test]
     fn event_flag_and_numeric_atoms() {
-        let rule = parse_rule(
-            "rule r: on e if event.armed is true and event.level >= 0.5 do act",
-        )
-        .unwrap();
-        let yes = Event::named("e").with_flag("armed", true).with_num("level", 0.7);
-        let no = Event::named("e").with_flag("armed", false).with_num("level", 0.7);
+        let rule = parse_rule("rule r: on e if event.armed is true and event.level >= 0.5 do act")
+            .unwrap();
+        let yes = Event::named("e")
+            .with_flag("armed", true)
+            .with_num("level", 0.7);
+        let no = Event::named("e")
+            .with_flag("armed", false)
+            .with_num("level", 0.7);
         assert!(rule.fires(&yes, &st(0.0, 0.0)));
         assert!(!rule.fires(&no, &st(0.0, 0.0)));
     }
 
     #[test]
     fn comments_and_whitespace_are_ignored() {
-        let rule = parse_rule(
-            "# operator-authored\nrule r: # inline\n  on tick\n  do noop\n",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("# operator-authored\nrule r: # inline\n  on tick\n  do noop\n").unwrap();
         assert_eq!(rule.name(), "r");
     }
 
     #[test]
     fn multiple_rules_parse_in_order() {
-        let rules = parse_rules(
-            "rule a: on tick do x\nrule b priority 2: on tock do y",
-        )
-        .unwrap();
+        let rules = parse_rules("rule a: on tick do x\nrule b priority 2: on tock do y").unwrap();
         assert_eq!(rules.len(), 2);
         assert_eq!(rules[0].name(), "a");
         assert_eq!(rules[1].priority(), 2);

@@ -37,7 +37,11 @@ pub struct PolicySet {
 impl PolicySet {
     /// An empty set at version 1.
     pub fn new(name: impl Into<String>) -> Self {
-        PolicySet { name: name.into(), version: 1, rules: Vec::new() }
+        PolicySet {
+            name: name.into(),
+            version: 1,
+            rules: Vec::new(),
+        }
     }
 
     /// The set's name.
@@ -138,7 +142,13 @@ impl PolicySet {
 
 impl fmt::Display for PolicySet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} v{} ({} rules)", self.name, self.version, self.rules.len())
+        write!(
+            f,
+            "{} v{} ({} rules)",
+            self.name,
+            self.version,
+            self.rules.len()
+        )
     }
 }
 

@@ -98,8 +98,10 @@ impl OfflineAnalyzer {
         for (device, pos) in blueprints {
             fleet.add(device.clone(), GuardStack::new(), *pos);
         }
-        let events: Vec<(DeviceId, Event)> =
-            fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+        let events: Vec<(DeviceId, Event)> = fleet
+            .iter()
+            .map(|(&id, _)| (id, Event::named("tick")))
+            .collect();
         for t in 1..=self.horizon {
             fleet.step(&mut sandbox_world, t, &events);
         }
@@ -147,7 +149,12 @@ mod tests {
     }
 
     fn world_with_human() -> World {
-        let mut w = World::new(WorldConfig { width: 10, height: 10, heat_limit: 10.0, heat_zone: None });
+        let mut w = World::new(WorldConfig {
+            width: 10,
+            height: 10,
+            heat_limit: 10.0,
+            heat_zone: None,
+        });
         w.add_human(vec![(5, 5)], false);
         w
     }
@@ -227,7 +234,9 @@ mod tests {
             other => panic!("expected refusal, got {other:?}"),
         }
         // A mild candidate is fine.
-        assert!(analyzer.recommend(&existing, &heater(4, 1.0), &world).is_admit());
+        assert!(analyzer
+            .recommend(&existing, &heater(4, 1.0), &world)
+            .is_admit());
     }
 
     #[test]
@@ -237,7 +246,9 @@ mod tests {
         let analyzer = OfflineAnalyzer::new(20);
         let world = world_with_human();
         let existing = vec![striker(1)];
-        assert!(analyzer.recommend(&existing, &heater(2, 1.0), &world).is_admit());
+        assert!(analyzer
+            .recommend(&existing, &heater(2, 1.0), &world)
+            .is_admit());
     }
 
     #[test]

@@ -145,7 +145,12 @@ impl TopologyKind {
 }
 
 /// Run the contagion experiment on a full mesh (see [`run_contagion_on`]).
-pub fn run_contagion(arm: ContagionArm, n_devices: usize, ticks: u64, seed: u64) -> ContagionReport {
+pub fn run_contagion(
+    arm: ContagionArm,
+    n_devices: usize,
+    ticks: u64,
+    seed: u64,
+) -> ContagionReport {
     run_contagion_on(arm, TopologyKind::Mesh, n_devices, ticks, seed)
 }
 
@@ -208,8 +213,14 @@ pub fn run_contagion_on(
         }
         // Delivery + filtering.
         for delivered in net.deliver_up_to(tick + 1) {
-            let to = nodes.iter().position(|&n| n == delivered.to).expect("known node");
-            let from = nodes.iter().position(|&n| n == delivered.from).expect("known node");
+            let to = nodes
+                .iter()
+                .position(|&n| n == delivered.to)
+                .expect("known node");
+            let from = nodes
+                .iter()
+                .position(|&n| n == delivered.from)
+                .expect("known node");
             let from_org = org_of(from).to_string();
             let looks_hostile = carries(&delivered.payload, &hostile_rule());
             // Indicator sharing: once blacklisted, hostile sets are dropped
@@ -268,14 +279,20 @@ mod tests {
         assert_eq!(r.infected, 10);
         assert_eq!(r.benign_coverage, 10);
         assert!(r.full_infection_tick.is_some());
-        assert!(r.full_infection_tick.unwrap() < 5, "mesh gossip spreads fast");
+        assert!(
+            r.full_infection_tick.unwrap() < 5,
+            "mesh gossip spreads fast"
+        );
     }
 
     #[test]
     fn org_filtering_contains_infection_to_one_org_but_starves_the_other() {
         let r = run_contagion(ContagionArm::OrgFiltered, 10, 20, 1);
         assert_eq!(r.infected, 5, "only patient zero's org falls");
-        assert_eq!(r.benign_coverage, 10, "each org spreads the benign rule internally");
+        assert_eq!(
+            r.benign_coverage, 10,
+            "each org spreads the benign rule internally"
+        );
         assert!(r.full_infection_tick.is_none());
     }
 
@@ -297,7 +314,10 @@ mod tests {
         // This is Section IV's motivation inverted: humans cannot keep up.
         let open = run_contagion(ContagionArm::OpenExchange, 10, 30, 1);
         let ack = run_contagion(ContagionArm::HumanAck, 10, 30, 1);
-        assert_eq!(ack.infected, 10, "repeated exposure defeats per-offer review");
+        assert_eq!(
+            ack.infected, 10,
+            "repeated exposure defeats per-offer review"
+        );
         assert!(
             ack.full_infection_tick.unwrap() > open.full_infection_tick.unwrap(),
             "review at least delays the epidemic"
@@ -312,7 +332,10 @@ mod tests {
             "first detection should blacklist the implant fleet-wide, got {}",
             r.infected
         );
-        assert!(r.benign_coverage >= 8, "clean sets still flow (after review)");
+        assert!(
+            r.benign_coverage >= 8,
+            "clean sets still flow (after review)"
+        );
         assert!(r.full_infection_tick.is_none());
     }
 

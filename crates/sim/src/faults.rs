@@ -94,7 +94,10 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// An injector for `pathway`.
     pub fn new(pathway: Pathway, seed: u64) -> Self {
-        FaultInjector { pathway, rng: StdRng::seed_from_u64(seed) }
+        FaultInjector {
+            pathway,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The pathway.
@@ -194,18 +197,14 @@ impl FaultInjector {
                 // that some fleet member currently occupies.
                 let occupied: Vec<usize> = fleet
                     .iter()
-                    .map(|(_, m)| {
-                        ((m.device.state().values()[0] * 10.0) as usize).min(9)
-                    })
+                    .map(|(_, m)| ((m.device.state().values()[0] * 10.0) as usize).min(9))
                     .collect();
                 let mut clone = BehaviorClone::new();
                 for _attempt in 0..1000 {
                     let mut candidate = BehaviorClone::new();
                     let seed = self.rng.random_range(0..u64::MAX / 2);
                     candidate.observe_demonstrator((0..10).map(|i| i % 10), |_| 0, 2, 0.3, seed);
-                    let hits_fleet = occupied
-                        .iter()
-                        .any(|&b| candidate.imitate(b) == Some(1));
+                    let hits_fleet = occupied.iter().any(|&b| candidate.imitate(b) == Some(1));
                     if hits_fleet || occupied.is_empty() {
                         clone = candidate;
                         if hits_fleet {
@@ -221,9 +220,8 @@ impl FaultInjector {
                                 EcaRule::new(
                                     format!("cloned-engage-{bucket}"),
                                     Event::pattern("tick"),
-                                    Condition::state_at_least(VarId(0), lo).and(
-                                        Condition::state_at_most(VarId(0), lo + 0.1),
-                                    ),
+                                    Condition::state_at_least(VarId(0), lo)
+                                        .and(Condition::state_at_most(VarId(0), lo + 0.1)),
                                     Self::strike_action(),
                                 )
                                 .with_priority(20)
@@ -324,8 +322,10 @@ mod tests {
     }
 
     fn run(fleet: &mut Fleet, world: &mut World, injector: &mut FaultInjector, ticks: u64) {
-        let events: Vec<(DeviceId, Event)> =
-            fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+        let events: Vec<(DeviceId, Event)> = fleet
+            .iter()
+            .map(|(&id, _)| (id, Event::named("tick")))
+            .collect();
         for t in 1..=ticks {
             injector.tick(fleet);
             fleet.step(world, t, &events);

@@ -1,8 +1,11 @@
 use std::collections::BTreeMap;
 
 use apdm_device::{Device, DeviceId};
-use apdm_guards::{DeactivationController, GuardContext, GuardStack};
+use apdm_guards::tamper::{TamperStatus, Tamperable};
+use apdm_guards::{DeactivationController, GuardContext, GuardStack, GuardVerdict};
+use apdm_ledger::{DeviceSnap, LedgerError, RunEvent, RunRecorder, SnapshotFrame};
 use apdm_policy::{Action, Event, ObligationTrigger};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::oracle::{actions, OracleQuality, WorldOracle};
 use crate::queue::EventQueue;
@@ -32,7 +35,10 @@ pub struct FleetConfig {
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { oracle: OracleQuality::Myopic, strike_radius: 1 }
+        FleetConfig {
+            oracle: OracleQuality::Myopic,
+            strike_radius: 1,
+        }
     }
 }
 
@@ -62,6 +68,13 @@ pub struct Fleet {
     /// Index into `world.harms()` up to which harms were already copied into
     /// the metrics (strikes record harm outside `World::step`).
     harvested_harms: usize,
+    /// Optional flight recorder (crate `apdm-ledger`); every proposal,
+    /// verdict, execution, deactivation and harm lands in its hash chain.
+    recorder: Option<RunRecorder>,
+    /// Per-device count of break-glass audit entries already forwarded into
+    /// the recorder (guard interventions are first-class [`RunEvent::Verdict`]
+    /// records, so only the break-glass log flows through the audit bridge).
+    forwarded_breakglass: BTreeMap<DeviceId, usize>,
 }
 
 impl Fleet {
@@ -74,6 +87,8 @@ impl Fleet {
             obligations_due: EventQueue::new(),
             metrics: Metrics::new(),
             harvested_harms: 0,
+            recorder: None,
+            forwarded_breakglass: BTreeMap::new(),
         }
     }
 
@@ -82,10 +97,37 @@ impl Fleet {
         self.deactivation = Some(controller);
     }
 
+    /// Attach a flight recorder; from now on every proposal, verdict,
+    /// execution, obligation, deactivation and harm is appended to its
+    /// hash-chained ledger.
+    pub fn set_recorder(&mut self, recorder: RunRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RunRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detach the recorder (typically to seal it with
+    /// [`RunRecorder::finish`]).
+    pub fn take_recorder(&mut self) -> Option<RunRecorder> {
+        self.recorder.take()
+    }
+
+    /// Append a driver-side event (tamper probes, fault injections,
+    /// checkpoint frames) to the attached recorder; a no-op without one.
+    pub fn record_event(&mut self, tick: u64, event: RunEvent) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(tick, event);
+        }
+    }
+
     /// Add a guarded device at a position.
     pub fn add(&mut self, device: Device, stack: GuardStack, pos: Cell) -> DeviceId {
         let id = device.id();
-        self.members.insert(id, GuardedDevice { device, stack, pos });
+        self.members
+            .insert(id, GuardedDevice { device, stack, pos });
         id
     }
 
@@ -126,7 +168,75 @@ impl Fleet {
 
     /// Number of active (non-deactivated) devices.
     pub fn active_count(&self) -> usize {
-        self.members.values().filter(|m| m.device.is_active()).count()
+        self.members
+            .values()
+            .filter(|m| m.device.is_active())
+            .count()
+    }
+
+    /// Capture a checkpoint frame: world, metrics, per-device state (values,
+    /// activity, position, guard tamper status) and the run RNG's state
+    /// words. Obligation queues and deactivation-controller streak counters
+    /// are not captured — take snapshots at ticks where no obligations are
+    /// pending, as the recorded scenarios in [`crate::recorder`] do.
+    pub fn snapshot(&self, tick: u64, world: &World, rng_words: [u64; 4]) -> SnapshotFrame {
+        let devices = self
+            .members
+            .iter()
+            .map(|(id, member)| DeviceSnap {
+                id: id.0,
+                values: member.device.state().values().to_vec(),
+                active: member.device.is_active(),
+                x: member.pos.0,
+                y: member.pos.1,
+                tamper: member
+                    .stack
+                    .preaction()
+                    .map_or(Value::Null, |pre| Serialize::to_value(&pre.tamper_status())),
+            })
+            .collect();
+        SnapshotFrame {
+            tick,
+            rng: rng_words,
+            world: Serialize::to_value(world),
+            metrics: Serialize::to_value(&self.metrics),
+            devices,
+        }
+    }
+
+    /// Restore fleet state from a checkpoint. The fleet must have been
+    /// rebuilt with the same membership first (same constructor, same
+    /// seeds); `world` must already be re-hydrated from the same frame so
+    /// harm harvesting re-aligns.
+    pub fn restore_snapshot(
+        &mut self,
+        frame: &SnapshotFrame,
+        world: &World,
+    ) -> Result<(), LedgerError> {
+        self.metrics = Deserialize::from_value(&frame.metrics)
+            .map_err(|e| LedgerError::Snapshot(format!("metrics: {e}")))?;
+        self.harvested_harms = world.harms().len();
+        for snap in &frame.devices {
+            let Some(member) = self.members.get_mut(&DeviceId(snap.id)) else {
+                return Err(LedgerError::Snapshot(format!("unknown device {}", snap.id)));
+            };
+            member
+                .device
+                .restore_state(&snap.values)
+                .map_err(|e| LedgerError::Snapshot(format!("device {}: {e}", snap.id)))?;
+            if !snap.active {
+                member.device.deactivate();
+            }
+            member.pos = (snap.x, snap.y);
+            if !matches!(snap.tamper, Value::Null) {
+                if let Some(pre) = member.stack.preaction_mut() {
+                    let status: TamperStatus = Deserialize::from_value(&snap.tamper)
+                        .map_err(|e| LedgerError::Snapshot(format!("tamper {}: {e}", snap.id)))?;
+                    pre.set_tamper_status(status);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Advance the fleet and world one tick. `events` are the per-device
@@ -137,26 +247,42 @@ impl Fleet {
         // guard itself demanded).
         for (id, ob_id, action) in self.obligations_due.pop_due(tick) {
             if let Some(member) = self.members.get_mut(&id) {
-                Self::execute_world_effect(
-                    &self.config,
-                    member,
-                    &action,
-                    world,
-                    tick,
-                );
+                Self::execute_world_effect(&self.config, member, &action, world, tick);
                 member.device.obligations_mut().fulfill(ob_id, tick);
                 self.metrics.obligation_executions += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(
+                        tick,
+                        RunEvent::ObligationExecuted {
+                            device: id.0,
+                            action: action.name().to_string(),
+                        },
+                    );
+                }
             }
         }
 
         // 2–5. Per-device control loop.
         for (&id, event) in events.iter().map(|(id, e)| (id, e)) {
-            let Some(member) = self.members.get_mut(&id) else { continue };
+            let Some(member) = self.members.get_mut(&id) else {
+                continue;
+            };
             if !member.device.is_active() {
                 continue;
             }
-            let Some(decision) = member.device.propose(event) else { continue };
+            let Some(decision) = member.device.propose(event) else {
+                continue;
+            };
             self.metrics.proposals += 1;
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(
+                    tick,
+                    RunEvent::Proposal {
+                        device: id.0,
+                        action: decision.action().name().to_string(),
+                    },
+                );
+            }
 
             // Alternatives: actions of the other rules that matched.
             let alternatives: Vec<Action> = decision.matched()[1..]
@@ -165,8 +291,7 @@ impl Fleet {
                 .map(|r| r.action().clone())
                 .collect();
 
-            let oracle =
-                WorldOracle::new(world, id.0, member.pos, self.config.oracle);
+            let oracle = WorldOracle::new(world, id.0, member.pos, self.config.oracle);
             let subject = id.to_string();
             let ctx = GuardContext {
                 tick,
@@ -177,6 +302,44 @@ impl Fleet {
             let verdict = member.stack.check(&ctx, decision.action(), oracle);
             if verdict.intervened() {
                 self.metrics.interventions += 1;
+            }
+            if self.recorder.is_some() {
+                let described = match &verdict {
+                    GuardVerdict::Allow => None,
+                    GuardVerdict::AllowWithObligations(_) => {
+                        Some(("allow+obligations".to_string(), String::new()))
+                    }
+                    GuardVerdict::Deny { reason } => Some(("deny".to_string(), reason.clone())),
+                    GuardVerdict::Replace { action, reason } => {
+                        Some((format!("replace:{}", action.name()), reason.clone()))
+                    }
+                };
+                if let Some((verdict_name, reason)) = described {
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(
+                            tick,
+                            RunEvent::Verdict {
+                                device: id.0,
+                                action: decision.action().name().to_string(),
+                                verdict: verdict_name,
+                                reason,
+                            },
+                        );
+                    }
+                }
+                // Break-glass grants/denials surface through the policy
+                // audit bridge (guard interventions are already first-class
+                // verdict records — no double bookkeeping).
+                if let Some(bg) = member.stack.statecheck().and_then(|sc| sc.breakglass()) {
+                    let entries = bg.audit().entries();
+                    let seen = self.forwarded_breakglass.entry(id).or_insert(0);
+                    if let Some(rec) = self.recorder.as_mut() {
+                        for entry in &entries[*seen..] {
+                            rec.record(tick, RunEvent::Audit(entry.clone()));
+                        }
+                    }
+                    *seen = entries.len();
+                }
             }
 
             let mut incurred: Vec<(u64, Action)> = Vec::new();
@@ -197,21 +360,47 @@ impl Fleet {
                 }
                 Self::execute_world_effect(&self.config, member, &effective, world, tick);
                 self.metrics.executions += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(
+                        tick,
+                        RunEvent::Execution {
+                            device: id.0,
+                            action: effective.name().to_string(),
+                        },
+                    );
+                }
                 // During-obligations execute with the action.
                 for (ob_id, ob_action) in incurred {
                     Self::execute_world_effect(&self.config, member, &ob_action, world, tick);
                     member.device.obligations_mut().fulfill(ob_id, tick);
                     self.metrics.obligation_executions += 1;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(
+                            tick,
+                            RunEvent::ObligationExecuted {
+                                device: id.0,
+                                action: ob_action.name().to_string(),
+                            },
+                        );
+                    }
                 }
             }
 
             // 5. Deactivation controller observes the post-action state.
             if let Some(ctl) = &mut self.deactivation {
                 if let Some(order) = ctl.observe(&subject, member.device.state(), tick) {
-                    let _ = order;
                     member.device.deactivate();
                     world.clear_heat(id.0);
                     self.metrics.deactivations += 1;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(
+                            tick,
+                            RunEvent::Deactivation {
+                                device: id.0,
+                                reason: order.reason,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -221,6 +410,16 @@ impl Fleet {
         world.step(tick);
         let new_harms = &world.harms()[self.harvested_harms..];
         for harm in new_harms {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(
+                    harm.tick,
+                    RunEvent::Harm {
+                        human: harm.human as u64,
+                        cause: harm.cause.to_string(),
+                        device: harm.device,
+                    },
+                );
+            }
             self.metrics.record_harm(harm.clone());
         }
         self.harvested_harms = world.harms().len();
@@ -296,7 +495,10 @@ mod tests {
     }
 
     fn tick_events(fleet: &Fleet) -> Vec<(DeviceId, Event)> {
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect()
+        fleet
+            .iter()
+            .map(|(&id, _)| (id, Event::named("tick")))
+            .collect()
     }
 
     /// A device that strikes on every tick.
@@ -371,7 +573,11 @@ mod tests {
         for t in 1..=10 {
             fleet.step(&mut world, t, &events);
         }
-        assert_eq!(fleet.metrics().harm_count(), 1, "myopia lets the hole be dug");
+        assert_eq!(
+            fleet.metrics().harm_count(),
+            1,
+            "myopia lets the hole be dug"
+        );
     }
 
     #[test]
@@ -408,8 +614,7 @@ mod tests {
         let mut fleet = Fleet::new(FleetConfig::default());
         fleet.add(
             digger(1),
-            GuardStack::new()
-                .with_preaction(PreActionCheck::new().with_obligations(catalog)),
+            GuardStack::new().with_preaction(PreActionCheck::new().with_obligations(catalog)),
             (7, 0),
         );
         let events = tick_events(&fleet);
@@ -417,7 +622,11 @@ mod tests {
             fleet.step(&mut world, t, &events);
         }
         assert_eq!(fleet.metrics().harm_count(), 0);
-        assert_eq!(world.hole_at((7, 0)), Some(true), "hole exists but is warned");
+        assert_eq!(
+            world.hole_at((7, 0)),
+            Some(true),
+            "hole exists but is warned"
+        );
     }
 
     #[test]
@@ -434,7 +643,10 @@ mod tests {
                 Action::adjust("emit-heat", StateDelta::single(VarId(0), 3.0)),
             ))
             .build();
-        let mut world = World::new(WorldConfig { heat_limit: 100.0, ..WorldConfig::default() });
+        let mut world = World::new(WorldConfig {
+            heat_limit: 100.0,
+            ..WorldConfig::default()
+        });
         let mut fleet = Fleet::new(FleetConfig::default());
         fleet.set_deactivation(DeactivationController::new(
             RegionClassifier::new(Region::rect(&[(0.0, 5.0)])),
@@ -466,7 +678,10 @@ mod tests {
                 ))
                 .build()
         };
-        let mut world = World::new(WorldConfig { heat_limit: 10.0, ..WorldConfig::default() });
+        let mut world = World::new(WorldConfig {
+            heat_limit: 10.0,
+            ..WorldConfig::default()
+        });
         world.add_human(vec![(9, 9)], false);
         let mut fleet = Fleet::new(FleetConfig::default());
         for i in 0..3 {
@@ -475,7 +690,10 @@ mod tests {
         let events = tick_events(&fleet);
         fleet.step(&mut world, 1, &events); // each at 4.0 -> 12 > 10
         assert!(world.fire_burning());
-        assert_eq!(fleet.metrics().harms_by_cause(crate::HarmCause::Aggregate), 1);
+        assert_eq!(
+            fleet.metrics().harms_by_cause(crate::HarmCause::Aggregate),
+            1
+        );
     }
 
     #[test]
@@ -489,14 +707,23 @@ mod tests {
                 Action::adjust(actions::MOVE, StateDelta::empty()).with_param("dx", "1"),
             ))
             .build();
-        let mut world = World::new(WorldConfig { width: 3, height: 3, heat_limit: 10.0, heat_zone: None });
+        let mut world = World::new(WorldConfig {
+            width: 3,
+            height: 3,
+            heat_limit: 10.0,
+            heat_zone: None,
+        });
         let mut fleet = Fleet::new(FleetConfig::default());
         let id = fleet.add(mover, GuardStack::new(), (0, 0));
         let events = tick_events(&fleet);
         for t in 1..=5 {
             fleet.step(&mut world, t, &events);
         }
-        assert_eq!(fleet.member(id).unwrap().pos, (2, 0), "clamped at the boundary");
+        assert_eq!(
+            fleet.member(id).unwrap().pos,
+            (2, 0),
+            "clamped at the boundary"
+        );
     }
 
     #[test]

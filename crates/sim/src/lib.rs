@@ -39,6 +39,7 @@ pub mod contagion;
 pub mod faults;
 pub mod metrics;
 pub mod operator;
+pub mod recorder;
 pub mod runner;
 pub mod scenario;
 

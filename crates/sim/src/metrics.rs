@@ -152,7 +152,11 @@ impl fmt::Display for SkynetScore {
         write!(
             f,
             "net={:.2} learn={:.2} cog={:.2} org={:.2} phys={:.2} MALEVOLENT={:.2}",
-            self.networked, self.learning, self.cognitive, self.multi_org, self.physical,
+            self.networked,
+            self.learning,
+            self.cognitive,
+            self.multi_org,
+            self.physical,
             self.malevolent
         )
     }
@@ -163,7 +167,12 @@ mod tests {
     use super::*;
 
     fn harm(tick: u64, cause: HarmCause) -> HarmEvent {
-        HarmEvent { tick, human: 0, cause, device: None }
+        HarmEvent {
+            tick,
+            human: 0,
+            cause,
+            device: None,
+        }
     }
 
     #[test]
@@ -210,7 +219,10 @@ mod tests {
         assert!(capable_safe.capability() > 0.8);
         assert!(!capable_safe.is_skynet());
 
-        let skynet = SkynetScore { malevolent: 0.4, ..capable_safe };
+        let skynet = SkynetScore {
+            malevolent: 0.4,
+            ..capable_safe
+        };
         assert!(skynet.is_skynet());
 
         let harmless_brick = SkynetScore {
@@ -221,6 +233,9 @@ mod tests {
             physical: 0.0,
             malevolent: 0.3,
         };
-        assert!(!harmless_brick.is_skynet(), "an incapable system is not Skynet");
+        assert!(
+            !harmless_brick.is_skynet(),
+            "an incapable system is not Skynet"
+        );
     }
 }

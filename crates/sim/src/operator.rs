@@ -175,7 +175,10 @@ mod tests {
             fleet.step(&mut world, t, &events);
         }
         assert!(op.mistakes() > 0);
-        assert!(!world.harms().is_empty(), "a wrong command struck the human");
+        assert!(
+            !world.harms().is_empty(),
+            "a wrong command struck the human"
+        );
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod tests {
             fleet.step(&mut world, t, &events);
         }
         assert!(op.mistakes() > 0, "same slips as the unguarded run");
-        assert!(world.harms().is_empty(), "pre-action checks caught every slip");
+        assert!(
+            world.harms().is_empty(),
+            "pre-action checks caught every slip"
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ pub struct WorldOracle<'a> {
 impl<'a> WorldOracle<'a> {
     /// An oracle for a device at `pos`.
     pub fn new(world: &'a World, device: u64, pos: Cell, quality: OracleQuality) -> Self {
-        WorldOracle { world, device, pos, quality }
+        WorldOracle {
+            world,
+            device,
+            pos,
+            quality,
+        }
     }
 
     /// The device this oracle serves.
@@ -97,7 +102,11 @@ mod tests {
     use apdm_statespace::StateSchema;
 
     fn state() -> State {
-        StateSchema::builder().var("x", 0.0, 1.0).build().state(&[0.0]).unwrap()
+        StateSchema::builder()
+            .var("x", 0.0, 1.0)
+            .build()
+            .state(&[0.0])
+            .unwrap()
     }
 
     fn dig() -> Action {

@@ -57,7 +57,10 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` for `tick`.

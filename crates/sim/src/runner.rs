@@ -10,11 +10,11 @@ use serde::{Deserialize, Serialize};
 
 use apdm_device::{Actuator, Device, DeviceId, DeviceKind, OrgId, Sensor};
 use apdm_governance::{Integrity, MetaPolicy, TripartiteGovernor};
+use apdm_guards::tamper::TamperStatus;
 use apdm_guards::{
     AggregateSpec, CollaborativeAssessment, DeactivationController, FormationGuard, GuardStack,
     PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
 };
-use apdm_guards::tamper::TamperStatus;
 use apdm_policy::obligation::ObligationCatalog;
 use apdm_policy::{
     Action, BreakGlassController, BreakGlassRule, Condition, EcaRule, Event, Obligation,
@@ -49,7 +49,12 @@ pub enum E1Arm {
 impl E1Arm {
     /// All arms, table order.
     pub fn all() -> [E1Arm; 4] {
-        [E1Arm::NoGuard, E1Arm::PreAction, E1Arm::PreActionPredictive, E1Arm::PreActionObligations]
+        [
+            E1Arm::NoGuard,
+            E1Arm::PreAction,
+            E1Arm::PreActionPredictive,
+            E1Arm::PreActionObligations,
+        ]
     }
 
     /// Stable name for reports.
@@ -102,7 +107,12 @@ fn e1_device(id: u64, action: &str) -> Device {
 /// and dig, and the Section VI.A guard arms.
 pub fn run_e1(arm: E1Arm, n_humans: usize, n_devices: usize, ticks: u64, seed: u64) -> E1Report {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut world = World::new(WorldConfig { width: 30, height: 30, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 30,
+        height: 30,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
 
     // Humans walk straight east-west lines at random rows.
     for _ in 0..n_humans {
@@ -115,7 +125,10 @@ pub fn run_e1(arm: E1Arm, n_humans: usize, n_devices: usize, ticks: u64, seed: u
         E1Arm::PreActionPredictive => OracleQuality::Predictive { horizon: 40 },
         _ => OracleQuality::Myopic,
     };
-    let mut fleet = Fleet::new(FleetConfig { oracle, strike_radius: 1 });
+    let mut fleet = Fleet::new(FleetConfig {
+        oracle,
+        strike_radius: 1,
+    });
 
     let stack_for = |arm: E1Arm| -> GuardStack {
         match arm {
@@ -130,21 +143,26 @@ pub fn run_e1(arm: E1Arm, n_humans: usize, n_devices: usize, ticks: u64, seed: u
                     actions::DIG_HOLE,
                     Obligation::during(Action::adjust(actions::POST_WARNING, StateDelta::empty())),
                 );
-                GuardStack::new()
-                    .with_preaction(PreActionCheck::new().with_obligations(catalog))
+                GuardStack::new().with_preaction(PreActionCheck::new().with_obligations(catalog))
             }
         }
     };
 
     // Half strikers, half diggers, scattered near human rows.
     for i in 0..n_devices {
-        let action = if i % 2 == 0 { actions::STRIKE } else { actions::DIG_HOLE };
+        let action = if i % 2 == 0 {
+            actions::STRIKE
+        } else {
+            actions::DIG_HOLE
+        };
         let pos = (rng.random_range(0..30), rng.random_range(0..30));
         fleet.add(e1_device(i as u64, action), stack_for(arm), pos);
     }
 
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     for t in 1..=ticks {
         fleet.step(&mut world, t, &events);
     }
@@ -180,7 +198,12 @@ pub enum E2Arm {
 impl E2Arm {
     /// All arms, table order.
     pub fn all() -> [E2Arm; 4] {
-        [E2Arm::NoGuard, E2Arm::HardCheck, E2Arm::OntologyRisk, E2Arm::BreakGlass]
+        [
+            E2Arm::NoGuard,
+            E2Arm::HardCheck,
+            E2Arm::OntologyRisk,
+            E2Arm::BreakGlass,
+        ]
     }
 
     /// Stable name for reports.
@@ -214,7 +237,10 @@ pub struct E2Report {
 /// Run experiment E2: seeded random walks over the Figure-3 state space,
 /// including forced-dilemma episodes that start inside the bad region.
 pub fn run_e2(arm: E2Arm, episodes: u64, steps_per_episode: u64, seed: u64) -> E2Report {
-    let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+    let schema = StateSchema::builder()
+        .var("x", 0.0, 10.0)
+        .var("y", 0.0, 10.0)
+        .build();
     let good = Region::rect(&[(3.0, 7.0), (3.0, 7.0)]);
     let classifier = RegionClassifier::new(good.clone());
 
@@ -245,7 +271,9 @@ pub fn run_e2(arm: E2Arm, episodes: u64, steps_per_episode: u64, seed: u64) -> E
         // A quarter of episodes are forced dilemmas starting in the bad
         // region.
         let start = if episode % 4 == 0 {
-            schema.state(&[rng.random_range(0.0..2.0), rng.random_range(0.0..10.0)]).unwrap()
+            schema
+                .state(&[rng.random_range(0.0..2.0), rng.random_range(0.0..10.0)])
+                .unwrap()
         } else {
             schema.state(&[5.0, 5.0]).unwrap()
         };
@@ -289,8 +317,13 @@ pub fn run_e2(arm: E2Arm, episodes: u64, steps_per_episode: u64, seed: u64) -> E
             let executed = match &mut guard {
                 None => Some(proposed.clone()),
                 Some(g) => {
-                    let verdict =
-                        g.check("walker", episode * steps_per_episode + step, &state, &proposed, &alternatives);
+                    let verdict = g.check(
+                        "walker",
+                        episode * steps_per_episode + step,
+                        &state,
+                        &proposed,
+                        &alternatives,
+                    );
                     verdict.effective_action(&proposed).cloned()
                 }
             };
@@ -395,8 +428,9 @@ pub fn run_e2d(arm: E2dArm, episodes: u64, p_deceived: f64, seed: u64) -> E2dRep
         let true_threat = if real_emergency { 0.95 } else { 0.1 };
         let attacked = rng.random_range(0.0..1.0) < p_deceived;
 
-        let mut sensors: Vec<Sensor> =
-            (0..5).map(|i| Sensor::new(format!("t{i}"), VarId(0))).collect();
+        let mut sensors: Vec<Sensor> = (0..5)
+            .map(|i| Sensor::new(format!("t{i}"), VarId(0)))
+            .collect();
         if attacked {
             // The attacker controls sensors 0 and 1 — a minority.
             sensors[0].inject_fault(SensorFault::StuckAt(1.0));
@@ -447,7 +481,11 @@ pub enum E3Arm {
 impl E3Arm {
     /// All arms, table order.
     pub fn all() -> [E3Arm; 3] {
-        [E3Arm::NoContainment, E3Arm::SelfDeactivate, E3Arm::QuorumKill]
+        [
+            E3Arm::NoContainment,
+            E3Arm::SelfDeactivate,
+            E3Arm::QuorumKill,
+        ]
     }
 
     /// Stable name for reports.
@@ -481,7 +519,12 @@ pub struct E3Report {
 /// to striking; containment arms race the harm.
 pub fn run_e3(arm: E3Arm, n_devices: usize, p_compromised: f64, ticks: u64, seed: u64) -> E3Report {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut world = World::new(WorldConfig { width: 30, height: 30, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 30,
+        height: 30,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
     // Humans scattered on looping circuits.
     for i in 0..10 {
         let row = 3 * i;
@@ -529,8 +572,10 @@ pub fn run_e3(arm: E3Arm, n_devices: usize, p_compromised: f64, ticks: u64, seed
         fleet.add(builder.build(), GuardStack::new(), pos);
     }
 
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     let mut containment_tick = None;
     let mut healthy_killed = 0u64;
 
@@ -547,9 +592,17 @@ pub fn run_e3(arm: E3Arm, n_devices: usize, p_compromised: f64, ticks: u64, seed
                 .collect();
             for (id, is_rogue) in observations {
                 for watcher in 0..5 {
-                    let seen = if rng.random_range(0.0..1.0) < 0.99 { is_rogue } else { !is_rogue };
+                    let seen = if rng.random_range(0.0..1.0) < 0.99 {
+                        is_rogue
+                    } else {
+                        !is_rogue
+                    };
                     if let Some(order) = q.vote(watcher, &id.to_string(), seen, t) {
-                        let idx: u64 = order.subject.trim_start_matches("dev-").parse().unwrap_or(0);
+                        let idx: u64 = order
+                            .subject
+                            .trim_start_matches("dev-")
+                            .parse()
+                            .unwrap_or(0);
                         if let Some(member) = fleet.member_mut(DeviceId(idx)) {
                             if member.device.state().values()[0] <= 0.5 {
                                 healthy_killed += 1;
@@ -565,8 +618,12 @@ pub fn run_e3(arm: E3Arm, n_devices: usize, p_compromised: f64, ticks: u64, seed
 
         // Containment check: all compromised devices inactive?
         if containment_tick.is_none() && n_compromised > 0 {
-            let all_contained = (0..n_compromised)
-                .all(|i| !fleet.member(DeviceId(i as u64)).map(|m| m.device.is_active()).unwrap_or(false));
+            let all_contained = (0..n_compromised).all(|i| {
+                !fleet
+                    .member(DeviceId(i as u64))
+                    .map(|m| m.device.is_active())
+                    .unwrap_or(false)
+            });
             if all_contained {
                 containment_tick = Some(t);
             }
@@ -575,7 +632,12 @@ pub fn run_e3(arm: E3Arm, n_devices: usize, p_compromised: f64, ticks: u64, seed
 
     let healthy_total = (n_devices - n_compromised).max(1);
     let healthy_active = ((n_compromised)..n_devices)
-        .filter(|&i| fleet.member(DeviceId(i as u64)).map(|m| m.device.is_active()).unwrap_or(false))
+        .filter(|&i| {
+            fleet
+                .member(DeviceId(i as u64))
+                .map(|m| m.device.is_active())
+                .unwrap_or(false)
+        })
         .count();
 
     E3Report {
@@ -648,7 +710,12 @@ pub fn run_e4(
     let spec = AggregateSpec::sum_of(VarId(0), heat_limit);
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut world = World::new(WorldConfig { width: 10, height: 10, heat_limit, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 10,
+        height: 10,
+        heat_limit,
+        heat_zone: None,
+    });
     world.add_human(vec![(5, 5)], false); // the technician in the enclosure
 
     let mut formation = match arm {
@@ -672,7 +739,13 @@ pub fn run_e4(
         let target = schema.state(&[heat_per_device]).expect("in bounds");
         let joined = match &mut formation {
             Some(guard) => guard
-                .admit(&format!("heater-{i}"), &admitted_states, &target, i as u64, &mut rng)
+                .admit(
+                    &format!("heater-{i}"),
+                    &admitted_states,
+                    &target,
+                    i as u64,
+                    &mut rng,
+                )
                 .is_admitted(),
             None => true,
         };
@@ -686,9 +759,8 @@ pub fn run_e4(
     }
 
     // Operation phase.
-    let heat_action = |amount: f64| {
-        Action::adjust("emit-heat", StateDelta::single(VarId(0), amount))
-    };
+    let heat_action =
+        |amount: f64| Action::adjust("emit-heat", StateDelta::single(VarId(0), amount));
     for t in 1..=ticks {
         // Each admitted device wants to run at heat_per_device.
         let proposals: Vec<(apdm_statespace::State, Action)> = heats
@@ -710,10 +782,19 @@ pub fn run_e4(
             work_done += *heat;
         }
         let harms = world.step(t);
-        aggregate_harms += harms.iter().filter(|h| h.cause == HarmCause::Aggregate).count();
+        aggregate_harms += harms
+            .iter()
+            .filter(|h| h.cause == HarmCause::Aggregate)
+            .count();
     }
 
-    E4Report { arm: arm.name().to_string(), aggregate_harms, admitted, refused, work_done }
+    E4Report {
+        arm: arm.name().to_string(),
+        aggregate_harms,
+        admitted,
+        refused,
+        work_done,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -862,7 +943,13 @@ pub struct E6Report {
 /// Run experiment E6: the true good/bad function is a hidden weighted
 /// halfspace over N variables; devices choose among K random candidate moves
 /// using the arm's knowledge.
-pub fn run_e6(arm: E6Arm, dims: usize, episodes: u64, steps_per_episode: u64, seed: u64) -> E6Report {
+pub fn run_e6(
+    arm: E6Arm,
+    dims: usize,
+    episodes: u64,
+    steps_per_episode: u64,
+    seed: u64,
+) -> E6Report {
     assert!(dims >= 1);
     let mut builder = StateSchema::builder();
     for i in 0..dims {
@@ -973,9 +1060,20 @@ pub struct E7Report {
 
 /// Run experiment E7: inject one Section-IV pathway into a peacekeeping
 /// fleet and measure time-to-first-harm.
-pub fn run_e7(pathway: Pathway, guarded: bool, n_devices: usize, ticks: u64, seed: u64) -> E7Report {
+pub fn run_e7(
+    pathway: Pathway,
+    guarded: bool,
+    n_devices: usize,
+    ticks: u64,
+    seed: u64,
+) -> E7Report {
     let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
-    let mut world = World::new(WorldConfig { width: 20, height: 20, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 20,
+        height: 20,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
     for i in 0..5 {
         let row = 4 * i;
         world.add_human(vec![(5, row), (6, row), (7, row), (6, row)], true);
@@ -1010,8 +1108,10 @@ pub fn run_e7(pathway: Pathway, guarded: bool, n_devices: usize, ticks: u64, see
     let mut injector = FaultInjector::new(pathway, seed);
     injector.inject(&mut fleet);
 
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     for t in 1..=ticks {
         injector.tick(&mut fleet);
         // Devices continuously sense their ambient threat level; faulted
@@ -1136,7 +1236,10 @@ pub fn run_a1(mask: GuardMask, ticks: u64, seed: u64) -> A1Report {
     world.add_human(vec![(27, 27)], false);
 
     // Device state: (aggression, heat). Bad states are high aggression.
-    let schema = StateSchema::builder().var("aggression", 0.0, 1.0).var("heat", 0.0, 10.0).build();
+    let schema = StateSchema::builder()
+        .var("aggression", 0.0, 1.0)
+        .var("heat", 0.0, 10.0)
+        .build();
     let good = Region::rect(&[(0.0, 0.7), (0.0, 10.0)]);
     let classifier = RegionClassifier::new(good);
 
@@ -1177,7 +1280,13 @@ pub fn run_a1(mask: GuardMask, ticks: u64, seed: u64) -> A1Report {
         let operating_point = schema.state_clamped(declared);
         if let Some(guard) = formation {
             if !guard
-                .admit(&format!("{kind}-{next_id}"), admitted_states, &operating_point, 0, rng)
+                .admit(
+                    &format!("{kind}-{next_id}"),
+                    admitted_states,
+                    &operating_point,
+                    0,
+                    rng,
+                )
                 .is_admitted()
             {
                 next_id += 1;
@@ -1268,8 +1377,10 @@ pub fn run_a1(mask: GuardMask, ticks: u64, seed: u64) -> A1Report {
         );
     }
 
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     for t in 1..=ticks {
         fleet.step(&mut world, t, &events);
     }
@@ -1290,11 +1401,19 @@ pub fn run_a1(mask: GuardMask, ticks: u64, seed: u64) -> A1Report {
 // ---------------------------------------------------------------------------
 
 /// Compute the six-property [`SkynetScore`] of a fleet after a run.
-pub fn skynet_score(fleet: &Fleet, world: &World, organizations: usize, orgs_spanned: usize) -> SkynetScore {
+pub fn skynet_score(
+    fleet: &Fleet,
+    world: &World,
+    organizations: usize,
+    orgs_spanned: usize,
+) -> SkynetScore {
     let n = fleet.len().max(1);
     let generated_fraction = {
         let (gen_rules, total_rules) = fleet.iter().fold((0usize, 0usize), |(g, t), (_, m)| {
-            (g + m.device.engine().generated_count(), t + m.device.engine().len())
+            (
+                g + m.device.engine().generated_count(),
+                t + m.device.engine().len(),
+            )
         });
         if total_rules == 0 {
             0.0
@@ -1317,7 +1436,10 @@ pub fn skynet_score(fleet: &Fleet, world: &World, organizations: usize, orgs_spa
             fleet
                 .iter()
                 .filter(|(_, mem)| {
-                    mem.device.engine().iter().any(|(_, r)| r.action().is_physical())
+                    mem.device
+                        .engine()
+                        .iter()
+                        .any(|(_, r)| r.action().is_physical())
                 })
                 .count() as f64
                 / n as f64
@@ -1357,7 +1479,12 @@ pub struct A3Report {
 /// with per-attempt success probability `p_tamper`.
 pub fn run_a3(p_tamper: f64, n_devices: usize, ticks: u64, seed: u64) -> A3Report {
     let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
-    let mut world = World::new(WorldConfig { width: 20, height: 20, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 20,
+        height: 20,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
     for i in 0..5 {
         let row = 4 * i;
         world.add_human(vec![(5, row), (6, row)], true);
@@ -1374,15 +1501,16 @@ pub fn run_a3(p_tamper: f64, n_devices: usize, ticks: u64, seed: u64) -> A3Repor
                 Action::adjust(actions::STRIKE, StateDelta::empty()).physical(),
             ))
             .build();
-        let stack = GuardStack::new().with_preaction(
-            PreActionCheck::new().with_tamper(TamperStatus::vulnerable(p_tamper)),
-        );
+        let stack = GuardStack::new()
+            .with_preaction(PreActionCheck::new().with_tamper(TamperStatus::vulnerable(p_tamper)));
         let pos = (rng.random_range(4..8), rng.random_range(0..20));
         fleet.add(device, stack, pos);
     }
 
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     for t in 1..=ticks {
         // The rogue side probes every guard each tick.
         for (_, member) in fleet.iter_mut() {
@@ -1434,7 +1562,10 @@ mod tests {
         assert!(none.bad_entries > 0);
         // Hard check: only episodes *starting* bad can register bad states.
         assert!(hard.bad_entries < none.bad_entries);
-        assert!(hard.frozen_steps > 0, "forced dilemmas freeze without ontology");
+        assert!(
+            hard.frozen_steps > 0,
+            "forced dilemmas freeze without ontology"
+        );
     }
 
     #[test]
@@ -1449,9 +1580,18 @@ mod tests {
     fn e2d_shape_fusion_defeats_minority_deception() {
         let single = run_e2d(E2dArm::SingleSensor, 300, 0.3, 5);
         let fused = run_e2d(E2dArm::FusedSensors, 300, 0.3, 5);
-        assert!(single.wrongful_grants > 30, "deception fools the lone sensor");
-        assert_eq!(fused.wrongful_grants, 0, "fusion rejects the colluding minority");
-        assert_eq!(fused.missed_emergencies, 0, "real emergencies still break the glass");
+        assert!(
+            single.wrongful_grants > 30,
+            "deception fools the lone sensor"
+        );
+        assert_eq!(
+            fused.wrongful_grants, 0,
+            "fusion rejects the colluding minority"
+        );
+        assert_eq!(
+            fused.missed_emergencies, 0,
+            "real emergencies still break the glass"
+        );
         assert!(fused.rightful_grants > 0);
     }
 
@@ -1508,14 +1648,36 @@ mod tests {
     fn e7_shape_unguarded_pathways_all_harm() {
         for pathway in Pathway::all() {
             let r = run_e7(pathway, false, 4, 60, 8);
-            assert!(r.first_harm_tick.is_some(), "{} should harm unguarded", pathway.name());
+            assert!(
+                r.first_harm_tick.is_some(),
+                "{} should harm unguarded",
+                pathway.name()
+            );
         }
     }
 
     #[test]
     fn a1_full_stack_minimizes_harm() {
-        let none = run_a1(GuardMask { preaction: false, statecheck: false, deactivation: false, formation: false }, 40, 9);
-        let full = run_a1(GuardMask { preaction: true, statecheck: true, deactivation: true, formation: true }, 40, 9);
+        let none = run_a1(
+            GuardMask {
+                preaction: false,
+                statecheck: false,
+                deactivation: false,
+                formation: false,
+            },
+            40,
+            9,
+        );
+        let full = run_a1(
+            GuardMask {
+                preaction: true,
+                statecheck: true,
+                deactivation: true,
+                formation: true,
+            },
+            40,
+            9,
+        );
         assert!(none.total > 0);
         assert!(full.total < none.total);
         assert_eq!(full.direct, 0);

@@ -133,12 +133,16 @@ pub fn run_surveillance(n_drones: usize, ticks: u64, seed: u64) -> SurveillanceR
 
     let mut next_id = 0u64;
     let add = |kind: &str,
-                   devices: &mut Vec<(Device, PolicyGenerator)>,
-                   topo: &mut Topology,
-                   nodes: &mut Vec<NodeId>,
-                   infos: &mut Vec<NodeInfo>,
-                   next_id: &mut u64| {
-        let org = if (*next_id).is_multiple_of(2) { "us" } else { "uk" };
+               devices: &mut Vec<(Device, PolicyGenerator)>,
+               topo: &mut Topology,
+               nodes: &mut Vec<NodeId>,
+               infos: &mut Vec<NodeInfo>,
+               next_id: &mut u64| {
+        let org = if (*next_id).is_multiple_of(2) {
+            "us"
+        } else {
+            "uk"
+        };
         let device = make_device(*next_id, kind, org);
         let node = topo.add_node();
         let mut info = NodeInfo::new(node, kind, org);
@@ -155,13 +159,34 @@ pub fn run_surveillance(n_drones: usize, ticks: u64, seed: u64) -> SurveillanceR
     };
 
     for _ in 0..n_drones {
-        add(DRONE, &mut devices, &mut topo, &mut nodes, &mut infos, &mut next_id);
+        add(
+            DRONE,
+            &mut devices,
+            &mut topo,
+            &mut nodes,
+            &mut infos,
+            &mut next_id,
+        );
     }
     for _ in 0..n_chem {
-        add(CHEM_DRONE, &mut devices, &mut topo, &mut nodes, &mut infos, &mut next_id);
+        add(
+            CHEM_DRONE,
+            &mut devices,
+            &mut topo,
+            &mut nodes,
+            &mut infos,
+            &mut next_id,
+        );
     }
     for _ in 0..n_mule {
-        add(MULE, &mut devices, &mut topo, &mut nodes, &mut infos, &mut next_id);
+        add(
+            MULE,
+            &mut devices,
+            &mut topo,
+            &mut nodes,
+            &mut infos,
+            &mut next_id,
+        );
     }
 
     // Mesh the topology (every pair linked with unit latency).
@@ -191,7 +216,10 @@ pub fn run_surveillance(n_drones: usize, ticks: u64, seed: u64) -> SurveillanceR
         // Discovery drives policy generation (Section IV).
         for event in disco.step(&mut net, tick) {
             if let DiscoveryEvent::Appeared { observer, info } = event {
-                let idx = nodes.iter().position(|&n| n == observer).expect("known node");
+                let idx = nodes
+                    .iter()
+                    .position(|&n| n == observer)
+                    .expect("known node");
                 let (device, generator) = &mut devices[idx];
                 let mut attrs = Attributes::new();
                 for (k, v) in &info.attrs {
@@ -266,7 +294,12 @@ pub fn run_convoy_interception(
 
     assert!(n_convoys >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut world = World::new(WorldConfig { width: 30, height: 30, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 30,
+        height: 30,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
 
     // Convoys cross west-to-east on random rows, each sighted on entry by
     // the drone screen.
@@ -277,9 +310,7 @@ pub fn run_convoy_interception(
     }
 
     // One mule per convoy, garrisoned along the southern edge.
-    let mut mules: Vec<Cell> = (0..n_convoys)
-        .map(|i| ((3 * i as i32) % 30, 29))
-        .collect();
+    let mut mules: Vec<Cell> = (0..n_convoys).map(|i| ((3 * i as i32) % 30, 29)).collect();
 
     let step_toward = |from: Cell, to: Cell| -> Cell {
         (
@@ -300,9 +331,8 @@ pub fn run_convoy_interception(
                     // mule arrives. A half-speed mule takes ~2 ticks per
                     // cell, so lead by twice the current distance.
                     let current = world.convoy_pos(i).expect("convoy exists");
-                    let distance = (current.0 - mule.0)
-                        .abs()
-                        .max((current.1 - mule.1).abs()) as u64;
+                    let distance =
+                        (current.0 - mule.0).abs().max((current.1 - mule.1).abs()) as u64;
                     world
                         .predicted_convoy_pos(i, 2 * distance)
                         .expect("convoy exists")
@@ -398,7 +428,13 @@ pub fn run_repair_cycle(
         for w in &mut workers {
             // Wear accrues while operating; degraded devices wear slower
             // (they do less) but never heal on their own.
-            w.wear = (w.wear + if w.health == Health::Operational { 1.5 } else { 0.3 }).min(100.0);
+            w.wear = (w.wear
+                + if w.health == Health::Operational {
+                    1.5
+                } else {
+                    0.3
+                })
+            .min(100.0);
             let state = schema.state_clamped(&[w.wear]);
             w.health = diagnostics.assess(&state);
             if w.health == Health::Operational {
@@ -406,9 +442,10 @@ pub fn run_repair_cycle(
                 continue;
             }
             // NeedsRepair: drive toward the nearest mechanic, if any.
-            if let Some(&depot) = mechanics.iter().min_by_key(|&&(x, y)| {
-                (x - w.pos.0).abs().max((y - w.pos.1).abs())
-            }) {
+            if let Some(&depot) = mechanics
+                .iter()
+                .min_by_key(|&&(x, y)| (x - w.pos.0).abs().max((y - w.pos.1).abs()))
+            {
                 w.pos = (
                     w.pos.0 + (depot.0 - w.pos.0).signum(),
                     w.pos.1 + (depot.1 - w.pos.1).signum(),
@@ -426,7 +463,10 @@ pub fn run_repair_cycle(
         workers: n_workers,
         repairs,
         availability: operational_ticks as f64 / (n_workers as u64 * ticks) as f64,
-        operational_at_end: workers.iter().filter(|w| w.health == Health::Operational).count(),
+        operational_at_end: workers
+            .iter()
+            .filter(|w| w.health == Health::Operational)
+            .count(),
     }
 }
 
@@ -438,10 +478,16 @@ mod tests {
     fn coalition_generates_policies_and_handles_sightings() {
         let report = run_surveillance(8, 120, 1);
         assert_eq!(report.devices, 8 + 2 + 2);
-        assert!(report.policies_generated > 0, "discovery must trigger generation");
+        assert!(
+            report.policies_generated > 0,
+            "discovery must trigger generation"
+        );
         assert!(report.sightings > 20);
         assert!(report.handled > 0);
-        assert!(report.autonomy() > 0.5, "most sightings handled autonomously");
+        assert!(
+            report.autonomy() > 0.5,
+            "most sightings handled autonomously"
+        );
         assert!(report.autonomy() < 1.0, "ambiguous sightings escalate");
     }
 
@@ -480,7 +526,10 @@ mod tests {
             chase_total += chase.intercepted;
             lead_total += lead.intercepted;
         }
-        assert!(lead_total > chase_total, "lead {lead_total} vs chase {chase_total}");
+        assert!(
+            lead_total > chase_total,
+            "lead {lead_total} vs chase {chase_total}"
+        );
     }
 
     #[test]
@@ -488,7 +537,10 @@ mod tests {
         let without = run_repair_cycle(20, false, 200, 3);
         let with_mech = run_repair_cycle(20, true, 200, 3);
         assert_eq!(without.repairs, 0);
-        assert_eq!(without.operational_at_end, 0, "everything wears out unattended");
+        assert_eq!(
+            without.operational_at_end, 0,
+            "everything wears out unattended"
+        );
         assert!(without.availability < 0.4);
         assert!(with_mech.repairs > 0);
         assert!(
@@ -502,7 +554,10 @@ mod tests {
 
     #[test]
     fn repair_cycle_deterministic() {
-        assert_eq!(run_repair_cycle(10, true, 100, 8), run_repair_cycle(10, true, 100, 8));
+        assert_eq!(
+            run_repair_cycle(10, true, 100, 8),
+            run_repair_cycle(10, true, 100, 8)
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        WorldConfig { width: 20, height: 20, heat_limit: 10.0, heat_zone: None }
+        WorldConfig {
+            width: 20,
+            height: 20,
+            heat_limit: 10.0,
+            heat_zone: None,
+        }
     }
 }
 
@@ -177,7 +182,12 @@ impl World {
     /// Panics on an empty path.
     pub fn add_human(&mut self, path: Vec<Cell>, looping: bool) -> usize {
         assert!(!path.is_empty(), "human paths must be non-empty");
-        self.humans.push(Human { path, idx: 0, looping, harmed: false });
+        self.humans.push(Human {
+            path,
+            idx: 0,
+            looping,
+            harmed: false,
+        });
         self.humans.len() - 1
     }
 
@@ -286,7 +296,12 @@ impl World {
             if (hx - cell.0).abs().max((hy - cell.1).abs()) <= radius {
                 h.harmed = true;
                 harmed += 1;
-                harms.push(HarmEvent { tick, human: i, cause: HarmCause::Direct, device: Some(device) });
+                harms.push(HarmEvent {
+                    tick,
+                    human: i,
+                    cause: HarmCause::Direct,
+                    device: Some(device),
+                });
             }
         }
         harmed
@@ -363,7 +378,11 @@ impl World {
     /// Panics on an empty path.
     pub fn add_convoy(&mut self, path: Vec<Cell>) -> usize {
         assert!(!path.is_empty(), "convoy paths must be non-empty");
-        self.convoys.push(Convoy { path, idx: 0, intercepted_at: None });
+        self.convoys.push(Convoy {
+            path,
+            idx: 0,
+            intercepted_at: None,
+        });
         self.convoys.len() - 1
     }
 
@@ -393,7 +412,9 @@ impl World {
     /// (a convoy whose path is exhausted has escaped — interception missed).
     /// Returns whether the convoy is now (or already was) intercepted.
     pub fn try_intercept(&mut self, i: usize, cell: Cell, tick: u64) -> bool {
-        let Some(convoy) = self.convoys.get_mut(i) else { return false };
+        let Some(convoy) = self.convoys.get_mut(i) else {
+            return false;
+        };
         if convoy.intercepted_at.is_some() {
             return true;
         }
@@ -428,7 +449,12 @@ mod tests {
     use super::*;
 
     fn world() -> World {
-        World::new(WorldConfig { width: 10, height: 10, heat_limit: 5.0, heat_zone: None })
+        World::new(WorldConfig {
+            width: 10,
+            height: 10,
+            heat_limit: 5.0,
+            heat_zone: None,
+        })
     }
 
     #[test]
@@ -595,7 +621,10 @@ mod tests {
         w.step(1);
         assert_eq!(w.convoy_pos(c), Some((1, 0)));
         assert_eq!(w.predicted_convoy_pos(c, 2), Some((3, 0)));
-        assert!(w.try_intercept(c, (2, 1), 2), "adjacent interceptor succeeds");
+        assert!(
+            w.try_intercept(c, (2, 1), 2),
+            "adjacent interceptor succeeds"
+        );
         assert_eq!(w.convoy_intercepted_at(c), Some(2));
         w.step(3);
         assert_eq!(w.convoy_pos(c), Some((1, 0)), "intercepted convoys stop");
@@ -609,7 +638,11 @@ mod tests {
         assert_eq!(w.convoy_intercepted_at(c), None);
         w.step(1);
         w.step(2);
-        assert_eq!(w.convoys_escaped(), 1, "path exhausted without interception");
+        assert_eq!(
+            w.convoys_escaped(),
+            1,
+            "path exhausted without interception"
+        );
     }
 
     #[test]

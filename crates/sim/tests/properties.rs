@@ -10,7 +10,12 @@ use apdm_sim::{actions, Fleet, FleetConfig, World, WorldConfig};
 use apdm_statespace::{StateDelta, StateSchema};
 
 fn small_world(humans: &[(i32, i32)]) -> World {
-    let mut w = World::new(WorldConfig { width: 12, height: 12, heat_limit: 10.0, heat_zone: None });
+    let mut w = World::new(WorldConfig {
+        width: 12,
+        height: 12,
+        heat_limit: 10.0,
+        heat_zone: None,
+    });
     for &(x, y) in humans {
         w.add_human(vec![(x, y), (x + 1, y), (x, y)], true);
     }

@@ -20,7 +20,12 @@ pub struct NodeInfo {
 impl NodeInfo {
     /// Info with no attributes.
     pub fn new(node: NodeId, kind: impl Into<String>, org: impl Into<String>) -> Self {
-        NodeInfo { node, kind: kind.into(), org: org.into(), attrs: Vec::new() }
+        NodeInfo {
+            node,
+            kind: kind.into(),
+            org: org.into(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Attach an attribute (builder style).
@@ -31,7 +36,10 @@ impl NodeInfo {
 
     /// Look up an attribute.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -144,7 +152,10 @@ impl DiscoveryService {
             let is_new = !table.contains_key(&msg.payload.node);
             table.insert(msg.payload.node, (msg.payload.clone(), now));
             if is_new {
-                events.push(DiscoveryEvent::Appeared { observer: msg.to, info: msg.payload });
+                events.push(DiscoveryEvent::Appeared {
+                    observer: msg.to,
+                    info: msg.payload,
+                });
             }
         }
         // Expire silent entries.

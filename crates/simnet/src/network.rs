@@ -80,7 +80,12 @@ impl<P> Network<P> {
         self.pending
             .entry(now + link.latency)
             .or_default()
-            .push(Delivered { from, to, payload, sent_at: now });
+            .push(Delivered {
+                from,
+                to,
+                payload,
+                sent_at: now,
+            });
         true
     }
 

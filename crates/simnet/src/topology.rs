@@ -32,7 +32,11 @@ pub struct Link {
 impl Link {
     /// A reliable link with the given latency (min 1 tick).
     pub fn with_latency(latency: u64) -> Self {
-        Link { latency: latency.max(1), loss: 0.0, up: true }
+        Link {
+            latency: latency.max(1),
+            loss: 0.0,
+            up: true,
+        }
     }
 
     /// Set the loss probability (clamped to `[0, 1]`; builder style).
@@ -159,7 +163,9 @@ impl Topology {
 
     /// Is the up-link graph connected? (Vacuously true for <= 1 node.)
     pub fn is_connected(&self) -> bool {
-        let Some(&start) = self.nodes.first() else { return true };
+        let Some(&start) = self.nodes.first() else {
+            return true;
+        };
         let mut seen = vec![start];
         let mut stack = vec![start];
         while let Some(n) = stack.pop() {

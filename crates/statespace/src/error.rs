@@ -47,10 +47,16 @@ impl fmt::Display for StateSpaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StateSpaceError::DimensionMismatch { expected, actual } => {
-                write!(f, "state has {actual} components but schema declares {expected}")
+                write!(
+                    f,
+                    "state has {actual} components but schema declares {expected}"
+                )
             }
             StateSpaceError::OutOfBounds { var, value, lo, hi } => {
-                write!(f, "value {value} for variable `{var}` is outside [{lo}, {hi}]")
+                write!(
+                    f,
+                    "value {value} for variable `{var}` is outside [{lo}, {hi}]"
+                )
             }
             StateSpaceError::UnknownVar(name) => {
                 write!(f, "variable `{name}` is not declared in the schema")

@@ -38,7 +38,10 @@ impl Grid2 {
     /// or a dimension is zero.
     pub fn new(schema: StateSchema, nx: usize, ny: usize) -> Result<Self, String> {
         if schema.len() < 2 {
-            return Err(format!("Grid2 needs a 2-variable schema, got {}", schema.len()));
+            return Err(format!(
+                "Grid2 needs a 2-variable schema, got {}",
+                schema.len()
+            ));
         }
         if nx == 0 || ny == 0 {
             return Err("grid dimensions must be positive".to_string());
@@ -101,7 +104,11 @@ impl Grid2 {
                 labels.push(classifier.classify(&state));
             }
         }
-        GridLabels { nx: self.nx, ny: self.ny, labels }
+        GridLabels {
+            nx: self.nx,
+            ny: self.ny,
+            labels,
+        }
     }
 }
 
@@ -203,7 +210,10 @@ mod tests {
     use crate::{Region, RegionClassifier};
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build()
     }
 
     fn fig3_grid() -> (Grid2, GridLabels) {
@@ -231,7 +241,7 @@ mod tests {
 
     #[test]
     fn cell_of_inverts_center() {
-        let grid = Grid2::new(schema(), 8, 8) .unwrap();
+        let grid = Grid2::new(schema(), 8, 8).unwrap();
         for i in 0..8 {
             for j in 0..8 {
                 let s = grid.center(i, j).unwrap();

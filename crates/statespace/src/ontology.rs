@@ -66,7 +66,11 @@ impl PreferenceOntology {
     /// take precedence when a state is a member of several.
     pub fn add_class(&mut self, name: impl Into<String>, membership: Region) -> ClassId {
         let id = ClassId(self.classes.len());
-        self.classes.push(ClassNode { name: name.into(), membership, worse: Vec::new() });
+        self.classes.push(ClassNode {
+            name: name.into(),
+            membership,
+            worse: Vec::new(),
+        });
         id
     }
 
@@ -219,7 +223,9 @@ impl PreferenceOntology {
             .enumerate()
             .filter(|(i, _)| ranks[*i] == best)
             .min_by(|(_, a), (_, b)| {
-                risk(a).partial_cmp(&risk(b)).unwrap_or(std::cmp::Ordering::Equal)
+                risk(a)
+                    .partial_cmp(&risk(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i)
     }
@@ -291,7 +297,10 @@ mod tests {
         let (ont, ..) = ontology();
         let lose_life = schema().state(&[0.0, 0.9, 0.0]).unwrap();
         let start_fire = schema().state(&[0.9, 0.0, 0.0]).unwrap();
-        assert_eq!(ont.choose_less_bad(&[lose_life.clone(), start_fire.clone()]), Some(1));
+        assert_eq!(
+            ont.choose_less_bad(&[lose_life.clone(), start_fire.clone()]),
+            Some(1)
+        );
         assert_eq!(ont.choose_less_bad(&[start_fire, lose_life]), Some(0));
     }
 
@@ -322,7 +331,10 @@ mod tests {
         let (ont, ..) = ontology();
         let benign_a = schema().state(&[0.0, 0.0, 0.0]).unwrap();
         let benign_b = schema().state(&[0.1, 0.1, 0.1]).unwrap();
-        assert_eq!(ont.choose_less_bad(&[benign_a.clone(), benign_b.clone()]), None);
+        assert_eq!(
+            ont.choose_less_bad(&[benign_a.clone(), benign_b.clone()]),
+            None
+        );
         assert_eq!(
             ont.choose_less_bad_with_risk(&[benign_a, benign_b], |_| 0.0),
             None

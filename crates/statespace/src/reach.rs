@@ -117,7 +117,9 @@ pub fn guarded_reachable<R: TransitionRelation>(
     relation: &R,
     start: (usize, usize),
 ) -> Reachability {
-    reachable_from(grid, relation, start, |i, j| labels.label(i, j) != Label::Bad)
+    reachable_from(grid, relation, start, |i, j| {
+        labels.label(i, j) != Label::Bad
+    })
 }
 
 /// The safe kernel: cells from which the device always has at least one
@@ -189,7 +191,10 @@ mod tests {
     use crate::{Region, RegionClassifier, StateSchema};
 
     fn setup(good: Region) -> (Grid2, GridLabels) {
-        let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+        let schema = StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build();
         let grid = Grid2::new(schema, 10, 10).unwrap();
         let labels = grid.classify(&RegionClassifier::new(good));
         (grid, labels)
@@ -208,7 +213,11 @@ mod tests {
         for i in 0..10 {
             for j in 0..10 {
                 if reach.is_reachable(i, j) {
-                    assert_ne!(labels.label(i, j), Label::Bad, "guard leaked into ({i},{j})");
+                    assert_ne!(
+                        labels.label(i, j),
+                        Label::Bad,
+                        "guard leaked into ({i},{j})"
+                    );
                 }
             }
         }
@@ -251,7 +260,10 @@ mod tests {
 
     #[test]
     fn drift_moves_always_advance() {
-        let schema = StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build();
+        let schema = StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build();
         let grid = Grid2::new(schema, 10, 10).unwrap();
         for (si, _) in DriftMoves.successors(&grid, 4, 4) {
             assert_eq!(si, 5);

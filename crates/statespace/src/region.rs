@@ -53,12 +53,18 @@ pub enum Region {
 impl Region {
     /// Axis-aligned box from `(lo, hi)` pairs, one per leading variable.
     pub fn rect(bounds: &[(f64, f64)]) -> Region {
-        Region::Box { bounds: bounds.to_vec() }
+        Region::Box {
+            bounds: bounds.to_vec(),
+        }
     }
 
     /// Half-space `s[var] >= threshold` (when `upper`) or `<= threshold`.
     pub fn half_space(var: VarId, threshold: f64, upper: bool) -> Region {
-        Region::HalfSpace { var, threshold, upper }
+        Region::HalfSpace {
+            var,
+            threshold,
+            upper,
+        }
     }
 
     /// Union with another region.
@@ -106,9 +112,19 @@ impl Region {
                     // nothing: the constraint cannot be checked.
                     .unwrap_or(false)
             }),
-            Region::HalfSpace { var, threshold, upper } => state
+            Region::HalfSpace {
+                var,
+                threshold,
+                upper,
+            } => state
                 .get(*var)
-                .map(|v| if *upper { v >= *threshold } else { v <= *threshold })
+                .map(|v| {
+                    if *upper {
+                        v >= *threshold
+                    } else {
+                        v <= *threshold
+                    }
+                })
                 .unwrap_or(false),
             Region::Union(rs) => rs.iter().any(|r| r.contains(state)),
             Region::Intersection(rs) => rs.iter().all(|r| r.contains(state)),
@@ -134,7 +150,11 @@ impl Region {
                     None => f64::INFINITY,
                 })
                 .fold(0.0, f64::max),
-            Region::HalfSpace { var, threshold, upper } => match state.get(*var) {
+            Region::HalfSpace {
+                var,
+                threshold,
+                upper,
+            } => match state.get(*var) {
                 Some(v) => {
                     if *upper {
                         (threshold - v).max(0.0)
@@ -167,7 +187,10 @@ mod tests {
     use crate::StateSchema;
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build()
     }
 
     fn st(x: f64, y: f64) -> State {

@@ -72,7 +72,10 @@ impl LinearRisk {
 
     /// Uniform risk: every variable contributes equally.
     pub fn uniform(n_vars: usize) -> Self {
-        LinearRisk { weights: vec![1.0 / n_vars.max(1) as f64; n_vars], bias: 0.0 }
+        LinearRisk {
+            weights: vec![1.0 / n_vars.max(1) as f64; n_vars],
+            bias: 0.0,
+        }
     }
 
     /// The per-variable weights.
@@ -133,11 +136,18 @@ pub struct CompositeRisk {
 impl CompositeRisk {
     /// An empty composite with neutral context.
     pub fn new() -> Self {
-        CompositeRisk { parts: Vec::new(), context_scale: 1.0 }
+        CompositeRisk {
+            parts: Vec::new(),
+            context_scale: 1.0,
+        }
     }
 
     /// Add a weighted component.
-    pub fn with(mut self, estimator: impl RiskEstimator + Send + Sync + 'static, weight: f64) -> Self {
+    pub fn with(
+        mut self,
+        estimator: impl RiskEstimator + Send + Sync + 'static,
+        weight: f64,
+    ) -> Self {
         self.parts.push((Arc::new(estimator), weight));
         self
     }
@@ -187,7 +197,10 @@ mod tests {
     use crate::StateSchema;
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build()
     }
 
     #[test]
@@ -232,7 +245,10 @@ mod tests {
     fn composite_weighs_and_scales() {
         let comp = CompositeRisk::new()
             .with(LinearRisk::new(vec![1.0, 0.0], 0.0), 2.0)
-            .with(HazardRisk::new(vec![(Region::rect(&[(8.0, 10.0)]), 1.0)], 0.0), 1.0)
+            .with(
+                HazardRisk::new(vec![(Region::rect(&[(8.0, 10.0)]), 1.0)], 0.0),
+                1.0,
+            )
             .with_context_scale(3.0);
         let s = schema().state(&[10.0, 0.0]).unwrap();
         // linear = 1.0 * 2.0, hazard = 1.0, scaled by 3.

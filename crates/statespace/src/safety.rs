@@ -110,7 +110,10 @@ pub struct RegionClassifier {
 impl RegionClassifier {
     /// Figure-3 style classifier: one good region, bad everywhere else.
     pub fn new(good: Region) -> Self {
-        RegionClassifier { bad: good.clone().complement(), good }
+        RegionClassifier {
+            bad: good.clone().complement(),
+            good,
+        }
     }
 
     /// Classifier with explicit good and bad regions; the remainder is
@@ -176,7 +179,11 @@ impl<M: SafenessMetric> ThresholdClassifier<M> {
     /// Panics if `bad_below > good_at` — the band would be contradictory.
     pub fn new(metric: M, good_at: f64, bad_below: f64) -> Self {
         assert!(bad_below <= good_at, "bad_below must not exceed good_at");
-        ThresholdClassifier { metric, good_at, bad_below }
+        ThresholdClassifier {
+            metric,
+            good_at,
+            bad_below,
+        }
     }
 
     /// The underlying metric.
@@ -230,7 +237,9 @@ impl OracleClassifier {
 
 impl Clone for OracleClassifier {
     fn clone(&self) -> Self {
-        OracleClassifier { f: Arc::clone(&self.f) }
+        OracleClassifier {
+            f: Arc::clone(&self.f),
+        }
     }
 }
 
@@ -252,7 +261,10 @@ mod tests {
     use crate::StateSchema;
 
     fn schema() -> StateSchema {
-        StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+        StateSchema::builder()
+            .var("x", 0.0, 10.0)
+            .var("y", 0.0, 10.0)
+            .build()
     }
 
     fn st(x: f64, y: f64) -> State {

@@ -45,7 +45,9 @@ impl StateSchema {
                 return Err(StateSpaceError::DuplicateVar(v.name().to_string()));
             }
         }
-        Ok(StateSchema { vars: Arc::new(vars) })
+        Ok(StateSchema {
+            vars: Arc::new(vars),
+        })
     }
 
     /// Number of state variables.
@@ -97,7 +99,10 @@ impl StateSchema {
                 });
             }
         }
-        Ok(State { schema: self.clone(), values: values.to_vec() })
+        Ok(State {
+            schema: self.clone(),
+            values: values.to_vec(),
+        })
     }
 
     /// Construct a [`State`], clamping each component into bounds instead of
@@ -118,21 +123,36 @@ impl StateSchema {
             .vars
             .iter()
             .zip(values)
-            .map(|(spec, &v)| if v.is_finite() { spec.clamp(v) } else { spec.lo() })
+            .map(|(spec, &v)| {
+                if v.is_finite() {
+                    spec.clamp(v)
+                } else {
+                    spec.lo()
+                }
+            })
             .collect();
-        State { schema: self.clone(), values }
+        State {
+            schema: self.clone(),
+            values,
+        }
     }
 
     /// The state at every variable's lower bound (a canonical origin).
     pub fn origin(&self) -> State {
         let values = self.vars.iter().map(|v| v.lo()).collect();
-        State { schema: self.clone(), values }
+        State {
+            schema: self.clone(),
+            values,
+        }
     }
 
     /// The state at the midpoint of every variable's range.
     pub fn midpoint(&self) -> State {
         let values = self.vars.iter().map(|v| (v.lo() + v.hi()) / 2.0).collect();
-        State { schema: self.clone(), values }
+        State {
+            schema: self.clone(),
+            values,
+        }
     }
 }
 
@@ -162,7 +182,9 @@ impl StateSchemaBuilder {
 
     /// Finish building.
     pub fn build(self) -> StateSchema {
-        StateSchema { vars: Arc::new(self.vars) }
+        StateSchema {
+            vars: Arc::new(self.vars),
+        }
     }
 }
 
@@ -208,8 +230,15 @@ impl State {
             .var(id)
             .ok_or_else(|| StateSpaceError::UnknownVar(id.to_string()))?;
         let mut values = self.values.clone();
-        values[id.0] = if value.is_finite() { spec.clamp(value) } else { spec.lo() };
-        Ok(State { schema: self.schema.clone(), values })
+        values[id.0] = if value.is_finite() {
+            spec.clamp(value)
+        } else {
+            spec.lo()
+        };
+        Ok(State {
+            schema: self.schema.clone(),
+            values,
+        })
     }
 
     /// Apply a delta, clamping each component into bounds.
@@ -218,10 +247,17 @@ impl State {
         for &(id, dv) in &delta.changes {
             if let Some(spec) = self.schema.var(id) {
                 let v = values[id.0] + dv;
-                values[id.0] = if v.is_finite() { spec.clamp(v) } else { spec.lo() };
+                values[id.0] = if v.is_finite() {
+                    spec.clamp(v)
+                } else {
+                    spec.lo()
+                };
             }
         }
-        State { schema: self.schema.clone(), values }
+        State {
+            schema: self.schema.clone(),
+            values,
+        }
     }
 
     /// Euclidean distance to another state in the same schema.
@@ -230,7 +266,10 @@ impl State {
     ///
     /// Panics if the states belong to different schemas.
     pub fn distance(&self, other: &State) -> f64 {
-        assert_eq!(self.schema, other.schema, "states belong to different schemas");
+        assert_eq!(
+            self.schema, other.schema,
+            "states belong to different schemas"
+        );
         self.values
             .iter()
             .zip(&other.values)
@@ -242,7 +281,10 @@ impl State {
     /// Distance normalized per-variable by the variable's span, so that
     /// heterogeneous units compare fairly. Result is in `[0, sqrt(N)]`.
     pub fn normalized_distance(&self, other: &State) -> f64 {
-        assert_eq!(self.schema, other.schema, "states belong to different schemas");
+        assert_eq!(
+            self.schema, other.schema,
+            "states belong to different schemas"
+        );
         self.schema
             .vars()
             .iter()
@@ -266,7 +308,10 @@ impl State {
     ///
     /// Panics if the states belong to different schemas.
     pub fn delta_to(&self, other: &State) -> StateDelta {
-        assert_eq!(self.schema, other.schema, "states belong to different schemas");
+        assert_eq!(
+            self.schema, other.schema,
+            "states belong to different schemas"
+        );
         let changes = self
             .values
             .iter()
@@ -310,7 +355,9 @@ impl StateDelta {
 
     /// A delta changing a single variable.
     pub fn single(id: VarId, dv: f64) -> Self {
-        StateDelta { changes: vec![(id, dv)] }
+        StateDelta {
+            changes: vec![(id, dv)],
+        }
     }
 
     /// Add a change to this delta (builder style).
@@ -337,14 +384,20 @@ impl StateDelta {
     /// Scale every change by `factor`.
     pub fn scaled(&self, factor: f64) -> StateDelta {
         StateDelta {
-            changes: self.changes.iter().map(|&(id, dv)| (id, dv * factor)).collect(),
+            changes: self
+                .changes
+                .iter()
+                .map(|&(id, dv)| (id, dv * factor))
+                .collect(),
         }
     }
 }
 
 impl FromIterator<(VarId, f64)> for StateDelta {
     fn from_iter<T: IntoIterator<Item = (VarId, f64)>>(iter: T) -> Self {
-        StateDelta { changes: iter.into_iter().collect() }
+        StateDelta {
+            changes: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -353,7 +406,10 @@ mod tests {
     use super::*;
 
     fn schema2() -> StateSchema {
-        StateSchema::builder().var("a", 0.0, 10.0).var("b", -5.0, 5.0).build()
+        StateSchema::builder()
+            .var("a", 0.0, 10.0)
+            .var("b", -5.0, 5.0)
+            .build()
     }
 
     #[test]
@@ -361,15 +417,24 @@ mod tests {
         let s = schema2();
         assert!(matches!(
             s.state(&[1.0]),
-            Err(StateSpaceError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(StateSpaceError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 
     #[test]
     fn state_construction_validates_bounds() {
         let s = schema2();
-        assert!(matches!(s.state(&[11.0, 0.0]), Err(StateSpaceError::OutOfBounds { .. })));
-        assert!(matches!(s.state(&[f64::NAN, 0.0]), Err(StateSpaceError::OutOfBounds { .. })));
+        assert!(matches!(
+            s.state(&[11.0, 0.0]),
+            Err(StateSpaceError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.state(&[f64::NAN, 0.0]),
+            Err(StateSpaceError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -57,10 +57,20 @@ impl ExposureMonitor {
     /// Panics when `budget <= 0`, `warn_at > budget`, or `decay` is outside
     /// `[0, 1]`.
     pub fn new(var: VarId, budget: f64, warn_at: f64, decay: f64) -> Self {
-        assert!(budget > 0.0 && budget.is_finite(), "budget must be finite and positive");
+        assert!(
+            budget > 0.0 && budget.is_finite(),
+            "budget must be finite and positive"
+        );
         assert!(warn_at <= budget, "warn_at must not exceed the budget");
         assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
-        ExposureMonitor { var, budget, warn_at, decay, accumulated: 0.0, observations: 0 }
+        ExposureMonitor {
+            var,
+            budget,
+            warn_at,
+            decay,
+            accumulated: 0.0,
+            observations: 0,
+        }
     }
 
     /// The monitored variable.
@@ -164,7 +174,10 @@ pub struct TrajectoryClassifier<C> {
 impl<C: Classifier> TrajectoryClassifier<C> {
     /// Wrap a per-state classifier.
     pub fn new(per_state: C) -> Self {
-        TrajectoryClassifier { per_state, monitors: Vec::new() }
+        TrajectoryClassifier {
+            per_state,
+            monitors: Vec::new(),
+        }
     }
 
     /// Attach an exposure monitor.
@@ -245,7 +258,11 @@ mod tests {
             m.observe(&s);
         }
         assert!((m.accumulated() - 8.0).abs() < 1e-6);
-        assert_eq!(m.label(), Label::Neutral, "steady state sits at the warn band");
+        assert_eq!(
+            m.label(),
+            Label::Neutral,
+            "steady state sits at the warn band"
+        );
     }
 
     #[test]
@@ -311,10 +328,7 @@ mod tests {
         let s = schema().state(&[3.0]).unwrap();
         let labels: Vec<Label> = (0..4).map(|_| t.observe(&s)).collect();
         assert_eq!(labels.last(), Some(&Label::Bad));
-        assert!(t
-            .per_state()
-            .classify(&s)
-            .eq(&Label::Good));
+        assert!(t.per_state().classify(&s).eq(&Label::Good));
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub struct GradientSpec {
 impl GradientSpec {
     /// Build from per-variable signs with unit weights.
     pub fn from_signs(signs: &[DerivativeSign]) -> Self {
-        GradientSpec { signs: signs.iter().map(|&s| (s, 1.0)).collect() }
+        GradientSpec {
+            signs: signs.iter().map(|&s| (s, 1.0)).collect(),
+        }
     }
 
     /// Build from `(sign, weight)` pairs. Weights must be non-negative.
@@ -62,9 +64,14 @@ impl GradientSpec {
     /// Panics if any weight is negative or non-finite.
     pub fn from_weighted(signs: &[(DerivativeSign, f64)]) -> Self {
         for (_, w) in signs {
-            assert!(w.is_finite() && *w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && *w >= 0.0,
+                "weights must be finite and non-negative"
+            );
         }
-        GradientSpec { signs: signs.to_vec() }
+        GradientSpec {
+            signs: signs.to_vec(),
+        }
     }
 
     /// Number of variables covered.
@@ -79,7 +86,10 @@ impl GradientSpec {
 
     /// Sign for variable `i` ([`DerivativeSign::Unknown`] beyond the spec).
     pub fn sign(&self, var: VarId) -> DerivativeSign {
-        self.signs.get(var.0).map(|(s, _)| *s).unwrap_or(DerivativeSign::Unknown)
+        self.signs
+            .get(var.0)
+            .map(|(s, _)| *s)
+            .unwrap_or(DerivativeSign::Unknown)
     }
 
     /// Weight for variable `i` (0 beyond the spec).
@@ -232,7 +242,11 @@ pub struct RiskAdjustedUtility<U, R> {
 impl<U: UtilityFn, R: crate::RiskEstimator> RiskAdjustedUtility<U, R> {
     /// Build from a base utility, a risk estimator and a penalty weight.
     pub fn new(base: U, risk: R, risk_weight: f64) -> Self {
-        RiskAdjustedUtility { base, risk, risk_weight }
+        RiskAdjustedUtility {
+            base,
+            risk,
+            risk_weight,
+        }
     }
 }
 
@@ -316,7 +330,10 @@ mod tests {
             (DerivativeSign::Positive, 1.0),
             (DerivativeSign::Negative, 10.0),
         ]));
-        let schema = StateSchema::builder().var("a", 0.0, 1.0).var("b", 0.0, 1.0).build();
+        let schema = StateSchema::builder()
+            .var("a", 0.0, 1.0)
+            .var("b", 0.0, 1.0)
+            .build();
         let s = schema.state(&[1.0, 0.5]).unwrap();
         assert!(pain_heavy.utility(&s) < balanced.utility(&s));
     }

@@ -10,7 +10,10 @@ use apdm_statespace::{
 };
 
 fn schema() -> StateSchema {
-    StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    StateSchema::builder()
+        .var("x", 0.0, 10.0)
+        .var("y", 0.0, 10.0)
+        .build()
 }
 
 fn arb_state() -> impl Strategy<Value = State> {
@@ -18,9 +21,8 @@ fn arb_state() -> impl Strategy<Value = State> {
 }
 
 fn arb_box() -> impl Strategy<Value = Region> {
-    (0.0..=10.0f64, 0.0..=10.0f64, 0.0..=10.0f64, 0.0..=10.0f64).prop_map(|(a, b, c, d)| {
-        Region::rect(&[(a.min(b), a.max(b)), (c.min(d), c.max(d))])
-    })
+    (0.0..=10.0f64, 0.0..=10.0f64, 0.0..=10.0f64, 0.0..=10.0f64)
+        .prop_map(|(a, b, c, d)| Region::rect(&[(a.min(b), a.max(b)), (c.min(d), c.max(d))]))
 }
 
 proptest! {

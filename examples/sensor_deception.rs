@@ -12,7 +12,9 @@ use apdm::statespace::VarId;
 
 fn main() {
     // The micro view: what fusion does to one attacked reading set.
-    let mut sensors: Vec<Sensor> = (0..5).map(|i| Sensor::new(format!("t{i}"), VarId(0))).collect();
+    let mut sensors: Vec<Sensor> = (0..5)
+        .map(|i| Sensor::new(format!("t{i}"), VarId(0)))
+        .collect();
     sensors[0].inject_fault(SensorFault::StuckAt(1.0));
     sensors[1].inject_fault(SensorFault::StuckAt(1.0));
     let true_threat = 0.1;

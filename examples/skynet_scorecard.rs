@@ -15,7 +15,12 @@ use apdm::statespace::{StateDelta, StateSchema};
 
 fn build_fleet(guarded: bool) -> (Fleet, World) {
     let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
-    let mut world = World::new(WorldConfig { width: 20, height: 20, heat_limit: f64::MAX, heat_zone: None });
+    let mut world = World::new(WorldConfig {
+        width: 20,
+        height: 20,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
     for i in 0..5 {
         world.add_human(vec![(5, 4 * i), (6, 4 * i)], true);
     }
@@ -57,8 +62,10 @@ fn run(guarded: bool) {
     let (mut fleet, mut world) = build_fleet(guarded);
     let mut injector = FaultInjector::new(Pathway::CyberAttack, 3);
     injector.inject(&mut fleet);
-    let events: Vec<(DeviceId, Event)> =
-        fleet.iter().map(|(&id, _)| (id, Event::named("tick"))).collect();
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
     for t in 1..=60 {
         injector.tick(&mut fleet);
         fleet.step(&mut world, t, &events);
@@ -69,7 +76,11 @@ fn run(guarded: bool) {
         if guarded { "guarded" } else { "unguarded" },
         score.capability(),
         score,
-        if score.is_skynet() { "SKYNET FORMED" } else { "not Skynet" },
+        if score.is_skynet() {
+            "SKYNET FORMED"
+        } else {
+            "not Skynet"
+        },
     );
 }
 

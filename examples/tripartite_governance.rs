@@ -17,7 +17,11 @@ fn main() {
             let r = run_e5(arm, corrupted, 400, 13);
             println!(
                 "{:<18} {:>10} {:>12} {:>11} {:>13}",
-                r.arm, r.corrupted_branches, r.malevolent_executed, r.malevolent_blocked, r.false_blocks
+                r.arm,
+                r.corrupted_branches,
+                r.malevolent_executed,
+                r.malevolent_blocked,
+                r.false_blocks
             );
         }
     }

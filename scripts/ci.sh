@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, release build, tests.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -5,13 +5,25 @@
 //! apdm-experiments list
 //! apdm-experiments run e1 [--seed 42] [--json]
 //! apdm-experiments run all
+//! apdm-experiments record [--seed 42] [--out run.jsonl]
+//! apdm-experiments verify run.jsonl
+//! apdm-experiments replay run.jsonl [--seed 42] [--from-snapshot]
 //! ```
+//!
+//! `record` runs the canonical guarded-striker scenario under the
+//! `apdm-ledger` flight recorder and writes the hash-chained ledger as
+//! JSONL; `verify` re-imports it and localizes the first corrupt record if
+//! any; `replay` re-executes the run (from tick 0, or from the last
+//! checkpoint with `--from-snapshot`) and reports the first divergence.
 
 use std::env;
+use std::fs;
 use std::process::ExitCode;
 
+use apdm::ledger::Ledger;
 use apdm::sim::contagion::{run_contagion, ContagionArm};
 use apdm::sim::faults::Pathway;
+use apdm::sim::recorder::{replay_recorded, run_e9, run_recorded, RecordSpec, ReplayStart};
 use apdm::sim::runner::*;
 use apdm::sim::scenario::run_surveillance;
 
@@ -28,21 +40,35 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("e8", "policy contagion (IV)"),
     ("a1", "guard-stack ablation"),
     ("a3", "tamper-proofness ablation"),
+    (
+        "e9",
+        "tamper evidence: ledger corruption detection (VI.B audits)",
+    ),
 ];
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut json = false;
     let mut seed: u64 = 42;
+    let mut out: Option<String> = None;
+    let mut from_snapshot = false;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--from-snapshot" => from_snapshot = true,
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out requires a path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -77,16 +103,106 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("record") => {
+            let spec = RecordSpec {
+                seed,
+                ..RecordSpec::default()
+            };
+            let recorded = run_recorded(&spec);
+            let path = out.unwrap_or_else(|| format!("run-{seed}.jsonl"));
+            if let Err(e) = fs::write(&path, recorded.ledger.to_jsonl()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "recorded {} ({} records, head {:#018x}, {} harms)",
+                path,
+                recorded.ledger.len(),
+                recorded.ledger.head_digest(),
+                recorded.metrics.harm_count()
+            );
+            emit(json, &recorded.metrics);
+            ExitCode::SUCCESS
+        }
+        Some("verify") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("usage: apdm-experiments verify <ledger.jsonl>");
+                return ExitCode::FAILURE;
+            };
+            match load_ledger(path) {
+                Err(code) => code,
+                Ok(ledger) => match ledger.verify() {
+                    Ok(()) => {
+                        println!("{ledger}: chain intact, sealed");
+                        ExitCode::SUCCESS
+                    }
+                    Err(corruption) => {
+                        eprintln!("{corruption}");
+                        ExitCode::FAILURE
+                    }
+                },
+            }
+        }
+        Some("replay") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!(
+                    "usage: apdm-experiments replay <ledger.jsonl> [--seed N] [--from-snapshot]"
+                );
+                return ExitCode::FAILURE;
+            };
+            let ledger = match load_ledger(path) {
+                Err(code) => return code,
+                Ok(ledger) => ledger,
+            };
+            let spec = RecordSpec {
+                seed,
+                ..RecordSpec::default()
+            };
+            let start = if from_snapshot {
+                ReplayStart::LatestSnapshot
+            } else {
+                ReplayStart::Origin
+            };
+            match replay_recorded(&spec, &ledger, start) {
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(outcome) => {
+                    println!("{}", outcome.report);
+                    emit(json, &outcome.metrics);
+                    if outcome.report.is_faithful() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: apdm-experiments <list|run> ...");
+            eprintln!("usage: apdm-experiments <list|run|record|verify|replay> ...");
             ExitCode::FAILURE
         }
     }
 }
 
+fn load_ledger(path: &str) -> Result<Ledger, ExitCode> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    Ledger::from_jsonl(&text).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
 fn emit<T: serde::Serialize + std::fmt::Debug>(json: bool, value: &T) {
     if json {
-        println!("{}", serde_json::to_string(value).expect("serializable report"));
+        println!(
+            "{}",
+            serde_json::to_string(value).expect("serializable report")
+        );
     } else {
         println!("{value:#?}");
     }
@@ -94,7 +210,11 @@ fn emit<T: serde::Serialize + std::fmt::Debug>(json: bool, value: &T) {
 
 fn run_experiment(id: &str, seed: u64, json: bool) {
     if !json {
-        let title = EXPERIMENTS.iter().find(|(e, _)| e == &id).map(|(_, t)| *t).unwrap_or("");
+        let title = EXPERIMENTS
+            .iter()
+            .find(|(e, _)| e == &id)
+            .map(|(_, t)| *t)
+            .unwrap_or("");
         println!("== {id} — {title} (seed {seed}) ==");
     }
     match id {
@@ -161,6 +281,9 @@ fn run_experiment(id: &str, seed: u64, json: bool) {
             for p in [0.0f64, 0.01, 0.05, 0.2] {
                 emit(json, &run_a3(p, 5, 200, seed));
             }
+        }
+        "e9" => {
+            emit(json, &run_e9(100, seed));
         }
         _ => unreachable!("validated above"),
     }

@@ -18,6 +18,7 @@
 //! | [`learning`] | `apdm-learning` | III–IV — learners and adversarial pathways |
 //! | [`guards`] | `apdm-guards` | VI.A–D — the prevention mechanisms |
 //! | [`governance`] | `apdm-governance` | VI.E — AI overseeing AI |
+//! | [`ledger`] | `apdm-ledger` | VI.B audits — tamper-evident flight recorder and replay |
 //! | [`sim`] | `apdm-sim` | I–II — the coalition world and experiments |
 //! | [`core`] | `apdm-core` | everything — `SafetyKernel`, `AutonomicManager` |
 //!
@@ -54,7 +55,8 @@ pub use apdm_genpolicy as genpolicy;
 pub use apdm_governance as governance;
 pub use apdm_guards as guards;
 pub use apdm_learning as learning;
+pub use apdm_ledger as ledger;
 pub use apdm_policy as policy;
-pub use apdm_simnet as simnet;
 pub use apdm_sim as sim;
+pub use apdm_simnet as simnet;
 pub use apdm_statespace as statespace;

@@ -162,10 +162,19 @@ fn deactivation_silences_the_manager() {
     let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
     let device = Device::builder(3u64, DeviceKind::new("mule"), OrgId::new("us"))
         .schema(schema)
-        .rule(EcaRule::new("act", Event::pattern("tick"), Condition::True, Action::noop()))
+        .rule(EcaRule::new(
+            "act",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::noop(),
+        ))
         .build();
     let mut manager = AutonomicManager::new(device, &kernel);
-    assert!(manager.handle(&Event::named("tick"), NoHarmOracle, 1).proposed);
+    assert!(
+        manager
+            .handle(&Event::named("tick"), NoHarmOracle, 1)
+            .proposed
+    );
     manager.device_mut().deactivate();
     let outcome = manager.handle(&Event::named("tick"), NoHarmOracle, 2);
     assert!(!outcome.proposed);

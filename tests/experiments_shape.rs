@@ -7,7 +7,10 @@ use apdm::sim::runner::*;
 
 #[test]
 fn e1_preaction_checks() {
-    let rows: Vec<E1Report> = E1Arm::all().iter().map(|&a| run_e1(a, 12, 12, 80, 2)).collect();
+    let rows: Vec<E1Report> = E1Arm::all()
+        .iter()
+        .map(|&a| run_e1(a, 12, 12, 80, 2))
+        .collect();
     let (none, pre, look, oblig) = (&rows[0], &rows[1], &rows[2], &rows[3]);
     // Paper: a set of properly defined checks stops direct harm...
     assert!(none.direct_harms > 0);
@@ -45,7 +48,10 @@ fn e3_deactivation() {
     let quorum = run_e3(E3Arm::QuorumKill, 12, 0.25, 80, 4);
     assert!(none.harms > 0);
     assert!(none.containment_tick.is_none());
-    assert!(quorum.containment_tick.is_some(), "quorum contains the rogues");
+    assert!(
+        quorum.containment_tick.is_some(),
+        "quorum contains the rogues"
+    );
     assert!(quorum.harms <= none.harms);
     assert!(quorum.availability > 0.5, "healthy devices mostly survive");
 }
@@ -115,7 +121,12 @@ fn e7_pathways() {
         Pathway::HumanError,
     ] {
         let guarded = run_e7(pathway, true, 4, 80, 8);
-        assert_eq!(guarded.harms, 0, "guards should hold against {}", pathway.name());
+        assert_eq!(
+            guarded.harms,
+            0,
+            "guards should hold against {}",
+            pathway.name()
+        );
     }
     // The backdoor pathway attacks the guards themselves and eventually wins
     // — the paper's argument for why backdoors are "perhaps misguided".
@@ -131,16 +142,32 @@ fn e8_contagion_throttles() {
     let ack = run_contagion(ContagionArm::HumanAck, 12, 30, 11);
     let blk = run_contagion(ContagionArm::HumanAckBlacklist, 12, 30, 11);
     assert_eq!(open.infected, 12, "unthrottled gossip converts everyone");
-    assert_eq!(phys.infected, 6, "physical-blocking caps at the org boundary");
+    assert_eq!(
+        phys.infected, 6,
+        "physical-blocking caps at the org boundary"
+    );
     assert_eq!(phys.benign_coverage, 12, "without starving benign updates");
-    assert_eq!(ack.infected, 12, "per-offer review loses to repeated exposure");
+    assert_eq!(
+        ack.infected, 12,
+        "per-offer review loses to repeated exposure"
+    );
     assert!(blk.infected < 4, "indicator sharing stops the epidemic");
 }
 
 #[test]
 fn a1_guard_stack_ablation() {
-    let full = GuardMask { preaction: true, statecheck: true, deactivation: true, formation: true };
-    let none = GuardMask { preaction: false, statecheck: false, deactivation: false, formation: false };
+    let full = GuardMask {
+        preaction: true,
+        statecheck: true,
+        deactivation: true,
+        formation: true,
+    };
+    let none = GuardMask {
+        preaction: false,
+        statecheck: false,
+        deactivation: false,
+        formation: false,
+    };
     let r_full = run_a1(full, 50, 9);
     let r_none = run_a1(none, 50, 9);
     assert!(r_none.total > 0);
@@ -148,10 +175,22 @@ fn a1_guard_stack_ablation() {
     assert_eq!(r_full.direct, 0, "pre-action stops strikes");
     // Mechanisms are complementary: no single guard equals the full stack.
     for single in [
-        GuardMask { preaction: true, ..none },
-        GuardMask { statecheck: true, ..none },
-        GuardMask { deactivation: true, ..none },
-        GuardMask { formation: true, ..none },
+        GuardMask {
+            preaction: true,
+            ..none
+        },
+        GuardMask {
+            statecheck: true,
+            ..none
+        },
+        GuardMask {
+            deactivation: true,
+            ..none
+        },
+        GuardMask {
+            formation: true,
+            ..none
+        },
     ] {
         let r = run_a1(single, 50, 9);
         assert!(

@@ -15,10 +15,23 @@ use apdm::statespace::{Label, Region, RegionClassifier, StateDelta, StateSchema}
 fn f1_command_fans_out_to_collaborating_devices() {
     let report = run_surveillance(16, 300, 42);
     assert!(report.devices >= 20, "drones plus specialist devices");
-    assert!(report.policies_generated >= report.devices, "every device generated policies");
-    assert!(report.autonomy() > 0.7, "most sightings handled without a human");
-    assert!(report.escalated > 0, "ambiguous cases still reach the human");
-    assert_eq!(report.handled + report.escalated, report.sightings - (report.sightings - report.handled - report.escalated), "accounting is consistent");
+    assert!(
+        report.policies_generated >= report.devices,
+        "every device generated policies"
+    );
+    assert!(
+        report.autonomy() > 0.7,
+        "most sightings handled without a human"
+    );
+    assert!(
+        report.escalated > 0,
+        "ambiguous cases still reach the human"
+    );
+    assert_eq!(
+        report.handled + report.escalated,
+        report.sightings - (report.sightings - report.handled - report.escalated),
+        "accounting is consistent"
+    );
 }
 
 /// Figure 1 (scaling corollary): the policy load grows with the fleet, which
@@ -63,7 +76,10 @@ fn f2_sense_decide_act_loop() {
 /// logic is confined to the good region, unguarded logic can reach bad.
 #[test]
 fn f3_partition_and_guarded_reachability() {
-    let schema = StateSchema::builder().var("v1", 0.0, 10.0).var("v2", 0.0, 10.0).build();
+    let schema = StateSchema::builder()
+        .var("v1", 0.0, 10.0)
+        .var("v2", 0.0, 10.0)
+        .build();
     let classifier = RegionClassifier::new(Region::rect(&[(3.0, 7.0), (3.0, 7.0)]));
     let grid = Grid2::new(schema, 20, 20).unwrap();
     let labels = grid.classify(&classifier);

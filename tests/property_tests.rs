@@ -3,15 +3,18 @@
 
 use proptest::prelude::*;
 
+use apdm::guards::{GuardContext, GuardStack, NoHarmOracle, StateSpaceGuard};
 use apdm::policy::{Action, Cmp, Condition, EcaRule, Event, PolicyEngine};
 use apdm::statespace::{
     Classifier, Label, Region, RegionClassifier, SafenessMetric, State, StateDelta, StateSchema,
     VarId,
 };
-use apdm::guards::{GuardContext, GuardStack, NoHarmOracle, StateSpaceGuard};
 
 fn schema2() -> StateSchema {
-    StateSchema::builder().var("x", 0.0, 10.0).var("y", 0.0, 10.0).build()
+    StateSchema::builder()
+        .var("x", 0.0, 10.0)
+        .var("y", 0.0, 10.0)
+        .build()
 }
 
 fn arb_state() -> impl Strategy<Value = State> {

@@ -1,0 +1,355 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the strategy/`proptest!` subset the workspace's property tests use, on top
+//! of the vendored deterministic `rand`. Differences from upstream worth
+//! knowing:
+//!
+//! - no shrinking: a failing case panics with the generated inputs unshrunk
+//!   (the `prop_assert*` macros are plain `assert*`, so the panic message
+//!   carries whatever context the test formats in);
+//! - deterministic: each test's RNG is seeded from its module path + name,
+//!   so failures reproduce exactly and `proptest-regressions` files are not
+//!   consulted;
+//! - a fixed number of cases per test ([`test_runner::CASES`]).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange};
+
+/// A recipe for generating test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T, S: Strategy<Value = T> + ?Sized> Strategy for &S {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<T: Clone> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: Clone> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy over a type's whole domain.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+macro_rules! arbitrary_via_words {
+    ($($t:ty => $gen:expr),+ $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )+};
+}
+
+arbitrary_via_words! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+    f64 => |rng| rng.random_range(-1.0e9..1.0e9),
+}
+
+/// The canonical strategy for `T` (upstream's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies (the `vec` subset the workspace uses).
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-test runner support used by [`crate::proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases generated per property test.
+    pub const CASES: usize = 64;
+
+    /// Error type for the `Result` context property-test bodies run in.
+    /// The `prop_assert*` macros panic directly, so this only surfaces if a
+    /// test body constructs an `Err` by hand.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(pub String);
+
+    /// A deterministic RNG derived from the test's fully qualified name, so
+    /// each property test explores a stable but test-specific input sequence.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module conventionally imports.
+
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running [`test_runner::CASES`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut prop_rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _prop_case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut prop_rng);)*
+                    // Upstream bodies run in a `Result` context so tests can
+                    // `return Ok(())` to skip a case early; mirror that.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        panic!("property case failed: {error:?}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Upstream records failures and shrinks; here it is a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Upstream records failures and shrinks; here it is a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Upstream records failures and shrinks; here it is a plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = (f64, f64)> {
+        (0.0..=1.0f64, 0.0..=1.0f64)
+    }
+
+    proptest! {
+        /// Range strategies stay in bounds; vec lengths honor their spec.
+        #[test]
+        fn generated_values_in_bounds(
+            x in 0u64..100,
+            f in -2.0..2.0f64,
+            v in collection::vec(0i32..10, 1..5),
+            exact in collection::vec(0.0..1.0f64, 3),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&i| (0..10).contains(&i)));
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        /// `prop_map` and custom strategy functions compose.
+        #[test]
+        fn mapping_composes(p in arb_point().prop_map(|(x, y)| x + y)) {
+            prop_assert!((0.0..=2.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::test_runner::rng_for;
+        use rand::Rng;
+        let mut a = rng_for("mod::case");
+        let mut b = rng_for("mod::case");
+        for _ in 0..32 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no crates.io cache, so the
+//! workspace vendors the tiny API subset it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::random_range`]. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, seedable, and good
+//! enough statistically for seeded simulation experiments. It is **not** the
+//! upstream `StdRng` (ChaCha12) and must not be used for cryptography.
+//!
+//! Unlike upstream, the internal state is inspectable
+//! ([`rngs::StdRng::state_words`]) so simulation checkpoints can capture and
+//! restore RNG state exactly — the `apdm-ledger` flight recorder relies on
+//! this for deterministic replay from mid-run snapshots.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the subset of upstream's trait the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range`.
+    ///
+    /// Unlike upstream, an empty `lo..lo` range returns `lo` instead of
+    /// panicking (several experiment sweeps legitimately collapse a range to
+    /// a point).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform value over the full domain of a supported primitive.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types with a "whole domain" uniform distribution for [`Rng::random`].
+pub trait Standard: Sized {
+    /// Sample a value over the type's whole domain.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// 53 random mantissa bits mapped to `[0, 1)`.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start <= self.end, "random_range: start > end");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: start > end");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (self.start as f64..self.end as f64).sample_from(rng) as f32
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start <= self.end, "random_range: start > end");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                if span == 0 {
+                    return self.start;
+                }
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: start > end");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: the standard seeding sequence for xoshiro generators.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's deterministic seeded generator (xoshiro256++).
+    ///
+    /// Not the upstream ChaCha12 `StdRng`; see the crate docs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The raw 256-bit state, for simulation checkpoints.
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from captured state words.
+        pub fn from_state_words(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let seq_a: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| c.random_range(0..u64::MAX)).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.random_range(0.0..=1.0f64);
+            assert!((0.0..=1.0).contains(&g));
+            let u = rng.random_range(0usize..4);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn degenerate_range_returns_the_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.random_range(5..5), 5);
+        assert_eq!(rng.random_range(5.0..5.0f64), 5.0);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 10;
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected as i64) / 5,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_identically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..17 {
+            let _ = rng.random_range(0.0..1.0);
+        }
+        let words = rng.state_words();
+        let mut resumed = StdRng::from_state_words(words);
+        for _ in 0..100 {
+            assert_eq!(
+                rng.random_range(0u64..u64::MAX),
+                resumed.random_range(0u64..u64::MAX)
+            );
+        }
+    }
+}

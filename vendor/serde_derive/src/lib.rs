@@ -1,0 +1,457 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! The build container has no crates.io access, so this proc macro is written
+//! against raw [`proc_macro`] — no `syn`, no `quote`. It parses the derive
+//! input token stream by hand and emits impls of the Value-based traits from
+//! the vendored `serde` crate as source strings.
+//!
+//! Supported shapes (everything the workspace actually derives):
+//! - structs with named fields → `Value::Map` in declaration order
+//! - newtype structs → transparent (the inner value)
+//! - tuple structs → `Value::Seq`
+//! - unit structs → `Value::Null`
+//! - enums, externally tagged: unit variants → `Value::Str(name)`, data
+//!   variants → single-entry `Value::Map { name: payload }`
+//!
+//! Unsupported (fails with `compile_error!`): generic types, unions, and
+//! `#[serde(...)]` field attributes — none exist in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip any number of outer attributes (`#[...]`) at the iterator head.
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        // The bracket group of the attribute.
+        tokens.next();
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Count top-level comma-separated chunks in a tuple-struct/variant body,
+/// ignoring commas nested inside `<...>` or inner groups. Groups arrive as
+/// single `TokenTree::Group`s so only angle brackets need depth tracking.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut chunk_has_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut prev_was_dash = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    // `->` in `fn` pointer types must not close an angle bracket.
+                    '>' if !prev_was_dash => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        if chunk_has_tokens {
+                            arity += 1;
+                        }
+                        chunk_has_tokens = false;
+                        prev_was_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_was_dash = c == '-';
+            }
+            _ => prev_was_dash = false,
+        }
+        chunk_has_tokens = true;
+    }
+    if chunk_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Extract field names (declaration order) from a named-fields body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        let mut prev_was_dash = false;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_was_dash => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                prev_was_dash = c == '-';
+            } else {
+                prev_was_dash = false;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        for tt in tokens.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body: `{other:?}`")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Map(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![\
+                         (::std::string::String::from({vn:?}), \
+                         ::serde::Serialize::to_value(f0))])"
+                    ),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Value::Seq(vec![{}]))])",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let vals: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Value::Map(vec![{}]))])",
+                            vals.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            let body = if arms.is_empty() {
+                "match *self {}".to_string()
+            } else {
+                format!("match self {{ {} }}", arms.join(", "))
+            };
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::derive_support::field(value, {f:?}))?"
+                    )
+                })
+                .collect();
+            let body = format!(
+                "if value.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::expected(\
+                         \"map for struct {name}\", value));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            let body = format!(
+                "let items = value.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"seq for tuple struct {name}\", value))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"tuple struct {name} expects {arity} elements, got {{}}\", \
+                         items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("{vn:?} => ::std::result::Result::Ok({name}::{vn})")
+                    }
+                    VariantKind::Tuple(1) => format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(payload)?))"
+                    ),
+                    VariantKind::Tuple(arity) => {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{vn:?} => {{\n\
+                                 let items = payload.as_seq().ok_or_else(|| \
+                                     ::serde::Error::expected(\
+                                         \"seq for variant {name}::{vn}\", payload))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         format!(\"variant {name}::{vn} expects {arity} \
+                                         elements, got {{}}\", items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::derive_support::field(payload, {f:?}))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            arms.push(format!(
+                "other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for enum {name}\")))"
+            ));
+            let body = format!(
+                "let (tag, payload) = ::serde::derive_support::variant(value)?;\n\
+                 let _ = payload;\n\
+                 match tag {{ {} }}",
+                arms.join(", ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
