@@ -4,13 +4,35 @@
 //! prints the experiment's table (the rows recorded in EXPERIMENTS.md), then
 //! runs Criterion timings on a representative configuration. Seeds are fixed
 //! so tables are reproducible run to run.
+//!
+//! Progress banners route through an `apdm-telemetry` stderr subscriber;
+//! set `APDM_QUIET=1` to silence them (the result tables on stdout are the
+//! harness's output and stay).
 
-/// Print a banner naming the experiment, matching EXPERIMENTS.md headings.
+use std::rc::Rc;
+
+use apdm_telemetry::{self as telemetry, event, Level, StderrSubscriber};
+
+/// Is the harness running quiet (`APDM_QUIET` set to anything but `0`)?
+pub fn quiet() -> bool {
+    std::env::var_os("APDM_QUIET").is_some_and(|v| v != "0")
+}
+
+/// Announce an experiment, matching EXPERIMENTS.md headings. Routed through
+/// the telemetry stderr subscriber so `APDM_QUIET=1` silences it; when a
+/// dispatch is already installed (a traced bench run), the event joins that
+/// trace instead.
 pub fn banner(id: &str, title: &str) {
-    println!();
-    println!("================================================================");
-    println!("{id} — {title}");
-    println!("================================================================");
+    if quiet() {
+        return;
+    }
+    if telemetry::enabled() {
+        event!(Level::Info, "bench.banner", id = id, title = title);
+    } else {
+        let guard = telemetry::install(Rc::new(StderrSubscriber::default()));
+        event!(Level::Info, "bench.banner", id = id, title = title);
+        drop(guard);
+    }
 }
 
 /// The fixed seed every table regeneration uses.

@@ -1,9 +1,105 @@
 use std::fmt;
+use std::time::Instant;
 
 use apdm_policy::{Action, AuditKind, AuditLog};
 use apdm_statespace::State;
+use apdm_telemetry as telemetry;
 
 use crate::{ExposureGuard, GuardVerdict, HarmOracle, PreActionCheck, StateSpaceGuard};
+
+/// Cached telemetry instruments for one sub-guard: its latency histogram
+/// (`guard.<kind>.ns`) and verdict counters
+/// (`guard.<kind>.allow|deny|substitute`). Cached handles resolve the
+/// registry name once per installed registry, so the per-check cost is an
+/// id compare plus relaxed atomics.
+#[derive(Debug, Clone)]
+struct StageMetrics {
+    latency: telemetry::CachedHistogram,
+    sampler: telemetry::Sampler,
+    allow: telemetry::CachedCounter,
+    deny: telemetry::CachedCounter,
+    substitute: telemetry::CachedCounter,
+}
+
+/// Latency sampling period for sub-guard checks: counters stay exact while
+/// only one call in this many pays the two clock reads a timing costs.
+const GUARD_LATENCY_SAMPLE_PERIOD: u32 = 8;
+
+impl StageMetrics {
+    const fn new(
+        latency: &'static str,
+        allow: &'static str,
+        deny: &'static str,
+        substitute: &'static str,
+    ) -> Self {
+        StageMetrics {
+            latency: telemetry::CachedHistogram::new(latency),
+            sampler: telemetry::Sampler::every(GUARD_LATENCY_SAMPLE_PERIOD),
+            allow: telemetry::CachedCounter::new(allow),
+            deny: telemetry::CachedCounter::new(deny),
+            substitute: telemetry::CachedCounter::new(substitute),
+        }
+    }
+}
+
+/// One [`StageMetrics`] per sub-guard of a stack.
+#[derive(Debug, Clone)]
+struct StackMetrics {
+    preaction: StageMetrics,
+    statecheck: StageMetrics,
+    exposure: StageMetrics,
+}
+
+impl Default for StackMetrics {
+    fn default() -> Self {
+        StackMetrics {
+            preaction: StageMetrics::new(
+                "guard.preaction.ns",
+                "guard.preaction.allow",
+                "guard.preaction.deny",
+                "guard.preaction.substitute",
+            ),
+            statecheck: StageMetrics::new(
+                "guard.statecheck.ns",
+                "guard.statecheck.allow",
+                "guard.statecheck.deny",
+                "guard.statecheck.substitute",
+            ),
+            exposure: StageMetrics::new(
+                "guard.exposure.ns",
+                "guard.exposure.allow",
+                "guard.exposure.deny",
+                "guard.exposure.substitute",
+            ),
+        }
+    }
+}
+
+/// Run one sub-guard's check under its (sampled) latency histogram and
+/// bump its verdict counter. Verdict counters are exact; the latency
+/// histogram sees one call in [`GUARD_LATENCY_SAMPLE_PERIOD`]. Collapses to
+/// a bare call when no telemetry dispatch is installed.
+fn observed(stage: &StageMetrics, f: impl FnOnce() -> GuardVerdict) -> GuardVerdict {
+    if !telemetry::enabled() {
+        return f();
+    }
+    let verdict = if stage.sampler.sample() {
+        let started = Instant::now();
+        let verdict = f();
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stage.latency.record(ns);
+        verdict
+    } else {
+        f()
+    };
+    let outcome = match &verdict {
+        GuardVerdict::Allow | GuardVerdict::AllowWithObligations(_) => &stage.allow,
+        GuardVerdict::Deny { .. } => &stage.deny,
+        GuardVerdict::Replace { .. } => &stage.substitute,
+    };
+    outcome.inc();
+    verdict
+}
 
 /// Per-check context handed to a [`GuardStack`].
 #[derive(Debug, Clone)]
@@ -33,6 +129,7 @@ pub struct GuardStack {
     statecheck: Option<StateSpaceGuard>,
     exposure: Option<ExposureGuard>,
     audit: AuditLog,
+    metrics: StackMetrics,
 }
 
 impl GuardStack {
@@ -111,7 +208,9 @@ impl GuardStack {
         // 1. Pre-action harm check on the proposal.
         let mut obligations = Vec::new();
         if let Some(pre) = &mut self.preaction {
-            match pre.check(ctx.state, proposed, oracle) {
+            match observed(&self.metrics.preaction, || {
+                pre.check(ctx.state, proposed, oracle)
+            }) {
                 GuardVerdict::Deny { reason } => {
                     self.audit
                         .record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, &reason);
@@ -124,7 +223,9 @@ impl GuardStack {
 
         // 2. State-space check.
         let verdict = match &mut self.statecheck {
-            Some(sc) => sc.check(ctx.subject, ctx.tick, ctx.state, proposed, ctx.alternatives),
+            Some(sc) => observed(&self.metrics.statecheck, || {
+                sc.check(ctx.subject, ctx.tick, ctx.state, proposed, ctx.alternatives)
+            }),
             None => GuardVerdict::Allow,
         };
 
@@ -146,8 +247,9 @@ impl GuardStack {
                 if let Some(pre) = &mut self.preaction {
                     if let GuardVerdict::Deny {
                         reason: harm_reason,
-                    } = pre.check(ctx.state, &action, oracle)
-                    {
+                    } = observed(&self.metrics.preaction, || {
+                        pre.check(ctx.state, &action, oracle)
+                    }) {
                         let combined = format!("{reason}; substitute rejected: {harm_reason}");
                         self.audit.record(
                             ctx.tick,
@@ -169,7 +271,9 @@ impl GuardStack {
         // and budget consumption along the executed trajectory.
         if let Some(exposure) = &mut self.exposure {
             if let Some(effective) = final_verdict.effective_action(proposed) {
-                match exposure.check(ctx.subject, ctx.state, effective) {
+                match observed(&self.metrics.exposure, || {
+                    exposure.check(ctx.subject, ctx.state, effective)
+                }) {
                     GuardVerdict::Deny { reason } => {
                         self.audit.record(
                             ctx.tick,
@@ -359,6 +463,50 @@ mod tests {
                 .permits_execution());
         }
         assert_eq!(stack.exposure().unwrap().monitors()[0].accumulated(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_observes_guard_latency_and_verdicts() {
+        use std::rc::Rc;
+
+        let collector = Rc::new(telemetry::RingCollector::new(64));
+        let guard = telemetry::install(collector);
+        let registry = telemetry::current_registry().unwrap();
+
+        let mut stack = full_stack();
+        let s = schema().state(&[2.0]).unwrap();
+        let step = Action::adjust("east", StateDelta::single(VarId(0), 1.0));
+        let strike = Action::adjust("strike", Default::default());
+        assert!(stack
+            .check(&ctx(&s, &[]), &step, StrikeOracle)
+            .permits_execution());
+        assert!(!stack
+            .check(&ctx(&s, &[]), &strike, StrikeOracle)
+            .permits_execution());
+        drop(guard);
+
+        let counters = registry.counter_values();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("guard.preaction.allow"), 1);
+        assert_eq!(get("guard.preaction.deny"), 1);
+        assert_eq!(get("guard.statecheck.allow"), 1);
+
+        let hists = registry.histogram_summaries();
+        let pre = hists
+            .iter()
+            .find(|(n, _)| n == "guard.preaction.ns")
+            .map(|(_, s)| *s)
+            .expect("preaction latency histogram");
+        // Latency timing is sampled (first call always sampled); verdict
+        // counters above are exact.
+        assert!(pre.count >= 1);
+        assert!(pre.p99 >= pre.p50);
     }
 
     #[test]

@@ -1,11 +1,77 @@
 //! The hash-chained, append-only ledger and its verification pass.
 
 use std::fmt;
+use std::time::Instant;
 
+use apdm_telemetry::{self as telemetry, event, Level};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::event::{RunEvent, SnapshotFrame};
 use crate::hash::{chain_digest, GENESIS};
+
+/// Latency sampling period for `ledger.append.ns`: appends happen several
+/// times per device per tick, so only one in this many pays the clock
+/// reads. Verification is rare and long; it is always timed.
+const APPEND_LATENCY_SAMPLE_PERIOD: u32 = 8;
+
+thread_local! {
+    /// Cached instrument handles: the ledger is on the recorder hot path, so
+    /// per-append observations must not touch the registry's name table.
+    static APPEND_NS: telemetry::CachedHistogram =
+        const { telemetry::CachedHistogram::new("ledger.append.ns") };
+    static APPEND_SAMPLER: telemetry::Sampler =
+        const { telemetry::Sampler::every(APPEND_LATENCY_SAMPLE_PERIOD) };
+    static VERIFY_NS: telemetry::CachedHistogram =
+        const { telemetry::CachedHistogram::new("ledger.verify.ns") };
+    static CORRUPTION_DETECTED: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("ledger.corruption.detected") };
+}
+
+/// Like [`timed`], but pays the clock reads on a sampled subset of calls.
+fn sampled_timed<R>(
+    hist: &'static std::thread::LocalKey<telemetry::CachedHistogram>,
+    sampler: &'static std::thread::LocalKey<telemetry::Sampler>,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !telemetry::enabled() || !sampler.with(|s| s.sample()) {
+        return f();
+    }
+    let started = Instant::now();
+    let out = f();
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    hist.with(|h| h.record(ns));
+    out
+}
+
+/// Run `f` under a latency histogram when a telemetry dispatch is
+/// installed; a bare call otherwise.
+fn timed<R>(
+    hist: &'static std::thread::LocalKey<telemetry::CachedHistogram>,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !telemetry::enabled() {
+        return f();
+    }
+    let started = Instant::now();
+    let out = f();
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    hist.with(|h| h.record(ns));
+    out
+}
+
+/// Build a [`Corruption`], surfacing it through telemetry: a
+/// `ledger.corruption` event localizing the record plus a
+/// `ledger.corruption.detected` counter (E9 corruption visibility).
+fn corruption(seq: u64, reason: String) -> Corruption {
+    event!(
+        Level::Error,
+        "ledger.corruption",
+        seq = seq,
+        reason = reason.as_str()
+    );
+    CORRUPTION_DETECTED.with(|c| c.inc());
+    Corruption { seq, reason }
+}
 
 /// One chained record: position, tick, payload and chained digest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,16 +165,18 @@ impl Ledger {
 
     /// Append an event, chaining its digest; returns the new record's seq.
     pub fn append(&mut self, tick: u64, event: RunEvent) -> u64 {
-        let seq = self.records.len() as u64;
-        let payload = canonical_payload(seq, tick, &event);
-        let digest = chain_digest(self.head_digest(), payload.as_bytes());
-        self.records.push(LedgerRecord {
-            seq,
-            tick,
-            event,
-            digest,
-        });
-        seq
+        sampled_timed(&APPEND_NS, &APPEND_SAMPLER, || {
+            let seq = self.records.len() as u64;
+            let payload = canonical_payload(seq, tick, &event);
+            let digest = chain_digest(self.head_digest(), payload.as_bytes());
+            self.records.push(LedgerRecord {
+                seq,
+                tick,
+                event,
+                digest,
+            });
+            seq
+        })
     }
 
     /// All records in append order.
@@ -145,32 +213,34 @@ impl Ledger {
     /// Verify chain integrity only (no completeness check). Useful on a
     /// still-recording ledger.
     pub fn verify_chain(&self) -> Result<(), Corruption> {
-        let mut prev = GENESIS;
-        for (position, record) in self.records.iter().enumerate() {
-            let seq = position as u64;
-            if record.seq != seq {
-                return Err(Corruption {
-                    seq,
-                    reason: format!(
-                        "sequence break: position {position} carries seq {} (record deleted or reordered)",
-                        record.seq
-                    ),
-                });
+        timed(&VERIFY_NS, || {
+            let mut prev = GENESIS;
+            for (position, record) in self.records.iter().enumerate() {
+                let seq = position as u64;
+                if record.seq != seq {
+                    return Err(corruption(
+                        seq,
+                        format!(
+                            "sequence break: position {position} carries seq {} (record deleted or reordered)",
+                            record.seq
+                        ),
+                    ));
+                }
+                let payload = canonical_payload(record.seq, record.tick, &record.event);
+                let expected = chain_digest(prev, payload.as_bytes());
+                if record.digest != expected {
+                    return Err(corruption(
+                        seq,
+                        format!(
+                            "digest mismatch: stored {:#018x}, chain expects {expected:#018x}",
+                            record.digest
+                        ),
+                    ));
+                }
+                prev = record.digest;
             }
-            let payload = canonical_payload(record.seq, record.tick, &record.event);
-            let expected = chain_digest(prev, payload.as_bytes());
-            if record.digest != expected {
-                return Err(Corruption {
-                    seq,
-                    reason: format!(
-                        "digest mismatch: stored {:#018x}, chain expects {expected:#018x}",
-                        record.digest
-                    ),
-                });
-            }
-            prev = record.digest;
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Full verification: chain integrity plus the sealed-run check. A
@@ -182,12 +252,11 @@ impl Ledger {
         if self.is_sealed() {
             Ok(())
         } else {
-            Err(Corruption {
-                seq: self.records.len() as u64,
-                reason:
-                    "not sealed: terminal run-finished record missing (truncated or tail deleted)"
-                        .into(),
-            })
+            Err(corruption(
+                self.records.len() as u64,
+                "not sealed: terminal run-finished record missing (truncated or tail deleted)"
+                    .into(),
+            ))
         }
     }
 
@@ -198,13 +267,13 @@ impl Ledger {
         if self.head_digest() == anchored_head {
             Ok(())
         } else {
-            Err(Corruption {
-                seq: self.records.len().saturating_sub(1) as u64,
-                reason: format!(
+            Err(corruption(
+                self.records.len().saturating_sub(1) as u64,
+                format!(
                     "head digest {:#018x} does not match anchor {anchored_head:#018x} (suffix rewritten)",
                     self.head_digest()
                 ),
-            })
+            ))
         }
     }
 
@@ -380,6 +449,53 @@ mod tests {
         // ...but the anchored head gives it away.
         assert!(forged.verify_anchored(anchor).is_err());
         assert!(ledger.verify_anchored(anchor).is_ok());
+    }
+
+    #[test]
+    fn corruption_detection_is_visible_through_telemetry() {
+        use std::rc::Rc;
+
+        let collector = Rc::new(telemetry::RingCollector::new(64));
+        let guard = telemetry::install(collector.clone());
+        let registry = telemetry::current_registry().unwrap();
+
+        let mut tampered = sample();
+        tampered.records[3].digest ^= 1;
+        assert_eq!(
+            tampered
+                .verify_anchored(tampered.head_digest())
+                .unwrap_err()
+                .seq,
+            3
+        );
+        // A clean anchored verification emits nothing.
+        assert!(sample().verify_anchored(sample().head_digest()).is_ok());
+        drop(guard);
+
+        let detected = registry
+            .counter_values()
+            .into_iter()
+            .find(|(n, _)| n == "ledger.corruption.detected")
+            .map(|(_, v)| v);
+        assert_eq!(detected, Some(1));
+        let events: Vec<_> = collector
+            .records()
+            .into_iter()
+            .filter(|r| r.name == "ledger.corruption")
+            .collect();
+        assert_eq!(events.len(), 1);
+        assert!(events[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "seq" && *v == telemetry::FieldValue::U64(3)));
+        // Verification latency was sampled for both passes.
+        let verify_count = registry
+            .histogram_summaries()
+            .into_iter()
+            .find(|(n, _)| n == "ledger.verify.ns")
+            .map(|(_, s)| s.count)
+            .unwrap_or(0);
+        assert!(verify_count >= 2);
     }
 
     #[test]

@@ -1,11 +1,104 @@
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use apdm_device::{Device, DeviceId};
 use apdm_guards::tamper::{TamperStatus, Tamperable};
 use apdm_guards::{DeactivationController, GuardContext, GuardStack, GuardVerdict};
 use apdm_ledger::{DeviceSnap, LedgerError, RunEvent, RunRecorder, SnapshotFrame};
 use apdm_policy::{Action, Event, ObligationTrigger};
+use apdm_telemetry as telemetry;
 use serde::{Deserialize, Serialize, Value};
+
+/// The six per-tick phases of [`Fleet::step`], in emission order. Work for
+/// one phase is interleaved across the per-device loop, so durations are
+/// *accumulated* per phase and emitted as pre-measured spans at tick end
+/// (restructuring the loop into sequential phases would reorder the
+/// recorded ledger and change experiment results).
+const PHASE_NAMES: [&str; 6] = [
+    "phase.sense",
+    "phase.propose",
+    "phase.guard",
+    "phase.execute",
+    "phase.world-step",
+    "phase.ledger-append",
+];
+/// Wall-clock phase attribution is measured on one tick in this many: the
+/// six phase spans are *emitted* every tick (their presence and virtual
+/// ordering are part of the trace contract), but only measured ticks pay
+/// the lap clock reads and carry `dur_ns` / feed the `phase.*.ns`
+/// histograms.
+const PHASE_TIMING_SAMPLE_PERIOD: u32 = 4;
+
+const SENSE: usize = 0;
+const PROPOSE: usize = 1;
+const GUARD: usize = 2;
+const EXECUTE: usize = 3;
+const WORLD_STEP: usize = 4;
+const LEDGER_APPEND: usize = 5;
+
+thread_local! {
+    /// Cached per-phase histogram handles (`phase.<name>.ns`), aligned with
+    /// `PHASE_NAMES`; resolved once per installed registry.
+    static PHASE_HIST: [telemetry::CachedHistogram; 6] = const {
+        [
+            telemetry::CachedHistogram::new("phase.sense.ns"),
+            telemetry::CachedHistogram::new("phase.propose.ns"),
+            telemetry::CachedHistogram::new("phase.guard.ns"),
+            telemetry::CachedHistogram::new("phase.execute.ns"),
+            telemetry::CachedHistogram::new("phase.world-step.ns"),
+            telemetry::CachedHistogram::new("phase.ledger-append.ns"),
+        ]
+    };
+}
+
+/// Lap-based phase attribution: one clock read per instrumented segment.
+///
+/// Each [`lap`](PhaseClock::lap) charges everything since the previous lap
+/// — the wrapped work plus the thin glue between segments — to the closing
+/// phase, so the phase sums approximate the whole tick while costing half
+/// the clock reads of a start/stop pair per segment. Free (no clock reads
+/// after construction) when telemetry is off.
+struct PhaseClock {
+    enabled: bool,
+    last: Instant,
+    acc: [u64; PHASE_NAMES.len()],
+}
+
+impl PhaseClock {
+    fn start(enabled: bool) -> Self {
+        PhaseClock {
+            enabled,
+            last: Instant::now(),
+            acc: [0; PHASE_NAMES.len()],
+        }
+    }
+
+    #[inline]
+    fn lap<R>(&mut self, phase: usize, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let out = f();
+        let now = Instant::now();
+        self.acc[phase] += u64::try_from((now - self.last).as_nanos()).unwrap_or(u64::MAX);
+        self.last = now;
+        out
+    }
+}
+
+/// Record an event (constructed lazily) into the recorder, if attached,
+/// charging the cost to the `phase.ledger-append` accumulator.
+#[inline]
+fn record_timed(
+    recorder: &mut Option<RunRecorder>,
+    clock: &mut PhaseClock,
+    tick: u64,
+    make: impl FnOnce() -> RunEvent,
+) {
+    if let Some(rec) = recorder.as_mut() {
+        clock.lap(LEDGER_APPEND, || rec.record(tick, make()));
+    }
+}
 
 use crate::oracle::{actions, OracleQuality, WorldOracle};
 use crate::queue::EventQueue;
@@ -71,6 +164,8 @@ pub struct Fleet {
     /// Optional flight recorder (crate `apdm-ledger`); every proposal,
     /// verdict, execution, deactivation and harm lands in its hash chain.
     recorder: Option<RunRecorder>,
+    /// Decides which ticks pay for wall-clock phase measurement.
+    phase_sampler: telemetry::Sampler,
     /// Per-device count of break-glass audit entries already forwarded into
     /// the recorder (guard interventions are first-class [`RunEvent::Verdict`]
     /// records, so only the break-glass log flows through the audit bridge).
@@ -89,6 +184,7 @@ impl Fleet {
             harvested_harms: 0,
             recorder: None,
             forwarded_breakglass: BTreeMap::new(),
+            phase_sampler: telemetry::Sampler::every(PHASE_TIMING_SAMPLE_PERIOD),
         }
     }
 
@@ -243,22 +339,32 @@ impl Fleet {
     /// stimuli for this tick (scenarios usually send each active device a
     /// `tick` event).
     pub fn step(&mut self, world: &mut World, tick: u64, events: &[(DeviceId, Event)]) {
+        let telem = telemetry::enabled();
+        if telem {
+            telemetry::set_tick(tick);
+        }
+        let _tick_span = telemetry::span!("tick", n = tick);
+        // Lap clock feeding the per-phase accumulators (PHASE_* consts);
+        // only sampled ticks measure, the rest run clock-free.
+        let measured = telem && self.phase_sampler.sample();
+        let mut clock = PhaseClock::start(measured);
+
         // 1. Execute due obligations (unguarded: they are mitigations the
         // guard itself demanded).
-        for (id, ob_id, action) in self.obligations_due.pop_due(tick) {
+        let due = clock.lap(SENSE, || self.obligations_due.pop_due(tick));
+        for (id, ob_id, action) in due {
             if let Some(member) = self.members.get_mut(&id) {
-                Self::execute_world_effect(&self.config, member, &action, world, tick);
-                member.device.obligations_mut().fulfill(ob_id, tick);
+                clock.lap(EXECUTE, || {
+                    Self::execute_world_effect(&self.config, member, &action, world, tick);
+                    member.device.obligations_mut().fulfill(ob_id, tick);
+                });
                 self.metrics.obligation_executions += 1;
-                if let Some(rec) = self.recorder.as_mut() {
-                    rec.record(
-                        tick,
-                        RunEvent::ObligationExecuted {
-                            device: id.0,
-                            action: action.name().to_string(),
-                        },
-                    );
-                }
+                record_timed(&mut self.recorder, &mut clock, tick, || {
+                    RunEvent::ObligationExecuted {
+                        device: id.0,
+                        action: action.name().to_string(),
+                    }
+                });
             }
         }
 
@@ -270,36 +376,37 @@ impl Fleet {
             if !member.device.is_active() {
                 continue;
             }
-            let Some(decision) = member.device.propose(event) else {
+            let Some(decision) = clock.lap(PROPOSE, || member.device.propose(event)) else {
                 continue;
             };
             self.metrics.proposals += 1;
-            if let Some(rec) = self.recorder.as_mut() {
-                rec.record(
-                    tick,
-                    RunEvent::Proposal {
-                        device: id.0,
-                        action: decision.action().name().to_string(),
-                    },
-                );
-            }
+            record_timed(&mut self.recorder, &mut clock, tick, || {
+                RunEvent::Proposal {
+                    device: id.0,
+                    action: decision.action().name().to_string(),
+                }
+            });
 
-            // Alternatives: actions of the other rules that matched.
-            let alternatives: Vec<Action> = decision.matched()[1..]
-                .iter()
-                .filter_map(|&rid| member.device.engine().rule(rid))
-                .map(|r| r.action().clone())
-                .collect();
-
-            let oracle = WorldOracle::new(world, id.0, member.pos, self.config.oracle);
-            let subject = id.to_string();
+            // Sense: assemble the guard's view of the world — alternative
+            // actions, the harm oracle, the device's perceived state.
+            let (alternatives, oracle, subject) = clock.lap(SENSE, || {
+                let alternatives: Vec<Action> = decision.matched()[1..]
+                    .iter()
+                    .filter_map(|&rid| member.device.engine().rule(rid))
+                    .map(|r| r.action().clone())
+                    .collect();
+                let oracle = WorldOracle::new(world, id.0, member.pos, self.config.oracle);
+                (alternatives, oracle, id.to_string())
+            });
             let ctx = GuardContext {
                 tick,
                 subject: &subject,
                 state: member.device.state(),
                 alternatives: &alternatives,
             };
-            let verdict = member.stack.check(&ctx, decision.action(), oracle);
+            let verdict = clock.lap(GUARD, || {
+                member.stack.check(&ctx, decision.action(), oracle)
+            });
             if verdict.intervened() {
                 self.metrics.interventions += 1;
             }
@@ -315,17 +422,12 @@ impl Fleet {
                     }
                 };
                 if let Some((verdict_name, reason)) = described {
-                    if let Some(rec) = self.recorder.as_mut() {
-                        rec.record(
-                            tick,
-                            RunEvent::Verdict {
-                                device: id.0,
-                                action: decision.action().name().to_string(),
-                                verdict: verdict_name,
-                                reason,
-                            },
-                        );
-                    }
+                    record_timed(&mut self.recorder, &mut clock, tick, || RunEvent::Verdict {
+                        device: id.0,
+                        action: decision.action().name().to_string(),
+                        verdict: verdict_name,
+                        reason,
+                    });
                 }
                 // Break-glass grants/denials surface through the policy
                 // audit bridge (guard interventions are already first-class
@@ -334,9 +436,11 @@ impl Fleet {
                     let entries = bg.audit().entries();
                     let seen = self.forwarded_breakglass.entry(id).or_insert(0);
                     if let Some(rec) = self.recorder.as_mut() {
-                        for entry in &entries[*seen..] {
-                            rec.record(tick, RunEvent::Audit(entry.clone()));
-                        }
+                        clock.lap(LEDGER_APPEND, || {
+                            for entry in &entries[*seen..] {
+                                rec.record(tick, RunEvent::Audit(entry.clone()));
+                            }
+                        });
                     }
                     *seen = entries.len();
                 }
@@ -345,94 +449,106 @@ impl Fleet {
             let mut incurred: Vec<(u64, Action)> = Vec::new();
             if let Some(effective) = verdict.effective_action(decision.action()) {
                 let effective = effective.clone();
-                // Obligations from the rule itself and from the guard.
-                for ob in decision.obligations().iter().chain(verdict.obligations()) {
-                    let ob_id = member.device.obligations_mut().incur(ob.clone(), tick);
-                    match ob.trigger() {
-                        ObligationTrigger::During => {
-                            incurred.push((ob_id, ob.action().clone()));
-                        }
-                        ObligationTrigger::After => {
-                            self.obligations_due
-                                .schedule(tick + 1, (id, ob_id, ob.action().clone()));
+                clock.lap(EXECUTE, || {
+                    // Obligations from the rule itself and from the guard.
+                    for ob in decision.obligations().iter().chain(verdict.obligations()) {
+                        let ob_id = member.device.obligations_mut().incur(ob.clone(), tick);
+                        match ob.trigger() {
+                            ObligationTrigger::During => {
+                                incurred.push((ob_id, ob.action().clone()));
+                            }
+                            ObligationTrigger::After => {
+                                self.obligations_due
+                                    .schedule(tick + 1, (id, ob_id, ob.action().clone()));
+                            }
                         }
                     }
-                }
-                Self::execute_world_effect(&self.config, member, &effective, world, tick);
+                    Self::execute_world_effect(&self.config, member, &effective, world, tick);
+                });
                 self.metrics.executions += 1;
-                if let Some(rec) = self.recorder.as_mut() {
-                    rec.record(
-                        tick,
-                        RunEvent::Execution {
-                            device: id.0,
-                            action: effective.name().to_string(),
-                        },
-                    );
-                }
+                record_timed(&mut self.recorder, &mut clock, tick, || {
+                    RunEvent::Execution {
+                        device: id.0,
+                        action: effective.name().to_string(),
+                    }
+                });
                 // During-obligations execute with the action.
                 for (ob_id, ob_action) in incurred {
-                    Self::execute_world_effect(&self.config, member, &ob_action, world, tick);
-                    member.device.obligations_mut().fulfill(ob_id, tick);
+                    clock.lap(EXECUTE, || {
+                        Self::execute_world_effect(&self.config, member, &ob_action, world, tick);
+                        member.device.obligations_mut().fulfill(ob_id, tick);
+                    });
                     self.metrics.obligation_executions += 1;
-                    if let Some(rec) = self.recorder.as_mut() {
-                        rec.record(
-                            tick,
-                            RunEvent::ObligationExecuted {
-                                device: id.0,
-                                action: ob_action.name().to_string(),
-                            },
-                        );
-                    }
+                    record_timed(&mut self.recorder, &mut clock, tick, || {
+                        RunEvent::ObligationExecuted {
+                            device: id.0,
+                            action: ob_action.name().to_string(),
+                        }
+                    });
                 }
             }
 
             // 5. Deactivation controller observes the post-action state.
             if let Some(ctl) = &mut self.deactivation {
-                if let Some(order) = ctl.observe(&subject, member.device.state(), tick) {
-                    member.device.deactivate();
-                    world.clear_heat(id.0);
+                let order = clock.lap(EXECUTE, || {
+                    ctl.observe(&subject, member.device.state(), tick)
+                });
+                if let Some(order) = order {
+                    clock.lap(EXECUTE, || {
+                        member.device.deactivate();
+                        world.clear_heat(id.0);
+                    });
                     self.metrics.deactivations += 1;
-                    if let Some(rec) = self.recorder.as_mut() {
-                        rec.record(
-                            tick,
-                            RunEvent::Deactivation {
-                                device: id.0,
-                                reason: order.reason,
-                            },
-                        );
-                    }
+                    record_timed(&mut self.recorder, &mut clock, tick, || {
+                        RunEvent::Deactivation {
+                            device: id.0,
+                            reason: order.reason,
+                        }
+                    });
                 }
             }
         }
 
         // 6. The world advances; every harm not yet harvested (including
         // strike harms recorded earlier in this tick) lands in the metrics.
-        world.step(tick);
-        let new_harms = &world.harms()[self.harvested_harms..];
+        clock.lap(WORLD_STEP, || world.step(tick));
+        let new_harms = world.harms()[self.harvested_harms..].to_vec();
         for harm in new_harms {
-            if let Some(rec) = self.recorder.as_mut() {
-                rec.record(
-                    harm.tick,
-                    RunEvent::Harm {
-                        human: harm.human as u64,
-                        cause: harm.cause.to_string(),
-                        device: harm.device,
-                    },
-                );
-            }
-            self.metrics.record_harm(harm.clone());
+            record_timed(&mut self.recorder, &mut clock, harm.tick, || {
+                RunEvent::Harm {
+                    human: harm.human as u64,
+                    cause: harm.cause.to_string(),
+                    device: harm.device,
+                }
+            });
+            self.metrics.record_harm(harm);
         }
         self.harvested_harms = world.harms().len();
         self.metrics.ticks = tick;
 
         // Obligation deadlines.
-        let mut overdue = 0;
-        for member in self.members.values_mut() {
-            let before = member.device.obligations().overdue_count();
-            member.device.obligations_mut().advance(tick);
-            overdue += member.device.obligations().overdue_count() - before;
+        clock.lap(WORLD_STEP, || {
+            let mut overdue = 0;
+            for member in self.members.values_mut() {
+                let before = member.device.obligations().overdue_count();
+                member.device.obligations_mut().advance(tick);
+                overdue += member.device.obligations().overdue_count() - before;
+            }
+            self.metrics.obligations_overdue += overdue as u64;
+        });
+
+        if telem {
+            for (name, &dur) in PHASE_NAMES.iter().zip(clock.acc.iter()) {
+                telemetry::complete_span(name, measured.then_some(dur), Vec::new());
+            }
+            if measured {
+                PHASE_HIST.with(|hists| {
+                    for (hist, &dur) in hists.iter().zip(clock.acc.iter()) {
+                        hist.record(dur);
+                    }
+                });
+            }
         }
-        self.metrics.obligations_overdue += overdue as u64;
     }
 
     /// Give the world physical meaning to an action, then run the device's
@@ -724,6 +840,48 @@ mod tests {
             (2, 0),
             "clamped at the boundary"
         );
+    }
+
+    #[test]
+    fn traced_step_emits_all_six_phase_spans() {
+        use std::rc::Rc;
+
+        let collector = Rc::new(telemetry::RingCollector::new(4096));
+        let guard = telemetry::install(collector.clone());
+
+        let mut world = World::new(WorldConfig::default());
+        world.add_human(vec![(5, 5)], false);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.add(
+            striker(1),
+            GuardStack::new().with_preaction(PreActionCheck::new()),
+            (5, 6),
+        );
+        let events = tick_events(&fleet);
+        for t in 1..=3 {
+            fleet.step(&mut world, t, &events);
+        }
+        drop(guard);
+
+        let records = collector.records();
+        for name in PHASE_NAMES {
+            let starts = records
+                .iter()
+                .filter(|r| r.kind == telemetry::RecordKind::SpanStart && r.name == name)
+                .count();
+            assert_eq!(starts, 3, "one {name} span per tick");
+        }
+        // Phase spans nest inside the tick span and carry the virtual tick.
+        let tick_spans: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == telemetry::RecordKind::SpanStart && r.name == "tick")
+            .collect();
+        assert_eq!(tick_spans.len(), 3);
+        assert_eq!(tick_spans[1].ts.tick, 2);
+        assert!(records
+            .iter()
+            .filter(|r| r.name.starts_with("phase."))
+            .all(|r| r.depth == 1));
     }
 
     #[test]

@@ -207,6 +207,77 @@ mod tests {
     }
 
     #[test]
+    fn harm_event_serde_round_trip() {
+        let events = vec![
+            HarmEvent {
+                tick: 42,
+                human: 3,
+                cause: HarmCause::Direct,
+                device: Some(7),
+            },
+            HarmEvent {
+                tick: u64::MAX,
+                human: 0,
+                cause: HarmCause::IndirectHazard,
+                device: None,
+            },
+            HarmEvent {
+                tick: 0,
+                human: usize::MAX,
+                cause: HarmCause::Aggregate,
+                device: Some(u64::MAX),
+            },
+        ];
+        for event in &events {
+            let wire = serde_json::to_string(event).unwrap();
+            let back: HarmEvent = serde_json::from_str(&wire).unwrap();
+            assert_eq!(&back, event);
+        }
+    }
+
+    #[test]
+    fn metrics_serde_round_trip() {
+        let mut m = Metrics::new();
+        m.ticks = 500;
+        m.proposals = 1_000;
+        m.interventions = 40;
+        m.executions = 960;
+        m.obligation_executions = 12;
+        m.deactivations = 2;
+        m.obligations_overdue = 1;
+        m.record_harm(harm(10, HarmCause::Direct));
+        m.record_harm(harm(499, HarmCause::Aggregate));
+        let wire = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, m);
+        // Derived views survive the wire too.
+        assert_eq!(back.first_harm_tick(), m.first_harm_tick());
+        assert_eq!(back.availability(), m.availability());
+
+        // The empty block round-trips as well (empty harms vec, all zeros).
+        let empty = Metrics::new();
+        let back: Metrics = serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn skynet_score_serde_round_trip() {
+        let score = SkynetScore {
+            networked: 1.0,
+            learning: 0.825,
+            cognitive: 0.5,
+            multi_org: 0.0,
+            physical: 0.333_333_333_333_333_3,
+            malevolent: 0.01,
+        };
+        let wire = serde_json::to_string(&score).unwrap();
+        let back: SkynetScore = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, score);
+        assert_eq!(back.capability(), score.capability());
+        assert_eq!(back.is_skynet(), score.is_skynet());
+    }
+
+    #[test]
     fn skynet_score_capability_and_verdict() {
         let capable_safe = SkynetScore {
             networked: 1.0,

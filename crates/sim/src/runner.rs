@@ -15,6 +15,7 @@ use apdm_guards::{
     AggregateSpec, CollaborativeAssessment, DeactivationController, FormationGuard, GuardStack,
     PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
 };
+use apdm_ledger::RunRecorder;
 use apdm_policy::obligation::ObligationCatalog;
 use apdm_policy::{
     Action, BreakGlassController, BreakGlassRule, Condition, EcaRule, Event, Obligation,
@@ -23,6 +24,7 @@ use apdm_statespace::{
     Classifier, DerivativeSign, GradientSpec, GradientUtility, Label, LinearRisk,
     PreferenceOntology, Region, RegionClassifier, StateDelta, StateSchema, UtilityFn, VarId,
 };
+use apdm_telemetry as telemetry;
 
 use crate::faults::{FaultInjector, Pathway};
 use crate::oracle::{actions, OracleQuality};
@@ -1529,6 +1531,132 @@ pub fn run_a3(p_tamper: f64, n_devices: usize, ticks: u64, seed: u64) -> A3Repor
     }
 }
 
+// ---------------------------------------------------------------------------
+// E10 — observability overhead
+// ---------------------------------------------------------------------------
+
+/// Report of experiment E10: the cost of telemetry on the hot loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E10Report {
+    /// Devices in the benchmark fleet.
+    pub devices: usize,
+    /// Ticks per trial.
+    pub ticks: u64,
+    /// Throughput with no subscriber installed (ticks/second, median over
+    /// the ABBA measurement blocks).
+    pub baseline_ticks_per_sec: f64,
+    /// Throughput with a ring-buffer collector installed.
+    pub ring_ticks_per_sec: f64,
+    /// Relative slowdown of the ring arm, in percent (negative values are
+    /// measurement noise).
+    pub overhead_pct: f64,
+    /// Absolute slowdown of the ring arm, in nanoseconds per tick.
+    pub overhead_ns_per_tick: f64,
+    /// Trace records held by the ring collector after the last trial.
+    pub records_captured: usize,
+    /// Records evicted by the ring bound during that trial.
+    pub records_dropped: u64,
+}
+
+/// Run experiment E10: step a guarded fleet with telemetry disabled and
+/// again with a [`telemetry::RingCollector`] installed, and report the
+/// throughput difference. The workload is the canonical *traced*
+/// configuration — predictive-oracle guards (lookahead 40) plus an attached
+/// flight recorder — i.e. the same shape `apdm-experiments trace` runs, so
+/// the overhead number reflects tracing a real experiment rather than an
+/// empty loop. Wall-clock numbers vary by machine; the acceptance bar
+/// (EXPERIMENTS.md) is ring overhead below 5%.
+pub fn run_e10(n_devices: usize, ticks: u64, ring_capacity: usize, seed: u64) -> E10Report {
+    use std::time::Instant;
+
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut world = World::new(WorldConfig {
+            width: 30,
+            height: 30,
+            heat_limit: f64::MAX,
+            heat_zone: None,
+        });
+        // A dense patrol population: predictive harm checks scan every
+        // human over the lookahead horizon, which is what a guarded tick
+        // spends its time on in the field.
+        for _ in 0..24 {
+            let row = rng.random_range(0..30);
+            let path: Vec<(i32, i32)> = (0..30).map(|x| (x, row)).collect();
+            world.add_human(path, true);
+        }
+        let mut fleet = Fleet::new(FleetConfig {
+            oracle: OracleQuality::Predictive { horizon: 40 },
+            ..FleetConfig::default()
+        });
+        for i in 0..n_devices {
+            let action = if i % 2 == 0 {
+                actions::STRIKE
+            } else {
+                actions::DIG_HOLE
+            };
+            let stack = GuardStack::new()
+                .with_preaction(PreActionCheck::new().with_lookahead(40))
+                .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(Region::rect(
+                    &[(0.0, 1.0)],
+                ))));
+            let pos = (rng.random_range(0..30), rng.random_range(0..30));
+            fleet.add(e1_device(i as u64, action), stack, pos);
+        }
+        fleet.set_recorder(RunRecorder::new("e10", seed, n_devices as u64));
+        let events: Vec<(DeviceId, Event)> = fleet
+            .iter()
+            .map(|(&id, _)| (id, Event::named("tick")))
+            .collect();
+        (world, fleet, events)
+    };
+
+    let drive = |ticks: u64| -> f64 {
+        let (mut world, mut fleet, events) = build();
+        let started = Instant::now();
+        for t in 1..=ticks {
+            fleet.step(&mut world, t, &events);
+        }
+        started.elapsed().as_secs_f64()
+    };
+
+    // Warm caches, then run ABBA blocks (baseline, ring, ring, baseline).
+    // Machine throughput drifts far more between minutes than telemetry
+    // costs, so each block's ratio (r1+r2)/(b1+b2) cancels linear drift to
+    // first order, and the *median* over blocks rejects blocks hit by a
+    // load burst.
+    drive(ticks.min(50));
+    let collector = std::rc::Rc::new(telemetry::RingCollector::new(ring_capacity));
+    let mut blocks = Vec::new();
+    for _ in 0..7 {
+        let b1 = drive(ticks);
+        let guard = telemetry::install(collector.clone());
+        let r1 = drive(ticks);
+        let r2 = drive(ticks);
+        drop(guard);
+        let b2 = drive(ticks);
+        blocks.push((b1 + b2, r1 + r2));
+    }
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let ratio = median(blocks.iter().map(|(b, r)| r / b).collect());
+    let baseline_secs = median(blocks.iter().map(|(b, _)| *b).collect()) / 2.0;
+    let ring_secs = baseline_secs * ratio;
+
+    E10Report {
+        devices: n_devices,
+        ticks,
+        baseline_ticks_per_sec: ticks as f64 / baseline_secs,
+        ring_ticks_per_sec: ticks as f64 / ring_secs,
+        overhead_pct: (ring_secs / baseline_secs - 1.0) * 100.0,
+        overhead_ns_per_tick: (ring_secs - baseline_secs) * 1e9 / ticks as f64,
+        records_captured: collector.len(),
+        records_dropped: collector.dropped(),
+    }
+}
+
 /// Compute a Metrics snapshot for external reporting.
 pub fn metrics_snapshot(fleet: &Fleet) -> Metrics {
     fleet.metrics().clone()
@@ -1689,6 +1817,18 @@ mod tests {
         let leaky = run_a3(0.05, 5, 100, 10);
         assert_eq!(solid.harms, 0);
         assert!(leaky.harms > 0);
+    }
+
+    #[test]
+    fn e10_shape_telemetry_captures_without_breaking_throughput() {
+        let r = run_e10(4, 30, 4096, 11);
+        assert!(r.baseline_ticks_per_sec > 0.0);
+        assert!(r.ring_ticks_per_sec > 0.0);
+        assert!(r.records_captured > 0, "ring collector saw the run");
+        // Six phase spans (start+end) plus the tick span per tick: the last
+        // trial alone emits at least this much.
+        assert!(r.records_captured >= 30 * (2 + 12));
+        assert!(r.overhead_pct.is_finite());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The per-thread virtual clock.
+//!
+//! Trace timestamps must be deterministic so recorded and replayed runs can
+//! be compared record-for-record (the same contract the `apdm-ledger` hash
+//! chain relies on). Wall-clock time is not deterministic, so the clock is
+//! *virtual*: the simulation driver feeds the current tick in via
+//! [`set_tick`], and every emitted record draws a fresh monotonic sequence
+//! number. `(tick, seq)` totally orders a trace and is identical across
+//! re-executions of a deterministic scenario.
+
+use std::cell::Cell;
+
+use crate::record::VirtualTs;
+
+thread_local! {
+    static TICK: Cell<u64> = const { Cell::new(0) };
+    static SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Advance the virtual clock to a simulation tick. Called by the sim layer
+/// at the top of every fleet step; harmless to call with a tick already set.
+pub fn set_tick(tick: u64) {
+    TICK.with(|t| t.set(tick));
+}
+
+/// The current virtual tick.
+pub fn current_tick() -> u64 {
+    TICK.with(|t| t.get())
+}
+
+/// Reset the clock to `(tick 0, seq 0)` — the start of a fresh trace.
+/// [`install`](crate::install) calls this when it opens a new root dispatch.
+pub fn reset_clock() {
+    TICK.with(|t| t.set(0));
+    SEQ.with(|s| s.set(0));
+}
+
+/// Draw the next timestamp (advances the sequence number).
+pub(crate) fn next_ts() -> VirtualTs {
+    let seq = SEQ.with(|s| {
+        let v = s.get();
+        s.set(v + 1);
+        v
+    });
+    VirtualTs {
+        tick: current_tick(),
+        seq,
+    }
+}

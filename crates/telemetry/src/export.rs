@@ -1,0 +1,599 @@
+//! Trace exporters and the JSONL importer.
+//!
+//! Two wire formats:
+//!
+//! * **JSONL** — one [`TraceRecord`] per line, lossless, re-importable with
+//!   [`import_jsonl`] (property-tested round trip). This is the format the
+//!   CI smoke test and external tooling consume.
+//! * **Chrome `trace_event`** — a `{"traceEvents": [...]}` document
+//!   loadable in `chrome://tracing` / Perfetto. Timestamps are *virtual*
+//!   (one microsecond per sequence number), so the timeline shows
+//!   deterministic ordering and nesting; real wall-clock durations ride in
+//!   each span-end's `args.dur_ns`.
+//!
+//! The crate is dependency-free, so this module carries its own minimal
+//! JSON writer and parser (objects, arrays, strings with escapes, numbers
+//! with 64-bit integer fidelity, booleans, null).
+
+use std::fmt;
+
+use crate::record::{FieldValue, Level, Name, RecordKind, TraceRecord, VirtualTs};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON writer
+// ---------------------------------------------------------------------------
+
+/// Append a JSON string literal (with escaping) to `out`.
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_field_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => out.push_str(&v.to_string()),
+        FieldValue::I64(v) => out.push_str(&v.to_string()),
+        FieldValue::F64(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        FieldValue::Str(s) => write_json_str(out, s),
+    }
+}
+
+fn write_fields_object(out: &mut String, fields: &[(Name, FieldValue)]) {
+    out.push('{');
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_str(out, key);
+        out.push(':');
+        write_field_value(out, value);
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export / import
+// ---------------------------------------------------------------------------
+
+/// Serialize one record as a single JSON line (no trailing newline).
+pub fn record_to_json(rec: &TraceRecord) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"kind\":");
+    write_json_str(&mut out, rec.kind.name());
+    out.push_str(",\"name\":");
+    write_json_str(&mut out, &rec.name);
+    out.push_str(&format!(
+        ",\"tick\":{},\"seq\":{},\"depth\":{},\"level\":\"{}\"",
+        rec.ts.tick,
+        rec.ts.seq,
+        rec.depth,
+        rec.level.name()
+    ));
+    if let Some(dur) = rec.dur_ns {
+        out.push_str(&format!(",\"dur_ns\":{dur}"));
+    }
+    if !rec.fields.is_empty() {
+        out.push_str(",\"fields\":");
+        write_fields_object(&mut out, &rec.fields);
+    }
+    out.push('}');
+    out
+}
+
+/// Export records as JSONL, one record per line in emission order.
+pub fn export_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_to_json(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSONL import failure, localized to its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace import failed at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Re-import a JSONL trace produced by [`export_jsonl`]. Blank lines are
+/// skipped; any malformed line aborts with its line number.
+pub fn import_jsonl(text: &str) -> Result<Vec<TraceRecord>, ImportError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|message| ImportError {
+            line: idx + 1,
+            message,
+        })?;
+        records.push(record_from_json(&value).map_err(|message| ImportError {
+            line: idx + 1,
+            message,
+        })?);
+    }
+    Ok(records)
+}
+
+fn record_from_json(value: &Json) -> Result<TraceRecord, String> {
+    let obj = value
+        .as_object()
+        .ok_or("record line is not a JSON object")?;
+    let get = |key: &str| -> Option<&Json> { obj.iter().find(|(k, _)| k == key).map(|(_, v)| v) };
+    let kind_name = get("kind").and_then(Json::as_str).ok_or("missing `kind`")?;
+    let kind = RecordKind::parse(kind_name).ok_or_else(|| format!("unknown kind `{kind_name}`"))?;
+    let name = Name::Owned(
+        get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing `name`")?
+            .to_string(),
+    );
+    let tick = get("tick").and_then(Json::as_u64).ok_or("missing `tick`")?;
+    let seq = get("seq").and_then(Json::as_u64).ok_or("missing `seq`")?;
+    let depth = get("depth")
+        .and_then(Json::as_u64)
+        .ok_or("missing `depth`")?;
+    let level_name = get("level")
+        .and_then(Json::as_str)
+        .ok_or("missing `level`")?;
+    let level = Level::parse(level_name).ok_or_else(|| format!("unknown level `{level_name}`"))?;
+    let dur_ns = match get("dur_ns") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or("`dur_ns` is not an unsigned integer")?),
+    };
+    let mut fields = Vec::new();
+    if let Some(raw) = get("fields") {
+        let entries = raw.as_object().ok_or("`fields` is not an object")?;
+        for (key, value) in entries {
+            let fv = match value {
+                Json::U64(v) => FieldValue::U64(*v),
+                Json::I64(v) => FieldValue::I64(*v),
+                Json::F64(v) => FieldValue::F64(*v),
+                Json::Bool(v) => FieldValue::Bool(*v),
+                Json::Str(s) => FieldValue::Str(s.clone()),
+                Json::Null => FieldValue::F64(f64::NAN),
+                _ => return Err(format!("field `{key}` has a non-scalar value")),
+            };
+            fields.push((Name::Owned(key.clone()), fv));
+        }
+    }
+    Ok(TraceRecord {
+        kind,
+        name,
+        ts: VirtualTs { tick, seq },
+        level,
+        depth,
+        dur_ns,
+        fields,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------------
+
+/// Export records as a Chrome `trace_event` document for `chrome://tracing`
+/// or Perfetto. Span starts/ends map to `B`/`E` events, point events to
+/// instants; `ts` is virtual time at one microsecond per sequence number.
+pub fn export_chrome(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for rec in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ph = match rec.kind {
+            RecordKind::SpanStart => "B",
+            RecordKind::SpanEnd => "E",
+            RecordKind::Event => "i",
+        };
+        out.push_str("{\"name\":");
+        write_json_str(&mut out, &rec.name);
+        out.push_str(&format!(
+            ",\"cat\":\"apdm\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":0",
+            rec.ts.seq
+        ));
+        if rec.kind == RecordKind::Event {
+            out.push_str(",\"s\":\"t\"");
+        }
+        let mut args: Vec<(Name, FieldValue)> = rec.fields.clone();
+        args.push((Name::Borrowed("tick"), FieldValue::U64(rec.ts.tick)));
+        if let Some(dur) = rec.dur_ns {
+            args.push((Name::Borrowed("dur_ns"), FieldValue::U64(dur)));
+        }
+        out.push_str(",\"args\":");
+        write_fields_object(&mut out, &args);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value with 64-bit integer fidelity (integers without a
+/// fraction or exponent stay exact rather than passing through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", parser.pos));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected byte `{}` at offset {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes first.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code).ok_or("\\u escape is not a scalar value")?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: RecordKind, name: &str, seq: u64) -> TraceRecord {
+        TraceRecord {
+            kind,
+            name: Name::Owned(name.to_string()),
+            ts: VirtualTs { tick: 3, seq },
+            level: Level::Info,
+            depth: 1,
+            dur_ns: match kind {
+                RecordKind::SpanEnd => Some(12_345),
+                _ => None,
+            },
+            fields: vec![
+                (Name::Owned("device".to_string()), FieldValue::U64(7)),
+                (
+                    Name::Owned("action".to_string()),
+                    FieldValue::Str("strike \"x\"".into()),
+                ),
+                (Name::Owned("dx".to_string()), FieldValue::I64(-2)),
+                (Name::Owned("rate".to_string()), FieldValue::F64(0.25)),
+                (Name::Owned("ok".to_string()), FieldValue::Bool(true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let records = vec![
+            rec(RecordKind::SpanStart, "phase.guard", 0),
+            rec(RecordKind::Event, "harm", 1),
+            rec(RecordKind::SpanEnd, "phase.guard", 2),
+        ];
+        let jsonl = export_jsonl(&records);
+        assert_eq!(jsonl.lines().count(), 3);
+        let back = import_jsonl(&jsonl).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn u64_extremes_survive_the_wire() {
+        let mut r = rec(RecordKind::SpanEnd, "x", 0);
+        r.dur_ns = Some(u64::MAX);
+        r.fields = vec![(Name::Owned("big".to_string()), FieldValue::U64(u64::MAX))];
+        let back = import_jsonl(&export_jsonl(&[r.clone()])).unwrap();
+        assert_eq!(back, vec![r]);
+    }
+
+    #[test]
+    fn import_localizes_the_bad_line() {
+        let good = record_to_json(&rec(RecordKind::Event, "e", 0));
+        let text = format!("{good}\n{{not json\n");
+        let err = import_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn import_rejects_unknown_kinds() {
+        let text = "{\"kind\":\"mystery\",\"name\":\"x\",\"tick\":0,\"seq\":0,\"depth\":0,\"level\":\"info\"}\n";
+        let err = import_jsonl(text).unwrap_err();
+        assert!(err.message.contains("unknown kind"), "{err}");
+    }
+
+    #[test]
+    fn chrome_export_is_loadable_shape() {
+        let records = vec![
+            rec(RecordKind::SpanStart, "tick", 0),
+            rec(RecordKind::Event, "harm", 1),
+            rec(RecordKind::SpanEnd, "tick", 2),
+        ];
+        let doc = export_chrome(&records);
+        assert!(doc.starts_with("{\"displayTimeUnit\""));
+        assert!(doc.contains("\"ph\":\"B\""));
+        assert!(doc.contains("\"ph\":\"E\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"dur_ns\":12345"));
+        assert!(doc.ends_with("]}"));
+        // The document itself parses with our own parser.
+        assert!(parse_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let value = parse_json("{\"k\":\"a\\n\\t\\\"b\\\\\\u0041é\"}").unwrap();
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj[0].1.as_str().unwrap(), "a\n\t\"b\\Aé");
+    }
+
+    #[test]
+    fn parser_preserves_integer_fidelity() {
+        let value = parse_json("[18446744073709551615,-3,1.5]").unwrap();
+        match value {
+            Json::Arr(items) => {
+                assert_eq!(items[0], Json::U64(u64::MAX));
+                assert_eq!(items[1], Json::I64(-3));
+                assert_eq!(items[2], Json::F64(1.5));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

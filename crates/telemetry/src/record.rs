@@ -1,0 +1,203 @@
+//! The trace data model: records, field values, virtual timestamps.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A record or field name: borrowed (`&'static str`, zero-allocation) at
+/// macro call sites, owned after a JSONL import.
+pub type Name = Cow<'static, str>;
+
+/// Severity of an [`Event`](RecordKind::Event) record. Spans are emitted at
+/// [`Level::Info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume diagnostics (per-proposal verdicts and the like).
+    Debug,
+    /// Progress and state changes worth a line on a console.
+    Info,
+    /// Something degraded but the run continues.
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl Level {
+    /// Stable lowercase name (`debug` / `info` / `warn` / `error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a [`Level::name`] back; `None` for unknown text.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured field value attached to a span or event.
+///
+/// Non-negative integers normalize to [`FieldValue::U64`] (the `From`
+/// impls enforce this), so a JSONL round trip — which cannot distinguish
+/// `5i64` from `5u64` — is lossless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (all non-negative integers land here).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            FieldValue::U64(v as u64)
+        } else {
+            FieldValue::I64(v)
+        }
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::from(v as i64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A deterministic virtual timestamp: the simulation tick (fed through
+/// [`set_tick`](crate::set_tick)) plus a per-thread monotonic sequence
+/// number advanced once per emitted record.
+///
+/// Virtual time is what makes traces comparable across record and replay:
+/// two executions of the same deterministic scenario produce identical
+/// `(tick, seq)` streams, where wall-clock stamps never would. Wall-clock
+/// *durations* still ride along in [`TraceRecord::dur_ns`] as profiling
+/// metadata, explicitly outside the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VirtualTs {
+    /// Simulation tick current at emission.
+    pub tick: u64,
+    /// Monotonic per-thread sequence number (total order within a trace).
+    pub seq: u64,
+}
+
+/// What kind of occurrence a [`TraceRecord`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed (carries the wall-clock duration when timed).
+    SpanEnd,
+    /// A point event.
+    Event,
+}
+
+impl RecordKind {
+    /// Stable name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+            RecordKind::Event => "event",
+        }
+    }
+
+    /// Parse a [`RecordKind::name`] back.
+    pub fn parse(s: &str) -> Option<RecordKind> {
+        match s {
+            "span_start" => Some(RecordKind::SpanStart),
+            "span_end" => Some(RecordKind::SpanEnd),
+            "event" => Some(RecordKind::Event),
+            _ => None,
+        }
+    }
+}
+
+/// One emitted trace record, as delivered to every
+/// [`Subscriber`](crate::Subscriber).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Span start, span end, or point event.
+    pub kind: RecordKind,
+    /// Span or event name (dotted taxonomy, e.g. `phase.guard`).
+    pub name: Name,
+    /// Deterministic virtual timestamp.
+    pub ts: VirtualTs,
+    /// Severity (always [`Level::Info`] for spans).
+    pub level: Level,
+    /// Span-stack depth at emission (0 = root).
+    pub depth: u64,
+    /// Wall-clock duration in nanoseconds; only on [`RecordKind::SpanEnd`]
+    /// records of timed spans. Profiling metadata — two identical runs may
+    /// legitimately differ here.
+    pub dur_ns: Option<u64>,
+    /// Structured fields.
+    pub fields: Vec<(Name, FieldValue)>,
+}

@@ -1,0 +1,262 @@
+//! Subscribers and the thread-local dispatch.
+//!
+//! A [`Subscriber`] receives every [`TraceRecord`] emitted on the thread it
+//! is installed on. Installation is thread-local and RAII-scoped
+//! ([`install`] returns a [`DispatchGuard`]); with nothing installed the
+//! `span!`/`event!` macros cost one thread-local read and emit nothing,
+//! which is what keeps telemetry ~free when disabled.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+use crate::clock::{next_ts, reset_clock};
+use crate::metrics::Registry;
+use crate::record::{Level, Name, RecordKind, TraceRecord};
+
+/// A sink for trace records. Single-threaded by design (the dispatch is
+/// thread-local), so implementations use interior mutability freely.
+pub trait Subscriber {
+    /// Receive one record. Records arrive in virtual-timestamp order.
+    fn record(&self, rec: &TraceRecord);
+}
+
+/// One installed telemetry context: a subscriber plus a metrics registry.
+#[derive(Clone)]
+pub struct Dispatch {
+    subscriber: Rc<dyn Subscriber>,
+    registry: Rc<Registry>,
+}
+
+impl Dispatch {
+    /// Build a dispatch from a subscriber and a fresh registry.
+    pub fn new(subscriber: Rc<dyn Subscriber>) -> Self {
+        Dispatch {
+            subscriber,
+            registry: Rc::new(Registry::new()),
+        }
+    }
+
+    /// Build a dispatch around an existing registry (to accumulate metrics
+    /// across several traced runs).
+    pub fn with_registry(subscriber: Rc<dyn Subscriber>, registry: Rc<Registry>) -> Self {
+        Dispatch {
+            subscriber,
+            registry,
+        }
+    }
+
+    /// The dispatch's metrics registry.
+    pub fn registry(&self) -> &Rc<Registry> {
+        &self.registry
+    }
+}
+
+thread_local! {
+    static DISPATCH: RefCell<Option<Dispatch>> = const { RefCell::new(None) };
+    /// Whether a dispatch is installed, shadowed into a `Cell` so the
+    /// disabled-path check is a single non-borrowing read.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Uninstalls the dispatch (restoring any previously installed one) when
+/// dropped. Returned by [`install`]; hold it for the scope of the traced
+/// run.
+#[must_use = "dropping the guard immediately uninstalls the subscriber"]
+pub struct DispatchGuard {
+    previous: Option<Dispatch>,
+}
+
+impl Drop for DispatchGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        ENABLED.with(|e| e.set(previous.is_some()));
+        DISPATCH.with(|d| *d.borrow_mut() = previous);
+    }
+}
+
+/// Install a subscriber (with a fresh [`Registry`]) on this thread and
+/// reset the virtual clock, starting a new trace. Returns the RAII guard
+/// that uninstalls it.
+pub fn install(subscriber: Rc<dyn Subscriber>) -> DispatchGuard {
+    install_dispatch(Dispatch::new(subscriber))
+}
+
+/// Install a fully configured [`Dispatch`]. The virtual clock resets only
+/// when no dispatch was previously active (a nested install observes the
+/// outer trace's timeline).
+pub fn install_dispatch(dispatch: Dispatch) -> DispatchGuard {
+    let previous = DISPATCH.with(|d| d.borrow_mut().replace(dispatch));
+    if previous.is_none() {
+        reset_clock();
+    }
+    ENABLED.with(|e| e.set(true));
+    DispatchGuard { previous }
+}
+
+/// Is any subscriber installed on this thread? The `span!` / `event!`
+/// macros check this before allocating anything.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Run `f` against the current metrics registry, if a dispatch is
+/// installed.
+pub fn with_registry<R>(f: impl FnOnce(&Registry) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    DISPATCH.with(|d| d.borrow().as_ref().map(|dis| f(&dis.registry)))
+}
+
+/// The current registry handle, if a dispatch is installed.
+pub fn current_registry() -> Option<Rc<Registry>> {
+    DISPATCH.with(|d| d.borrow().as_ref().map(|dis| dis.registry.clone()))
+}
+
+/// Emit a record through the current dispatch. No-op when disabled.
+/// Timestamps are drawn here, so the sequence number advances exactly once
+/// per delivered record.
+pub fn emit(
+    kind: RecordKind,
+    name: &'static str,
+    level: Level,
+    depth: u64,
+    dur_ns: Option<u64>,
+    fields: Vec<(Name, crate::FieldValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let rec = TraceRecord {
+        kind,
+        name: Name::Borrowed(name),
+        ts: next_ts(),
+        level,
+        depth,
+        dur_ns,
+        fields,
+    };
+    // Deliver inside a *shared* borrow: subscribers may consult the
+    // dispatch re-entrantly (`with_registry` also borrows shared), they just
+    // must not install or uninstall one mid-record. This keeps the per-
+    // record cost free of refcount traffic.
+    DISPATCH.with(|d| {
+        if let Some(dis) = d.borrow().as_ref() {
+            dis.subscriber.record(&rec);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Collectors
+// ---------------------------------------------------------------------------
+
+/// A bounded in-memory collector: keeps the most recent `capacity` records,
+/// counting (not silently swallowing) what it evicts. This is the default
+/// flight-recorder-style sink for `--trace`: memory stays bounded no matter
+/// how long the run is.
+pub struct RingCollector {
+    capacity: usize,
+    buffer: RefCell<VecDeque<TraceRecord>>,
+    dropped: Cell<u64>,
+}
+
+impl RingCollector {
+    /// A collector holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingCollector {
+            capacity: capacity.max(1),
+            buffer: RefCell::new(VecDeque::new()),
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.buffer.borrow().iter().cloned().collect()
+    }
+
+    /// Number of records evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buffer.borrow().len()
+    }
+
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.borrow().is_empty()
+    }
+}
+
+impl Subscriber for RingCollector {
+    fn record(&self, rec: &TraceRecord) {
+        let mut buf = self.buffer.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+        buf.push_back(rec.clone());
+    }
+}
+
+/// A console subscriber: prints [`RecordKind::Event`] records at or above a
+/// minimum level to stderr, one line each, and ignores spans. This is what
+/// the CLI and bench harness route their progress lines through — silencing
+/// a run means not installing it.
+pub struct StderrSubscriber {
+    min_level: Level,
+}
+
+impl StderrSubscriber {
+    /// Print events at `min_level` and above.
+    pub fn new(min_level: Level) -> Self {
+        StderrSubscriber { min_level }
+    }
+}
+
+impl Default for StderrSubscriber {
+    fn default() -> Self {
+        StderrSubscriber::new(Level::Info)
+    }
+}
+
+impl Subscriber for StderrSubscriber {
+    fn record(&self, rec: &TraceRecord) {
+        if rec.kind != RecordKind::Event || rec.level < self.min_level {
+            return;
+        }
+        let mut line = format!("[tick {:>4}] {}", rec.ts.tick, rec.name);
+        for (key, value) in &rec.fields {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        // Best-effort: a broken stderr pipe must not kill the run.
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+}
+
+/// Deliver every record to each of several subscribers, in order.
+pub struct Fanout {
+    sinks: Vec<Rc<dyn Subscriber>>,
+}
+
+impl Fanout {
+    /// Fan out to `sinks` (first listed receives first).
+    pub fn new(sinks: Vec<Rc<dyn Subscriber>>) -> Self {
+        Fanout { sinks }
+    }
+}
+
+impl Subscriber for Fanout {
+    fn record(&self, rec: &TraceRecord) {
+        for sink in &self.sinks {
+            sink.record(rec);
+        }
+    }
+}

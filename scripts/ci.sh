@@ -16,4 +16,34 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> trace smoke test (apdm-experiments trace)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/apdm-experiments trace --seed 42 --out "$trace_dir/trace.jsonl" --quiet
+test -s "$trace_dir/trace.jsonl" || { echo "trace smoke: JSONL trace is missing or empty"; exit 1; }
+test -s "$trace_dir/trace.jsonl.chrome.json" || { echo "trace smoke: Chrome trace is missing or empty"; exit 1; }
+python3 - "$trace_dir/trace.jsonl" <<'PY'
+import json, sys
+
+path = sys.argv[1]
+names = set()
+with open(path) as fh:
+    for lineno, line in enumerate(fh, start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as err:
+            sys.exit(f"trace smoke: line {lineno} is not valid JSON: {err}")
+        if rec["kind"] == "span_start":
+            names.add(rec["name"])
+
+phases = {f"phase.{p}" for p in
+          ("sense", "propose", "guard", "execute", "world-step", "ledger-append")}
+missing = sorted(phases - names)
+if missing:
+    sys.exit(f"trace smoke: tick-phase spans missing from trace: {missing}")
+print(f"trace smoke: all {len(phases)} tick-phase spans present")
+PY
+
 echo "CI gate passed."

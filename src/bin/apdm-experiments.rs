@@ -3,11 +3,12 @@
 //!
 //! ```text
 //! apdm-experiments list
-//! apdm-experiments run e1 [--seed 42] [--json]
+//! apdm-experiments run e1 [--seed 42] [--json] [--trace out.jsonl] [--quiet]
 //! apdm-experiments run all
 //! apdm-experiments record [--seed 42] [--out run.jsonl]
 //! apdm-experiments verify run.jsonl
 //! apdm-experiments replay run.jsonl [--seed 42] [--from-snapshot]
+//! apdm-experiments trace [--seed 42] [--out trace.jsonl]
 //! ```
 //!
 //! `record` runs the canonical guarded-striker scenario under the
@@ -15,10 +16,20 @@
 //! JSONL; `verify` re-imports it and localizes the first corrupt record if
 //! any; `replay` re-executes the run (from tick 0, or from the last
 //! checkpoint with `--from-snapshot`) and reports the first divergence.
+//!
+//! Observability: progress lines route through an `apdm-telemetry` stderr
+//! subscriber, so `--quiet` silences them without touching result output
+//! (stdout). The global `--trace <path>` flag additionally captures every
+//! span and event into a ring buffer and, when the command finishes, writes
+//! the trace as JSONL to `<path>` and as a Chrome `trace_event` document to
+//! `<path>.chrome.json`, then prints the metrics percentile table
+//! (per-guard latency, per-tick phase timings). The `trace` subcommand does
+//! this for the canonical recorded scenario in one step.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
+use std::rc::Rc;
 
 use apdm::ledger::Ledger;
 use apdm::sim::contagion::{run_contagion, ContagionArm};
@@ -26,6 +37,10 @@ use apdm::sim::faults::Pathway;
 use apdm::sim::recorder::{replay_recorded, run_e9, run_recorded, RecordSpec, ReplayStart};
 use apdm::sim::runner::*;
 use apdm::sim::scenario::run_surveillance;
+use apdm::telemetry::{self, event, Fanout, Level, RingCollector, StderrSubscriber, Subscriber};
+
+/// Ring-buffer capacity for `--trace` captures (most recent records win).
+const TRACE_RING_CAPACITY: usize = 262_144;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("f1", "Figure 1: coalition fleet operation and autonomy"),
@@ -44,19 +59,23 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e9",
         "tamper evidence: ledger corruption detection (VI.B audits)",
     ),
+    ("e10", "observability overhead: telemetry on the hot loop"),
 ];
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut json = false;
+    let mut quiet = false;
     let mut seed: u64 = 42;
     let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut from_snapshot = false;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--quiet" => quiet = true,
             "--from-snapshot" => from_snapshot = true,
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
@@ -72,10 +91,59 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match iter.next() {
+                Some(path) => trace = Some(path.clone()),
+                None => {
+                    eprintln!("--trace requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
 
+    // The `trace` subcommand is the canonical recorded scenario run under
+    // `--trace`, with `--out` naming the trace file.
+    if positional.first().map(String::as_str) == Some("trace") && trace.is_none() {
+        trace = Some(out.clone().unwrap_or_else(|| format!("trace-{seed}.jsonl")));
+    }
+
+    // Telemetry: progress lines go to stderr (unless --quiet); --trace adds
+    // a ring-buffer capture. With neither, no subscriber is installed and
+    // the span!/event! call sites in the hot loop stay disabled.
+    let collector = trace
+        .as_ref()
+        .map(|_| Rc::new(RingCollector::new(TRACE_RING_CAPACITY)));
+    let mut sinks: Vec<Rc<dyn Subscriber>> = Vec::new();
+    if !quiet {
+        sinks.push(Rc::new(StderrSubscriber::default()));
+    }
+    if let Some(c) = &collector {
+        sinks.push(c.clone());
+    }
+    let _guard = (!sinks.is_empty()).then(|| telemetry::install(Rc::new(Fanout::new(sinks))));
+
+    let code = dispatch(&positional, seed, json, out, from_snapshot);
+
+    // Dump even when the command failed: a trace of a failing verify run
+    // carries the ledger.corruption events that explain it.
+    if let (Some(path), Some(collector)) = (&trace, &collector) {
+        if let Err(e) = dump_trace(path, collector) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
+/// Execute the chosen subcommand.
+fn dispatch(
+    positional: &[String],
+    seed: u64,
+    json: bool,
+    out: Option<String>,
+    from_snapshot: bool,
+) -> ExitCode {
     match positional.first().map(String::as_str) {
         Some("list") => {
             for (id, title) in EXPERIMENTS {
@@ -114,12 +182,29 @@ fn main() -> ExitCode {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!(
-                "recorded {} ({} records, head {:#018x}, {} harms)",
-                path,
-                recorded.ledger.len(),
-                recorded.ledger.head_digest(),
-                recorded.metrics.harm_count()
+            event!(
+                Level::Info,
+                "record.written",
+                path = path.as_str(),
+                records = recorded.ledger.len(),
+                harms = recorded.metrics.harm_count(),
+            );
+            emit(json, &recorded.metrics);
+            ExitCode::SUCCESS
+        }
+        Some("trace") => {
+            // The traced canonical scenario; main() installed the collector
+            // and writes the files after we return.
+            let spec = RecordSpec {
+                seed,
+                ..RecordSpec::default()
+            };
+            let recorded = run_recorded(&spec);
+            event!(
+                Level::Info,
+                "trace.run-finished",
+                records = recorded.ledger.len(),
+                harms = recorded.metrics.harm_count(),
             );
             emit(json, &recorded.metrics);
             ExitCode::SUCCESS
@@ -180,10 +265,37 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: apdm-experiments <list|run|record|verify|replay> ...");
+            eprintln!("usage: apdm-experiments <list|run|record|verify|replay|trace> ...");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Write the captured trace as JSONL plus a Chrome `trace_event` document,
+/// and print the percentile summary table.
+fn dump_trace(path: &str, collector: &RingCollector) -> Result<(), String> {
+    let records = collector.records();
+    fs::write(path, telemetry::export_jsonl(&records))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let chrome_path = format!("{path}.chrome.json");
+    fs::write(&chrome_path, telemetry::export_chrome(&records))
+        .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+    println!(
+        "trace: {} records -> {path}, {chrome_path} (load in chrome://tracing){}",
+        records.len(),
+        if collector.dropped() > 0 {
+            format!(
+                "; {} oldest records evicted by the ring bound",
+                collector.dropped()
+            )
+        } else {
+            String::new()
+        }
+    );
+    if let Some(registry) = telemetry::current_registry() {
+        print!("{}", registry.render_summary());
+    }
+    Ok(())
 }
 
 fn load_ledger(path: &str) -> Result<Ledger, ExitCode> {
@@ -215,7 +327,13 @@ fn run_experiment(id: &str, seed: u64, json: bool) {
             .find(|(e, _)| e == &id)
             .map(|(_, t)| *t)
             .unwrap_or("");
-        println!("== {id} — {title} (seed {seed}) ==");
+        event!(
+            Level::Info,
+            "experiment.start",
+            id = id,
+            title = title,
+            seed = seed
+        );
     }
     match id {
         "f1" => {
@@ -284,6 +402,11 @@ fn run_experiment(id: &str, seed: u64, json: bool) {
         }
         "e9" => {
             emit(json, &run_e9(100, seed));
+        }
+        "e10" => {
+            // 600 ticks matches the bench table; shorter trials are too
+            // noisy for a single-digit-percent overhead measurement.
+            emit(json, &run_e10(8, 600, TRACE_RING_CAPACITY, seed));
         }
         _ => unreachable!("validated above"),
     }

@@ -19,6 +19,7 @@
 //! | [`guards`] | `apdm-guards` | VI.A–D — the prevention mechanisms |
 //! | [`governance`] | `apdm-governance` | VI.E — AI overseeing AI |
 //! | [`ledger`] | `apdm-ledger` | VI.B audits — tamper-evident flight recorder and replay |
+//! | [`telemetry`] | `apdm-telemetry` | — deterministic spans/events, metrics, trace exporters |
 //! | [`sim`] | `apdm-sim` | I–II — the coalition world and experiments |
 //! | [`core`] | `apdm-core` | everything — `SafetyKernel`, `AutonomicManager` |
 //!
@@ -60,3 +61,4 @@ pub use apdm_policy as policy;
 pub use apdm_sim as sim;
 pub use apdm_simnet as simnet;
 pub use apdm_statespace as statespace;
+pub use apdm_telemetry as telemetry;
