@@ -1,0 +1,80 @@
+//! E11 — strong scaling of the two-phase parallel tick. The table sweeps
+//! fleet size × worker threads on the mixed striker/digger/sentry workload;
+//! every cell's sealed ledger must be bit-identical to the sequential
+//! run's (the harness aborts if not), so the speedup column is the only
+//! thing parallelism is allowed to change. The full report is also written
+//! to `BENCH_e11_parallel.json` at the repository root for EXPERIMENTS.md.
+//!
+//! Speedup is bounded by the host: on a single-hardware-thread machine
+//! every thread count shows ≈1.0 or worse, and that is the honest number.
+
+use std::fs;
+use std::time::Duration;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_sim::runner::run_e11;
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e11_parallel.json");
+
+fn print_table() {
+    banner(
+        "E11",
+        "strong scaling: two-phase parallel tick, ledger-verified",
+    );
+    let report = run_e11(&[8, 24, 48, 96], &[1, 2, 4, 8], 200, TABLE_SEED, true);
+    println!(
+        "{:<9} {:>8} {:>10} {:>9} {:>11} {:>11} {:>8}",
+        "devices", "threads", "wall ms", "speedup", "cache hit", "cache miss", "digest"
+    );
+    for c in &report.cells {
+        assert!(
+            c.digest_matches_sequential,
+            "E11 cell n={} threads={} diverged from the sequential ledger",
+            c.n_devices, c.threads
+        );
+        println!(
+            "{:<9} {:>8} {:>10.2} {:>9.2} {:>11} {:>11} {:>8}",
+            c.n_devices, c.threads, c.wall_ms, c.speedup, c.cache_hits, c.cache_misses, "ok"
+        );
+    }
+    println!();
+    println!(
+        "hardware threads on this host: {} (speedup is bounded above by this)",
+        report.hardware_threads
+    );
+    match fs::write(
+        REPORT_PATH,
+        serde_json::to_string_pretty(&report).expect("serializable report"),
+    ) {
+        Ok(()) => println!("report written to BENCH_e11_parallel.json"),
+        Err(e) => println!("cannot write {REPORT_PATH}: {e}"),
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_parallel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tick", format!("devices=24/threads={threads}")),
+            &threads,
+            |b, &t| {
+                b.iter(|| run_e11(&[24], &[t], 50, TABLE_SEED, true));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

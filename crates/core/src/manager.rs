@@ -110,16 +110,17 @@ impl AutonomicManager {
         }
 
         // VI.A + VI.B: the per-device guard stack.
-        let alternatives: Vec<Action> = decision.matched()[1..]
+        let alternatives: Vec<&Action> = decision.matched()[1..]
             .iter()
             .filter_map(|&rid| self.device.engine().rule(rid))
-            .map(|r| r.action().clone())
+            .map(|r| r.action())
             .collect();
         let ctx = GuardContext {
             tick,
             subject: &subject,
             state: self.device.state(),
             alternatives: &alternatives,
+            world_token: 0,
         };
         let verdict = self.stack.check(&ctx, decision.action(), oracle);
         outcome.guard_intervened = verdict.intervened();

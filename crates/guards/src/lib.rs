@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod deactivate;
 mod exposure;
 mod formation;
@@ -32,6 +33,7 @@ mod verdict;
 
 pub mod tamper;
 
+pub use cache::VerdictCache;
 pub use deactivate::{DeactivationController, DeactivationOrder, QuorumKillSwitch};
 pub use exposure::ExposureGuard;
 pub use formation::{AdmissionDecision, AggregateSpec, CollaborativeAssessment, FormationGuard};

@@ -5,6 +5,8 @@ use apdm_policy::{Action, AuditKind, AuditLog};
 use apdm_statespace::State;
 use apdm_telemetry as telemetry;
 
+use crate::cache::{fingerprint, VerdictCache};
+use crate::tamper::Tamperable;
 use crate::{ExposureGuard, GuardVerdict, HarmOracle, PreActionCheck, StateSpaceGuard};
 
 /// Cached telemetry instruments for one sub-guard: its latency histogram
@@ -110,8 +112,14 @@ pub struct GuardContext<'a> {
     pub subject: &'a str,
     /// The device's current (perceived) state.
     pub state: &'a State,
-    /// Alternative actions the device's logic could take this step.
-    pub alternatives: &'a [Action],
+    /// Alternative actions the device's logic could take this step,
+    /// borrowed from the policy engine (never cloned for a check).
+    pub alternatives: &'a [&'a Action],
+    /// Fingerprint of everything the harm oracle can observe this tick
+    /// (world occupancy, device position). Only consulted by the verdict
+    /// cache, and only when a pre-action check is installed; callers
+    /// without caching can pass `0`.
+    pub world_token: u64,
 }
 
 /// The composition of Section VI's per-device guards, evaluated in the
@@ -130,6 +138,7 @@ pub struct GuardStack {
     exposure: Option<ExposureGuard>,
     audit: AuditLog,
     metrics: StackMetrics,
+    cache: Option<VerdictCache>,
 }
 
 impl GuardStack {
@@ -156,6 +165,53 @@ impl GuardStack {
         self
     }
 
+    /// Enable verdict memoization (builder style). See [`VerdictCache`] for
+    /// the correctness contract; stacks carrying an exposure guard or a
+    /// break-glass controller ignore the cache because their checks have
+    /// budget-consuming side effects.
+    pub fn with_cache(mut self) -> Self {
+        self.cache = Some(VerdictCache::new());
+        self
+    }
+
+    /// Turn verdict memoization on or off (the `--no-cache` escape hatch).
+    /// Disabling drops all memoized verdicts and their hit/miss history.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.cache.is_none() {
+                self.cache = Some(VerdictCache::new());
+            }
+        } else {
+            self.cache = None;
+        }
+    }
+
+    /// Exact `(hits, misses)` of the verdict cache, when enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(VerdictCache::stats)
+    }
+
+    /// Drop every memoized verdict. Called automatically whenever a
+    /// sub-guard is mutably accessed; public for callers that mutate
+    /// guard-relevant state the stack cannot see.
+    pub fn invalidate_cache(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate();
+        }
+    }
+
+    /// Does this stack's composition permit memoization? Exposure guards
+    /// consume budget per check and break-glass controllers burn grants —
+    /// replaying those verdicts would skip the side effects.
+    fn cacheable(&self) -> bool {
+        self.cache.is_some()
+            && self.exposure.is_none()
+            && self
+                .statecheck
+                .as_ref()
+                .is_none_or(|sc| sc.breakglass().is_none())
+    }
+
     /// Is any guard installed?
     pub fn is_empty(&self) -> bool {
         self.preaction.is_none() && self.statecheck.is_none() && self.exposure.is_none()
@@ -172,12 +228,17 @@ impl GuardStack {
     }
 
     /// Mutable state-space guard access (tamper injection in experiments).
+    /// Invalidates the verdict cache: the caller may change anything the
+    /// guard's verdicts depend on.
     pub fn statecheck_mut(&mut self) -> Option<&mut StateSpaceGuard> {
+        self.invalidate_cache();
         self.statecheck.as_mut()
     }
 
     /// Mutable pre-action check access (tamper injection in experiments).
+    /// Invalidates the verdict cache.
     pub fn preaction_mut(&mut self) -> Option<&mut PreActionCheck> {
+        self.invalidate_cache();
         self.preaction.as_mut()
     }
 
@@ -187,7 +248,9 @@ impl GuardStack {
     }
 
     /// Mutable exposure guard access (tamper injection, budget resets).
+    /// Invalidates the verdict cache.
     pub fn exposure_mut(&mut self) -> Option<&mut ExposureGuard> {
+        self.invalidate_cache();
         self.exposure.as_mut()
     }
 
@@ -199,7 +262,46 @@ impl GuardStack {
     /// Evaluate a proposed action through the full stack. A replacement
     /// action produced by the state check is re-screened by the pre-action
     /// check — the harm check is never bypassable via substitution.
+    ///
+    /// With memoization enabled (and the stack [cacheable](Self::with_cache))
+    /// a repeated context replays the memoized verdict — including the audit
+    /// entry a Deny/Replace records — without running the sub-guards.
     pub fn check<O: HarmOracle + Copy>(
+        &mut self,
+        ctx: &GuardContext<'_>,
+        proposed: &Action,
+        oracle: O,
+    ) -> GuardVerdict {
+        if !self.cacheable() {
+            return self.check_uncached(ctx, proposed, oracle);
+        }
+        let fp = fingerprint(
+            ctx,
+            proposed,
+            self.preaction.as_ref().map(Tamperable::tamper_status),
+            self.statecheck.as_ref().map(Tamperable::tamper_status),
+        );
+        let cache = self.cache.as_mut().expect("cacheable() implies a cache");
+        if let Some(verdict) = cache.lookup(fp) {
+            // Replay the audit entry the original evaluation recorded.
+            match &verdict {
+                GuardVerdict::Deny { reason } | GuardVerdict::Replace { reason, .. } => {
+                    self.audit
+                        .record(ctx.tick, ctx.subject, AuditKind::GuardIntervention, reason);
+                }
+                _ => {}
+            }
+            return verdict;
+        }
+        let verdict = self.check_uncached(ctx, proposed, oracle);
+        if let Some(cache) = &mut self.cache {
+            cache.store(fp, verdict.clone());
+        }
+        verdict
+    }
+
+    /// The uncached evaluation path: every sub-guard actually runs.
+    fn check_uncached<O: HarmOracle + Copy>(
         &mut self,
         ctx: &GuardContext<'_>,
         proposed: &Action,
@@ -333,12 +435,13 @@ mod tests {
             ))))
     }
 
-    fn ctx<'a>(state: &'a State, alternatives: &'a [Action]) -> GuardContext<'a> {
+    fn ctx<'a>(state: &'a State, alternatives: &'a [&'a Action]) -> GuardContext<'a> {
         GuardContext {
             tick: 1,
             subject: "d",
             state,
             alternatives,
+            world_token: 0,
         }
     }
 
@@ -392,7 +495,7 @@ mod tests {
         let s = schema().state(&[4.5]).unwrap();
         let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
         let murderous_retreat = Action::adjust("strike", StateDelta::single(VarId(0), -1.0));
-        let v = stack.check(&ctx(&s, &[murderous_retreat]), &into_bad, StrikeOracle);
+        let v = stack.check(&ctx(&s, &[&murderous_retreat]), &into_bad, StrikeOracle);
         assert!(
             !v.permits_execution(),
             "harm check must also cover substitutes"
@@ -412,7 +515,7 @@ mod tests {
         let s = schema().state(&[4.5]).unwrap();
         let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
         let retreat = Action::adjust("west", StateDelta::single(VarId(0), -1.0));
-        let v = stack.check(&ctx(&s, &[retreat]), &into_bad, StrikeOracle);
+        let v = stack.check(&ctx(&s, &[&retreat]), &into_bad, StrikeOracle);
         match v {
             GuardVerdict::Replace { action, .. } => assert_eq!(action.name(), "west"),
             other => panic!("expected substitution, got {other:?}"),
@@ -507,6 +610,108 @@ mod tests {
         // counters above are exact.
         assert!(pre.count >= 1);
         assert!(pre.p99 >= pre.p50);
+    }
+
+    #[test]
+    fn cached_stack_replays_identical_verdicts_and_audits() {
+        let s = schema().state(&[4.5]).unwrap();
+        let into_bad = Action::adjust("east", StateDelta::single(VarId(0), 2.0));
+        let step = Action::adjust("in-place", StateDelta::empty());
+        let strike = Action::adjust("strike", Default::default());
+
+        let mut plain = full_stack();
+        let mut cached = full_stack().with_cache();
+        for _ in 0..4 {
+            for action in [&into_bad, &step, &strike] {
+                let expect = plain.check(&ctx(&s, &[]), action, StrikeOracle);
+                let got = cached.check(&ctx(&s, &[]), action, StrikeOracle);
+                assert_eq!(expect, got);
+            }
+        }
+        // Audit trails must be entry-for-entry identical.
+        let plain_entries: Vec<_> = plain
+            .audit()
+            .entries()
+            .iter()
+            .map(|e| (e.tick, e.detail.clone()))
+            .collect();
+        let cached_entries: Vec<_> = cached
+            .audit()
+            .entries()
+            .iter()
+            .map(|e| (e.tick, e.detail.clone()))
+            .collect();
+        assert_eq!(plain_entries, cached_entries);
+        // 3 distinct contexts: 3 misses, then 3 hits per remaining round.
+        assert_eq!(cached.cache_stats(), Some((9, 3)));
+    }
+
+    #[test]
+    fn mutable_subguard_access_invalidates_the_cache() {
+        let mut stack = full_stack().with_cache();
+        let s = schema().state(&[1.0]).unwrap();
+        let strike = Action::adjust("strike", Default::default());
+        assert!(!stack
+            .check(&ctx(&s, &[]), &strike, StrikeOracle)
+            .permits_execution());
+        assert!(!stack
+            .check(&ctx(&s, &[]), &strike, StrikeOracle)
+            .permits_execution());
+        assert_eq!(stack.cache_stats(), Some((1, 1)));
+        // Compromise the pre-action check through the mutable accessor: the
+        // memoized denial must not survive.
+        stack
+            .preaction_mut()
+            .unwrap()
+            .set_tamper_status(crate::TamperStatus::Compromised);
+        let v = stack.check(&ctx(&s, &[]), &strike, StrikeOracle);
+        assert!(
+            v.permits_execution(),
+            "stale denial replayed after tampering: {v:?}"
+        );
+    }
+
+    #[test]
+    fn impure_stacks_bypass_the_cache() {
+        use apdm_statespace::ExposureMonitor;
+        // Exposure guards consume budget per allowed check; a cache would
+        // replay "allow" forever. The stack must ignore the cache.
+        let mut stack = GuardStack::new()
+            .with_exposure(crate::ExposureGuard::new(vec![ExposureMonitor::new(
+                VarId(0),
+                10.0,
+                6.0,
+                1.0,
+            )]))
+            .with_cache();
+        let s = schema().state(&[4.0]).unwrap();
+        let loiter = Action::adjust("loiter", StateDelta::empty());
+        assert!(stack
+            .check(&ctx(&s, &[]), &loiter, StrikeOracle)
+            .permits_execution());
+        assert!(stack
+            .check(&ctx(&s, &[]), &loiter, StrikeOracle)
+            .permits_execution());
+        assert!(!stack
+            .check(&ctx(&s, &[]), &loiter, StrikeOracle)
+            .permits_execution());
+        assert_eq!(stack.cache_stats(), Some((0, 0)), "cache must stay cold");
+    }
+
+    #[test]
+    fn no_cache_escape_hatch_drops_memoized_state() {
+        let mut stack = full_stack().with_cache();
+        let s = schema().state(&[1.0]).unwrap();
+        let strike = Action::adjust("strike", Default::default());
+        let _ = stack.check(&ctx(&s, &[]), &strike, StrikeOracle);
+        let _ = stack.check(&ctx(&s, &[]), &strike, StrikeOracle);
+        assert_eq!(stack.cache_stats(), Some((1, 1)));
+        stack.set_cache_enabled(false);
+        assert_eq!(stack.cache_stats(), None);
+        // Verdicts are unchanged without the cache.
+        assert!(!stack
+            .check(&ctx(&s, &[]), &strike, StrikeOracle)
+            .permits_execution());
     }
 
     #[test]

@@ -109,15 +109,16 @@ impl StateSpaceGuard {
 
     /// Evaluate a proposed action. `subject` names the device for audits;
     /// `alternatives` are the other actions the device's logic could take
-    /// this step (the guard computes each candidate's destination from the
-    /// action's delta).
+    /// this step, borrowed from wherever they live (the guard computes each
+    /// candidate's destination from the action's delta and only clones the
+    /// one it substitutes).
     pub fn check(
         &mut self,
         subject: &str,
         tick: u64,
         state: &State,
         proposed: &Action,
-        alternatives: &[Action],
+        alternatives: &[&Action],
     ) -> GuardVerdict {
         self.checks += 1;
         if !self.tamper.is_effective() {
@@ -138,7 +139,7 @@ impl StateSpaceGuard {
             if self.classifier.classify(&dest) != Label::Bad {
                 self.last_outcome = StateCheckOutcome::Alternative(i);
                 return GuardVerdict::Replace {
-                    action: alt.clone(),
+                    action: (*alt).clone(),
                     reason: format!(
                         "state check: `{}` leads to a bad state; alternative `{}` is safe",
                         proposed.name(),
@@ -184,7 +185,7 @@ impl StateSpaceGuard {
                 }
                 self.last_outcome = StateCheckOutcome::LessBad(alt_idx);
                 return GuardVerdict::Replace {
-                    action: alternatives[alt_idx].clone(),
+                    action: (*alternatives[alt_idx]).clone(),
                     reason: "state check: forced dilemma; ontology chose the less-bad state"
                         .to_string(),
                 };
@@ -284,7 +285,7 @@ mod tests {
         let s = schema().state(&[6.5, 5.0]).unwrap();
         let east = step(2.0, 0.0, "east");
         let west = step(-2.0, 0.0, "west");
-        let v = g.check("d", 0, &s, &east, &[east.clone(), west.clone()]);
+        let v = g.check("d", 0, &s, &east, &[&east, &west]);
         match v {
             GuardVerdict::Replace { action, .. } => assert_eq!(action.name(), "west"),
             other => panic!("expected replacement, got {other:?}"),
@@ -297,13 +298,8 @@ mod tests {
         let mut g = StateSpaceGuard::new(classifier());
         // Already in a bad state; every move stays bad.
         let s = schema().state(&[0.5, 0.5]).unwrap();
-        let v = g.check(
-            "d",
-            0,
-            &s,
-            &step(0.1, 0.0, "east"),
-            &[step(0.0, 0.1, "north")],
-        );
+        let north = step(0.0, 0.1, "north");
+        let v = g.check("d", 0, &s, &step(0.1, 0.0, "east"), &[&north]);
         assert!(!v.permits_execution());
         assert_eq!(*g.last_outcome(), StateCheckOutcome::Denied);
     }
@@ -321,7 +317,7 @@ mod tests {
         let s = schema().state(&[0.5, 9.5]).unwrap(); // bad corner
         let into_west = step(0.0, -0.1, "south"); // stays in west margin: class west
         let out_east = step(9.0, 0.0, "east"); // jumps to the east side: class rest
-        let v = g.check("d", 0, &s, &out_east, std::slice::from_ref(&into_west));
+        let v = g.check("d", 0, &s, &out_east, &[&into_west]);
         match v {
             GuardVerdict::Replace { action, .. } => assert_eq!(action.name(), "south"),
             other => panic!("expected less-bad replacement, got {other:?}"),
@@ -339,7 +335,7 @@ mod tests {
         let s = schema().state(&[0.5, 9.5]).unwrap();
         let stay_west = step(0.0, -0.1, "south");
         let go_east = step(9.0, 0.0, "east");
-        let v = g.check("d", 0, &s, &stay_west, &[go_east]);
+        let v = g.check("d", 0, &s, &stay_west, &[&go_east]);
         assert_eq!(v, GuardVerdict::Allow);
         assert_eq!(*g.last_outcome(), StateCheckOutcome::LessBad(usize::MAX));
     }
@@ -361,7 +357,7 @@ mod tests {
         let s = schema().state(&[2.0, 0.5]).unwrap(); // bad (outside box)
         let riskier = step(3.0, 0.0, "east");
         let safer = step(-1.0, 0.0, "west");
-        let v = g.check("d", 0, &s, &riskier, &[safer]);
+        let v = g.check("d", 0, &s, &riskier, &[&safer]);
         match v {
             GuardVerdict::Replace { action, .. } => assert_eq!(action.name(), "west"),
             other => panic!("expected risk-minimizing replacement, got {other:?}"),

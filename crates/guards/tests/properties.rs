@@ -47,8 +47,8 @@ proptest! {
         let mut stack = GuardStack::new()
             .with_preaction(PreActionCheck::new())
             .with_statecheck(StateSpaceGuard::new(classifier.clone()));
-        let alternatives = vec![alt1, alt2];
-        let ctx = GuardContext { tick: 0, subject: "d", state: &s, alternatives: &alternatives };
+        let alternatives = [&alt1, &alt2];
+        let ctx = GuardContext { tick: 0, subject: "d", state: &s, alternatives: &alternatives, world_token: 0 };
         let verdict = stack.check(&ctx, &proposal, NoHarmOracle);
         let next = match verdict.effective_action(&proposal) {
             Some(a) => s.apply(a.delta()),
@@ -67,7 +67,7 @@ proptest! {
             .with_statecheck(
                 StateSpaceGuard::new(classifier).with_tamper(TamperStatus::Compromised),
             );
-        let ctx = GuardContext { tick: 0, subject: "d", state: &s, alternatives: &[] };
+        let ctx = GuardContext { tick: 0, subject: "d", state: &s, alternatives: &[], world_token: 0 };
         let verdict = stack.check(&ctx, &proposal, NoHarmOracle);
         prop_assert!(!verdict.intervened());
     }

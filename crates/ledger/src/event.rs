@@ -7,6 +7,7 @@
 //! [`AuditEntry`] records flow through the single [`RunEvent::Audit`]
 //! bridge instead of a parallel struct.
 
+use crate::name::Name;
 use apdm_policy::AuditEntry;
 use serde::{Deserialize, Serialize, Value};
 
@@ -26,17 +27,18 @@ pub enum RunEvent {
     Proposal {
         /// Proposing device.
         device: u64,
-        /// Proposed action name.
-        action: String,
+        /// Proposed action name (interned — see [`crate::name`]).
+        action: Name,
     },
     /// A guard stack intervened on a proposal (deny / replace / obligations).
     Verdict {
         /// Subject device.
         device: u64,
         /// The proposed action the verdict concerns.
-        action: String,
-        /// Verdict kind: `deny`, `replace`, or `allow+obligations`.
-        verdict: String,
+        action: Name,
+        /// Verdict kind: `deny`, `replace:<substitute>`, or
+        /// `allow+obligations`.
+        verdict: Name,
         /// The guard's reason (empty for obligation-only verdicts).
         reason: String,
     },
@@ -45,14 +47,14 @@ pub enum RunEvent {
         /// Executing device.
         device: u64,
         /// Effective action name (post-guard).
-        action: String,
+        action: Name,
     },
     /// A previously incurred obligation executed.
     ObligationExecuted {
         /// Obligated device.
         device: u64,
         /// Obligation action name.
-        action: String,
+        action: Name,
     },
     /// A device was deactivated (Section VI.C).
     Deactivation {
@@ -228,7 +230,7 @@ mod tests {
         assert_eq!(
             RunEvent::Proposal {
                 device: 0,
-                action: String::new()
+                action: Name::default()
             }
             .kind(),
             "proposal"

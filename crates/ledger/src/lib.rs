@@ -58,10 +58,12 @@
 pub mod event;
 pub mod hash;
 pub mod ledger;
+pub mod name;
 pub mod recorder;
 pub mod replay;
 
 pub use event::{DeviceSnap, RunEvent, SnapshotFrame};
 pub use ledger::{Corruption, Ledger, LedgerError, LedgerRecord};
+pub use name::{Name, NamePool};
 pub use recorder::RunRecorder;
 pub use replay::{Divergence, ReplayReport, Replayer};

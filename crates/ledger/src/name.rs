@@ -1,0 +1,162 @@
+//! Interned event names: allocation-free fan-out of repeated strings.
+//!
+//! A recorded run emits the same handful of action names (`strike`,
+//! `dig-hole`, `post-warning`, …) tens of thousands of times. Storing them
+//! as `String` meant one heap allocation per recorded event — a measurable
+//! per-tick cost in `Fleet::step`. [`Name`] wraps the text in an `Arc<str>`
+//! so recording an event clones a pointer, and [`NamePool`] interns each
+//! distinct spelling once so equal names share one allocation.
+//!
+//! Equality, ordering, and hashing are by **content**, never by pointer, so
+//! two ledgers built by different engines (sequential vs parallel) compare
+//! equal event-for-event regardless of which pool produced the names. JSON
+//! round-trips as a plain string, keeping the JSONL schema unchanged.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::borrow::Borrow;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply clonable, content-compared event name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// The text of the name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s.as_str()))
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+// JSON form is a bare string — the interning is invisible on disk.
+impl Serialize for Name {
+    fn to_value(&self) -> Value {
+        Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for Name {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Name::from(s.as_str())),
+            other => Err(Error::custom(format!(
+                "expected string for Name, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Interning pool: each distinct spelling is allocated once.
+///
+/// Pools are plain local state (one per fleet, one per device for the
+/// decide-phase workers) — there is no global registry, so interning never
+/// contends across threads and never leaks between runs.
+#[derive(Debug, Clone, Default)]
+pub struct NamePool {
+    names: BTreeSet<Name>,
+}
+
+impl NamePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interned name for `s`, allocating only on first sight.
+    pub fn intern(&mut self, s: &str) -> Name {
+        if let Some(existing) = self.names.get(s) {
+            return existing.clone();
+        }
+        let name = Name::from(s);
+        self.names.insert(name.clone());
+        name
+    }
+
+    /// Number of distinct names seen.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Has the pool interned anything yet?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_one_allocation_per_spelling() {
+        let mut pool = NamePool::new();
+        let a = pool.intern("strike");
+        let b = pool.intern("strike");
+        let c = pool.intern("dig-hole");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same spelling must share storage");
+        assert!(!Arc::ptr_eq(&a.0, &c.0));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn equality_is_by_content_across_pools() {
+        let mut p1 = NamePool::new();
+        let mut p2 = NamePool::new();
+        assert_eq!(p1.intern("strike"), p2.intern("strike"));
+        assert_eq!(p1.intern("strike"), "strike");
+        assert_ne!(p1.intern("strike"), p2.intern("retreat"));
+    }
+
+    #[test]
+    fn json_form_is_a_plain_string() {
+        let name = Name::from("post-warning");
+        let json = serde_json::to_string(&name).unwrap();
+        assert_eq!(json, "\"post-warning\"");
+        let back: Name = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, name);
+    }
+}

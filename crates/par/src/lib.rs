@@ -1,0 +1,275 @@
+//! Deterministic parallel execution primitives for the apdm workspace.
+//!
+//! Everything here is plain `std`: scoped threads, a mutex-guarded work
+//! queue, and an mpsc channel. The two entry points encode the two shapes
+//! of parallelism the simulator needs:
+//!
+//! - [`run_sharded`] — split a mutable slice into contiguous shards and run
+//!   one worker per shard (`Fleet::step`'s read-only decide phase; devices
+//!   are already in stable `DeviceId` order, so contiguous shards preserve
+//!   that order and shard results come back shard-ordered).
+//! - [`par_map`] — map a function over owned items with dynamic scheduling
+//!   but **order-preserving collection** (experiment fan-out: cells finish
+//!   in any order, results are reassembled in input order).
+//!
+//! Determinism contract: neither function lets scheduling order leak into
+//! results. Output position is fixed by input position, so callers that
+//! reduce results sequentially observe the same stream regardless of thread
+//! count. Workers must not touch shared mutable state beyond their own item
+//! — the type signatures (`Send` items, `Sync` closures) enforce the easy
+//! half; keeping closures pure of interior-mutable globals is the caller's
+//! half of the contract.
+//!
+//! A worker panic is propagated to the caller (the scope re-raises it), so
+//! a buggy closure fails loudly instead of producing a short result vector.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of hardware threads, falling back to 1 when unknown.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve a requested thread count: `0` means "auto".
+///
+/// Auto consults the `APDM_THREADS` environment variable first (so CI and
+/// scripts can force a level without plumbing flags), then falls back to
+/// [`hardware_threads`]. Any explicit non-zero request is honoured as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    match std::env::var("APDM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => hardware_threads(),
+    }
+}
+
+/// Split `len` items into at most `shards` contiguous ranges of near-equal
+/// size. Returns `(start, end)` pairs covering `0..len` exactly once, in
+/// order. Empty when `len == 0`.
+pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Run `f` over contiguous shards of `items` on up to `threads` scoped
+/// threads. Returns one result per shard, in shard (= input) order.
+///
+/// With `threads <= 1` (or a single shard) the function runs inline on the
+/// caller's thread — no pool, no channel — which is the "legacy sequential
+/// path": bit-identical behaviour is guaranteed by construction because the
+/// parallel path runs the same closure over the same shard ranges.
+///
+/// `f` receives `(shard_index, shard)` so callers can maintain per-shard
+/// scratch state keyed by index.
+pub fn run_sharded<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let bounds = shard_bounds(items.len(), threads.max(1));
+    if bounds.len() <= 1 {
+        return match items.is_empty() {
+            true => Vec::new(),
+            false => vec![f(0, items)],
+        };
+    }
+    let mut shards: Vec<(usize, &mut [T])> = Vec::with_capacity(bounds.len());
+    let mut rest = items;
+    let mut consumed = 0;
+    for (i, &(start, end)) in bounds.iter().enumerate() {
+        let (head, tail) = rest.split_at_mut(end - start);
+        debug_assert_eq!(consumed, start);
+        consumed = end;
+        shards.push((i, head));
+        rest = tail;
+    }
+    let f = &f;
+    let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|(i, shard)| scope.spawn(move || (i, f(i, shard))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Map `f` over `items` on up to `threads` scoped threads with dynamic
+/// (work-stealing) scheduling, returning results **in input order**.
+///
+/// Items are handed out through a shared atomic cursor, so a slow item does
+/// not hold up workers — only its own result slot. With `threads <= 1` the
+/// map runs inline in input order.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|x| std::sync::Mutex::new(Some(x)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let f = &f;
+    let slots = &slots;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                // A send can only fail if the receiver is gone, which means
+                // the caller's scope already unwound; propagate by panicking.
+                tx.send((i, f(i, item))).expect("result receiver dropped");
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            debug_assert!(out[i].is_none(), "duplicate result for slot {i}");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("missing result slot"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_bounds_cover_range_exactly() {
+        for len in 0..40 {
+            for shards in 1..10 {
+                let b = shard_bounds(len, shards);
+                let mut expect = 0;
+                for &(s, e) in &b {
+                    assert_eq!(s, expect);
+                    assert!(e > s, "empty shard");
+                    expect = e;
+                }
+                assert_eq!(expect, len);
+                if len > 0 {
+                    assert!(b.len() <= shards.max(1));
+                    let sizes: Vec<_> = b.iter().map(|&(s, e)| e - s).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1, "unbalanced shards {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_matches_inline_for_all_thread_counts() {
+        let baseline: Vec<u64> = {
+            let mut items: Vec<u64> = (0..97).collect();
+            run_sharded(1, &mut items, |_, shard| {
+                shard.iter_mut().for_each(|x| *x *= 3);
+                shard.iter().sum::<u64>()
+            })
+        };
+        for threads in 2..=8 {
+            let mut items: Vec<u64> = (0..97).collect();
+            let got = run_sharded(threads, &mut items, |_, shard| {
+                shard.iter_mut().for_each(|x| *x *= 3);
+                shard.iter().sum::<u64>()
+            });
+            // Shard partitioning differs, but totals and mutations must not.
+            assert_eq!(
+                got.iter().sum::<u64>(),
+                baseline.iter().sum::<u64>(),
+                "threads={threads}"
+            );
+            assert_eq!(items, (0..97).map(|x| x * 3).collect::<Vec<u64>>());
+            assert_eq!(got.len(), shard_bounds(97, threads).len());
+        }
+    }
+
+    #[test]
+    fn run_sharded_handles_empty_and_tiny_inputs() {
+        let mut empty: Vec<u32> = Vec::new();
+        let r = run_sharded(4, &mut empty, |_, s| s.len());
+        assert!(r.is_empty());
+        let mut one = vec![7u32];
+        let r = run_sharded(4, &mut one, |i, s| (i, s[0]));
+        assert_eq!(r, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let seq = par_map(1, items.clone(), |i, x| (i, x * x));
+        for threads in [2, 3, 4, 8] {
+            let par = par_map(threads, items.clone(), |i, x| (i, x * x));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_runs_every_item_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = par_map(4, (0..33).collect::<Vec<u64>>(), |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 33);
+        assert_eq!(out, (1..=33).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn resolve_threads_honours_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

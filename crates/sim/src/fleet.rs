@@ -4,8 +4,8 @@ use std::time::Instant;
 use apdm_device::{Device, DeviceId};
 use apdm_guards::tamper::{TamperStatus, Tamperable};
 use apdm_guards::{DeactivationController, GuardContext, GuardStack, GuardVerdict};
-use apdm_ledger::{DeviceSnap, LedgerError, RunEvent, RunRecorder, SnapshotFrame};
-use apdm_policy::{Action, Event, ObligationTrigger};
+use apdm_ledger::{DeviceSnap, LedgerError, Name, NamePool, RunEvent, RunRecorder, SnapshotFrame};
+use apdm_policy::{Action, Event, Obligation, ObligationTrigger};
 use apdm_telemetry as telemetry;
 use serde::{Deserialize, Serialize, Value};
 
@@ -115,6 +115,12 @@ pub struct GuardedDevice {
     pub stack: GuardStack,
     /// World position.
     pub pos: Cell,
+    /// Cached `id.to_string()`: the guard/audit subject label. Computed
+    /// once at [`Fleet::add`] instead of once per event.
+    pub(crate) subject: String,
+    /// Per-device name interner for recorded action names. Device-local so
+    /// decide-phase workers intern without cross-thread contention.
+    pub(crate) names: NamePool,
 }
 
 /// Fleet-level configuration.
@@ -124,6 +130,14 @@ pub struct FleetConfig {
     pub oracle: OracleQuality,
     /// Strike radius (Chebyshev) for direct-harm actions.
     pub strike_radius: i32,
+    /// Worker threads for the decide phase of [`Fleet::step`]: `1` runs the
+    /// classic sequential engine, `0` resolves from `APDM_THREADS` or the
+    /// machine's available parallelism (see [`apdm_par::resolve_threads`]).
+    /// Either way the committed tick — and hence the ledger — is identical.
+    pub threads: usize,
+    /// Install a guard-verdict memo cache ([`apdm_guards::VerdictCache`])
+    /// on every member's stack as it is added.
+    pub cache: bool,
 }
 
 impl Default for FleetConfig {
@@ -131,24 +145,74 @@ impl Default for FleetConfig {
         FleetConfig {
             oracle: OracleQuality::Myopic,
             strike_radius: 1,
+            threads: 1,
+            cache: false,
         }
     }
 }
 
+/// Everything the read-only decide phase concluded about one device, queued
+/// for the single-threaded commit phase. Outcomes commit in event order, so
+/// a parallel decide phase produces a ledger byte-identical to the
+/// sequential engine's.
+#[derive(Debug)]
+struct TickOutcome {
+    /// Index into the tick's `events` slice — the commit sort key.
+    event_idx: usize,
+    id: DeviceId,
+    /// Interned name of the proposed action.
+    proposed: Name,
+    verdict: GuardVerdict,
+    /// The action that will actually execute (interned name + action),
+    /// `None` when the guard denied outright.
+    effective: Option<(Name, Action)>,
+    /// Obligations to incur at commit (rule's own + guard-imposed); empty
+    /// when nothing executes.
+    obligations: Vec<Obligation>,
+}
+
+/// One unit of decide-phase work: a device paired with its event.
+struct WorkItem<'a> {
+    event_idx: usize,
+    event: &'a Event,
+    member: &'a mut GuardedDevice,
+}
+
+/// Mix a device's position into the fleet-wide observation token: the harm
+/// oracle's answers depend on where the device stands, so two devices in
+/// different cells must not share a cached verdict fingerprint.
+fn mix_device_token(world_token: u64, pos: Cell) -> u64 {
+    let mut h = world_token ^ 0x9e37_79b9_7f4a_7c15;
+    for v in [pos.0 as u64, pos.1 as u64] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A fleet of guarded devices operating in a [`World`].
 ///
-/// Each tick ([`step`](Fleet::step)) runs, per device and in id order, the
-/// full Figure-2 loop with guards on the propose/apply seam:
+/// Each tick ([`step`](Fleet::step)) runs the full Figure-2 loop with
+/// guards on the propose/apply seam, structured as a deterministic
+/// two-phase tick:
 ///
 /// 1. due obligations execute (mitigations are never starved by new work);
-/// 2. the device's logic proposes an action for its event;
-/// 3. the [`GuardStack`] rules (harm oracle + state check), possibly
-///    substituting an alternative drawn from the device's other matching
-///    rules;
-/// 4. the effective action executes: world effects (strike / dig / warn /
-///    move) and the device's own state delta;
+/// 2. **decide** (read-only, parallelizable): each active device's logic
+///    proposes an action for its event;
+/// 3. its [`GuardStack`] rules (harm oracle + state check) against the
+///    start-of-tick world, possibly substituting an alternative drawn from
+///    the device's other matching rules;
+/// 4. **commit** (single-threaded, event order): the effective action
+///    executes — world effects (strike / dig / warn / move) and the
+///    device's own state delta;
 /// 5. the deactivation controller (Section VI.C) observes the new state;
 /// 6. the world advances (humans walk, holes claim, heat ignites).
+///
+/// Because the decide phase never touches the world and the commit phase
+/// applies outcomes in event order, running steps 2–3 across threads
+/// ([`FleetConfig::threads`]) changes nothing observable: metrics, world
+/// trajectory and the recorded ledger are bit-identical to the sequential
+/// engine.
 ///
 /// The fleet keeps the run's ground-truth [`Metrics`].
 #[derive(Debug)]
@@ -170,6 +234,11 @@ pub struct Fleet {
     /// the recorder (guard interventions are first-class [`RunEvent::Verdict`]
     /// records, so only the break-glass log flows through the audit bridge).
     forwarded_breakglass: BTreeMap<DeviceId, usize>,
+    /// Interner for verdict labels (`deny`, `replace:<name>`, …) recorded at
+    /// commit; commit is single-threaded, so one fleet-wide pool suffices.
+    verdict_names: NamePool,
+    /// Reusable formatting buffer for composed verdict labels.
+    scratch: String,
 }
 
 impl Fleet {
@@ -185,6 +254,8 @@ impl Fleet {
             recorder: None,
             forwarded_breakglass: BTreeMap::new(),
             phase_sampler: telemetry::Sampler::every(PHASE_TIMING_SAMPLE_PERIOD),
+            verdict_names: NamePool::new(),
+            scratch: String::new(),
         }
     }
 
@@ -219,12 +290,39 @@ impl Fleet {
         }
     }
 
-    /// Add a guarded device at a position.
-    pub fn add(&mut self, device: Device, stack: GuardStack, pos: Cell) -> DeviceId {
+    /// Add a guarded device at a position. When the fleet's config asks for
+    /// verdict caching, a memo cache is installed on the stack here.
+    pub fn add(&mut self, device: Device, mut stack: GuardStack, pos: Cell) -> DeviceId {
         let id = device.id();
-        self.members
-            .insert(id, GuardedDevice { device, stack, pos });
+        if self.config.cache {
+            stack.set_cache_enabled(true);
+        }
+        self.members.insert(
+            id,
+            GuardedDevice {
+                device,
+                stack,
+                pos,
+                subject: id.to_string(),
+                names: NamePool::new(),
+            },
+        );
         id
+    }
+
+    /// Aggregate guard-verdict cache `(hits, misses)` across the fleet, or
+    /// `None` when no member carries a cache.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        let mut any = false;
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for member in self.members.values() {
+            if let Some((h, m)) = member.stack.cache_stats() {
+                any = true;
+                hits += h;
+                misses += m;
+            }
+        }
+        any.then_some((hits, misses))
     }
 
     /// Number of devices.
@@ -337,7 +435,17 @@ impl Fleet {
 
     /// Advance the fleet and world one tick. `events` are the per-device
     /// stimuli for this tick (scenarios usually send each active device a
-    /// `tick` event).
+    /// `tick` event; at most one event per device is processed).
+    ///
+    /// The tick runs in two phases. The **decide** phase (propose → sense →
+    /// guard) is read-only against the start-of-tick world, so it runs the
+    /// per-device work either inline or across a scoped thread pool
+    /// ([`FleetConfig::threads`]), producing one [`TickOutcome`] per
+    /// deciding device. The **commit** phase is always single-threaded and
+    /// applies outcomes in event order: world effects, metrics, obligations
+    /// and ledger appends happen in exactly the sequence the sequential
+    /// engine would produce, which is what makes the parallel engine's
+    /// ledger digest bit-identical to the sequential one's.
     pub fn step(&mut self, world: &mut World, tick: u64, events: &[(DeviceId, Event)]) {
         let telem = telemetry::enabled();
         if telem {
@@ -362,151 +470,18 @@ impl Fleet {
                 record_timed(&mut self.recorder, &mut clock, tick, || {
                     RunEvent::ObligationExecuted {
                         device: id.0,
-                        action: action.name().to_string(),
+                        action: member.names.intern(action.name()),
                     }
                 });
             }
         }
 
-        // 2–5. Per-device control loop.
-        for (&id, event) in events.iter().map(|(id, e)| (id, e)) {
-            let Some(member) = self.members.get_mut(&id) else {
-                continue;
-            };
-            if !member.device.is_active() {
-                continue;
-            }
-            let Some(decision) = clock.lap(PROPOSE, || member.device.propose(event)) else {
-                continue;
-            };
-            self.metrics.proposals += 1;
-            record_timed(&mut self.recorder, &mut clock, tick, || {
-                RunEvent::Proposal {
-                    device: id.0,
-                    action: decision.action().name().to_string(),
-                }
-            });
+        // 2–4. Decide phase: read-only against the start-of-tick world.
+        let outcomes = self.decide(world, tick, events, &mut clock);
 
-            // Sense: assemble the guard's view of the world — alternative
-            // actions, the harm oracle, the device's perceived state.
-            let (alternatives, oracle, subject) = clock.lap(SENSE, || {
-                let alternatives: Vec<Action> = decision.matched()[1..]
-                    .iter()
-                    .filter_map(|&rid| member.device.engine().rule(rid))
-                    .map(|r| r.action().clone())
-                    .collect();
-                let oracle = WorldOracle::new(world, id.0, member.pos, self.config.oracle);
-                (alternatives, oracle, id.to_string())
-            });
-            let ctx = GuardContext {
-                tick,
-                subject: &subject,
-                state: member.device.state(),
-                alternatives: &alternatives,
-            };
-            let verdict = clock.lap(GUARD, || {
-                member.stack.check(&ctx, decision.action(), oracle)
-            });
-            if verdict.intervened() {
-                self.metrics.interventions += 1;
-            }
-            if self.recorder.is_some() {
-                let described = match &verdict {
-                    GuardVerdict::Allow => None,
-                    GuardVerdict::AllowWithObligations(_) => {
-                        Some(("allow+obligations".to_string(), String::new()))
-                    }
-                    GuardVerdict::Deny { reason } => Some(("deny".to_string(), reason.clone())),
-                    GuardVerdict::Replace { action, reason } => {
-                        Some((format!("replace:{}", action.name()), reason.clone()))
-                    }
-                };
-                if let Some((verdict_name, reason)) = described {
-                    record_timed(&mut self.recorder, &mut clock, tick, || RunEvent::Verdict {
-                        device: id.0,
-                        action: decision.action().name().to_string(),
-                        verdict: verdict_name,
-                        reason,
-                    });
-                }
-                // Break-glass grants/denials surface through the policy
-                // audit bridge (guard interventions are already first-class
-                // verdict records — no double bookkeeping).
-                if let Some(bg) = member.stack.statecheck().and_then(|sc| sc.breakglass()) {
-                    let entries = bg.audit().entries();
-                    let seen = self.forwarded_breakglass.entry(id).or_insert(0);
-                    if let Some(rec) = self.recorder.as_mut() {
-                        clock.lap(LEDGER_APPEND, || {
-                            for entry in &entries[*seen..] {
-                                rec.record(tick, RunEvent::Audit(entry.clone()));
-                            }
-                        });
-                    }
-                    *seen = entries.len();
-                }
-            }
-
-            let mut incurred: Vec<(u64, Action)> = Vec::new();
-            if let Some(effective) = verdict.effective_action(decision.action()) {
-                let effective = effective.clone();
-                clock.lap(EXECUTE, || {
-                    // Obligations from the rule itself and from the guard.
-                    for ob in decision.obligations().iter().chain(verdict.obligations()) {
-                        let ob_id = member.device.obligations_mut().incur(ob.clone(), tick);
-                        match ob.trigger() {
-                            ObligationTrigger::During => {
-                                incurred.push((ob_id, ob.action().clone()));
-                            }
-                            ObligationTrigger::After => {
-                                self.obligations_due
-                                    .schedule(tick + 1, (id, ob_id, ob.action().clone()));
-                            }
-                        }
-                    }
-                    Self::execute_world_effect(&self.config, member, &effective, world, tick);
-                });
-                self.metrics.executions += 1;
-                record_timed(&mut self.recorder, &mut clock, tick, || {
-                    RunEvent::Execution {
-                        device: id.0,
-                        action: effective.name().to_string(),
-                    }
-                });
-                // During-obligations execute with the action.
-                for (ob_id, ob_action) in incurred {
-                    clock.lap(EXECUTE, || {
-                        Self::execute_world_effect(&self.config, member, &ob_action, world, tick);
-                        member.device.obligations_mut().fulfill(ob_id, tick);
-                    });
-                    self.metrics.obligation_executions += 1;
-                    record_timed(&mut self.recorder, &mut clock, tick, || {
-                        RunEvent::ObligationExecuted {
-                            device: id.0,
-                            action: ob_action.name().to_string(),
-                        }
-                    });
-                }
-            }
-
-            // 5. Deactivation controller observes the post-action state.
-            if let Some(ctl) = &mut self.deactivation {
-                let order = clock.lap(EXECUTE, || {
-                    ctl.observe(&subject, member.device.state(), tick)
-                });
-                if let Some(order) = order {
-                    clock.lap(EXECUTE, || {
-                        member.device.deactivate();
-                        world.clear_heat(id.0);
-                    });
-                    self.metrics.deactivations += 1;
-                    record_timed(&mut self.recorder, &mut clock, tick, || {
-                        RunEvent::Deactivation {
-                            device: id.0,
-                            reason: order.reason,
-                        }
-                    });
-                }
-            }
+        // 5. Commit phase: apply outcomes in event order.
+        for outcome in outcomes {
+            self.commit_outcome(world, tick, outcome, &mut clock);
         }
 
         // 6. The world advances; every harm not yet harvested (including
@@ -546,6 +521,275 @@ impl Fleet {
                     for (hist, &dur) in hists.iter().zip(clock.acc.iter()) {
                         hist.record(dur);
                     }
+                });
+            }
+        }
+    }
+
+    /// The read-only half of the tick: propose, sense and guard every
+    /// active device against an immutable snapshot of the world, returning
+    /// outcomes sorted by event index. With `threads > 1` the work list is
+    /// sharded contiguously (devices arrive in event order, which scenarios
+    /// emit in stable `DeviceId` order) across a scoped thread pool.
+    ///
+    /// Parallel workers run their own lap clocks; their per-phase
+    /// accumulators are summed into the caller's, so measured phase
+    /// durations report aggregate CPU time across workers rather than wall
+    /// time. Worker threads also run with telemetry disabled (dispatch is
+    /// thread-local), so per-stage guard spans are only emitted by the
+    /// sequential engine — the ledger stream is unaffected either way.
+    fn decide(
+        &mut self,
+        world: &World,
+        tick: u64,
+        events: &[(DeviceId, Event)],
+        clock: &mut PhaseClock,
+    ) -> Vec<TickOutcome> {
+        let config = self.config;
+        // SENSE: snapshot the oracle-visible world and assemble the work
+        // list, dropping inactive and unknown devices *before* any PROPOSE
+        // lap so dead devices never charge the propose histogram.
+        let (mut work, world_token) = clock.lap(SENSE, || {
+            let world_token = world.observation_token();
+            let mut by_id: BTreeMap<DeviceId, &mut GuardedDevice> = self
+                .members
+                .iter_mut()
+                .map(|(&id, member)| (id, member))
+                .collect();
+            let mut work: Vec<WorkItem<'_>> = Vec::with_capacity(events.len());
+            for (event_idx, (id, event)) in events.iter().enumerate() {
+                let Some(member) = by_id.remove(id) else {
+                    continue;
+                };
+                if !member.device.is_active() {
+                    continue;
+                }
+                work.push(WorkItem {
+                    event_idx,
+                    event,
+                    member,
+                });
+            }
+            (work, world_token)
+        });
+
+        let threads = apdm_par::resolve_threads(config.threads).min(work.len().max(1));
+        let mut outcomes: Vec<TickOutcome> = Vec::with_capacity(work.len());
+        if threads <= 1 {
+            for item in &mut work {
+                if let Some(outcome) =
+                    Self::decide_one(&config, world, world_token, tick, item, clock)
+                {
+                    outcomes.push(outcome);
+                }
+            }
+        } else {
+            let measured = clock.enabled;
+            let results = apdm_par::run_sharded(threads, &mut work, |_, shard| {
+                let mut local = PhaseClock::start(measured);
+                let mut outs = Vec::with_capacity(shard.len());
+                for item in shard {
+                    if let Some(outcome) =
+                        Self::decide_one(&config, world, world_token, tick, item, &mut local)
+                    {
+                        outs.push(outcome);
+                    }
+                }
+                (outs, local.acc)
+            });
+            for (outs, acc) in results {
+                for (phase, ns) in acc.into_iter().enumerate() {
+                    clock.acc[phase] += ns;
+                }
+                outcomes.extend(outs);
+            }
+            // Contiguous shards already concatenate in event order; the
+            // sort is a cheap structural guarantee, not a reordering.
+            outcomes.sort_by_key(|o| o.event_idx);
+        }
+        outcomes
+    }
+
+    /// Decide one device: the Figure-2 propose/sense/guard sequence against
+    /// an immutable world. Mutates only the device's own logic engine,
+    /// guard stack and name pool — never the world or the fleet.
+    fn decide_one(
+        config: &FleetConfig,
+        world: &World,
+        world_token: u64,
+        tick: u64,
+        item: &mut WorkItem<'_>,
+        clock: &mut PhaseClock,
+    ) -> Option<TickOutcome> {
+        let member = &mut *item.member;
+        let decision = clock.lap(PROPOSE, || member.device.propose(item.event))?;
+
+        // Sense: assemble the guard's view of the world — alternative
+        // actions, the harm oracle, the device's perceived state.
+        let (alternatives, oracle) = clock.lap(SENSE, || {
+            let alternatives: Vec<&Action> = decision.matched()[1..]
+                .iter()
+                .filter_map(|&rid| member.device.engine().rule(rid))
+                .map(|r| r.action())
+                .collect();
+            let oracle = WorldOracle::new(world, member.device.id().0, member.pos, config.oracle);
+            (alternatives, oracle)
+        });
+        let ctx = GuardContext {
+            tick,
+            subject: &member.subject,
+            state: member.device.state(),
+            alternatives: &alternatives,
+            world_token: mix_device_token(world_token, member.pos),
+        };
+        let verdict = clock.lap(GUARD, || {
+            member.stack.check(&ctx, decision.action(), oracle)
+        });
+        drop(alternatives);
+
+        let effective = verdict
+            .effective_action(decision.action())
+            .map(|action| (member.names.intern(action.name()), action.clone()));
+        let obligations: Vec<Obligation> = if effective.is_some() {
+            decision
+                .obligations()
+                .iter()
+                .chain(verdict.obligations())
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Some(TickOutcome {
+            event_idx: item.event_idx,
+            id: member.device.id(),
+            proposed: member.names.intern(decision.action().name()),
+            verdict,
+            effective,
+            obligations,
+        })
+    }
+
+    /// Commit one decided outcome: metrics, ledger records, obligations,
+    /// world effects and the deactivation controller, in exactly the order
+    /// the sequential engine interleaves them.
+    fn commit_outcome(
+        &mut self,
+        world: &mut World,
+        tick: u64,
+        outcome: TickOutcome,
+        clock: &mut PhaseClock,
+    ) {
+        let id = outcome.id;
+        let Some(member) = self.members.get_mut(&id) else {
+            return;
+        };
+        self.metrics.proposals += 1;
+        record_timed(&mut self.recorder, clock, tick, || RunEvent::Proposal {
+            device: id.0,
+            action: outcome.proposed.clone(),
+        });
+
+        if outcome.verdict.intervened() {
+            self.metrics.interventions += 1;
+        }
+        if self.recorder.is_some() {
+            let described: Option<(Name, &str)> = match &outcome.verdict {
+                GuardVerdict::Allow => None,
+                GuardVerdict::AllowWithObligations(_) => {
+                    Some((self.verdict_names.intern("allow+obligations"), ""))
+                }
+                GuardVerdict::Deny { reason } => {
+                    Some((self.verdict_names.intern("deny"), reason.as_str()))
+                }
+                GuardVerdict::Replace { action, reason } => {
+                    use std::fmt::Write;
+                    self.scratch.clear();
+                    let _ = write!(self.scratch, "replace:{}", action.name());
+                    Some((self.verdict_names.intern(&self.scratch), reason.as_str()))
+                }
+            };
+            if let Some((verdict_name, reason)) = described {
+                let reason = reason.to_string();
+                record_timed(&mut self.recorder, clock, tick, || RunEvent::Verdict {
+                    device: id.0,
+                    action: outcome.proposed.clone(),
+                    verdict: verdict_name,
+                    reason,
+                });
+            }
+            // Break-glass grants/denials surface through the policy
+            // audit bridge (guard interventions are already first-class
+            // verdict records — no double bookkeeping).
+            if let Some(bg) = member.stack.statecheck().and_then(|sc| sc.breakglass()) {
+                let entries = bg.audit().entries();
+                let seen = self.forwarded_breakglass.entry(id).or_insert(0);
+                if let Some(rec) = self.recorder.as_mut() {
+                    clock.lap(LEDGER_APPEND, || {
+                        for entry in &entries[*seen..] {
+                            rec.record(tick, RunEvent::Audit(entry.clone()));
+                        }
+                    });
+                }
+                *seen = entries.len();
+            }
+        }
+
+        let mut incurred: Vec<(u64, Action)> = Vec::new();
+        if let Some((effective_name, effective)) = outcome.effective {
+            clock.lap(EXECUTE, || {
+                // Obligations from the rule itself and from the guard.
+                for ob in outcome.obligations {
+                    let trigger = ob.trigger();
+                    let ob_action = ob.action().clone();
+                    let ob_id = member.device.obligations_mut().incur(ob, tick);
+                    match trigger {
+                        ObligationTrigger::During => {
+                            incurred.push((ob_id, ob_action));
+                        }
+                        ObligationTrigger::After => {
+                            self.obligations_due
+                                .schedule(tick + 1, (id, ob_id, ob_action));
+                        }
+                    }
+                }
+                Self::execute_world_effect(&self.config, member, &effective, world, tick);
+            });
+            self.metrics.executions += 1;
+            record_timed(&mut self.recorder, clock, tick, || RunEvent::Execution {
+                device: id.0,
+                action: effective_name,
+            });
+            // During-obligations execute with the action.
+            for (ob_id, ob_action) in incurred {
+                clock.lap(EXECUTE, || {
+                    Self::execute_world_effect(&self.config, member, &ob_action, world, tick);
+                    member.device.obligations_mut().fulfill(ob_id, tick);
+                });
+                self.metrics.obligation_executions += 1;
+                record_timed(&mut self.recorder, clock, tick, || {
+                    RunEvent::ObligationExecuted {
+                        device: id.0,
+                        action: member.names.intern(ob_action.name()),
+                    }
+                });
+            }
+        }
+
+        // Deactivation controller observes the post-action state.
+        if let Some(ctl) = &mut self.deactivation {
+            let order = clock.lap(EXECUTE, || {
+                ctl.observe(&member.subject, member.device.state(), tick)
+            });
+            if let Some(order) = order {
+                clock.lap(EXECUTE, || {
+                    member.device.deactivate();
+                    world.clear_heat(id.0);
+                });
+                self.metrics.deactivations += 1;
+                record_timed(&mut self.recorder, clock, tick, || RunEvent::Deactivation {
+                    device: id.0,
+                    reason: order.reason,
                 });
             }
         }

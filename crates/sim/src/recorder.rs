@@ -44,6 +44,11 @@ pub struct RecordSpec {
     pub p_tamper: f64,
     /// Checkpoint cadence in ticks (0 disables snapshots).
     pub snapshot_every: u64,
+    /// Decide-phase worker threads (`1` = sequential engine, `0` = auto);
+    /// the recorded ledger is identical for every value.
+    pub threads: usize,
+    /// Install guard-verdict memo caches (identical ledger either way).
+    pub cache: bool,
 }
 
 impl Default for RecordSpec {
@@ -54,6 +59,8 @@ impl Default for RecordSpec {
             seed: 42,
             p_tamper: 0.02,
             snapshot_every: 40,
+            threads: 1,
+            cache: false,
         }
     }
 }
@@ -105,7 +112,11 @@ fn build_world(_spec: &RecordSpec) -> World {
 
 fn build_fleet(spec: &RecordSpec, rng: &mut StdRng) -> Fleet {
     let schema = StateSchema::builder().var("threat", 0.0, 1.0).build();
-    let mut fleet = Fleet::new(FleetConfig::default());
+    let mut fleet = Fleet::new(FleetConfig {
+        threads: spec.threads,
+        cache: spec.cache,
+        ..FleetConfig::default()
+    });
     for i in 0..spec.n_devices {
         let device = Device::builder(i as u64, DeviceKind::new("striker"), OrgId::new("us"))
             .schema(schema.clone())
@@ -427,6 +438,30 @@ mod tests {
             a.ledger.len() > spec.ticks as usize,
             "events outnumber ticks"
         );
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        let seq = run_recorded(&RecordSpec::default());
+        for threads in [0, 2, 4, 8] {
+            let par = run_recorded(&RecordSpec {
+                threads,
+                ..RecordSpec::default()
+            });
+            assert_eq!(seq.ledger, par.ledger, "threads={threads}");
+            assert_eq!(seq.metrics, par.metrics, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn verdict_cache_leaves_the_ledger_identical() {
+        let plain = run_recorded(&RecordSpec::default());
+        let cached = run_recorded(&RecordSpec {
+            cache: true,
+            ..RecordSpec::default()
+        });
+        assert_eq!(plain.ledger, cached.ledger);
+        assert_eq!(plain.metrics, cached.metrics);
     }
 
     #[test]

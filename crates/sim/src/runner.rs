@@ -15,7 +15,7 @@ use apdm_guards::{
     AggregateSpec, CollaborativeAssessment, DeactivationController, FormationGuard, GuardStack,
     PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
 };
-use apdm_ledger::RunRecorder;
+use apdm_ledger::{Ledger, RunRecorder};
 use apdm_policy::obligation::ObligationCatalog;
 use apdm_policy::{
     Action, BreakGlassController, BreakGlassRule, Condition, EcaRule, Event, Obligation,
@@ -129,7 +129,7 @@ pub fn run_e1(arm: E1Arm, n_humans: usize, n_devices: usize, ticks: u64, seed: u
     };
     let mut fleet = Fleet::new(FleetConfig {
         oracle,
-        strike_radius: 1,
+        ..FleetConfig::default()
     });
 
     let stack_for = |arm: E1Arm| -> GuardStack {
@@ -319,12 +319,13 @@ pub fn run_e2(arm: E2Arm, episodes: u64, steps_per_episode: u64, seed: u64) -> E
             let executed = match &mut guard {
                 None => Some(proposed.clone()),
                 Some(g) => {
+                    let alt_refs: Vec<&Action> = alternatives.iter().collect();
                     let verdict = g.check(
                         "walker",
                         episode * steps_per_episode + step,
                         &state,
                         &proposed,
-                        &alternatives,
+                        &alt_refs,
                     );
                     verdict.effective_action(&proposed).cloned()
                 }
@@ -1247,7 +1248,7 @@ pub fn run_a1(mask: GuardMask, ticks: u64, seed: u64) -> A1Report {
 
     let mut fleet = Fleet::new(FleetConfig {
         oracle: OracleQuality::Predictive { horizon: 30 },
-        strike_radius: 1,
+        ..FleetConfig::default()
     });
     if mask.deactivation {
         fleet.set_deactivation(DeactivationController::new(classifier.clone(), 2));
@@ -1657,6 +1658,268 @@ pub fn run_e10(n_devices: usize, ticks: u64, ring_capacity: usize, seed: u64) ->
     }
 }
 
+// ---------------------------------------------------------------------------
+// Experiment fan-out
+// ---------------------------------------------------------------------------
+
+/// Deterministic parallel experiment fan-out.
+///
+/// Every experiment entry point in this module is a pure function of its
+/// arguments, so sweeps over (scenario, seed, fleet-size) cells are
+/// embarrassingly parallel. `ParRunner` distributes independent cells
+/// across `apdm-par` workers and merges results **in input order**: a
+/// parallel sweep emits exactly the table a sequential loop would, just
+/// faster on multi-core hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct ParRunner {
+    threads: usize,
+}
+
+impl ParRunner {
+    /// A runner with `threads` workers. `0` auto-detects (respecting the
+    /// `APDM_THREADS` override), `1` runs inline on the caller's thread.
+    pub fn new(threads: usize) -> Self {
+        ParRunner {
+            threads: apdm_par::resolve_threads(threads),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over `cells` across the worker pool; results come back in
+    /// input order regardless of which worker finished first.
+    pub fn map<C, R, F>(&self, cells: Vec<C>, f: F) -> Vec<R>
+    where
+        C: Send,
+        R: Send,
+        F: Fn(usize, C) -> R + Sync,
+    {
+        apdm_par::par_map(self.threads, cells, f)
+    }
+
+    /// Sweep a (scenario × seed × fleet-size) grid in row-major input
+    /// order: all seeds and sizes of the first scenario, then the next.
+    pub fn grid<S, R, F>(&self, scenarios: &[S], seeds: &[u64], sizes: &[usize], f: F) -> Vec<R>
+    where
+        S: Clone + Send,
+        R: Send,
+        F: Fn(&S, u64, usize) -> R + Sync,
+    {
+        let mut cells = Vec::with_capacity(scenarios.len() * seeds.len() * sizes.len());
+        for scenario in scenarios {
+            for &seed in seeds {
+                for &size in sizes {
+                    cells.push((scenario.clone(), seed, size));
+                }
+            }
+        }
+        self.map(cells, |_, (scenario, seed, size)| f(&scenario, seed, size))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E11 — strong scaling of the two-phase parallel tick
+// ---------------------------------------------------------------------------
+
+/// One cell of experiment E11: a (fleet size, thread count) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E11Cell {
+    /// Devices in the fleet.
+    pub n_devices: usize,
+    /// Decide-phase worker threads.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// `wall_ms(threads=1) / wall_ms` at the same fleet size.
+    pub speedup: f64,
+    /// Head digest of the run's sealed ledger.
+    pub head_digest: u64,
+    /// Whether the ledger is bit-identical to the sequential run's.
+    pub digest_matches_sequential: bool,
+    /// Guard-verdict cache hits summed across the fleet.
+    pub cache_hits: u64,
+    /// Guard-verdict cache misses summed across the fleet.
+    pub cache_misses: u64,
+}
+
+/// Report of experiment E11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E11Report {
+    /// Hardware threads the host reports; speedups are bounded by this,
+    /// so a single-core host shows ≈1.0 for every thread count.
+    pub hardware_threads: usize,
+    /// Ticks per cell.
+    pub ticks: u64,
+    /// Seed.
+    pub seed: u64,
+    /// Whether the guard-verdict cache was enabled.
+    pub cache: bool,
+    /// All cells, (fleet size, thread count) row-major.
+    pub cells: Vec<E11Cell>,
+}
+
+/// One finished E11 run at a fixed (fleet size, thread count).
+#[derive(Clone)]
+struct E11Run {
+    ledger: Ledger,
+    wall_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// The E11 workload: a mixed fleet leaning on every guard path. A third
+/// of the fleet are strikers behind myopic pre-action checks, a third are
+/// diggers behind predictive pre-action checks (the expensive oracle
+/// sweep the decide phase shards), and a third are sentries behind
+/// state-space checks whose state saturates at the good-region boundary —
+/// the steady-state workload the verdict cache exists for.
+fn e11_device(id: u64, action: &str, schema: &StateSchema) -> Device {
+    Device::builder(id, DeviceKind::new("worker"), OrgId::new("us"))
+        .schema(schema.clone())
+        .sensor(Sensor::new("tasking", VarId(0)))
+        .rule(EcaRule::new(
+            "do-task",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::adjust(action, StateDelta::empty()).physical(),
+        ))
+        .build()
+}
+
+fn e11_sentry(id: u64, schema: &StateSchema) -> Device {
+    Device::builder(id, DeviceKind::new("sentry"), OrgId::new("us"))
+        .schema(schema.clone())
+        .actuator(Actuator::new("advance", VarId(0), 1.0))
+        .rule(EcaRule::new(
+            "advance",
+            Event::pattern("tick"),
+            Condition::True,
+            Action::adjust("advance", StateDelta::single(VarId(0), 0.5)),
+        ))
+        .build()
+}
+
+fn e11_run_once(n_devices: usize, threads: usize, ticks: u64, seed: u64, cache: bool) -> E11Run {
+    use std::time::Instant;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut world = World::new(WorldConfig {
+        width: 40,
+        height: 40,
+        heat_limit: f64::MAX,
+        heat_zone: None,
+    });
+    // Dense looping walkers: the predictive oracle's horizon sweep over
+    // them dominates the guard phase, which is what the shards split.
+    for _ in 0..20 {
+        let row = rng.random_range(0..40);
+        let path: Vec<(i32, i32)> = (0..40).map(|x| (x, row)).collect();
+        world.add_human(path, true);
+    }
+
+    let schema = StateSchema::builder().var("task", 0.0, 10.0).build();
+    let good = Region::rect(&[(0.0, 7.0)]);
+    let mut fleet = Fleet::new(FleetConfig {
+        oracle: OracleQuality::Predictive { horizon: 30 },
+        strike_radius: 1,
+        threads,
+        cache,
+    });
+    for i in 0..n_devices {
+        let pos = (rng.random_range(0..40), rng.random_range(0..40));
+        let (device, stack) = match i % 3 {
+            0 => (
+                e11_device(i as u64, actions::STRIKE, &schema),
+                GuardStack::new().with_preaction(PreActionCheck::new()),
+            ),
+            1 => (
+                e11_device(i as u64, actions::DIG_HOLE, &schema),
+                GuardStack::new()
+                    .with_preaction(PreActionCheck::new().with_lookahead(30))
+                    .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(good.clone()))),
+            ),
+            _ => (
+                e11_sentry(i as u64, &schema),
+                GuardStack::new()
+                    .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(good.clone()))),
+            ),
+        };
+        fleet.add(device, stack, pos);
+    }
+
+    fleet.set_recorder(RunRecorder::new("e11", seed, n_devices as u64));
+    let events: Vec<(DeviceId, Event)> = fleet
+        .iter()
+        .map(|(&id, _)| (id, Event::named("tick")))
+        .collect();
+    let started = Instant::now();
+    for tick in 1..=ticks {
+        fleet.step(&mut world, tick, &events);
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (cache_hits, cache_misses) = fleet.cache_stats().unwrap_or((0, 0));
+    let harms = fleet.metrics().harm_count() as u64;
+    let ledger = fleet
+        .take_recorder()
+        .expect("recorder was attached")
+        .finish(ticks, harms);
+    E11Run {
+        ledger,
+        wall_ms,
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// Run experiment E11: strong scaling of the two-phase tick. For every
+/// fleet size the scenario first runs on the sequential engine as the
+/// reference, then once per requested thread count; each cell reports
+/// wall time, speedup against the reference, and whether its sealed
+/// ledger is **bit-identical** to the reference's (it always must be —
+/// tests assert it). Cells run back-to-back on the calling thread, never
+/// through [`ParRunner`], so wall-clock numbers are unpolluted.
+pub fn run_e11(
+    fleet_sizes: &[usize],
+    thread_counts: &[usize],
+    ticks: u64,
+    seed: u64,
+    cache: bool,
+) -> E11Report {
+    let mut cells = Vec::new();
+    for &n_devices in fleet_sizes {
+        let reference = e11_run_once(n_devices, 1, ticks, seed, cache);
+        for &threads in thread_counts {
+            // The reference *is* the sequential cell; rerunning it would
+            // only add noise.
+            let run = if threads == 1 {
+                reference.clone()
+            } else {
+                e11_run_once(n_devices, threads, ticks, seed, cache)
+            };
+            cells.push(E11Cell {
+                n_devices,
+                threads,
+                wall_ms: run.wall_ms,
+                speedup: reference.wall_ms / run.wall_ms,
+                head_digest: run.ledger.head_digest(),
+                digest_matches_sequential: run.ledger == reference.ledger,
+                cache_hits: run.cache_hits,
+                cache_misses: run.cache_misses,
+            });
+        }
+    }
+    E11Report {
+        hardware_threads: apdm_par::hardware_threads(),
+        ticks,
+        seed,
+        cache,
+        cells,
+    }
+}
+
 /// Compute a Metrics snapshot for external reporting.
 pub fn metrics_snapshot(fleet: &Fleet) -> Metrics {
     fleet.metrics().clone()
@@ -1829,6 +2092,49 @@ mod tests {
         // trial alone emits at least this much.
         assert!(r.records_captured >= 30 * (2 + 12));
         assert!(r.overhead_pct.is_finite());
+    }
+
+    #[test]
+    fn par_runner_merges_in_cell_order() {
+        let runner = ParRunner::new(4);
+        let got = runner.grid(&["a", "b"], &[1, 2], &[8, 16], |s, seed, n| {
+            format!("{s}/{seed}/{n}")
+        });
+        assert_eq!(
+            got,
+            ["a/1/8", "a/1/16", "a/2/8", "a/2/16", "b/1/8", "b/1/16", "b/2/8", "b/2/16"]
+        );
+    }
+
+    #[test]
+    fn par_runner_fanout_matches_sequential_sweep() {
+        let sequential: Vec<E1Report> = E1Arm::all()
+            .iter()
+            .map(|&arm| run_e1(arm, 8, 8, 40, 7))
+            .collect();
+        let parallel =
+            ParRunner::new(4).map(E1Arm::all().to_vec(), |_, arm| run_e1(arm, 8, 8, 40, 7));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn e11_parallel_ledgers_are_bit_identical_to_sequential() {
+        let report = run_e11(&[6, 12], &[1, 2, 4], 30, 7, true);
+        assert_eq!(report.cells.len(), 6);
+        for cell in &report.cells {
+            assert!(
+                cell.digest_matches_sequential,
+                "divergent ledger at n={} threads={}",
+                cell.n_devices, cell.threads
+            );
+        }
+        // The sentry third of the fleet saturates into a steady state, so
+        // the verdict cache must actually land hits.
+        assert!(
+            report.cells.iter().any(|c| c.cache_hits > 0),
+            "expected cache hits: {:?}",
+            report.cells
+        );
     }
 
     #[test]

@@ -236,6 +236,31 @@ impl World {
             .collect()
     }
 
+    /// A 64-bit digest of everything a [`WorldOracle`] can observe: each
+    /// human's path progress and harmed flag (paths themselves are static
+    /// for the life of a run, so `(index, harmed)` pins both the current
+    /// and every predicted position). Guard-verdict caches mix this token
+    /// into their fingerprint so a memoized verdict is replayed only while
+    /// the oracle's view of the world is unchanged.
+    ///
+    /// [`WorldOracle`]: crate::WorldOracle
+    pub fn observation_token(&self) -> u64 {
+        // FNV-1a over the observable tuple stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (i, human) in self.humans.iter().enumerate() {
+            mix(i as u64);
+            mix(human.idx as u64);
+            mix(u64::from(human.harmed));
+        }
+        h
+    }
+
     /// Dig a hole at `cell`, attributed to `device`. Idempotent per cell.
     pub fn dig_hole(&mut self, cell: Cell, device: Option<u64>) {
         self.holes.entry(cell).or_insert((false, device));
@@ -643,6 +668,25 @@ mod tests {
             1,
             "path exhausted without interception"
         );
+    }
+
+    #[test]
+    fn observation_token_tracks_only_oracle_visible_state() {
+        let mut w = world();
+        let h = w.add_human(vec![(0, 0), (1, 0), (2, 0)], false);
+        let t0 = w.observation_token();
+        // Holes and heat are invisible to the harm oracle.
+        w.dig_hole((5, 5), None);
+        w.set_heat(1, 3.0);
+        assert_eq!(w.observation_token(), t0);
+        // A walking human changes the view…
+        w.step(1);
+        let t1 = w.observation_token();
+        assert_ne!(t0, t1);
+        // …and so does harming one.
+        w.strike(1, (1, 0), 0, 2);
+        assert_eq!(w.human_harmed(h), Some(true));
+        assert_ne!(w.observation_token(), t1);
     }
 
     #[test]

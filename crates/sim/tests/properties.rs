@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use apdm_device::{Device, DeviceId, DeviceKind, OrgId};
 use apdm_guards::{GuardStack, PreActionCheck};
 use apdm_policy::{Action, Condition, EcaRule, Event};
+use apdm_sim::recorder::{run_recorded, RecordSpec};
 use apdm_sim::runner::{run_e1, run_e6, E1Arm, E6Arm};
 use apdm_sim::{actions, Fleet, FleetConfig, World, WorldConfig};
 use apdm_statespace::{StateDelta, StateSchema};
@@ -139,5 +140,34 @@ proptest! {
     fn preaction_blocks_direct_for_all_seeds(seed in 0u64..30) {
         let r = run_e1(E1Arm::PreAction, 8, 8, 40, seed);
         prop_assert_eq!(r.direct_harms, 0);
+    }
+
+    /// THE parallel-engine contract: for any recorded scenario — fleet
+    /// size, run length, seed, tamper rate, snapshot cadence — and any
+    /// worker count and cache setting, the sealed hash-chained ledger and
+    /// the metrics are bit-identical to the sequential engine's.
+    #[test]
+    fn parallel_engine_bit_identical_for_all_scenarios(
+        n_devices in 1usize..12,
+        ticks in 1u64..40,
+        seed in 0u64..1_000,
+        p_tamper in 0.0f64..0.2,
+        snapshot_every in 0u64..10,
+        threads in 2usize..=8,
+        cache in any::<bool>(),
+    ) {
+        let base = RecordSpec {
+            n_devices,
+            ticks,
+            seed,
+            p_tamper,
+            snapshot_every,
+            threads: 1,
+            cache: false,
+        };
+        let sequential = run_recorded(&base);
+        let parallel = run_recorded(&RecordSpec { threads, cache, ..base });
+        prop_assert_eq!(&sequential.ledger, &parallel.ledger);
+        prop_assert_eq!(&sequential.metrics, &parallel.metrics);
     }
 }

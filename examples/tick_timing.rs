@@ -1,0 +1,35 @@
+//! Internal timing harness: wall time per recorded-scenario run at scale.
+use apdm::sim::recorder::{run_recorded, RecordSpec};
+use std::time::Instant;
+
+fn main() {
+    let threads = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let spec = RecordSpec {
+        n_devices: 48,
+        ticks: 600,
+        seed: 42,
+        p_tamper: 0.0,
+        snapshot_every: 0,
+        threads,
+        cache: false,
+    };
+    // Warm-up.
+    let _ = run_recorded(&spec);
+    let mut times: Vec<f64> = (0..7)
+        .map(|_| {
+            let t0 = Instant::now();
+            let run = run_recorded(&spec);
+            let dt = t0.elapsed().as_secs_f64() * 1000.0;
+            assert!(run.ledger.verify().is_ok());
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "median {:.2} ms  (min {:.2}, max {:.2})",
+        times[3], times[0], times[6]
+    );
+}

@@ -46,4 +46,26 @@ if missing:
 print(f"trace smoke: all {len(phases)} tick-phase spans present")
 PY
 
+echo "==> parallel determinism smoke (APDM_THREADS=4 vs sequential)"
+./target/release/apdm-experiments record --seed 42 --threads 1 \
+    --out "$trace_dir/run-seq.jsonl" --quiet >/dev/null
+APDM_THREADS=4 ./target/release/apdm-experiments record --seed 42 \
+    --out "$trace_dir/run-par.jsonl" --quiet >/dev/null
+cmp -s "$trace_dir/run-seq.jsonl" "$trace_dir/run-par.jsonl" \
+    || { echo "parallel smoke: 4-thread ledger diverges from sequential"; exit 1; }
+echo "parallel smoke: 4-thread ledger byte-identical to sequential"
+
+echo "==> strong-scaling table (BENCH_e11_parallel.json)"
+./target/release/apdm-experiments run e11 --json --quiet > BENCH_e11_parallel.json
+python3 - BENCH_e11_parallel.json <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+bad = [c for c in report["cells"] if not c["digest_matches_sequential"]]
+if bad:
+    sys.exit(f"e11: cells diverged from the sequential ledger: {bad}")
+print(f"e11: {len(report['cells'])} cells, all ledgers bit-identical "
+      f"(hardware_threads={report['hardware_threads']})")
+PY
+
 echo "CI gate passed."

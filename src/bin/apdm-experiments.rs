@@ -11,6 +11,14 @@
 //! apdm-experiments trace [--seed 42] [--out trace.jsonl]
 //! ```
 //!
+//! Parallelism: the global `--threads N` flag sets the worker count for
+//! both the two-phase fleet tick and the experiment fan-out (`0` = one
+//! per hardware thread, the default; `1` = fully sequential; the
+//! `APDM_THREADS` env var overrides auto-detection). Experiment sweeps
+//! distribute their cells across the pool but always print in table
+//! order, and recorded ledgers are bit-identical at any thread count.
+//! `--no-cache` disables the guard-verdict memo cache.
+//!
 //! `record` runs the canonical guarded-striker scenario under the
 //! `apdm-ledger` flight recorder and writes the hash-chained ledger as
 //! JSONL; `verify` re-imports it and localizes the first corrupt record if
@@ -60,6 +68,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "tamper evidence: ledger corruption detection (VI.B audits)",
     ),
     ("e10", "observability overhead: telemetry on the hot loop"),
+    (
+        "e11",
+        "strong scaling: two-phase parallel tick, ledger-verified",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -70,6 +82,8 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut from_snapshot = false;
+    let mut threads: usize = 0;
+    let mut cache = true;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -77,10 +91,18 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--from-snapshot" => from_snapshot = true,
+            "--no-cache" => cache = false,
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads requires an integer (0 = auto)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -123,7 +145,7 @@ fn main() -> ExitCode {
     }
     let _guard = (!sinks.is_empty()).then(|| telemetry::install(Rc::new(Fanout::new(sinks))));
 
-    let code = dispatch(&positional, seed, json, out, from_snapshot);
+    let code = dispatch(&positional, seed, json, out, from_snapshot, threads, cache);
 
     // Dump even when the command failed: a trace of a failing verify run
     // carries the ledger.corruption events that explain it.
@@ -143,6 +165,8 @@ fn dispatch(
     json: bool,
     out: Option<String>,
     from_snapshot: bool,
+    threads: usize,
+    cache: bool,
 ) -> ExitCode {
     match positional.first().map(String::as_str) {
         Some("list") => {
@@ -154,12 +178,12 @@ fn dispatch(
         Some("run") => match positional.get(1).map(String::as_str) {
             Some("all") => {
                 for (id, _) in EXPERIMENTS {
-                    run_experiment(id, seed, json);
+                    run_experiment(id, seed, json, threads, cache);
                 }
                 ExitCode::SUCCESS
             }
             Some(id) if EXPERIMENTS.iter().any(|(e, _)| e == &id) => {
-                run_experiment(id, seed, json);
+                run_experiment(id, seed, json, threads, cache);
                 ExitCode::SUCCESS
             }
             Some(other) => {
@@ -174,6 +198,8 @@ fn dispatch(
         Some("record") => {
             let spec = RecordSpec {
                 seed,
+                threads,
+                cache,
                 ..RecordSpec::default()
             };
             let recorded = run_recorded(&spec);
@@ -194,9 +220,13 @@ fn dispatch(
         }
         Some("trace") => {
             // The traced canonical scenario; main() installed the collector
-            // and writes the files after we return.
+            // and writes the files after we return. Tracing stays useful at
+            // any thread count: workers run with telemetry disabled, so the
+            // phase spans come from the sequential commit path.
             let spec = RecordSpec {
                 seed,
+                threads,
+                cache,
                 ..RecordSpec::default()
             };
             let recorded = run_recorded(&spec);
@@ -241,6 +271,8 @@ fn dispatch(
             };
             let spec = RecordSpec {
                 seed,
+                threads,
+                cache,
                 ..RecordSpec::default()
             };
             let start = if from_snapshot {
@@ -320,7 +352,21 @@ fn emit<T: serde::Serialize + std::fmt::Debug>(json: bool, value: &T) {
     }
 }
 
-fn run_experiment(id: &str, seed: u64, json: bool) {
+/// Run each cell across the fan-out pool, then emit reports in table
+/// order. Workers run with telemetry disabled, so progress lines from
+/// inside a cell only appear at `--threads 1`; results are unaffected.
+fn sweep<C, R, F>(runner: &ParRunner, json: bool, cells: Vec<C>, f: F)
+where
+    C: Send,
+    R: serde::Serialize + std::fmt::Debug + Send,
+    F: Fn(C) -> R + Sync,
+{
+    for report in runner.map(cells, |_, cell| f(cell)) {
+        emit(json, &report);
+    }
+}
+
+fn run_experiment(id: &str, seed: u64, json: bool, threads: usize, cache: bool) {
     if !json {
         let title = EXPERIMENTS
             .iter()
@@ -335,78 +381,74 @@ fn run_experiment(id: &str, seed: u64, json: bool) {
             seed = seed
         );
     }
+    let runner = ParRunner::new(threads);
     match id {
-        "f1" => {
-            for n in [8usize, 32] {
-                emit(json, &run_surveillance(n, 300, seed));
-            }
-        }
-        "e1" => {
-            for arm in E1Arm::all() {
-                emit(json, &run_e1(arm, 12, 12, 100, seed));
-            }
-        }
-        "e2" => {
-            for arm in E2Arm::all() {
-                emit(json, &run_e2(arm, 16, 80, seed));
-            }
-        }
-        "e2d" => {
-            for arm in E2dArm::all() {
-                emit(json, &run_e2d(arm, 400, 0.3, seed));
-            }
-        }
-        "e3" => {
-            for arm in E3Arm::all() {
-                emit(json, &run_e3(arm, 12, 0.3, 100, seed));
-            }
-        }
-        "e4" => {
-            for arm in E4Arm::all() {
-                emit(json, &run_e4(arm, 6, 2.5, 10.0, 50, seed));
-            }
-        }
+        "f1" => sweep(&runner, json, vec![8usize, 32], |n| {
+            run_surveillance(n, 300, seed)
+        }),
+        "e1" => sweep(&runner, json, E1Arm::all().to_vec(), |arm| {
+            run_e1(arm, 12, 12, 100, seed)
+        }),
+        "e2" => sweep(&runner, json, E2Arm::all().to_vec(), |arm| {
+            run_e2(arm, 16, 80, seed)
+        }),
+        "e2d" => sweep(&runner, json, E2dArm::all().to_vec(), |arm| {
+            run_e2d(arm, 400, 0.3, seed)
+        }),
+        "e3" => sweep(&runner, json, E3Arm::all().to_vec(), |arm| {
+            run_e3(arm, 12, 0.3, 100, seed)
+        }),
+        "e4" => sweep(&runner, json, E4Arm::all().to_vec(), |arm| {
+            run_e4(arm, 6, 2.5, 10.0, 50, seed)
+        }),
         "e5" => {
+            let mut cells = Vec::new();
             for corrupted in 0..=2usize {
                 for arm in E5Arm::all() {
-                    emit(json, &run_e5(arm, corrupted, 400, seed));
+                    cells.push((arm, corrupted));
                 }
             }
+            sweep(&runner, json, cells, |(arm, corrupted)| {
+                run_e5(arm, corrupted, 400, seed)
+            });
         }
-        "e6" => {
-            for arm in E6Arm::all() {
-                emit(json, &run_e6(arm, 6, 40, 60, seed));
-            }
-        }
+        "e6" => sweep(&runner, json, E6Arm::all().to_vec(), |arm| {
+            run_e6(arm, 6, 40, 60, seed)
+        }),
         "e7" => {
+            let mut cells = Vec::new();
             for pathway in Pathway::all() {
                 for guarded in [false, true] {
-                    emit(json, &run_e7(pathway, guarded, 4, 100, seed));
+                    cells.push((pathway, guarded));
                 }
             }
+            sweep(&runner, json, cells, |(pathway, guarded)| {
+                run_e7(pathway, guarded, 4, 100, seed)
+            });
         }
-        "e8" => {
-            for arm in ContagionArm::all() {
-                emit(json, &run_contagion(arm, 16, 40, seed));
-            }
-        }
-        "a1" => {
-            for mask in GuardMask::all() {
-                emit(json, &run_a1(mask, 60, seed));
-            }
-        }
-        "a3" => {
-            for p in [0.0f64, 0.01, 0.05, 0.2] {
-                emit(json, &run_a3(p, 5, 200, seed));
-            }
-        }
+        "e8" => sweep(&runner, json, ContagionArm::all().to_vec(), |arm| {
+            run_contagion(arm, 16, 40, seed)
+        }),
+        "a1" => sweep(&runner, json, GuardMask::all().to_vec(), |mask| {
+            run_a1(mask, 60, seed)
+        }),
+        "a3" => sweep(&runner, json, vec![0.0f64, 0.01, 0.05, 0.2], |p| {
+            run_a3(p, 5, 200, seed)
+        }),
         "e9" => {
             emit(json, &run_e9(100, seed));
         }
         "e10" => {
             // 600 ticks matches the bench table; shorter trials are too
-            // noisy for a single-digit-percent overhead measurement.
+            // noisy for a single-digit-percent overhead measurement. Timing
+            // experiments never go through the fan-out pool.
             emit(json, &run_e10(8, 600, TRACE_RING_CAPACITY, seed));
+        }
+        "e11" => {
+            emit(
+                json,
+                &run_e11(&[8, 24, 48, 96], &[1, 2, 4, 8], 200, seed, cache),
+            );
         }
         _ => unreachable!("validated above"),
     }

@@ -20,6 +20,7 @@
 //! | [`governance`] | `apdm-governance` | VI.E — AI overseeing AI |
 //! | [`ledger`] | `apdm-ledger` | VI.B audits — tamper-evident flight recorder and replay |
 //! | [`telemetry`] | `apdm-telemetry` | — deterministic spans/events, metrics, trace exporters |
+//! | [`par`] | `apdm-par` | — deterministic scoped-thread shard pools and fan-out |
 //! | [`sim`] | `apdm-sim` | I–II — the coalition world and experiments |
 //! | [`core`] | `apdm-core` | everything — `SafetyKernel`, `AutonomicManager` |
 //!
@@ -57,6 +58,7 @@ pub use apdm_governance as governance;
 pub use apdm_guards as guards;
 pub use apdm_learning as learning;
 pub use apdm_ledger as ledger;
+pub use apdm_par as par;
 pub use apdm_policy as policy;
 pub use apdm_sim as sim;
 pub use apdm_simnet as simnet;

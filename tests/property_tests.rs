@@ -131,8 +131,15 @@ proptest! {
         let mut stack = GuardStack::new()
             .with_statecheck(StateSpaceGuard::new(classifier.clone()));
         let proposed = Action::adjust("walk", d);
-        let alternatives = vec![Action::adjust("alt", alt)];
-        let ctx = GuardContext { tick: 0, subject: "p", state: &s, alternatives: &alternatives };
+        let alt_action = Action::adjust("alt", alt);
+        let alternatives = [&alt_action];
+        let ctx = GuardContext {
+            tick: 0,
+            subject: "p",
+            state: &s,
+            alternatives: &alternatives,
+            world_token: 0,
+        };
         let verdict = stack.check(&ctx, &proposed, NoHarmOracle);
         let next = match verdict.effective_action(&proposed) {
             Some(a) => s.apply(a.delta()),
