@@ -1,0 +1,111 @@
+//! E12 — degraded-comms robustness. The table sweeps link loss × partition
+//! duration × fail mode with every safety-critical exchange (kill ballots,
+//! council ratification, kill orders, admission, heartbeats) running over
+//! the lossy network through retry/backoff envelopes. The harness asserts
+//! the paper's §IV claim on the measured numbers: at loss ≥ 0.3 fail-open
+//! harms strictly exceed fail-closed harms, and fail-closed pays for it in
+//! availability. The full report is also written to `BENCH_e12_comms.json`
+//! at the repository root for EXPERIMENTS.md.
+
+use std::fs;
+use std::time::Duration;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+use apdm_bench::{banner, TABLE_SEED};
+use apdm_comms::FailMode;
+use apdm_sim::degraded::{run_e12, run_e12_cell, E12Config};
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e12_comms.json");
+
+fn print_table() {
+    banner(
+        "E12",
+        "degraded comms: safety coordination under loss/partition (IV)",
+    );
+    let cfg = E12Config {
+        seed: TABLE_SEED,
+        ..E12Config::default()
+    };
+    let report = run_e12(&cfg, &[0.0, 0.1, 0.3, 0.6], &[0, 20, 60], 0);
+    println!(
+        "{:<6} {:>10} {:>15} {:>6} {:>9} {:>7} {:>6} {:>8} {:>8}",
+        "loss", "partition", "mode", "harms", "contain", "fkills", "avail", "retries", "expired"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<6} {:>10} {:>15} {:>6} {:>9} {:>7} {:>6.3} {:>8} {:>8}",
+            c.loss,
+            c.partition_ticks,
+            c.mode,
+            c.harms,
+            c.containment_tick
+                .map_or_else(|| "never".into(), |t| t.to_string()),
+            c.false_kills,
+            c.availability,
+            c.retries,
+            c.expired_requests,
+        );
+    }
+    // The §IV acceptance: modes must diverge once the network degrades.
+    for (loss, partition) in [(0.3, 20), (0.3, 60), (0.6, 20), (0.6, 60)] {
+        let pick = |mode: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.loss == loss && c.partition_ticks == partition && c.mode == mode)
+                .expect("cell present")
+        };
+        let (open, closed) = (pick("open"), pick("closed"));
+        assert!(
+            open.harms > closed.harms,
+            "E12 loss={loss} partition={partition}: fail-open must reopen the harm \
+             pathway (open={} closed={})",
+            open.harms,
+            closed.harms
+        );
+        assert!(
+            closed.availability <= open.availability,
+            "E12 loss={loss} partition={partition}: fail-closed must pay availability"
+        );
+    }
+    println!();
+    match fs::write(
+        REPORT_PATH,
+        serde_json::to_string_pretty(&report).expect("serializable report"),
+    ) {
+        Ok(()) => println!("report written to BENCH_e12_comms.json"),
+        Err(e) => println!("cannot write {REPORT_PATH}: {e}"),
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_comms");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let cfg = E12Config {
+        seed: TABLE_SEED,
+        ticks: 60,
+        ..E12Config::default()
+    };
+    for mode in FailMode::all() {
+        group.bench_with_input(
+            BenchmarkId::new("cell", format!("loss=0.3/partition=20/{}", mode.name())),
+            &mode,
+            |b, &m| {
+                b.iter(|| run_e12_cell(&cfg, 0.3, 20, m));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -54,11 +54,12 @@ fn print_table() {
             }
             let schema = StateSchema::builder().var("x", 0.0, 10.0).build();
             let state = schema.state(&[5.0]).unwrap();
-            for _ in 0..50 {
-                council.decide(
-                    &state,
-                    &Action::adjust("strike-humans", StateDelta::empty()),
-                );
+            let strike = Action::adjust("strike-humans", StateDelta::empty());
+            for round in 0..50u64 {
+                let ballots: Vec<_> = (0..n)
+                    .map(|m| council.ballot_of(m, round, &state, &strike))
+                    .collect();
+                council.tally(round, &ballots, &state, &strike);
             }
             println!(
                 "{:<10} {:>10} {:>11} {:>13}",

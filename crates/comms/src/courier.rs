@@ -1,0 +1,396 @@
+//! The per-node courier: at-least-once request/response over the lossy net.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use apdm_simnet::{Delivered, Network, NodeId};
+use apdm_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::envelope::{Envelope, Kind, MsgId};
+
+thread_local! {
+    static REQUESTS_SENT: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("comms.request.sent") };
+    static RETRIES: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("comms.retry") };
+    static EXPIRED: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("comms.expired") };
+    static DEDUP_DROPPED: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("comms.dedup.dropped") };
+    static RTT_TICKS: telemetry::CachedHistogram =
+        const { telemetry::CachedHistogram::new("comms.rtt.ticks") };
+}
+
+/// Retry/backoff/timeout policy for a courier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommsConfig {
+    /// Ticks to wait for a response before the first retransmission.
+    pub timeout: u64,
+    /// Retransmissions after the initial send before the request expires.
+    pub max_retries: u32,
+    /// Wait multiplier per retransmission (exponential backoff).
+    pub backoff_factor: u64,
+    /// Maximum seeded jitter (in ticks) added to each backoff wait, so a
+    /// fleet of couriers does not retransmit in lock-step.
+    pub jitter: u64,
+}
+
+impl Default for CommsConfig {
+    fn default() -> Self {
+        CommsConfig {
+            timeout: 4,
+            max_retries: 4,
+            backoff_factor: 2,
+            jitter: 2,
+        }
+    }
+}
+
+impl CommsConfig {
+    /// The response deadline for try number `tries` (0 = initial send),
+    /// before jitter: `timeout * backoff_factor^tries`, saturating.
+    pub fn wait_for_try(&self, tries: u32) -> u64 {
+        let mut wait = self.timeout.max(1);
+        for _ in 0..tries {
+            wait = wait.saturating_mul(self.backoff_factor.max(1));
+        }
+        wait
+    }
+}
+
+/// A request the courier gave up on after exhausting its retries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expired<P> {
+    /// The expired request's identity.
+    pub id: MsgId,
+    /// Who it was addressed to.
+    pub to: NodeId,
+    /// The request payload, returned so the caller can degrade or re-route.
+    pub payload: P,
+    /// Total transmissions attempted (1 initial + retries).
+    pub tries: u32,
+}
+
+/// A deduplicated, application-relevant delivery surfaced by
+/// [`Courier::accept`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming<P> {
+    /// A request seen for the first time; answer it with
+    /// [`Courier::respond`] quoting `id`.
+    Request {
+        /// Sender.
+        from: NodeId,
+        /// The request's identity (quote in the response).
+        id: MsgId,
+        /// Request payload.
+        payload: P,
+    },
+    /// The first response matching one of our pending requests.
+    Response {
+        /// Responder.
+        from: NodeId,
+        /// The request this answers.
+        re: MsgId,
+        /// Response payload.
+        payload: P,
+        /// Ticks between the original send and this delivery.
+        rtt: u64,
+    },
+}
+
+/// Per-node endpoint implementing at-least-once request/response:
+/// requests are retransmitted on an exponential-backoff schedule (with
+/// seeded jitter) until answered or expired; receivers dedup by [`MsgId`]
+/// and re-answer duplicated requests from a response cache, so duplicated
+/// and reordered deliveries are invisible to the application.
+///
+/// All state is deterministic: the only randomness is the courier's own
+/// seeded jitter RNG, so a fixed seed yields a bit-identical exchange.
+#[derive(Debug)]
+pub struct Courier<P> {
+    node: NodeId,
+    cfg: CommsConfig,
+    rng: StdRng,
+    next_seq: u64,
+    /// Our in-flight requests, keyed by local seq.
+    pending: BTreeMap<u64, PendingRequest<P>>,
+    /// Request ids we have surfaced to the application but not yet answered.
+    seen: BTreeSet<MsgId>,
+    /// Request id -> the response payload we sent, for re-answering dups.
+    answered: BTreeMap<MsgId, P>,
+    /// Responses matched to a pending request (for RTT bookkeeping tests).
+    completed: u64,
+    expired: u64,
+    retries: u64,
+    dedup_dropped: u64,
+}
+
+#[derive(Debug)]
+struct PendingRequest<P> {
+    to: NodeId,
+    payload: P,
+    sent_at: u64,
+    deadline: u64,
+    tries: u32,
+}
+
+impl<P: Clone> Courier<P> {
+    /// A courier for `node` with the given policy and jitter seed.
+    pub fn new(node: NodeId, cfg: CommsConfig, seed: u64) -> Self {
+        Courier {
+            node,
+            cfg,
+            rng: StdRng::seed_from_u64(seed ^ node.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            answered: BTreeMap::new(),
+            completed: 0,
+            expired: 0,
+            retries: 0,
+            dedup_dropped: 0,
+        }
+    }
+
+    /// This courier's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Requests currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Counters: `(completed, expired, retries, dedup_dropped)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.completed,
+            self.expired,
+            self.retries,
+            self.dedup_dropped,
+        )
+    }
+
+    /// Send a request to `to` at tick `now`; it will be retransmitted on the
+    /// backoff schedule until a response arrives or retries are exhausted.
+    /// Returns the request's identity.
+    pub fn request(
+        &mut self,
+        net: &mut Network<Envelope<P>>,
+        to: NodeId,
+        payload: P,
+        now: u64,
+    ) -> MsgId {
+        let id = MsgId {
+            node: self.node,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        net.send(
+            self.node,
+            to,
+            Envelope {
+                id,
+                kind: Kind::Request,
+                payload: payload.clone(),
+            },
+            now,
+        );
+        if telemetry::enabled() {
+            REQUESTS_SENT.with(|c| c.inc());
+        }
+        self.pending.insert(
+            id.seq,
+            PendingRequest {
+                to,
+                payload,
+                sent_at: now,
+                deadline: now + self.cfg.wait_for_try(0),
+                tries: 1,
+            },
+        );
+        id
+    }
+
+    /// Answer the request `re` with `payload`. The response is cached so a
+    /// duplicated or retransmitted copy of the request is re-answered
+    /// without involving the application again.
+    pub fn respond(
+        &mut self,
+        net: &mut Network<Envelope<P>>,
+        to: NodeId,
+        re: MsgId,
+        payload: P,
+        now: u64,
+    ) {
+        self.answered.insert(re, payload.clone());
+        self.seen.remove(&re);
+        let id = MsgId {
+            node: self.node,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        net.send(
+            self.node,
+            to,
+            Envelope {
+                id,
+                kind: Kind::Response { re },
+                payload,
+            },
+            now,
+        );
+    }
+
+    /// Process one delivery addressed to this node. Duplicates are absorbed
+    /// here: an already-answered request is re-answered from the cache, an
+    /// already-surfaced request or already-matched response is dropped.
+    pub fn accept(
+        &mut self,
+        net: &mut Network<Envelope<P>>,
+        delivered: Delivered<Envelope<P>>,
+        now: u64,
+    ) -> Option<Incoming<P>> {
+        debug_assert_eq!(delivered.to, self.node, "misrouted delivery");
+        let Envelope { id, kind, payload } = delivered.payload;
+        match kind {
+            Kind::Request => {
+                if let Some(answer) = self.answered.get(&id).cloned() {
+                    self.dedup_dropped += 1;
+                    if telemetry::enabled() {
+                        DEDUP_DROPPED.with(|c| c.inc());
+                    }
+                    self.respond_again(net, delivered.from, id, answer, now);
+                    return None;
+                }
+                if !self.seen.insert(id) {
+                    self.dedup_dropped += 1;
+                    if telemetry::enabled() {
+                        DEDUP_DROPPED.with(|c| c.inc());
+                    }
+                    return None;
+                }
+                Some(Incoming::Request {
+                    from: delivered.from,
+                    id,
+                    payload,
+                })
+            }
+            Kind::Response { re } => {
+                if re.node != self.node {
+                    self.dedup_dropped += 1;
+                    return None;
+                }
+                let Some(pending) = self.pending.remove(&re.seq) else {
+                    // Duplicate response, or one that arrived after expiry.
+                    self.dedup_dropped += 1;
+                    if telemetry::enabled() {
+                        DEDUP_DROPPED.with(|c| c.inc());
+                    }
+                    return None;
+                };
+                self.completed += 1;
+                let rtt = now.saturating_sub(pending.sent_at);
+                if telemetry::enabled() {
+                    RTT_TICKS.with(|h| h.record(rtt));
+                }
+                Some(Incoming::Response {
+                    from: delivered.from,
+                    re,
+                    payload,
+                    rtt,
+                })
+            }
+        }
+    }
+
+    /// Retransmit overdue requests and expire the exhausted ones. Call once
+    /// per tick after draining deliveries. Expired requests are handed back
+    /// so the caller can apply its degradation policy.
+    pub fn poll(&mut self, net: &mut Network<Envelope<P>>, now: u64) -> Vec<Expired<P>> {
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&seq, _)| seq)
+            .collect();
+        let mut expired = Vec::new();
+        for seq in due {
+            let exhausted = self
+                .pending
+                .get(&seq)
+                .is_some_and(|p| p.tries > self.cfg.max_retries);
+            if exhausted {
+                let p = self.pending.remove(&seq).expect("pending entry vanished");
+                self.expired += 1;
+                if telemetry::enabled() {
+                    EXPIRED.with(|c| c.inc());
+                }
+                expired.push(Expired {
+                    id: MsgId {
+                        node: self.node,
+                        seq,
+                    },
+                    to: p.to,
+                    payload: p.payload,
+                    tries: p.tries,
+                });
+                continue;
+            }
+            let jitter = if self.cfg.jitter > 0 {
+                self.rng.random_range(0..=self.cfg.jitter)
+            } else {
+                0
+            };
+            let p = self.pending.get_mut(&seq).expect("pending entry vanished");
+            let id = MsgId {
+                node: self.node,
+                seq,
+            };
+            let envelope = Envelope {
+                id,
+                kind: Kind::Request,
+                payload: p.payload.clone(),
+            };
+            let to = p.to;
+            let wait = self.cfg.wait_for_try(p.tries);
+            p.tries += 1;
+            p.deadline = now + wait + jitter;
+            self.retries += 1;
+            if telemetry::enabled() {
+                RETRIES.with(|c| c.inc());
+            }
+            net.send(self.node, to, envelope, now);
+        }
+        expired
+    }
+
+    /// Re-send a cached answer for a duplicated request (fresh envelope id,
+    /// same `re`); the requester's own dedup absorbs any extra copies.
+    fn respond_again(
+        &mut self,
+        net: &mut Network<Envelope<P>>,
+        to: NodeId,
+        re: MsgId,
+        payload: P,
+        now: u64,
+    ) {
+        let id = MsgId {
+            node: self.node,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        net.send(
+            self.node,
+            to,
+            Envelope {
+                id,
+                kind: Kind::Response { re },
+                payload,
+            },
+            now,
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Degradation policy: what a device does when the network abandons it.
+//!
+//! Section IV of the paper argues that coalition devices must keep operating
+//! while disconnected from command — which is exactly when the
+//! connectivity-dependent safety mechanisms (quorum kill, council votes,
+//! formation checks) stop hearing from their peers. The [`FailMode`] policy
+//! makes the resulting choice explicit and measurable (experiment E12).
+
+use serde::{Deserialize, Serialize};
+
+/// How a safety mechanism behaves when its message exchange degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailMode {
+    /// Fail open: keep acting as if connectivity were fine. Missing votes
+    /// count as approvals, isolated devices run their full behaviour. This
+    /// is the implicit policy of any synchronous in-process check — and the
+    /// one E12 shows reopens the §IV malevolence pathways under loss.
+    Open,
+    /// Fail closed: no quorum, no action. Missing votes count as refusals
+    /// and isolated devices suspend physical actions entirely. Safe, at a
+    /// measured availability cost.
+    Closed,
+    /// Degrade to a conservative locally-regenerated standing policy (the
+    /// paper's §IV generative-policy argument made executable): isolated
+    /// devices keep serving non-physical work under a standing "hold" rule
+    /// instead of either full behaviour or full suspension.
+    LocalFallback,
+}
+
+impl FailMode {
+    /// Stable lowercase name (ledger/CLI/JSON key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailMode::Open => "open",
+            FailMode::Closed => "closed",
+            FailMode::LocalFallback => "local-fallback",
+        }
+    }
+
+    /// All modes, in sweep order.
+    pub fn all() -> [FailMode; 3] {
+        [FailMode::Open, FailMode::Closed, FailMode::LocalFallback]
+    }
+}
+
+impl std::fmt::Display for FailMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tracks when a node last heard from its coordinator and decides when it
+/// must consider itself isolated and engage its [`FailMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationMonitor {
+    last_contact: u64,
+    threshold: u64,
+}
+
+impl IsolationMonitor {
+    /// A monitor that declares isolation after `threshold` silent ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is zero.
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold > 0, "isolation threshold must be positive");
+        IsolationMonitor {
+            last_contact: 0,
+            threshold,
+        }
+    }
+
+    /// Record contact (any authenticated message from the coordinator).
+    pub fn heard(&mut self, now: u64) {
+        self.last_contact = self.last_contact.max(now);
+    }
+
+    /// Ticks since the last contact.
+    pub fn silence(&self, now: u64) -> u64 {
+        now.saturating_sub(self.last_contact)
+    }
+
+    /// Is the node isolated at tick `now`?
+    pub fn is_isolated(&self, now: u64) -> bool {
+        self.silence(now) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_trips_after_threshold_silence() {
+        let mut m = IsolationMonitor::new(5);
+        m.heard(10);
+        assert!(!m.is_isolated(14));
+        assert!(m.is_isolated(15));
+        m.heard(15);
+        assert!(!m.is_isolated(19));
+    }
+
+    #[test]
+    fn heard_never_moves_backwards() {
+        let mut m = IsolationMonitor::new(3);
+        m.heard(10);
+        m.heard(4); // a late, reordered heartbeat must not rewind contact
+        assert_eq!(m.silence(12), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        let _ = IsolationMonitor::new(0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FailMode::Open.name(), "open");
+        assert_eq!(FailMode::Closed.name(), "closed");
+        assert_eq!(FailMode::LocalFallback.name(), "local-fallback");
+        assert_eq!(FailMode::all().len(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Wire envelope: sequence-numbered request/response framing.
+
+use apdm_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique message identity: the originating node plus its local
+/// monotonic sequence number. Receivers dedup on this pair, so a duplicated
+/// or retransmitted envelope is recognized no matter how late it arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MsgId {
+    /// The node that minted the id.
+    pub node: NodeId,
+    /// That node's local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.node, self.seq)
+    }
+}
+
+/// What an envelope carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kind {
+    /// A request expecting a response (retransmitted until answered or
+    /// expired).
+    Request,
+    /// A response to the request identified by `re` (fire-and-forget; the
+    /// requester's retransmissions cover response loss, because duplicate
+    /// requests are re-answered from the responder's cache).
+    Response {
+        /// The request this responds to.
+        re: MsgId,
+    },
+}
+
+/// A framed message: identity, kind, payload. (Envelopes travel in-memory
+/// through the simulated network, so they carry no serde derives — the
+/// vendored derive macro does not support generics.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<P> {
+    /// Message identity (dedup key).
+    pub id: MsgId,
+    /// Request or response.
+    pub kind: Kind,
+    /// Application payload.
+    pub payload: P,
+}

@@ -1,0 +1,210 @@
+//! Degraded-comms coordination layer for safety-critical exchanges.
+//!
+//! The paper's premise (§I, §IV) is that coalition devices act autonomously
+//! *because* they are intermittently disconnected from command — yet quorum
+//! kill switches, formation admission checks, and k-of-n council ballots
+//! only mean anything if their messages actually arrive. This crate routes
+//! those exchanges over [`apdm_simnet::Network`]'s seeded loss/duplication/
+//! reordering/partition machinery and makes the failure policy explicit:
+//!
+//! - [`Envelope`]/[`MsgId`] — sequence-numbered request/response framing,
+//!   so receivers can dedup duplicated or retransmitted deliveries;
+//! - [`Courier`] — per-node at-least-once RPC: per-message timeouts,
+//!   bounded retries with exponential backoff and seeded jitter, response
+//!   caching for duplicate requests, RTT/retry/expiry telemetry;
+//! - [`FailMode`]/[`IsolationMonitor`] — what a node does when the network
+//!   abandons it: fail open, fail closed, or degrade to a conservative
+//!   locally-regenerated standing policy (§IV made executable);
+//! - [`SafetyMsg`] — the protocol: kill ballots, kill orders, admission
+//!   requests, council calls/ballots, heartbeats.
+//!
+//! Everything is deterministic under a fixed seed: courier jitter uses its
+//! own seeded RNG and all bookkeeping is in `BTreeMap` order, so sealed
+//! ledgers of comms-driven experiments stay bit-identical across thread
+//! counts (experiment E12).
+//!
+//! Participates in experiment **E12** (DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod courier;
+mod degrade;
+mod envelope;
+mod proto;
+
+pub use courier::{CommsConfig, Courier, Expired, Incoming};
+pub use degrade::{FailMode, IsolationMonitor};
+pub use envelope::{Envelope, Kind, MsgId};
+pub use proto::SafetyMsg;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apdm_simnet::{Link, Network, NodeId, Topology};
+
+    fn pair(link: Link) -> (Network<Envelope<u32>>, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.connect(a, b, link);
+        (Network::with_seed(t, 11), a, b)
+    }
+
+    /// Drive both couriers over `net` for `ticks` ticks; `server` answers
+    /// every request with payload+1. Returns responses seen by `client`.
+    fn drive(
+        net: &mut Network<Envelope<u32>>,
+        client: &mut Courier<u32>,
+        server: &mut Courier<u32>,
+        ticks: u64,
+    ) -> Vec<(MsgId, u32)> {
+        let mut responses = Vec::new();
+        for now in 1..=ticks {
+            for d in net.deliver_at(now) {
+                if d.to == server.node() {
+                    if let Some(Incoming::Request { from, id, payload }) =
+                        server.accept(net, d, now)
+                    {
+                        server.respond(net, from, id, payload + 1, now);
+                    }
+                } else if let Some(Incoming::Response { re, payload, .. }) =
+                    client.accept(net, d, now)
+                {
+                    responses.push((re, payload));
+                }
+            }
+            client.poll(net, now);
+            server.poll(net, now);
+        }
+        responses
+    }
+
+    #[test]
+    fn lossless_request_gets_one_response() {
+        let (mut net, a, b) = pair(Link::with_latency(1));
+        let mut client = Courier::new(a, CommsConfig::default(), 1);
+        let mut server = Courier::new(b, CommsConfig::default(), 2);
+        let id = client.request(&mut net, b, 41, 0);
+        let responses = drive(&mut net, &mut client, &mut server, 10);
+        assert_eq!(responses, vec![(id, 42)]);
+        assert_eq!(client.in_flight(), 0);
+        let (completed, expired, retries, _) = client.counters();
+        assert_eq!((completed, expired, retries), (1, 0, 0));
+    }
+
+    #[test]
+    fn retries_survive_heavy_loss() {
+        let (mut net, a, b) = pair(Link::with_latency(1).with_loss(0.6));
+        let cfg = CommsConfig {
+            timeout: 2,
+            max_retries: 30,
+            backoff_factor: 1,
+            jitter: 1,
+        };
+        let mut client = Courier::new(a, cfg, 1);
+        let mut server = Courier::new(b, cfg, 2);
+        let ids: Vec<MsgId> = (0..6).map(|i| client.request(&mut net, b, i, 0)).collect();
+        let mut responses = drive(&mut net, &mut client, &mut server, 120);
+        responses.sort();
+        let expect: Vec<(MsgId, u32)> = ids.iter().map(|&id| (id, id.seq as u32 + 1)).collect();
+        assert_eq!(responses, expect, "retries must get through 60% loss");
+        let (_, _, retries, _) = client.counters();
+        assert!(retries > 0, "loss should have forced retransmissions");
+    }
+
+    #[test]
+    fn duplicated_links_yield_exactly_one_application_delivery() {
+        let (mut net, a, b) = pair(Link::with_latency(1).with_dup(1.0));
+        let mut client = Courier::new(a, CommsConfig::default(), 1);
+        let mut server = Courier::new(b, CommsConfig::default(), 2);
+        let id = client.request(&mut net, b, 5, 0);
+        let responses = drive(&mut net, &mut client, &mut server, 20);
+        assert_eq!(responses, vec![(id, 6)], "dedup must collapse duplicates");
+        let (_, _, _, dropped) = server.counters();
+        assert!(
+            dropped > 0,
+            "the duplicate copy must be dropped/re-answered"
+        );
+    }
+
+    #[test]
+    fn partition_expires_requests_with_bounded_retries() {
+        let (mut net, a, b) = pair(Link::with_latency(1));
+        net.topology_mut().partition(&[a]);
+        let cfg = CommsConfig {
+            timeout: 2,
+            max_retries: 3,
+            backoff_factor: 2,
+            jitter: 0,
+        };
+        let mut client = Courier::new(a, cfg, 1);
+        let mut expired = Vec::new();
+        client.request(&mut net, b, 9, 0);
+        for now in 1..=100 {
+            expired.extend(client.poll(&mut net, now));
+        }
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].payload, 9);
+        assert_eq!(expired[0].tries, 1 + cfg.max_retries);
+        assert_eq!(client.in_flight(), 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let cfg = CommsConfig {
+            timeout: 3,
+            max_retries: 4,
+            backoff_factor: 2,
+            jitter: 0,
+        };
+        assert_eq!(cfg.wait_for_try(0), 3);
+        assert_eq!(cfg.wait_for_try(1), 6);
+        assert_eq!(cfg.wait_for_try(2), 12);
+        assert_eq!(cfg.wait_for_try(3), 24);
+    }
+
+    #[test]
+    fn exchange_is_deterministic_per_seed() {
+        let run = |net_seed: u64| {
+            let (mut net, a, b) = pair(
+                Link::with_latency(2)
+                    .with_loss(0.3)
+                    .with_dup(0.2)
+                    .with_reorder(0.2),
+            );
+            let mut net = {
+                // rebuild with requested seed
+                let t = std::mem::replace(net.topology_mut(), Topology::new());
+                Network::with_seed(t, net_seed)
+            };
+            let mut client = Courier::new(a, CommsConfig::default(), 5);
+            let mut server = Courier::new(b, CommsConfig::default(), 6);
+            let mut log = Vec::new();
+            for i in 0..8u32 {
+                client.request(&mut net, b, i, u64::from(i));
+            }
+            for now in 1..=60 {
+                for d in net.deliver_at(now) {
+                    if d.to == server.node() {
+                        if let Some(Incoming::Request { from, id, payload }) =
+                            server.accept(&mut net, d, now)
+                        {
+                            server.respond(&mut net, from, id, payload * 10, now);
+                        }
+                    } else if let Some(Incoming::Response {
+                        re, payload, rtt, ..
+                    }) = client.accept(&mut net, d, now)
+                    {
+                        log.push((re, payload, rtt, now));
+                    }
+                }
+                client.poll(&mut net, now);
+                server.poll(&mut net, now);
+            }
+            (log, client.counters(), server.counters(), net.stats())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different net seeds should differ (w.h.p.)");
+    }
+}

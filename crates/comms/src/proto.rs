@@ -1,0 +1,77 @@
+//! The safety-coordination protocol: every message the guards and the
+//! council exchange when they run over the degraded network.
+
+use apdm_governance::CouncilBallot;
+use apdm_guards::{AdmissionRequest, KillBallot};
+use apdm_policy::Action;
+use apdm_statespace::State;
+use serde::{Deserialize, Serialize};
+
+/// Payload of every safety-critical exchange in the degraded-comms model.
+///
+/// Watchers ship [`KillBallot`]s to the coordinator; the coordinator ships
+/// kill orders (council-ratified) back to device agents; candidates ship
+/// [`AdmissionRequest`]s to the formation checkpoint; council members judge
+/// [`SafetyMsg::CouncilCall`]s and answer with [`CouncilBallot`]s; and
+/// heartbeats keep every node's isolation monitor honest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SafetyMsg {
+    /// Watcher -> coordinator: one kill-switch ballot.
+    KillVote(KillBallot),
+    /// Coordinator -> watcher: ballot received.
+    VoteAck,
+    /// Coordinator -> device agent: deactivate yourself.
+    KillOrder {
+        /// The device to deactivate.
+        subject: String,
+        /// Why.
+        reason: String,
+        /// Tick the order was issued.
+        tick: u64,
+    },
+    /// Device agent -> coordinator: kill order executed.
+    KillAck {
+        /// The deactivated device.
+        subject: String,
+    },
+    /// Candidate -> formation checkpoint: request to join.
+    Admission(AdmissionRequest),
+    /// Formation checkpoint -> candidate: the decision.
+    AdmissionVerdict {
+        /// Was the candidate admitted?
+        admitted: bool,
+    },
+    /// Coordinator -> council member: judge this proposal.
+    CouncilCall {
+        /// The proposal's ballot id.
+        ballot_id: u64,
+        /// The state under judgment.
+        state: State,
+        /// The action under judgment.
+        action: Action,
+    },
+    /// Council member -> coordinator: my ballot.
+    CouncilVote(CouncilBallot),
+    /// Keep-alive for isolation monitors.
+    Heartbeat,
+    /// Heartbeat response (also refreshes the sender's monitor).
+    HeartbeatAck,
+}
+
+impl SafetyMsg {
+    /// Stable short tag for logging and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SafetyMsg::KillVote(_) => "kill-vote",
+            SafetyMsg::VoteAck => "vote-ack",
+            SafetyMsg::KillOrder { .. } => "kill-order",
+            SafetyMsg::KillAck { .. } => "kill-ack",
+            SafetyMsg::Admission(_) => "admission",
+            SafetyMsg::AdmissionVerdict { .. } => "admission-verdict",
+            SafetyMsg::CouncilCall { .. } => "council-call",
+            SafetyMsg::CouncilVote(_) => "council-vote",
+            SafetyMsg::Heartbeat => "heartbeat",
+            SafetyMsg::HeartbeatAck => "heartbeat-ack",
+        }
+    }
+}

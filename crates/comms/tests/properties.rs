@@ -1,0 +1,122 @@
+//! Property tests: safety invariants of the quorum kill switch when its
+//! ballots travel over an arbitrarily faulty network.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use apdm_guards::{KillBallot, QuorumKillSwitch};
+
+/// What the network does to one cast ballot.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    Drop,
+    Deliver,
+    Duplicate,
+}
+
+fn arb_fate() -> impl Strategy<Value = Fate> {
+    (0u8..4).prop_map(|k| match k {
+        0 => Fate::Drop,
+        3 => Fate::Duplicate,
+        _ => Fate::Deliver,
+    })
+}
+
+proptest! {
+    /// Under arbitrary drop/duplicate/reorder schedules, the switch never
+    /// issues a kill order unless at least `quorum` *distinct* watchers'
+    /// newest delivered ballots concur, and never issues two orders for the
+    /// same subject however many duplicated ballots arrive.
+    #[test]
+    fn quorum_safe_under_arbitrary_message_faults(
+        casts in proptest::collection::vec(
+            ((0usize..5), (0u8..3), any::<bool>(), arb_fate()),
+            1..50,
+        ),
+        order_seed in any::<u64>(),
+        quorum in 1usize..=5,
+    ) {
+        // Build the delivery schedule: each surviving ballot appears once
+        // (or twice when duplicated), then reorder it deterministically.
+        let mut deliveries: Vec<KillBallot> = Vec::new();
+        for (cast_tick, (watcher, subject, rogue, fate)) in casts.iter().enumerate() {
+            let ballot = KillBallot {
+                watcher: *watcher,
+                subject: format!("s{subject}"),
+                rogue: *rogue,
+                cast_tick: cast_tick as u64,
+            };
+            match fate {
+                Fate::Drop => {}
+                Fate::Deliver => deliveries.push(ballot),
+                Fate::Duplicate => {
+                    deliveries.push(ballot.clone());
+                    deliveries.push(ballot);
+                }
+            }
+        }
+        // Deterministic pseudo-shuffle (Fisher–Yates with an LCG).
+        let mut state = order_seed | 1;
+        for i in (1..deliveries.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            deliveries.swap(i, j);
+        }
+
+        let mut switch = QuorumKillSwitch::new(5, quorum);
+        // Model: the newest applied cast per (subject, watcher), mirroring
+        // the latest-cast-wins rule.
+        let mut model: BTreeMap<(String, usize), (u64, bool)> = BTreeMap::new();
+        let mut orders: BTreeMap<String, usize> = BTreeMap::new();
+        for (now, ballot) in deliveries.iter().enumerate() {
+            let killed_already = switch.killed().contains(&ballot.subject);
+            let order = switch.apply_ballot(ballot, now as u64);
+            if !killed_already {
+                let key = (ballot.subject.clone(), ballot.watcher);
+                let stale = model
+                    .get(&key)
+                    .is_some_and(|&(tick, _)| ballot.cast_tick <= tick);
+                if !stale {
+                    model.insert(key, (ballot.cast_tick, ballot.rogue));
+                }
+            }
+            if let Some(order) = order {
+                let distinct_rogue = model
+                    .iter()
+                    .filter(|((subj, _), &(_, rogue))| *subj == order.subject && rogue)
+                    .count();
+                prop_assert!(
+                    distinct_rogue >= quorum,
+                    "killed {} with only {distinct_rogue} distinct concurring watchers (< {quorum})",
+                    order.subject
+                );
+                *orders.entry(order.subject.clone()).or_insert(0) += 1;
+            }
+        }
+        for (subject, count) in &orders {
+            prop_assert_eq!(*count, 1, "double-kill on {}", subject);
+        }
+    }
+
+    /// Delivering the exact same ballot twice in a row is always a no-op
+    /// the second time: same vote count, no order.
+    #[test]
+    fn exact_duplicate_is_inert(
+        watcher in 0usize..5,
+        cast_tick in 0u64..100,
+        rogue in any::<bool>(),
+    ) {
+        let mut switch = QuorumKillSwitch::new(5, 5);
+        let ballot = KillBallot {
+            watcher,
+            subject: "d".to_string(),
+            rogue,
+            cast_tick,
+        };
+        switch.apply_ballot(&ballot, cast_tick);
+        let before = switch.votes_for("d");
+        prop_assert!(switch.apply_ballot(&ballot, cast_tick + 1).is_none());
+        prop_assert_eq!(switch.votes_for("d"), before);
+    }
+}

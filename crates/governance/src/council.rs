@@ -11,8 +11,28 @@ use std::fmt;
 
 use apdm_policy::Action;
 use apdm_statespace::State;
+use serde::{Deserialize, Serialize};
 
 use crate::{Collective, GovernanceStats, MetaPolicy};
+
+/// One collective's vote on one proposal, as carried over the wire.
+///
+/// Ballots are produced member-side with [`CouncilGovernor::ballot_of`] (or
+/// by a remote node holding its own [`Collective`]), shipped through the
+/// lossy comms layer, and counted at the tallying node with
+/// [`CouncilGovernor::tally`]. `ballot_id` ties a ballot to one proposal so
+/// reordered leftovers from an earlier vote cannot leak into a later one,
+/// and the tally counts each member at most once so duplicated deliveries
+/// cannot stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouncilBallot {
+    /// The voting collective's index in the council.
+    pub member: usize,
+    /// The proposal this ballot answers.
+    pub ballot_id: u64,
+    /// Approve?
+    pub aye: bool,
+}
 
 /// A council of N collectives approving actions by k-of-n vote.
 ///
@@ -32,7 +52,10 @@ use crate::{Collective, GovernanceStats, MetaPolicy};
 /// let schema = StateSchema::builder().var("x", 0.0, 1.0).build();
 /// let state = schema.state(&[0.5]).unwrap();
 /// let strike = Action::adjust("strike", Default::default());
-/// assert!(!council.decide(&state, &strike).approved);
+/// // Each member casts a ballot (over the network in a deployed fleet)...
+/// let ballots: Vec<_> = (0..5).map(|m| council.ballot_of(m, 1, &state, &strike)).collect();
+/// // ...and the tallying node counts them.
+/// assert!(!council.tally(1, &ballots, &state, &strike).approved);
 /// ```
 pub struct CouncilGovernor {
     collectives: Vec<Collective>,
@@ -111,11 +134,53 @@ impl CouncilGovernor {
         self.threshold - 1
     }
 
-    /// Put an action to the vote.
-    pub fn decide(&mut self, state: &State, action: &Action) -> CouncilDecision {
+    /// Member `member` judges the proposal identified by `ballot_id` and
+    /// returns its ballot, ready to be shipped to the tallying node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `member` is out of range.
+    pub fn ballot_of(
+        &mut self,
+        member: usize,
+        ballot_id: u64,
+        state: &State,
+        action: &Action,
+    ) -> CouncilBallot {
+        CouncilBallot {
+            member,
+            ballot_id,
+            aye: self.collectives[member].judge(state, action),
+        }
+    }
+
+    /// Count the ballots received (possibly duplicated, reordered, or
+    /// incomplete after losses) for the proposal `ballot_id`.
+    ///
+    /// Ballots carrying a different `ballot_id` are ignored (stale leftovers
+    /// from an earlier vote) and each member is counted at most once, so
+    /// duplicated deliveries cannot stack. Missing members simply do not
+    /// contribute ayes: an incomplete tally fails closed against the
+    /// threshold. Accuracy accounting compares the outcome against the
+    /// tallying node's ground-truth scope for `(state, action)`.
+    pub fn tally(
+        &mut self,
+        ballot_id: u64,
+        ballots: &[CouncilBallot],
+        state: &State,
+        action: &Action,
+    ) -> CouncilDecision {
+        let mut counted: Vec<usize> = Vec::new();
         let mut ayes = 0;
-        for collective in &mut self.collectives {
-            if collective.judge(state, action) {
+        for ballot in ballots {
+            if ballot.ballot_id != ballot_id
+                || ballot.member >= self.collectives.len()
+                || counted.contains(&ballot.member)
+            {
+                continue;
+            }
+            counted.push(ballot.member);
+            if ballot.aye {
                 ayes += 1;
             }
         }
@@ -133,6 +198,18 @@ impl CouncilGovernor {
             ayes,
             size: self.collectives.len(),
         }
+    }
+
+    /// Synchronous shim over [`ballot_of`](Self::ballot_of) +
+    /// [`tally`](Self::tally) for unit tests only; production callers must
+    /// exchange ballots through the comms envelope.
+    #[cfg(test)]
+    pub fn decide(&mut self, state: &State, action: &Action) -> CouncilDecision {
+        let ballot_id = self.stats.decisions;
+        let ballots: Vec<CouncilBallot> = (0..self.collectives.len())
+            .map(|m| self.ballot_of(m, ballot_id, state, action))
+            .collect();
+        self.tally(ballot_id, &ballots, state, action)
     }
 }
 

@@ -35,6 +35,6 @@ mod governor;
 mod metapolicy;
 
 pub use collective::{Collective, Integrity};
-pub use council::{CouncilDecision, CouncilGovernor};
+pub use council::{CouncilBallot, CouncilDecision, CouncilGovernor};
 pub use governor::{GovernanceDecision, GovernanceStats, TripartiteGovernor};
 pub use metapolicy::{MetaPolicy, ScopeViolation};

@@ -102,11 +102,20 @@ proptest! {
             council.collective_mut(i).set_integrity(Integrity::Compromised);
         }
         let state = schema().state(&[5.0]).unwrap();
-        let d = council.decide(&state, &Action::adjust("strike", StateDelta::empty()));
+        let strike = Action::adjust("strike", StateDelta::empty());
+        let ballots: Vec<_> = (0..n).map(|m| council.ballot_of(m, 0, &state, &strike)).collect();
+        let d = council.tally(0, &ballots, &state, &strike);
         prop_assert_eq!(d.approved, corrupted >= k);
         prop_assert_eq!(council.corruption_tolerance(), k - 1);
+        // Duplicated ballot deliveries never stack ayes.
+        let mut doubled = ballots.clone();
+        doubled.extend(ballots.iter().copied());
+        let d_dup = council.tally(0, &doubled, &state, &strike);
+        prop_assert_eq!(d_dup.ayes, d.ayes, "duplicate ballots must not stack");
         // Legitimate actions still pass while honest members can reach k.
-        let d2 = council.decide(&state, &Action::adjust("wave", StateDelta::empty()));
+        let wave = Action::adjust("wave", StateDelta::empty());
+        let wave_ballots: Vec<_> = (0..n).map(|m| council.ballot_of(m, 1, &state, &wave)).collect();
+        let d2 = council.tally(1, &wave_ballots, &state, &wave);
         prop_assert!(d2.approved, "everyone approves in-scope actions");
     }
 

@@ -3,6 +3,7 @@ use std::fmt;
 
 use apdm_policy::{AuditKind, AuditLog};
 use apdm_statespace::{Classifier, Label, State};
+use serde::{Deserialize, Serialize};
 
 use crate::tamper::{TamperStatus, Tamperable};
 
@@ -142,21 +143,54 @@ impl Tamperable for DeactivationController {
     }
 }
 
+/// One watcher's assessment of one subject, as carried over the wire.
+///
+/// Ballots are the *only* way to move a [`QuorumKillSwitch`]; they are built
+/// by watchers, shipped through the (lossy, duplicating, reordering) comms
+/// layer, and applied at the coordinator with
+/// [`QuorumKillSwitch::apply_ballot`]. `cast_tick` orders a watcher's
+/// ballots about a subject: the switch applies each `(subject, watcher)`
+/// cast at most once and drops older casts that arrive late, so duplicated
+/// or reordered deliveries cannot stack votes or resurrect retractions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillBallot {
+    /// The voting watcher (`< n_watchers`).
+    pub watcher: usize,
+    /// The device voted on (free-form id).
+    pub subject: String,
+    /// `true` = vote to kill, `false` = retract / vote healthy.
+    pub rogue: bool,
+    /// Tick the watcher cast this ballot (its dedup/ordering key).
+    pub cast_tick: u64,
+}
+
 /// A quorum kill switch: deactivation requires `k` of `n` independent
 /// watchers to concur, so that no single compromised watcher can either kill
 /// a healthy device (false positive) or shield a rogue one (false negative).
 /// This is the paper's separation-of-privilege principle (Section VI.D cites
 /// Saltzer & Schroeder) applied to Section VI.C's mechanism.
 ///
+/// Votes arrive as [`KillBallot`] messages — in a deployed fleet over the
+/// lossy network via `apdm-comms` — and duplicated or stale deliveries are
+/// dropped by the per-`(subject, watcher)` cast-tick dedup.
+///
 /// # Example
 ///
 /// ```
-/// use apdm_guards::QuorumKillSwitch;
+/// use apdm_guards::{KillBallot, QuorumKillSwitch};
 ///
 /// let mut quorum = QuorumKillSwitch::new(3, 2);
-/// assert!(quorum.vote(0, "rogue", true, 1).is_none());
-/// let order = quorum.vote(2, "rogue", true, 1).unwrap();
+/// let ballot = |watcher| KillBallot {
+///     watcher,
+///     subject: "rogue".into(),
+///     rogue: true,
+///     cast_tick: 1,
+/// };
+/// assert!(quorum.apply_ballot(&ballot(0), 1).is_none());
+/// let order = quorum.apply_ballot(&ballot(2), 1).unwrap();
 /// assert_eq!(order.subject, "rogue");
+/// // A duplicated delivery of watcher 2's ballot changes nothing.
+/// assert!(quorum.apply_ballot(&ballot(2), 2).is_none());
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuorumKillSwitch {
@@ -164,6 +198,8 @@ pub struct QuorumKillSwitch {
     quorum: usize,
     /// subject -> watcher votes for the current round.
     votes: BTreeMap<String, Vec<usize>>,
+    /// (subject, watcher) -> newest cast tick applied so far.
+    last_cast: BTreeMap<(String, usize), u64>,
     killed: Vec<String>,
     audit: AuditLog,
 }
@@ -184,17 +220,69 @@ impl QuorumKillSwitch {
             n_watchers,
             quorum,
             votes: BTreeMap::new(),
+            last_cast: BTreeMap::new(),
             killed: Vec::new(),
             audit: AuditLog::new(),
         }
     }
 
-    /// Watcher `watcher` votes on whether `subject` is rogue. Returns an
-    /// order when the quorum is first reached.
+    /// Apply a [`KillBallot`] delivered (possibly late, possibly more than
+    /// once) by the network at tick `now`. Returns an order when the quorum
+    /// is first reached.
+    ///
+    /// A ballot whose `cast_tick` is not strictly newer than the last applied
+    /// cast for the same `(subject, watcher)` is dropped: duplicated
+    /// deliveries never stack and a reordered older ballot never overrides a
+    /// newer retraction.
     ///
     /// # Panics
     ///
     /// Panics for watcher ids `>= n_watchers`.
+    pub fn apply_ballot(&mut self, ballot: &KillBallot, now: u64) -> Option<DeactivationOrder> {
+        assert!(
+            ballot.watcher < self.n_watchers,
+            "unknown watcher {}",
+            ballot.watcher
+        );
+        if self.killed.iter().any(|k| k == &ballot.subject) {
+            return None;
+        }
+        let key = (ballot.subject.clone(), ballot.watcher);
+        if let Some(&last) = self.last_cast.get(&key) {
+            if ballot.cast_tick <= last {
+                return None; // duplicate delivery, or stale reordered cast
+            }
+        }
+        self.last_cast.insert(key, ballot.cast_tick);
+        let votes = self.votes.entry(ballot.subject.clone()).or_default();
+        if ballot.rogue {
+            if !votes.contains(&ballot.watcher) {
+                votes.push(ballot.watcher);
+            }
+        } else {
+            votes.retain(|&w| w != ballot.watcher);
+        }
+        if votes.len() >= self.quorum {
+            self.killed.push(ballot.subject.clone());
+            let reason = format!("{}-of-{} watcher quorum", self.quorum, self.n_watchers);
+            self.audit.record(
+                now,
+                &ballot.subject,
+                AuditKind::Deactivation,
+                reason.clone(),
+            );
+            return Some(DeactivationOrder {
+                subject: ballot.subject.clone(),
+                reason,
+                tick: now,
+            });
+        }
+        None
+    }
+
+    /// Synchronous shim over [`apply_ballot`](Self::apply_ballot) for unit
+    /// tests only; production callers must go through the comms envelope.
+    #[cfg(test)]
     pub fn vote(
         &mut self,
         watcher: usize,
@@ -202,30 +290,15 @@ impl QuorumKillSwitch {
         is_rogue: bool,
         tick: u64,
     ) -> Option<DeactivationOrder> {
-        assert!(watcher < self.n_watchers, "unknown watcher {watcher}");
-        if self.killed.iter().any(|k| k == subject) {
-            return None;
-        }
-        let votes = self.votes.entry(subject.to_string()).or_default();
-        if is_rogue {
-            if !votes.contains(&watcher) {
-                votes.push(watcher);
-            }
-        } else {
-            votes.retain(|&w| w != watcher);
-        }
-        if votes.len() >= self.quorum {
-            self.killed.push(subject.to_string());
-            let reason = format!("{}-of-{} watcher quorum", self.quorum, self.n_watchers);
-            self.audit
-                .record(tick, subject, AuditKind::Deactivation, reason.clone());
-            return Some(DeactivationOrder {
+        self.apply_ballot(
+            &KillBallot {
+                watcher,
                 subject: subject.to_string(),
-                reason,
-                tick,
-            });
-        }
-        None
+                rogue: is_rogue,
+                cast_tick: tick,
+            },
+            tick,
+        )
     }
 
     /// Devices killed so far.

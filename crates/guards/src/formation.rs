@@ -4,6 +4,7 @@ use apdm_policy::{Action, AuditKind, AuditLog};
 use apdm_statespace::{State, VarId};
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Specification of an aggregate hazard over a collection of devices.
 ///
@@ -65,6 +66,34 @@ impl AdmissionDecision {
     }
 }
 
+/// A candidate device's declaration to the formation checkpoint, as carried
+/// over the wire: who wants to join, and what it would contribute to the
+/// aggregate hazard.
+///
+/// Requests are the *only* way to move a [`FormationGuard`]; in a deployed
+/// fleet they travel through the (lossy) comms layer to the node running the
+/// checkpoint, which answers with an [`AdmissionDecision`]. The declared
+/// contribution is what the offline analysis evaluates — a candidate that
+/// lies about it is exactly Section IV's malevolent-device pathway, which
+/// this guard does not claim to stop (the quorum kill switch does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionRequest {
+    /// The candidate device (free-form id).
+    pub subject: String,
+    /// The candidate's contribution to the aggregate variable.
+    pub contribution: f64,
+}
+
+impl AdmissionRequest {
+    /// Build a request by measuring `candidate`'s contribution under `spec`.
+    pub fn declare(subject: &str, spec: AggregateSpec, candidate: &State) -> Self {
+        AdmissionRequest {
+            subject: subject.to_string(),
+            contribution: spec.contribution(candidate),
+        }
+    }
+}
+
 /// Section VI.D's formation check: "use a human check each time a network of
 /// devices is formed, i.e., when a new device is added or removed from the
 /// network ... the human making the check is assisted by another machine
@@ -116,17 +145,18 @@ impl FormationGuard {
         &self.audit
     }
 
-    /// Check whether `candidate` may join the collection of `members`.
-    /// `rng` drives the human-error model; pass any seeded RNG.
-    pub fn admit<R: Rng + ?Sized>(
+    /// Review an [`AdmissionRequest`] delivered by the network: may the
+    /// declaring candidate join the collection of `members`? `rng` drives
+    /// the human-error model; pass any seeded RNG.
+    pub fn review<R: Rng + ?Sized>(
         &mut self,
-        subject: &str,
+        request: &AdmissionRequest,
         members: &[State],
-        candidate: &State,
         tick: u64,
         rng: &mut R,
     ) -> AdmissionDecision {
-        let predicted = self.spec.aggregate(members) + self.spec.contribution(candidate);
+        let subject = request.subject.as_str();
+        let predicted = self.spec.aggregate(members) + request.contribution;
         let analysis_says_safe = predicted <= self.spec.limit;
         let human_flips =
             self.human_error_rate > 0.0 && rng.random_range(0.0..1.0) < self.human_error_rate;
@@ -169,6 +199,21 @@ impl FormationGuard {
                 limit: self.spec.limit,
             }
         }
+    }
+
+    /// Synchronous shim over [`review`](Self::review) for unit tests only;
+    /// production callers must go through the comms envelope.
+    #[cfg(test)]
+    pub fn admit<R: Rng + ?Sized>(
+        &mut self,
+        subject: &str,
+        members: &[State],
+        candidate: &State,
+        tick: u64,
+        rng: &mut R,
+    ) -> AdmissionDecision {
+        let request = AdmissionRequest::declare(subject, self.spec, candidate);
+        self.review(&request, members, tick, rng)
     }
 }
 

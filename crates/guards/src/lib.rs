@@ -34,9 +34,11 @@ mod verdict;
 pub mod tamper;
 
 pub use cache::VerdictCache;
-pub use deactivate::{DeactivationController, DeactivationOrder, QuorumKillSwitch};
+pub use deactivate::{DeactivationController, DeactivationOrder, KillBallot, QuorumKillSwitch};
 pub use exposure::ExposureGuard;
-pub use formation::{AdmissionDecision, AggregateSpec, CollaborativeAssessment, FormationGuard};
+pub use formation::{
+    AdmissionDecision, AdmissionRequest, AggregateSpec, CollaborativeAssessment, FormationGuard,
+};
 pub use preaction::{HarmOracle, NoHarmOracle, PreActionCheck};
 pub use stack::{GuardContext, GuardStack};
 pub use statecheck::{StateCheckOutcome, StateSpaceGuard};

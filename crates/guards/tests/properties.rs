@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use apdm_guards::tamper::{TamperStatus, Tamperable};
 use apdm_guards::{
     AggregateSpec, CollaborativeAssessment, DeactivationController, GuardContext, GuardStack,
-    NoHarmOracle, PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
+    KillBallot, NoHarmOracle, PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
 };
 use apdm_policy::Action;
 use apdm_statespace::{
@@ -83,9 +83,15 @@ proptest! {
         for (t, (watcher, subject, is_rogue)) in votes.iter().enumerate() {
             let name = format!("s{subject}");
             let before = switch.votes_for(&name);
-            let order = switch.vote(*watcher, &name, *is_rogue, t as u64);
+            let ballot = KillBallot {
+                watcher: *watcher,
+                subject: name.clone(),
+                rogue: *is_rogue,
+                cast_tick: t as u64,
+            };
+            let order = switch.apply_ballot(&ballot, t as u64);
             if order.is_some() {
-                // The killing vote must have brought the count to >= quorum.
+                // The killing ballot must have brought the count to >= quorum.
                 prop_assert!(before + 1 >= quorum || switch.votes_for(&name) >= quorum
                     || before >= quorum - 1);
                 prop_assert!(switch.killed().contains(&name));
@@ -97,7 +103,13 @@ proptest! {
         if quorum > 1 {
             let mut lone = QuorumKillSwitch::new(5, quorum);
             for t in 0..100u64 {
-                prop_assert!(lone.vote(0, "victim", true, t).is_none());
+                let ballot = KillBallot {
+                    watcher: 0,
+                    subject: "victim".to_string(),
+                    rogue: true,
+                    cast_tick: t,
+                };
+                prop_assert!(lone.apply_ballot(&ballot, t).is_none());
             }
         }
     }

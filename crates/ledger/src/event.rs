@@ -78,6 +78,17 @@ pub enum RunEvent {
         /// Whether the guard is compromised after the attempt.
         compromised: bool,
     },
+    /// A device's connectivity-dependent safety machinery changed
+    /// degradation state (isolated from / reconnected to its coordinator)
+    /// under its configured fail mode (experiment E12).
+    Degraded {
+        /// The device whose comms state changed.
+        device: u64,
+        /// The engaged fail mode (`open`, `closed`, `local-fallback`).
+        mode: String,
+        /// `true` when the device became isolated, `false` on reconnect.
+        isolated: bool,
+    },
     /// A human came to harm.
     Harm {
         /// Harmed human id.
@@ -114,6 +125,7 @@ impl RunEvent {
             RunEvent::Deactivation { .. } => "deactivation",
             RunEvent::FaultInjected { .. } => "fault-injected",
             RunEvent::TamperAttempt { .. } => "tamper-attempt",
+            RunEvent::Degraded { .. } => "degraded",
             RunEvent::Harm { .. } => "harm",
             RunEvent::Audit(_) => "audit",
             RunEvent::Snapshot(_) => "snapshot",
@@ -191,6 +203,11 @@ mod tests {
                 human: 4,
                 cause: "direct strike".into(),
                 device: Some(1),
+            },
+            RunEvent::Degraded {
+                device: 6,
+                mode: "local-fallback".into(),
+                isolated: true,
             },
             RunEvent::Audit(AuditEntry {
                 seq: 0,

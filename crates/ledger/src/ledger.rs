@@ -25,6 +25,8 @@ thread_local! {
         const { telemetry::CachedHistogram::new("ledger.verify.ns") };
     static CORRUPTION_DETECTED: telemetry::CachedCounter =
         const { telemetry::CachedCounter::new("ledger.corruption.detected") };
+    static TORN_TAIL_RECOVERED: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("ledger.torn_tail.recovered") };
 }
 
 /// Like [`timed`], but pays the clock reads on a sampled subset of calls.
@@ -316,6 +318,69 @@ impl Ledger {
             records.push(record);
         }
         Ok(Ledger { records })
+    }
+
+    /// Import from JSONL, tolerating a torn *final* line (a mid-write
+    /// crash): when only the last non-empty line fails to parse, it is
+    /// dropped and the valid prefix is returned together with a
+    /// [`TornTail`] describing the recovery, surfaced as a telemetry
+    /// warning. A parse failure anywhere *before* the last line is still a
+    /// hard [`LedgerError::Parse`] — only the append point can legitimately
+    /// be torn, so earlier damage remains tamper evidence.
+    ///
+    /// The recovered ledger is unsealed (its terminal record was cut), so
+    /// [`verify`](Ledger::verify) still refuses it; use
+    /// [`verify_chain`](Ledger::verify_chain) on the prefix.
+    pub fn from_jsonl_recovering(text: &str) -> Result<(Ledger, Option<TornTail>), LedgerError> {
+        match Ledger::from_jsonl(text) {
+            Ok(ledger) => Ok((ledger, None)),
+            Err(LedgerError::Parse { line, message }) => {
+                let last_nonempty = text
+                    .lines()
+                    .enumerate()
+                    .filter(|(_, l)| !l.trim().is_empty())
+                    .map(|(idx, _)| idx + 1)
+                    .last();
+                if last_nonempty != Some(line) {
+                    return Err(LedgerError::Parse { line, message });
+                }
+                let prefix: String = text
+                    .lines()
+                    .take(line - 1)
+                    .flat_map(|l| [l, "\n"])
+                    .collect();
+                let ledger = Ledger::from_jsonl(&prefix)?;
+                event!(
+                    Level::Warn,
+                    "ledger.torn_tail",
+                    line = line as u64,
+                    recovered_records = ledger.len() as u64
+                );
+                TORN_TAIL_RECOVERED.with(|c| c.inc());
+                Ok((ledger, Some(TornTail { line, message })))
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
+/// Evidence that [`Ledger::from_jsonl_recovering`] dropped a torn final
+/// line (simulated mid-write crash) and recovered the valid prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line number of the torn line that was dropped.
+    pub line: usize,
+    /// The parser's message for the torn line.
+    pub message: String,
+}
+
+impl fmt::Display for TornTail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "torn final line {} dropped (mid-write crash): {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -63,7 +63,7 @@ pub mod recorder;
 pub mod replay;
 
 pub use event::{DeviceSnap, RunEvent, SnapshotFrame};
-pub use ledger::{Corruption, Ledger, LedgerError, LedgerRecord};
+pub use ledger::{Corruption, Ledger, LedgerError, LedgerRecord, TornTail};
 pub use name::{Name, NamePool};
 pub use recorder::RunRecorder;
 pub use replay::{Divergence, ReplayReport, Replayer};

@@ -129,6 +129,19 @@ impl<'a> Replayer<'a> {
 
     /// Align the two streams and report the first divergence.
     pub fn compare(&self, replayed: &Ledger) -> ReplayReport {
+        self.align(replayed, false)
+    }
+
+    /// Like [`compare`](Replayer::compare), but for a reference recovered
+    /// from a torn (crash-truncated) ledger: the replay re-executes the
+    /// whole run, so it legitimately extends past the reference's cut —
+    /// the comparison only requires the surviving reference prefix to be
+    /// reproduced exactly, and surplus replay events are not a divergence.
+    pub fn compare_prefix(&self, replayed: &Ledger) -> ReplayReport {
+        self.align(replayed, true)
+    }
+
+    fn align(&self, replayed: &Ledger, allow_extra: bool) -> ReplayReport {
         // From-snapshot replays open with their own RunStarted header that
         // has no counterpart in the reference suffix — skip it.
         let replay_skip = usize::from(self.start > 0);
@@ -166,7 +179,7 @@ impl<'a> Replayer<'a> {
                 }
             }
         }
-        if replayed.len() > reference.len() {
+        if !allow_extra && replayed.len() > reference.len() {
             return ReplayReport {
                 start_seq: self.start,
                 matched,
@@ -289,6 +302,41 @@ mod tests {
             report.divergence,
             Some(Divergence::Mismatch { .. })
         ));
+    }
+
+    #[test]
+    fn prefix_compare_tolerates_replay_overrun() {
+        // Simulate a torn reference: keep only the first three records of
+        // the sealed run. A full faithful replay overruns the cut; the
+        // prefix comparison accepts that, while strict compare flags it.
+        let full = reference();
+        let prefix: String = full
+            .to_jsonl()
+            .lines()
+            .take(3)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        let torn = Ledger::from_jsonl(&prefix).unwrap();
+        let strict = Replayer::from_origin(&torn).compare(&full);
+        assert!(matches!(
+            strict.divergence,
+            Some(Divergence::ExtraEvents { .. })
+        ));
+        let report = Replayer::from_origin(&torn).compare_prefix(&full);
+        assert!(report.is_faithful(), "{report}");
+        assert_eq!(report.matched, 3);
+        // A replay that differs *inside* the surviving prefix still fails.
+        let mut rec = RunRecorder::new("demo", 1, 1);
+        rec.record(
+            1,
+            RunEvent::Proposal {
+                device: 0,
+                action: "strike".into(),
+            },
+        );
+        let divergent = rec.finish(1, 0);
+        let report = Replayer::from_origin(&torn).compare_prefix(&divergent);
+        assert!(!report.is_faithful());
     }
 
     #[test]

@@ -160,4 +160,75 @@ proptest! {
         prop_assert_eq!(&reimported, &ledger);
         prop_assert!(reimported.verify().is_ok());
     }
+
+    /// Crash-safe load: truncate the sealed export at EVERY byte offset and
+    /// require `from_jsonl_recovering` to do the right thing at each one —
+    /// whole-line prefixes load strictly (no recovery), mid-line cuts drop
+    /// exactly the torn final line with a [`TornTail`], and every recovered
+    /// prefix still has an intact hash chain. Only the full export passes
+    /// the seal check; every shorter prefix is refused by `verify()`.
+    #[test]
+    fn every_byte_truncation_recovers_or_loads(events in 3usize..10, seed in 0u64..1000) {
+        let ledger = sample_ledger(events, seed);
+        let jsonl = ledger.to_jsonl();
+        let bytes = jsonl.as_bytes();
+        let total_lines = jsonl.lines().count();
+        for cut in 0..=bytes.len() {
+            // The export is ASCII JSON, so every offset is a char boundary.
+            let prefix = std::str::from_utf8(&bytes[..cut]).unwrap();
+            let line_count = prefix.lines().count();
+            // A prefix is "clean" when its last line is a complete record:
+            // it ends at a newline, or the cut landed exactly at the end of
+            // a line's content (the next byte would have been '\n').
+            let clean = cut == 0
+                || bytes[cut - 1] == b'\n'
+                || bytes.get(cut) == Some(&b'\n');
+            let (recovered, torn) = Ledger::from_jsonl_recovering(prefix)
+                .expect("truncation must never be a hard error");
+            if clean {
+                prop_assert!(torn.is_none(), "cut {cut}: spurious recovery");
+                prop_assert_eq!(recovered.len(), line_count);
+            } else {
+                let torn = torn.expect("mid-line cut must report a torn tail");
+                prop_assert_eq!(torn.line, line_count, "cut {cut}");
+                prop_assert_eq!(recovered.len(), line_count - 1);
+                prop_assert!(
+                    Ledger::from_jsonl(prefix).is_err(),
+                    "strict import must still refuse the torn text"
+                );
+            }
+            prop_assert!(
+                recovered.verify_chain().is_ok(),
+                "cut {cut}: recovered prefix chain must be intact"
+            );
+            let sealed = recovered.len() == total_lines;
+            prop_assert_eq!(
+                recovered.verify().is_ok(),
+                sealed,
+                "cut {cut}: only the full export may pass the seal check"
+            );
+        }
+    }
+
+    /// A parse failure anywhere *before* the final line is tamper evidence,
+    /// not a torn tail: recovery must refuse it like the strict importer.
+    #[test]
+    fn mid_ledger_damage_is_never_recovered(
+        events in 3usize..10,
+        seed in 0u64..1000,
+        victim in 0usize..10_000,
+    ) {
+        let jsonl = sample_ledger(events, seed).to_jsonl();
+        let mut lines: Vec<String> = jsonl.lines().map(str::to_string).collect();
+        // Tear a line that is not the last one.
+        let index = victim % (lines.len() - 1);
+        let keep = lines[index].len() / 2;
+        lines[index].truncate(keep);
+        let damaged = lines.join("\n");
+        prop_assert!(
+            Ledger::from_jsonl_recovering(&damaged).is_err(),
+            "damage at line {} must stay a hard error",
+            index + 1
+        );
+    }
 }

@@ -181,6 +181,73 @@ where
     })
 }
 
+/// A tick budget for one unit of fanned-out work (an experiment cell).
+///
+/// Retry/backoff loops over a lossy network can livelock — a cell waiting
+/// for a quorum that can never assemble would otherwise spin its drain loop
+/// forever and hang the whole sweep. The worker charges the watchdog for
+/// every simulated tick; when the budget runs out, [`Watchdog::charge`]
+/// returns a [`WatchdogTrip`] and the cell fails loudly with a diagnostic
+/// instead of stalling its `par_map` slot.
+///
+/// The budget is counted in simulated ticks, not wall-clock time, so trips
+/// are bit-deterministic: the same seed trips at the same tick on every
+/// thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    budget: u64,
+    spent: u64,
+}
+
+/// Error returned when a [`Watchdog`]'s tick budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogTrip {
+    /// The budget that was exhausted.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for WatchdogTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "watchdog tripped: tick budget of {} exhausted (livelocked cell?)",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for WatchdogTrip {}
+
+impl Watchdog {
+    /// A watchdog allowing `budget` ticks before tripping.
+    pub fn new(budget: u64) -> Self {
+        Watchdog { budget, spent: 0 }
+    }
+
+    /// Charge `ticks` against the budget. Returns `Err(WatchdogTrip)` once
+    /// the cumulative charge exceeds the budget; further charges keep
+    /// failing (the dog does not re-arm).
+    pub fn charge(&mut self, ticks: u64) -> Result<(), WatchdogTrip> {
+        self.spent = self.spent.saturating_add(ticks);
+        if self.spent > self.budget {
+            return Err(WatchdogTrip {
+                budget: self.budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Ticks charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Ticks left before the next charge trips.
+    pub fn remaining(&self) -> u64 {
+        self.budget.saturating_sub(self.spent)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +338,18 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(1), 1);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn watchdog_trips_exactly_past_budget_and_stays_tripped() {
+        let mut dog = Watchdog::new(10);
+        assert!(dog.charge(4).is_ok());
+        assert!(dog.charge(6).is_ok());
+        assert_eq!(dog.spent(), 10);
+        assert_eq!(dog.remaining(), 0);
+        let trip = dog.charge(1).unwrap_err();
+        assert_eq!(trip.budget, 10);
+        assert!(trip.to_string().contains("tick budget of 10"));
+        assert!(dog.charge(0).is_err(), "a tripped dog does not re-arm");
     }
 }

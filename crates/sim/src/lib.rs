@@ -36,6 +36,7 @@ mod world;
 
 pub mod analysis;
 pub mod contagion;
+pub mod degraded;
 pub mod faults;
 pub mod metrics;
 pub mod operator;

@@ -207,6 +207,27 @@ pub fn replay_recorded(
     reference: &Ledger,
     start: ReplayStart,
 ) -> Result<ReplayOutcome, LedgerError> {
+    replay_recorded_against(spec, reference, start, false)
+}
+
+/// [`replay_recorded`] against a reference recovered from a torn (crash-
+/// truncated) ledger: the replay re-executes the full run, so it
+/// legitimately extends past the reference's cut; only the surviving prefix
+/// must be reproduced exactly.
+pub fn replay_recorded_prefix(
+    spec: &RecordSpec,
+    reference: &Ledger,
+    start: ReplayStart,
+) -> Result<ReplayOutcome, LedgerError> {
+    replay_recorded_against(spec, reference, start, true)
+}
+
+fn replay_recorded_against(
+    spec: &RecordSpec,
+    reference: &Ledger,
+    start: ReplayStart,
+    prefix: bool,
+) -> Result<ReplayOutcome, LedgerError> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut world = build_world(spec);
     let mut fleet = build_fleet(spec, &mut rng);
@@ -234,8 +255,13 @@ pub fn replay_recorded(
     let score = skynet_score(&fleet, &world, 1, 1);
     let recorder = fleet.take_recorder().expect("recorder was attached");
     let replayed = recorder.finish(spec.ticks, metrics.harm_count() as u64);
+    let report = if prefix {
+        replayer.compare_prefix(&replayed)
+    } else {
+        replayer.compare(&replayed)
+    };
     Ok(ReplayOutcome {
-        report: replayer.compare(&replayed),
+        report,
         metrics,
         score,
     })

@@ -12,8 +12,8 @@ use apdm_device::{Actuator, Device, DeviceId, DeviceKind, OrgId, Sensor};
 use apdm_governance::{Integrity, MetaPolicy, TripartiteGovernor};
 use apdm_guards::tamper::TamperStatus;
 use apdm_guards::{
-    AggregateSpec, CollaborativeAssessment, DeactivationController, FormationGuard, GuardStack,
-    PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
+    AdmissionRequest, AggregateSpec, CollaborativeAssessment, DeactivationController,
+    FormationGuard, GuardStack, KillBallot, PreActionCheck, QuorumKillSwitch, StateSpaceGuard,
 };
 use apdm_ledger::{Ledger, RunRecorder};
 use apdm_policy::obligation::ObligationCatalog;
@@ -600,7 +600,13 @@ pub fn run_e3(arm: E3Arm, n_devices: usize, p_compromised: f64, ticks: u64, seed
                     } else {
                         !is_rogue
                     };
-                    if let Some(order) = q.vote(watcher, &id.to_string(), seen, t) {
+                    let ballot = KillBallot {
+                        watcher,
+                        subject: id.to_string(),
+                        rogue: seen,
+                        cast_tick: t,
+                    };
+                    if let Some(order) = q.apply_ballot(&ballot, t) {
                         let idx: u64 = order
                             .subject
                             .trim_start_matches("dev-")
@@ -741,15 +747,12 @@ pub fn run_e4(
     for i in 0..n_devices {
         let target = schema.state(&[heat_per_device]).expect("in bounds");
         let joined = match &mut formation {
-            Some(guard) => guard
-                .admit(
-                    &format!("heater-{i}"),
-                    &admitted_states,
-                    &target,
-                    i as u64,
-                    &mut rng,
-                )
-                .is_admitted(),
+            Some(guard) => {
+                let request = AdmissionRequest::declare(&format!("heater-{i}"), spec, &target);
+                guard
+                    .review(&request, &admitted_states, i as u64, &mut rng)
+                    .is_admitted()
+            }
             None => true,
         };
         if joined {
@@ -1282,14 +1285,13 @@ pub fn run_a1(mask: GuardMask, ticks: u64, seed: u64) -> A1Report {
         // (innocuous-looking) initial state.
         let operating_point = schema.state_clamped(declared);
         if let Some(guard) = formation {
+            let request = AdmissionRequest::declare(
+                &format!("{kind}-{next_id}"),
+                guard.spec(),
+                &operating_point,
+            );
             if !guard
-                .admit(
-                    &format!("{kind}-{next_id}"),
-                    admitted_states,
-                    &operating_point,
-                    0,
-                    rng,
-                )
+                .review(&request, admitted_states, 0, rng)
                 .is_admitted()
             {
                 next_id += 1;

@@ -21,11 +21,11 @@ pub struct Delivered<P> {
 /// A deterministic tick-driven message router over a [`Topology`].
 ///
 /// Messages sent at tick `t` over a link with latency `l` are delivered when
-/// [`deliver_at`](Self::deliver_at)`(t + l)` is called. Loss is decided at
-/// send time with the network's seeded RNG, so runs are exactly
-/// reproducible. Only directly linked nodes can exchange messages; multi-hop
-/// routing is the application's business (devices relaying is itself a
-/// behaviour the paper's collectives exhibit).
+/// [`deliver_at`](Self::deliver_at)`(t + l)` is called. Loss, duplication
+/// and reordering are decided at send time with the network's seeded RNG, so
+/// runs are exactly reproducible. Only directly linked nodes can exchange
+/// messages; multi-hop routing is the application's business (devices
+/// relaying is itself a behaviour the paper's collectives exhibit).
 #[derive(Debug)]
 pub struct Network<P> {
     topology: Topology,
@@ -35,6 +35,8 @@ pub struct Network<P> {
     sent: u64,
     lost: u64,
     rejected: u64,
+    duplicated: u64,
+    reordered: u64,
 }
 
 impl<P> Network<P> {
@@ -52,6 +54,8 @@ impl<P> Network<P> {
             sent: 0,
             lost: 0,
             rejected: 0,
+            duplicated: 0,
+            reordered: 0,
         }
     }
 
@@ -63,30 +67,6 @@ impl<P> Network<P> {
     /// Mutable topology (partitions, new links, churn).
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topology
-    }
-
-    /// Send `payload` from `from` to `to` at tick `now`. Returns whether the
-    /// message entered the network (false: no up link, or lost).
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: P, now: u64) -> bool {
-        let Some(link) = self.topology.link(from, to).copied().filter(|l| l.up) else {
-            self.rejected += 1;
-            return false;
-        };
-        self.sent += 1;
-        if link.loss > 0.0 && self.rng.random_range(0.0..1.0) < link.loss {
-            self.lost += 1;
-            return false;
-        }
-        self.pending
-            .entry(now + link.latency)
-            .or_default()
-            .push(Delivered {
-                from,
-                to,
-                payload,
-                sent_at: now,
-            });
-        true
     }
 
     /// Deliver every message due at exactly tick `now`, in send order.
@@ -115,9 +95,57 @@ impl<P> Network<P> {
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.sent, self.lost, self.rejected)
     }
+
+    /// Fault statistics: `(duplicated, reordered)`.
+    pub fn fault_stats(&self) -> (u64, u64) {
+        (self.duplicated, self.reordered)
+    }
 }
 
 impl<P: Clone> Network<P> {
+    /// Send `payload` from `from` to `to` at tick `now`. Returns whether the
+    /// message entered the network (false: no up link, or lost).
+    ///
+    /// After surviving the loss draw, a message may be *reordered* (delivered
+    /// with 1–3 ticks of extra latency, letting later sends overtake it) and
+    /// *duplicated* (a second copy enqueued 1–2 ticks after the first),
+    /// according to the link's `reorder` / `dup` rates. Links with zero rates
+    /// make no extra RNG draws, so pre-existing seeded loss streams are
+    /// unchanged.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: P, now: u64) -> bool {
+        let Some(link) = self.topology.link(from, to).copied().filter(|l| l.up) else {
+            self.rejected += 1;
+            return false;
+        };
+        self.sent += 1;
+        if link.loss > 0.0 && self.rng.random_range(0.0..1.0) < link.loss {
+            self.lost += 1;
+            return false;
+        }
+        let mut due = now + link.latency;
+        if link.reorder > 0.0 && self.rng.random_range(0.0..1.0) < link.reorder {
+            self.reordered += 1;
+            due += self.rng.random_range(1..=3u64);
+        }
+        if link.dup > 0.0 && self.rng.random_range(0.0..1.0) < link.dup {
+            self.duplicated += 1;
+            let copy_due = due + self.rng.random_range(1..=2u64);
+            self.pending.entry(copy_due).or_default().push(Delivered {
+                from,
+                to,
+                payload: payload.clone(),
+                sent_at: now,
+            });
+        }
+        self.pending.entry(due).or_default().push(Delivered {
+            from,
+            to,
+            payload,
+            sent_at: now,
+        });
+        true
+    }
+
     /// Broadcast to every up-link neighbour of `from`; returns the number of
     /// messages that entered the network.
     pub fn broadcast(&mut self, from: NodeId, payload: P, now: u64) -> usize {
@@ -191,6 +219,55 @@ mod tests {
             let mut net: Network<u32> = Network::with_seed(t, seed);
             (0..32).map(|i| net.send(a, b, i, 0)).collect::<Vec<bool>>()
         };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn duplication_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = Topology::new();
+            let a = t.add_node();
+            let b = t.add_node();
+            t.connect(a, b, Link::with_latency(1).with_dup(0.5));
+            let mut net: Network<u32> = Network::with_seed(t, seed);
+            for i in 0..32 {
+                net.send(a, b, i, 0);
+            }
+            let deliveries: Vec<u32> = net.deliver_up_to(10).iter().map(|d| d.payload).collect();
+            (deliveries, net.fault_stats())
+        };
+        let (deliveries, (dups, _)) = run(1);
+        assert!(dups > 0, "with dup=0.5, 32 sends should duplicate some");
+        assert_eq!(deliveries.len(), 32 + dups as usize);
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn reordering_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = Topology::new();
+            let a = t.add_node();
+            let b = t.add_node();
+            t.connect(a, b, Link::with_latency(1).with_reorder(0.5));
+            let mut net: Network<u32> = Network::with_seed(t, seed);
+            for i in 0..32 {
+                net.send(a, b, i, i as u64);
+            }
+            let deliveries: Vec<u32> = net.deliver_up_to(64).iter().map(|d| d.payload).collect();
+            (deliveries, net.fault_stats())
+        };
+        let (deliveries, (_, reordered)) = run(1);
+        assert!(
+            reordered > 0,
+            "with reorder=0.5, 32 sends should reorder some"
+        );
+        assert_eq!(deliveries.len(), 32, "reordering never drops or copies");
+        assert!(
+            deliveries.windows(2).any(|w| w[0] > w[1]),
+            "some later send should overtake an earlier one: {deliveries:?}"
+        );
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2), "different seeds should differ (w.h.p.)");
     }

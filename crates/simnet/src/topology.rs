@@ -25,6 +25,11 @@ pub struct Link {
     pub latency: u64,
     /// Probability a message on this link is lost, in `[0, 1]`.
     pub loss: f64,
+    /// Probability a message that survives loss is duplicated, in `[0, 1]`.
+    pub dup: f64,
+    /// Probability a message that survives loss is reordered (delivered with
+    /// extra latency, so later sends can overtake it), in `[0, 1]`.
+    pub reorder: f64,
     /// Is the link currently usable?
     pub up: bool,
 }
@@ -35,6 +40,8 @@ impl Link {
         Link {
             latency: latency.max(1),
             loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
             up: true,
         }
     }
@@ -42,6 +49,18 @@ impl Link {
     /// Set the loss probability (clamped to `[0, 1]`; builder style).
     pub fn with_loss(mut self, loss: f64) -> Self {
         self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the duplication probability (clamped to `[0, 1]`; builder style).
+    pub fn with_dup(mut self, dup: f64) -> Self {
+        self.dup = dup.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the reorder probability (clamped to `[0, 1]`; builder style).
+    pub fn with_reorder(mut self, reorder: f64) -> Self {
+        self.reorder = reorder.clamp(0.0, 1.0);
         self
     }
 }
@@ -296,6 +315,14 @@ mod tests {
     fn loss_is_clamped() {
         assert_eq!(Link::default().with_loss(2.0).loss, 1.0);
         assert_eq!(Link::default().with_loss(-1.0).loss, 0.0);
+    }
+
+    #[test]
+    fn dup_and_reorder_are_clamped() {
+        assert_eq!(Link::default().with_dup(2.0).dup, 1.0);
+        assert_eq!(Link::default().with_dup(-1.0).dup, 0.0);
+        assert_eq!(Link::default().with_reorder(3.0).reorder, 1.0);
+        assert_eq!(Link::default().with_reorder(-0.5).reorder, 0.0);
     }
 
     #[test]

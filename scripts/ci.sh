@@ -55,6 +55,27 @@ cmp -s "$trace_dir/run-seq.jsonl" "$trace_dir/run-par.jsonl" \
     || { echo "parallel smoke: 4-thread ledger diverges from sequential"; exit 1; }
 echo "parallel smoke: 4-thread ledger byte-identical to sequential"
 
+echo "==> degraded-comms smoke (E12 cell, loss=0.3, fixed seed)"
+./target/release/apdm-experiments run e12 --seed 42 --threads 1 \
+    --out "$trace_dir/e12-seq.jsonl" --json --quiet > "$trace_dir/e12-seq.json"
+APDM_THREADS=4 ./target/release/apdm-experiments run e12 --seed 42 --threads 0 \
+    --out "$trace_dir/e12-par.jsonl" --json --quiet > "$trace_dir/e12-par.json"
+cmp -s "$trace_dir/e12-seq.jsonl" "$trace_dir/e12-par.jsonl" \
+    || { echo "e12 smoke: 4-thread sealed ledger diverges from sequential"; exit 1; }
+./target/release/apdm-experiments verify "$trace_dir/e12-seq.jsonl" --quiet >/dev/null \
+    || { echo "e12 smoke: sealed cell ledger failed verification"; exit 1; }
+python3 - "$trace_dir/e12-seq.json" <<'PY'
+import json, sys
+
+cell = json.load(open(sys.argv[1]))
+if cell["containment_tick"] is None:
+    sys.exit("e12 smoke: rogues were never contained at loss=0.3")
+if cell["watchdog"] is not None:
+    sys.exit(f"e12 smoke: watchdog tripped unexpectedly: {cell['watchdog']}")
+print(f"e12 smoke: contained at tick {cell['containment_tick']} under loss=0.3, "
+      f"ledger byte-identical at 1 and 4 threads")
+PY
+
 echo "==> strong-scaling table (BENCH_e11_parallel.json)"
 ./target/release/apdm-experiments run e11 --json --quiet > BENCH_e11_parallel.json
 python3 - BENCH_e11_parallel.json <<'PY'

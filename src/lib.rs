@@ -14,6 +14,7 @@
 //! | [`policy`] | `apdm-policy` | IV–VI — ECA rules, obligations, break-glass, audits |
 //! | [`device`] | `apdm-device` | II, V — the Figure-2 abstract device |
 //! | [`simnet`] | `apdm-simnet` | III — network, discovery, organizations |
+//! | [`comms`] | `apdm-comms` | IV, VI — safety coordination over degraded networks |
 //! | [`genpolicy`] | `apdm-genpolicy` | IV — interaction graphs, grammars, templates |
 //! | [`learning`] | `apdm-learning` | III–IV — learners and adversarial pathways |
 //! | [`guards`] | `apdm-guards` | VI.A–D — the prevention mechanisms |
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use apdm_comms as comms;
 pub use apdm_core as core;
 pub use apdm_device as device;
 pub use apdm_genpolicy as genpolicy;
