@@ -1,6 +1,6 @@
 //! The per-node courier: at-least-once request/response over the lossy net.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use apdm_simnet::{Delivered, Network, NodeId};
 use apdm_telemetry as telemetry;
@@ -102,8 +102,9 @@ pub enum Incoming<P> {
 /// Per-node endpoint implementing at-least-once request/response:
 /// requests are retransmitted on an exponential-backoff schedule (with
 /// seeded jitter) until answered or expired; receivers dedup by [`MsgId`]
-/// and re-answer duplicated requests from a response cache, so duplicated
-/// and reordered deliveries are invisible to the application.
+/// and re-answer duplicated requests from a bounded LRU response cache
+/// (see [`Courier::with_response_cache_cap`]), so duplicated and reordered
+/// deliveries are invisible to the application.
 ///
 /// All state is deterministic: the only randomness is the courier's own
 /// seeded jitter RNG, so a fixed seed yields a bit-identical exchange.
@@ -118,13 +119,24 @@ pub struct Courier<P> {
     /// Request ids we have surfaced to the application but not yet answered.
     seen: BTreeSet<MsgId>,
     /// Request id -> the response payload we sent, for re-answering dups.
+    /// Bounded: see [`Courier::with_response_cache_cap`].
     answered: BTreeMap<MsgId, P>,
+    /// LRU order over `answered` (front = coldest, evicted first).
+    answered_order: VecDeque<MsgId>,
+    /// Maximum `answered` entries kept for dup re-answering.
+    answered_cap: usize,
     /// Responses matched to a pending request (for RTT bookkeeping tests).
     completed: u64,
     expired: u64,
     retries: u64,
     dedup_dropped: u64,
 }
+
+/// Default bound on the idempotent-response cache. Sized so that every
+/// retransmission window a realistic backoff schedule can produce is still
+/// covered, while a long-lived courier serving millions of requests stays
+/// at a fixed footprint instead of growing per answered request.
+const DEFAULT_RESPONSE_CACHE_CAP: usize = 1024;
 
 #[derive(Debug)]
 struct PendingRequest<P> {
@@ -146,6 +158,8 @@ impl<P: Clone> Courier<P> {
             pending: BTreeMap::new(),
             seen: BTreeSet::new(),
             answered: BTreeMap::new(),
+            answered_order: VecDeque::new(),
+            answered_cap: DEFAULT_RESPONSE_CACHE_CAP,
             completed: 0,
             expired: 0,
             retries: 0,
@@ -156,6 +170,22 @@ impl<P: Clone> Courier<P> {
     /// This courier's node id.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Override the idempotent-response cache bound (builder style).
+    /// Evicting an entry means a duplicate of that request arriving later
+    /// is surfaced to the application as a fresh request instead of being
+    /// re-answered from the cache — at-least-once semantics degrade
+    /// gracefully, the bound just trades memory for re-work. A cap of 0
+    /// disables caching entirely.
+    pub fn with_response_cache_cap(mut self, cap: usize) -> Self {
+        self.answered_cap = cap;
+        self
+    }
+
+    /// Cached responses currently held for dup re-answering.
+    pub fn response_cache_len(&self) -> usize {
+        self.answered.len()
     }
 
     /// Requests currently awaiting a response.
@@ -225,7 +255,7 @@ impl<P: Clone> Courier<P> {
         payload: P,
         now: u64,
     ) {
-        self.answered.insert(re, payload.clone());
+        self.cache_answer(re, payload.clone());
         self.seen.remove(&re);
         let id = MsgId {
             node: self.node,
@@ -258,6 +288,7 @@ impl<P: Clone> Courier<P> {
         match kind {
             Kind::Request => {
                 if let Some(answer) = self.answered.get(&id).cloned() {
+                    self.touch_answer(id);
                     self.dedup_dropped += 1;
                     if telemetry::enabled() {
                         DEDUP_DROPPED.with(|c| c.inc());
@@ -365,6 +396,33 @@ impl<P: Clone> Courier<P> {
             net.send(self.node, to, envelope, now);
         }
         expired
+    }
+
+    /// Insert into the bounded response cache, evicting the coldest entries
+    /// once the cap is exceeded. Eviction order is deterministic (pure LRU
+    /// over the courier's own observation order).
+    fn cache_answer(&mut self, re: MsgId, payload: P) {
+        if self.answered_cap == 0 {
+            return;
+        }
+        if self.answered.insert(re, payload).is_some() {
+            self.touch_answer(re);
+            return;
+        }
+        self.answered_order.push_back(re);
+        while self.answered.len() > self.answered_cap {
+            if let Some(cold) = self.answered_order.pop_front() {
+                self.answered.remove(&cold);
+            }
+        }
+    }
+
+    /// Move `re` to the hot end of the LRU order.
+    fn touch_answer(&mut self, re: MsgId) {
+        if let Some(pos) = self.answered_order.iter().position(|&id| id == re) {
+            self.answered_order.remove(pos);
+            self.answered_order.push_back(re);
+        }
     }
 
     /// Re-send a cached answer for a duplicated request (fresh envelope id,

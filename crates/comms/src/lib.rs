@@ -81,6 +81,51 @@ mod tests {
     }
 
     #[test]
+    fn response_cache_is_bounded_lru() {
+        use apdm_simnet::Delivered;
+
+        let (mut net, a, b) = pair(Link::with_latency(1));
+        let mut server = Courier::new(b, CommsConfig::default(), 2).with_response_cache_cap(4);
+        // Answer 10 distinct requests: the cache must never exceed its cap.
+        for seq in 0..10u64 {
+            let re = MsgId { node: a, seq };
+            server.respond(&mut net, a, re, seq as u32, 1);
+            assert!(
+                server.response_cache_len() <= 4,
+                "cache grew past its bound at seq {seq}"
+            );
+        }
+        assert_eq!(server.response_cache_len(), 4);
+
+        let duplicate = |seq: u64| Delivered {
+            from: a,
+            to: b,
+            payload: Envelope {
+                id: MsgId { node: a, seq },
+                kind: Kind::Request,
+                payload: 0u32,
+            },
+            sent_at: 2,
+        };
+        // A duplicate of a hot (recent) request is absorbed and re-answered
+        // from the cache: nothing is surfaced to the application.
+        let before = server.counters().3;
+        assert_eq!(server.accept(&mut net, duplicate(9), 3), None);
+        assert_eq!(server.counters().3, before + 1);
+        // A duplicate of an evicted request is no longer deduped: it comes
+        // back as a fresh request for the application to answer again.
+        match server.accept(&mut net, duplicate(0), 3) {
+            Some(Incoming::Request { id, .. }) => assert_eq!(id.seq, 0),
+            other => panic!("evicted duplicate should resurface as a request, got {other:?}"),
+        }
+        assert_eq!(
+            server.response_cache_len(),
+            4,
+            "re-surfacing must not grow the cache"
+        );
+    }
+
+    #[test]
     fn lossless_request_gets_one_response() {
         let (mut net, a, b) = pair(Link::with_latency(1));
         let mut client = Courier::new(a, CommsConfig::default(), 1);

@@ -1,0 +1,48 @@
+//! A sharded, micro-batching **policy decision service** with admission
+//! control and fail-closed load shedding.
+//!
+//! The paper's guards (Section VI) assume every proposed action is checked
+//! before it executes. At fleet scale that check is a *service*: thousands
+//! of devices stream `(state, proposed action)` decision requests to a
+//! shared decision point, and the decision point must stay correct — and
+//! stay *safe* — under overload. This crate is that serving layer:
+//!
+//! - [`DecisionRequest`] / [`Decision`] — the request/verdict vocabulary,
+//!   multi-tenant ([`TenantId`]) with per-request deadlines.
+//! - [`AdmissionQueue`] — bounded per-tenant lanes drained by deficit
+//!   round-robin; the bounds are the shed points ([`AdmissionConfig`]).
+//! - [`BatchPolicy`] / [`CostModel`] / [`Meter`] — micro-batch close rules
+//!   and a deterministic (virtual-cost) account of how much evaluation the
+//!   backend absorbs per tick, so saturation is bit-reproducible.
+//! - [`PolicyDecisionService`] — the assembled service: admission →
+//!   micro-batch → shard by device across [`apdm_par`]'s pool → per-shard
+//!   [`apdm_guards::GuardStack`] evaluation (reusing the verdict memo
+//!   cache) → hash-chained [`apdm_ledger`] audit of **every** verdict.
+//! - [`WorkloadGen`] / [`run_e13`] — seeded open-loop workload generation
+//!   and experiment E13, the load sweep crossing batching × cache ×
+//!   shedding.
+//!
+//! The design rule throughout is the paper's safety bias applied to
+//! serving: **overload may only make the service more conservative.** A
+//! request the service cannot afford to evaluate is *denied* (shed), never
+//! allowed through unevaluated — see [`Decision::shed`], whose only
+//! constructor produces a denial.
+//!
+//! Participates in experiment **E13** (DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod batcher;
+mod experiment;
+mod request;
+mod service;
+mod workload;
+
+pub use admission::{AdmissionConfig, AdmissionQueue};
+pub use batcher::{BatchPolicy, CostModel, Meter};
+pub use experiment::{run_e13, run_e13_cell, E13CellReport, E13Config, E13Report, Knobs};
+pub use request::{Decision, DecisionRequest, ShedReason, TenantId};
+pub use service::{PolicyDecisionService, ServeConfig, ServeStats};
+pub use workload::{schema, standard_stacks, WorkloadGen, WorkloadOracle, WorkloadSpec};

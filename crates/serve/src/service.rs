@@ -1,0 +1,610 @@
+//! The policy decision service: admission → micro-batch → shard → verdict.
+//!
+//! One [`PolicyDecisionService`] is the runtime policy decision point of
+//! the paper's architecture (§IV–VI) packaged as a standalone serving
+//! layer: operators (tenants) submit [`DecisionRequest`]s, the service
+//! queues them under admission control, forms micro-batches, shards each
+//! batch by device id across persistent per-shard [`GuardStack`]s (each
+//! with its own verdict memo cache), and renders [`Decision`]s. Every
+//! decision — served or shed — is appended to a hash-chained
+//! [`apdm_ledger`] run ledger, so the audit trail survives the process.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! submit(req) ──quota/capacity──shed──▶ Deny("shed:quota|capacity")
+//!      │ admitted
+//!      ▼
+//! AdmissionQueue (per-tenant lanes, DRR drain)
+//!      │ tick(now): while meter.can_dispatch() && batch ready
+//!      ▼
+//! dequeue ──deadline expired──shed──▶ Deny("shed:deadline")
+//!      │ batch of ≤ max_batch
+//!      ▼
+//! shard by device % shards ──run_sharded(threads)──▶ GuardStack::check_batch
+//!      │ verdicts reassembled in batch order          (per-shard memo cache)
+//!      ▼
+//! Decision stream + ledger Verdict records + telemetry
+//! ```
+//!
+//! ## Determinism
+//!
+//! The decision stream and the sealed ledger are a pure function of the
+//! submit stream and the configuration — never of the worker thread count:
+//! requests map to shards by device id (not by worker), each shard's stack
+//! (and memo cache) is touched only by its own shard's requests, and
+//! verdicts are reassembled in batch order. The property tests assert
+//! byte-identical ledgers across thread counts.
+//!
+//! ## Fail-closed overload behaviour
+//!
+//! Every shed path routes through [`Decision::shed`], which can only
+//! construct a denial. Overload makes the service refuse work — it can
+//! never make it approve work it did not evaluate.
+
+use std::time::Instant;
+
+use apdm_guards::{GuardContext, GuardStack, GuardVerdict, HarmOracle};
+use apdm_ledger::{Ledger, RunEvent, RunRecorder};
+use apdm_policy::Action;
+use apdm_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+
+use crate::admission::{AdmissionConfig, AdmissionQueue};
+use crate::batcher::{BatchPolicy, CostModel, Meter};
+use crate::request::{Decision, DecisionRequest, ShedReason};
+
+/// One shard's contribution to a batch: `(batch_index, verdict)` pairs plus
+/// the shard's memo-cache `(hits, misses)` deltas.
+type ShardOutput = (Vec<(usize, GuardVerdict)>, u64, u64);
+
+thread_local! {
+    static SUBMITTED: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("serve.submitted") };
+    static DECIDED: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("serve.decided") };
+    static SHED_CAPACITY: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("serve.shed.capacity") };
+    static SHED_QUOTA: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("serve.shed.quota") };
+    static SHED_DEADLINE: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("serve.shed.deadline") };
+    static QUEUE_TICKS: telemetry::CachedHistogram =
+        const { telemetry::CachedHistogram::new("serve.latency.queue_ticks") };
+    static BATCH_SIZE: telemetry::CachedHistogram =
+        const { telemetry::CachedHistogram::new("serve.batch.size") };
+    static EVAL_NS: telemetry::CachedHistogram =
+        const { telemetry::CachedHistogram::new("serve.eval.ns") };
+}
+
+/// Full configuration of one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Seed recorded in the run ledger header (the service itself draws no
+    /// randomness; the seed names the workload that drove it).
+    pub seed: u64,
+    /// Worker threads for batch evaluation (0 = auto via `APDM_THREADS` /
+    /// hardware). Never affects results, only wall-clock.
+    pub threads: usize,
+    /// Fixed shard count — the determinism unit. Requests map to shard
+    /// `device % shards` regardless of `threads`.
+    pub shards: usize,
+    /// Admission bounds and DRR fairness.
+    pub admission: AdmissionConfig,
+    /// Micro-batch close policy.
+    pub batch: BatchPolicy,
+    /// Deterministic work accounting.
+    pub cost: CostModel,
+    /// Enable the per-shard guard-verdict memo cache.
+    pub cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 42,
+            threads: 0,
+            shards: 8,
+            admission: AdmissionConfig::default(),
+            batch: BatchPolicy::default(),
+            cost: CostModel::default(),
+            cache: true,
+        }
+    }
+}
+
+/// Exact counters over one service lifetime (mirrored into the telemetry
+/// registry when a dispatch is installed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests offered via [`PolicyDecisionService::submit`].
+    pub submitted: u64,
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests actually evaluated by a guard stack.
+    pub decided: u64,
+    /// Evaluated verdicts that allowed the proposal (with or without
+    /// obligations).
+    pub allowed: u64,
+    /// Evaluated guard denials (shed denials are counted separately).
+    pub denied: u64,
+    /// Evaluated substitutions.
+    pub replaced: u64,
+    /// Sheds at admission: global queue full.
+    pub shed_capacity: u64,
+    /// Sheds at admission: tenant over quota.
+    pub shed_quota: u64,
+    /// Sheds at dispatch: deadline expired in the queue.
+    pub shed_deadline: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Verdict-cache hits summed over all shards.
+    pub cache_hits: u64,
+    /// Verdict-cache misses summed over all shards.
+    pub cache_misses: u64,
+    /// High-water mark of the admission queue.
+    pub max_queue_depth: u64,
+    /// Work units charged against the meter.
+    pub cost_spent: u64,
+}
+
+impl ServeStats {
+    /// All sheds, every one of which resolved to a denial.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_capacity + self.shed_quota + self.shed_deadline
+    }
+}
+
+/// The sharded, micro-batching, fail-closed policy decision service. See
+/// the module docs for the data flow.
+#[derive(Debug)]
+pub struct PolicyDecisionService<O> {
+    cfg: ServeConfig,
+    threads: usize,
+    queue: AdmissionQueue,
+    meter: Meter,
+    /// One persistent guard stack per shard; shard `s` judges every request
+    /// with `device % shards == s`, so its memo cache and audit trail are
+    /// independent of worker scheduling.
+    stacks: Vec<GuardStack>,
+    oracle: O,
+    recorder: RunRecorder,
+    stats: ServeStats,
+}
+
+impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
+    /// Build a service from per-shard guard stacks. `stacks.len()` fixes
+    /// the shard count; `cfg.shards` must agree. The `cache` flag is
+    /// applied to every stack here so callers cannot accidentally mix
+    /// cached and uncached shards.
+    pub fn new(cfg: ServeConfig, mut stacks: Vec<GuardStack>, oracle: O, name: &str) -> Self {
+        assert_eq!(
+            cfg.shards,
+            stacks.len(),
+            "cfg.shards must match the stack count"
+        );
+        assert!(cfg.shards > 0, "a service needs at least one shard");
+        for stack in &mut stacks {
+            stack.set_cache_enabled(cfg.cache);
+        }
+        PolicyDecisionService {
+            threads: apdm_par::resolve_threads(cfg.threads),
+            queue: AdmissionQueue::new(cfg.admission),
+            meter: Meter::new(&cfg.cost),
+            stacks,
+            oracle,
+            recorder: RunRecorder::new(name, cfg.seed, cfg.shards as u64),
+            stats: ServeStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this service runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Resolved worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Offer a request. `None` means admitted (the decision will come out
+    /// of a later [`tick`](Self::tick)); `Some` is an immediate fail-closed
+    /// shed denial (queue full or tenant over quota).
+    pub fn submit(&mut self, req: DecisionRequest, now: u64) -> Option<Decision> {
+        self.stats.submitted += 1;
+        if telemetry::enabled() {
+            SUBMITTED.with(|c| c.inc());
+        }
+        match self.queue.submit(req) {
+            None => {
+                self.stats.admitted += 1;
+                self.stats.max_queue_depth =
+                    self.stats.max_queue_depth.max(self.queue.len() as u64);
+                None
+            }
+            Some((req, reason)) => Some(self.shed(&req, reason, now)),
+        }
+    }
+
+    /// Run one service tick: refill the work meter, dispatch every batch
+    /// that is ready and affordable, and return the decisions rendered this
+    /// tick (deadline sheds interleaved before the batch they were culled
+    /// from). Decision order is deterministic.
+    pub fn tick(&mut self, now: u64) -> Vec<Decision> {
+        self.meter.refill();
+        let mut decisions = Vec::new();
+        loop {
+            if !self.meter.can_dispatch() || self.queue.is_empty() {
+                break;
+            }
+            let oldest = self.queue.oldest_submitted().expect("non-empty queue");
+            if !self
+                .cfg
+                .batch
+                .ready(self.queue.len(), now.saturating_sub(oldest))
+            {
+                break;
+            }
+            // Form the batch: up to max_batch live requests, shedding any
+            // that expired while queued (uncharged — no guard work ran).
+            let mut batch = Vec::with_capacity(self.cfg.batch.max_batch);
+            while batch.len() < self.cfg.batch.max_batch {
+                match self.queue.dequeue() {
+                    None => break,
+                    Some(req) if req.expired(now) => {
+                        decisions.push(self.shed(&req, ShedReason::Deadline, now));
+                    }
+                    Some(req) => batch.push(req),
+                }
+            }
+            if batch.is_empty() {
+                // Everything dequeued had expired; re-examine the queue.
+                continue;
+            }
+            let started = Instant::now();
+            let (verdicts, hits, misses) = self.evaluate(&batch, now);
+            let cost = self.cfg.cost.batch_cost(hits, misses);
+            self.meter.charge(cost);
+            self.stats.batches += 1;
+            self.stats.cache_hits += hits;
+            self.stats.cache_misses += misses;
+            self.stats.cost_spent = self.meter.spent();
+            if telemetry::enabled() {
+                BATCH_SIZE.with(|h| h.record(batch.len() as u64));
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                EVAL_NS.with(|h| h.record(ns));
+            }
+            for (req, verdict) in batch.iter().zip(verdicts) {
+                decisions.push(self.decide(req, verdict, now));
+            }
+        }
+        if telemetry::enabled() {
+            let depth = self.queue.len() as f64;
+            telemetry::with_registry(|reg| reg.gauge("serve.queue.depth").set(depth));
+        }
+        decisions
+    }
+
+    /// Seal and return the run ledger plus the final counters. `now` is the
+    /// tick recorded on the closing record.
+    pub fn finish(self, now: u64) -> (Ledger, ServeStats) {
+        // The service executes nothing itself, so the ledger's harm count
+        // is structurally zero: only verdicts flow through here.
+        (self.recorder.finish(now, 0), self.stats)
+    }
+
+    /// Evaluate one batch: bucket requests by shard, run the shards across
+    /// the worker pool, reassemble verdicts in batch order. Returns the
+    /// verdicts plus the batch's memo-cache `(hits, misses)`.
+    fn evaluate(&mut self, batch: &[DecisionRequest], now: u64) -> (Vec<GuardVerdict>, u64, u64) {
+        let shards = self.cfg.shards;
+        let mut buckets: Vec<Vec<(usize, &DecisionRequest)>> = vec![Vec::new(); shards];
+        for (idx, req) in batch.iter().enumerate() {
+            buckets[(req.device % shards as u64) as usize].push((idx, req));
+        }
+        let oracle = self.oracle;
+        let mut work: Vec<(&mut GuardStack, Vec<(usize, &DecisionRequest)>)> =
+            self.stacks.iter_mut().zip(buckets).collect();
+        let shard_results: Vec<ShardOutput> =
+            apdm_par::run_sharded(self.threads, &mut work, |_, slice| {
+                let mut out = Vec::new();
+                let (mut hits, mut misses) = (0u64, 0u64);
+                for (stack, items) in slice.iter_mut() {
+                    if items.is_empty() {
+                        continue;
+                    }
+                    let before = stack.cache_stats();
+                    for &(idx, req) in items.iter() {
+                        let subject = format!("d{}", req.device);
+                        let alternatives: Vec<&Action> = req.alternatives.iter().collect();
+                        let ctx = GuardContext {
+                            tick: now,
+                            subject: &subject,
+                            state: &req.state,
+                            alternatives: &alternatives,
+                            world_token: 0,
+                        };
+                        out.push((idx, stack.check(&ctx, &req.proposed, oracle)));
+                    }
+                    match (before, stack.cache_stats()) {
+                        (Some((h0, m0)), Some((h1, m1))) => {
+                            hits += h1 - h0;
+                            misses += m1 - m0;
+                        }
+                        // Cache off: every evaluation pays full freight.
+                        _ => misses += items.len() as u64,
+                    }
+                }
+                (out, hits, misses)
+            });
+        let mut verdicts: Vec<Option<GuardVerdict>> = vec![None; batch.len()];
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (pairs, h, m) in shard_results {
+            hits += h;
+            misses += m;
+            for (idx, verdict) in pairs {
+                debug_assert!(verdicts[idx].is_none(), "duplicate verdict slot {idx}");
+                verdicts[idx] = Some(verdict);
+            }
+        }
+        let verdicts = verdicts
+            .into_iter()
+            .map(|v| v.expect("every batch slot judged"))
+            .collect();
+        (verdicts, hits, misses)
+    }
+
+    /// Render, count, audit and instrument one evaluated decision.
+    fn decide(&mut self, req: &DecisionRequest, verdict: GuardVerdict, now: u64) -> Decision {
+        let decision = Decision::evaluated(req, verdict, now);
+        self.stats.decided += 1;
+        match &decision.verdict {
+            GuardVerdict::Allow | GuardVerdict::AllowWithObligations(_) => self.stats.allowed += 1,
+            GuardVerdict::Deny { .. } => self.stats.denied += 1,
+            GuardVerdict::Replace { .. } => self.stats.replaced += 1,
+        }
+        if telemetry::enabled() {
+            DECIDED.with(|c| c.inc());
+            QUEUE_TICKS.with(|h| h.record(decision.queue_ticks()));
+        }
+        self.record(&decision, now);
+        decision
+    }
+
+    /// Render, count, audit and instrument one shed denial.
+    fn shed(&mut self, req: &DecisionRequest, reason: ShedReason, now: u64) -> Decision {
+        let decision = Decision::shed(req, reason, now);
+        let (field, counter) = match reason {
+            ShedReason::Capacity => (&mut self.stats.shed_capacity, &SHED_CAPACITY),
+            ShedReason::Quota => (&mut self.stats.shed_quota, &SHED_QUOTA),
+            ShedReason::Deadline => (&mut self.stats.shed_deadline, &SHED_DEADLINE),
+        };
+        *field += 1;
+        if telemetry::enabled() {
+            counter.with(|c| c.inc());
+        }
+        self.record(&decision, now);
+        decision
+    }
+
+    /// Append one decision to the run ledger.
+    fn record(&mut self, decision: &Decision, now: u64) {
+        self.recorder.record(
+            now,
+            RunEvent::Verdict {
+                device: decision.device,
+                action: decision.action.as_str().into(),
+                verdict: decision.verdict_name().as_str().into(),
+                reason: decision.reason().to_string(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TenantId;
+    use crate::workload::{standard_stacks, WorkloadOracle};
+    use apdm_policy::Action;
+    use apdm_statespace::{StateDelta, StateSchema, VarId};
+
+    fn schema() -> StateSchema {
+        StateSchema::builder().var("x", 0.0, 10.0).build()
+    }
+
+    fn req(
+        id: u64,
+        device: u64,
+        action: Action,
+        now: u64,
+        deadline: Option<u64>,
+    ) -> DecisionRequest {
+        DecisionRequest {
+            id,
+            tenant: TenantId((id % 2) as u32),
+            device,
+            state: schema().state(&[1.0]).unwrap(),
+            proposed: action,
+            alternatives: Vec::new(),
+            submitted_at: now,
+            deadline,
+        }
+    }
+
+    fn service(cfg: ServeConfig) -> PolicyDecisionService<WorkloadOracle> {
+        let stacks = standard_stacks(cfg.shards, cfg.cache);
+        PolicyDecisionService::new(cfg, stacks, WorkloadOracle, "test")
+    }
+
+    #[test]
+    fn harmless_requests_are_allowed_and_audited() {
+        let mut svc = service(ServeConfig {
+            batch: BatchPolicy::unbatched(),
+            ..ServeConfig::default()
+        });
+        assert!(svc
+            .submit(
+                req(0, 3, Action::adjust("patrol", StateDelta::empty()), 1, None),
+                1
+            )
+            .is_none());
+        let decisions = svc.tick(1);
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].verdict, GuardVerdict::Allow);
+        assert_eq!(decisions[0].shed, None);
+        let (ledger, stats) = svc.finish(1);
+        assert!(ledger.verify().is_ok());
+        assert_eq!(stats.decided, 1);
+        assert_eq!(stats.allowed, 1);
+        // RunStarted + 1 verdict + RunFinished.
+        assert_eq!(ledger.len(), 3);
+    }
+
+    #[test]
+    fn harmful_requests_are_denied_by_the_guard() {
+        let mut svc = service(ServeConfig {
+            batch: BatchPolicy::unbatched(),
+            ..ServeConfig::default()
+        });
+        svc.submit(
+            req(0, 3, Action::adjust("strike", StateDelta::empty()), 1, None),
+            1,
+        );
+        let decisions = svc.tick(1);
+        assert!(!decisions[0].verdict.permits_execution());
+        assert_eq!(decisions[0].shed, None, "a guard denial is not a shed");
+        assert_eq!(svc.stats().denied, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_sheds_closed() {
+        let mut svc = service(ServeConfig {
+            admission: AdmissionConfig {
+                capacity: 2,
+                tenant_quota: 10,
+                quantum: 4,
+            },
+            ..ServeConfig::default()
+        });
+        let mut shed = Vec::new();
+        for id in 0..5 {
+            let r = req(
+                id,
+                id,
+                Action::adjust("patrol", StateDelta::empty()),
+                1,
+                None,
+            );
+            if let Some(d) = svc.submit(r, 1) {
+                shed.push(d);
+            }
+        }
+        assert_eq!(shed.len(), 3);
+        for d in &shed {
+            assert!(!d.verdict.permits_execution(), "shed must fail closed");
+            assert_eq!(d.shed, Some(ShedReason::Capacity));
+        }
+        assert_eq!(svc.stats().shed_capacity, 3);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dispatch_without_charge() {
+        let mut svc = service(ServeConfig {
+            batch: BatchPolicy::unbatched(),
+            ..ServeConfig::default()
+        });
+        svc.submit(
+            req(
+                0,
+                1,
+                Action::adjust("patrol", StateDelta::empty()),
+                1,
+                Some(2),
+            ),
+            1,
+        );
+        // Nothing happens on time...
+        assert!(svc.tick(5).len() == 1);
+        let stats = svc.stats();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.decided, 0);
+        assert_eq!(
+            stats.batches, 0,
+            "no guard work ran for the expired request"
+        );
+    }
+
+    #[test]
+    fn batching_holds_young_partial_batches() {
+        let mut svc = service(ServeConfig {
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: 3,
+            },
+            ..ServeConfig::default()
+        });
+        svc.submit(
+            req(0, 1, Action::adjust("patrol", StateDelta::empty()), 1, None),
+            1,
+        );
+        assert!(svc.tick(1).is_empty(), "partial batch waits");
+        assert!(svc.tick(2).is_empty(), "still young");
+        let decisions = svc.tick(4);
+        assert_eq!(decisions.len(), 1, "aged out at max_wait");
+        assert_eq!(decisions[0].queue_ticks(), 3);
+    }
+
+    #[test]
+    fn verdict_stream_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut svc = service(ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            });
+            let mut decisions = Vec::new();
+            let mut id = 0;
+            for now in 1..=6u64 {
+                for device in 0..10u64 {
+                    let action = if device % 3 == 0 {
+                        Action::adjust("strike", StateDelta::empty())
+                    } else {
+                        Action::adjust("east", StateDelta::single(VarId(0), 1.0))
+                    };
+                    if let Some(d) = svc.submit(req(id, device, action, now, Some(now + 8)), now) {
+                        decisions.push(d);
+                    }
+                    id += 1;
+                }
+                decisions.extend(svc.tick(now));
+            }
+            // Drain.
+            for now in 7..=40u64 {
+                decisions.extend(svc.tick(now));
+                if svc.queue_depth() == 0 {
+                    break;
+                }
+            }
+            let (ledger, stats) = svc.finish(40);
+            (decisions, ledger.to_jsonl(), stats)
+        };
+        let (d1, l1, s1) = run(1);
+        let (d4, l4, s4) = run(4);
+        assert_eq!(d1, d4, "decision streams must not depend on threads");
+        assert_eq!(l1, l4, "ledgers must be byte-identical across threads");
+        assert_eq!(s1, s4);
+        assert!(s1.decided > 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Seeded open-loop workload generation for the serving experiments.
+//!
+//! An **open-loop** generator offers requests at a configured rate
+//! regardless of how the service is coping — the standard way to expose a
+//! saturation point (a closed-loop client would politely slow down and hide
+//! it). The generator is a pure function of `(seed, tick)` so two sweeps
+//! over the same spec submit byte-identical request streams.
+//!
+//! The request population is deliberately *quantized*: device states sit on
+//! a small grid and proposals come from a four-action vocabulary, so the
+//! guard stacks see many repeated `(state, action, alternatives)` contexts.
+//! That is what makes the verdict-memo-cache ablation in experiment E13
+//! meaningful — real fleets are exactly this redundant (thousands of
+//! devices in a handful of operational modes), which is why the PR-3 memo
+//! cache pays off at serving time.
+
+use apdm_guards::{GuardStack, HarmOracle, PreActionCheck, StateSpaceGuard};
+use apdm_policy::Action;
+use apdm_statespace::{Region, RegionClassifier, State, StateDelta, StateSchema, VarId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::request::{DecisionRequest, TenantId};
+
+/// The good region of the workload's one-variable state space: `x ∈ [0, 5]`
+/// out of a `[0, 10]` schema (the same shape the guard-stack unit tests
+/// use).
+pub const GOOD_REGION: (f64, f64) = (0.0, 5.0);
+
+/// The quantized state grid. The top value sits one "east" step from the
+/// region boundary, so east-moves from it are the state-check's work.
+const STATE_GRID: [f64; 5] = [0.5, 1.5, 2.5, 3.5, 4.5];
+
+/// Harm oracle of the serving workload: the `strike` action directly harms
+/// a human; nothing else does.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadOracle;
+
+impl HarmOracle for WorkloadOracle {
+    fn direct_harm(&self, _state: &State, action: &Action) -> bool {
+        action.name() == "strike"
+    }
+
+    fn creates_hazard(&self, _state: &State, _action: &Action) -> bool {
+        false
+    }
+}
+
+/// The workload's state schema: one variable `x ∈ [0, 10]`.
+pub fn schema() -> StateSchema {
+    StateSchema::builder().var("x", 0.0, 10.0).build()
+}
+
+/// Build one guard stack per shard for the serving workload: pre-action
+/// harm check plus state-space guard over [`GOOD_REGION`], optionally with
+/// the verdict memo cache. Every shard gets an identical (but independent)
+/// stack, so verdicts do not depend on which shard judges a device.
+pub fn standard_stacks(shards: usize, cache: bool) -> Vec<GuardStack> {
+    (0..shards)
+        .map(|_| {
+            let stack = GuardStack::new()
+                .with_preaction(PreActionCheck::new())
+                .with_statecheck(StateSpaceGuard::new(RegionClassifier::new(Region::rect(
+                    &[GOOD_REGION],
+                ))));
+            if cache {
+                stack.with_cache()
+            } else {
+                stack
+            }
+        })
+        .collect()
+}
+
+/// Shape of one open-loop workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Master seed; the request stream is a pure function of it.
+    pub seed: u64,
+    /// Requests offered per tick (the open-loop rate).
+    pub per_tick: usize,
+    /// Ticks during which requests arrive (the service then drains).
+    pub arrival_ticks: u64,
+    /// Device population (shard keys are `device % shards`).
+    pub devices: u64,
+    /// Tenant population. Tenant draw is skewed (tenant 0 gets roughly half
+    /// the traffic) so quota shedding and DRR fairness are exercised.
+    pub tenants: u32,
+    /// Deadline slack in ticks (`None` = requests never expire).
+    pub deadline_slack: Option<u64>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 42,
+            per_tick: 8,
+            arrival_ticks: 200,
+            devices: 64,
+            tenants: 4,
+            deadline_slack: Some(8),
+        }
+    }
+}
+
+/// The seeded open-loop request generator. Call
+/// [`tick_requests`](Self::tick_requests) once per tick with consecutive
+/// tick numbers.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    schema: StateSchema,
+    next_id: u64,
+}
+
+impl WorkloadGen {
+    /// A generator for `spec`, deterministic in `spec.seed`.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(spec.seed ^ 0xE13_5E17E),
+            schema: schema(),
+            next_id: 0,
+            spec,
+        }
+    }
+
+    /// The spec this generator runs.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Total requests this generator will offer over the arrival window.
+    pub fn total_offered(&self) -> u64 {
+        self.spec.arrival_ticks * self.spec.per_tick as u64
+    }
+
+    /// The requests arriving at tick `now` (empty once the arrival window
+    /// has passed).
+    pub fn tick_requests(&mut self, now: u64) -> Vec<DecisionRequest> {
+        if now == 0 || now > self.spec.arrival_ticks {
+            return Vec::new();
+        }
+        (0..self.spec.per_tick).map(|_| self.one(now)).collect()
+    }
+
+    /// Draw one request.
+    fn one(&mut self, now: u64) -> DecisionRequest {
+        let id = self.next_id;
+        self.next_id += 1;
+        let device = self.rng.random_range(0..self.spec.devices.max(1));
+        // Skew: tenant 0 absorbs ~half the offered load, the rest is
+        // uniform — a realistic "one big operator plus a tail" mix.
+        let tenants = self.spec.tenants.max(1);
+        let tenant = if tenants > 1 && self.rng.random_bool(0.5) {
+            TenantId(0)
+        } else {
+            TenantId(self.rng.random_range(0..tenants))
+        };
+        let x = STATE_GRID[self.rng.random_range(0..STATE_GRID.len())];
+        let state = self.schema.state(&[x]).expect("grid value in schema");
+        // Proposal mix: mostly benign patrols and east-moves, a steady
+        // trickle of harmful strikes the pre-action check must catch.
+        let roll = self.rng.random_range(0..10u32);
+        let proposed = if roll < 5 {
+            Action::adjust("patrol", StateDelta::empty())
+        } else if roll < 9 {
+            Action::adjust("east", StateDelta::single(VarId(0), 1.0))
+        } else {
+            Action::adjust("strike", StateDelta::empty())
+        };
+        // Half the requests advertise a safe retreat the state check can
+        // substitute for a boundary-crossing east-move.
+        let alternatives = if self.rng.random_bool(0.5) {
+            vec![Action::adjust("west", StateDelta::single(VarId(0), -1.0))]
+        } else {
+            Vec::new()
+        };
+        DecisionRequest {
+            id,
+            tenant,
+            device,
+            state,
+            proposed,
+            alternatives,
+            submitted_at: now,
+            deadline: self.spec.deadline_slack.map(|s| now + s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_in_its_seed() {
+        let spec = WorkloadSpec::default();
+        let mut a = WorkloadGen::new(spec);
+        let mut b = WorkloadGen::new(spec);
+        for now in 1..=5 {
+            assert_eq!(a.tick_requests(now), b.tick_requests(now));
+        }
+        let mut c = WorkloadGen::new(WorkloadSpec { seed: 7, ..spec });
+        let differs = (1..=5).any(|now| {
+            // Re-generate a's stream for comparison.
+            WorkloadGen::new(spec)
+                .tick_requests(now)
+                .iter()
+                .zip(c.tick_requests(now).iter())
+                .any(|(x, y)| x != y)
+        });
+        assert!(differs, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn arrival_window_bounds_the_offered_load() {
+        let spec = WorkloadSpec {
+            per_tick: 3,
+            arrival_ticks: 4,
+            ..WorkloadSpec::default()
+        };
+        let mut g = WorkloadGen::new(spec);
+        assert_eq!(g.total_offered(), 12);
+        assert!(g.tick_requests(0).is_empty(), "tick 0 is pre-arrival");
+        let mut total = 0;
+        for now in 1..=10 {
+            total += g.tick_requests(now).len();
+        }
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn requests_stay_on_the_quantized_grid() {
+        let mut g = WorkloadGen::new(WorkloadSpec::default());
+        for now in 1..=10 {
+            for req in g.tick_requests(now) {
+                let x = req.state.values()[0];
+                assert!(STATE_GRID.contains(&x), "off-grid state {x}");
+                assert!(matches!(req.proposed.name(), "patrol" | "east" | "strike"));
+                assert_eq!(req.deadline, Some(now + 8));
+                assert!(req.tenant.0 < 4);
+                assert!(req.device < 64);
+            }
+        }
+    }
+}

@@ -76,6 +76,30 @@ print(f"e12 smoke: contained at tick {cell['containment_tick']} under loss=0.3, 
       f"ledger byte-identical at 1 and 4 threads")
 PY
 
+echo "==> serving smoke (E13 sweep, micro-batching decision service)"
+./target/release/apdm-experiments serve-bench --smoke --seed 42 --json --quiet \
+    > "$trace_dir/e13-smoke.json"
+python3 - "$trace_dir/e13-smoke.json" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+cells = report["cells"]
+low = min(report["config"]["loads"])
+for c in cells:
+    if c["watchdog"] is not None:
+        sys.exit(f"e13 smoke: watchdog tripped in {c['label']} load={c['load']}")
+    if c["throughput"] <= 0:
+        sys.exit(f"e13 smoke: zero throughput in {c['label']} load={c['load']}")
+    if c["decided"] + c["shed"] != c["offered"]:
+        sys.exit(f"e13 smoke: requests lost in {c['label']} load={c['load']}")
+    if c["shed_allows"] != 0:
+        sys.exit(f"e13 smoke: a shed request was ALLOWED in {c['label']} load={c['load']}")
+    if c["load"] == low and c["shed"] != 0:
+        sys.exit(f"e13 smoke: shed at low load in {c['label']}")
+print(f"e13 smoke: {len(cells)} cells, non-zero throughput, no sheds at load={low}, "
+      f"all sheds fail closed")
+PY
+
 echo "==> strong-scaling table (BENCH_e11_parallel.json)"
 ./target/release/apdm-experiments run e11 --json --quiet > BENCH_e11_parallel.json
 python3 - BENCH_e11_parallel.json <<'PY'

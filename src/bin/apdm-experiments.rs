@@ -9,6 +9,7 @@
 //! apdm-experiments verify run.jsonl
 //! apdm-experiments replay run.jsonl [--seed 42] [--from-snapshot]
 //! apdm-experiments trace [--seed 42] [--out trace.jsonl]
+//! apdm-experiments serve-bench [--seed 42] [--smoke] [--out report.json]
 //! ```
 //!
 //! Parallelism: the global `--threads N` flag sets the worker count for
@@ -41,6 +42,7 @@ use std::rc::Rc;
 
 use apdm::comms::FailMode;
 use apdm::ledger::Ledger;
+use apdm::serve::{run_e13, E13Config};
 use apdm::sim::contagion::{run_contagion, ContagionArm};
 use apdm::sim::degraded::{run_e12, run_e12_cell, E12Config};
 use apdm::sim::faults::Pathway;
@@ -80,6 +82,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e12",
         "degraded comms: safety coordination under loss/partition (IV)",
     ),
+    (
+        "e13",
+        "serving: micro-batching decision service under load (VI at fleet scale)",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -92,6 +98,7 @@ fn main() -> ExitCode {
     let mut from_snapshot = false;
     let mut threads: usize = 0;
     let mut cache = true;
+    let mut smoke = false;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -100,6 +107,7 @@ fn main() -> ExitCode {
             "--quiet" => quiet = true,
             "--from-snapshot" => from_snapshot = true,
             "--no-cache" => cache = false,
+            "--smoke" => smoke = true,
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
@@ -153,7 +161,16 @@ fn main() -> ExitCode {
     }
     let _guard = (!sinks.is_empty()).then(|| telemetry::install(Rc::new(Fanout::new(sinks))));
 
-    let code = dispatch(&positional, seed, json, out, from_snapshot, threads, cache);
+    let code = dispatch(
+        &positional,
+        seed,
+        json,
+        out,
+        from_snapshot,
+        threads,
+        cache,
+        smoke,
+    );
 
     // Dump even when the command failed: a trace of a failing verify run
     // carries the ledger.corruption events that explain it.
@@ -167,6 +184,7 @@ fn main() -> ExitCode {
 }
 
 /// Execute the chosen subcommand.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     positional: &[String],
     seed: u64,
@@ -175,6 +193,7 @@ fn dispatch(
     from_snapshot: bool,
     threads: usize,
     cache: bool,
+    smoke: bool,
 ) -> ExitCode {
     match positional.first().map(String::as_str) {
         Some("list") => {
@@ -330,10 +349,72 @@ fn dispatch(
                 }
             }
         }
+        Some("serve-bench") => {
+            // The serving-layer load sweep (experiment E13), runnable
+            // without the criterion harness. `--smoke` is the CI shape:
+            // short arrival window, one underloaded and one overloaded
+            // point.
+            let cfg = E13Config {
+                seed,
+                threads,
+                ..if smoke {
+                    E13Config::smoke()
+                } else {
+                    E13Config::default()
+                }
+            };
+            let report = run_e13(&cfg);
+            if json {
+                emit(true, &report);
+            } else {
+                print_e13_table(&report);
+            }
+            if let Some(path) = out {
+                let body = serde_json::to_string_pretty(&report).expect("serializable report");
+                if let Err(e) = fs::write(&path, body) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if !json {
+                    println!("report written to {path}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: apdm-experiments <list|run|record|verify|replay|trace> ...");
+            eprintln!(
+                "usage: apdm-experiments <list|run|record|verify|replay|trace|serve-bench> ..."
+            );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Human-readable E13 sweep table: one row per (load × knobs) cell.
+fn print_e13_table(report: &apdm::serve::E13Report) {
+    println!(
+        "{:<6} {:<22} {:>8} {:>8} {:>7} {:>9} {:>6} {:>6} {:>7} {:>8}",
+        "load", "knobs", "decided", "shed", "shed%", "thruput", "p50", "p99", "p99.9", "hit%"
+    );
+    for c in &report.cells {
+        let hit_rate = if c.cache_hits + c.cache_misses == 0 {
+            0.0
+        } else {
+            c.cache_hits as f64 / (c.cache_hits + c.cache_misses) as f64
+        };
+        println!(
+            "{:<6} {:<22} {:>8} {:>8} {:>7.3} {:>9.2} {:>6} {:>6} {:>7} {:>8.3}",
+            c.load,
+            c.label,
+            c.decided,
+            c.shed,
+            c.shed_rate,
+            c.throughput,
+            c.p50_queue_ticks,
+            c.p99_queue_ticks,
+            c.p999_queue_ticks,
+            hit_rate,
+        );
     }
 }
 
@@ -513,6 +594,16 @@ fn run_experiment(id: &str, seed: u64, json: bool, threads: usize, cache: bool, 
                     &run_e12(&cfg, &[0.0, 0.1, 0.3, 0.6], &[0, 20, 60], threads),
                 );
             }
+        }
+        "e13" => {
+            emit(
+                json,
+                &run_e13(&E13Config {
+                    seed,
+                    threads,
+                    ..E13Config::default()
+                }),
+            );
         }
         _ => unreachable!("validated above"),
     }

@@ -22,6 +22,7 @@
 //! | [`ledger`] | `apdm-ledger` | VI.B audits — tamper-evident flight recorder and replay |
 //! | [`telemetry`] | `apdm-telemetry` | — deterministic spans/events, metrics, trace exporters |
 //! | [`par`] | `apdm-par` | — deterministic scoped-thread shard pools and fan-out |
+//! | [`serve`] | `apdm-serve` | VI at fleet scale — sharded micro-batching decision service, fail-closed shedding |
 //! | [`sim`] | `apdm-sim` | I–II — the coalition world and experiments |
 //! | [`core`] | `apdm-core` | everything — `SafetyKernel`, `AutonomicManager` |
 //!
@@ -62,6 +63,7 @@ pub use apdm_learning as learning;
 pub use apdm_ledger as ledger;
 pub use apdm_par as par;
 pub use apdm_policy as policy;
+pub use apdm_serve as serve;
 pub use apdm_sim as sim;
 pub use apdm_simnet as simnet;
 pub use apdm_statespace as statespace;
