@@ -8,7 +8,6 @@
 //! Speedup is bounded by the host: on a single-hardware-thread machine
 //! every thread count shows ≈1.0 or worse, and that is the honest number.
 
-use std::fs;
 use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
@@ -44,12 +43,9 @@ fn print_table() {
         "hardware threads on this host: {} (speedup is bounded above by this)",
         report.hardware_threads
     );
-    match fs::write(
-        REPORT_PATH,
-        serde_json::to_string_pretty(&report).expect("serializable report"),
-    ) {
+    match apdm_bench::write_report(REPORT_PATH, &report) {
         Ok(()) => println!("report written to BENCH_e11_parallel.json"),
-        Err(e) => println!("cannot write {REPORT_PATH}: {e}"),
+        Err(e) => println!("{e}"),
     }
     println!();
 }

@@ -7,7 +7,6 @@
 //! availability. The full report is also written to `BENCH_e12_comms.json`
 //! at the repository root for EXPERIMENTS.md.
 
-use std::fs;
 use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
@@ -70,12 +69,9 @@ fn print_table() {
         );
     }
     println!();
-    match fs::write(
-        REPORT_PATH,
-        serde_json::to_string_pretty(&report).expect("serializable report"),
-    ) {
+    match apdm_bench::write_report(REPORT_PATH, &report) {
         Ok(()) => println!("report written to BENCH_e12_comms.json"),
-        Err(e) => println!("cannot write {REPORT_PATH}: {e}"),
+        Err(e) => println!("{e}"),
     }
     println!();
 }

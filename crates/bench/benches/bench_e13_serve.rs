@@ -15,7 +15,6 @@
 //! memo caches, ledgers). The full report is written to
 //! `BENCH_e13_serve.json` at the repository root for EXPERIMENTS.md.
 
-use std::fs;
 use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
@@ -177,12 +176,9 @@ fn print_table() {
     );
     println!("\ndeterminism: second sweep identical modulo wall-clock");
 
-    match fs::write(
-        REPORT_PATH,
-        serde_json::to_string_pretty(&report).expect("serializable report"),
-    ) {
+    match apdm_bench::write_report(REPORT_PATH, &report) {
         Ok(()) => println!("report written to BENCH_e13_serve.json"),
-        Err(e) => println!("cannot write {REPORT_PATH}: {e}"),
+        Err(e) => println!("{e}"),
     }
     println!();
 }

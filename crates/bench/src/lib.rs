@@ -9,9 +9,11 @@
 //! set `APDM_QUIET=1` to silence them (the result tables on stdout are the
 //! harness's output and stay).
 
+use std::fs;
 use std::rc::Rc;
 
 use apdm_telemetry::{self as telemetry, event, Level, StderrSubscriber};
+use serde::{Deserialize, Serialize, Value};
 
 /// Is the harness running quiet (`APDM_QUIET` set to anything but `0`)?
 pub fn quiet() -> bool {
@@ -37,3 +39,37 @@ pub fn banner(id: &str, title: &str) {
 
 /// The fixed seed every table regeneration uses.
 pub const TABLE_SEED: u64 = 42;
+
+/// Host provenance stamped into every `BENCH_*.json`: wall-clock numbers
+/// (throughput, speedup, overhead) are only comparable between runs on the
+/// same parallel budget, so the report must say what that budget was.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// Hardware threads the host advertises (`apdm_par::hardware_threads`).
+    pub hardware_threads: usize,
+    /// The raw `APDM_THREADS` override, if the environment set one.
+    pub apdm_threads: Option<String>,
+}
+
+/// Detect the current host's parallel budget.
+pub fn host_info() -> HostInfo {
+    HostInfo {
+        hardware_threads: apdm_par::hardware_threads(),
+        apdm_threads: std::env::var("APDM_THREADS").ok(),
+    }
+}
+
+/// Write an experiment report as pretty JSON with the [`HostInfo`] header
+/// spliced in as a leading `"host"` key. Every bench target routes its
+/// `BENCH_*.json` through here; existing top-level keys are untouched, so
+/// consumers reading them (`scripts/ci.sh`) keep working.
+pub fn write_report<T: Serialize>(path: &str, report: &T) -> Result<(), String> {
+    let mut value =
+        serde_json::to_value(report).map_err(|e| format!("unserializable report: {e}"))?;
+    let host = serde_json::to_value(&host_info()).map_err(|e| format!("host info: {e}"))?;
+    if let Value::Map(entries) = &mut value {
+        entries.insert(0, ("host".to_string(), host));
+    }
+    let body = serde_json::to_string_pretty(&value).map_err(|e| format!("render: {e}"))?;
+    fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}

@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use apdm_simnet::{Delivered, Network, NodeId};
 use apdm_telemetry as telemetry;
+use apdm_telemetry::TraceContext;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,9 +19,24 @@ thread_local! {
         const { telemetry::CachedCounter::new("comms.expired") };
     static DEDUP_DROPPED: telemetry::CachedCounter =
         const { telemetry::CachedCounter::new("comms.dedup.dropped") };
+    static CACHE_HITS: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("comms.response_cache.hit") };
+    static CACHE_MISSES: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("comms.response_cache.miss") };
     static RTT_TICKS: telemetry::CachedHistogram =
         const { telemetry::CachedHistogram::new("comms.rtt.ticks") };
 }
+
+/// Default bound on the idempotent-response cache. Sized so that every
+/// retransmission window a realistic backoff schedule can produce is still
+/// covered, while a long-lived courier serving millions of requests stays
+/// at a fixed footprint instead of growing per answered request.
+pub const DEFAULT_RESPONSE_CACHE_CAP: usize = 1024;
+
+/// Child-slot base for courier-derived spans: keeps the courier's span-id
+/// derivations disjoint from the small slot numbers applications use on
+/// the same parent context.
+const COURIER_SLOT_BASE: u64 = 1 << 32;
 
 /// Retry/backoff/timeout policy for a courier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +50,10 @@ pub struct CommsConfig {
     /// Maximum seeded jitter (in ticks) added to each backoff wait, so a
     /// fleet of couriers does not retransmit in lock-step.
     pub jitter: u64,
+    /// Bound on the idempotent-response cache (entries kept for re-answering
+    /// duplicated requests). `0` disables caching; see
+    /// [`Courier::with_response_cache_cap`] for the degradation semantics.
+    pub response_cache_cap: usize,
 }
 
 impl Default for CommsConfig {
@@ -43,6 +63,7 @@ impl Default for CommsConfig {
             max_retries: 4,
             backoff_factor: 2,
             jitter: 2,
+            response_cache_cap: DEFAULT_RESPONSE_CACHE_CAP,
         }
     }
 }
@@ -83,6 +104,9 @@ pub enum Incoming<P> {
         from: NodeId,
         /// The request's identity (quote in the response).
         id: MsgId,
+        /// Receiver-side trace context (the `comms.recv` span); continue
+        /// the causal chain from it when processing the request.
+        ctx: Option<TraceContext>,
         /// Request payload.
         payload: P,
     },
@@ -92,6 +116,8 @@ pub enum Incoming<P> {
         from: NodeId,
         /// The request this answers.
         re: MsgId,
+        /// Receiver-side trace context (the `comms.recv` span).
+        ctx: Option<TraceContext>,
         /// Response payload.
         payload: P,
         /// Ticks between the original send and this delivery.
@@ -103,8 +129,14 @@ pub enum Incoming<P> {
 /// requests are retransmitted on an exponential-backoff schedule (with
 /// seeded jitter) until answered or expired; receivers dedup by [`MsgId`]
 /// and re-answer duplicated requests from a bounded LRU response cache
-/// (see [`Courier::with_response_cache_cap`]), so duplicated and reordered
-/// deliveries are invisible to the application.
+/// (capacity set by [`CommsConfig::response_cache_cap`]), so duplicated and
+/// reordered deliveries are invisible to the application.
+///
+/// When a request carries a sampled [`TraceContext`], every transmission
+/// (initial send, each retry, the response, cached re-answers) is a span of
+/// that trace: the sender mints a child span per transmission and the
+/// envelope carries it, so the receiver's records name their true cause
+/// even under loss, duplication, and reordering.
 ///
 /// All state is deterministic: the only randomness is the courier's own
 /// seeded jitter RNG, so a fixed seed yields a bit-identical exchange.
@@ -118,33 +150,58 @@ pub struct Courier<P> {
     pending: BTreeMap<u64, PendingRequest<P>>,
     /// Request ids we have surfaced to the application but not yet answered.
     seen: BTreeSet<MsgId>,
-    /// Request id -> the response payload we sent, for re-answering dups.
-    /// Bounded: see [`Courier::with_response_cache_cap`].
-    answered: BTreeMap<MsgId, P>,
+    /// Request id -> the response we sent, for re-answering dups.
+    /// Bounded: see [`CommsConfig::response_cache_cap`].
+    answered: BTreeMap<MsgId, CachedAnswer<P>>,
     /// LRU order over `answered` (front = coldest, evicted first).
     answered_order: VecDeque<MsgId>,
     /// Maximum `answered` entries kept for dup re-answering.
     answered_cap: usize,
+    /// Receive-side sibling slot for dup-event spans (slot 0 is the
+    /// surfaced delivery).
+    dup_slot: u64,
     /// Responses matched to a pending request (for RTT bookkeeping tests).
     completed: u64,
     expired: u64,
     retries: u64,
     dedup_dropped: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
-
-/// Default bound on the idempotent-response cache. Sized so that every
-/// retransmission window a realistic backoff schedule can produce is still
-/// covered, while a long-lived courier serving millions of requests stays
-/// at a fixed footprint instead of growing per answered request.
-const DEFAULT_RESPONSE_CACHE_CAP: usize = 1024;
 
 #[derive(Debug)]
 struct PendingRequest<P> {
     to: NodeId,
     payload: P,
+    /// Root context of the request (retries derive their spans from it).
+    ctx: Option<TraceContext>,
     sent_at: u64,
     deadline: u64,
     tries: u32,
+}
+
+#[derive(Debug)]
+struct CachedAnswer<P> {
+    payload: P,
+    /// Transmission context of the original response, reused verbatim by
+    /// cached re-answers (the requester surfaces at most one copy).
+    ctx: Option<TraceContext>,
+}
+
+/// Emit one courier trace event carrying `ctx` (no-op unless telemetry is
+/// enabled *and* the trace is sampled).
+fn trace_event(
+    name: &'static str,
+    ctx: &TraceContext,
+    node: NodeId,
+    extra: Vec<(telemetry::Name, telemetry::FieldValue)>,
+) {
+    if !telemetry::enabled() || !ctx.sampled {
+        return;
+    }
+    let mut fields = extra;
+    ctx.push_fields(node.0, &mut fields);
+    telemetry::emit_event(name, telemetry::Level::Debug, fields);
 }
 
 impl<P: Clone> Courier<P> {
@@ -159,11 +216,14 @@ impl<P: Clone> Courier<P> {
             seen: BTreeSet::new(),
             answered: BTreeMap::new(),
             answered_order: VecDeque::new(),
-            answered_cap: DEFAULT_RESPONSE_CACHE_CAP,
+            answered_cap: cfg.response_cache_cap,
+            dup_slot: 0,
             completed: 0,
             expired: 0,
             retries: 0,
             dedup_dropped: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -172,7 +232,8 @@ impl<P: Clone> Courier<P> {
         self.node
     }
 
-    /// Override the idempotent-response cache bound (builder style).
+    /// Override the idempotent-response cache bound (builder style; the
+    /// constructor takes it from [`CommsConfig::response_cache_cap`]).
     /// Evicting an entry means a duplicate of that request arriving later
     /// is surfaced to the application as a fresh request instead of being
     /// re-answered from the cache — at-least-once semantics degrade
@@ -203,9 +264,17 @@ impl<P: Clone> Courier<P> {
         )
     }
 
+    /// Response-cache counters: `(hits, misses)`. A *hit* re-answered a
+    /// duplicated request from the cache without involving the application;
+    /// a *miss* is a fresh request surfaced for processing.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
     /// Send a request to `to` at tick `now`; it will be retransmitted on the
     /// backoff schedule until a response arrives or retries are exhausted.
-    /// Returns the request's identity.
+    /// Returns the request's identity. Untraced shorthand for
+    /// [`request_traced`](Self::request_traced).
     pub fn request(
         &mut self,
         net: &mut Network<Envelope<P>>,
@@ -213,17 +282,52 @@ impl<P: Clone> Courier<P> {
         payload: P,
         now: u64,
     ) -> MsgId {
+        self.request_traced(net, to, payload, now, None)
+    }
+
+    /// [`request`](Self::request) carrying a trace context: each
+    /// transmission (this send and every retry) becomes a child span of
+    /// `ctx` and rides in the envelope, giving the receiver its
+    /// happened-before edge.
+    pub fn request_traced(
+        &mut self,
+        net: &mut Network<Envelope<P>>,
+        to: NodeId,
+        payload: P,
+        now: u64,
+        ctx: Option<TraceContext>,
+    ) -> MsgId {
         let id = MsgId {
             node: self.node,
             seq: self.next_seq,
         };
         self.next_seq += 1;
+        // Attempt 0's span; retries use slots 1, 2, … (see `poll`).
+        let send_ctx = ctx.map(|c| c.child(COURIER_SLOT_BASE));
+        if let Some(sc) = &send_ctx {
+            trace_event(
+                "comms.send",
+                sc,
+                self.node,
+                vec![
+                    (
+                        telemetry::Name::Borrowed("to"),
+                        telemetry::FieldValue::U64(to.0),
+                    ),
+                    (
+                        telemetry::Name::Borrowed("try"),
+                        telemetry::FieldValue::U64(0),
+                    ),
+                ],
+            );
+        }
         net.send(
             self.node,
             to,
             Envelope {
                 id,
                 kind: Kind::Request,
+                ctx: send_ctx,
                 payload: payload.clone(),
             },
             now,
@@ -236,6 +340,7 @@ impl<P: Clone> Courier<P> {
             PendingRequest {
                 to,
                 payload,
+                ctx,
                 sent_at: now,
                 deadline: now + self.cfg.wait_for_try(0),
                 tries: 1,
@@ -246,7 +351,8 @@ impl<P: Clone> Courier<P> {
 
     /// Answer the request `re` with `payload`. The response is cached so a
     /// duplicated or retransmitted copy of the request is re-answered
-    /// without involving the application again.
+    /// without involving the application again. Untraced shorthand for
+    /// [`respond_traced`](Self::respond_traced).
     pub fn respond(
         &mut self,
         net: &mut Network<Envelope<P>>,
@@ -255,19 +361,47 @@ impl<P: Clone> Courier<P> {
         payload: P,
         now: u64,
     ) {
-        self.cache_answer(re, payload.clone());
-        self.seen.remove(&re);
+        self.respond_traced(net, to, re, payload, now, None)
+    }
+
+    /// [`respond`](Self::respond) carrying a trace context (usually the
+    /// last processing span of the request): the response transmission
+    /// becomes its child span, carried back to the requester.
+    pub fn respond_traced(
+        &mut self,
+        net: &mut Network<Envelope<P>>,
+        to: NodeId,
+        re: MsgId,
+        payload: P,
+        now: u64,
+        ctx: Option<TraceContext>,
+    ) {
         let id = MsgId {
             node: self.node,
             seq: self.next_seq,
         };
         self.next_seq += 1;
+        let send_ctx = ctx.map(|c| c.child(COURIER_SLOT_BASE + id.seq));
+        if let Some(sc) = &send_ctx {
+            trace_event(
+                "comms.respond",
+                sc,
+                self.node,
+                vec![(
+                    telemetry::Name::Borrowed("to"),
+                    telemetry::FieldValue::U64(to.0),
+                )],
+            );
+        }
+        self.cache_answer(re, payload.clone(), send_ctx);
+        self.seen.remove(&re);
         net.send(
             self.node,
             to,
             Envelope {
                 id,
                 kind: Kind::Response { re },
+                ctx: send_ctx,
                 payload,
             },
             now,
@@ -284,16 +418,36 @@ impl<P: Clone> Courier<P> {
         now: u64,
     ) -> Option<Incoming<P>> {
         debug_assert_eq!(delivered.to, self.node, "misrouted delivery");
-        let Envelope { id, kind, payload } = delivered.payload;
+        let Envelope {
+            id,
+            kind,
+            ctx,
+            payload,
+        } = delivered.payload;
         match kind {
             Kind::Request => {
-                if let Some(answer) = self.answered.get(&id).cloned() {
+                if let Some(answer) = self.answered.get(&id) {
+                    let (answer_payload, answer_ctx) = (answer.payload.clone(), answer.ctx);
                     self.touch_answer(id);
                     self.dedup_dropped += 1;
+                    self.cache_hits += 1;
                     if telemetry::enabled() {
                         DEDUP_DROPPED.with(|c| c.inc());
+                        CACHE_HITS.with(|c| c.inc());
                     }
-                    self.respond_again(net, delivered.from, id, answer, now);
+                    if let Some(c) = &ctx {
+                        self.dup_slot += 1;
+                        trace_event(
+                            "comms.dup",
+                            &c.child(self.dup_slot),
+                            self.node,
+                            vec![(
+                                telemetry::Name::Borrowed("cached"),
+                                telemetry::FieldValue::Bool(true),
+                            )],
+                        );
+                    }
+                    self.respond_again(net, delivered.from, id, answer_payload, answer_ctx, now);
                     return None;
                 }
                 if !self.seen.insert(id) {
@@ -301,11 +455,42 @@ impl<P: Clone> Courier<P> {
                     if telemetry::enabled() {
                         DEDUP_DROPPED.with(|c| c.inc());
                     }
+                    if let Some(c) = &ctx {
+                        self.dup_slot += 1;
+                        trace_event(
+                            "comms.dup",
+                            &c.child(self.dup_slot),
+                            self.node,
+                            vec![(
+                                telemetry::Name::Borrowed("cached"),
+                                telemetry::FieldValue::Bool(false),
+                            )],
+                        );
+                    }
                     return None;
+                }
+                self.cache_misses += 1;
+                if telemetry::enabled() {
+                    CACHE_MISSES.with(|c| c.inc());
+                }
+                // Slot 0 is reserved for the one surfaced delivery of a
+                // transmission; dup events use slots ≥ 1.
+                let recv_ctx = ctx.map(|c| c.child(0));
+                if let Some(rc) = &recv_ctx {
+                    trace_event(
+                        "comms.recv",
+                        rc,
+                        self.node,
+                        vec![(
+                            telemetry::Name::Borrowed("kind"),
+                            telemetry::FieldValue::Str("request".into()),
+                        )],
+                    );
                 }
                 Some(Incoming::Request {
                     from: delivered.from,
                     id,
+                    ctx: recv_ctx,
                     payload,
                 })
             }
@@ -320,6 +505,18 @@ impl<P: Clone> Courier<P> {
                     if telemetry::enabled() {
                         DEDUP_DROPPED.with(|c| c.inc());
                     }
+                    if let Some(c) = &ctx {
+                        self.dup_slot += 1;
+                        trace_event(
+                            "comms.dup",
+                            &c.child(self.dup_slot),
+                            self.node,
+                            vec![(
+                                telemetry::Name::Borrowed("cached"),
+                                telemetry::FieldValue::Bool(false),
+                            )],
+                        );
+                    }
                     return None;
                 };
                 self.completed += 1;
@@ -327,9 +524,28 @@ impl<P: Clone> Courier<P> {
                 if telemetry::enabled() {
                     RTT_TICKS.with(|h| h.record(rtt));
                 }
+                let recv_ctx = ctx.map(|c| c.child(0));
+                if let Some(rc) = &recv_ctx {
+                    trace_event(
+                        "comms.recv",
+                        rc,
+                        self.node,
+                        vec![
+                            (
+                                telemetry::Name::Borrowed("kind"),
+                                telemetry::FieldValue::Str("response".into()),
+                            ),
+                            (
+                                telemetry::Name::Borrowed("rtt"),
+                                telemetry::FieldValue::U64(rtt),
+                            ),
+                        ],
+                    );
+                }
                 Some(Incoming::Response {
                     from: delivered.from,
                     re,
+                    ctx: recv_ctx,
                     payload,
                     rtt,
                 })
@@ -380,18 +596,42 @@ impl<P: Clone> Courier<P> {
                 node: self.node,
                 seq,
             };
+            // Retry attempt `p.tries` gets its own span (slot matches the
+            // attempt index, so replays mint identical ids).
+            let send_ctx = p
+                .ctx
+                .map(|c| c.child(COURIER_SLOT_BASE + u64::from(p.tries)));
             let envelope = Envelope {
                 id,
                 kind: Kind::Request,
+                ctx: send_ctx,
                 payload: p.payload.clone(),
             };
             let to = p.to;
+            let try_no = p.tries;
             let wait = self.cfg.wait_for_try(p.tries);
             p.tries += 1;
             p.deadline = now + wait + jitter;
             self.retries += 1;
             if telemetry::enabled() {
                 RETRIES.with(|c| c.inc());
+            }
+            if let Some(sc) = &send_ctx {
+                trace_event(
+                    "comms.retry",
+                    sc,
+                    self.node,
+                    vec![
+                        (
+                            telemetry::Name::Borrowed("to"),
+                            telemetry::FieldValue::U64(to.0),
+                        ),
+                        (
+                            telemetry::Name::Borrowed("try"),
+                            telemetry::FieldValue::U64(u64::from(try_no)),
+                        ),
+                    ],
+                );
             }
             net.send(self.node, to, envelope, now);
         }
@@ -401,11 +641,15 @@ impl<P: Clone> Courier<P> {
     /// Insert into the bounded response cache, evicting the coldest entries
     /// once the cap is exceeded. Eviction order is deterministic (pure LRU
     /// over the courier's own observation order).
-    fn cache_answer(&mut self, re: MsgId, payload: P) {
+    fn cache_answer(&mut self, re: MsgId, payload: P, ctx: Option<TraceContext>) {
         if self.answered_cap == 0 {
             return;
         }
-        if self.answered.insert(re, payload).is_some() {
+        if self
+            .answered
+            .insert(re, CachedAnswer { payload, ctx })
+            .is_some()
+        {
             self.touch_answer(re);
             return;
         }
@@ -426,13 +670,15 @@ impl<P: Clone> Courier<P> {
     }
 
     /// Re-send a cached answer for a duplicated request (fresh envelope id,
-    /// same `re`); the requester's own dedup absorbs any extra copies.
+    /// same `re` and same transmission context — the requester surfaces at
+    /// most one copy); the requester's own dedup absorbs any extra copies.
     fn respond_again(
         &mut self,
         net: &mut Network<Envelope<P>>,
         to: NodeId,
         re: MsgId,
         payload: P,
+        ctx: Option<TraceContext>,
         now: u64,
     ) {
         let id = MsgId {
@@ -446,6 +692,7 @@ impl<P: Clone> Courier<P> {
             Envelope {
                 id,
                 kind: Kind::Response { re },
+                ctx,
                 payload,
             },
             now,

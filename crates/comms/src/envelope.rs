@@ -1,6 +1,7 @@
 //! Wire envelope: sequence-numbered request/response framing.
 
 use apdm_simnet::NodeId;
+use apdm_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -45,6 +46,10 @@ pub struct Envelope<P> {
     pub id: MsgId,
     /// Request or response.
     pub kind: Kind,
+    /// Causal trace context of this *transmission* (each retry carries its
+    /// own child span), minted by the sending courier. `None` when the
+    /// originating request was untraced or sampled out.
+    pub ctx: Option<TraceContext>,
     /// Application payload.
     pub payload: P,
 }

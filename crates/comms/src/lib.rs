@@ -33,7 +33,7 @@ mod degrade;
 mod envelope;
 mod proto;
 
-pub use courier::{CommsConfig, Courier, Expired, Incoming};
+pub use courier::{CommsConfig, Courier, Expired, Incoming, DEFAULT_RESPONSE_CACHE_CAP};
 pub use degrade::{FailMode, IsolationMonitor};
 pub use envelope::{Envelope, Kind, MsgId};
 pub use proto::SafetyMsg;
@@ -63,8 +63,9 @@ mod tests {
         for now in 1..=ticks {
             for d in net.deliver_at(now) {
                 if d.to == server.node() {
-                    if let Some(Incoming::Request { from, id, payload }) =
-                        server.accept(net, d, now)
+                    if let Some(Incoming::Request {
+                        from, id, payload, ..
+                    }) = server.accept(net, d, now)
                     {
                         server.respond(net, from, id, payload + 1, now);
                     }
@@ -85,7 +86,12 @@ mod tests {
         use apdm_simnet::Delivered;
 
         let (mut net, a, b) = pair(Link::with_latency(1));
-        let mut server = Courier::new(b, CommsConfig::default(), 2).with_response_cache_cap(4);
+        // The cap plumbs through the config (builder override also works).
+        let cfg = CommsConfig {
+            response_cache_cap: 4,
+            ..CommsConfig::default()
+        };
+        let mut server = Courier::new(b, cfg, 2);
         // Answer 10 distinct requests: the cache must never exceed its cap.
         for seq in 0..10u64 {
             let re = MsgId { node: a, seq };
@@ -103,6 +109,7 @@ mod tests {
             payload: Envelope {
                 id: MsgId { node: a, seq },
                 kind: Kind::Request,
+                ctx: None,
                 payload: 0u32,
             },
             sent_at: 2,
@@ -110,8 +117,10 @@ mod tests {
         // A duplicate of a hot (recent) request is absorbed and re-answered
         // from the cache: nothing is surfaced to the application.
         let before = server.counters().3;
+        let (hits_before, _) = server.cache_counters();
         assert_eq!(server.accept(&mut net, duplicate(9), 3), None);
         assert_eq!(server.counters().3, before + 1);
+        assert_eq!(server.cache_counters().0, hits_before + 1, "cache hit");
         // A duplicate of an evicted request is no longer deduped: it comes
         // back as a fresh request for the application to answer again.
         match server.accept(&mut net, duplicate(0), 3) {
@@ -146,6 +155,7 @@ mod tests {
             max_retries: 30,
             backoff_factor: 1,
             jitter: 1,
+            ..CommsConfig::default()
         };
         let mut client = Courier::new(a, cfg, 1);
         let mut server = Courier::new(b, cfg, 2);
@@ -182,6 +192,7 @@ mod tests {
             max_retries: 3,
             backoff_factor: 2,
             jitter: 0,
+            ..CommsConfig::default()
         };
         let mut client = Courier::new(a, cfg, 1);
         let mut expired = Vec::new();
@@ -202,11 +213,129 @@ mod tests {
             max_retries: 4,
             backoff_factor: 2,
             jitter: 0,
+            ..CommsConfig::default()
         };
         assert_eq!(cfg.wait_for_try(0), 3);
         assert_eq!(cfg.wait_for_try(1), 6);
         assert_eq!(cfg.wait_for_try(2), 12);
         assert_eq!(cfg.wait_for_try(3), 24);
+    }
+
+    #[test]
+    fn traced_exchange_builds_a_resolvable_span_dag_under_faults() {
+        use apdm_telemetry as telemetry;
+        use std::rc::Rc;
+
+        let run = || {
+            let collector = Rc::new(telemetry::RingCollector::new(4096));
+            let _g = telemetry::install(collector.clone());
+            let (mut net, a, b) = pair(
+                Link::with_latency(2)
+                    .with_loss(0.4)
+                    .with_dup(0.3)
+                    .with_reorder(0.2),
+            );
+            let cfg = CommsConfig {
+                timeout: 2,
+                max_retries: 20,
+                backoff_factor: 1,
+                jitter: 1,
+                ..CommsConfig::default()
+            };
+            let mut client = Courier::new(a, cfg, 1);
+            let mut server = Courier::new(b, cfg, 2);
+            let root = telemetry::TraceContext::root(telemetry::trace_id(7, 0), true);
+            telemetry::set_tick(0);
+            telemetry::emit_event("req.submit", telemetry::Level::Debug, {
+                let mut f = Vec::new();
+                root.push_fields(a.0, &mut f);
+                f
+            });
+            client.request_traced(&mut net, b, 5u32, 0, Some(root));
+            let mut done = Vec::new();
+            for now in 1..=120 {
+                telemetry::set_tick(now);
+                for d in net.deliver_at(now) {
+                    if d.to == server.node() {
+                        if let Some(Incoming::Request {
+                            from,
+                            id,
+                            ctx,
+                            payload,
+                        }) = server.accept(&mut net, d, now)
+                        {
+                            server.respond_traced(&mut net, from, id, payload + 1, now, ctx);
+                        }
+                    } else if let Some(Incoming::Response { ctx, payload, .. }) =
+                        client.accept(&mut net, d, now)
+                    {
+                        if let Some(c) = ctx {
+                            telemetry::emit_event("req.done", telemetry::Level::Debug, {
+                                let mut f = Vec::new();
+                                c.child(1).push_fields(a.0, &mut f);
+                                f
+                            });
+                        }
+                        done.push(payload);
+                    }
+                }
+                client.poll(&mut net, now);
+                server.poll(&mut net, now);
+            }
+            (collector.records(), done)
+        };
+        let (records, done) = run();
+        assert_eq!(done, vec![6], "request must complete under faults");
+        let graph = telemetry::TraceGraph::build(&records);
+        assert_eq!(graph.traces().len(), 1, "one request, one trace id");
+        assert!(
+            graph.unresolved_parents().is_empty(),
+            "every delivered message must name a recorded cause: {:?}",
+            graph.unresolved_parents()
+        );
+        let trace = graph.traces()[0];
+        let names: Vec<&str> = graph.nodes(trace).iter().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"req.submit"));
+        assert!(names.contains(&"comms.send"));
+        assert!(names.contains(&"comms.recv"));
+        assert!(names.contains(&"req.done"));
+        let path = graph.critical_path(trace).unwrap();
+        assert_eq!(path.steps.first().unwrap().name, "req.submit");
+        assert_eq!(path.steps.last().unwrap().name, "req.done");
+        let waits: u64 = path.steps.iter().map(|s| s.wait_ticks).sum();
+        assert_eq!(waits, path.total_ticks, "critical path must telescope");
+        // Both runs of the same seeded scenario mint identical records.
+        let (records2, _) = run();
+        assert_eq!(records, records2, "traced exchange must be deterministic");
+    }
+
+    #[test]
+    fn untraced_requests_stay_context_free() {
+        let (mut net, a, b) = pair(Link::with_latency(1));
+        let mut client = Courier::new(a, CommsConfig::default(), 1);
+        let mut server = Courier::new(b, CommsConfig::default(), 2);
+        client.request(&mut net, b, 1u32, 0);
+        for now in 1..=6 {
+            for d in net.deliver_at(now) {
+                if d.to == server.node() {
+                    if let Some(Incoming::Request {
+                        from,
+                        id,
+                        ctx,
+                        payload,
+                    }) = server.accept(&mut net, d, now)
+                    {
+                        assert_eq!(ctx, None, "untraced request must carry no context");
+                        server.respond(&mut net, from, id, payload, now);
+                    }
+                } else if let Some(Incoming::Response { ctx, .. }) = client.accept(&mut net, d, now)
+                {
+                    assert_eq!(ctx, None, "untraced response must carry no context");
+                }
+            }
+            client.poll(&mut net, now);
+            server.poll(&mut net, now);
+        }
     }
 
     #[test]
@@ -232,8 +361,9 @@ mod tests {
             for now in 1..=60 {
                 for d in net.deliver_at(now) {
                     if d.to == server.node() {
-                        if let Some(Incoming::Request { from, id, payload }) =
-                            server.accept(&mut net, d, now)
+                        if let Some(Incoming::Request {
+                            from, id, payload, ..
+                        }) = server.accept(&mut net, d, now)
                         {
                             server.respond(&mut net, from, id, payload * 10, now);
                         }

@@ -178,6 +178,7 @@ mod tests {
             alternatives: Vec::new(),
             submitted_at: 0,
             deadline: None,
+            ctx: None,
         }
     }
 

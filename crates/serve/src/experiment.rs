@@ -262,6 +262,7 @@ pub fn run_e13_cell(cfg: &E13Config, load: usize, knobs: Knobs) -> E13CellReport
         },
         cost: Default::default(),
         cache: knobs.cache,
+        slo_every: 0,
     };
     let label = knobs.label();
     let mut svc = PolicyDecisionService::new(

@@ -38,11 +38,13 @@ mod batcher;
 mod experiment;
 mod request;
 mod service;
+mod traced;
 mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionQueue};
 pub use batcher::{BatchPolicy, CostModel, Meter};
 pub use experiment::{run_e13, run_e13_cell, E13CellReport, E13Config, E13Report, Knobs};
 pub use request::{Decision, DecisionRequest, ShedReason, TenantId};
-pub use service::{PolicyDecisionService, ServeConfig, ServeStats};
+pub use service::{standard_slos, PolicyDecisionService, ServeConfig, ServeStats};
+pub use traced::{run_e14, run_e14_mode, E14Config, E14ModeReport, E14Report, ServeMsg, TraceMode};
 pub use workload::{schema, standard_stacks, WorkloadGen, WorkloadOracle, WorkloadSpec};

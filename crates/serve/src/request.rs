@@ -3,6 +3,7 @@
 use apdm_guards::GuardVerdict;
 use apdm_policy::Action;
 use apdm_statespace::State;
+use apdm_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a tenant: one operator organization multiplexed onto a shared
@@ -42,6 +43,11 @@ pub struct DecisionRequest {
     /// service sheds (denies) the request rather than serving it late.
     /// `None` = never expires.
     pub deadline: Option<u64>,
+    /// Causal trace context of the request. The service advances it through
+    /// each pipeline stage (admit → batch → shard → ledger) and hands the
+    /// final hop back on the [`Decision`], so a caller can keep the chain
+    /// going (e.g. into a traced response). `None` = untraced.
+    pub ctx: Option<TraceContext>,
 }
 
 impl DecisionRequest {
@@ -95,6 +101,10 @@ pub struct Decision {
     pub submitted_at: u64,
     /// Tick the decision was rendered.
     pub decided_at: u64,
+    /// The last pipeline-stage span of the request's trace (the ledger
+    /// append for evaluated decisions, the shed event for sheds). `None`
+    /// when the request was untraced.
+    pub ctx: Option<TraceContext>,
 }
 
 impl Decision {
@@ -114,6 +124,7 @@ impl Decision {
             shed: Some(reason),
             submitted_at: req.submitted_at,
             decided_at: now,
+            ctx: req.ctx,
         }
     }
 
@@ -128,6 +139,7 @@ impl Decision {
             shed: None,
             submitted_at: req.submitted_at,
             decided_at: now,
+            ctx: req.ctx,
         }
     }
 
@@ -172,6 +184,7 @@ mod tests {
             alternatives: Vec::new(),
             submitted_at: 5,
             deadline: Some(9),
+            ctx: None,
         }
     }
 

@@ -48,6 +48,7 @@ use apdm_guards::{GuardContext, GuardStack, GuardVerdict, HarmOracle};
 use apdm_ledger::{Ledger, RunEvent, RunRecorder};
 use apdm_policy::Action;
 use apdm_telemetry as telemetry;
+use apdm_telemetry::{SloMonitor, SloSpec, TraceContext};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::{AdmissionConfig, AdmissionQueue};
@@ -69,6 +70,8 @@ thread_local! {
         const { telemetry::CachedCounter::new("serve.shed.quota") };
     static SHED_DEADLINE: telemetry::CachedCounter =
         const { telemetry::CachedCounter::new("serve.shed.deadline") };
+    static SHED_TOTAL: telemetry::CachedCounter =
+        const { telemetry::CachedCounter::new("serve.shed.total") };
     static QUEUE_TICKS: telemetry::CachedHistogram =
         const { telemetry::CachedHistogram::new("serve.latency.queue_ticks") };
     static BATCH_SIZE: telemetry::CachedHistogram =
@@ -97,6 +100,10 @@ pub struct ServeConfig {
     pub cost: CostModel,
     /// Enable the per-shard guard-verdict memo cache.
     pub cache: bool,
+    /// Evaluate the standard SLOs ([`standard_slos`]) every this many ticks
+    /// (burn-rate windows are delimited by the evaluations). `0` disables
+    /// SLO monitoring; it is also inert unless telemetry is installed.
+    pub slo_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -109,8 +116,54 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             cost: CostModel::default(),
             cache: true,
+            slo_every: 0,
         }
     }
+}
+
+/// The serving layer's standard objectives, evaluated every
+/// [`ServeConfig::slo_every`] ticks:
+///
+/// * `serve.queue_wait` — 99% of decided requests wait at most 15 ticks in
+///   the admission queue (threshold on a log2-bucket edge for exactness).
+/// * `serve.shed_rate` — at most 5% of submissions are shed.
+pub fn standard_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency("serve.queue_wait", "serve.latency.queue_ticks", 15, 0.99),
+        SloSpec::counter_ratio(
+            "serve.shed_rate",
+            "serve.shed.total",
+            "serve.submitted",
+            0.95,
+        ),
+    ]
+}
+
+/// Slot deriving each pipeline stage's span from its predecessor. The
+/// stages form a linear chain (each stage's parent is the previous stage),
+/// so a single slot never collides — it is only ever used once per parent.
+const STAGE_SLOT: u64 = 1;
+
+/// Advance a request's trace by one pipeline stage: derive the next hop in
+/// the causal chain and, when this trace records, emit the stage event.
+/// Derivation is unconditional (cheap hash mix), so causality survives
+/// stages running on threads without a telemetry dispatch.
+fn stage_event(
+    ctx: Option<TraceContext>,
+    name: &'static str,
+    device: u64,
+    extra: &[(&'static str, u64)],
+) -> Option<TraceContext> {
+    let next = ctx?.child(STAGE_SLOT);
+    if telemetry::enabled() && next.sampled {
+        let mut fields: Vec<(telemetry::Name, telemetry::FieldValue)> = extra
+            .iter()
+            .map(|&(k, v)| (telemetry::Name::Borrowed(k), telemetry::FieldValue::U64(v)))
+            .collect();
+        next.push_fields(device, &mut fields);
+        telemetry::emit_event(name, telemetry::Level::Debug, fields);
+    }
+    Some(next)
 }
 
 /// Exact counters over one service lifetime (mirrored into the telemetry
@@ -170,6 +223,7 @@ pub struct PolicyDecisionService<O> {
     oracle: O,
     recorder: RunRecorder,
     stats: ServeStats,
+    slo: SloMonitor,
 }
 
 impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
@@ -195,6 +249,9 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
             oracle,
             recorder: RunRecorder::new(name, cfg.seed, cfg.shards as u64),
             stats: ServeStats::default(),
+            slo: standard_slos()
+                .into_iter()
+                .fold(SloMonitor::new(), SloMonitor::with_objective),
             cfg,
         }
     }
@@ -222,11 +279,14 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
     /// Offer a request. `None` means admitted (the decision will come out
     /// of a later [`tick`](Self::tick)); `Some` is an immediate fail-closed
     /// shed denial (queue full or tenant over quota).
-    pub fn submit(&mut self, req: DecisionRequest, now: u64) -> Option<Decision> {
+    pub fn submit(&mut self, mut req: DecisionRequest, now: u64) -> Option<Decision> {
         self.stats.submitted += 1;
         if telemetry::enabled() {
             SUBMITTED.with(|c| c.inc());
         }
+        // The admission stage rules on every request — admitted or shed —
+        // so its span is minted before the queue decides.
+        req.ctx = stage_event(req.ctx, "serve.admit", req.device, &[]);
         match self.queue.submit(req) {
             None => {
                 self.stats.admitted += 1;
@@ -273,8 +333,24 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
                 // Everything dequeued had expired; re-examine the queue.
                 continue;
             }
+            let size = batch.len() as u64;
+            for req in &mut batch {
+                req.ctx = stage_event(req.ctx, "serve.batch", req.device, &[("size", size)]);
+            }
             let started = Instant::now();
             let (verdicts, hits, misses) = self.evaluate(&batch, now);
+            // Shard-stage spans are minted on the driver thread *after* the
+            // parallel section (workers carry no telemetry dispatch); the
+            // virtual timestamp is the same tick either way.
+            let shards = self.cfg.shards as u64;
+            for req in &mut batch {
+                req.ctx = stage_event(
+                    req.ctx,
+                    "serve.shard",
+                    req.device,
+                    &[("shard", req.device % shards)],
+                );
+            }
             let cost = self.cfg.cost.batch_cost(hits, misses);
             self.meter.charge(cost);
             self.stats.batches += 1;
@@ -293,6 +369,9 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
         if telemetry::enabled() {
             let depth = self.queue.len() as f64;
             telemetry::with_registry(|reg| reg.gauge("serve.queue.depth").set(depth));
+            if self.cfg.slo_every > 0 && now.is_multiple_of(self.cfg.slo_every) {
+                self.slo.evaluate();
+            }
         }
         decisions
     }
@@ -368,7 +447,8 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
 
     /// Render, count, audit and instrument one evaluated decision.
     fn decide(&mut self, req: &DecisionRequest, verdict: GuardVerdict, now: u64) -> Decision {
-        let decision = Decision::evaluated(req, verdict, now);
+        let mut decision = Decision::evaluated(req, verdict, now);
+        decision.ctx = stage_event(req.ctx, "serve.ledger", req.device, &[]);
         self.stats.decided += 1;
         match &decision.verdict {
             GuardVerdict::Allow | GuardVerdict::AllowWithObligations(_) => self.stats.allowed += 1,
@@ -385,7 +465,8 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
 
     /// Render, count, audit and instrument one shed denial.
     fn shed(&mut self, req: &DecisionRequest, reason: ShedReason, now: u64) -> Decision {
-        let decision = Decision::shed(req, reason, now);
+        let mut decision = Decision::shed(req, reason, now);
+        decision.ctx = stage_event(req.ctx, "serve.shed", req.device, &[]);
         let (field, counter) = match reason {
             ShedReason::Capacity => (&mut self.stats.shed_capacity, &SHED_CAPACITY),
             ShedReason::Quota => (&mut self.stats.shed_quota, &SHED_QUOTA),
@@ -394,6 +475,7 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
         *field += 1;
         if telemetry::enabled() {
             counter.with(|c| c.inc());
+            SHED_TOTAL.with(|c| c.inc());
         }
         self.record(&decision, now);
         decision
@@ -441,6 +523,7 @@ mod tests {
             alternatives: Vec::new(),
             submitted_at: now,
             deadline,
+            ctx: None,
         }
     }
 

@@ -185,6 +185,7 @@ impl WorkloadGen {
             alternatives,
             submitted_at: now,
             deadline: self.spec.deadline_slack.map(|s| now + s),
+            ctx: None,
         }
     }
 }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use apdm_serve::{
-    standard_stacks, AdmissionConfig, BatchPolicy, Decision, PolicyDecisionService, ServeConfig,
-    WorkloadGen, WorkloadOracle, WorkloadSpec,
+    run_e14_mode, standard_stacks, AdmissionConfig, BatchPolicy, Decision, E14Config,
+    PolicyDecisionService, ServeConfig, TraceMode, WorkloadGen, WorkloadOracle, WorkloadSpec,
 };
 
 /// Drive one service to completion over a generated workload; returns the
@@ -134,6 +134,55 @@ proptest! {
                 );
                 prop_assert!(d.reason().starts_with("shed:"));
             }
+        }
+    }
+}
+
+proptest! {
+    /// Trace propagation survives whatever the network throws at it: under
+    /// arbitrary loss, duplication, reordering and a mid-run partition,
+    /// every delivered message's span parent resolves in the recorded DAG
+    /// (causality is never orphaned), every critical path telescopes (the
+    /// assertion inside `run_e14_mode`), and the trace stream is
+    /// bit-identical across worker thread counts 1/3/8.
+    #[test]
+    fn trace_propagation_survives_network_faults(
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.5,
+        dup in 0.0f64..0.4,
+        reorder in 0.0f64..0.4,
+        partition_at in 0u64..12,
+    ) {
+        let cfg = E14Config {
+            seed,
+            loss,
+            dup,
+            reorder,
+            // 0..3 → no partition; otherwise a 6-tick partition mid-run.
+            partition_at: if partition_at < 3 { 0 } else { partition_at },
+            partition_ticks: 6,
+            arrival_ticks: 10,
+            per_tick: 2,
+            max_ticks: 2_000,
+            ..E14Config::default()
+        };
+        let (report, records) = run_e14_mode(&cfg, TraceMode::Full);
+        prop_assert_eq!(
+            report.unresolved_parents, 0,
+            "a delivered message must always name its recorded cause"
+        );
+        prop_assert_eq!(report.traces, report.offered, "full mode records every trace");
+        prop_assert_eq!(report.paths_checked, report.traces);
+        prop_assert_eq!(report.completed + report.expired, report.offered);
+        for threads in [3usize, 8] {
+            let (_, other) = run_e14_mode(
+                &E14Config { threads, ..cfg.clone() },
+                TraceMode::Full,
+            );
+            prop_assert_eq!(
+                &records, &other,
+                "trace stream must be bit-identical at {} threads", threads
+            );
         }
     }
 }

@@ -38,6 +38,8 @@ use apdm_par::Watchdog;
 use apdm_policy::{Action, Condition, EcaRule, Event, PolicyEngine};
 use apdm_simnet::{Link, Network, NodeId, Topology};
 use apdm_statespace::{State, StateDelta, StateSchema, VarId};
+use apdm_telemetry as telemetry;
+use apdm_telemetry::{SloMonitor, SloSpec};
 
 use crate::oracle::actions;
 use crate::runner::ParRunner;
@@ -107,6 +109,11 @@ pub struct E12CellReport {
     pub retries: u64,
     /// Duplicate deliveries absorbed by courier dedup.
     pub dedup_dropped: u64,
+    /// Duplicated requests re-answered from the couriers' idempotent
+    /// response caches (no application involvement).
+    pub response_cache_hits: u64,
+    /// Fresh requests surfaced to the application (cache misses).
+    pub response_cache_misses: u64,
     /// Messages the network duplicated / reordered.
     pub net_duplicated: u64,
     /// Messages the network reordered.
@@ -268,6 +275,7 @@ fn admission_phase(
                     from,
                     id,
                     payload: SafetyMsg::Admission(request),
+                    ..
                 }) => {
                     let decision = guard.review(&request, &member_states, now, &mut rng);
                     if decision.is_admitted() {
@@ -411,6 +419,24 @@ pub fn run_e12_cell(
             .all(|a| !a.alive)
     };
 
+    // E12's objectives, evaluated over the cell's own instruments when a
+    // telemetry dispatch is installed (inert otherwise): compromised
+    // devices contained within 63 ticks of defection, and at most 1% of
+    // live device ticks producing harm.
+    let mut slo = SloMonitor::new()
+        .with_objective(SloSpec::latency(
+            "e12.containment",
+            "e12.containment.ticks",
+            63,
+            0.99,
+        ))
+        .with_objective(SloSpec::counter_ratio(
+            "e12.harm_rate",
+            "e12.harms",
+            "e12.device_ticks",
+            0.99,
+        ));
+
     let mut t = 0u64;
     while t < cfg.ticks || !contained(&agents) {
         t += 1;
@@ -419,6 +445,9 @@ pub fn run_e12_cell(
             break;
         }
         let scripted = t <= cfg.ticks;
+        if telemetry::enabled() {
+            telemetry::set_tick(t);
+        }
 
         // 1. Partition schedule.
         if partition_ticks > 0 {
@@ -440,7 +469,9 @@ pub fn run_e12_cell(
             if idx == 0 {
                 // Coordinator.
                 match incoming {
-                    Incoming::Request { from, id, payload } => match payload {
+                    Incoming::Request {
+                        from, id, payload, ..
+                    } => match payload {
                         SafetyMsg::KillVote(ballot) => {
                             couriers[0].respond(&mut net, from, id, SafetyMsg::VoteAck, t);
                             if let Some(order) = quorum.apply_ballot(&ballot, t) {
@@ -522,7 +553,9 @@ pub fn run_e12_cell(
                 let a = idx - 1 - cfg.n_watchers;
                 agents[a].monitor.heard(t);
                 match incoming {
-                    Incoming::Request { from, id, payload } => {
+                    Incoming::Request {
+                        from, id, payload, ..
+                    } => {
                         if let SafetyMsg::KillOrder {
                             subject, reason, ..
                         } = payload
@@ -568,6 +601,7 @@ pub fn run_e12_cell(
                             state,
                             action,
                         },
+                    ..
                 } = incoming
                 {
                     let ballot = council.ballot_of(m, ballot_id, &state, &action);
@@ -671,6 +705,7 @@ pub fn run_e12_cell(
         }
 
         // 7. Device decide phase — sharded, pure; then a sequential apply.
+        let harms_before = harms;
         let hostile = t >= rogue_from;
         let intents: Vec<Option<String>> =
             apdm_par::run_sharded(cfg.threads.max(1), &mut agents, |_, shard| {
@@ -707,15 +742,36 @@ pub fn run_e12_cell(
 
         if containment_tick.is_none() && contained(&agents) {
             containment_tick = Some(t);
+            if telemetry::enabled() {
+                let latency = t.saturating_sub(rogue_from);
+                telemetry::with_registry(|reg| {
+                    reg.histogram("e12.containment.ticks").record(latency)
+                });
+            }
+        }
+        if telemetry::enabled() {
+            let alive = agents.iter().filter(|a| a.alive && a.admitted).count() as u64;
+            telemetry::with_registry(|reg| {
+                reg.counter("e12.harms").add(harms - harms_before);
+                reg.counter("e12.device_ticks").add(alive);
+            });
+            // Burn-rate windows of 16 ticks, emitted as `slo.eval` events.
+            if t.is_multiple_of(16) {
+                slo.evaluate();
+            }
         }
     }
 
     let (mut expired_requests, mut retries, mut dedup_dropped) = (0u64, 0u64, 0u64);
+    let (mut response_cache_hits, mut response_cache_misses) = (0u64, 0u64);
     for courier in &couriers {
         let (_, expired, courier_retries, dropped) = courier.counters();
         expired_requests += expired;
         retries += courier_retries;
         dedup_dropped += dropped;
+        let (hits, misses) = courier.cache_counters();
+        response_cache_hits += hits;
+        response_cache_misses += misses;
     }
     let (net_duplicated, net_reordered) = net.fault_stats();
     let ledger = recorder.finish(t, harms);
@@ -735,6 +791,8 @@ pub fn run_e12_cell(
         expired_requests,
         retries,
         dedup_dropped,
+        response_cache_hits,
+        response_cache_misses,
         net_duplicated,
         net_reordered,
         watchdog: tripped,

@@ -24,7 +24,7 @@ use crate::record::{FieldValue, Level, Name, RecordKind, TraceRecord, VirtualTs}
 // ---------------------------------------------------------------------------
 
 /// Append a JSON string literal (with escaping) to `out`.
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -53,7 +53,7 @@ fn write_field_value(out: &mut String, value: &FieldValue) {
     }
 }
 
-fn write_fields_object(out: &mut String, fields: &[(Name, FieldValue)]) {
+pub(crate) fn write_fields_object(out: &mut String, fields: &[(Name, FieldValue)]) {
     out.push('{');
     for (i, (key, value)) in fields.iter().enumerate() {
         if i > 0 {
@@ -248,7 +248,7 @@ pub fn export_chrome(records: &[TraceRecord]) -> String {
 /// A parsed JSON value with 64-bit integer fidelity (integers without a
 /// fraction or exponent stay exact rather than passing through `f64`).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     U64(u64),
@@ -288,7 +288,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,

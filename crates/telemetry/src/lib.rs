@@ -30,6 +30,20 @@
 //! the hot path — and [`Registry::render_summary`] prints a percentile
 //! table (p50/p90/p99).
 //!
+//! ## Cross-device tracing, SLOs, analysis
+//!
+//! * [`TraceContext`] is the compact causal context (trace id, span id,
+//!   parent, seeded sampling decision) that rides across `Courier` hops and
+//!   through the serve pipeline; [`TraceSampler`] decides head-based
+//!   sampling deterministically from `(seed, trace_id)`.
+//! * [`SloMonitor`] evaluates [`SloSpec`] objectives (counter ratios,
+//!   histogram latency thresholds) over windowed instrument deltas and
+//!   emits `slo.eval` burn-rate events.
+//! * [`TraceGraph`] rebuilds the cross-device span DAG from an exported
+//!   trace, [`TraceGraph::critical_path`] reconstructs per-request critical
+//!   paths (waits telescope exactly to end-to-end latency), and
+//!   [`export_chrome_devices`] renders one Chrome track per device.
+//!
 //! ## Example
 //!
 //! ```
@@ -58,20 +72,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod clock;
+mod context;
 mod export;
 mod metrics;
 mod record;
+mod slo;
 mod span;
 mod subscriber;
 
+pub use analyze::{export_chrome_devices, CriticalPath, PathStep, TraceGraph, TraceNode};
 pub use clock::{current_tick, reset_clock, set_tick};
+pub use context::{
+    mix64, trace_id, TraceContext, TraceSampler, FIELD_DEVICE, FIELD_PARENT, FIELD_SPAN,
+    FIELD_TRACE,
+};
 pub use export::{export_chrome, export_jsonl, import_jsonl, record_to_json, ImportError};
 pub use metrics::{
     bucket_index, bucket_upper_edge, CachedCounter, CachedHistogram, Counter, Gauge, Histogram,
     HistogramSummary, Registry, Sampler, BUCKETS,
 };
 pub use record::{FieldValue, Level, Name, RecordKind, TraceRecord, VirtualTs};
+pub use slo::{SloMonitor, SloSource, SloSpec, SloStatus};
 pub use span::{complete_span, current_span, emit_event, enter_span, span_depth, Span};
 pub use subscriber::{
     current_registry, emit, enabled, install, install_dispatch, with_registry, Dispatch,

@@ -187,6 +187,17 @@ impl Histogram {
         Some(self.max.load(Ordering::Relaxed))
     }
 
+    /// A point-in-time snapshot of the per-bucket counts. Used by the SLO
+    /// monitor to diff consecutive windows; pairs with [`bucket_upper_edge`]
+    /// to resolve each slot's value range.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
     /// A point-in-time summary (count, mean, extremes, p50/p90/p99).
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();

@@ -1,0 +1,304 @@
+//! Service-level objectives over the metrics registry, with windowed
+//! burn-rate evaluation.
+//!
+//! An [`SloSpec`] names a target fraction of "good" outcomes (e.g. *99% of
+//! decisions under 64 queue ticks*, *at most 5% of submissions shed*) and
+//! points at the registry instruments that measure it: either a bad/total
+//! counter pair or a histogram with a latency threshold. An [`SloMonitor`]
+//! holds a set of specs and, on each [`evaluate`](SloMonitor::evaluate)
+//! call, diffs the instruments against the previous call — the window is
+//! exactly the span between consecutive evaluations — and computes the
+//! **burn rate**: the window's error fraction divided by the objective's
+//! error budget (`1 − target`). A burn rate of 1.0 consumes budget exactly
+//! as provisioned; above 1.0 the objective is breaching and an `slo.eval`
+//! event is emitted at [`Level::Warn`].
+//!
+//! Everything is deterministic: instruments are read through the installed
+//! registry, windows are delimited by explicit `evaluate` calls (the caller
+//! ties them to virtual ticks), and histogram thresholds resolve at bucket
+//! granularity — a bucket counts as *bad* when any value in it can exceed
+//! the threshold, so put thresholds on bucket edges (`2^k − 1`) for exact
+//! accounting.
+
+use crate::metrics::{bucket_upper_edge, BUCKETS};
+use crate::record::{FieldValue, Level, Name};
+use crate::span::emit_event;
+use crate::subscriber::with_registry;
+
+/// Where an objective's good/bad accounting comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSource {
+    /// `bad / total` over two counters (e.g. sheds over submissions).
+    CounterRatio {
+        /// Counter of bad outcomes.
+        bad: String,
+        /// Counter of all outcomes.
+        total: String,
+    },
+    /// Fraction of histogram observations above `threshold` (bucket
+    /// resolved; see the module docs).
+    HistogramAbove {
+        /// Histogram of observations.
+        histogram: String,
+        /// Largest still-good value.
+        threshold: u64,
+    },
+}
+
+/// One service-level objective: a name, a good-outcome target, a source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name (rides on emitted `slo.eval` events).
+    pub name: String,
+    /// Target fraction of good outcomes in `[0, 1)`; the error budget is
+    /// `1 − target`.
+    pub target: f64,
+    /// Instruments measuring the objective.
+    pub source: SloSource,
+}
+
+impl SloSpec {
+    /// An objective over a bad/total counter pair.
+    pub fn counter_ratio(
+        name: impl Into<String>,
+        bad: impl Into<String>,
+        total: impl Into<String>,
+        target: f64,
+    ) -> SloSpec {
+        SloSpec {
+            name: name.into(),
+            target,
+            source: SloSource::CounterRatio {
+                bad: bad.into(),
+                total: total.into(),
+            },
+        }
+    }
+
+    /// A latency objective: at least `target` of the histogram's
+    /// observations at or under `threshold`.
+    pub fn latency(
+        name: impl Into<String>,
+        histogram: impl Into<String>,
+        threshold: u64,
+        target: f64,
+    ) -> SloSpec {
+        SloSpec {
+            name: name.into(),
+            target,
+            source: SloSource::HistogramAbove {
+                histogram: histogram.into(),
+                threshold,
+            },
+        }
+    }
+
+    /// This objective's error budget (`1 − target`, floored at a tiny
+    /// positive value so burn rates stay finite).
+    pub fn error_budget(&self) -> f64 {
+        (1.0 - self.target).max(1e-9)
+    }
+}
+
+/// One objective's reading for one evaluation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub name: String,
+    /// Bad outcomes in the window.
+    pub bad: u64,
+    /// Total outcomes in the window.
+    pub total: u64,
+    /// `bad / total` (0 when the window is empty).
+    pub error_fraction: f64,
+    /// `error_fraction / error_budget`; 1.0 burns budget exactly as
+    /// provisioned, above 1.0 the objective is breaching.
+    pub burn_rate: f64,
+    /// `burn_rate > 1`.
+    pub breached: bool,
+}
+
+/// Windowed burn-rate evaluator over a set of [`SloSpec`]s. See the module
+/// docs for semantics.
+#[derive(Debug, Default)]
+pub struct SloMonitor {
+    specs: Vec<SloSpec>,
+    /// Cumulative `(bad, total)` per spec at the previous evaluation.
+    prev: Vec<(u64, u64)>,
+}
+
+impl SloMonitor {
+    /// An empty monitor.
+    pub fn new() -> SloMonitor {
+        SloMonitor::default()
+    }
+
+    /// Add an objective (builder style).
+    pub fn with_objective(mut self, spec: SloSpec) -> SloMonitor {
+        self.add(spec);
+        self
+    }
+
+    /// Add an objective.
+    pub fn add(&mut self, spec: SloSpec) {
+        self.specs.push(spec);
+        self.prev.push((0, 0));
+    }
+
+    /// The configured objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Read each objective's instruments, diff against the previous call,
+    /// and emit one `slo.eval` event per objective ([`Level::Warn`] when
+    /// breaching, [`Level::Debug`] otherwise). Returns the per-objective
+    /// statuses; empty when no telemetry dispatch is installed.
+    pub fn evaluate(&mut self) -> Vec<SloStatus> {
+        // Read all cumulative values first, then emit: emitting while
+        // reading would interleave registry borrows with subscriber calls.
+        let cumulative: Option<Vec<(u64, u64)>> = with_registry(|reg| {
+            self.specs
+                .iter()
+                .map(|spec| match &spec.source {
+                    SloSource::CounterRatio { bad, total } => {
+                        (reg.counter(bad).get(), reg.counter(total).get())
+                    }
+                    SloSource::HistogramAbove {
+                        histogram,
+                        threshold,
+                    } => {
+                        let h = reg.histogram(histogram);
+                        let counts = h.bucket_counts();
+                        let bad: u64 = (0..BUCKETS)
+                            .filter(|&i| bucket_upper_edge(i) > *threshold)
+                            .map(|i| counts[i])
+                            .sum();
+                        (bad, h.count())
+                    }
+                })
+                .collect()
+        });
+        let Some(cumulative) = cumulative else {
+            return Vec::new();
+        };
+        let mut statuses = Vec::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            let (cum_bad, cum_total) = cumulative[i];
+            let (prev_bad, prev_total) = self.prev[i];
+            self.prev[i] = (cum_bad, cum_total);
+            let bad = cum_bad.saturating_sub(prev_bad);
+            let total = cum_total.saturating_sub(prev_total);
+            let error_fraction = if total == 0 {
+                0.0
+            } else {
+                bad as f64 / total as f64
+            };
+            let burn_rate = error_fraction / spec.error_budget();
+            let breached = burn_rate > 1.0;
+            let level = if breached { Level::Warn } else { Level::Debug };
+            emit_event(
+                "slo.eval",
+                level,
+                vec![
+                    (
+                        Name::Borrowed("objective"),
+                        FieldValue::Str(spec.name.clone()),
+                    ),
+                    (Name::Borrowed("bad"), FieldValue::U64(bad)),
+                    (Name::Borrowed("total"), FieldValue::U64(total)),
+                    (
+                        Name::Borrowed("error_fraction"),
+                        FieldValue::F64(error_fraction),
+                    ),
+                    (Name::Borrowed("burn_rate"), FieldValue::F64(burn_rate)),
+                    (Name::Borrowed("breached"), FieldValue::Bool(breached)),
+                ],
+            );
+            statuses.push(SloStatus {
+                name: spec.name.clone(),
+                bad,
+                total,
+                error_fraction,
+                burn_rate,
+                breached,
+            });
+        }
+        statuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, with_registry, RecordKind, RingCollector};
+    use std::rc::Rc;
+
+    #[test]
+    fn counter_ratio_burn_rate_windows() {
+        let collector = Rc::new(RingCollector::new(64));
+        let _g = install(collector.clone());
+        let mut mon =
+            SloMonitor::new().with_objective(SloSpec::counter_ratio("shed", "bad", "total", 0.95));
+        with_registry(|r| {
+            r.counter("bad").add(1);
+            r.counter("total").add(100);
+        });
+        let s = &mon.evaluate()[0];
+        // 1% errors against a 5% budget: burn 0.2, healthy.
+        assert_eq!((s.bad, s.total), (1, 100));
+        assert!((s.burn_rate - 0.2).abs() < 1e-9, "burn={}", s.burn_rate);
+        assert!(!s.breached);
+        // Next window only sees the delta.
+        with_registry(|r| {
+            r.counter("bad").add(20);
+            r.counter("total").add(100);
+        });
+        let s = &mon.evaluate()[0];
+        assert_eq!((s.bad, s.total), (20, 100));
+        assert!(s.breached, "20% errors on a 5% budget must breach");
+        let events: Vec<_> = collector
+            .records()
+            .into_iter()
+            .filter(|r| r.kind == RecordKind::Event && r.name == "slo.eval")
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].level, Level::Debug);
+        assert_eq!(events[1].level, Level::Warn);
+    }
+
+    #[test]
+    fn latency_objective_resolves_at_bucket_edges() {
+        let _g = install(Rc::new(RingCollector::new(64)));
+        let mut mon = SloMonitor::new().with_objective(SloSpec::latency(
+            "queue-p99",
+            "queue.ticks",
+            63, // bucket edge: values 0..=63 are good
+            0.90,
+        ));
+        with_registry(|r| {
+            let h = r.histogram("queue.ticks");
+            for _ in 0..95 {
+                h.record(10);
+            }
+            for _ in 0..5 {
+                h.record(200);
+            }
+        });
+        let s = &mon.evaluate()[0];
+        assert_eq!((s.bad, s.total), (5, 100));
+        assert!((s.error_fraction - 0.05).abs() < 1e-9);
+        assert!(!s.breached, "5% errors fit a 10% budget");
+    }
+
+    #[test]
+    fn empty_window_and_no_dispatch_are_quiet() {
+        let mut mon = SloMonitor::new().with_objective(SloSpec::counter_ratio("x", "b", "t", 0.99));
+        assert!(mon.evaluate().is_empty(), "no dispatch installed");
+        let _g = install(Rc::new(RingCollector::new(8)));
+        let s = &mon.evaluate()[0];
+        assert_eq!((s.bad, s.total), (0, 0));
+        assert_eq!(s.burn_rate, 0.0);
+        assert!(!s.breached);
+    }
+}

@@ -32,6 +32,7 @@ fn main() {
         max_retries: 16,
         backoff_factor: 1,
         jitter: 2,
+        ..CommsConfig::default()
     };
     let mut w = Courier::new(watcher, cfg, 7);
     let mut c = Courier::new(coordinator, cfg, 7);

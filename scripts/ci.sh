@@ -100,9 +100,40 @@ print(f"e13 smoke: {len(cells)} cells, non-zero throughput, no sheds at load={lo
       f"all sheds fail closed")
 PY
 
-echo "==> strong-scaling table (BENCH_e11_parallel.json)"
-./target/release/apdm-experiments run e11 --json --quiet > BENCH_e11_parallel.json
-python3 - BENCH_e11_parallel.json <<'PY'
+echo "==> distributed-tracing smoke (E14 traced run + trace-analyze round trip)"
+./target/release/apdm-experiments run e14 --seed 42 \
+    --out "$trace_dir/e14-trace.jsonl" --json --quiet > "$trace_dir/e14-report.json"
+./target/release/apdm-experiments trace-analyze "$trace_dir/e14-trace.jsonl" \
+    --chrome "$trace_dir/e14-chrome.json" > "$trace_dir/e14-paths.txt" \
+    || { echo "e14 smoke: trace-analyze failed (orphaned spans?)"; exit 1; }
+python3 - "$trace_dir/e14-report.json" "$trace_dir/e14-paths.txt" \
+    "$trace_dir/e14-chrome.json" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+if report["unresolved_parents"] != 0:
+    sys.exit(f"e14 smoke: {report['unresolved_parents']} spans have unresolved parents")
+if report["traces"] != report["offered"]:
+    sys.exit(f"e14 smoke: {report['traces']} traces for {report['offered']} requests")
+
+paths = open(sys.argv[2]).read()
+stages = ["client.submit", "comms.send", "comms.recv", "serve.admit", "serve.batch",
+          "serve.shard", "serve.ledger", "comms.respond", "client.done"]
+missing = [s for s in stages if s not in paths]
+if missing:
+    sys.exit(f"e14 smoke: pipeline stages missing from critical paths: {missing}")
+
+chrome = json.load(open(sys.argv[3]))
+devices = {e["tid"] for e in chrome["traceEvents"] if e.get("ph") == "X"}
+if len(devices) < 2:
+    sys.exit(f"e14 smoke: device timeline covers {len(devices)} device(s), expected several")
+print(f"e14 smoke: {report['traces']} traces span all {len(stages)} pipeline stages, "
+      f"device timeline covers {len(devices)} devices")
+PY
+
+echo "==> strong-scaling smoke (E11 table)"
+./target/release/apdm-experiments run e11 --json --quiet > "$trace_dir/e11-report.json"
+python3 - "$trace_dir/e11-report.json" <<'PY'
 import json, sys
 
 report = json.load(open(sys.argv[1]))

@@ -10,6 +10,7 @@
 //! apdm-experiments replay run.jsonl [--seed 42] [--from-snapshot]
 //! apdm-experiments trace [--seed 42] [--out trace.jsonl]
 //! apdm-experiments serve-bench [--seed 42] [--smoke] [--out report.json]
+//! apdm-experiments trace-analyze trace.jsonl [--chrome out.json]
 //! ```
 //!
 //! Parallelism: the global `--threads N` flag sets the worker count for
@@ -34,6 +35,13 @@
 //! `<path>.chrome.json`, then prints the metrics percentile table
 //! (per-guard latency, per-tick phase timings). The `trace` subcommand does
 //! this for the canonical recorded scenario in one step.
+//!
+//! Distributed tracing: `run e14 --out traced.jsonl` records the full-mode
+//! causally-traced serve run (experiment E14) as JSONL, and
+//! `trace-analyze` rebuilds the cross-device span DAG from any such
+//! export, prints each trace's critical path (per-step waits telescope to
+//! the end-to-end tick latency), and with `--chrome <path>` writes a
+//! multi-device Chrome timeline (one track per device).
 
 use std::env;
 use std::fs;
@@ -42,7 +50,7 @@ use std::rc::Rc;
 
 use apdm::comms::FailMode;
 use apdm::ledger::Ledger;
-use apdm::serve::{run_e13, E13Config};
+use apdm::serve::{run_e13, run_e14, run_e14_mode, E13Config, E14Config, TraceMode};
 use apdm::sim::contagion::{run_contagion, ContagionArm};
 use apdm::sim::degraded::{run_e12, run_e12_cell, E12Config};
 use apdm::sim::faults::Pathway;
@@ -86,6 +94,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e13",
         "serving: micro-batching decision service under load (VI at fleet scale)",
     ),
+    (
+        "e14",
+        "distributed tracing: causal propagation, critical paths, overhead",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -95,6 +107,7 @@ fn main() -> ExitCode {
     let mut seed: u64 = 42;
     let mut out: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut chrome: Option<String> = None;
     let mut from_snapshot = false;
     let mut threads: usize = 0;
     let mut cache = true;
@@ -136,6 +149,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--chrome" => match iter.next() {
+                Some(path) => chrome = Some(path.clone()),
+                None => {
+                    eprintln!("--chrome requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
@@ -166,6 +186,7 @@ fn main() -> ExitCode {
         seed,
         json,
         out,
+        chrome,
         from_snapshot,
         threads,
         cache,
@@ -190,6 +211,7 @@ fn dispatch(
     seed: u64,
     json: bool,
     out: Option<String>,
+    chrome: Option<String>,
     from_snapshot: bool,
     threads: usize,
     cache: bool,
@@ -381,12 +403,76 @@ fn dispatch(
             }
             ExitCode::SUCCESS
         }
+        Some("trace-analyze") => {
+            let Some(path) = positional.get(1) else {
+                eprintln!(
+                    "usage: apdm-experiments trace-analyze <trace.jsonl> [--chrome out.json]"
+                );
+                return ExitCode::FAILURE;
+            };
+            trace_analyze(path, chrome.as_deref())
+        }
         _ => {
             eprintln!(
-                "usage: apdm-experiments <list|run|record|verify|replay|trace|serve-bench> ..."
+                "usage: apdm-experiments \
+                 <list|run|record|verify|replay|trace|serve-bench|trace-analyze> ..."
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Rebuild the span DAG from an exported trace, print every trace's
+/// critical path, and optionally write the multi-device Chrome timeline.
+/// Fails when the export carries no trace contexts or any delivered span
+/// names a parent that was never recorded.
+fn trace_analyze(path: &str, chrome: Option<&str>) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match telemetry::import_jsonl(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = telemetry::TraceGraph::build(&records);
+    if graph.is_empty() {
+        eprintln!("{path}: no trace-context records (was the run traced?)");
+        return ExitCode::FAILURE;
+    }
+    let unresolved = graph.unresolved_parents();
+    println!(
+        "{path}: {} records, {} traces, {} span nodes, {} unresolved parents",
+        records.len(),
+        graph.traces().len(),
+        graph.node_count(),
+        unresolved.len(),
+    );
+    for trace in graph.traces() {
+        if let Some(p) = graph.critical_path(trace) {
+            print!("{}", p.render());
+        }
+    }
+    if let Some(chrome_path) = chrome {
+        if let Err(e) = fs::write(chrome_path, telemetry::export_chrome_devices(&records)) {
+            eprintln!("cannot write {chrome_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("device timeline written to {chrome_path} (load in chrome://tracing)");
+    }
+    if unresolved.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (trace, span, parent) in unresolved {
+            eprintln!("trace {trace:016x}: span {span:016x} orphaned (parent {parent:016x})");
+        }
+        ExitCode::FAILURE
     }
 }
 
@@ -604,6 +690,25 @@ fn run_experiment(id: &str, seed: u64, json: bool, threads: usize, cache: bool, 
                     ..E13Config::default()
                 }),
             );
+        }
+        "e14" => {
+            let cfg = E14Config {
+                seed,
+                threads,
+                ..E14Config::default()
+            };
+            if let Some(path) = out {
+                // Record mode for `trace-analyze` and CI: run the fully
+                // traced variant once and write its record stream as JSONL.
+                let (report, records) = run_e14_mode(&cfg, TraceMode::Full);
+                if let Err(e) = fs::write(path, telemetry::export_jsonl(&records)) {
+                    eprintln!("cannot write {path}: {e}");
+                    return;
+                }
+                emit(json, &report);
+            } else {
+                emit(json, &run_e14(&cfg));
+            }
         }
         _ => unreachable!("validated above"),
     }
