@@ -49,13 +49,39 @@ pub struct HostInfo {
     pub hardware_threads: usize,
     /// The raw `APDM_THREADS` override, if the environment set one.
     pub apdm_threads: Option<String>,
+    /// Cargo profile the harness was compiled under (`debug` timings are
+    /// not comparable with `release` ones).
+    pub profile: String,
+    /// Short git revision of the working tree, when the repo is available.
+    pub git_revision: Option<String>,
 }
 
-/// Detect the current host's parallel budget.
+/// Short `git rev-parse` of the source tree the harness was built from.
+fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// Detect the current host's parallel budget and build provenance.
 pub fn host_info() -> HostInfo {
     HostInfo {
         hardware_threads: apdm_par::hardware_threads(),
         apdm_threads: std::env::var("APDM_THREADS").ok(),
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+        .to_string(),
+        git_revision: git_revision(),
     }
 }
 

@@ -130,6 +130,24 @@ impl AdmissionQueue {
         None
     }
 
+    /// Return requests the dispatcher dequeued but chose not to serve yet
+    /// (cross-shard backpressure deferrals) to the *front* of their lanes,
+    /// preserving their relative order, so they are re-examined first on
+    /// the next batch. A tenant whose lane was empty re-enters the rotation
+    /// at the front. DRR credit already spent on the original dequeue is
+    /// not refunded — deferral consumes the tenant's turn, which keeps a
+    /// tenant flooding one hot shard from re-winning every round.
+    pub fn requeue_front(&mut self, deferred: Vec<DecisionRequest>) {
+        for req in deferred.into_iter().rev() {
+            let lane = self.lanes.entry(req.tenant).or_default();
+            if lane.queue.is_empty() {
+                self.rotation.push_front(req.tenant);
+            }
+            lane.queue.push_front(req);
+            self.pending += 1;
+        }
+    }
+
     /// Dequeue the next request under DRR. Within a lane, FIFO order;
     /// across lanes, `quantum`-sized runs in rotation order.
     pub fn dequeue(&mut self) -> Option<DecisionRequest> {
@@ -239,6 +257,34 @@ mod tests {
         let first_sixteen: Vec<u64> = (0..16).filter_map(|_| q.dequeue()).map(|r| r.id).collect();
         let t1_served = first_sixteen.iter().filter(|&&id| id >= 100).count();
         assert_eq!(t1_served, 4, "order: {first_sixteen:?}");
+    }
+
+    #[test]
+    fn requeue_front_restores_order_and_rotation() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 100,
+            tenant_quota: 100,
+            quantum: 4,
+        });
+        for id in 0..3 {
+            assert!(q.submit(req(id, 0)).is_none());
+        }
+        assert!(q.submit(req(10, 1)).is_none());
+        // Drain tenant 0's first two and tenant 1's only request...
+        let a = q.dequeue().unwrap();
+        let b = q.dequeue().unwrap();
+        assert_eq!((a.id, b.id), (0, 1));
+        let c = q.dequeue().unwrap();
+        assert_eq!(c.id, 2);
+        let d = q.dequeue().unwrap();
+        assert_eq!(d.id, 10);
+        assert!(q.is_empty());
+        // ...then defer all four: they come back out first, in the same
+        // relative order they were deferred in.
+        q.requeue_front(vec![a, b, c, d]);
+        assert_eq!(q.len(), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|r| r.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 10]);
     }
 
     #[test]

@@ -87,6 +87,16 @@ impl CostModel {
     pub fn batch_cost(&self, hits: u64, misses: u64) -> u64 {
         self.batch_overhead + hits * self.cost_hit + misses * self.cost_miss
     }
+
+    /// *A-priori* estimate for `n` not-yet-evaluated requests, used by the
+    /// scheduler and the backpressure tracker before hit/miss outcomes are
+    /// known. Conservatively assumes every request misses the verdict
+    /// cache, so the estimate — unlike [`batch_cost`](Self::batch_cost) —
+    /// never depends on cache state and stays identical across scheduling
+    /// modes and thread counts.
+    pub fn estimate(&self, n: u64) -> u64 {
+        n * self.cost_miss
+    }
 }
 
 /// Work-conserving budget meter. Credit refills by `capacity_per_tick`

@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::admission::AdmissionConfig;
 use crate::batcher::BatchPolicy;
 use crate::request::Decision;
-use crate::service::{PolicyDecisionService, ServeConfig};
+use crate::service::{PolicyDecisionService, Scheduling, ServeConfig};
 use crate::workload::{standard_stacks, WorkloadGen, WorkloadOracle, WorkloadSpec};
 
 /// Sweep configuration for experiment E13.
@@ -224,7 +224,7 @@ impl E13Report {
 
 /// `q`-quantile (0..=1) of an unsorted latency sample, by rank. Returns 0
 /// for an empty sample.
-fn percentile(latencies: &mut [u64], q: f64) -> u64 {
+pub(crate) fn percentile(latencies: &mut [u64], q: f64) -> u64 {
     if latencies.is_empty() {
         return 0;
     }
@@ -263,6 +263,8 @@ pub fn run_e13_cell(cfg: &E13Config, load: usize, knobs: Knobs) -> E13CellReport
         cost: Default::default(),
         cache: knobs.cache,
         slo_every: 0,
+        scheduling: Scheduling::Balanced,
+        backpressure: false,
     };
     let label = knobs.label();
     let mut svc = PolicyDecisionService::new(

@@ -21,6 +21,12 @@
 //! - [`WorkloadGen`] / [`run_e13`] — seeded open-loop workload generation
 //!   and experiment E13, the load sweep crossing batching × cache ×
 //!   shedding.
+//! - [`Scheduling`] / [`run_e15`] — skew-aware shard scheduling
+//!   (deterministic work stealing via [`apdm_par::run_sharded_balanced`]),
+//!   cross-shard admission backpressure, and experiment E15, the Zipf
+//!   device-skew sweep crossing {static, balanced} × threads.
+//! - [`run_calibration`] — fits the virtual [`CostModel`] to measured
+//!   per-batch nanoseconds so shed curves track real hardware.
 //!
 //! The design rule throughout is the paper's safety bias applied to
 //! serving: **overload may only make the service more conservative.** A
@@ -28,23 +34,29 @@
 //! allowed through unevaluated — see [`Decision::shed`], whose only
 //! constructor produces a denial.
 //!
-//! Participates in experiment **E13** (DESIGN.md §3).
+//! Participates in experiments **E13** and **E15** (DESIGN.md §3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod admission;
 mod batcher;
+mod calibrate;
 mod experiment;
 mod request;
 mod service;
+mod skew;
 mod traced;
 mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionQueue};
 pub use batcher::{BatchPolicy, CostModel, Meter};
+pub use calibrate::{run_calibration, CalibrationReport};
 pub use experiment::{run_e13, run_e13_cell, E13CellReport, E13Config, E13Report, Knobs};
 pub use request::{Decision, DecisionRequest, ShedReason, TenantId};
-pub use service::{standard_slos, PolicyDecisionService, ServeConfig, ServeStats};
+pub use service::{
+    standard_slos, PolicyDecisionService, SchedSummary, Scheduling, ServeConfig, ServeStats,
+};
+pub use skew::{run_e15, run_e15_cell, E15CellReport, E15Config, E15Report};
 pub use traced::{run_e14, run_e14_mode, E14Config, E14ModeReport, E14Report, ServeMsg, TraceMode};
 pub use workload::{schema, standard_stacks, WorkloadGen, WorkloadOracle, WorkloadSpec};

@@ -88,6 +88,13 @@ pub struct WorkloadSpec {
     pub tenants: u32,
     /// Deadline slack in ticks (`None` = requests never expire).
     pub deadline_slack: Option<u64>,
+    /// Zipf exponent of the device-popularity distribution. `0.0` keeps
+    /// the historical uniform draw (byte-identical request streams to
+    /// specs that predate this field); larger values concentrate traffic
+    /// on a few hot devices. Popularity ranks are scrambled across the
+    /// device-id space (see [`WorkloadGen::rank_device`]) so the hot
+    /// device's shard is not an artifact of rank 0 mapping to device 0.
+    pub zipf: f64,
 }
 
 impl Default for WorkloadSpec {
@@ -99,6 +106,7 @@ impl Default for WorkloadSpec {
             devices: 64,
             tenants: 4,
             deadline_slack: Some(8),
+            zipf: 0.0,
         }
     }
 }
@@ -112,17 +120,49 @@ pub struct WorkloadGen {
     rng: StdRng,
     schema: StateSchema,
     next_id: u64,
+    /// Cumulative Zipf popularity by rank (empty when `zipf == 0.0`, which
+    /// preserves the historical uniform device draw byte for byte).
+    zipf_cdf: Vec<f64>,
 }
 
 impl WorkloadGen {
     /// A generator for `spec`, deterministic in `spec.seed`.
     pub fn new(spec: WorkloadSpec) -> Self {
+        let zipf_cdf = if spec.zipf > 0.0 {
+            let n = spec.devices.max(1);
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut total = 0.0f64;
+            for rank in 0..n {
+                total += 1.0 / ((rank + 1) as f64).powf(spec.zipf);
+                cdf.push(total);
+            }
+            for c in &mut cdf {
+                *c /= total;
+            }
+            cdf
+        } else {
+            Vec::new()
+        };
         WorkloadGen {
             rng: StdRng::seed_from_u64(spec.seed ^ 0xE13_5E17E),
             schema: schema(),
             next_id: 0,
+            zipf_cdf,
             spec,
         }
+    }
+
+    /// Map a popularity rank to a device id: a fixed affine scramble
+    /// `(5·rank + devices − 1) mod devices` (multiplier 1 when 5 divides
+    /// the population, keeping the map a bijection). Rank 0 — the hottest
+    /// device — lands on the *highest* device id, so with `devices` a
+    /// multiple of the shard count the hot shard is the last shard: the
+    /// worst case for static contiguous scheduling, which queues it behind
+    /// every block-mate.
+    pub fn rank_device(&self, rank: u64) -> u64 {
+        let n = self.spec.devices.max(1);
+        let mult = if n.is_multiple_of(5) { 1 } else { 5 };
+        (rank * mult + (n - 1)) % n
     }
 
     /// The spec this generator runs.
@@ -148,7 +188,13 @@ impl WorkloadGen {
     fn one(&mut self, now: u64) -> DecisionRequest {
         let id = self.next_id;
         self.next_id += 1;
-        let device = self.rng.random_range(0..self.spec.devices.max(1));
+        let device = if self.zipf_cdf.is_empty() {
+            self.rng.random_range(0..self.spec.devices.max(1))
+        } else {
+            let u: f64 = self.rng.random();
+            let rank = self.zipf_cdf.partition_point(|&c| c <= u) as u64;
+            self.rank_device(rank.min(self.spec.devices.max(1) - 1))
+        };
         // Skew: tenant 0 absorbs ~half the offered load, the rest is
         // uniform — a realistic "one big operator plus a tail" mix.
         let tenants = self.spec.tenants.max(1);
@@ -229,6 +275,47 @@ mod tests {
             total += g.tick_requests(now).len();
         }
         assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_the_scrambled_hot_device() {
+        let spec = WorkloadSpec {
+            zipf: 1.2,
+            per_tick: 64,
+            ..WorkloadSpec::default()
+        };
+        let mut g = WorkloadGen::new(spec);
+        let hot = g.rank_device(0);
+        assert_eq!(hot, 63, "rank 0 must land on the last device id");
+        // The scramble is a bijection.
+        let mut seen: Vec<u64> = (0..64).map(|r| g.rank_device(r)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<u64>>());
+        let mut counts = vec![0u64; 64];
+        for now in 1..=50 {
+            for r in g.tick_requests(now) {
+                counts[r.device as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let max_dev = (0..64).max_by_key(|&d| counts[d]).unwrap() as u64;
+        assert_eq!(max_dev, hot, "hottest observed device is rank 0");
+        assert!(
+            counts[hot as usize] * 5 > total,
+            "Zipf(1.2) hot device should draw >20% of traffic, got {}/{}",
+            counts[hot as usize],
+            total
+        );
+        // zipf = 0.0 keeps the historical uniform draw byte for byte: the
+        // explicit field equals the pre-field default.
+        let mut a = WorkloadGen::new(WorkloadSpec::default());
+        let mut b = WorkloadGen::new(WorkloadSpec {
+            zipf: 0.0,
+            ..WorkloadSpec::default()
+        });
+        for now in 1..=5 {
+            assert_eq!(a.tick_requests(now), b.tick_requests(now));
+        }
     }
 
     #[test]

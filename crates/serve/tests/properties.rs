@@ -6,7 +6,8 @@ use proptest::prelude::*;
 
 use apdm_serve::{
     run_e14_mode, standard_stacks, AdmissionConfig, BatchPolicy, Decision, E14Config,
-    PolicyDecisionService, ServeConfig, TraceMode, WorkloadGen, WorkloadOracle, WorkloadSpec,
+    PolicyDecisionService, Scheduling, ServeConfig, TraceMode, WorkloadGen, WorkloadOracle,
+    WorkloadSpec,
 };
 
 /// Drive one service to completion over a generated workload; returns the
@@ -133,6 +134,54 @@ proptest! {
                     "shed request {} was allowed", d.request_id
                 );
                 prop_assert!(d.reason().starts_with("shed:"));
+            }
+        }
+    }
+}
+
+/// A Zipf-skewed spec for the scheduling-invariance property: small like
+/// [`arb_small_spec`] (it runs each case six times), plus a skew exponent
+/// in {0.0, 0.7, 1.4} so both the uniform control and hot-device regimes
+/// are exercised.
+fn arb_skew_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (0u64..1_000, 1usize..12, 4u64..10, 0u8..3).prop_map(|(seed, per_tick, arrival_ticks, skew)| {
+        WorkloadSpec {
+            seed,
+            per_tick,
+            arrival_ticks,
+            zipf: f64::from(skew) * 0.7,
+            ..WorkloadSpec::default()
+        }
+    })
+}
+
+proptest! {
+    /// The skew-aware optimizations must be invisible in results: for any
+    /// Zipf-skewed workload, every {static, balanced} × {1, 3, 8}-thread
+    /// service — cross-shard backpressure on — produces a byte-identical
+    /// decision stream and ledger. Work stealing and deferral may only
+    /// change *when* work runs, never what is decided.
+    #[test]
+    fn scheduling_mode_and_threads_never_change_decisions(spec in arb_skew_spec()) {
+        let cfg = |threads, scheduling| ServeConfig {
+            seed: spec.seed,
+            threads,
+            scheduling,
+            backpressure: true,
+            ..ServeConfig::default()
+        };
+        let (base_d, base_l) = run_service(spec, cfg(1, Scheduling::Static));
+        for scheduling in [Scheduling::Static, Scheduling::Balanced] {
+            for threads in [1usize, 3, 8] {
+                let (d, l) = run_service(spec, cfg(threads, scheduling));
+                prop_assert_eq!(
+                    &base_d, &d,
+                    "decision stream diverged at {:?} x {} threads", scheduling, threads
+                );
+                prop_assert_eq!(
+                    &base_l, &l,
+                    "ledger bytes diverged at {:?} x {} threads", scheduling, threads
+                );
             }
         }
     }

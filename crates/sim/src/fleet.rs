@@ -29,6 +29,11 @@ const PHASE_NAMES: [&str; 6] = [
 /// histograms.
 const PHASE_TIMING_SAMPLE_PERIOD: u32 = 4;
 
+/// Seed for the decide phase's deterministic steal order. A fixed constant:
+/// the order must be a pure function of the tick so sequential and parallel
+/// runs of the *same scenario* agree, while still varying between ticks.
+const FLEET_STEAL_SEED: u64 = 0xF1EE_7BA1;
+
 const SENSE: usize = 0;
 const PROPOSE: usize = 1;
 const GUARD: usize = 2;
@@ -585,26 +590,38 @@ impl Fleet {
             }
         } else {
             let measured = clock.enabled;
-            let results = apdm_par::run_sharded(threads, &mut work, |_, shard| {
-                let mut local = PhaseClock::start(measured);
-                let mut outs = Vec::with_capacity(shard.len());
-                for item in shard {
-                    if let Some(outcome) =
-                        Self::decide_one(&config, world, world_token, tick, item, &mut local)
-                    {
-                        outs.push(outcome);
+            // Balanced scheduling: devices are claimed in cost-weighted
+            // chunks whose steal order is a pure function of (seed, tick,
+            // chunk id), so the merged outcome stream — and the committed
+            // ledger — is identical at any thread count.
+            let plan = apdm_par::StealPlan::new(FLEET_STEAL_SEED, tick);
+            let run = apdm_par::run_sharded_balanced(
+                threads,
+                plan,
+                &mut work,
+                |_| 1,
+                |_, chunk| {
+                    let mut local = PhaseClock::start(measured);
+                    let mut outs = Vec::with_capacity(chunk.len());
+                    for item in chunk {
+                        if let Some(outcome) =
+                            Self::decide_one(&config, world, world_token, tick, item, &mut local)
+                        {
+                            outs.push(outcome);
+                        }
                     }
-                }
-                (outs, local.acc)
-            });
-            for (outs, acc) in results {
+                    (outs, local.acc)
+                },
+            );
+            for (outs, acc) in run.results {
                 for (phase, ns) in acc.into_iter().enumerate() {
                     clock.acc[phase] += ns;
                 }
                 outcomes.extend(outs);
             }
-            // Contiguous shards already concatenate in event order; the
-            // sort is a cheap structural guarantee, not a reordering.
+            // Chunk results come back in chunk (= event) order regardless
+            // of which worker ran which chunk; the sort is a cheap
+            // structural guarantee, not a reordering.
             outcomes.sort_by_key(|o| o.event_idx);
         }
         outcomes

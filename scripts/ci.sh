@@ -131,6 +131,53 @@ print(f"e14 smoke: {report['traces']} traces span all {len(stages)} pipeline sta
       f"device timeline covers {len(devices)} devices")
 PY
 
+echo "==> skew-scheduling smoke (E15 cell, zipf=1.2: static vs balanced)"
+./target/release/apdm-experiments run e15 --seed 42 --sched static --threads 1 \
+    --out "$trace_dir/e15-static.jsonl" --json --quiet > "$trace_dir/e15-static.json"
+./target/release/apdm-experiments run e15 --seed 42 --sched balanced --threads 3 \
+    --out "$trace_dir/e15-balanced.jsonl" --json --quiet > "$trace_dir/e15-balanced.json"
+cmp -s "$trace_dir/e15-static.jsonl" "$trace_dir/e15-balanced.jsonl" \
+    || { echo "e15 smoke: balanced sealed ledger diverges from static"; exit 1; }
+./target/release/apdm-experiments verify "$trace_dir/e15-static.jsonl" --quiet >/dev/null \
+    || { echo "e15 smoke: sealed cell ledger failed verification"; exit 1; }
+python3 - "$trace_dir/e15-static.json" "$trace_dir/e15-balanced.json" <<'PY'
+import json, sys
+
+stat = json.load(open(sys.argv[1]))
+bal = json.load(open(sys.argv[2]))
+for cell in (stat, bal):
+    if cell["watchdog"] is not None:
+        sys.exit(f"e15 smoke: watchdog tripped in {cell['sched']}: {cell['watchdog']}")
+    if cell["shed_allows"] != 0:
+        sys.exit(f"e15 smoke: a shed request was ALLOWED in {cell['sched']}")
+    if cell["decided"] + cell["shed"] != cell["offered"]:
+        sys.exit(f"e15 smoke: requests lost in {cell['sched']}")
+if stat["ledger_digest"] != bal["ledger_digest"]:
+    sys.exit("e15 smoke: ledger digests diverge between static and balanced")
+if not bal["hot_p99_wait"] < stat["hot_p99_wait"]:
+    sys.exit(f"e15 smoke: balanced hot p99 wait {bal['hot_p99_wait']} "
+             f"did not beat static {stat['hot_p99_wait']}")
+if bal["deferrals"] == 0:
+    sys.exit("e15 smoke: backpressure never deferred under zipf=1.2")
+print(f"e15 smoke: ledger byte-identical across scheduling, balanced hot-shard "
+      f"p99 wait {bal['hot_p99_wait']} < static {stat['hot_p99_wait']}, "
+      f"{bal['deferrals']} deferrals")
+PY
+
+echo "==> cost-model calibration smoke (serve-bench --calibrate)"
+./target/release/apdm-experiments serve-bench --calibrate --seed 42 --json --quiet \
+    > "$trace_dir/calibration.json"
+python3 - "$trace_dir/calibration.json" <<'PY'
+import json, sys
+
+cal = json.load(open(sys.argv[1]))
+fit = cal["fitted"]
+if fit["cost_hit"] != 1 or fit["cost_miss"] < 1 or fit["capacity_per_tick"] < 1:
+    sys.exit(f"calibration smoke: degenerate fitted model {fit}")
+print(f"calibration smoke: {cal['samples']} batches -> cost_miss={fit['cost_miss']}, "
+      f"capacity_per_tick={fit['capacity_per_tick']}")
+PY
+
 echo "==> strong-scaling smoke (E11 table)"
 ./target/release/apdm-experiments run e11 --json --quiet > "$trace_dir/e11-report.json"
 python3 - "$trace_dir/e11-report.json" <<'PY'

@@ -10,6 +10,7 @@
 //! apdm-experiments replay run.jsonl [--seed 42] [--from-snapshot]
 //! apdm-experiments trace [--seed 42] [--out trace.jsonl]
 //! apdm-experiments serve-bench [--seed 42] [--smoke] [--out report.json]
+//! apdm-experiments serve-bench --calibrate [--seed 42]
 //! apdm-experiments trace-analyze trace.jsonl [--chrome out.json]
 //! ```
 //!
@@ -36,6 +37,14 @@
 //! (per-guard latency, per-tick phase timings). The `trace` subcommand does
 //! this for the canonical recorded scenario in one step.
 //!
+//! Skew scheduling: `run e15` sweeps Zipf device skew × {static, balanced}
+//! shard scheduling (experiment E15); `run e15 --out cell.jsonl` runs the
+//! canonical skewed cell and writes its sealed ledger, with `--sched
+//! static|balanced` picking the scheduling mode — CI compares the two
+//! files byte for byte. `serve-bench --calibrate` measures real per-batch
+//! guard-stack nanoseconds and prints the least-squares-fitted `CostModel`
+//! constants with their residual error.
+//!
 //! Distributed tracing: `run e14 --out traced.jsonl` records the full-mode
 //! causally-traced serve run (experiment E14) as JSONL, and
 //! `trace-analyze` rebuilds the cross-device span DAG from any such
@@ -50,7 +59,10 @@ use std::rc::Rc;
 
 use apdm::comms::FailMode;
 use apdm::ledger::Ledger;
-use apdm::serve::{run_e13, run_e14, run_e14_mode, E13Config, E14Config, TraceMode};
+use apdm::serve::{
+    run_calibration, run_e13, run_e14, run_e14_mode, run_e15, run_e15_cell, E13Config, E14Config,
+    E15Config, Scheduling, TraceMode,
+};
 use apdm::sim::contagion::{run_contagion, ContagionArm};
 use apdm::sim::degraded::{run_e12, run_e12_cell, E12Config};
 use apdm::sim::faults::Pathway;
@@ -98,6 +110,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e14",
         "distributed tracing: causal propagation, critical paths, overhead",
     ),
+    (
+        "e15",
+        "skew scheduling: deterministic work stealing and backpressure under Zipf load",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -112,6 +128,8 @@ fn main() -> ExitCode {
     let mut threads: usize = 0;
     let mut cache = true;
     let mut smoke = false;
+    let mut calibrate = false;
+    let mut sched = Scheduling::Balanced;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -121,6 +139,15 @@ fn main() -> ExitCode {
             "--from-snapshot" => from_snapshot = true,
             "--no-cache" => cache = false,
             "--smoke" => smoke = true,
+            "--calibrate" => calibrate = true,
+            "--sched" => match iter.next().map(String::as_str) {
+                Some("static") => sched = Scheduling::Static,
+                Some("balanced") => sched = Scheduling::Balanced,
+                _ => {
+                    eprintln!("--sched requires `static` or `balanced`");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
@@ -191,6 +218,8 @@ fn main() -> ExitCode {
         threads,
         cache,
         smoke,
+        calibrate,
+        sched,
     );
 
     // Dump even when the command failed: a trace of a failing verify run
@@ -216,6 +245,8 @@ fn dispatch(
     threads: usize,
     cache: bool,
     smoke: bool,
+    calibrate: bool,
+    sched: Scheduling,
 ) -> ExitCode {
     match positional.first().map(String::as_str) {
         Some("list") => {
@@ -227,12 +258,12 @@ fn dispatch(
         Some("run") => match positional.get(1).map(String::as_str) {
             Some("all") => {
                 for (id, _) in EXPERIMENTS {
-                    run_experiment(id, seed, json, threads, cache, None);
+                    run_experiment(id, seed, json, threads, cache, None, sched);
                 }
                 ExitCode::SUCCESS
             }
             Some(id) if EXPERIMENTS.iter().any(|(e, _)| e == &id) => {
-                run_experiment(id, seed, json, threads, cache, out.as_deref());
+                run_experiment(id, seed, json, threads, cache, out.as_deref(), sched);
                 ExitCode::SUCCESS
             }
             Some(other) => {
@@ -372,6 +403,39 @@ fn dispatch(
             }
         }
         Some("serve-bench") => {
+            // `--calibrate` replaces the sweep with the wall-clock cost
+            // model fit: measure real per-batch guard-stack nanoseconds and
+            // print the least-squares constants plus residual error.
+            if calibrate {
+                let report = run_calibration(seed, 8, 1_000_000);
+                if json {
+                    emit(true, &report);
+                } else {
+                    println!(
+                        "calibration: {} timed batches (seed {seed})",
+                        report.samples
+                    );
+                    println!(
+                        "  fit: batch_ns ~= {:.1} + {:.1}*hits + {:.1}*misses",
+                        report.overhead_ns, report.hit_ns, report.miss_ns
+                    );
+                    println!(
+                        "  residual: {:.1} ns rms ({:.1}% of mean batch)",
+                        report.residual_rms_ns,
+                        report.residual_rel * 100.0
+                    );
+                    let m = &report.fitted;
+                    println!(
+                        "fitted CostModel (1 unit = one cache hit, tick budget {} ns):",
+                        report.tick_budget_ns
+                    );
+                    println!(
+                        "  capacity_per_tick={} batch_overhead={} cost_hit={} cost_miss={}",
+                        m.capacity_per_tick, m.batch_overhead, m.cost_hit, m.cost_miss
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
             // The serving-layer load sweep (experiment E13), runnable
             // without the criterion harness. `--smoke` is the CI shape:
             // short arrival window, one underloaded and one overloaded
@@ -574,7 +638,15 @@ where
     }
 }
 
-fn run_experiment(id: &str, seed: u64, json: bool, threads: usize, cache: bool, out: Option<&str>) {
+fn run_experiment(
+    id: &str,
+    seed: u64,
+    json: bool,
+    threads: usize,
+    cache: bool,
+    out: Option<&str>,
+    sched: Scheduling,
+) {
     if !json {
         let title = EXPERIMENTS
             .iter()
@@ -708,6 +780,33 @@ fn run_experiment(id: &str, seed: u64, json: bool, threads: usize, cache: bool, 
                 emit(json, &report);
             } else {
                 emit(json, &run_e14(&cfg));
+            }
+        }
+        "e15" => {
+            let cfg = E15Config {
+                seed,
+                threads,
+                ..E15Config::default()
+            };
+            if let Some(path) = out {
+                // Smoke mode for CI: run the canonical skewed cell only
+                // (Zipf 1.2, smoke shape) under the requested `--sched`
+                // and write its sealed ledger — CI `cmp`s the static and
+                // balanced files byte for byte.
+                let cfg = E15Config {
+                    seed,
+                    threads,
+                    ..E15Config::smoke()
+                };
+                let cell_threads = if threads == 0 { 3 } else { threads };
+                let (report, ledger) = run_e15_cell(&cfg, 1.2, sched, cell_threads);
+                if let Err(e) = fs::write(path, ledger.to_jsonl()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return;
+                }
+                emit(json, &report);
+            } else {
+                emit(json, &run_e15(&cfg));
             }
         }
         _ => unreachable!("validated above"),
