@@ -197,6 +197,30 @@ impl VerdictCache {
         (self.hits, self.misses)
     }
 
+    /// Export the full memo state for a checkpoint: every `(fingerprint,
+    /// verdict)` entry in key order plus the exact lifetime counters.
+    /// Together with [`restore`](Self::restore) this round-trips the cache
+    /// bit-exactly, which the serving layer's crash-recovery path needs —
+    /// cache contents steer the work meter, so a restored process must see
+    /// the same hits and misses an uninterrupted one would.
+    pub fn export(&self) -> (Vec<(u64, GuardVerdict)>, u64, u64) {
+        (
+            self.map.iter().map(|(&fp, v)| (fp, v.clone())).collect(),
+            self.hits,
+            self.misses,
+        )
+    }
+
+    /// Rebuild a cache from an [`export`](Self::export).
+    pub fn restore(entries: Vec<(u64, GuardVerdict)>, hits: u64, misses: u64) -> Self {
+        VerdictCache {
+            map: entries.into_iter().collect(),
+            hits,
+            misses,
+            ..VerdictCache::default()
+        }
+    }
+
     /// Number of currently memoized verdicts.
     pub fn len(&self) -> usize {
         self.map.len()

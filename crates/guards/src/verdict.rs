@@ -1,9 +1,13 @@
 use std::fmt;
 
 use apdm_policy::{Action, Obligation};
+use serde::{Deserialize, Serialize};
 
 /// The outcome of a guard evaluating a proposed action.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a serving process can checkpoint its verdict memo cache
+/// through an `apdm-ledger` snapshot frame and restore it after a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum GuardVerdict {
     /// Execute the action as proposed.
     Allow,

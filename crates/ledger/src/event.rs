@@ -104,6 +104,27 @@ pub enum RunEvent {
     Audit(AuditEntry),
     /// A checkpoint frame.
     Snapshot(SnapshotFrame),
+    /// A rotated ledger segment opened (always record 0 of every segment
+    /// after the first). The frame anchors the predecessor segment: its
+    /// head digest and record count are chained into this segment, so a
+    /// rewrite of any sealed predecessor breaks the anchor even after the
+    /// predecessor itself has been pruned by retention.
+    SegmentOpened {
+        /// Zero-based index of the segment this record opens.
+        segment: u64,
+        /// Head digest of the predecessor segment (its anchor).
+        prev_head: u64,
+        /// Record count of the predecessor segment, seal included.
+        prev_records: u64,
+    },
+    /// A rotated segment sealed (always the final record of every segment
+    /// except the last, which seals with [`RunEvent::RunFinished`]).
+    SegmentSealed {
+        /// Zero-based index of the segment this record seals.
+        segment: u64,
+        /// Record count of the sealed segment, this seal included.
+        records: u64,
+    },
     /// The run ended (always the final record of a sealed ledger).
     RunFinished {
         /// Ticks simulated.
@@ -129,6 +150,8 @@ impl RunEvent {
             RunEvent::Harm { .. } => "harm",
             RunEvent::Audit(_) => "audit",
             RunEvent::Snapshot(_) => "snapshot",
+            RunEvent::SegmentOpened { .. } => "segment-opened",
+            RunEvent::SegmentSealed { .. } => "segment-sealed",
             RunEvent::RunFinished { .. } => "run-finished",
         }
     }
@@ -230,6 +253,15 @@ mod tests {
                     tamper: Value::Null,
                 }],
             }),
+            RunEvent::SegmentOpened {
+                segment: 3,
+                prev_head: 0xdead_beef_cafe_f00d,
+                prev_records: 512,
+            },
+            RunEvent::SegmentSealed {
+                segment: 3,
+                records: 640,
+            },
             RunEvent::RunFinished {
                 ticks: 100,
                 harms: 2,

@@ -19,6 +19,11 @@
 //!   recorded reference and reports the first divergence.
 //! - JSONL import/export ([`Ledger::to_jsonl`] / [`Ledger::from_jsonl`])
 //!   so ledgers survive on disk and can be shipped for forensics.
+//! - [`SegmentedRecorder`] / [`SegmentedLedger`] — segment rotation for
+//!   long-lived serving processes: the ledger rolls at a configurable
+//!   record/byte budget, each sealed segment's head digest is anchored in
+//!   its successor's first frame, and retention prunes old segments while
+//!   the retained chain stays verifiable (see [`segment`]).
 //!
 //! # Threat model
 //!
@@ -61,9 +66,13 @@ pub mod ledger;
 pub mod name;
 pub mod recorder;
 pub mod replay;
+pub mod segment;
 
 pub use event::{DeviceSnap, RunEvent, SnapshotFrame};
 pub use ledger::{Corruption, Ledger, LedgerError, LedgerRecord, TornTail};
 pub use name::{Name, NamePool};
 pub use recorder::RunRecorder;
-pub use replay::{Divergence, ReplayReport, Replayer};
+pub use replay::{Divergence, ReplayReport, Replayer, StreamReplayer};
+pub use segment::{
+    RotationPolicy, SegmentCorruption, SegmentReport, SegmentedLedger, SegmentedRecorder,
+};

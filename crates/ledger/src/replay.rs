@@ -10,7 +10,7 @@
 use std::fmt;
 
 use crate::event::RunEvent;
-use crate::ledger::Ledger;
+use crate::ledger::{Ledger, LedgerError, LedgerRecord};
 
 /// The first point at which a replay departed from the recorded run.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,6 +197,128 @@ impl<'a> Replayer<'a> {
     }
 }
 
+/// Streaming variant of [`Replayer`]: both event streams arrive as JSONL
+/// lines (for a rotated run, the segment files' lines chained oldest
+/// first) and are aligned one record at a time, so comparison memory is
+/// bounded by a single record no matter how long the run — where
+/// [`Replayer`] requires both ledgers materialized in memory.
+///
+/// Record seqs restart at 0 in every rotated segment, so alignment is by
+/// stream position and [`Divergence`] seqs report stream positions.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamReplayer {
+    /// First reference stream position to compare.
+    start: u64,
+}
+
+impl StreamReplayer {
+    /// Compare a replay that re-executed the run from tick 0.
+    pub fn from_origin() -> Self {
+        StreamReplayer { start: 0 }
+    }
+
+    /// Compare a replay that resumed from the snapshot at reference stream
+    /// position `snapshot_seq`; the replay's own header line is skipped.
+    pub fn from_snapshot(snapshot_seq: u64) -> Self {
+        StreamReplayer {
+            start: snapshot_seq + 1,
+        }
+    }
+
+    /// Align the two streams and report the first divergence. Errs only
+    /// when a line fails to parse (1-based line number of that stream).
+    pub fn compare_lines<'a, 'b>(
+        &self,
+        reference: impl IntoIterator<Item = &'a str>,
+        replayed: impl IntoIterator<Item = &'b str>,
+    ) -> Result<ReplayReport, LedgerError> {
+        self.align_lines(reference, replayed, false)
+    }
+
+    /// Like [`compare_lines`](StreamReplayer::compare_lines), but surplus
+    /// replay events past a torn reference's cut are not a divergence.
+    pub fn compare_lines_prefix<'a, 'b>(
+        &self,
+        reference: impl IntoIterator<Item = &'a str>,
+        replayed: impl IntoIterator<Item = &'b str>,
+    ) -> Result<ReplayReport, LedgerError> {
+        self.align_lines(reference, replayed, true)
+    }
+
+    fn align_lines<'a, 'b>(
+        &self,
+        reference: impl IntoIterator<Item = &'a str>,
+        replayed: impl IntoIterator<Item = &'b str>,
+        allow_extra: bool,
+    ) -> Result<ReplayReport, LedgerError> {
+        fn parse(line: &str, number: usize) -> Result<LedgerRecord, LedgerError> {
+            serde_json::from_str(line).map_err(|e| LedgerError::Parse {
+                line: number,
+                message: e.to_string(),
+            })
+        }
+        let mut refs = reference
+            .into_iter()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(idx, l)| (idx + 1, l));
+        let mut reps = replayed
+            .into_iter()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(idx, l)| (idx + 1, l));
+        for _ in 0..self.start {
+            if refs.next().is_none() {
+                break;
+            }
+        }
+        if self.start > 0 {
+            reps.next();
+        }
+        let mut matched = 0u64;
+        let mut position = self.start;
+        let divergence = loop {
+            match (refs.next(), reps.next()) {
+                (None, None) => break None,
+                (None, Some(_)) => {
+                    break if allow_extra {
+                        None
+                    } else {
+                        Some(Divergence::ExtraEvents {
+                            seq: position,
+                            surplus: 1 + reps.count() as u64,
+                        })
+                    };
+                }
+                (Some(_), None) => {
+                    break Some(Divergence::MissingEvents {
+                        seq: position,
+                        missing: 1 + refs.count() as u64,
+                    });
+                }
+                (Some((ref_line, ref_text)), Some((rep_line, rep_text))) => {
+                    let reference = parse(ref_text, ref_line)?;
+                    let replay = parse(rep_text, rep_line)?;
+                    if reference.tick != replay.tick || reference.event != replay.event {
+                        break Some(Divergence::Mismatch {
+                            seq: position,
+                            expected: describe(&reference.event),
+                            observed: describe(&replay.event),
+                        });
+                    }
+                    matched += 1;
+                    position += 1;
+                }
+            }
+        };
+        Ok(ReplayReport {
+            start_seq: self.start,
+            matched,
+            divergence,
+        })
+    }
+}
+
 fn describe(event: &RunEvent) -> String {
     match event {
         RunEvent::Proposal { device, action } | RunEvent::Execution { device, action } => {
@@ -337,6 +459,103 @@ mod tests {
         let divergent = rec.finish(1, 0);
         let report = Replayer::from_origin(&torn).compare_prefix(&divergent);
         assert!(!report.is_faithful());
+    }
+
+    #[test]
+    fn streamed_compare_matches_in_memory_compare() {
+        let reference = reference();
+        let faithful = reference.clone();
+        let jsonl = reference.to_jsonl();
+        let report = StreamReplayer::from_origin()
+            .compare_lines(jsonl.lines(), faithful.to_jsonl().lines())
+            .unwrap();
+        assert!(report.is_faithful(), "{report}");
+        assert_eq!(report.matched, reference.len() as u64);
+
+        // Divergence localization agrees with the in-memory replayer.
+        let mut rec = RunRecorder::new("demo", 1, 1);
+        rec.record(
+            1,
+            RunEvent::Proposal {
+                device: 0,
+                action: "dig".into(),
+            },
+        );
+        rec.record(
+            1,
+            RunEvent::Execution {
+                device: 0,
+                action: "strike".into(),
+            },
+        );
+        rec.record(
+            2,
+            RunEvent::Proposal {
+                device: 0,
+                action: "dig".into(),
+            },
+        );
+        let divergent = rec.finish(2, 0);
+        let in_memory = Replayer::from_origin(&reference).compare(&divergent);
+        let streamed = StreamReplayer::from_origin()
+            .compare_lines(jsonl.lines(), divergent.to_jsonl().lines())
+            .unwrap();
+        assert_eq!(streamed.divergence, in_memory.divergence);
+        assert_eq!(streamed.matched, in_memory.matched);
+    }
+
+    #[test]
+    fn streamed_compare_spans_segment_boundaries() {
+        use crate::segment::{RotationPolicy, SegmentedRecorder};
+
+        let run = |bad: bool| {
+            let mut rec = SegmentedRecorder::new("seg", 3, 1, RotationPolicy::by_records(3));
+            for i in 0..10u64 {
+                let action = if bad && i == 7 { "strike" } else { "dig" };
+                rec.record(
+                    i + 1,
+                    RunEvent::Proposal {
+                        device: i,
+                        action: action.into(),
+                    },
+                );
+                if rec.should_rotate() {
+                    rec.rotate(i + 1);
+                }
+            }
+            rec.finish(10, 0)
+        };
+        let golden = run(false);
+        assert!(golden.segments().len() > 2);
+        let chain = |led: &crate::segment::SegmentedLedger| {
+            led.to_jsonl_segments()
+                .into_iter()
+                .map(|(_, text)| text)
+                .collect::<String>()
+        };
+        let report = StreamReplayer::from_origin()
+            .compare_lines(chain(&golden).lines(), chain(&run(false)).lines())
+            .unwrap();
+        assert!(report.is_faithful(), "{report}");
+        let report = StreamReplayer::from_origin()
+            .compare_lines(chain(&golden).lines(), chain(&run(true)).lines())
+            .unwrap();
+        assert!(matches!(
+            report.divergence,
+            Some(Divergence::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn streamed_compare_reports_parse_failures() {
+        let reference = reference();
+        let jsonl = reference.to_jsonl();
+        let mut torn = jsonl.clone();
+        torn.push_str("{not json\n");
+        match StreamReplayer::from_origin().compare_lines(torn.lines(), torn.lines()) {
+            Err(LedgerError::Parse { line, .. }) => assert_eq!(line, 6),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

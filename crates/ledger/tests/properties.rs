@@ -2,7 +2,9 @@
 //! ledger — single-byte mutation, record deletion, truncation, reordering —
 //! is caught by `verify()` on re-import.
 
-use apdm_ledger::{Ledger, RunEvent, RunRecorder};
+use apdm_ledger::{
+    Ledger, RotationPolicy, RunEvent, RunRecorder, SegmentedLedger, SegmentedRecorder,
+};
 use apdm_policy::{AuditEntry, AuditKind};
 use proptest::prelude::*;
 
@@ -55,6 +57,39 @@ fn sample_ledger(events: usize, seed: u64) -> Ledger {
                 }),
             ),
         };
+    }
+    rec.finish(events as u64 / 2 + 1, events as u64 / 4)
+}
+
+/// The same event stream recorded under segment rotation: roll to a new
+/// segment whenever the body budget fills, as the serving layer does once
+/// per tick.
+fn sample_segmented(
+    events: usize,
+    seed: u64,
+    budget: usize,
+    keep_sealed: usize,
+) -> SegmentedLedger {
+    let policy = RotationPolicy {
+        max_records: budget,
+        max_bytes: 0,
+        keep_sealed,
+    };
+    let mut rec = SegmentedRecorder::new("properties", seed, 4, policy);
+    for i in 0..events as u64 {
+        let tick = i / 2 + 1;
+        rec.record(
+            tick,
+            RunEvent::Verdict {
+                device: i % 4,
+                action: "strike".into(),
+                verdict: "deny".into(),
+                reason: format!("harm predicted at ({i}, {})", i + 1),
+            },
+        );
+        if rec.should_rotate() {
+            rec.rotate(tick);
+        }
     }
     rec.finish(events as u64 / 2 + 1, events as u64 / 4)
 }
@@ -207,6 +242,72 @@ proptest! {
                 sealed,
                 "cut {cut}: only the full export may pass the seal check"
             );
+        }
+    }
+
+    /// Crash-safety across a segment boundary: tear the *final* segment of
+    /// a rotated run at EVERY byte offset — including every offset inside
+    /// its anchor frame, the record that chains it to the sealed
+    /// predecessor — and require a valid recovery point at each one.
+    /// Whole-record prefixes keep an intact chain whose anchor still names
+    /// the predecessor's head digest; a cut inside the anchor line itself
+    /// recovers to empty, and the sealed predecessor then stands on its
+    /// own as the fallback recovery point (the ladder `recover_segments`
+    /// walks in `apdm-serve`).
+    #[test]
+    fn every_byte_tear_across_a_segment_boundary_recovers(
+        events in 12usize..36,
+        seed in 0u64..1000,
+        budget in 3usize..8,
+        keep_sealed in 0usize..3,
+    ) {
+        let segmented = sample_segmented(events, seed, budget, keep_sealed);
+        prop_assert!(segmented.verify().is_ok());
+        let segs = segmented.to_jsonl_segments();
+        prop_assert!(segs.len() > 1, "the budget must force a rotation");
+        // The boundary under attack: the final segment (opened by the last
+        // rotation) and the sealed predecessor its anchor frame names.
+        let (_, last_text) = segs.last().unwrap();
+        let (_, prev_text) = &segs[segs.len() - 2];
+        let prev = Ledger::from_jsonl(prev_text).unwrap();
+        prop_assert!(prev.verify_chain().is_ok(), "predecessor must stand on its own");
+        let prev_head = prev.head_digest();
+        let bytes = last_text.as_bytes();
+        let anchor_line_len = last_text.lines().next().unwrap().len();
+        for cut in 0..bytes.len() {
+            let prefix = std::str::from_utf8(&bytes[..cut]).unwrap();
+            let clean = cut == 0 || bytes[cut - 1] == b'\n' || bytes.get(cut) == Some(&b'\n');
+            let (recovered, torn) = Ledger::from_jsonl_recovering(prefix)
+                .expect("a torn tail must never be a hard error");
+            if !clean {
+                prop_assert!(torn.is_some(), "cut {cut}: mid-line cut must report a tear");
+            }
+            prop_assert!(
+                recovered.verify_chain().is_ok(),
+                "cut {cut}: recovered prefix chain must be intact"
+            );
+            if recovered.is_empty() {
+                // The anchor frame itself is the casualty: nothing of this
+                // segment survives, so the cut must lie within its first
+                // line — and the predecessor remains a clean fallback.
+                prop_assert!(
+                    cut <= anchor_line_len,
+                    "cut {cut}: only an anchor tear may lose the whole segment"
+                );
+            } else {
+                // Any surviving prefix leads with the anchor, still naming
+                // the predecessor's head: pruning-resistant tamper evidence
+                // survives the crash.
+                match &recovered.records()[0].event {
+                    RunEvent::SegmentOpened { prev_head: anchored, .. } => {
+                        prop_assert_eq!(*anchored, prev_head, "cut {}", cut);
+                    }
+                    other => prop_assert!(
+                        false,
+                        "cut {cut}: recovered segment must lead with its anchor, got {other:?}"
+                    ),
+                }
+            }
         }
     }
 

@@ -148,6 +148,58 @@ impl AdmissionQueue {
         }
     }
 
+    /// Freeze the queue for a checkpoint: every lane as `(tenant, DRR
+    /// deficit, queued requests front-to-back)` in tenant order — empty
+    /// lanes included, so a restored queue is structurally identical, not
+    /// just behaviorally — plus the DRR rotation order. Together with
+    /// [`restore`](AdmissionQueue::restore) this round-trips the queue
+    /// exactly, which crash recovery needs: dequeue order is a pure
+    /// function of this state.
+    #[allow(clippy::type_complexity)]
+    pub fn export(&self) -> (Vec<(TenantId, u32, Vec<DecisionRequest>)>, Vec<TenantId>) {
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|(&tenant, lane)| {
+                (
+                    tenant,
+                    lane.deficit,
+                    lane.queue.iter().cloned().collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        (lanes, self.rotation.iter().copied().collect())
+    }
+
+    /// Rebuild a queue from an [`export`](AdmissionQueue::export) under the
+    /// same bounds.
+    pub fn restore(
+        cfg: AdmissionConfig,
+        lanes: Vec<(TenantId, u32, Vec<DecisionRequest>)>,
+        rotation: Vec<TenantId>,
+    ) -> Self {
+        let mut pending = 0;
+        let lanes: BTreeMap<TenantId, TenantLane> = lanes
+            .into_iter()
+            .map(|(tenant, deficit, queue)| {
+                pending += queue.len();
+                (
+                    tenant,
+                    TenantLane {
+                        queue: queue.into(),
+                        deficit,
+                    },
+                )
+            })
+            .collect();
+        AdmissionQueue {
+            cfg,
+            lanes,
+            rotation: rotation.into(),
+            pending,
+        }
+    }
+
     /// Dequeue the next request under DRR. Within a lane, FIFO order;
     /// across lanes, `quantum`-sized runs in rotation order.
     pub fn dequeue(&mut self) -> Option<DecisionRequest> {

@@ -146,6 +146,22 @@ impl Meter {
     pub fn spent(&self) -> u64 {
         self.spent
     }
+
+    /// Freeze the meter for a checkpoint: `(credit, spent)`. Credit carries
+    /// outstanding debt, so a restored meter sheds exactly when an
+    /// uninterrupted one would.
+    pub fn export(&self) -> (i64, u64) {
+        (self.credit, self.spent)
+    }
+
+    /// Rebuild a meter from an [`export`](Meter::export) under the same
+    /// cost model.
+    pub fn restore(model: &CostModel, credit: i64, spent: u64) -> Self {
+        let mut meter = Meter::new(model);
+        meter.credit = credit;
+        meter.spent = spent;
+        meter
+    }
 }
 
 #[cfg(test)]

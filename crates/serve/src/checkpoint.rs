@@ -1,0 +1,313 @@
+//! Checkpoint/restore of the decision service.
+//!
+//! A [`ServeCheckpoint`] freezes everything the decision stream depends on
+//! — admission-queue lanes and DRR deficits, the work meter, per-shard
+//! backpressure costs, the batch cursor (inside [`ServeStats`]) and every
+//! shard's guard-verdict memo cache — as one serializable value that rides
+//! the run ledger as a [`SnapshotFrame`] at segment-rotation points. A
+//! restarted process restores from the latest frame and resumes mid-run,
+//! producing a decision stream and a sealed ledger **bit-identical** to an
+//! uninterrupted run at any thread count (experiment E16 sweeps this).
+//!
+//! What is deliberately *not* checkpointed, because it is telemetry rather
+//! than decision state: [`SchedSummary`](crate::SchedSummary) (its
+//! `makespan_units` / `virtual_steals` depend on the thread count, which a
+//! restarted process is free to change), the per-shard wait samples, and
+//! the SLO monitor. Restoring them would couple the ledger bytes to knobs
+//! the determinism contract says must not matter.
+//!
+//! The serving layer has no RNG and no world model, so the frame's `rng`,
+//! `metrics` and `devices` fields are zeroed/empty; the checkpoint rides
+//! entirely in `world`.
+
+use apdm_guards::GuardVerdict;
+use apdm_ledger::{LedgerError, SnapshotFrame};
+use apdm_policy::Action;
+use apdm_statespace::State;
+use apdm_telemetry::TraceContext;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::request::{DecisionRequest, TenantId};
+use crate::service::ServeStats;
+
+/// Serializable mirror of [`TraceContext`] (the telemetry crate is
+/// deliberately dependency-free, so the mirror lives here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtxSnap {
+    /// Id of the end-to-end operation every hop shares.
+    pub trace_id: u64,
+    /// Id of the current span (this hop).
+    pub span_id: u64,
+    /// Span id of the causing hop; `0` at the root.
+    pub parent_id: u64,
+    /// Whether this trace records.
+    pub sampled: bool,
+}
+
+impl From<TraceContext> for CtxSnap {
+    fn from(ctx: TraceContext) -> Self {
+        CtxSnap {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            sampled: ctx.sampled,
+        }
+    }
+}
+
+impl From<CtxSnap> for TraceContext {
+    fn from(snap: CtxSnap) -> Self {
+        TraceContext {
+            trace_id: snap.trace_id,
+            span_id: snap.span_id,
+            parent_id: snap.parent_id,
+            sampled: snap.sampled,
+        }
+    }
+}
+
+/// Serializable mirror of one queued [`DecisionRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReqSnap {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// Billed tenant.
+    pub tenant: u32,
+    /// Subject device (also the shard key).
+    pub device: u64,
+    /// The device's perceived state.
+    pub state: State,
+    /// The proposed action under judgment.
+    pub proposed: Action,
+    /// Alternatives the device's logic could take instead.
+    pub alternatives: Vec<Action>,
+    /// Tick the request entered the service.
+    pub submitted_at: u64,
+    /// Absolute deadline tick, if any.
+    pub deadline: Option<u64>,
+    /// Trace context at the point of capture, if the request was traced.
+    pub ctx: Option<CtxSnap>,
+}
+
+impl From<&DecisionRequest> for ReqSnap {
+    fn from(req: &DecisionRequest) -> Self {
+        ReqSnap {
+            id: req.id,
+            tenant: req.tenant.0,
+            device: req.device,
+            state: req.state.clone(),
+            proposed: req.proposed.clone(),
+            alternatives: req.alternatives.clone(),
+            submitted_at: req.submitted_at,
+            deadline: req.deadline,
+            ctx: req.ctx.map(CtxSnap::from),
+        }
+    }
+}
+
+impl From<ReqSnap> for DecisionRequest {
+    fn from(snap: ReqSnap) -> Self {
+        DecisionRequest {
+            id: snap.id,
+            tenant: TenantId(snap.tenant),
+            device: snap.device,
+            state: snap.state,
+            proposed: snap.proposed,
+            alternatives: snap.alternatives,
+            submitted_at: snap.submitted_at,
+            deadline: snap.deadline,
+            ctx: snap.ctx.map(TraceContext::from),
+        }
+    }
+}
+
+/// One admission lane: a tenant's DRR deficit plus its queued requests,
+/// front of the queue first. Empty lanes are captured too, so the restored
+/// queue is structurally identical to the original.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneSnap {
+    /// The lane's tenant.
+    pub tenant: u32,
+    /// Unspent DRR credit.
+    pub deficit: u32,
+    /// Queued requests, dequeue order.
+    pub queue: Vec<ReqSnap>,
+}
+
+/// One memoized guard verdict: the request fingerprint and the verdict the
+/// stack would replay for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The guard stack's request fingerprint.
+    pub fp: u64,
+    /// The memoized verdict.
+    pub verdict: GuardVerdict,
+}
+
+/// One shard's guard-verdict memo cache: entries in key order plus the
+/// hit/miss counters (the counters feed the deterministic cost model, so
+/// they are decision state, not telemetry).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnap {
+    /// Memoized verdicts in fingerprint order.
+    pub entries: Vec<CacheEntry>,
+    /// Lifetime cache hits.
+    pub hits: u64,
+    /// Lifetime cache misses.
+    pub misses: u64,
+}
+
+/// Everything a [`PolicyDecisionService`](crate::PolicyDecisionService)
+/// needs to resume mid-run with a bit-identical future. See the module
+/// docs for what is deliberately excluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeCheckpoint {
+    /// The tick after which the checkpoint was taken; a restored service
+    /// resumes at `tick + 1`.
+    pub tick: u64,
+    /// Admission lanes in tenant order (empty lanes included).
+    pub lanes: Vec<LaneSnap>,
+    /// DRR rotation order of backlogged tenants (front is being served).
+    pub rotation: Vec<u32>,
+    /// The work meter's credit (may be negative: outstanding debt).
+    pub meter_credit: i64,
+    /// The work meter's lifetime spend.
+    pub meter_spent: u64,
+    /// Estimated in-flight cost per shard — the backpressure signal.
+    pub shard_inflight: Vec<u64>,
+    /// Lifetime counters. `stats.batches` doubles as the steal-plan cursor,
+    /// so it must be restored exactly for balanced scheduling to replay.
+    pub stats: ServeStats,
+    /// Per-shard memo caches; `None` for shards running with the cache off.
+    pub caches: Vec<Option<CacheSnap>>,
+}
+
+impl ServeCheckpoint {
+    /// Package the checkpoint as a ledger [`SnapshotFrame`]. The serving
+    /// layer draws no randomness and owns no world/device state, so those
+    /// frame fields are zeroed; the checkpoint rides in `world`.
+    pub fn to_frame(&self) -> SnapshotFrame {
+        SnapshotFrame {
+            tick: self.tick,
+            rng: [0; 4],
+            world: serde_json::to_value(self).expect("checkpoint serialization cannot fail"),
+            metrics: Value::Null,
+            devices: Vec::new(),
+        }
+    }
+
+    /// Rebuild a checkpoint from a ledger frame written by
+    /// [`to_frame`](ServeCheckpoint::to_frame).
+    pub fn from_frame(frame: &SnapshotFrame) -> Result<Self, LedgerError> {
+        serde_json::from_value(frame.world.clone())
+            .map_err(|e| LedgerError::Snapshot(format!("serve checkpoint: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::schema;
+    use apdm_statespace::StateDelta;
+
+    fn sample() -> ServeCheckpoint {
+        ServeCheckpoint {
+            tick: 17,
+            lanes: vec![
+                LaneSnap {
+                    tenant: 0,
+                    deficit: 3,
+                    queue: vec![ReqSnap {
+                        id: 9,
+                        tenant: 0,
+                        device: 4,
+                        state: schema().state(&[1.0]).unwrap(),
+                        proposed: Action::adjust("patrol", StateDelta::empty()),
+                        alternatives: vec![Action::adjust("east", StateDelta::empty())],
+                        submitted_at: 15,
+                        deadline: Some(23),
+                        ctx: Some(CtxSnap {
+                            trace_id: 1,
+                            span_id: 2,
+                            parent_id: 0,
+                            sampled: true,
+                        }),
+                    }],
+                },
+                LaneSnap {
+                    tenant: 2,
+                    deficit: 0,
+                    queue: Vec::new(),
+                },
+            ],
+            rotation: vec![0],
+            meter_credit: -12,
+            meter_spent: 480,
+            shard_inflight: vec![0, 6, 0, 2],
+            stats: ServeStats {
+                submitted: 40,
+                batches: 7,
+                ..ServeStats::default()
+            },
+            caches: vec![
+                Some(CacheSnap {
+                    entries: vec![CacheEntry {
+                        fp: 0xfeed_f00d,
+                        verdict: GuardVerdict::Allow,
+                    }],
+                    hits: 5,
+                    misses: 9,
+                }),
+                None,
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_a_ledger_frame() {
+        let cp = sample();
+        let frame = cp.to_frame();
+        assert_eq!(frame.tick, 17);
+        assert_eq!(frame.rng, [0; 4]);
+        let back = ServeCheckpoint::from_frame(&frame).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn request_snapshots_roundtrip() {
+        let req = DecisionRequest {
+            id: 3,
+            tenant: TenantId(1),
+            device: 8,
+            state: schema().state(&[2.0]).unwrap(),
+            proposed: Action::adjust("patrol", StateDelta::empty()),
+            alternatives: Vec::new(),
+            submitted_at: 4,
+            deadline: None,
+            ctx: Some(TraceContext {
+                trace_id: 7,
+                span_id: 8,
+                parent_id: 6,
+                sampled: false,
+            }),
+        };
+        let snap = ReqSnap::from(&req);
+        let back = DecisionRequest::from(snap);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn a_malformed_frame_is_a_snapshot_error() {
+        let frame = SnapshotFrame {
+            tick: 0,
+            rng: [0; 4],
+            world: Value::Bool(true),
+            metrics: Value::Null,
+            devices: Vec::new(),
+        };
+        assert!(matches!(
+            ServeCheckpoint::from_frame(&frame),
+            Err(LedgerError::Snapshot(_))
+        ));
+    }
+}

@@ -265,6 +265,7 @@ pub fn run_e13_cell(cfg: &E13Config, load: usize, knobs: Knobs) -> E13CellReport
         slo_every: 0,
         scheduling: Scheduling::Balanced,
         backpressure: false,
+        rotation: None,
     };
     let label = knobs.label();
     let mut svc = PolicyDecisionService::new(

@@ -27,6 +27,12 @@
 //!   device-skew sweep crossing {static, balanced} × threads.
 //! - [`run_calibration`] — fits the virtual [`CostModel`] to measured
 //!   per-batch nanoseconds so shed curves track real hardware.
+//! - [`ServeCheckpoint`] / [`run_e16`] — crash tolerance: the service
+//!   checkpoints its full decision state into the ledger at segment
+//!   rotation points ([`ServeConfig::rotation`]), a killed process
+//!   restores from the latest valid frame and resumes bit-identically,
+//!   and experiment E16 kill-and-resume-sweeps every crash point to
+//!   prove it.
 //!
 //! The design rule throughout is the paper's safety bias applied to
 //! serving: **overload may only make the service more conservative.** A
@@ -42,6 +48,8 @@
 mod admission;
 mod batcher;
 mod calibrate;
+mod checkpoint;
+mod crash;
 mod experiment;
 mod request;
 mod service;
@@ -52,6 +60,11 @@ mod workload;
 pub use admission::{AdmissionConfig, AdmissionQueue};
 pub use batcher::{BatchPolicy, CostModel, Meter};
 pub use calibrate::{run_calibration, CalibrationReport};
+pub use checkpoint::{CacheEntry, CacheSnap, CtxSnap, LaneSnap, ReqSnap, ServeCheckpoint};
+pub use crash::{
+    recover_segments, resume_run, run_e16, run_e16_cell, run_to_completion, segment_header,
+    E16CellReport, E16Config, E16Report, Recovery, SimDisk,
+};
 pub use experiment::{run_e13, run_e13_cell, E13CellReport, E13Config, E13Report, Knobs};
 pub use request::{Decision, DecisionRequest, ShedReason, TenantId};
 pub use service::{

@@ -45,7 +45,7 @@
 use std::time::Instant;
 
 use apdm_guards::{GuardContext, GuardStack, GuardVerdict, HarmOracle};
-use apdm_ledger::{Ledger, RunEvent, RunRecorder};
+use apdm_ledger::{Ledger, RotationPolicy, RunEvent, SegmentedLedger, SegmentedRecorder};
 use apdm_policy::Action;
 use apdm_telemetry as telemetry;
 use apdm_telemetry::{SloMonitor, SloSpec, TraceContext};
@@ -53,7 +53,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::admission::{AdmissionConfig, AdmissionQueue};
 use crate::batcher::{BatchPolicy, CostModel, Meter};
-use crate::request::{Decision, DecisionRequest, ShedReason};
+use crate::checkpoint::{CacheEntry, CacheSnap, LaneSnap, ReqSnap, ServeCheckpoint};
+use crate::request::{Decision, DecisionRequest, ShedReason, TenantId};
 
 /// One shard's contribution to a batch: `(batch_index, verdict)` pairs plus
 /// the shard's memo-cache `(hits, misses)` deltas.
@@ -156,6 +157,16 @@ pub struct ServeConfig {
     /// its lane. Changes *which* requests share a batch (deterministically,
     /// identically at every thread count), not any verdict.
     pub backpressure: bool,
+    /// Segment rotation for the run ledger. `None` records one unbounded
+    /// segment (the pre-E16 behaviour, and what [`finish`] expects —
+    /// see [`finish_segmented`]). When set, the service checks the budget
+    /// at the end of every tick's dispatch work and rolls to a new
+    /// anchored segment headed by a checkpoint frame, so a crashed
+    /// process can resume from the last rotation point.
+    ///
+    /// [`finish`]: PolicyDecisionService::finish
+    /// [`finish_segmented`]: PolicyDecisionService::finish_segmented
+    pub rotation: Option<RotationPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -171,6 +182,7 @@ impl Default for ServeConfig {
             slo_every: 0,
             scheduling: Scheduling::Balanced,
             backpressure: false,
+            rotation: None,
         }
     }
 }
@@ -298,7 +310,7 @@ pub struct PolicyDecisionService<O> {
     /// independent of worker scheduling.
     stacks: Vec<GuardStack>,
     oracle: O,
-    recorder: RunRecorder,
+    recorder: SegmentedRecorder,
     stats: ServeStats,
     slo: SloMonitor,
     /// Estimated in-flight cost per shard, decayed by the shard's fair
@@ -333,7 +345,12 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
             meter: Meter::new(&cfg.cost),
             stacks,
             oracle,
-            recorder: RunRecorder::new(name, cfg.seed, cfg.shards as u64),
+            recorder: SegmentedRecorder::new(
+                name,
+                cfg.seed,
+                cfg.shards as u64,
+                cfg.rotation.unwrap_or_default(),
+            ),
             stats: ServeStats::default(),
             slo: standard_slos()
                 .into_iter()
@@ -524,6 +541,18 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
             }
             tick_offset += eval.makespan;
         }
+        // Rotation is checked once per tick, after all of the tick's
+        // dispatch work — a deterministic point, so an uninterrupted run
+        // and a crash-resumed run see identical segment boundaries and
+        // write identical checkpoint frames. The frame follows the anchor
+        // as part of the new segment's header (it describes state, not an
+        // occurrence), so it never re-triggers the budget by itself.
+        if self.recorder.should_rotate() {
+            self.recorder.rotate(now);
+            let frame = self.checkpoint(now).to_frame();
+            self.recorder.record(now, RunEvent::Snapshot(frame));
+            self.recorder.mark_header();
+        }
         if telemetry::enabled() {
             let depth = self.queue.len() as f64;
             let sched = self.sched;
@@ -546,11 +575,149 @@ impl<O: HarmOracle + Copy + Send + Sync> PolicyDecisionService<O> {
     }
 
     /// Seal and return the run ledger plus the final counters. `now` is the
-    /// tick recorded on the closing record.
+    /// tick recorded on the closing record. Only valid with rotation off
+    /// (the default) — a rotated run holds several segments, so callers
+    /// that enable [`ServeConfig::rotation`] must use
+    /// [`finish_segmented`](Self::finish_segmented) instead.
     pub fn finish(self, now: u64) -> (Ledger, ServeStats) {
+        let (segments, stats) = self.finish_segmented(now);
+        let ledger = segments
+            .into_single()
+            .expect("finish() requires rotation off; use finish_segmented()");
+        (ledger, stats)
+    }
+
+    /// Seal the run and return every retained ledger segment plus the
+    /// final counters. With rotation off this is one segment and
+    /// [`SegmentedLedger::into_single`] recovers the plain ledger.
+    pub fn finish_segmented(self, now: u64) -> (SegmentedLedger, ServeStats) {
         // The service executes nothing itself, so the ledger's harm count
         // is structurally zero: only verdicts flow through here.
         (self.recorder.finish(now, 0), self.stats)
+    }
+
+    /// The run recorder: the open ledger segment and any retained sealed
+    /// segments. Crash-tolerant embedders persist these after every tick.
+    pub fn recorder(&self) -> &SegmentedRecorder {
+        &self.recorder
+    }
+
+    /// Freeze everything the decision stream depends on — admission lanes
+    /// and deficits, the DRR rotation, the work meter, per-shard
+    /// backpressure costs, the batch cursor and the per-shard verdict memo
+    /// caches — as of the end of tick `now`. A service
+    /// [`restore`](Self::restore)d from the result resumes at `now + 1`
+    /// with a bit-identical decision and ledger future. Thread count,
+    /// scheduling telemetry and SLO state are deliberately excluded: they
+    /// must not influence results, so they must not ride the checkpoint.
+    pub fn checkpoint(&self, now: u64) -> ServeCheckpoint {
+        let (lanes, rotation) = self.queue.export();
+        let (meter_credit, meter_spent) = self.meter.export();
+        ServeCheckpoint {
+            tick: now,
+            lanes: lanes
+                .into_iter()
+                .map(|(tenant, deficit, queue)| LaneSnap {
+                    tenant: tenant.0,
+                    deficit,
+                    queue: queue.iter().map(ReqSnap::from).collect(),
+                })
+                .collect(),
+            rotation: rotation.into_iter().map(|t| t.0).collect(),
+            meter_credit,
+            meter_spent,
+            shard_inflight: self.shard_inflight.clone(),
+            stats: self.stats,
+            caches: self
+                .stacks
+                .iter()
+                .map(|stack| {
+                    stack
+                        .export_cache()
+                        .map(|(entries, hits, misses)| CacheSnap {
+                            entries: entries
+                                .into_iter()
+                                .map(|(fp, verdict)| CacheEntry { fp, verdict })
+                                .collect(),
+                            hits,
+                            misses,
+                        })
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a service mid-run from a [`ServeCheckpoint`] and a resumed
+    /// recorder (see [`SegmentedRecorder::resume`]). `cfg` and `stacks`
+    /// must match the crashed process's configuration; `cfg.threads` and
+    /// `cfg.scheduling` are free to differ — the restored service still
+    /// produces the identical decision stream. Telemetry-side state
+    /// (scheduling summary, wait samples, SLO windows) restarts fresh: it
+    /// was never part of the determinism contract.
+    pub fn restore(
+        cfg: ServeConfig,
+        mut stacks: Vec<GuardStack>,
+        oracle: O,
+        checkpoint: &ServeCheckpoint,
+        recorder: SegmentedRecorder,
+    ) -> Self {
+        assert_eq!(
+            cfg.shards,
+            stacks.len(),
+            "cfg.shards must match the stack count"
+        );
+        assert_eq!(
+            cfg.shards,
+            checkpoint.shard_inflight.len(),
+            "checkpoint shard count must match the configuration"
+        );
+        for stack in &mut stacks {
+            stack.set_cache_enabled(cfg.cache);
+        }
+        for (stack, cache) in stacks.iter_mut().zip(&checkpoint.caches) {
+            if let Some(snap) = cache {
+                stack.restore_cache(
+                    snap.entries
+                        .iter()
+                        .map(|e| (e.fp, e.verdict.clone()))
+                        .collect(),
+                    snap.hits,
+                    snap.misses,
+                );
+            }
+        }
+        let lanes = checkpoint
+            .lanes
+            .iter()
+            .map(|lane| {
+                (
+                    TenantId(lane.tenant),
+                    lane.deficit,
+                    lane.queue
+                        .iter()
+                        .cloned()
+                        .map(DecisionRequest::from)
+                        .collect(),
+                )
+            })
+            .collect();
+        let rotation = checkpoint.rotation.iter().map(|&t| TenantId(t)).collect();
+        PolicyDecisionService {
+            threads: apdm_par::resolve_threads(cfg.threads),
+            queue: AdmissionQueue::restore(cfg.admission, lanes, rotation),
+            meter: Meter::restore(&cfg.cost, checkpoint.meter_credit, checkpoint.meter_spent),
+            stacks,
+            oracle,
+            recorder,
+            stats: checkpoint.stats,
+            slo: standard_slos()
+                .into_iter()
+                .fold(SloMonitor::new(), SloMonitor::with_objective),
+            shard_inflight: checkpoint.shard_inflight.clone(),
+            shard_waits: vec![Vec::new(); cfg.shards],
+            sched: SchedSummary::default(),
+            cfg,
+        }
     }
 
     /// Evaluate one batch: bucket requests by shard, run the shards across

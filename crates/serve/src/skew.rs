@@ -217,6 +217,7 @@ pub fn run_e15_cell(
         slo_every: 0,
         scheduling: sched,
         backpressure: true,
+        rotation: None,
     };
     // The recorder name must not mention scheduling or threads: the sealed
     // ledger is asserted byte-identical across both.

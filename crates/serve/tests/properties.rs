@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 
 use apdm_serve::{
-    run_e14_mode, standard_stacks, AdmissionConfig, BatchPolicy, Decision, E14Config,
-    PolicyDecisionService, Scheduling, ServeConfig, TraceMode, WorkloadGen, WorkloadOracle,
-    WorkloadSpec,
+    resume_run, run_e14_mode, run_to_completion, standard_stacks, AdmissionConfig, BatchPolicy,
+    Decision, E14Config, E16Config, PolicyDecisionService, Scheduling, ServeConfig, SimDisk,
+    TraceMode, WorkloadGen, WorkloadOracle, WorkloadSpec,
 };
 
 /// Drive one service to completion over a generated workload; returns the
@@ -181,6 +181,91 @@ proptest! {
                 prop_assert_eq!(
                     &base_l, &l,
                     "ledger bytes diverged at {:?} x {} threads", scheduling, threads
+                );
+            }
+        }
+    }
+}
+
+/// A rotating-ledger crash case: a small Zipf-skewed cell (the property
+/// replays it at six scheduling × thread combinations), a rotation budget
+/// small enough to force several segments, a retention depth, and the
+/// crash position as a percentage through the run's persisted ticks.
+fn arb_crash_case() -> impl Strategy<Value = (E16Config, usize)> {
+    (
+        (0u64..1_000, 2usize..8, 5u64..10, 0u8..3),
+        (8usize..20, 0usize..3, 0usize..100),
+    )
+        .prop_map(
+            |((seed, per_tick, arrival_ticks, skew), (budget, keep_sealed, frac))| {
+                (
+                    E16Config {
+                        seed,
+                        per_tick,
+                        arrival_ticks,
+                        zipf: f64::from(skew) * 0.7,
+                        budgets: vec![budget],
+                        keep_sealed,
+                        max_ticks: 2_000,
+                        ..E16Config::default()
+                    },
+                    frac,
+                )
+            },
+        )
+}
+
+proptest! {
+    /// Crash tolerance is total: kill the service at any persisted tick,
+    /// restore from whatever the simulated disk holds (a checkpoint-headed
+    /// open segment, or nothing usable at all), and the resumed run — at
+    /// worker thread counts {1, 3, 8}, under either scheduling mode, with
+    /// cross-shard backpressure on — reseals a byte-identical segmented
+    /// ledger and regenerates exactly the golden decision suffix.
+    #[test]
+    fn checkpoint_restore_resume_is_bit_identical((cfg, frac) in arb_crash_case()) {
+        let budget = cfg.budgets[0];
+        let mut svc = PolicyDecisionService::new(
+            cfg.serve_config(budget, Scheduling::Static, 1),
+            standard_stacks(cfg.shards, true),
+            WorkloadOracle,
+            &cfg.run_name(budget),
+        );
+        let mut gen = WorkloadGen::new(cfg.spec(budget));
+        let mut disk = SimDisk::default();
+        let mut snapshots = Vec::new();
+        let (golden_decisions, final_tick) = run_to_completion(
+            &mut svc, &mut gen, 1, cfg.arrival_ticks, cfg.max_ticks,
+            |now, rec| {
+                disk.persist(rec);
+                snapshots.push((now, disk.clone()));
+            },
+        );
+        let (golden, _) = svc.finish_segmented(final_tick);
+        golden.verify().expect("golden ledger verifies");
+        let golden_segments = golden.to_jsonl_segments();
+
+        let (_, crash_disk) = &snapshots[frac * (snapshots.len() - 1) / 100];
+        for sched in [Scheduling::Static, Scheduling::Balanced] {
+            for threads in [1usize, 3, 8] {
+                let (ledger, decisions, start, _) =
+                    resume_run(&cfg, budget, sched, threads, crash_disk);
+                prop_assert!(
+                    ledger.verify().is_ok(),
+                    "resumed ledger corrupt at {:?} x {} threads", sched, threads
+                );
+                prop_assert_eq!(
+                    &golden_segments, &ledger.to_jsonl_segments(),
+                    "segment bytes diverged at {:?} x {} threads", sched, threads
+                );
+                let suffix: Vec<&Decision> = golden_decisions
+                    .iter()
+                    .filter(|d| d.decided_at >= start)
+                    .collect();
+                let resumed: Vec<&Decision> = decisions.iter().collect();
+                prop_assert_eq!(
+                    suffix, resumed,
+                    "decision suffix diverged at {:?} x {} threads", sched, threads
                 );
             }
         }

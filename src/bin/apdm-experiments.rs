@@ -12,6 +12,8 @@
 //! apdm-experiments serve-bench [--seed 42] [--smoke] [--out report.json]
 //! apdm-experiments serve-bench --calibrate [--seed 42]
 //! apdm-experiments trace-analyze trace.jsonl [--chrome out.json]
+//! apdm-experiments checkpoint [--kill-tick T] [--seed 42] --out base
+//! apdm-experiments resume base [--seed 42] [--out base2]
 //! ```
 //!
 //! Parallelism: the global `--threads N` flag sets the worker count for
@@ -51,6 +53,19 @@
 //! export, prints each trace's critical path (per-step waits telescope to
 //! the end-to-end tick latency), and with `--chrome <path>` writes a
 //! multi-device Chrome timeline (one track per device).
+//!
+//! Crash tolerance: `checkpoint --out base` runs the canonical rotating
+//! serve cell (experiment E16's smoke shape) and writes its sealed
+//! segment files as `base.segNNNN.jsonl`; with `--kill-tick T` it instead
+//! writes the segment files exactly as a process SIGKILLed at tick `T`
+//! would leave them (an open, checkpoint-headed tail). `resume base`
+//! recovers from those files — latest valid checkpoint, fallback ladder,
+//! full restart if nothing survived — replays the suffix, and writes the
+//! resumed run's sealed segments; CI `cmp`s them byte for byte against
+//! the golden files. `verify` recognizes rotated runs: pointed at any
+//! `.segNNNN.jsonl` file (or the family's base path), it checks every
+//! retained segment's hash chain *and* the cross-segment anchors, prints
+//! a per-segment report, and exits nonzero if any segment fails.
 
 use std::env;
 use std::fs;
@@ -58,10 +73,11 @@ use std::process::ExitCode;
 use std::rc::Rc;
 
 use apdm::comms::FailMode;
-use apdm::ledger::Ledger;
+use apdm::ledger::{Ledger, SegmentedLedger};
 use apdm::serve::{
-    run_calibration, run_e13, run_e14, run_e14_mode, run_e15, run_e15_cell, E13Config, E14Config,
-    E15Config, Scheduling, TraceMode,
+    resume_run, run_calibration, run_e13, run_e14, run_e14_mode, run_e15, run_e15_cell, run_e16,
+    run_e16_cell, run_to_completion, standard_stacks, E13Config, E14Config, E15Config, E16Config,
+    PolicyDecisionService, Scheduling, SimDisk, TraceMode, WorkloadGen, WorkloadOracle,
 };
 use apdm::sim::contagion::{run_contagion, ContagionArm};
 use apdm::sim::degraded::{run_e12, run_e12_cell, E12Config};
@@ -114,6 +130,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e15",
         "skew scheduling: deterministic work stealing and backpressure under Zipf load",
     ),
+    (
+        "e16",
+        "crash tolerance: kill-and-resume sweep over checkpointed rotating ledgers",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -129,6 +149,7 @@ fn main() -> ExitCode {
     let mut cache = true;
     let mut smoke = false;
     let mut calibrate = false;
+    let mut kill_tick: Option<u64> = None;
     let mut sched = Scheduling::Balanced;
     let mut positional = Vec::new();
     let mut iter = args.iter();
@@ -159,6 +180,13 @@ fn main() -> ExitCode {
                 Some(n) => threads = n,
                 None => {
                     eprintln!("--threads requires an integer (0 = auto)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kill-tick" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(t) => kill_tick = Some(t),
+                None => {
+                    eprintln!("--kill-tick requires a tick number");
                     return ExitCode::FAILURE;
                 }
             },
@@ -219,6 +247,7 @@ fn main() -> ExitCode {
         cache,
         smoke,
         calibrate,
+        kill_tick,
         sched,
     );
 
@@ -246,6 +275,7 @@ fn dispatch(
     cache: bool,
     smoke: bool,
     calibrate: bool,
+    kill_tick: Option<u64>,
     sched: Scheduling,
 ) -> ExitCode {
     match positional.first().map(String::as_str) {
@@ -321,9 +351,22 @@ fn dispatch(
         }
         Some("verify") => {
             let Some(path) = positional.get(1) else {
-                eprintln!("usage: apdm-experiments verify <ledger.jsonl>");
+                eprintln!("usage: apdm-experiments verify <ledger.jsonl | run.segNNNN.jsonl>");
                 return ExitCode::FAILURE;
             };
+            // A rotated run is a family of `.segNNNN.jsonl` files. If the
+            // path names one of them (or their common base), verify the
+            // whole chain — per-segment hash chains plus cross-segment
+            // anchors — and report every segment.
+            let base = segment_base(path);
+            match discover_segments(&base) {
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(segs) if !segs.is_empty() => return verify_segmented(&base, &segs),
+                Ok(_) => {}
+            }
             match load_ledger(path) {
                 Err(code) => code,
                 Ok((ledger, torn)) => {
@@ -476,14 +519,266 @@ fn dispatch(
             };
             trace_analyze(path, chrome.as_deref())
         }
+        Some("checkpoint") => {
+            let cfg = E16Config {
+                seed,
+                ..E16Config::smoke()
+            };
+            let base = out.unwrap_or_else(|| format!("e16-{seed}"));
+            checkpoint_cmd(&cfg, sched, kill_tick, &base)
+        }
+        Some("resume") => {
+            let Some(base) = positional.get(1) else {
+                eprintln!("usage: apdm-experiments resume <base> [--seed N] [--out base2]");
+                return ExitCode::FAILURE;
+            };
+            let cfg = E16Config {
+                seed,
+                ..E16Config::smoke()
+            };
+            let out_base = out.unwrap_or_else(|| format!("{base}-resumed"));
+            resume_cmd(&cfg, sched, base, &out_base)
+        }
         _ => {
             eprintln!(
                 "usage: apdm-experiments \
-                 <list|run|record|verify|replay|trace|serve-bench|trace-analyze> ..."
+                 <list|run|record|verify|replay|trace|serve-bench|trace-analyze\
+                 |checkpoint|resume> ..."
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Strip a `.segNNNN.jsonl` suffix, mapping any member of a rotated-run
+/// file family to the family's base path; other paths pass through.
+fn segment_base(path: &str) -> String {
+    if let Some(pos) = path.rfind(".seg") {
+        if let Some(digits) = path[pos + 4..].strip_suffix(".jsonl") {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return path[..pos].to_string();
+            }
+        }
+    }
+    path.to_string()
+}
+
+/// Find every `base.segNNNN.jsonl` sibling on disk, sorted by segment
+/// index. An unreadable directory is treated as "no family" (the caller
+/// falls back to single-file handling); an unreadable family member is a
+/// hard error.
+fn discover_segments(base: &str) -> Result<Vec<(u64, String)>, String> {
+    let path = std::path::Path::new(base);
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    let Some(stem) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return Ok(Vec::new());
+    };
+    let prefix = format!("{stem}.seg");
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Ok(Vec::new());
+    };
+    let mut segs = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some(digits) = rest.strip_suffix(".jsonl") else {
+            continue;
+        };
+        let Ok(index) = digits.parse::<u64>() else {
+            continue;
+        };
+        let text = fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+        segs.push((index, text));
+    }
+    segs.sort_by_key(|(index, _)| *index);
+    Ok(segs)
+}
+
+/// Write a rotated run's segments as a `base.segNNNN.jsonl` file family.
+fn write_segments(base: &str, segs: &[(u64, String)]) -> Result<(), String> {
+    for (index, text) in segs {
+        let path = format!("{base}.seg{index:04}.jsonl");
+        fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Verify a rotated run end to end and print one line per retained
+/// segment. Any unparseable, chain-broken, or mis-anchored segment makes
+/// the whole command fail.
+fn verify_segmented(base: &str, segs: &[(u64, String)]) -> ExitCode {
+    let mut ledgers = Vec::new();
+    let mut failed = false;
+    for (index, text) in segs {
+        match Ledger::from_jsonl(text) {
+            Ok(ledger) => ledgers.push(ledger),
+            Err(e) => {
+                eprintln!("segment {index:04}: unparseable: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed || ledgers.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    let ledger = SegmentedLedger::from_segments(ledgers);
+    for report in ledger.verify_report() {
+        match &report.error {
+            None => println!(
+                "segment {:04}: {} records, head {:016x}: ok",
+                report.segment, report.records, report.head
+            ),
+            Some(corruption) => {
+                eprintln!(
+                    "segment {:04}: {} records, head {:016x}: {corruption}",
+                    report.segment, report.records, report.head
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "{base}: {} segments intact ({} pruned), {} records, anchored head {:016x}",
+            ledger.segments().len(),
+            ledger.pruned_count(),
+            ledger.total_records(),
+            ledger.head_digest(),
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Run the canonical rotating serve cell (E16 smoke shape) and write its
+/// segment files: the sealed golden run, or — with a kill tick — the
+/// exact bytes a SIGKILLed process would leave behind.
+fn checkpoint_cmd(
+    cfg: &E16Config,
+    sched: Scheduling,
+    kill_tick: Option<u64>,
+    base: &str,
+) -> ExitCode {
+    let budget = cfg.budgets[0];
+    let mut svc = PolicyDecisionService::new(
+        cfg.serve_config(budget, sched, 1),
+        standard_stacks(cfg.shards, true),
+        WorkloadOracle,
+        &cfg.run_name(budget),
+    );
+    let mut gen = WorkloadGen::new(cfg.spec(budget));
+    let mut disk = SimDisk::default();
+    let mut killed: Option<SimDisk> = None;
+    let (decisions, final_tick) = run_to_completion(
+        &mut svc,
+        &mut gen,
+        1,
+        cfg.arrival_ticks,
+        cfg.max_ticks,
+        |now, rec| {
+            disk.persist(rec);
+            if kill_tick == Some(now) {
+                killed = Some(disk.clone());
+            }
+        },
+    );
+    match kill_tick {
+        Some(tick) => {
+            let Some(killed) = killed else {
+                eprintln!("--kill-tick {tick} is past the run's final tick {final_tick}");
+                return ExitCode::FAILURE;
+            };
+            let segs: Vec<(u64, String)> = killed
+                .files()
+                .iter()
+                .map(|(&index, text)| (index, text.clone()))
+                .collect();
+            if let Err(e) = write_segments(base, &segs) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "killed at tick {tick}: {} segment files -> {base}.seg*.jsonl \
+                 (open tail; recover with `apdm-experiments resume {base}`)",
+                segs.len(),
+            );
+        }
+        None => {
+            let (ledger, _) = svc.finish_segmented(final_tick);
+            if let Err(e) = ledger.verify() {
+                eprintln!("golden ledger corrupt: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = write_segments(base, &ledger.to_jsonl_segments()) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "golden run sealed at tick {final_tick}: {} decisions, {} segments \
+                 ({} pruned), head {:016x} -> {base}.seg*.jsonl",
+                decisions.len(),
+                ledger.segments().len(),
+                ledger.pruned_count(),
+                ledger.head_digest(),
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Recover a crashed run from its `base.segNNNN.jsonl` files, replay the
+/// suffix to completion, and write the resumed run's sealed segments.
+fn resume_cmd(cfg: &E16Config, sched: Scheduling, base: &str, out_base: &str) -> ExitCode {
+    let segs = match discover_segments(base) {
+        Ok(segs) if !segs.is_empty() => segs,
+        Ok(_) => {
+            eprintln!("no {base}.seg*.jsonl files found");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut disk = SimDisk::default();
+    for (index, text) in segs {
+        disk.insert(index, text);
+    }
+    let budget = cfg.budgets[0];
+    let (ledger, decisions, start, discarded) = resume_run(cfg, budget, sched, 1, &disk);
+    if let Err(e) = ledger.verify() {
+        eprintln!("resumed ledger corrupt: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_segments(out_base, &ledger.to_jsonl_segments()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if start > 1 {
+        println!(
+            "resumed from the checkpoint at tick {} ({discarded} on-disk records \
+             discarded and regenerated by replay)",
+            start - 1,
+        );
+    } else {
+        println!("no usable checkpoint survived: restarted from tick 1 ({discarded} discarded)");
+    }
+    println!(
+        "{} decisions replayed; {} sealed segments ({} pruned), head {:016x} \
+         -> {out_base}.seg*.jsonl",
+        decisions.len(),
+        ledger.segments().len(),
+        ledger.pruned_count(),
+        ledger.head_digest(),
+    );
+    ExitCode::SUCCESS
 }
 
 /// Rebuild the span DAG from an exported trace, print every trace's
@@ -807,6 +1102,33 @@ fn run_experiment(
                 emit(json, &report);
             } else {
                 emit(json, &run_e15(&cfg));
+            }
+        }
+        "e16" => {
+            if let Some(path) = out {
+                // Smoke mode for CI: run the canonical rotating cell only
+                // (one budget, smoke shape) under the requested `--sched`,
+                // sweep every kill point against it, and write the golden
+                // sealed segment files — CI `cmp`s the static and balanced
+                // families byte for byte and `verify`s the chain.
+                let cfg = E16Config {
+                    seed,
+                    threads,
+                    ..E16Config::smoke()
+                };
+                let (report, ledger) = run_e16_cell(&cfg, cfg.budgets[0], sched);
+                if let Err(e) = write_segments(path, &ledger.to_jsonl_segments()) {
+                    eprintln!("{e}");
+                    return;
+                }
+                emit(json, &report);
+            } else {
+                let cfg = E16Config {
+                    seed,
+                    threads,
+                    ..E16Config::default()
+                };
+                emit(json, &run_e16(&cfg));
             }
         }
         _ => unreachable!("validated above"),
