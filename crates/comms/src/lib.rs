@@ -135,6 +135,49 @@ mod tests {
     }
 
     #[test]
+    fn response_cache_counters_use_the_comms_namespace() {
+        use apdm_simnet::Delivered;
+        use apdm_telemetry as telemetry;
+        use std::rc::Rc;
+
+        let collector = Rc::new(telemetry::RingCollector::new(64));
+        let _g = telemetry::install(collector);
+        let (mut net, a, b) = pair(Link::with_latency(1));
+        let mut server = Courier::new(b, CommsConfig::default(), 2);
+        let deliver = |sent_at| Delivered {
+            from: a,
+            to: b,
+            payload: Envelope {
+                id: MsgId { node: a, seq: 0 },
+                kind: Kind::Request,
+                ctx: None,
+                payload: 7u32,
+            },
+            sent_at,
+        };
+        // A fresh request is a cache miss; answering it and replaying the
+        // same id is a hit.
+        match server.accept(&mut net, deliver(1), 1) {
+            Some(Incoming::Request {
+                from, id, payload, ..
+            }) => server.respond(&mut net, from, id, payload + 1, 1),
+            other => panic!("fresh request should surface, got {other:?}"),
+        }
+        assert_eq!(server.accept(&mut net, deliver(2), 2), None);
+        // The registry instruments live under the `comms.` namespace — the
+        // operator-facing names OPERATIONS.md documents.
+        let (hit, miss) = telemetry::with_registry(|reg| {
+            (
+                reg.counter("comms.response_cache.hit").get(),
+                reg.counter("comms.response_cache.miss").get(),
+            )
+        })
+        .expect("a dispatch is installed");
+        assert_eq!((hit, miss), (1, 1));
+        assert_eq!((hit, miss), server.cache_counters());
+    }
+
+    #[test]
     fn lossless_request_gets_one_response() {
         let (mut net, a, b) = pair(Link::with_latency(1));
         let mut client = Courier::new(a, CommsConfig::default(), 1);

@@ -197,8 +197,8 @@ impl Ledger {
     }
 
     /// The digest of the last record ([`GENESIS`] for an empty ledger).
-    /// Publishing this value out-of-band turns [`verify_anchored`]
-    /// (Ledger::verify_anchored) into protection against whole-suffix
+    /// Publishing this value out-of-band turns
+    /// [`verify_anchored`](Ledger::verify_anchored) into protection against whole-suffix
     /// rewrites, which chain verification alone cannot detect.
     pub fn head_digest(&self) -> u64 {
         self.records.last().map_or(GENESIS, |r| r.digest)

@@ -2,7 +2,7 @@
 //!
 //! Section VI of the paper assumes every prevention mechanism "can be
 //! performed in a manner that is tamper-proof" and that break-glass use
-//! "would require support for audits ... [and] the collection of
+//! "would require support for audits ... \[and\] the collection of
 //! comprehensive context information". The in-memory
 //! [`AuditLog`](apdm_policy::AuditLog) satisfies neither: it vanishes with
 //! the process and any byte of it can be rewritten silently. This crate

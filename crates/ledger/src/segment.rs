@@ -4,7 +4,7 @@
 //! grows that ledger without bound. Rotation bounds it: the recorder rolls
 //! to a fresh segment whenever the current one exceeds a configurable
 //! record or byte budget. Each segment is an independent hash chain rooted
-//! at [`GENESIS`], so the existing per-ledger verification applies
+//! at [`GENESIS`](crate::hash::GENESIS), so the existing per-ledger verification applies
 //! unchanged — and the chains are *anchored* to each other: the first
 //! record of every successor segment is a [`RunEvent::SegmentOpened`]
 //! frame carrying the predecessor's head digest and record count. Because

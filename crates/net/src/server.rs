@@ -1,0 +1,783 @@
+//! The server side: a thread-per-connection accept loop funneling frames
+//! over an mpsc channel into the existing single-threaded tick loop.
+//!
+//! ## Determinism across the I/O boundary
+//!
+//! The deterministic core — admission lanes, batching, sharding, memo
+//! caches, segmented ledger, checkpoints — runs unchanged on the caller's
+//! thread. Connection threads only *transport*: they decode frames and
+//! forward events; they never touch the service. Wall-clock
+//! nondeterminism (thread scheduling, packet arrival order) is contained
+//! by a lockstep barrier:
+//!
+//! 1. Workload clients partition one seeded workload by request id
+//!    (`id % clients == index`) and, per tick *t*, send their slice
+//!    followed by `TickDone(t)`.
+//! 2. The server collects until **every** workload client has declared
+//!    tick *t* done, sorts the tick's requests by id (restoring the
+//!    generator's emission order), submits them, and runs exactly one
+//!    service tick — the same `submit*; tick` cadence as the in-process
+//!    driver.
+//! 3. Decisions are routed back to the submitting connection and the
+//!    server broadcasts `TickAck(t)`.
+//!
+//! Within-tick arrival order across connections is therefore *resolved*,
+//! not trusted: whatever order the OS delivers frames in, the service
+//! sees the same request sequence, so the decision stream and sealed
+//! segmented-ledger bytes are identical to the in-process path (asserted
+//! by experiment E17).
+//!
+//! ## Fail-closed boundary
+//!
+//! Malformed traffic can never reach the guard stacks or crash the
+//! server. Frame-level garbage (bad magic, CRC, oversize, torn or
+//! stalled frames) cannot be attributed to a request, so the connection
+//! is dropped and the drop recorded in a **boundary audit ledger** — a
+//! separate tamper-evident ledger, so rejected noise never perturbs the
+//! decision ledger's bytes. Well-framed but invalid requests *can* be
+//! attributed, so they are answered with a fail-closed deny and audited,
+//! and the connection stays open. Every rejection path lands in exactly
+//! one of those two buckets; there is no silent discard.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use apdm_guards::{GuardVerdict, HarmOracle};
+use apdm_ledger::{Ledger, RunEvent, RunRecorder, SegmentedLedger};
+use apdm_policy::{AuditEntry, AuditKind};
+use apdm_serve::{Decision, DecisionRequest, PolicyDecisionService, ReqSnap, ServeStats};
+use apdm_telemetry::{self as telemetry, TraceContext};
+
+use crate::frame::{read_frame, write_frame, Frame, FrameType, ReadError, ReadOutcome, VERSION};
+use crate::wire::{
+    close_code, decode_payload, encode_payload, DecisionSnap, ErrorPayload, HelloPayload, Role,
+    TickPayload, WelcomePayload,
+};
+
+/// Slot for deriving the network hops (`net.recv`, `net.send`) of a
+/// request's causal chain. The serve pipeline uses slot 1 for its internal
+/// stages; the wire hops use their own slot so the chain stays linear.
+const NET_SLOT: u64 = 2;
+
+/// Configuration of one serving run over TCP.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Number of workload clients that must join the per-tick barrier.
+    pub clients: u32,
+    /// Ticks during which workload clients offer requests (the barrier
+    /// phase); afterwards the server drains its queue unassisted.
+    pub arrival_ticks: u64,
+    /// Watchdog: the run fails if the drain runs past this tick.
+    pub max_ticks: u64,
+    /// Per-connection socket read timeout. Also the cadence at which idle
+    /// connection readers re-check the shutdown flag.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout; a peer that stops reading is
+    /// dropped rather than allowed to wedge a writer thread.
+    pub write_timeout: Duration,
+    /// How long the tick barrier may sit with no incoming event at all
+    /// before the run is abandoned (e.g. a workload client hangs).
+    pub barrier_timeout: Duration,
+    /// Seed recorded in the boundary audit ledger's run header.
+    pub seed: u64,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            clients: 1,
+            arrival_ticks: 32,
+            max_ticks: 4_000,
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_millis(2_000),
+            barrier_timeout: Duration::from_secs(30),
+            seed: 42,
+        }
+    }
+}
+
+/// Everything one TCP serving run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The sealed segmented decision ledger — byte-identical to the
+    /// in-process path for the same workload and service config.
+    pub ledger: SegmentedLedger,
+    /// Service counters.
+    pub stats: ServeStats,
+    /// The sealed boundary audit ledger: one record per join, departure,
+    /// rejected request and dropped connection.
+    pub audit: Ledger,
+    /// Tick at which the ledger was sealed.
+    pub final_tick: u64,
+    /// Decisions routed back to clients.
+    pub decisions_sent: u64,
+    /// Decisions whose connection had already gone away.
+    pub decisions_dropped: u64,
+    /// Attributable bad requests answered with a fail-closed deny.
+    pub rejects: u64,
+    /// Connections dropped for frame-level garbage, stalls, or protocol
+    /// violations.
+    pub drops: u64,
+    /// Total connections accepted.
+    pub connections: u64,
+}
+
+/// What a connection's writer thread is told to do next.
+enum Outbound {
+    /// Write one frame.
+    Frame(Frame),
+    /// Write an `Error` frame with this close code, then close the socket.
+    Close(u16, String),
+    /// Write a `Bye`, then close the socket (orderly end of run).
+    Finish,
+    /// Close the socket without writing (peer already said `Bye`).
+    Quiet,
+}
+
+/// Events flowing from connection readers into the tick loop.
+enum Event {
+    /// A connection completed its `Hello`.
+    Joined {
+        conn: u64,
+        role: Role,
+        index: u32,
+        clients: u32,
+        out: Sender<Outbound>,
+    },
+    /// A workload connection submitted a request (trace context already
+    /// reattached from the frame header).
+    Request { conn: u64, req: DecisionRequest },
+    /// A workload connection declared its slice of a tick complete.
+    TickDone { conn: u64, tick: u64 },
+    /// The connection was dropped (frame garbage, stall, protocol error,
+    /// or I/O failure). The reader has already arranged the close.
+    Dropped {
+        conn: u64,
+        code: u16,
+        detail: String,
+    },
+    /// The peer closed cleanly.
+    Left { conn: u64 },
+}
+
+/// Per-connection state owned by the tick loop.
+struct ConnState {
+    out: Sender<Outbound>,
+    role: Role,
+    index: u32,
+}
+
+/// The tick loop's bookkeeping, audit trail, and counters.
+struct Loop {
+    conns: HashMap<u64, ConnState>,
+    /// Workload index → connection id, to reject duplicate joins.
+    workload: HashMap<u32, u64>,
+    /// Requests collected for the tick currently behind the barrier.
+    pending: Vec<(u64, DecisionRequest)>,
+    /// Workload connections that declared the current tick done.
+    done: HashMap<u64, bool>,
+    /// request id → connection owed the decision.
+    owed: HashMap<u64, u64>,
+    audit: RunRecorder,
+    audit_seq: u64,
+    rejects: u64,
+    drops: u64,
+    decisions_sent: u64,
+    decisions_dropped: u64,
+    expected_clients: u32,
+}
+
+impl Loop {
+    fn audit(&mut self, tick: u64, kind: AuditKind, subject: String, detail: String) {
+        let entry = AuditEntry {
+            seq: self.audit_seq,
+            tick,
+            subject,
+            kind,
+            detail,
+        };
+        self.audit_seq += 1;
+        self.audit.record(tick, RunEvent::Audit(entry));
+    }
+
+    fn count(name: &'static str) {
+        if telemetry::enabled() {
+            telemetry::with_registry(|reg| reg.counter(name).inc());
+        }
+    }
+
+    /// Workload clients currently joined and done with the barrier tick.
+    fn barrier_met(&self) -> bool {
+        self.workload.len() == self.expected_clients as usize
+            && self.done.len() == self.expected_clients as usize
+    }
+
+    /// Handle one reader event at barrier tick `tick` (the tick being
+    /// collected; past the arrival window it is the current drain tick).
+    /// Returns an error only for failures that make the deterministic run
+    /// impossible (a workload client vanished).
+    fn handle(&mut self, ev: Event, tick: u64, collecting: bool) -> io::Result<()> {
+        match ev {
+            Event::Joined {
+                conn,
+                role,
+                index,
+                clients,
+                out,
+            } => {
+                let valid = match role {
+                    Role::Workload => {
+                        clients == self.expected_clients
+                            && index < clients
+                            && !self.workload.contains_key(&index)
+                    }
+                    Role::Observer => true,
+                };
+                if !valid {
+                    let _ = out.send(Outbound::Close(
+                        close_code::PROTOCOL,
+                        format!("bad hello: role={role:?} index={index} clients={clients}"),
+                    ));
+                    self.drops += 1;
+                    Self::count("net.conn.dropped");
+                    self.audit(
+                        tick,
+                        AuditKind::Note,
+                        format!("conn{conn}"),
+                        format!("drop code={} bad hello", close_code::PROTOCOL),
+                    );
+                    return Ok(());
+                }
+                let _ = out.send(Outbound::Frame(Frame::new(
+                    FrameType::Welcome,
+                    encode_payload(&WelcomePayload {
+                        version: VERSION,
+                        clients: self.expected_clients,
+                    }),
+                )));
+                if role == Role::Workload {
+                    self.workload.insert(index, conn);
+                }
+                self.conns.insert(conn, ConnState { out, role, index });
+                Self::count("net.conn.joined");
+                self.audit(
+                    tick,
+                    AuditKind::Note,
+                    format!("conn{conn}"),
+                    format!("joined role={role:?} index={index}"),
+                );
+                Ok(())
+            }
+            Event::Request { conn, req } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return Ok(()); // dropped concurrently; reader is exiting
+                };
+                if state.role != Role::Workload || !collecting {
+                    // Attributable, but not admissible: observers may not
+                    // submit, and nothing may arrive after the arrival
+                    // window. Fail-closed deny + audit.
+                    let detail = if state.role != Role::Workload {
+                        "role"
+                    } else {
+                        "late"
+                    };
+                    self.reject(conn, &req, tick, detail);
+                    return Ok(());
+                }
+                self.pending.push((conn, req));
+                Ok(())
+            }
+            Event::TickDone { conn, tick: t } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return Ok(());
+                };
+                if state.role != Role::Workload || !collecting || t != tick {
+                    let _ = state.out.send(Outbound::Close(
+                        close_code::PROTOCOL,
+                        format!("unexpected TickDone({t}) at tick {tick}"),
+                    ));
+                    return self.depart(conn, tick, collecting, "protocol: bad TickDone");
+                }
+                self.done.insert(conn, true);
+                Ok(())
+            }
+            Event::Dropped { conn, code, detail } => {
+                self.drops += 1;
+                Self::count("net.conn.dropped");
+                self.audit(
+                    tick,
+                    AuditKind::Note,
+                    format!("conn{conn}"),
+                    format!("drop code={code} ({}): {detail}", close_code::name(code)),
+                );
+                self.depart(conn, tick, collecting, "dropped")
+            }
+            Event::Left { conn } => {
+                self.audit(tick, AuditKind::Note, format!("conn{conn}"), "bye".into());
+                self.depart(conn, tick, collecting, "left")
+            }
+        }
+    }
+
+    /// Answer an attributable bad request with a fail-closed deny and
+    /// audit it. The request never reaches the service.
+    fn reject(&mut self, conn: u64, req: &DecisionRequest, tick: u64, why: &str) {
+        if let Some(state) = self.conns.get(&conn) {
+            let snap = DecisionSnap {
+                request_id: req.id,
+                tenant: req.tenant.0,
+                device: req.device,
+                action: req.proposed.name().to_string(),
+                verdict: GuardVerdict::Deny {
+                    reason: format!("net:reject:{why}"),
+                },
+                shed: None,
+                submitted_at: req.submitted_at,
+                decided_at: tick,
+            };
+            let _ = state.out.send(Outbound::Frame(Frame::traced(
+                FrameType::Decision,
+                req.ctx.map(|c| c.child(NET_SLOT)),
+                encode_payload(&snap),
+            )));
+        }
+        self.rejects += 1;
+        Self::count("net.request.rejected");
+        self.audit(
+            tick,
+            AuditKind::Decision,
+            format!("conn{conn}/req{}", req.id),
+            format!("fail-closed deny: {why}"),
+        );
+    }
+
+    /// Remove a connection. A workload client vanishing while the barrier
+    /// still depends on it (`critical`, i.e. during the arrival window)
+    /// makes the deterministic run impossible and fails the run; after the
+    /// window its departure is routine.
+    fn depart(&mut self, conn: u64, tick: u64, critical: bool, why: &str) -> io::Result<()> {
+        let Some(state) = self.conns.remove(&conn) else {
+            return Ok(());
+        };
+        self.done.remove(&conn);
+        if state.role == Role::Workload {
+            self.workload.remove(&state.index);
+            if critical {
+                return Err(io::Error::other(format!(
+                    "workload client {} {} at tick {tick}: deterministic run impossible",
+                    state.index, why
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Route one decision back to the connection that submitted its
+    /// request, advancing the causal chain with a `net.send` hop.
+    fn route(&mut self, decision: &Decision) {
+        let ctx = net_hop(decision.ctx, "net.send", decision.device);
+        let Some(conn) = self.owed.remove(&decision.request_id) else {
+            self.decisions_dropped += 1;
+            return;
+        };
+        let sent = self.conns.get(&conn).is_some_and(|state| {
+            state
+                .out
+                .send(Outbound::Frame(Frame::traced(
+                    FrameType::Decision,
+                    ctx,
+                    encode_payload(&DecisionSnap::from(decision)),
+                )))
+                .is_ok()
+        });
+        if sent {
+            self.decisions_sent += 1;
+            Self::count("net.decision.sent");
+        } else {
+            self.decisions_dropped += 1;
+        }
+    }
+}
+
+/// Advance a request's causal chain by one wire hop, emitting the event
+/// when the trace records. Mirrors the serve pipeline's stage events but
+/// uses the wire slot.
+fn net_hop(ctx: Option<TraceContext>, name: &'static str, device: u64) -> Option<TraceContext> {
+    let next = ctx?.child(NET_SLOT);
+    if telemetry::enabled() && next.sampled {
+        let mut fields = Vec::new();
+        next.push_fields(device, &mut fields);
+        telemetry::emit_event(name, telemetry::Level::Debug, fields);
+    }
+    Some(next)
+}
+
+/// Serve one deterministic run over TCP and seal the ledger.
+///
+/// Accepts connections on `listener` until `cfg.clients` workload clients
+/// have driven all `cfg.arrival_ticks` ticks through the lockstep barrier,
+/// drains the service queue, seals the segmented decision ledger, and
+/// returns it together with the boundary audit ledger. The caller supplies
+/// a fresh [`PolicyDecisionService`]; the function never spawns a thread
+/// that touches it.
+pub fn serve<O: HarmOracle + Copy + Send + Sync>(
+    listener: TcpListener,
+    mut svc: PolicyDecisionService<O>,
+    cfg: NetServerConfig,
+) -> io::Result<ServeOutcome> {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (events_tx, events) = mpsc::channel::<Event>();
+    let accepted = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let accept_handle = spawn_acceptor(
+        listener,
+        events_tx,
+        shutdown.clone(),
+        accepted.clone(),
+        &cfg,
+    )?;
+
+    let mut state = Loop {
+        conns: HashMap::new(),
+        workload: HashMap::new(),
+        pending: Vec::new(),
+        done: HashMap::new(),
+        owed: HashMap::new(),
+        audit: RunRecorder::new("e17/net-audit", cfg.seed, 0),
+        audit_seq: 0,
+        rejects: 0,
+        drops: 0,
+        decisions_sent: 0,
+        decisions_dropped: 0,
+        expected_clients: cfg.clients,
+    };
+
+    let run = drive(&mut svc, &mut state, &events, &cfg);
+    // Orderly shutdown regardless of how the run ended: stop accepting,
+    // close every connection, and let the threads unwind.
+    shutdown.store(true, Ordering::SeqCst);
+    for conn in state.conns.values() {
+        let _ = conn.out.send(Outbound::Finish);
+    }
+    let _ = accept_handle.join();
+    let final_tick = run?;
+
+    let (ledger, stats) = svc.finish_segmented(final_tick);
+    let audit = state.audit.finish(final_tick, 0);
+    Ok(ServeOutcome {
+        ledger,
+        stats,
+        audit,
+        final_tick,
+        decisions_sent: state.decisions_sent,
+        decisions_dropped: state.decisions_dropped,
+        rejects: state.rejects,
+        drops: state.drops,
+        connections: accepted.load(Ordering::SeqCst),
+    })
+}
+
+/// The deterministic tick loop: barrier-collect, sort, submit, tick,
+/// route; then drain. Returns the final tick for `finish_segmented`.
+fn drive<O: HarmOracle + Copy + Send + Sync>(
+    svc: &mut PolicyDecisionService<O>,
+    state: &mut Loop,
+    events: &Receiver<Event>,
+    cfg: &NetServerConfig,
+) -> io::Result<u64> {
+    let mut now = 0u64;
+    // Phase A: the arrival window, one barrier per tick.
+    for tick in 1..=cfg.arrival_ticks {
+        now = tick;
+        while !state.barrier_met() {
+            match events.recv_timeout(cfg.barrier_timeout) {
+                Ok(ev) => state.handle(ev, tick, true)?,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "tick {tick} barrier stalled: {}/{} clients joined, {} done",
+                            state.workload.len(),
+                            cfg.clients,
+                            state.done.len()
+                        ),
+                    ));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::other("acceptor vanished"));
+                }
+            }
+        }
+        // The OS delivered this tick's requests in arbitrary interleaving;
+        // sorting by id restores the workload generator's emission order,
+        // which is what the in-process driver submits.
+        let mut pending = std::mem::take(&mut state.pending);
+        pending.sort_by_key(|(_, req)| req.id);
+        for (conn, mut req) in pending {
+            if req.submitted_at != tick {
+                state.reject(conn, &req, tick, "tick-mismatch");
+                continue;
+            }
+            req.ctx = net_hop(req.ctx, "net.recv", req.device);
+            state.owed.insert(req.id, conn);
+            if let Some(shed) = svc.submit(req, tick) {
+                state.route(&shed);
+            }
+        }
+        for decision in svc.tick(now) {
+            state.route(&decision);
+        }
+        state.done.clear();
+        let ack = encode_payload(&TickPayload { tick });
+        for &conn in state.workload.values() {
+            if let Some(c) = state.conns.get(&conn) {
+                let _ = c
+                    .out
+                    .send(Outbound::Frame(Frame::new(FrameType::TickAck, ack.clone())));
+            }
+        }
+    }
+    // Phase B: drain the queue without the barrier (clients only read).
+    while svc.queue_depth() > 0 {
+        now += 1;
+        if now > cfg.max_ticks {
+            return Err(io::Error::other(format!(
+                "drain watchdog tripped at tick {now}"
+            )));
+        }
+        while let Ok(ev) = events.try_recv() {
+            state.handle(ev, now, false)?;
+        }
+        for decision in svc.tick(now) {
+            state.route(&decision);
+        }
+    }
+    Ok(now)
+}
+
+/// Spawn the accept loop: non-blocking accept so the shutdown flag is
+/// honored promptly, one reader + one writer thread per connection.
+fn spawn_acceptor(
+    listener: TcpListener,
+    events: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<std::sync::atomic::AtomicU64>,
+    cfg: &NetServerConfig,
+) -> io::Result<thread::JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let read_timeout = cfg.read_timeout;
+    let write_timeout = cfg.write_timeout;
+    Ok(thread::spawn(move || {
+        let mut next_conn = 0u64;
+        let mut handles = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    accepted.fetch_add(1, Ordering::SeqCst);
+                    let events = events.clone();
+                    let shutdown = shutdown.clone();
+                    handles.push(thread::spawn(move || {
+                        connection(conn, stream, events, shutdown, read_timeout, write_timeout);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }))
+}
+
+/// One connection: spawn the writer, then run the reader in this thread.
+fn connection(
+    conn: u64,
+    stream: TcpStream,
+    events: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = mpsc::channel::<Outbound>();
+    let writer = thread::spawn(move || writer_loop(write_half, out_rx));
+    reader_loop(conn, stream, &events, &out_tx, &shutdown);
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// Drain the outbound queue onto the socket; any close instruction (or a
+/// write failure) ends the connection.
+fn writer_loop(mut stream: TcpStream, out: Receiver<Outbound>) {
+    for msg in out {
+        match msg {
+            Outbound::Frame(frame) => {
+                if write_frame(&mut stream, &frame).is_err() {
+                    break;
+                }
+            }
+            Outbound::Close(code, detail) => {
+                let payload = encode_payload(&ErrorPayload { code, detail });
+                let _ = write_frame(&mut stream, &Frame::new(FrameType::Error, payload));
+                break;
+            }
+            Outbound::Finish => {
+                let _ = write_frame(&mut stream, &Frame::new(FrameType::Bye, Vec::new()));
+                break;
+            }
+            Outbound::Quiet => break,
+        }
+    }
+    // Unblocks the reader (its next read returns EOF) and flushes RST-free.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Decode and dispatch frames until the peer closes, errs out, or the
+/// server shuts down. All fail-closed classification lives here.
+fn reader_loop(
+    conn: u64,
+    mut stream: TcpStream,
+    events: &Sender<Event>,
+    out: &Sender<Outbound>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut role: Option<Role> = None;
+    let mut idle = 0u32;
+    // A connection gets ~10s of pre-Hello idling before it is treated as a
+    // slow-loris and dropped (each Idle is one read-timeout period).
+    let hello_budget = 200u32;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = out.send(Outbound::Finish);
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(ReadOutcome::Frame(f)) => {
+                idle = 0;
+                f
+            }
+            Ok(ReadOutcome::Idle) => {
+                idle += 1;
+                if role.is_none() && idle > hello_budget {
+                    drop_conn(conn, events, out, close_code::STALLED, "no hello".into());
+                    return;
+                }
+                continue;
+            }
+            Ok(ReadOutcome::Closed) => {
+                if role.is_some() {
+                    let _ = events.send(Event::Left { conn });
+                }
+                let _ = out.send(Outbound::Quiet);
+                return;
+            }
+            Err(ReadError::Malformed(e)) => {
+                let code = match e {
+                    crate::frame::FrameError::BadVersion(_) => close_code::BAD_VERSION,
+                    crate::frame::FrameError::Oversize(_) => close_code::OVERSIZE,
+                    _ => close_code::MALFORMED,
+                };
+                drop_conn(conn, events, out, code, e.to_string());
+                return;
+            }
+            Err(ReadError::Stalled) | Err(ReadError::Truncated) => {
+                drop_conn(conn, events, out, close_code::STALLED, "torn frame".into());
+                return;
+            }
+            Err(ReadError::Io(e)) => {
+                drop_conn(conn, events, out, close_code::STALLED, e.to_string());
+                return;
+            }
+        };
+        match (frame.frame_type, role) {
+            (FrameType::Hello, None) => {
+                let Some(hello) = decode_payload::<HelloPayload>(&frame.payload) else {
+                    drop_conn(conn, events, out, close_code::MALFORMED, "bad hello".into());
+                    return;
+                };
+                role = Some(hello.role);
+                let _ = events.send(Event::Joined {
+                    conn,
+                    role: hello.role,
+                    index: hello.client,
+                    clients: hello.clients,
+                    out: out.clone(),
+                });
+            }
+            (FrameType::Request, Some(_)) => {
+                let Some(snap) = decode_payload::<ReqSnap>(&frame.payload) else {
+                    // Valid envelope, undecodable request: no request id to
+                    // answer, so this is unattributable — drop.
+                    drop_conn(
+                        conn,
+                        events,
+                        out,
+                        close_code::MALFORMED,
+                        "bad request".into(),
+                    );
+                    return;
+                };
+                let mut req = DecisionRequest::from(snap);
+                req.ctx = frame.ctx;
+                let _ = events.send(Event::Request { conn, req });
+            }
+            (FrameType::TickDone, Some(Role::Workload)) => {
+                let Some(tick) = decode_payload::<TickPayload>(&frame.payload) else {
+                    drop_conn(
+                        conn,
+                        events,
+                        out,
+                        close_code::MALFORMED,
+                        "bad tickdone".into(),
+                    );
+                    return;
+                };
+                let _ = events.send(Event::TickDone {
+                    conn,
+                    tick: tick.tick,
+                });
+            }
+            (FrameType::Ping, Some(_)) => {
+                let _ = out.send(Outbound::Frame(Frame::new(FrameType::Pong, Vec::new())));
+            }
+            (FrameType::Bye, _) => {
+                if role.is_some() {
+                    let _ = events.send(Event::Left { conn });
+                }
+                let _ = out.send(Outbound::Quiet);
+                return;
+            }
+            (ty, _) => {
+                drop_conn(
+                    conn,
+                    events,
+                    out,
+                    close_code::PROTOCOL,
+                    format!("unexpected {ty:?} frame"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Tear down a connection fail-closed: best-effort `Error` frame to the
+/// peer, `Dropped` event to the tick loop (which audits it).
+fn drop_conn(conn: u64, events: &Sender<Event>, out: &Sender<Outbound>, code: u16, detail: String) {
+    let _ = out.send(Outbound::Close(code, detail.clone()));
+    let _ = events.send(Event::Dropped { conn, code, detail });
+}

@@ -77,7 +77,7 @@ fn solve3(m: [[f64; 3]; 3], v: [f64; 3]) -> Option<[f64; 3]> {
 }
 
 /// Measure per-batch guard-stack nanoseconds over the standard workload
-/// and fit the cost model. `rounds` cycles of [`BATCH_SIZES`] are sampled
+/// and fit the cost model. `rounds` cycles of `BATCH_SIZES` are sampled
 /// twice each — the first pass is miss-heavy, the replay hit-heavy — so
 /// the fit sees both regimes. `tick_budget_ns` is the wall-clock budget
 /// one service tick is meant to absorb (it sets `capacity_per_tick`).

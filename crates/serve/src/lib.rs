@@ -37,10 +37,50 @@
 //! The design rule throughout is the paper's safety bias applied to
 //! serving: **overload may only make the service more conservative.** A
 //! request the service cannot afford to evaluate is *denied* (shed), never
-//! allowed through unevaluated — see [`Decision::shed`], whose only
+//! allowed through unevaluated — see `Decision::shed`, whose only
 //! constructor produces a denial.
 //!
-//! Participates in experiments **E13** and **E15** (DESIGN.md §3).
+//! ## Example
+//!
+//! Drive a seeded workload through a two-shard service to completion and
+//! check the service's core invariant — every offered request ends in
+//! exactly one audited decision:
+//!
+//! ```
+//! use apdm_serve::{
+//!     run_to_completion, standard_stacks, PolicyDecisionService, ServeConfig,
+//!     WorkloadGen, WorkloadOracle, WorkloadSpec,
+//! };
+//!
+//! let cfg = ServeConfig {
+//!     shards: 2,
+//!     ..ServeConfig::default()
+//! };
+//! let mut svc = PolicyDecisionService::new(
+//!     cfg,
+//!     standard_stacks(2, true),
+//!     WorkloadOracle,
+//!     "docs/quickstart",
+//! );
+//! let mut gen = WorkloadGen::new(WorkloadSpec {
+//!     per_tick: 4,
+//!     arrival_ticks: 3,
+//!     ..WorkloadSpec::default()
+//! });
+//!
+//! let (decisions, final_tick) =
+//!     run_to_completion(&mut svc, &mut gen, 1, 3, 100, |_, _| {});
+//! let (ledger, stats) = svc.finish_segmented(final_tick);
+//!
+//! assert_eq!(decisions.len() as u64, gen.total_offered());
+//! assert_eq!(stats.decided + stats.shed_total(), gen.total_offered());
+//! assert!(ledger.verify().is_ok(), "hash-chained audit trail seals");
+//! ```
+//!
+//! Participates in experiments **E13**–**E17** (DESIGN.md §3): the load
+//! sweep (E13), causal tracing (E14), skew scheduling (E15), crash
+//! tolerance (E16), and — through the `apdm-net` transport in front of
+//! this service — the networked byte-identity experiment (E17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

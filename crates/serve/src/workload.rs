@@ -52,7 +52,7 @@ pub fn schema() -> StateSchema {
 }
 
 /// Build one guard stack per shard for the serving workload: pre-action
-/// harm check plus state-space guard over [`GOOD_REGION`], optionally with
+/// harm check plus state-space guard over `GOOD_REGION`, optionally with
 /// the verdict memo cache. Every shard gets an identical (but independent)
 /// stack, so verdicts do not depend on which shard judges a device.
 pub fn standard_stacks(shards: usize, cache: bool) -> Vec<GuardStack> {

@@ -445,7 +445,7 @@ impl Fleet {
     /// The tick runs in two phases. The **decide** phase (propose → sense →
     /// guard) is read-only against the start-of-tick world, so it runs the
     /// per-device work either inline or across a scoped thread pool
-    /// ([`FleetConfig::threads`]), producing one [`TickOutcome`] per
+    /// ([`FleetConfig::threads`]), producing one `TickOutcome` per
     /// deciding device. The **commit** phase is always single-threaded and
     /// applies outcomes in event order: world effects, metrics, obligations
     /// and ledger appends happen in exactly the sequence the sequential

@@ -56,6 +56,10 @@ fn nonzero(id: u64) -> u64 {
     }
 }
 
+/// Bytes of one wire-encoded [`TraceContext`]: three little-endian `u64`
+/// ids plus one flag byte (see [`TraceContext::to_wire`]).
+pub const CONTEXT_WIRE_LEN: usize = 25;
+
 /// The compact causal context propagated across hops. See the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceContext {
@@ -120,6 +124,36 @@ impl TraceContext {
             FieldValue::U64(self.parent_id),
         ));
         fields.push((Name::Borrowed(FIELD_DEVICE), FieldValue::U64(device)));
+    }
+
+    /// Encode the context for a network frame header: `trace_id`,
+    /// `span_id` and `parent_id` as little-endian `u64`s followed by one
+    /// flag byte whose bit 0 is `sampled` (remaining bits reserved, zero).
+    /// The all-zero encoding is reserved for "no context" — a real context
+    /// always has a non-zero trace id, so the two cannot collide.
+    pub fn to_wire(&self) -> [u8; CONTEXT_WIRE_LEN] {
+        let mut bytes = [0u8; CONTEXT_WIRE_LEN];
+        bytes[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.span_id.to_le_bytes());
+        bytes[16..24].copy_from_slice(&self.parent_id.to_le_bytes());
+        bytes[24] = u8::from(self.sampled);
+        bytes
+    }
+
+    /// Decode a frame-header context written by [`to_wire`](Self::to_wire).
+    /// Returns `None` for the reserved all-zero "no context" encoding.
+    pub fn from_wire(bytes: &[u8; CONTEXT_WIRE_LEN]) -> Option<TraceContext> {
+        let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let trace_id = word(0);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id: word(8),
+            parent_id: word(16),
+            sampled: bytes[24] & 1 == 1,
+        })
     }
 
     /// Reconstruct a context from record fields (the inverse of
@@ -218,6 +252,20 @@ mod tests {
         assert_eq!(back.span_id, ctx.span_id);
         assert_eq!(back.parent_id, ctx.parent_id);
         assert!(TraceContext::from_fields(&[]).is_none());
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        let ctx = TraceContext::root(trace_id(42, 7), true).child(3);
+        let bytes = ctx.to_wire();
+        assert_eq!(TraceContext::from_wire(&bytes), Some(ctx));
+        let unsampled = TraceContext::root(trace_id(42, 8), false);
+        assert_eq!(
+            TraceContext::from_wire(&unsampled.to_wire()),
+            Some(unsampled)
+        );
+        // The all-zero encoding is the "no context" sentinel.
+        assert_eq!(TraceContext::from_wire(&[0u8; CONTEXT_WIRE_LEN]), None);
     }
 
     #[test]

@@ -85,8 +85,8 @@ mod subscriber;
 pub use analyze::{export_chrome_devices, CriticalPath, PathStep, TraceGraph, TraceNode};
 pub use clock::{current_tick, reset_clock, set_tick};
 pub use context::{
-    mix64, trace_id, TraceContext, TraceSampler, FIELD_DEVICE, FIELD_PARENT, FIELD_SPAN,
-    FIELD_TRACE,
+    mix64, trace_id, TraceContext, TraceSampler, CONTEXT_WIRE_LEN, FIELD_DEVICE, FIELD_PARENT,
+    FIELD_SPAN, FIELD_TRACE,
 };
 pub use export::{export_chrome, export_jsonl, import_jsonl, record_to_json, ImportError};
 pub use metrics::{

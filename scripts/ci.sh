@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> trace smoke test (apdm-experiments trace)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
@@ -216,6 +219,34 @@ if ./target/release/apdm-experiments verify "$tamper_file" --quiet >/dev/null 2>
 fi
 echo "e16 smoke: resumed run byte-identical to golden across $golden_count segments," \
      "rotated chain verifies, tampering detected"
+
+echo "==> networked-serving smoke (E17: serve-net over real sockets vs in-process golden)"
+./target/release/apdm-experiments serve-net golden --smoke --seed 42 \
+    --out "$trace_dir/e17-golden" --quiet >/dev/null
+./target/release/apdm-experiments serve-net serve --smoke --seed 42 --clients 2 \
+    --addr-file "$trace_dir/e17-addr" --out "$trace_dir/e17-served" --quiet >/dev/null &
+e17_server=$!
+./target/release/apdm-experiments serve-net client --smoke --seed 42 \
+    --addr-file "$trace_dir/e17-addr" --index 0 --clients 2 --quiet >/dev/null &
+e17_c0=$!
+./target/release/apdm-experiments serve-net chaos --smoke --seed 42 \
+    --addr-file "$trace_dir/e17-addr" --kind garbage --quiet >/dev/null &
+e17_chaos=$!
+./target/release/apdm-experiments serve-net client --smoke --seed 42 \
+    --addr-file "$trace_dir/e17-addr" --index 1 --clients 2 --quiet >/dev/null \
+    || { echo "e17 smoke: workload client 1 failed"; exit 1; }
+wait "$e17_c0" || { echo "e17 smoke: workload client 0 failed"; exit 1; }
+wait "$e17_chaos" || { echo "e17 smoke: chaos client failed"; exit 1; }
+wait "$e17_server" || { echo "e17 smoke: server failed"; exit 1; }
+e17_segs=0
+for f in "$trace_dir"/e17-golden.seg*.jsonl; do
+    e17_segs=$((e17_segs + 1))
+    cmp -s "$f" "${f/e17-golden/e17-served}" \
+        || { echo "e17 smoke: served $(basename "$f") diverges from in-process golden"; exit 1; }
+done
+test "$e17_segs" -gt 1 || { echo "e17 smoke: golden run never rotated"; exit 1; }
+echo "e17 smoke: TCP-served ledger byte-identical to in-process golden across" \
+     "$e17_segs segments (2 workload clients + a garbage chaos client)"
 
 echo "==> strong-scaling smoke (E11 table)"
 ./target/release/apdm-experiments run e11 --json --quiet > "$trace_dir/e11-report.json"

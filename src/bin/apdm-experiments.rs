@@ -14,6 +14,12 @@
 //! apdm-experiments trace-analyze trace.jsonl [--chrome out.json]
 //! apdm-experiments checkpoint [--kill-tick T] [--seed 42] --out base
 //! apdm-experiments resume base [--seed 42] [--out base2]
+//! apdm-experiments serve-net serve [--listen 127.0.0.1:0] [--addr-file p] \
+//!     [--clients N] [--smoke] [--out base]
+//! apdm-experiments serve-net client (--connect addr | --addr-file p) \
+//!     --index I --clients N [--smoke]
+//! apdm-experiments serve-net chaos (--connect addr | --addr-file p) --kind k
+//! apdm-experiments serve-net golden [--smoke] [--out base]
 //! ```
 //!
 //! Parallelism: the global `--threads N` flag sets the worker count for
@@ -66,6 +72,18 @@
 //! `.segNNNN.jsonl` file (or the family's base path), it checks every
 //! retained segment's hash chain *and* the cross-segment anchors, prints
 //! a per-segment report, and exits nonzero if any segment fails.
+//!
+//! Networked serving: `serve-net` exposes the experiment E17 machinery as
+//! separate processes so CI can prove the TCP path is ledger-invisible
+//! across real process boundaries. `serve-net serve` binds a listener
+//! (writing the bound address to `--addr-file` for rendezvous), drives the
+//! canonical seeded workload through `apdm-net`, and writes the sealed
+//! segment family to `--out`; `serve-net client` connects and drives
+//! workload partition `--index` of `--clients`; `serve-net chaos` runs one
+//! scripted hostile connection (`--kind garbage|badcrc|oversize|slow|`
+//! `disconnect|unauthorized`); `serve-net golden` writes the in-process
+//! run's segments for a byte-for-byte `cmp`. The wire format is specified
+//! in `docs/PROTOCOL.md`.
 
 use std::env;
 use std::fs;
@@ -74,6 +92,9 @@ use std::rc::Rc;
 
 use apdm::comms::FailMode;
 use apdm::ledger::{Ledger, SegmentedLedger};
+use apdm::net::{
+    golden_segments, run_chaos_client, run_e17, run_workload_client, serve, ChaosKind, E17Config,
+};
 use apdm::serve::{
     resume_run, run_calibration, run_e13, run_e14, run_e14_mode, run_e15, run_e15_cell, run_e16,
     run_e16_cell, run_to_completion, standard_stacks, E13Config, E14Config, E15Config, E16Config,
@@ -134,7 +155,30 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e16",
         "crash tolerance: kill-and-resume sweep over checkpointed rotating ledgers",
     ),
+    (
+        "e17",
+        "networked serving: framed TCP path, ledger byte-identical under chaos",
+    ),
 ];
+
+/// Flags specific to the `serve-net` subcommand.
+#[derive(Debug, Clone, Default)]
+struct NetFlags {
+    /// Listen address for `serve` (`--listen`, default an ephemeral
+    /// loopback port).
+    listen: Option<String>,
+    /// Explicit server address for `client`/`chaos` (`--connect`).
+    connect: Option<String>,
+    /// Rendezvous file: `serve` writes its bound address there,
+    /// `client`/`chaos` poll it (`--addr-file`).
+    addr_file: Option<String>,
+    /// Workload client count the run is partitioned across (`--clients`).
+    clients: u32,
+    /// This client's partition index in `0..clients` (`--index`).
+    index: u32,
+    /// Chaos script name (`--kind`).
+    kind: Option<String>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -151,6 +195,10 @@ fn main() -> ExitCode {
     let mut calibrate = false;
     let mut kill_tick: Option<u64> = None;
     let mut sched = Scheduling::Balanced;
+    let mut net = NetFlags {
+        clients: 1,
+        ..NetFlags::default()
+    };
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -211,6 +259,48 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--listen" => match iter.next() {
+                Some(addr) => net.listen = Some(addr.clone()),
+                None => {
+                    eprintln!("--listen requires an address");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--connect" => match iter.next() {
+                Some(addr) => net.connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect requires an address");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--addr-file" => match iter.next() {
+                Some(path) => net.addr_file = Some(path.clone()),
+                None => {
+                    eprintln!("--addr-file requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--clients" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => net.clients = n,
+                _ => {
+                    eprintln!("--clients requires an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--index" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(i) => net.index = i,
+                None => {
+                    eprintln!("--index requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kind" => match iter.next() {
+                Some(kind) => net.kind = Some(kind.clone()),
+                None => {
+                    eprintln!("--kind requires a chaos script name");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
@@ -249,6 +339,7 @@ fn main() -> ExitCode {
         calibrate,
         kill_tick,
         sched,
+        &net,
     );
 
     // Dump even when the command failed: a trace of a failing verify run
@@ -277,6 +368,7 @@ fn dispatch(
     calibrate: bool,
     kill_tick: Option<u64>,
     sched: Scheduling,
+    net: &NetFlags,
 ) -> ExitCode {
     match positional.first().map(String::as_str) {
         Some("list") => {
@@ -539,11 +631,221 @@ fn dispatch(
             let out_base = out.unwrap_or_else(|| format!("{base}-resumed"));
             resume_cmd(&cfg, sched, base, &out_base)
         }
+        Some("serve-net") => {
+            let cfg = E17Config {
+                seed,
+                ..if smoke {
+                    E17Config::smoke()
+                } else {
+                    E17Config::default()
+                }
+            };
+            serve_net_cmd(positional.get(1).map(String::as_str), &cfg, out, net)
+        }
         _ => {
             eprintln!(
                 "usage: apdm-experiments \
                  <list|run|record|verify|replay|trace|serve-bench|trace-analyze\
-                 |checkpoint|resume> ..."
+                 |checkpoint|resume|serve-net> ..."
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// How long `client`/`chaos` poll the `--addr-file` rendezvous before
+/// giving up, and how long workload clients wait for the run to finish.
+const NET_RENDEZVOUS: std::time::Duration = std::time::Duration::from_secs(20);
+const NET_DEADLINE: std::time::Duration = std::time::Duration::from_secs(120);
+
+/// Resolve the server address for `serve-net client`/`chaos`: an explicit
+/// `--connect`, or polling the `--addr-file` the server writes on bind.
+fn resolve_addr(net: &NetFlags) -> Result<String, String> {
+    if let Some(addr) = &net.connect {
+        return Ok(addr.clone());
+    }
+    let Some(path) = &net.addr_file else {
+        return Err("need --connect ADDR or --addr-file PATH".to_string());
+    };
+    let deadline = std::time::Instant::now() + NET_RENDEZVOUS;
+    loop {
+        if let Ok(text) = fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return Ok(addr.to_string());
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("timed out waiting for server address in {path}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// The multi-process face of experiment E17 (see `docs/PROTOCOL.md`).
+fn serve_net_cmd(
+    mode: Option<&str>,
+    cfg: &E17Config,
+    out: Option<String>,
+    net: &NetFlags,
+) -> ExitCode {
+    match mode {
+        Some("serve") => {
+            let listen = net.listen.as_deref().unwrap_or("127.0.0.1:0");
+            let listener = match std::net::TcpListener::bind(listen) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot bind {listen}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = match listener.local_addr() {
+                Ok(a) => a.to_string(),
+                Err(e) => {
+                    eprintln!("cannot read bound address: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Write-then-rename so pollers never see a partial address.
+            if let Some(path) = &net.addr_file {
+                let tmp = format!("{path}.tmp");
+                if let Err(e) =
+                    fs::write(&tmp, &addr).and_then(|()| fs::rename(&tmp, path.as_str()))
+                {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "serving on {addr} ({} workload clients expected)",
+                net.clients
+            );
+            let svc = PolicyDecisionService::new(
+                cfg.serve_config(),
+                standard_stacks(cfg.shards, true),
+                WorkloadOracle,
+                &cfg.run_name(),
+            );
+            let outcome = match serve(listener, svc, cfg.net_config(net.clients)) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    eprintln!("serve failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = outcome.ledger.verify() {
+                eprintln!("served ledger corrupt: {e}");
+                return ExitCode::FAILURE;
+            }
+            if outcome.audit.verify().is_err() {
+                eprintln!("boundary audit ledger corrupt");
+                return ExitCode::FAILURE;
+            }
+            let base = out.unwrap_or_else(|| format!("e17-{}", cfg.seed));
+            if let Err(e) = write_segments(&base, &outcome.ledger.to_jsonl_segments()) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "sealed at tick {}: {} decisions delivered, {} rejects, {} drops, \
+                 {} segments, head {:016x} -> {base}.seg*.jsonl",
+                outcome.final_tick,
+                outcome.decisions_sent,
+                outcome.rejects,
+                outcome.drops,
+                outcome.ledger.segments().len(),
+                outcome.ledger.head_digest(),
+            );
+            ExitCode::SUCCESS
+        }
+        Some("client") => {
+            let addr = match resolve_addr(net) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if net.index >= net.clients {
+                eprintln!("--index {} out of range 0..{}", net.index, net.clients);
+                return ExitCode::FAILURE;
+            }
+            match run_workload_client(
+                &addr,
+                cfg.spec(),
+                net.index,
+                net.clients,
+                None,
+                NET_DEADLINE,
+            ) {
+                Ok(report) => {
+                    println!(
+                        "client {}/{}: {} requests sent, {} decisions returned",
+                        net.index,
+                        net.clients,
+                        report.sent,
+                        report.decisions.len(),
+                    );
+                    if report.decisions.len() as u64 == report.sent {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("decision stream incomplete");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("client failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("chaos") => {
+            let Some(kind) = net.kind.as_deref().and_then(ChaosKind::parse) else {
+                let names: Vec<&str> = ChaosKind::all().iter().map(|k| k.name()).collect();
+                eprintln!("--kind must be one of: {}", names.join(", "));
+                return ExitCode::FAILURE;
+            };
+            let addr = match resolve_addr(net) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_chaos_client(&addr, kind) {
+                Ok(report) => {
+                    println!(
+                        "chaos {}: closed with {:?}, {} fail-closed denies",
+                        kind.name(),
+                        report.closed_code,
+                        report.denies,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("chaos {} failed: {e}", kind.name());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("golden") => {
+            let base = out.unwrap_or_else(|| format!("e17-{}-golden", cfg.seed));
+            let segments = golden_segments(cfg);
+            if let Err(e) = write_segments(&base, &segments) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "golden in-process run: {} segments -> {base}.seg*.jsonl",
+                segments.len(),
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: apdm-experiments serve-net <serve|client|chaos|golden> \
+                 [--listen A] [--connect A] [--addr-file P] [--clients N] \
+                 [--index I] [--kind K] [--smoke] [--out base]"
             );
             ExitCode::FAILURE
         }
@@ -1129,6 +1431,18 @@ fn run_experiment(
                     ..E16Config::default()
                 };
                 emit(json, &run_e16(&cfg));
+            }
+        }
+        "e17" => {
+            // The TCP sweep drives its own loopback threads; `threads` (the
+            // in-service worker pool) stays 1 so the ledger matches the
+            // golden in-process run byte for byte.
+            match run_e17(&E17Config {
+                seed,
+                ..E17Config::default()
+            }) {
+                Ok(report) => emit(json, &report),
+                Err(e) => eprintln!("e17 failed: {e}"),
             }
         }
         _ => unreachable!("validated above"),

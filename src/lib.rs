@@ -23,6 +23,7 @@
 //! | [`telemetry`] | `apdm-telemetry` | — deterministic spans/events, metrics, trace exporters |
 //! | [`par`] | `apdm-par` | — deterministic scoped-thread shard pools and fan-out |
 //! | [`serve`] | `apdm-serve` | VI at fleet scale — sharded micro-batching decision service, fail-closed shedding |
+//! | [`net`] | `apdm-net` | VI at the I/O boundary — framed TCP transport, fail-closed codec, E17 harness |
 //! | [`sim`] | `apdm-sim` | I–II — the coalition world and experiments |
 //! | [`core`] | `apdm-core` | everything — `SafetyKernel`, `AutonomicManager` |
 //!
@@ -61,6 +62,7 @@ pub use apdm_governance as governance;
 pub use apdm_guards as guards;
 pub use apdm_learning as learning;
 pub use apdm_ledger as ledger;
+pub use apdm_net as net;
 pub use apdm_par as par;
 pub use apdm_policy as policy;
 pub use apdm_serve as serve;

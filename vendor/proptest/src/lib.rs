@@ -178,7 +178,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact size or a half-open range.
+    /// Length specification for [`vec()`]: an exact size or a half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -200,7 +200,7 @@ pub mod collection {
         }
     }
 
-    /// The output of [`vec`].
+    /// The output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
